@@ -1,0 +1,191 @@
+"""Engine ablation: Markov vs analytic vs simulation.
+
+The paper delegates availability evaluation to an external engine and
+ships a "simplified Markov model" fallback.  This benchmark quantifies
+the speed/fidelity tradeoff across our three engines on tier models
+generated from the paper's own designs, and writes a comparison table.
+"""
+
+import time
+
+import pytest
+
+from repro.availability import (AnalyticEngine, MarkovEngine,
+                                SimulationEngine)
+from repro.core import DesignEvaluator, TierDesign
+from repro.model import MechanismConfig, ServiceModel
+
+from .conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def tier_models(paper_infra, app_tier_service, scientific):
+    app_eval = DesignEvaluator(paper_infra, app_tier_service)
+    sci_eval = DesignEvaluator(paper_infra, scientific)
+    bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                             {"level": "bronze"})
+    cases = {
+        "rC x5 (no redundancy)": app_eval.tier_model(
+            TierDesign("application", "rC", 5, 0, (), (bronze,)), 1000),
+        "rC x5 +1 cold spare": app_eval.tier_model(
+            TierDesign("application", "rC", 5, 1, (), (bronze,)), 1000),
+        "rC x6 (1 extra active)": app_eval.tier_model(
+            TierDesign("application", "rC", 6, 0, (), (bronze,)), 1000),
+        "rH x30 +2 spares (HPC)": sci_eval.tier_model(
+            TierDesign("computation", "rH", 30, 2, (), (bronze,))),
+    }
+    return cases
+
+
+@pytest.fixture(scope="module")
+def comparison(tier_models):
+    engines = {
+        "markov": MarkovEngine(),
+        "analytic": AnalyticEngine(),
+        "simulation": SimulationEngine(years=600, seed=20040628),
+    }
+    rows = []
+    for label, model in tier_models.items():
+        for name, engine in engines.items():
+            start = time.perf_counter()
+            result = engine.evaluate_tier(model)
+            elapsed = time.perf_counter() - start
+            rows.append((label, name, result.downtime_minutes, elapsed))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def engines_report(comparison):
+    lines = ["Engine ablation -- downtime estimates and solve times", ""]
+    lines.append("%-26s %-11s %14s %12s"
+                 % ("tier model", "engine", "downtime", "solve time"))
+    for label, name, downtime, elapsed in comparison:
+        lines.append("%-26s %-11s %11.2f m/y %10.1f ms"
+                     % (label, name, downtime, elapsed * 1e3))
+    lines.append("")
+    lines.append("notes: analytic is exact for in-place repair, first-"
+                 "order for failover;")
+    lines.append("simulation carries Monte-Carlo noise but makes no "
+                 "decomposition assumption.")
+    return write_report("engines.txt", "\n".join(lines))
+
+
+class TestEngineAgreement:
+    def test_report(self, engines_report):
+        assert engines_report.endswith("engines.txt")
+
+    def test_markov_vs_simulation_within_noise(self, comparison):
+        by_case = {}
+        for label, name, downtime, _ in comparison:
+            by_case.setdefault(label, {})[name] = downtime
+        for label, values in by_case.items():
+            markov, sim = values["markov"], values["simulation"]
+            assert sim == pytest.approx(markov, rel=0.5, abs=2.0), label
+
+
+def test_benchmark_markov_small(benchmark, tier_models):
+    model = tier_models["rC x5 +1 cold spare"]
+    engine = MarkovEngine()
+    result = benchmark(lambda: engine.evaluate_tier(model))
+    assert result.unavailability > 0
+
+
+def test_benchmark_markov_large(benchmark, tier_models):
+    model = tier_models["rH x30 +2 spares (HPC)"]
+    engine = MarkovEngine()
+    result = benchmark(lambda: engine.evaluate_tier(model))
+    assert result.unavailability > 0
+
+
+def test_benchmark_analytic(benchmark, tier_models):
+    model = tier_models["rC x5 +1 cold spare"]
+    engine = AnalyticEngine()
+    result = benchmark(lambda: engine.evaluate_tier(model))
+    assert result.unavailability >= 0
+
+
+def test_benchmark_simulation_short(benchmark, tier_models):
+    model = tier_models["rC x5 (no redundancy)"]
+    engine = SimulationEngine(years=25, seed=7)
+    result = benchmark(lambda: engine.evaluate_tier(model))
+    assert result.unavailability >= 0
+
+
+class TestRepairCrewAblation:
+    """Extension study: how much does unlimited repair staff flatter
+    the paper's designs?  (The paper implicitly assumes repairs never
+    queue; a single on-call technician is the common reality.)"""
+
+    @pytest.fixture(scope="class")
+    def crew_rows(self, tier_models):
+        from repro.availability import TierAvailabilityModel
+        engine = MarkovEngine()
+        rows = []
+        for label, model in tier_models.items():
+            for crew in (1, 2, None):
+                sized = TierAvailabilityModel(
+                    model.name, n=model.n, m=model.m, s=model.s,
+                    modes=model.modes, repair_crew=crew)
+                result = engine.evaluate_tier(sized)
+                rows.append((label, crew, result.downtime_minutes))
+        return rows
+
+    def test_crew_report(self, crew_rows):
+        lines = ["Repair-crew ablation (Markov engine)", "",
+                 "%-26s %8s %14s" % ("tier model", "crew", "downtime")]
+        for label, crew, downtime in crew_rows:
+            lines.append("%-26s %8s %11.2f m/y"
+                         % (label, crew if crew else "inf", downtime))
+        write_report("repair_crew.txt", "\n".join(lines))
+
+    def test_unlimited_never_worse(self, crew_rows):
+        by_case = {}
+        for label, crew, downtime in crew_rows:
+            by_case.setdefault(label, {})[crew] = downtime
+        for label, values in by_case.items():
+            assert values[None] <= values[1] * (1 + 1e-9), label
+            assert values[2] <= values[1] * (1 + 1e-9), label
+
+
+class TestDistributionSensitivity:
+    """Extension study: how much does the exponential-repair assumption
+    (shared by the Markov engine and the paper's external tools)
+    matter?  Deterministic repair durations are the other extreme."""
+
+    @pytest.fixture(scope="class")
+    def distribution_rows(self, tier_models):
+        from repro.availability import simulate_tier
+        rows = []
+        for label, model in tier_models.items():
+            if model.n > 10:
+                continue  # keep the simulation budget modest
+            exponential = simulate_tier(model, years=400, seed=99)
+            deterministic = simulate_tier(model, years=400, seed=99,
+                                          deterministic_repairs=True)
+            rows.append((label, exponential.tier.downtime_minutes,
+                         deterministic.tier.downtime_minutes))
+        return rows
+
+    def test_distribution_report(self, distribution_rows):
+        lines = ["Repair-time distribution sensitivity (simulation)",
+                 "",
+                 "%-26s %14s %14s %8s"
+                 % ("tier model", "exponential", "deterministic",
+                    "ratio")]
+        for label, exponential, deterministic in distribution_rows:
+            ratio = deterministic / exponential if exponential else 0.0
+            lines.append("%-26s %11.2f m/y %11.2f m/y %8.2f"
+                         % (label, exponential, deterministic, ratio))
+        lines.append("")
+        lines.append("steady-state downtime is driven by mean repair "
+                     "times, so the distribution")
+        lines.append("choice moves results modestly; redundant designs "
+                     "are the most sensitive")
+        lines.append("(overlap probabilities depend on the repair-time "
+                     "tail).")
+        write_report("distributions.txt", "\n".join(lines))
+
+    def test_same_order_of_magnitude(self, distribution_rows):
+        for label, exponential, deterministic in distribution_rows:
+            if exponential > 1.0:
+                assert 0.2 < deterministic / exponential < 5.0, label

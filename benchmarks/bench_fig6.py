@@ -1,0 +1,123 @@
+"""Fig. 6: optimal design families over (load, annual downtime).
+
+Regenerates the figure's content: for a sweep of load levels, the
+Pareto-optimal design families and the downtime each achieves (the
+curves of Fig. 6), plus the optimal-family grid over requirement
+points.  Benchmarks the per-load frontier construction -- the kernel
+the whole figure is built from.
+"""
+
+import pytest
+
+from repro.core import (DesignEvaluator, SearchLimits, TierSearch,
+                        build_requirement_map)
+from repro.core.families import DesignFamily
+from repro.core.report import requirement_grid
+from repro.units import Duration
+
+from .conftest import write_report
+
+LOADS = [400, 800, 1400, 1600, 2400, 3200, 4000, 5000]
+DOWNTIME_GRID = [10000, 3000, 1000, 300, 100, 30, 10, 3, 1, 0.3, 0.1]
+LIMITS = SearchLimits(max_redundancy=4, spare_policy="cold")
+
+
+@pytest.fixture(scope="module")
+def requirement_map(paper_infra, app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    return build_requirement_map(evaluator, "application", loads=LOADS,
+                                 limits=LIMITS)
+
+
+@pytest.fixture(scope="module")
+def fig6_report(requirement_map):
+    lines = ["Fig. 6 -- optimal design families vs (load, downtime)", ""]
+    curves = requirement_map.family_curves()
+    ordered = sorted(curves.items(),
+                     key=lambda item: -max(d for _, d in item[1]))
+    lines.append("family curves (load: achieved downtime in min/yr):")
+    for family, points in ordered:
+        series = "  ".join("%g:%.3g" % (load, downtime)
+                           for load, downtime in points)
+        lines.append("  %-28s %s" % (family.label(), series))
+    lines.append("")
+    lines.append(requirement_grid(requirement_map, DOWNTIME_GRID))
+    return write_report("fig6.txt", "\n".join(lines))
+
+
+class TestFig6Shape:
+    """The qualitative claims the paper makes about Fig. 6."""
+
+    def test_report_written(self, fig6_report):
+        assert fig6_report.endswith("fig6.txt")
+
+    def test_many_distinct_families(self, requirement_map):
+        assert len(requirement_map.family_curves()) >= 10
+
+    def test_machineb_never_optimal(self, requirement_map):
+        for load in LOADS:
+            for minutes in DOWNTIME_GRID:
+                point = requirement_map.optimal_for(
+                    load, Duration.minutes(minutes))
+                if point is not None:
+                    assert point.family.resource in ("rC", "rD")
+
+    def test_family_downtime_rises_with_load(self, requirement_map):
+        base = DesignFamily("rC", "bronze", 0, 0)
+        curve = dict(requirement_map.family_curves()[base])
+        assert curve[400] < curve[1600] < curve[5000]
+
+    def test_gold_beats_spare_only_at_low_load(self, requirement_map):
+        gold = DesignFamily("rC", "gold", 0, 0)
+        curves = requirement_map.family_curves()
+        gold_loads = {load for load, _ in curves.get(gold, [])}
+        assert 400 in gold_loads
+        assert 5000 not in gold_loads
+
+    def test_anchor_family9_at_load_1000ish(self, requirement_map):
+        """At (load=800, downtime=100): one extra active, bronze."""
+        point = requirement_map.optimal_for(800, Duration.minutes(100))
+        assert point.family.contract == "bronze"
+        assert point.family.n_extra == 1
+        assert point.family.n_spare == 0
+
+
+def test_benchmark_tier_frontier(benchmark, paper_infra,
+                                 app_tier_service, fig6_report):
+    """One load-level frontier: the unit of work behind Fig. 6."""
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+
+    def build():
+        search = TierSearch(evaluator, LIMITS)
+        return search.tier_frontier("application", 1600)
+
+    frontier = benchmark(build)
+    assert len(frontier) >= 5
+
+
+def test_benchmark_optimal_design_query(benchmark, paper_infra,
+                                        app_tier_service):
+    """A single (load, downtime) -> design query via the full search."""
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+
+    def query():
+        search = TierSearch(evaluator, LIMITS)
+        return search.best_tier_design("application", 1000,
+                                       Duration.minutes(100))
+
+    best = benchmark(query)
+    assert best is not None
+
+
+def test_benchmark_requirement_map_small(benchmark, paper_infra,
+                                         app_tier_service):
+    """A reduced 3-load map -- scales linearly to the full figure."""
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+
+    def build():
+        return build_requirement_map(evaluator, "application",
+                                     loads=[400, 1600, 5000],
+                                     limits=LIMITS)
+
+    result = benchmark(build)
+    assert len(result.points) > 20

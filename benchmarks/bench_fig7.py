@@ -1,0 +1,143 @@
+"""Fig. 7: optimal scientific-application design vs job-time requirement.
+
+Regenerates the figure's series -- resource type, resource count,
+spares, checkpoint interval and storage location across a sweep of
+execution-time requirements -- and benchmarks the job search.
+"""
+
+import pytest
+
+from repro.core import DesignEvaluator, JobSearch, SearchLimits
+from repro.core.families import checkpoint_settings
+from repro.model import JobRequirements
+from repro.units import Duration
+
+from .conftest import write_report
+
+REQUIREMENT_HOURS = [2, 5, 10, 20, 50, 100, 200, 500, 1000]
+LIMITS = SearchLimits(
+    spare_policy="cold", max_redundancy=12,
+    fixed_settings={"maintenanceA": {"level": "bronze"},
+                    "maintenanceB": {"level": "bronze"}})
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_infra, scientific):
+    evaluator = DesignEvaluator(paper_infra, scientific)
+    search = JobSearch(evaluator, LIMITS)
+    results = {}
+    for hours in REQUIREMENT_HOURS:
+        best = search.best_design(JobRequirements(Duration.hours(hours)))
+        if best is not None:
+            results[hours] = best
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig7_report(sweep):
+    lines = ["Fig. 7 -- optimal design vs job execution time requirement",
+             "(maintenance fixed at bronze, as in the paper)", ""]
+    header = ("%9s %-8s %7s %6s %-10s %-8s %11s %12s"
+              % ("deadline", "resource", "active", "spares", "cpi",
+                 "storage", "job time", "annual cost"))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for hours in REQUIREMENT_HOURS:
+        if hours not in sweep:
+            lines.append("%8dh  infeasible within search limits" % hours)
+            continue
+        evaluation = sweep[hours]
+        tier = evaluation.design.tiers[0]
+        config = checkpoint_settings(tier)
+        lines.append(
+            "%8dh %-8s %7d %6d %-10s %-8s %10.1fh %12s"
+            % (hours, tier.resource, tier.n_active, tier.n_spare,
+               config.settings["checkpoint_interval"].format(),
+               config.settings["storage_location"],
+               evaluation.job_time.expected_time.as_hours,
+               "$" + format(round(evaluation.annual_cost), ",d")))
+    return write_report("fig7.txt", "\n".join(lines))
+
+
+class TestFig7Shape:
+    """The qualitative claims the paper makes about Fig. 7."""
+
+    def test_sweep_mostly_feasible(self, sweep, fig7_report):
+        assert len(sweep) >= 7
+
+    def test_machineb_for_tight_machinea_for_loose(self, sweep):
+        assert sweep[2].design.tiers[0].resource == "rI"
+        assert sweep[1000].design.tiers[0].resource == "rH"
+
+    def test_resource_count_monotone_per_type(self, sweep):
+        for resource in ("rH", "rI"):
+            counts = [(h, e.design.tiers[0].n_active)
+                      for h, e in sorted(sweep.items())
+                      if e.design.tiers[0].resource == resource]
+            values = [n for _, n in counts]
+            assert values == sorted(values, reverse=True), resource
+
+    def test_spares_track_cluster_size(self, sweep):
+        pairs = sorted((e.design.tiers[0].n_active,
+                        e.design.tiers[0].n_spare)
+                       for e in sweep.values())
+        assert pairs[-1][1] >= pairs[0][1]
+
+    def test_storage_flip(self, sweep):
+        for evaluation in sweep.values():
+            tier = evaluation.design.tiers[0]
+            location = checkpoint_settings(tier) \
+                .settings["storage_location"]
+            if tier.n_active < 30:
+                assert location == "central"
+            if tier.resource == "rH" and tier.n_active > 60:
+                assert location == "peer"
+
+    def test_every_design_meets_requirement(self, sweep):
+        for hours, evaluation in sweep.items():
+            assert evaluation.job_time.expected_time <= \
+                Duration.hours(hours)
+
+
+def test_benchmark_job_search_relaxed(benchmark, paper_infra, scientific,
+                                      fig7_report):
+    """A relaxed-deadline search (small clusters, quick)."""
+    evaluator = DesignEvaluator(paper_infra, scientific)
+
+    def run():
+        return JobSearch(evaluator, LIMITS).best_design(
+            JobRequirements(Duration.hours(500)))
+
+    best = benchmark(run)
+    assert best is not None
+
+
+def test_benchmark_job_search_tight(benchmark, paper_infra, scientific):
+    """A tight-deadline search (hundreds of nodes, bigger chains)."""
+    evaluator = DesignEvaluator(paper_infra, scientific)
+
+    def run():
+        return JobSearch(evaluator, LIMITS).best_design(
+            JobRequirements(Duration.hours(20)))
+
+    best = benchmark(run)
+    assert best is not None
+
+
+def test_benchmark_job_time_closed_form(benchmark, paper_infra,
+                                        scientific):
+    """The Eq. 1 kernel swept 300x per structure by the search."""
+    from repro.core import Design, TierDesign
+    from repro.model import MechanismConfig
+    evaluator = DesignEvaluator(paper_infra, scientific)
+    bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                             {"level": "bronze"})
+    checkpoint = paper_infra.mechanism("checkpoint")
+    grid = checkpoint.parameter("checkpoint_interval").values.values()
+    config = MechanismConfig(checkpoint,
+                             {"storage_location": "central",
+                              "checkpoint_interval": grid[60]})
+    design = Design((TierDesign("computation", "rH", 20, 1, (),
+                                (bronze, config)),))
+    availability = evaluator.availability(design)
+    benchmark(lambda: evaluator.job_time(design, availability))

@@ -1,0 +1,108 @@
+"""Fig. 8: the cost/availability/performance tradeoff curves.
+
+Regenerates the figure's series: for loads 400/800/1600/3200, the extra
+annual cost (over the cheapest load-carrying design) of meeting each
+downtime requirement.  Benchmarks the curve extraction given a map and
+the end-to-end single-load pipeline.
+"""
+
+import pytest
+
+from repro.core import DesignEvaluator, SearchLimits, build_requirement_map
+
+from .conftest import write_report
+
+LOADS = [400, 800, 1600, 3200]
+DOWNTIME_MINUTES = [1000, 300, 100, 30, 10, 3, 1, 0.3, 0.1]
+LIMITS = SearchLimits(max_redundancy=4, spare_policy="cold")
+
+
+@pytest.fixture(scope="module")
+def requirement_map(paper_infra, app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    return build_requirement_map(evaluator, "application", loads=LOADS,
+                                 limits=LIMITS)
+
+
+@pytest.fixture(scope="module")
+def curves(requirement_map):
+    return {load: dict(requirement_map.extra_cost_curve(
+                load, DOWNTIME_MINUTES))
+            for load in LOADS}
+
+
+@pytest.fixture(scope="module")
+def fig8_report(requirement_map, curves):
+    lines = ["Fig. 8 -- extra annual cost vs downtime requirement", ""]
+    header = "%10s" + "%14s" * len(LOADS)
+    lines.append(header % (("downtime",)
+                           + tuple("load %d" % load for load in LOADS)))
+    for minutes in DOWNTIME_MINUTES:
+        row = ["%8.4g m" % minutes]
+        for load in LOADS:
+            extra = curves[load][minutes]
+            row.append("%14s" % ("-" if extra is None
+                                 else "$" + format(round(extra), ",d")))
+        lines.append("".join(row))
+    lines.append("")
+    lines.append("baseline (availability-blind) costs:")
+    for load in LOADS:
+        lines.append("  load %5d: $%s"
+                     % (load,
+                        format(round(requirement_map.baseline_cost(load)),
+                               ",d")))
+    return write_report("fig8.txt", "\n".join(lines))
+
+
+class TestFig8Shape:
+    def test_report_written(self, fig8_report):
+        assert fig8_report.endswith("fig8.txt")
+
+    def test_extra_cost_monotone_per_load(self, curves):
+        for load, curve in curves.items():
+            values = [curve[m] for m in DOWNTIME_MINUTES
+                      if curve[m] is not None]
+            assert values == sorted(values), load
+
+    def test_higher_load_pays_more_at_tight_requirements(self, curves):
+        assert curves[3200][1] > curves[400][1]
+
+    def test_loose_requirement_is_free(self, curves):
+        assert curves[400][1000] is not None
+        # At 1000 min/yr the cheapest design usually already complies.
+        assert curves[400][1000] <= curves[400][10]
+
+    def test_plateaus_exist(self, curves):
+        """Fig. 8's message: some downtime improvements are free --
+        the same design covers a range of requirements."""
+        for load in LOADS:
+            values = [curves[load][m] for m in DOWNTIME_MINUTES
+                      if curves[load][m] is not None]
+            repeats = sum(1 for a, b in zip(values, values[1:])
+                          if a == b)
+            if repeats:
+                return
+        pytest.fail("no plateau found in any extra-cost curve")
+
+
+def test_benchmark_extra_cost_curve(benchmark, requirement_map,
+                                    fig8_report):
+    def extract():
+        return requirement_map.extra_cost_curve(1600, DOWNTIME_MINUTES)
+
+    curve = benchmark(extract)
+    assert len(curve) == len(DOWNTIME_MINUTES)
+
+
+def test_benchmark_single_load_pipeline(benchmark, paper_infra,
+                                        app_tier_service):
+    """Frontier + curve for one load: the Fig. 8 unit of work."""
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+
+    def run():
+        one_load = build_requirement_map(evaluator, "application",
+                                         loads=[800], limits=LIMITS)
+        return one_load.extra_cost_curve(800, DOWNTIME_MINUTES)
+
+    curve = benchmark(run)
+    assert any(extra is not None for _, extra in curve)

@@ -1,0 +1,103 @@
+"""Dynamic redesign study (the paper's utility-computing argument).
+
+Not a numbered figure, but the quantitative version of the paper's
+closing claim: an engine like Aved, re-run as load fluctuates, beats
+static peak provisioning.  For three canonical workload shapes we run
+the redesign controller and report reconfiguration counts and cost
+savings; benchmarks time a controller sweep.
+"""
+
+import pytest
+
+from repro import Duration, SearchLimits, workload
+from repro.core import DesignEvaluator, RedesignController
+
+from .conftest import write_report
+
+SLO = Duration.minutes(100)
+LIMITS = SearchLimits(max_redundancy=4)
+
+
+def make_controller(paper_infra, app_tier_service, hysteresis=0.05):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    return RedesignController(evaluator, "application", SLO, LIMITS,
+                              hysteresis=hysteresis)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "diurnal (x4 peak)": workload.diurnal(
+            800, peak_ratio=4.0, samples_per_day=24),
+        "flash crowd (x8)": workload.flash_crowd(
+            600, spike_ratio=8.0, total_samples=24, spike_at=8),
+        "growth ramp (x5)": workload.ramp(400, 2000, total_samples=24),
+        "noisy diurnal": workload.noisy(
+            workload.diurnal(800, peak_ratio=4.0, samples_per_day=24),
+            sigma=0.08, seed=11),
+    }
+
+
+@pytest.fixture(scope="module")
+def reports(paper_infra, app_tier_service, workloads):
+    controller = make_controller(paper_infra, app_tier_service)
+    return {label: controller.run(loads)
+            for label, loads in workloads.items()}
+
+
+@pytest.fixture(scope="module")
+def redesign_report(reports):
+    lines = ["Dynamic redesign vs static peak provisioning "
+             "(app tier, downtime <= 100 min/yr)", ""]
+    lines.append("%-22s %9s %12s %14s %14s %8s"
+                 % ("workload", "reconfigs", "infeasible",
+                    "avg $ (dyn)", "static peak $", "saving"))
+    for label, report in reports.items():
+        lines.append("%-22s %9d %12d %14s %14s %7.1f%%"
+                     % (label, report.reconfigurations,
+                        report.infeasible_steps,
+                        "$" + format(round(report.average_cost), ",d"),
+                        "$" + format(round(report.static_peak_cost),
+                                     ",d"),
+                        100.0 * report.saving_fraction))
+    lines.append("")
+    lines.append("hysteresis 5%; each sample re-runs the paper's "
+                 "section 4.1 search.")
+    return write_report("redesign.txt", "\n".join(lines))
+
+
+class TestRedesignStudy:
+    def test_report(self, redesign_report):
+        assert redesign_report.endswith("redesign.txt")
+
+    def test_savings_positive_for_variable_loads(self, reports):
+        for label, report in reports.items():
+            assert report.saving_fraction > 0.1, label
+
+    def test_no_infeasible_steps(self, reports):
+        for label, report in reports.items():
+            assert report.infeasible_steps == 0, label
+
+    def test_flash_crowd_reconfigures_less_than_diurnal(self, reports):
+        """The flash crowd is flat most of the time."""
+        assert reports["flash crowd (x8)"].reconfigurations <= \
+            reports["diurnal (x4 peak)"].reconfigurations + 2
+
+    def test_hysteresis_reduces_reconfigurations(self, paper_infra,
+                                                 app_tier_service,
+                                                 workloads):
+        loads = workloads["noisy diurnal"]
+        eager = make_controller(paper_infra, app_tier_service,
+                                hysteresis=0.0).run(loads)
+        lazy = make_controller(paper_infra, app_tier_service,
+                               hysteresis=0.15).run(loads)
+        assert lazy.reconfigurations <= eager.reconfigurations
+
+
+def test_benchmark_controller_day(benchmark, paper_infra,
+                                  app_tier_service, redesign_report):
+    """One day of hourly redesign decisions (cache-warm)."""
+    controller = make_controller(paper_infra, app_tier_service)
+    loads = workload.diurnal(800, peak_ratio=4.0, samples_per_day=24)
+    report = benchmark(lambda: controller.run(loads))
+    assert report.reconfigurations >= 1

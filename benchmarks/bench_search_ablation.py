@@ -1,0 +1,161 @@
+"""Search ablation: the paper's pruning rules and spare-policy scope.
+
+Section 4.1 describes two efficiency rules: cost-first rejection after
+a feasible design is found, and cost-floor termination of the resource
+sweep.  This ablation measures how much work each saves, and what
+widening the spare operational-mode space ("cold" -> "all") costs.
+"""
+
+import pytest
+
+from repro.core import DesignEvaluator, SearchLimits, TierSearch
+from repro.units import Duration
+
+from .conftest import write_report
+
+
+def run_search(evaluator, limits, load=1600, minutes=50):
+    search = TierSearch(evaluator, limits)
+    best = search.best_tier_design("application", load,
+                                   Duration.minutes(minutes))
+    return best, search.stats
+
+
+@pytest.fixture(scope="module")
+def ablation(paper_infra, app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    rows = []
+    for label, limits in (
+            ("cold spares, redundancy 4",
+             SearchLimits(max_redundancy=4, spare_policy="cold")),
+            ("all spare levels, redundancy 4",
+             SearchLimits(max_redundancy=4, spare_policy="all")),
+            ("hot spares, redundancy 4",
+             SearchLimits(max_redundancy=4, spare_policy="hot")),
+            ("cold spares, redundancy 8",
+             SearchLimits(max_redundancy=8, spare_policy="cold")),
+    ):
+        best, stats = run_search(evaluator, limits)
+        rows.append((label, best, stats))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ablation_report(ablation):
+    lines = ["Search ablation -- design space scope vs work and result",
+             ""]
+    lines.append("%-32s %10s %8s %8s %12s %10s"
+                 % ("configuration", "structures", "solves", "pruned",
+                    "best cost", "downtime"))
+    for label, best, stats in ablation:
+        lines.append("%-32s %10d %8d %8d %12s %8.2f m"
+                     % (label, stats.structures_enumerated,
+                        stats.availability_evaluations,
+                        stats.cost_pruned,
+                        "$" + format(round(best.annual_cost), ",d"),
+                        best.downtime_minutes))
+    lines.append("")
+    lines.append("cost pruning rejects structures without solving their "
+                 "Markov chains;")
+    lines.append("widening the spare policy multiplies structures by the "
+                 "activation levels.")
+    return write_report("search_ablation.txt", "\n".join(lines))
+
+
+class TestAblation:
+    def test_report(self, ablation_report):
+        assert ablation_report.endswith("search_ablation.txt")
+
+    def test_all_policies_find_feasible(self, ablation):
+        for label, best, _ in ablation:
+            assert best is not None, label
+            assert best.downtime_minutes <= 50
+
+    def test_wider_space_never_costlier(self, ablation):
+        by_label = {label: best for label, best, _ in ablation}
+        cold = by_label["cold spares, redundancy 4"]
+        wide = by_label["all spare levels, redundancy 4"]
+        assert wide.annual_cost <= cold.annual_cost + 1e-6
+
+    def test_pruning_happens(self, ablation):
+        for label, _, stats in ablation:
+            assert stats.cost_pruned > 0, label
+
+
+def test_benchmark_search_cold(benchmark, paper_infra, app_tier_service,
+                               ablation_report):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    limits = SearchLimits(max_redundancy=4, spare_policy="cold")
+    best = benchmark(lambda: run_search(evaluator, limits)[0])
+    assert best is not None
+
+
+def test_benchmark_search_all_spare_levels(benchmark, paper_infra,
+                                           app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    limits = SearchLimits(max_redundancy=4, spare_policy="all")
+    best = benchmark(lambda: run_search(evaluator, limits)[0])
+    assert best is not None
+
+
+def test_benchmark_multi_tier_design(benchmark, paper_infra):
+    """Full e-commerce service (3 tiers in series) end to end."""
+    from repro import Aved, ServiceRequirements
+    from repro.spec.paper import ecommerce_service
+
+    engine = Aved(paper_infra, ecommerce_service(),
+                  limits=SearchLimits(max_redundancy=3))
+
+    def run():
+        return engine.design(ServiceRequirements(
+            1000, Duration.minutes(500)))
+
+    outcome = benchmark(run)
+    assert outcome.downtime_minutes <= 500
+
+
+class TestCombinerAblation:
+    """Exact frontier combination vs the paper's greedy refinement."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, paper_infra):
+        from repro import Aved, ServiceRequirements
+        from repro.spec.paper import ecommerce_service
+        results = {}
+        for method in ("exact", "greedy"):
+            engine = Aved(paper_infra, ecommerce_service(),
+                          limits=SearchLimits(max_redundancy=3),
+                          combination=method)
+            results[method] = {
+                minutes: engine.design(ServiceRequirements(
+                    1000, Duration.minutes(minutes)))
+                for minutes in (1000, 200, 50)
+            }
+        return results
+
+    def test_both_feasible(self, outcomes):
+        for method, by_target in outcomes.items():
+            for minutes, outcome in by_target.items():
+                assert outcome.downtime_minutes <= minutes, \
+                    (method, minutes)
+
+    def test_greedy_never_cheaper(self, outcomes):
+        for minutes in (1000, 200, 50):
+            exact = outcomes["exact"][minutes].annual_cost
+            greedy = outcomes["greedy"][minutes].annual_cost
+            assert greedy >= exact - 1e-6
+
+    def test_combiner_report(self, outcomes):
+        lines = ["Multi-tier combination: exact vs greedy (e-commerce, "
+                 "load 1000)", "",
+                 "%10s %14s %14s %10s" % ("downtime", "exact $",
+                                          "greedy $", "gap")]
+        for minutes in (1000, 200, 50):
+            exact = outcomes["exact"][minutes].annual_cost
+            greedy = outcomes["greedy"][minutes].annual_cost
+            gap = (greedy - exact) / exact
+            lines.append("%8g m %14s %14s %9.2f%%"
+                         % (minutes, "$" + format(round(exact), ",d"),
+                            "$" + format(round(greedy), ",d"),
+                            100 * gap))
+        write_report("combiner_ablation.txt", "\n".join(lines))

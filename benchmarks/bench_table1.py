@@ -1,0 +1,88 @@
+"""Table 1: the performance functions used by the paper's examples.
+
+Regenerates Table 1's rows (throughput and mperformance values across
+representative points) and benchmarks the expression-evaluation hot
+path the design search leans on.
+"""
+
+import pytest
+
+from repro.expr import Expression
+from repro.spec.paper import TABLE1_OVERHEAD, TABLE1_PERFORMANCE
+from repro.units import Duration
+
+from .conftest import write_report
+
+
+def table1_text():
+    lines = ["Table 1 -- performance functions (reproduced values)", ""]
+    lines.append("%-12s %-28s %8s %8s %8s"
+                 % ("tier/res", "function", "n=1", "n=10", "n=100"))
+    for ref in ("perfC.dat", "perfD.dat", "perfE.dat", "perfF.dat",
+                "perfH.dat", "perfI.dat"):
+        expression = Expression(TABLE1_PERFORMANCE[ref])
+        values = [expression(n=n) for n in (1, 10, 100)]
+        lines.append("%-12s %-28s %8.1f %8.1f %8.1f"
+                     % (ref[:-4], TABLE1_PERFORMANCE[ref], *values))
+    lines.append("")
+    lines.append("mperformance (slowdown factor; cpi in minutes)")
+    lines.append("%-10s %-8s %8s %8s %8s %8s"
+                 % ("res", "storage", "cpi=2", "cpi=5", "cpi=20",
+                    "cpi=60"))
+    for ref, expressions in sorted(TABLE1_OVERHEAD.items()):
+        for location, source in sorted(expressions.items()):
+            expression = Expression(source)
+            row = []
+            for cpi in (2, 5, 20, 60):
+                env = {"cpi": float(cpi)}
+                if "n" in expression.variables:
+                    env["n"] = 60.0
+                row.append(expression.evaluate(env))
+            lines.append("%-10s %-8s %8.2f %8.2f %8.2f %8.2f"
+                         % (ref[:-4], location, *row))
+    lines.append("(n=60 used where the function depends on n)")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def table1_report():
+    return write_report("table1.txt", table1_text())
+
+
+def test_values_match_paper_forms(table1_report):
+    rh = Expression(TABLE1_PERFORMANCE["perfH.dat"])
+    assert rh(n=100) == pytest.approx(714.2857, rel=1e-4)
+    central = Expression(TABLE1_OVERHEAD["mperfH.dat"]["central"])
+    assert central(n=60, cpi=5) == 4.0
+
+
+def test_benchmark_expression_compile(benchmark, table1_report):
+    source = TABLE1_OVERHEAD["mperfH.dat"]["central"]
+    benchmark(lambda: Expression(source))
+
+
+def test_benchmark_expression_eval(benchmark):
+    expression = Expression(TABLE1_OVERHEAD["mperfH.dat"]["central"])
+    benchmark(lambda: expression(n=60.0, cpi=5.0))
+
+
+def test_benchmark_throughput_sweep(benchmark):
+    """The search evaluates performance(n) across n grids constantly."""
+    expression = Expression(TABLE1_PERFORMANCE["perfH.dat"])
+
+    def sweep():
+        total = 0.0
+        for n in range(1, 201):
+            total += expression(n=float(n))
+        return total
+
+    result = benchmark(sweep)
+    assert result > 0
+
+
+def test_benchmark_overhead_factor(benchmark, scientific):
+    option = scientific.tier("computation").option_for("rH")
+    overhead = option.mechanism_use("checkpoint").overhead
+    settings = {"storage_location": "central",
+                "checkpoint_interval": Duration.minutes(5)}
+    benchmark(lambda: overhead.factor(settings, 60))

@@ -1,0 +1,100 @@
+"""Transient analysis benchmark: fresh-deployment availability curves.
+
+Extension study (paper section 7 motivates dynamic behavior): how long
+does a freshly deployed design take to settle at its steady-state
+availability, and what does uniformization cost?  Writes the time curve
+for a paper design and benchmarks the kernels.
+"""
+
+import pytest
+
+from repro.availability import (ContinuousTimeMarkovChain,
+                                interval_availability, point_availability,
+                                transient_distribution)
+
+from .conftest import write_report
+
+
+def family6_chain(n=5, s=1, mtbf_hours=130 * 24.0, mttr_hours=38.0,
+                  failover_hours=6.5 / 60.0):
+    """The failover chain for a family-6-like tier (single mode)."""
+    lam = 1.0 / mtbf_hours
+    mu = 1.0 / mttr_hours
+    phi = 1.0 / failover_hours
+
+    def transitions(state):
+        r, w = state
+        idle = s - r + w
+        out = []
+        if n - w > 0:
+            out.append(((r + 1, w + 1), (n - w) * lam))
+        if min(w, idle) > 0:
+            out.append(((r, w - 1), min(w, idle) * phi))
+        if r > 0:
+            out.append(((r - 1, w), r * mu))
+        return out
+
+    return ContinuousTimeMarkovChain((0, 0), transitions), \
+        (lambda state: n - state[1] >= n)
+
+
+@pytest.fixture(scope="module")
+def transient_report():
+    chain, is_up = family6_chain()
+    steady = chain.probability_where(is_up)
+    times = [0.5, 1, 2, 4, 8, 24, 72, 168, 720, 8760]
+    lines = ["Fresh-deployment availability (family-6-like tier)", "",
+             "%10s %18s" % ("t (hours)", "P(up at t)")]
+    for t in times:
+        value = point_availability(chain, (0, 0), is_up, float(t))
+        lines.append("%10g %18.9f" % (t, value))
+    lines.append("%10s %18.9f" % ("steady", steady))
+    year_avg = interval_availability(chain, (0, 0), is_up, 8760.0,
+                                     samples=48)
+    lines.append("")
+    lines.append("first-year interval availability: %.9f (steady %.9f)"
+                 % (year_avg, steady))
+    return write_report("transient.txt", "\n".join(lines))
+
+
+class TestTransientShape:
+    def test_report(self, transient_report):
+        assert transient_report.endswith("transient.txt")
+
+    def test_curve_decays_to_steady(self):
+        chain, is_up = family6_chain()
+        steady = chain.probability_where(is_up)
+        early = point_availability(chain, (0, 0), is_up, 1.0)
+        late = point_availability(chain, (0, 0), is_up, 8760.0)
+        assert early > late
+        assert late == pytest.approx(steady, rel=1e-6)
+
+    def test_first_year_beats_steady_state(self):
+        """A fresh system has banked no wear: its first-year average
+        availability exceeds the long-run value."""
+        chain, is_up = family6_chain()
+        steady = chain.probability_where(is_up)
+        first_year = interval_availability(chain, (0, 0), is_up, 8760.0,
+                                           samples=48)
+        assert first_year >= steady
+
+
+def test_benchmark_transient_point(benchmark, transient_report):
+    chain, is_up = family6_chain()
+    result = benchmark(
+        lambda: point_availability(chain, (0, 0), is_up, 24.0))
+    assert 0 < result <= 1
+
+
+def test_benchmark_transient_distribution_long_horizon(benchmark):
+    """qt ~ 80k Poisson terms: the uniformization stress case."""
+    chain, _ = family6_chain()
+    result = benchmark(
+        lambda: transient_distribution(chain, (0, 0), 8760.0))
+    assert sum(result.values()) == pytest.approx(1.0)
+
+
+def test_benchmark_steady_state_reference(benchmark):
+    chain, is_up = family6_chain()
+    result = benchmark(lambda: chain.probability_where(is_up))
+    assert 0 < result <= 1

@@ -1,0 +1,49 @@
+"""Shared fixtures and report output for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures.
+Numeric series are printed and also written to ``benchmarks/out/`` so
+the reproduction can be diffed against the paper's reported shapes
+without re-running.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.model import ServiceModel
+from repro.spec.paper import (ecommerce_service, paper_infrastructure,
+                              scientific_service)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(name: str, text: str) -> str:
+    """Write a figure/table report under benchmarks/out/ and echo it."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    print()
+    print("--- %s ---" % name)
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_infra():
+    return paper_infrastructure()
+
+
+@pytest.fixture(scope="session")
+def app_tier_service():
+    return ServiceModel("app-tier",
+                        [ecommerce_service().tier("application")])
+
+
+@pytest.fixture(scope="session")
+def scientific():
+    return scientific_service()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: design an application tier with Aved.
+
+Uses the paper's own infrastructure model (Fig. 3) and e-commerce
+service model (Fig. 4, performance from Table 1) to answer the worked
+example from the paper: "what is the cheapest design that carries 1000
+load units with at most 100 minutes of downtime per year?"
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Aved, Duration, ServiceRequirements
+from repro.model import ServiceModel
+from repro.spec.paper import ecommerce_service, paper_infrastructure
+
+
+def main():
+    infrastructure = paper_infrastructure()
+    # The paper's first example designs the application tier in
+    # isolation; slice it out of the full e-commerce service.
+    ecommerce = ecommerce_service()
+    app_tier = ServiceModel("app-tier", [ecommerce.tier("application")])
+
+    engine = Aved(infrastructure, app_tier)
+
+    requirements = ServiceRequirements(
+        throughput=1000,                          # load units
+        max_annual_downtime=Duration.minutes(100))
+
+    print("requirements:", requirements.describe())
+    print()
+
+    outcome = engine.design(requirements)
+    print(outcome.summary())
+    print()
+
+    # The same design family the paper reports (family 9): one extra
+    # active machineA/linux/appserverA on a bronze contract.
+    tier = outcome.design.tiers[0]
+    print("resource type:      ", tier.resource)
+    print("active resources:   ", tier.n_active)
+    print("spare resources:    ", tier.n_spare)
+    print("maintenance level:  ",
+          tier.mechanism_config("maintenanceA").settings["level"])
+
+    # Tighten the requirement and watch the design (and cost) change.
+    print()
+    print("tightening the downtime requirement:")
+    for minutes in (1000, 100, 10, 1):
+        outcome = engine.design(ServiceRequirements(
+            1000, Duration.minutes(minutes)))
+        tier = outcome.design.tiers[0]
+        print("  <= %6g min/yr: %-42s  $%s/yr"
+              % (minutes, tier.describe(),
+                 format(round(outcome.annual_cost), ",d")))
+
+
+if __name__ == "__main__":
+    main()

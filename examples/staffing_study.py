@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Staffing study: how many repair technicians does the SLO need?
+
+The paper's availability model implicitly assumes repairs never queue
+(unlimited maintenance staff).  This example relaxes that with the
+``repair_crew`` extension: for crew sizes 1, 2 and unlimited, it
+re-runs the paper's application-tier design at several requirement
+points and reports how the optimal design and its cost move -- turning
+"how many techs should be on call?" into a designable quantity.
+
+Run:  python examples/staffing_study.py
+"""
+
+from repro import Aved, Duration, SearchLimits, ServiceRequirements
+from repro.errors import InfeasibleError
+from repro.model import ServiceModel
+from repro.spec.paper import ecommerce_service, paper_infrastructure
+
+CREWS = (1, 2, None)
+POINTS = [(1000, 100), (1600, 30), (3200, 10)]
+
+
+def main():
+    infrastructure = paper_infrastructure()
+    service = ServiceModel(
+        "app-tier", [ecommerce_service().tier("application")])
+    limits = SearchLimits(max_redundancy=5)
+
+    header = ("%6s %10s %6s  %-52s %12s %12s"
+              % ("load", "SLO", "crew", "optimal design", "cost",
+                 "downtime"))
+    print(header)
+    print("-" * len(header))
+    for load, minutes in POINTS:
+        for crew in CREWS:
+            engine = Aved(infrastructure, service, limits=limits,
+                          repair_crew=crew)
+            try:
+                outcome = engine.design(ServiceRequirements(
+                    load, Duration.minutes(minutes)))
+            except InfeasibleError:
+                print("%6d %8gm %6s  %-52s %12s %12s"
+                      % (load, minutes, crew or "inf", "INFEASIBLE",
+                         "-", "-"))
+                continue
+            tier = outcome.design.tiers[0]
+            print("%6d %8gm %6s  %-52s %12s %9.1f m"
+                  % (load, minutes, crew or "inf",
+                     tier.describe()[:52],
+                     "$" + format(round(outcome.annual_cost), ",d"),
+                     outcome.downtime_minutes))
+        print()
+
+    print("reading the table: a single on-call technician queues "
+          "concurrent repairs, so tight")
+    print("SLOs need extra redundancy (or faster contracts) compared "
+          "to the unlimited-staff")
+    print("assumption the paper makes implicitly; two technicians "
+          "recover most of the gap.")
+
+
+if __name__ == "__main__":
+    main()

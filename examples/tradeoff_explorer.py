@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cost/availability/performance tradeoffs (the paper's Fig. 8).
+
+For several load levels, plot (as text) the *extra* annual cost of
+meeting a downtime requirement, relative to the cheapest design that
+merely carries the load.  The paper's point: sometimes a big downtime
+improvement is nearly free; sometimes relaxing the requirement slightly
+saves a lot of money.
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+from repro import SearchLimits
+from repro.core import DesignEvaluator, build_requirement_map
+from repro.model import ServiceModel
+from repro.spec.paper import ecommerce_service, paper_infrastructure
+
+LOADS = [400, 800, 1600, 3200]
+DOWNTIME_MINUTES = [1000, 300, 100, 30, 10, 3, 1, 0.3, 0.1]
+
+
+def main():
+    infrastructure = paper_infrastructure()
+    service = ServiceModel(
+        "app-tier", [ecommerce_service().tier("application")])
+    evaluator = DesignEvaluator(infrastructure, service)
+    req_map = build_requirement_map(
+        evaluator, "application", loads=LOADS,
+        limits=SearchLimits(max_redundancy=4))
+
+    print("extra annual cost to reach a downtime level "
+          "(vs the cheapest load-carrying design)")
+    header = "%10s" + "%12s" * len(LOADS)
+    print(header % (("downtime",) + tuple("load %d" % l for l in LOADS)))
+    curves = {load: dict(req_map.extra_cost_curve(load, DOWNTIME_MINUTES))
+              for load in LOADS}
+    for minutes in DOWNTIME_MINUTES:
+        row = ["%8.4g m" % minutes]
+        for load in LOADS:
+            extra = curves[load][minutes]
+            row.append("%12s" % ("-" if extra is None
+                                 else "$" + format(round(extra), ",d")))
+        print("".join(row))
+
+    print()
+    print("baseline (no availability requirement) costs:")
+    for load in LOADS:
+        print("  load %5d: $%s/yr"
+              % (load, format(round(req_map.baseline_cost(load)), ",d")))
+
+    # The dual question: what does a fixed budget buy?
+    from repro.core import TierSearch
+    search = TierSearch(evaluator, SearchLimits(max_redundancy=4))
+    print()
+    print("best availability a budget buys (load 1600):")
+    for budget in (38_000, 42_000, 48_000, 60_000):
+        best = search.best_within_budget("application", 1600,
+                                         float(budget))
+        if best is None:
+            print("  $%s: cannot even carry the load"
+                  % format(budget, ",d"))
+            continue
+        print("  $%s buys %-52s %8.2f min/yr"
+              % (format(budget, ",d"), best.design.describe()[:52],
+                 best.downtime_minutes))
+
+    # A cheap ASCII rendering of the Fig. 8 curves.
+    print()
+    print("extra cost vs downtime (columns: looser -> tighter):")
+    peak = max(extra for curve in curves.values()
+               for extra in curve.values() if extra is not None)
+    for load in LOADS:
+        bars = []
+        for minutes in DOWNTIME_MINUTES:
+            extra = curves[load][minutes]
+            if extra is None:
+                bars.append("x")
+            else:
+                bars.append(str(min(9, int(10 * extra / (peak + 1e-9)))))
+        print("  load %5d: %s" % (load, " ".join(bars)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Packaging for the Aved reproduction.
+
+Classic setup.py metadata (no pyproject [build-system]) is deliberate:
+this project targets offline environments, and PEP 517 build isolation
+would try to download setuptools/wheel from an index on every
+``pip install -e .``.  Without a pyproject.toml, pip takes the legacy
+editable path, which works entirely offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Aved: automated system design for availability "
+                 "(reproduction of Janakiraman, Santos & Turner, "
+                 "DSN 2004)"),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

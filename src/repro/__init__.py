@@ -1,0 +1,45 @@
+"""repro: a reproduction of "Automated System Design for Availability".
+
+(Janakiraman, Santos & Turner, HP Labs / DSN 2004 -- the "Aved" engine.)
+
+The package automates the design of clustered systems: given an
+infrastructure model (components, failure modes, availability
+mechanisms, resources), a service model (tiers and their parallelism/
+performance behavior) and high-level requirements (throughput + annual
+downtime, or expected job completion time), it searches the design
+space and returns the minimum-cost design that satisfies them.
+
+Quickstart::
+
+    from repro import Aved, ServiceRequirements, Duration
+    from repro.spec.paper import paper_infrastructure, ecommerce_service
+
+    engine = Aved(paper_infrastructure(), ecommerce_service())
+    outcome = engine.design(ServiceRequirements(
+        throughput=1000, max_annual_downtime=Duration.minutes(100)))
+    print(outcome.summary())
+"""
+
+from .core import (Aved, Design, DesignOutcome, JobSearch, SearchLimits,
+                   TierDesign, TierSearch, build_requirement_map)
+from .errors import (AvedError, EvaluationError, ExpressionError,
+                     InfeasibleError, ModelError, SearchError, SpecError,
+                     UnitError)
+from .model import (AvailabilityMechanism, ComponentType,
+                    InfrastructureModel, JobRequirements, ResourceType,
+                    ServiceModel, ServiceRequirements)
+from .units import Duration, WorkAmount
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aved", "DesignOutcome", "Design", "TierDesign",
+    "TierSearch", "JobSearch", "SearchLimits", "build_requirement_map",
+    "InfrastructureModel", "ServiceModel", "ComponentType", "ResourceType",
+    "AvailabilityMechanism",
+    "ServiceRequirements", "JobRequirements", "Duration",
+    "WorkAmount",
+    "AvedError", "UnitError", "ExpressionError", "SpecError", "ModelError",
+    "EvaluationError", "SearchError", "InfeasibleError",
+    "__version__",
+]

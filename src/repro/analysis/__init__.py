@@ -1,0 +1,23 @@
+"""Post-design analysis: importance, sensitivity, and redesign points.
+
+These build on the paper's models to answer the questions that follow
+design selection: where the downtime budget goes, how fragile the
+choice is to guessed parameters, and where along a load trajectory a
+utility-computing controller should re-run the design engine.
+"""
+
+from .importance import (ModeImportance, downtime_budget_table,
+                         mode_importances)
+from .whatif import (Improvement, WhatIfResult, apply_improvement,
+                     evaluate_improvements, whatif_table)
+from .sensitivity import (SensitivityPoint, SwitchPoint,
+                          design_switch_points, downtime_sensitivity,
+                          tornado_table)
+
+__all__ = [
+    "ModeImportance", "mode_importances", "downtime_budget_table",
+    "SensitivityPoint", "downtime_sensitivity",
+    "SwitchPoint", "design_switch_points", "tornado_table",
+    "Improvement", "WhatIfResult", "apply_improvement",
+    "evaluate_improvements", "whatif_table",
+]

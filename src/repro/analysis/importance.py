@@ -1,0 +1,102 @@
+"""Failure-mode importance analysis for a chosen design.
+
+Once Aved picks a design, the natural next question is *where the
+downtime comes from* and which component improvements would pay.  Two
+measures are provided per failure mode:
+
+* **contribution**: the mode's share of the tier's downtime under the
+  Markov decomposition (modes compose nearly additively in the
+  rare-failure regime);
+* **improvement potential**: the downtime that disappears if the mode
+  is suppressed entirely (MTBF to infinity) -- a Birnbaum-flavoured
+  "what is this failure mode costing me" number.
+
+This is reproduction-side tooling (the paper stops at design
+selection), but it uses only the paper's own models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..availability import TierAvailabilityModel
+from ..availability.markov import evaluate_tier
+from ..core.design import TierDesign
+from ..core.evaluation import DesignEvaluator
+from ..units import MINUTES_PER_YEAR
+
+
+@dataclass(frozen=True)
+class ModeImportance:
+    """Importance measures for one failure mode of one tier design."""
+
+    mode: str
+    downtime_minutes: float          # mode's own contribution
+    contribution: float              # share of the tier total, [0, 1]
+    improvement_minutes: float       # tier downtime removed if suppressed
+    failures_per_year: float
+
+    def __str__(self) -> str:
+        return ("%-24s %8.2f min/yr (%5.1f%%), %6.1f failures/yr"
+                % (self.mode, self.downtime_minutes,
+                   100.0 * self.contribution, self.failures_per_year))
+
+
+def mode_importances(evaluator: DesignEvaluator, tier_design: TierDesign,
+                     required_throughput: Optional[float] = None) \
+        -> List[ModeImportance]:
+    """Importance of each failure mode, most damaging first."""
+    model = evaluator.tier_model(tier_design, required_throughput)
+    base = evaluate_tier(model)
+    total_minutes = base.downtime_minutes
+
+    results: List[ModeImportance] = []
+    for mode_result in base.mode_results:
+        mode_minutes = mode_result.downtime_minutes
+        reduced = _without_mode(model, mode_result.mode)
+        if reduced is None:
+            improvement = total_minutes
+        else:
+            improvement = total_minutes \
+                - evaluate_tier(reduced).downtime_minutes
+        contribution = (mode_minutes / total_minutes
+                        if total_minutes > 0 else 0.0)
+        results.append(ModeImportance(
+            mode=mode_result.mode,
+            downtime_minutes=mode_minutes,
+            contribution=contribution,
+            improvement_minutes=max(improvement, 0.0),
+            failures_per_year=mode_result.failures_per_year))
+    results.sort(key=lambda item: -item.downtime_minutes)
+    return results
+
+
+def _without_mode(model: TierAvailabilityModel,
+                  mode_name: str) -> Optional[TierAvailabilityModel]:
+    remaining = tuple(mode for mode in model.modes
+                      if mode.name != mode_name)
+    if not remaining:
+        return None
+    return TierAvailabilityModel(model.name, n=model.n, m=model.m,
+                                 s=model.s, modes=remaining)
+
+
+def downtime_budget_table(evaluator: DesignEvaluator,
+                          tier_design: TierDesign,
+                          required_throughput: Optional[float] = None) \
+        -> str:
+    """Render the importance analysis as an aligned text table."""
+    importances = mode_importances(evaluator, tier_design,
+                                   required_throughput)
+    total = sum(item.downtime_minutes for item in importances)
+    lines = ["downtime budget for %s" % tier_design.describe(),
+             "%-24s %14s %8s %14s"
+             % ("failure mode", "downtime", "share", "failures/yr")]
+    for item in importances:
+        lines.append("%-24s %10.2f m/y %7.1f%% %14.1f"
+                     % (item.mode, item.downtime_minutes,
+                        100.0 * item.contribution,
+                        item.failures_per_year))
+    lines.append("%-24s %10.2f m/y" % ("total (approx.)", total))
+    return "\n".join(lines)

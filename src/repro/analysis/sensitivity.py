@@ -1,0 +1,154 @@
+"""Sensitivity of designs and evaluations to model parameters.
+
+The paper's future work (section 7) motivates continuously refining
+models from monitoring data; the practical prerequisite is knowing how
+sensitive the chosen design is to the numbers the model guessed
+(software MTBFs, in the paper's own admission, came from "the authors'
+intuition").  This module answers two questions:
+
+* :func:`downtime_sensitivity` -- how does a tier's downtime move when
+  one failure mode's MTBF or MTTR is scaled?
+* :func:`design_switch_points` -- along a load sweep, where does the
+  *optimal design family* change?  (The paper: "the optimal design
+  family may change as the load level fluctuates", and a utility
+  computing environment would redesign at those points.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..availability import FailureModeEntry, TierAvailabilityModel
+from ..availability.markov import evaluate_tier
+from ..core.design import TierDesign
+from ..core.evaluation import DesignEvaluator
+from ..core.families import DesignFamily, family_of
+from ..core.search import SearchLimits, TierSearch
+from ..errors import EvaluationError
+from ..units import Duration
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Tier downtime at one scaling of one parameter."""
+
+    mode: str
+    parameter: str       # "mtbf" | "mttr"
+    factor: float
+    downtime_minutes: float
+
+
+def downtime_sensitivity(evaluator: DesignEvaluator,
+                         tier_design: TierDesign,
+                         mode_name: str,
+                         parameter: str,
+                         factors: Sequence[float],
+                         required_throughput: Optional[float] = None) \
+        -> List[SensitivityPoint]:
+    """Tier downtime as one mode's MTBF or MTTR is scaled by ``factors``.
+
+    ``parameter`` is ``"mtbf"`` or ``"mttr"``; a factor of 1.0
+    reproduces the nominal evaluation.
+    """
+    if parameter not in ("mtbf", "mttr"):
+        raise EvaluationError("parameter must be 'mtbf' or 'mttr'")
+    model = evaluator.tier_model(tier_design, required_throughput)
+    if all(mode.name != mode_name for mode in model.modes):
+        raise EvaluationError("design has no failure mode %r (have: %s)"
+                              % (mode_name,
+                                 [mode.name for mode in model.modes]))
+    points = []
+    for factor in factors:
+        if factor <= 0:
+            raise EvaluationError("scaling factors must be positive")
+        scaled = _scale_mode(model, mode_name, parameter, factor)
+        result = evaluate_tier(scaled)
+        points.append(SensitivityPoint(mode_name, parameter, factor,
+                                       result.downtime_minutes))
+    return points
+
+
+def _scale_mode(model: TierAvailabilityModel, mode_name: str,
+                parameter: str, factor: float) -> TierAvailabilityModel:
+    modes = []
+    for mode in model.modes:
+        if mode.name != mode_name:
+            modes.append(mode)
+            continue
+        mtbf = mode.mtbf * factor if parameter == "mtbf" else mode.mtbf
+        mttr = mode.mttr * factor if parameter == "mttr" else mode.mttr
+        modes.append(FailureModeEntry(mode.name, mtbf, mttr,
+                                      mode.failover_time,
+                                      mode.spare_susceptible))
+    return TierAvailabilityModel(model.name, n=model.n, m=model.m,
+                                 s=model.s, modes=tuple(modes))
+
+
+@dataclass(frozen=True)
+class SwitchPoint:
+    """A load at which the optimal design family changes."""
+
+    load: float
+    previous: DesignFamily
+    current: DesignFamily
+
+
+def design_switch_points(evaluator: DesignEvaluator, tier: str,
+                         loads: Sequence[float],
+                         max_downtime: Duration,
+                         limits: Optional[SearchLimits] = None) \
+        -> Tuple[List[Tuple[float, Optional[DesignFamily]]],
+                 List[SwitchPoint]]:
+    """Optimal family along a load sweep, plus where it switches.
+
+    Returns ``(trajectory, switches)``: the family at each load (None
+    where infeasible) and the detected change points.  This is the
+    computation a utility-computing controller would run as client
+    demand moves (paper sections 1 and 5.1).
+    """
+    search = TierSearch(evaluator, limits)
+    trajectory: List[Tuple[float, Optional[DesignFamily]]] = []
+    switches: List[SwitchPoint] = []
+    previous: Optional[DesignFamily] = None
+    option_cache = evaluator.service.tier(tier)
+    for load in loads:
+        best = search.best_tier_design(tier, load, max_downtime)
+        family: Optional[DesignFamily] = None
+        if best is not None:
+            n_min = option_cache.option_for(best.design.resource) \
+                .min_active_for(load)
+            family = family_of(best.design, n_min)
+        trajectory.append((load, family))
+        if family is not None and previous is not None \
+                and family != previous:
+            switches.append(SwitchPoint(load, previous, family))
+        if family is not None:
+            previous = family
+    return trajectory, switches
+
+
+def tornado_table(evaluator: DesignEvaluator, tier_design: TierDesign,
+                  factors: Sequence[float] = (0.5, 2.0),
+                  required_throughput: Optional[float] = None) -> str:
+    """A tornado-style text table: downtime swing per mode parameter."""
+    model = evaluator.tier_model(tier_design, required_throughput)
+    nominal = evaluate_tier(model).downtime_minutes
+    lines = ["sensitivity of %s (nominal %.2f min/yr)"
+             % (tier_design.describe(), nominal)]
+    lines.append("%-24s %-6s" % ("mode", "param")
+                 + "".join("%14s" % ("x%g" % f) for f in factors))
+    rows = []
+    for mode in model.modes:
+        for parameter in ("mtbf", "mttr"):
+            values = [point.downtime_minutes for point in
+                      downtime_sensitivity(evaluator, tier_design,
+                                           mode.name, parameter, factors,
+                                           required_throughput)]
+            swing = max(values) - min(values)
+            rows.append((swing, mode.name, parameter, values))
+    rows.sort(reverse=True)
+    for _, name, parameter, values in rows:
+        lines.append("%-24s %-6s" % (name, parameter)
+                     + "".join("%11.2f m/y" % v for v in values))
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""What-if analysis: which infrastructure improvement pays best?
+
+Designers rarely control requirements, but they often control the
+catalog: qualify a sturdier machine, negotiate a faster contract tier,
+harden the OS image.  This module re-runs the design engine against
+modified infrastructure models and reports, per candidate improvement,
+the change in the minimum cost of meeting the same requirement -- the
+improvement's *design-level* return, which can differ wildly from its
+component-level effect (a 2x machine MTBF is worthless if software
+crashes dominate the optimal design's downtime).
+
+Infrastructure copies are rebuilt through the spec writer/parser round
+trip, so what-if runs can never mutate the caller's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.engine import Aved
+from ..core.search import SearchLimits
+from ..errors import AvedError, InfeasibleError, ModelError
+from ..model import (ComponentType, FailureMode, InfrastructureModel,
+                     ServiceModel)
+from ..spec import parse_infrastructure, write_infrastructure
+from ..units import Duration
+
+
+@dataclass(frozen=True)
+class Improvement:
+    """A candidate infrastructure change to evaluate."""
+
+    label: str
+    component: str
+    failure_mode: Optional[str] = None  # None = affects all modes
+    mtbf_factor: float = 1.0            # >1 improves
+    mttr_factor: float = 1.0            # <1 improves
+    annual_cost_delta: float = 0.0      # extra per active instance
+
+    def __post_init__(self):
+        if self.mtbf_factor <= 0 or self.mttr_factor <= 0:
+            raise ModelError("scaling factors must be positive")
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Design-level outcome of one candidate improvement."""
+
+    improvement: Improvement
+    baseline_cost: float
+    improved_cost: Optional[float]      # None = still infeasible
+    baseline_downtime: float
+    improved_downtime: Optional[float]
+
+    @property
+    def annual_saving(self) -> Optional[float]:
+        if self.improved_cost is None:
+            return None
+        return self.baseline_cost - self.improved_cost
+
+
+def _clone_infrastructure(infrastructure: InfrastructureModel) \
+        -> InfrastructureModel:
+    return parse_infrastructure(write_infrastructure(infrastructure))
+
+
+def apply_improvement(infrastructure: InfrastructureModel,
+                      improvement: Improvement) -> InfrastructureModel:
+    """A fresh infrastructure model with the improvement applied."""
+    clone = _clone_infrastructure(infrastructure)
+    component = clone.component(improvement.component)
+    modes = []
+    for mode in component.failure_modes:
+        if improvement.failure_mode is not None \
+                and mode.name != improvement.failure_mode:
+            modes.append(mode)
+            continue
+        mttr = mode.mttr
+        if isinstance(mttr, Duration):
+            mttr = mttr * improvement.mttr_factor
+        elif improvement.mttr_factor != 1.0:
+            raise ModelError(
+                "cannot scale mechanism-supplied MTTR of %s.%s; change "
+                "the mechanism's table instead"
+                % (component.name, mode.name))
+        modes.append(FailureMode(mode.name,
+                                 mode.mtbf * improvement.mtbf_factor,
+                                 mttr, mode.detect_time))
+    if improvement.failure_mode is not None and \
+            all(mode.name != improvement.failure_mode
+                for mode in component.failure_modes):
+        raise ModelError("component %r has no failure mode %r"
+                         % (improvement.component,
+                            improvement.failure_mode))
+    from ..model import CostSchedule
+    cost = CostSchedule(
+        inactive=component.cost.inactive,
+        active=component.cost.active + improvement.annual_cost_delta)
+    clone.replace_component(ComponentType(
+        component.name, cost=cost, failure_modes=tuple(modes),
+        loss_window=component.loss_window,
+        max_instances=component.max_instances))
+    return clone
+
+
+def evaluate_improvements(infrastructure: InfrastructureModel,
+                          service: ServiceModel,
+                          requirements,
+                          improvements: Sequence[Improvement],
+                          limits: Optional[SearchLimits] = None) \
+        -> List[WhatIfResult]:
+    """Design-level value of each improvement, best saving first."""
+    baseline = _design_or_none(infrastructure, service, requirements,
+                               limits)
+    if baseline is None:
+        raise AvedError("the baseline requirement is infeasible; "
+                        "what-if savings are undefined")
+    results = []
+    for improvement in improvements:
+        improved_infrastructure = apply_improvement(infrastructure,
+                                                    improvement)
+        outcome = _design_or_none(improved_infrastructure, service,
+                                  requirements, limits)
+        results.append(WhatIfResult(
+            improvement=improvement,
+            baseline_cost=baseline.annual_cost,
+            improved_cost=(outcome.annual_cost if outcome else None),
+            baseline_downtime=baseline.downtime_minutes,
+            improved_downtime=(outcome.downtime_minutes if outcome
+                               else None)))
+    results.sort(key=lambda result: -(result.annual_saving
+                                      if result.annual_saving is not None
+                                      else float("-inf")))
+    return results
+
+
+def _design_or_none(infrastructure, service, requirements, limits):
+    engine = Aved(infrastructure, service, limits=limits)
+    try:
+        return engine.design(requirements)
+    except InfeasibleError:
+        return None
+
+
+def whatif_table(results: Sequence[WhatIfResult]) -> str:
+    """Render what-if results as an aligned text table."""
+    lines = ["%-36s %12s %12s %12s"
+             % ("improvement", "new cost", "saving", "downtime")]
+    if results:
+        lines.insert(0, "baseline: $%s at %.1f min/yr"
+                     % (format(round(results[0].baseline_cost), ",d"),
+                        results[0].baseline_downtime))
+    for result in results:
+        if result.improved_cost is None:
+            lines.append("%-36s %12s %12s %12s"
+                         % (result.improvement.label, "infeasible",
+                            "-", "-"))
+            continue
+        lines.append("%-36s %12s %12s %9.1f m"
+                     % (result.improvement.label,
+                        "$" + format(round(result.improved_cost), ",d"),
+                        "$" + format(round(result.annual_saving), ",d"),
+                        result.improved_downtime))
+    return "\n".join(lines)

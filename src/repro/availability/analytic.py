@@ -1,0 +1,74 @@
+"""Closed-form availability approximations (fast path / ablation).
+
+The Markov engine solves an exact chain per failure mode.  This module
+provides closed forms that are
+
+* **exact** for in-place repair modes: the birth-death chain with rates
+  ``(n-r) * lambda`` down and ``r * mu`` up is precisely ``n``
+  independent two-state (up/down) processes, so the number of failed
+  resources is Binomial(n, MTTR/(MTBF+MTTR));
+* **first-order** for failover modes: each active slot is treated as
+  independently unmanned for one failover time per failure, ignoring
+  spare exhaustion.  This underestimates unavailability when spares are
+  scarce relative to failure traffic -- the ablation benchmark
+  quantifies the gap against the Markov engine.
+
+These forms are what a designer would scribble on a whiteboard; keeping
+them executable documents exactly where the Markov model's extra
+fidelity matters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..units import HOURS_PER_YEAR
+from .model import (FailureModeEntry, ModeResult, TierAvailabilityModel,
+                    TierResult)
+from .rbd import k_of_n_identical
+
+
+def evaluate_tier(model: TierAvailabilityModel) -> TierResult:
+    """Closed-form evaluation of a tier, mode by mode."""
+    mode_results = []
+    up_product = 1.0
+    for mode in model.modes:
+        unavailability, failures = _evaluate_mode(model, mode)
+        uses_failover = mode.uses_failover and model.s > 0
+        mode_results.append(ModeResult(mode.name, unavailability,
+                                       failures, uses_failover))
+        up_product *= 1.0 - unavailability
+    return TierResult(model.name, 1.0 - up_product, tuple(mode_results))
+
+
+def _evaluate_mode(model: TierAvailabilityModel,
+                   mode: FailureModeEntry) -> Tuple[float, float]:
+    n, m = model.n, model.m
+    failures = n / mode.mtbf.as_hours * HOURS_PER_YEAR
+    uses_failover = mode.uses_failover and model.s > 0
+    if uses_failover:
+        outage_hours = mode.failover_time.as_hours
+    else:
+        outage_hours = mode.mttr.as_hours
+    if outage_hours <= 0.0:
+        return 0.0, failures
+    # Probability one resource's slot is unmanned at a random instant.
+    per_slot_down = outage_hours / (mode.mtbf.as_hours + outage_hours)
+    availability = k_of_n_identical(m, n, 1.0 - per_slot_down)
+    return 1.0 - availability, failures
+
+
+def single_resource_unavailability(mode: FailureModeEntry) -> float:
+    """Steady-state down probability of one resource for one mode."""
+    mttr_hours = mode.mttr.as_hours
+    return mttr_hours / (mode.mtbf.as_hours + mttr_hours)
+
+
+def expected_annual_outages(model: TierAvailabilityModel) -> float:
+    """First-order count of tier-down events per year (slack = 0 case).
+
+    With no slack every active-resource failure is an outage; with
+    slack the count is reduced by the probability that enough peers are
+    already down, which this first-order form neglects.
+    """
+    return model.tier_event_rate_per_hour() * HOURS_PER_YEAR

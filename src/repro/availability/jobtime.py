@@ -1,0 +1,110 @@
+"""Expected job completion time for finite applications (paper Eq. 1).
+
+For applications with a loss window ``lw`` (the maximum work lost per
+failure event -- e.g. one checkpoint interval), the paper derives the
+mean computation time needed to bank ``lw`` of useful work:
+
+    P_f  = 1 - exp(-lw / MTBF)
+    T_lw = MTBF * P_f / (1 - P_f)
+
+which simplifies to the numerically friendly form used here::
+
+    T_lw = MTBF * (exp(lw / MTBF) - 1)
+
+As ``lw -> 0``, ``T_lw -> lw`` (no re-execution); as ``lw`` approaches
+MTBF, the re-execution penalty explodes.  The useful fraction of
+computation time is ``lw / T_lw``; combined with the uptime fraction
+from the availability engine and the checkpoint mechanism's normal-
+operation overhead factor, it gives the expected job execution time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import EvaluationError
+from ..units import Duration
+
+
+def failure_probability(loss_window: Duration, mtbf: Duration) -> float:
+    """``P_f``: probability of >= 1 failure within one loss window."""
+    if mtbf.as_seconds <= 0:
+        raise EvaluationError("MTBF must be positive")
+    if loss_window.as_seconds < 0:
+        raise EvaluationError("loss window cannot be negative")
+    return -math.expm1(-loss_window / mtbf)
+
+
+def mean_time_per_loss_window(loss_window: Duration,
+                              mtbf: Duration) -> Duration:
+    """``T_lw``: mean computation time to complete ``lw`` of useful work."""
+    if mtbf.as_seconds <= 0:
+        raise EvaluationError("MTBF must be positive")
+    if loss_window.as_seconds < 0:
+        raise EvaluationError("loss window cannot be negative")
+    if loss_window.is_zero():
+        return Duration.ZERO
+    ratio = loss_window / mtbf
+    if ratio > 700.0:  # exp overflow guard: effectively never completes
+        return Duration(math.inf)
+    return Duration(mtbf.as_seconds * math.expm1(ratio))
+
+
+def useful_fraction(loss_window: Duration, mtbf: Duration) -> float:
+    """``lw / T_lw``: fraction of computation time that is useful work."""
+    if loss_window.is_zero():
+        return 1.0
+    t_lw = mean_time_per_loss_window(loss_window, mtbf)
+    if not t_lw.is_finite():
+        return 0.0
+    return loss_window / t_lw
+
+
+@dataclass(frozen=True)
+class JobTimeEstimate:
+    """Breakdown of an expected-job-time computation."""
+
+    expected_time: Duration      # wall-clock expectation (may be inf)
+    useful_fraction: float       # lw / T_lw (re-execution losses)
+    overhead_factor: float       # checkpoint overhead in normal operation
+    uptime_fraction: float       # from the availability engine
+    effective_rate: float        # useful work units per wall-clock hour
+
+    @property
+    def feasible(self) -> bool:
+        return self.expected_time.is_finite()
+
+
+def estimate_job_time(job_size: float,
+                      throughput_per_hour: float,
+                      overhead_factor: float,
+                      loss_window: Duration,
+                      tier_mtbf: Duration,
+                      uptime_fraction: float) -> JobTimeEstimate:
+    """Expected wall-clock time to finish ``job_size`` units of work.
+
+    ``throughput_per_hour`` is the tier's failure-free throughput;
+    ``overhead_factor`` (>= 1) stretches execution for the availability
+    mechanism's normal-operation cost (Table 1's ``mperformance``);
+    ``loss_window`` and ``tier_mtbf`` feed Eq. 1; ``uptime_fraction``
+    accounts for time lost to repairs.
+    """
+    if job_size <= 0:
+        raise EvaluationError("job size must be positive")
+    if throughput_per_hour <= 0:
+        raise EvaluationError("throughput must be positive")
+    if overhead_factor < 1.0:
+        raise EvaluationError("overhead factor must be >= 1")
+    if not 0.0 <= uptime_fraction <= 1.0:
+        raise EvaluationError("uptime fraction must be in [0, 1]")
+
+    fraction = useful_fraction(loss_window, tier_mtbf)
+    effective = (throughput_per_hour / overhead_factor
+                 * fraction * uptime_fraction)
+    if effective <= 0.0:
+        return JobTimeEstimate(Duration(math.inf), fraction,
+                               overhead_factor, uptime_fraction, 0.0)
+    hours = job_size / effective
+    return JobTimeEstimate(Duration.hours(hours), fraction,
+                           overhead_factor, uptime_fraction, effective)

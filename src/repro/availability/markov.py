@@ -1,0 +1,145 @@
+"""Markov evaluation of tier availability models.
+
+Each failure mode is evaluated on its own continuous-time Markov chain
+(failure-mode decomposition): the chain for mode *i* assumes the other
+modes are quiescent, and per-mode unavailabilities are composed as if
+independent.  This mirrors the structure of classical availability
+tools in the rare-failure regime the paper operates in; the
+discrete-event simulator (:mod:`repro.availability.simulation`)
+quantifies the decomposition error in the test suite.
+
+Two chain shapes are used, following the paper's failover rule:
+
+* **Failover chain** (``MTTR_i > FailoverTime_i`` and spares exist):
+  state ``(r, w)`` where ``r`` resources are in repair and ``w`` active
+  slots are unmanned.  Unmanned slots grab idle spares at rate
+  ``min(w, idle)/FailoverTime``; repaired resources rejoin as spares.
+  The tier is down while ``n - w < m``.
+* **In-place repair chain** (otherwise): state ``r`` = failed active
+  resources; each repairs at ``1/MTTR`` and resumes its slot.  The tier
+  is down while ``n - r < m``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..units import HOURS_PER_YEAR
+from .ctmc import ContinuousTimeMarkovChain
+from .model import (FailureModeEntry, ModeResult, TierAvailabilityModel,
+                    TierResult)
+
+#: Durations below this (in hours) are treated as instantaneous
+#: transitions to keep rates finite (3.6 ms).
+_MIN_HOURS = 1e-6
+
+
+def evaluate_tier(model: TierAvailabilityModel) -> TierResult:
+    """Evaluate one tier by failure-mode decomposition."""
+    mode_results: List[ModeResult] = []
+    up_product = 1.0
+    for mode in model.modes:
+        result = evaluate_mode(model, mode)
+        mode_results.append(result)
+        up_product *= 1.0 - result.unavailability
+    return TierResult(model.name, 1.0 - up_product, tuple(mode_results))
+
+
+def evaluate_mode(model: TierAvailabilityModel,
+                  mode: FailureModeEntry) -> ModeResult:
+    """Evaluate a single failure mode's chain for a tier."""
+    uses_failover = mode.uses_failover and model.s > 0
+    if mode.mttr.as_seconds == 0 and not uses_failover:
+        # Instant repair: no downtime, but failures still occur.
+        failures = model.n / mode.mtbf.as_hours * HOURS_PER_YEAR
+        return ModeResult(mode.name, 0.0, failures, False)
+    if uses_failover:
+        unavailability, failures = _solve_failover_chain(model, mode)
+    else:
+        unavailability, failures = _solve_inplace_chain(model, mode)
+    return ModeResult(mode.name, unavailability, failures, uses_failover)
+
+
+# ----------------------------------------------------------------------
+# Failover chain: state (r, w)
+# ----------------------------------------------------------------------
+
+
+#: Extra unmanned-slot states kept beyond the first down state.  The
+#: chain is truncated at ``w <= (n - m + 1) + _TRUNCATION_MARGIN``:
+#: states deeper than that refine *how far down* the tier is, not
+#: whether it is down, and carry negligible probability in any regime
+#: where the design is worth considering.  The simulation engine (no
+#: truncation) bounds the error in the test suite.
+_TRUNCATION_MARGIN = 12
+
+
+def _solve_failover_chain(model: TierAvailabilityModel,
+                          mode: FailureModeEntry) -> Tuple[float, float]:
+    n, s = model.n, model.s
+    total = n + s
+    failure_rate = 1.0 / mode.mtbf.as_hours
+    repair_rate = 1.0 / max(mode.mttr.as_hours, _MIN_HOURS)
+    failover_rate = 1.0 / max(mode.failover_time.as_hours, _MIN_HOURS)
+    spare_rate = failure_rate if mode.spare_susceptible else 0.0
+    w_cap = min(n, (n - model.m + 1) + s + _TRUNCATION_MARGIN)
+    crew = model.repair_crew if model.repair_crew is not None else total
+
+    def transitions(state) -> Iterable[Tuple[Tuple[int, int], float]]:
+        r, w = state
+        idle = s - r + w
+        out = []
+        manned = n - w
+        if manned > 0 and r < total and w < w_cap:
+            out.append(((r + 1, w + 1), manned * failure_rate))
+        if spare_rate > 0.0 and idle > 0:
+            out.append(((r + 1, w), idle * spare_rate))
+        in_failover = min(w, idle)
+        if in_failover > 0:
+            out.append(((r, w - 1), in_failover * failover_rate))
+        if r > 0:
+            out.append(((r - 1, w), min(r, crew) * repair_rate))
+        return out
+
+    chain = ContinuousTimeMarkovChain((0, 0), transitions)
+    probabilities = chain.steady_state()
+    unavailability = 0.0
+    failure_flux = 0.0
+    for (r, w), probability in probabilities.items():
+        if n - w < model.m:
+            unavailability += probability
+        idle = s - r + w
+        failure_flux += probability * ((n - w) * failure_rate
+                                       + idle * spare_rate)
+    return unavailability, failure_flux * HOURS_PER_YEAR
+
+
+# ----------------------------------------------------------------------
+# In-place repair chain: state r
+# ----------------------------------------------------------------------
+
+
+def _solve_inplace_chain(model: TierAvailabilityModel,
+                         mode: FailureModeEntry) -> Tuple[float, float]:
+    n = model.n
+    failure_rate = 1.0 / mode.mtbf.as_hours
+    repair_rate = 1.0 / max(mode.mttr.as_hours, _MIN_HOURS)
+    crew = model.repair_crew if model.repair_crew is not None else n
+
+    def transitions(r) -> Iterable[Tuple[int, float]]:
+        out = []
+        if r < n:
+            out.append((r + 1, (n - r) * failure_rate))
+        if r > 0:
+            out.append((r - 1, min(r, crew) * repair_rate))
+        return out
+
+    chain = ContinuousTimeMarkovChain(0, transitions)
+    probabilities = chain.steady_state()
+    unavailability = 0.0
+    failure_flux = 0.0
+    for r, probability in probabilities.items():
+        if n - r < model.m:
+            unavailability += probability
+        failure_flux += probability * (n - r) * failure_rate
+    return unavailability, failure_flux * HOURS_PER_YEAR

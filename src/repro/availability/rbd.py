@@ -1,0 +1,86 @@
+"""Reliability-block-diagram composition helpers.
+
+The paper composes tiers in series: "Multiple tiers in a design are
+modeled as an association in series, where the whole design is
+considered up only when each tier is up" (section 4.2).  Series
+composition is all the Aved examples need, but parallel and k-of-n
+blocks are provided for model extensions and are exercised in tests.
+
+All functions take and return *availabilities* (probabilities of being
+up) or *unavailabilities* as documented; independence between blocks is
+assumed throughout, consistent with the paper's assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..errors import EvaluationError
+
+
+def _check_probability(value: float, label: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise EvaluationError("%s %g is not a probability" % (label, value))
+    return value
+
+
+def series_availability(availabilities: Iterable[float]) -> float:
+    """Availability of independent blocks in series (all must be up)."""
+    product = 1.0
+    for availability in availabilities:
+        product *= _check_probability(availability, "availability")
+    return product
+
+
+def series_unavailability(unavailabilities: Iterable[float]) -> float:
+    """Unavailability of independent blocks in series."""
+    up = 1.0
+    for unavailability in unavailabilities:
+        up *= 1.0 - _check_probability(unavailability, "unavailability")
+    return 1.0 - up
+
+
+def parallel_availability(availabilities: Iterable[float]) -> float:
+    """Availability of independent blocks in parallel (any one suffices)."""
+    down = 1.0
+    empty = True
+    for availability in availabilities:
+        down *= 1.0 - _check_probability(availability, "availability")
+        empty = False
+    if empty:
+        raise EvaluationError("parallel block needs at least one member")
+    return 1.0 - down
+
+
+def k_of_n_availability(k: int, availabilities: Sequence[float]) -> float:
+    """Probability that at least ``k`` of the blocks are up.
+
+    Blocks may have different availabilities; computed by dynamic
+    programming over the Poisson-binomial distribution in O(n^2).
+    """
+    n = len(availabilities)
+    if not 0 <= k <= n:
+        raise EvaluationError("k-of-n: k=%d outside [0, %d]" % (k, n))
+    for availability in availabilities:
+        _check_probability(availability, "availability")
+    # distribution[j] = P(exactly j of the first i blocks are up)
+    distribution = [1.0] + [0.0] * n
+    for i, availability in enumerate(availabilities, start=1):
+        for j in range(i, 0, -1):
+            distribution[j] = (distribution[j] * (1.0 - availability)
+                               + distribution[j - 1] * availability)
+        distribution[0] *= 1.0 - availability
+    return math.fsum(distribution[k:])
+
+
+def k_of_n_identical(k: int, n: int, availability: float) -> float:
+    """At-least-k-of-n with identical block availability (binomial)."""
+    if not 0 <= k <= n:
+        raise EvaluationError("k-of-n: k=%d outside [0, %d]" % (k, n))
+    _check_probability(availability, "availability")
+    total = 0.0
+    for j in range(k, n + 1):
+        total += (math.comb(n, j) * availability ** j
+                  * (1.0 - availability) ** (n - j))
+    return min(total, 1.0)

@@ -1,0 +1,303 @@
+"""Command-line interface for the Aved design engine.
+
+Subcommands::
+
+    python -m repro design    --load 1000 --downtime 100m [model options]
+    python -m repro design    --job-time 20h [model options]
+    python -m repro frontier  --tier application --load 1000 [...]
+    python -m repro validate  [model options]
+
+Model options: ``--infrastructure FILE`` and ``--service FILE`` load
+spec documents (``--perf-dir DIR`` resolves their ``.dat`` references);
+``--paper-ecommerce`` / ``--paper-scientific`` use the paper's embedded
+models instead.  ``--app-tier-only`` slices the e-commerce model down
+to its application tier, matching the paper's first example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .core import (Aved, DesignEvaluator, SearchLimits, TierSearch)
+from .core.report import evaluation_summary, frontier_table
+from .errors import AvedError, InfeasibleError
+from .model import (InfrastructureModel, JobRequirements, ServiceModel,
+                    ServiceRequirements, collect_problems)
+from .spec import FileResolver, parse_infrastructure, parse_service
+from .units import Duration
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aved: automated system design for availability "
+                    "(DSN 2004 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    design = subparsers.add_parser(
+        "design", help="find the minimum-cost design for a requirement")
+    _add_model_options(design)
+    design.add_argument("--load", type=float,
+                        help="throughput requirement (work units/hour)")
+    design.add_argument("--downtime",
+                        help="max annual downtime, e.g. 100m, 2h")
+    design.add_argument("--job-time",
+                        help="max expected job execution time, e.g. 20h")
+    design.add_argument("--json", action="store_true",
+                        help="emit the design and evaluation as JSON")
+    _add_search_options(design)
+
+    frontier = subparsers.add_parser(
+        "frontier", help="print a tier's cost/downtime Pareto frontier")
+    _add_model_options(frontier)
+    frontier.add_argument("--tier", required=True)
+    frontier.add_argument("--load", type=float, required=True)
+    _add_search_options(frontier)
+
+    validate = subparsers.add_parser(
+        "validate", help="check an infrastructure/service model pair")
+    _add_model_options(validate)
+
+    describe = subparsers.add_parser(
+        "describe", help="summarize an infrastructure/service model pair")
+    _add_model_options(describe)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="downtime budget and sensitivity of the optimal "
+                        "design at a requirement point")
+    _add_model_options(analyze)
+    analyze.add_argument("--load", type=float, required=True)
+    analyze.add_argument("--downtime", required=True,
+                         help="max annual downtime, e.g. 100m")
+    _add_search_options(analyze)
+
+    return parser
+
+
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--infrastructure", metavar="FILE",
+                        help="infrastructure spec (Fig. 3 format)")
+    parser.add_argument("--service", metavar="FILE",
+                        help="service spec (Fig. 4/5 format)")
+    parser.add_argument("--perf-dir", metavar="DIR", default=".",
+                        help="directory for .dat performance references")
+    parser.add_argument("--paper-ecommerce", action="store_true",
+                        help="use the paper's e-commerce example models")
+    parser.add_argument("--paper-scientific", action="store_true",
+                        help="use the paper's scientific example models")
+    parser.add_argument("--app-tier-only", action="store_true",
+                        help="restrict the e-commerce model to its "
+                             "application tier (paper's Fig. 6 setup)")
+
+
+def _add_search_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-redundancy", type=int, default=8,
+                        help="resources beyond the minimum to explore")
+    parser.add_argument("--spare-policy",
+                        choices=["cold", "hot", "all"], default="cold")
+    parser.add_argument("--fix", action="append", default=[],
+                        metavar="MECH.PARAM=VALUE",
+                        help="pin a mechanism parameter, e.g. "
+                             "maintenanceA.level=bronze (repeatable)")
+    parser.add_argument("--engine",
+                        choices=["markov", "analytic", "simulation"],
+                        default="markov")
+    parser.add_argument("--repair-crew", type=int, default=None,
+                        metavar="N",
+                        help="bound concurrent repairs per tier "
+                             "(default: unlimited)")
+
+
+def load_models(args) -> tuple:
+    """Resolve (infrastructure, service) from the CLI options."""
+    if args.paper_ecommerce or args.paper_scientific:
+        from .spec.paper import (ecommerce_service, paper_infrastructure,
+                                 scientific_service)
+        infrastructure = paper_infrastructure()
+        if args.paper_scientific:
+            service = scientific_service()
+        else:
+            service = ecommerce_service()
+            if args.app_tier_only:
+                service = ServiceModel(
+                    "app-tier", [service.tier("application")])
+        return infrastructure, service
+    if not args.infrastructure or not args.service:
+        raise AvedError(
+            "provide --infrastructure and --service files, or one of "
+            "--paper-ecommerce / --paper-scientific")
+    with open(args.infrastructure) as handle:
+        infrastructure = parse_infrastructure(handle.read())
+    with open(args.service) as handle:
+        service = parse_service(handle.read(),
+                                FileResolver(args.perf_dir))
+    return infrastructure, service
+
+
+def parse_fixed_settings(pairs) -> dict:
+    """Parse ``--fix mech.param=value`` options into SearchLimits form."""
+    fixed: dict = {}
+    for pair in pairs:
+        if "=" not in pair or "." not in pair.split("=", 1)[0]:
+            raise AvedError(
+                "--fix expects MECHANISM.PARAM=VALUE, got %r" % pair)
+        key, value = pair.split("=", 1)
+        mechanism, parameter = key.split(".", 1)
+        fixed.setdefault(mechanism, {})[parameter] = _coerce(value)
+    return fixed
+
+
+def _coerce(value: str):
+    try:
+        number = float(value)
+    except ValueError:
+        return value
+    return int(number) if number.is_integer() else number
+
+
+def make_limits(args) -> SearchLimits:
+    return SearchLimits(max_redundancy=args.max_redundancy,
+                        spare_policy=args.spare_policy,
+                        fixed_settings=parse_fixed_settings(args.fix))
+
+
+def make_engine(args):
+    from .availability import get_engine
+    if args.engine == "simulation":
+        return get_engine("simulation", years=500, seed=1)
+    return get_engine(args.engine)
+
+
+def cmd_design(args, out) -> int:
+    infrastructure, service = load_models(args)
+    if args.job_time:
+        requirements = JobRequirements(Duration.parse(args.job_time))
+    elif args.load is not None and args.downtime:
+        requirements = ServiceRequirements(
+            args.load, Duration.parse(args.downtime))
+    else:
+        raise AvedError("provide --load with --downtime, or --job-time")
+    engine = Aved(infrastructure, service,
+                  availability_engine=make_engine(args),
+                  limits=make_limits(args),
+                  repair_crew=args.repair_crew)
+    try:
+        outcome = engine.design(requirements)
+    except InfeasibleError as exc:
+        print("infeasible: %s" % exc, file=out)
+        return 2
+    if args.json:
+        import json
+        from .core.serialize import evaluation_to_dict
+        print(json.dumps(evaluation_to_dict(outcome.evaluation),
+                         indent=2, sort_keys=True), file=out)
+    else:
+        print(outcome.summary(), file=out)
+    return 0
+
+
+def cmd_frontier(args, out) -> int:
+    infrastructure, service = load_models(args)
+    evaluator = DesignEvaluator(infrastructure, service,
+                                engine=make_engine(args),
+                                repair_crew=args.repair_crew)
+    search = TierSearch(evaluator, make_limits(args))
+    frontier = search.tier_frontier(args.tier, args.load)
+    if not frontier:
+        print("no designs can carry load %g on tier %r"
+              % (args.load, args.tier), file=out)
+        return 2
+    print(frontier_table(
+        frontier, title="tier %r at load %g" % (args.tier, args.load)),
+        file=out)
+    return 0
+
+
+def cmd_validate(args, out) -> int:
+    infrastructure, service = load_models(args)
+    problems = collect_problems(infrastructure, service)
+    if problems:
+        print("model pair has %d problem(s):" % len(problems), file=out)
+        for problem in problems:
+            print("  - %s" % problem, file=out)
+        return 2
+    print("ok: service %r fits the infrastructure model (%d components, "
+          "%d mechanisms, %d resources)"
+          % (service.name, len(infrastructure.components),
+             len(infrastructure.mechanisms),
+             len(infrastructure.resources)), file=out)
+    return 0
+
+
+def cmd_analyze(args, out) -> int:
+    from .analysis import downtime_budget_table, tornado_table
+    infrastructure, service = load_models(args)
+    engine = Aved(infrastructure, service,
+                  availability_engine=make_engine(args),
+                  limits=make_limits(args),
+                  repair_crew=args.repair_crew)
+    requirements = ServiceRequirements(args.load,
+                                       Duration.parse(args.downtime))
+    try:
+        outcome = engine.design(requirements)
+    except InfeasibleError as exc:
+        print("infeasible: %s" % exc, file=out)
+        return 2
+    print(evaluation_summary(outcome.evaluation), file=out)
+    evaluator = engine.evaluator
+    for tier_design in outcome.design.tiers:
+        print("", file=out)
+        print(downtime_budget_table(evaluator, tier_design, args.load),
+              file=out)
+        print("", file=out)
+        print(tornado_table(evaluator, tier_design,
+                            required_throughput=args.load), file=out)
+    if len(outcome.design.tiers) == 1:
+        from .core import explain_tier_choice
+        explanation = explain_tier_choice(
+            evaluator, outcome.design.tiers[0].tier, args.load,
+            requirements.max_annual_downtime, make_limits(args))
+        print("", file=out)
+        print("decision neighborhood:", file=out)
+        print(explanation.render(), file=out)
+    return 0
+
+
+def cmd_describe(args, out) -> int:
+    from .core.report import describe_infrastructure, describe_service
+    infrastructure, service = load_models(args)
+    print(describe_infrastructure(infrastructure), file=out)
+    print("", file=out)
+    print(describe_service(service), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "design": cmd_design,
+    "frontier": cmd_frontier,
+    "validate": cmd_validate,
+    "analyze": cmd_analyze,
+    "describe": cmd_describe,
+}
+
+
+def main(argv: Optional[list] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except BrokenPipeError:
+        return 0  # e.g. output piped into `head`
+    except AvedError as exc:
+        print("error: %s" % exc, file=out)
+        return 1
+    except OSError as exc:
+        print("error: %s" % exc, file=out)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The design engine core: designs, evaluation, search, and the facade."""
+
+from .controller import (ControllerReport, ControllerStep,
+                         RedesignController)
+from .design import Design, EvaluatedTierDesign, TierDesign
+from .engine import Aved, DesignOutcome
+from .evaluation import DesignEvaluation, DesignEvaluator
+from .explain import DesignExplanation, explain_tier_choice
+from .families import DesignFamily, checkpoint_settings, family_of
+from .frontier import (FrontierPoint, RequirementSpaceMap,
+                       build_requirement_map)
+from .search import (JobSearch, SearchLimits, SearchStats, TierSearch,
+                     combine_tier_frontiers, pareto_filter,
+                     refine_tier_frontiers_greedy)
+
+__all__ = [
+    "TierDesign", "Design", "EvaluatedTierDesign",
+    "DesignEvaluator", "DesignEvaluation",
+    "TierSearch", "JobSearch", "SearchLimits", "SearchStats",
+    "combine_tier_frontiers", "pareto_filter",
+    "refine_tier_frontiers_greedy",
+    "DesignFamily", "family_of", "checkpoint_settings",
+    "FrontierPoint", "RequirementSpaceMap", "build_requirement_map",
+    "Aved", "DesignOutcome",
+    "RedesignController", "ControllerReport", "ControllerStep",
+    "DesignExplanation", "explain_tier_choice",
+]

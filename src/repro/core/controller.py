@@ -1,0 +1,166 @@
+"""A redesign controller for utility-computing deployments.
+
+The paper's closing argument: "in self-managing environments, an engine
+such as Aved is needed to automatically reevaluate and reconfigure
+designs in response to changes" (section 7).  This module supplies the
+controller loop around the engine:
+
+* follow a load trajectory, re-running the tier search at each step;
+* apply **hysteresis** so the deployment does not flap between designs
+  of near-identical cost (reconfigurations are not free in practice);
+* account the results against the obvious alternative -- statically
+  provisioning for the peak -- yielding the cost saving that justifies
+  the utility-computing vision.
+
+The controller is deliberately simple (the paper proposes no specific
+policy); it is exercised by the redesign benchmark and an example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import SearchError
+from ..units import Duration
+from .design import EvaluatedTierDesign
+from .evaluation import DesignEvaluator
+from .search import SearchLimits, TierSearch
+
+
+@dataclass(frozen=True)
+class ControllerStep:
+    """One sampling interval's decision."""
+
+    index: int
+    load: float
+    design: Optional[EvaluatedTierDesign]   # None = infeasible
+    reconfigured: bool
+
+
+@dataclass
+class ControllerReport:
+    """Outcome of running the controller over a trajectory."""
+
+    steps: List[ControllerStep] = field(default_factory=list)
+    reconfigurations: int = 0
+    infeasible_steps: int = 0
+    #: Mean annual-cost-rate over the trajectory (time-weighted).
+    average_cost: float = 0.0
+    #: Cost of statically provisioning the peak design throughout.
+    static_peak_cost: float = 0.0
+    #: Total one-time reconfiguration charges incurred (annualized by
+    #: the caller's choice of per-switch cost; 0 when switches are free).
+    reconfiguration_charges: float = 0.0
+
+    @property
+    def average_cost_with_charges(self) -> float:
+        """Mean cost-rate including amortized reconfiguration charges."""
+        feasible = len(self.steps) - self.infeasible_steps
+        if feasible <= 0:
+            return self.average_cost
+        return self.average_cost + self.reconfiguration_charges / feasible
+
+    @property
+    def saving_fraction(self) -> float:
+        """Relative saving of dynamic redesign vs static peak."""
+        if self.static_peak_cost <= 0:
+            return 0.0
+        return 1.0 - self.average_cost_with_charges \
+            / self.static_peak_cost
+
+
+class RedesignController:
+    """Re-runs the tier search along a load trajectory with hysteresis.
+
+    ``hysteresis`` is the fractional cost improvement a new design must
+    offer before the controller abandons a still-feasible incumbent
+    (0.0 = always switch to the optimum; 0.1 = switch only for >=10%
+    savings or on infeasibility).
+    """
+
+    def __init__(self, evaluator: DesignEvaluator, tier: str,
+                 max_downtime: Duration,
+                 limits: Optional[SearchLimits] = None,
+                 hysteresis: float = 0.05,
+                 reconfiguration_cost: float = 0.0):
+        if hysteresis < 0:
+            raise SearchError("hysteresis cannot be negative")
+        if reconfiguration_cost < 0:
+            raise SearchError("reconfiguration cost cannot be negative")
+        self.evaluator = evaluator
+        self.tier = tier
+        self.max_downtime = max_downtime
+        self.limits = limits or SearchLimits()
+        self.hysteresis = hysteresis
+        self.reconfiguration_cost = reconfiguration_cost
+        self._search = TierSearch(evaluator, self.limits)
+
+    # ------------------------------------------------------------------
+
+    def run(self, loads: Sequence[float]) -> ControllerReport:
+        """Walk the trajectory and return the accounting report."""
+        if not loads:
+            raise SearchError("empty load trajectory")
+        report = ControllerReport()
+        current: Optional[EvaluatedTierDesign] = None
+        total_cost = 0.0
+        for index, load in enumerate(loads):
+            decision, reconfigured = self._step(current, load)
+            if decision is None:
+                report.infeasible_steps += 1
+                current = None
+            else:
+                if reconfigured:
+                    report.reconfigurations += 1
+                total_cost += decision.annual_cost
+                current = decision
+            report.steps.append(ControllerStep(index, load, decision,
+                                               reconfigured))
+        feasible_steps = len(loads) - report.infeasible_steps
+        report.average_cost = (total_cost / feasible_steps
+                               if feasible_steps else 0.0)
+        report.reconfiguration_charges = (report.reconfigurations
+                                          * self.reconfiguration_cost)
+        report.static_peak_cost = self._static_peak_cost(loads)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _step(self, current: Optional[EvaluatedTierDesign], load: float):
+        optimum = self._search.best_tier_design(self.tier, load,
+                                                self.max_downtime)
+        if optimum is None:
+            return None, False
+        if current is None:
+            return optimum, True
+        if self._still_adequate(current, load) and \
+                optimum.annual_cost >= current.annual_cost \
+                * (1.0 - self.hysteresis):
+            return current, False
+        return optimum, True
+
+    def _still_adequate(self, current: EvaluatedTierDesign,
+                        load: float) -> bool:
+        """Can the incumbent design carry ``load`` within the SLO?
+
+        The design's resource counts are fixed; only ``m`` (and hence
+        availability) moves with load.  Re-evaluate its downtime at the
+        new load; infeasible performance (n_active too small) means no.
+        """
+        option = self.evaluator.service.tier(self.tier).option_for(
+            current.design.resource)
+        needed = option.min_active_for(load)
+        if needed is None or needed > current.design.n_active:
+            return False
+        model = self.evaluator.tier_model(current.design, load)
+        result = self.evaluator.engine.evaluate_tier(model)
+        return result.annual_downtime <= self.max_downtime
+
+    def _static_peak_cost(self, loads: Sequence[float]) -> float:
+        peak = max(loads)
+        best = self._search.best_tier_design(self.tier, peak,
+                                             self.max_downtime)
+        if best is None:
+            return 0.0
+        return best.annual_cost

@@ -1,0 +1,132 @@
+"""Design representations: the resolved choices the search produces.
+
+A design resolves, per tier (paper section 4): the resource type, the
+number of active resources, the number of spares, the operational mode
+of each component in the spares (represented as a dependency-respecting
+*activation prefix*), and the value of every availability-mechanism
+parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+from ..model import MechanismConfig
+
+
+@dataclass(frozen=True)
+class TierDesign:
+    """All resolved choices for one tier."""
+
+    tier: str
+    resource: str
+    n_active: int
+    n_spare: int
+    #: Components kept active in each spare, a prefix of the resource's
+    #: startup order; () = cold spares.  Meaningless when n_spare == 0.
+    spare_active_prefix: Tuple[str, ...] = ()
+    mechanism_configs: Tuple[MechanismConfig, ...] = ()
+
+    def __post_init__(self):
+        if self.n_active < 1:
+            raise ModelError("tier %r design: n_active must be >= 1"
+                             % self.tier)
+        if self.n_spare < 0:
+            raise ModelError("tier %r design: n_spare cannot be negative"
+                             % self.tier)
+        seen = set()
+        for config in self.mechanism_configs:
+            if config.name in seen:
+                raise ModelError(
+                    "tier %r design: mechanism %r configured twice"
+                    % (self.tier, config.name))
+            seen.add(config.name)
+        # Canonicalize: mechanism order is not semantically meaningful,
+        # so normalize it for equality/hashing and serialization.
+        object.__setattr__(
+            self, "mechanism_configs",
+            tuple(sorted(self.mechanism_configs,
+                         key=lambda config: config.name)))
+
+    @property
+    def total_resources(self) -> int:
+        return self.n_active + self.n_spare
+
+    def mechanism_config(self, name: str) -> MechanismConfig:
+        for config in self.mechanism_configs:
+            if config.name == name:
+                return config
+        raise ModelError("tier %r design has no configuration for "
+                         "mechanism %r" % (self.tier, name))
+
+    def has_mechanism(self, name: str) -> bool:
+        return any(config.name == name
+                   for config in self.mechanism_configs)
+
+    def describe(self) -> str:
+        parts = ["%s: %s x%d" % (self.tier, self.resource, self.n_active)]
+        if self.n_spare:
+            spare_kind = ("cold" if not self.spare_active_prefix else
+                          "warm[%s]" % ",".join(self.spare_active_prefix))
+            parts.append("+%d %s spare%s" % (self.n_spare, spare_kind,
+                                             "s" if self.n_spare > 1
+                                             else ""))
+        for config in self.mechanism_configs:
+            parts.append(config.describe())
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return "TierDesign(%s)" % self.describe()
+
+
+@dataclass(frozen=True)
+class Design:
+    """A complete design: one :class:`TierDesign` per service tier."""
+
+    tiers: Tuple[TierDesign, ...]
+
+    def __post_init__(self):
+        if not self.tiers:
+            raise ModelError("a design needs at least one tier")
+        seen = set()
+        for tier in self.tiers:
+            if tier.tier in seen:
+                raise ModelError("duplicate tier %r in design" % tier.tier)
+            seen.add(tier.tier)
+
+    def tier(self, name: str) -> TierDesign:
+        for tier_design in self.tiers:
+            if tier_design.tier == name:
+                return tier_design
+        raise ModelError("design has no tier %r" % name)
+
+    def describe(self) -> str:
+        return "; ".join(tier.describe() for tier in self.tiers)
+
+    def __repr__(self) -> str:
+        return "Design(%s)" % self.describe()
+
+
+@dataclass(frozen=True)
+class EvaluatedTierDesign:
+    """A tier design with its evaluated cost and downtime attached."""
+
+    design: TierDesign
+    annual_cost: float
+    unavailability: float
+
+    @property
+    def downtime_minutes(self) -> float:
+        from ..units import MINUTES_PER_YEAR
+        return self.unavailability * MINUTES_PER_YEAR
+
+    def dominates(self, other: "EvaluatedTierDesign") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        if self.annual_cost > other.annual_cost:
+            return False
+        if self.unavailability > other.unavailability:
+            return False
+        return (self.annual_cost < other.annual_cost
+                or self.unavailability < other.unavailability)

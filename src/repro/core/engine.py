@@ -1,0 +1,148 @@
+"""The Aved engine facade (paper Fig. 1).
+
+:class:`Aved` wires the pieces together: it takes the infrastructure
+model, a service model, and a requirements object; validates the pair;
+runs the appropriate search (tier search + frontier combination for
+enterprise services, job search for finite applications); and returns
+the minimum-cost design with its full evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..availability import AvailabilityEngine, MarkovEngine
+from ..errors import InfeasibleError, SearchError
+from ..model import (InfrastructureModel, JobRequirements, ServiceModel,
+                     ServiceRequirements, validate_pair)
+from .design import Design
+from .evaluation import DesignEvaluation, DesignEvaluator
+from .search import (JobSearch, SearchLimits, SearchStats, TierSearch,
+                     combine_tier_frontiers,
+                     refine_tier_frontiers_greedy)
+
+
+@dataclass(frozen=True)
+class DesignOutcome:
+    """The engine's output: the chosen design plus its evaluation."""
+
+    design: Design
+    evaluation: DesignEvaluation
+    stats: SearchStats
+
+    @property
+    def annual_cost(self) -> float:
+        return self.evaluation.annual_cost
+
+    @property
+    def downtime_minutes(self) -> float:
+        return self.evaluation.downtime_minutes
+
+    def summary(self) -> str:
+        from .report import outcome_summary
+        return outcome_summary(self)
+
+
+class Aved:
+    """Automated system design engine for availability (the paper's Aved).
+
+    >>> from repro.spec.paper import paper_infrastructure, ecommerce_service
+    >>> from repro.model import ServiceRequirements
+    >>> from repro.units import Duration
+    >>> engine = Aved(paper_infrastructure(), ecommerce_service())
+    >>> outcome = engine.design(ServiceRequirements(
+    ...     throughput=1000, max_annual_downtime=Duration.minutes(100)))
+    """
+
+    def __init__(self, infrastructure: InfrastructureModel,
+                 service: ServiceModel,
+                 availability_engine: Optional[AvailabilityEngine] = None,
+                 limits: Optional[SearchLimits] = None,
+                 combination: str = "exact",
+                 repair_crew: Optional[int] = None):
+        """``combination`` picks the multi-tier assembly strategy:
+        ``"exact"`` (branch-and-bound over the frontier product) or
+        ``"greedy"`` (the paper's incremental per-tier tightening).
+        ``repair_crew`` optionally bounds concurrent repairs per tier.
+        """
+        validate_pair(infrastructure, service)
+        if combination not in ("exact", "greedy"):
+            raise SearchError("combination must be 'exact' or 'greedy', "
+                              "got %r" % combination)
+        self.infrastructure = infrastructure
+        self.service = service
+        self.limits = limits or SearchLimits()
+        self.combination = combination
+        self.evaluator = DesignEvaluator(
+            infrastructure, service,
+            availability_engine if availability_engine is not None
+            else MarkovEngine(),
+            repair_crew=repair_crew)
+
+    # ------------------------------------------------------------------
+
+    def design(self, requirements) -> DesignOutcome:
+        """Find the minimum-cost design satisfying ``requirements``.
+
+        Raises :class:`InfeasibleError` when no design in the modeled
+        space satisfies them.
+        """
+        if isinstance(requirements, ServiceRequirements):
+            return self._design_service(requirements)
+        if isinstance(requirements, JobRequirements):
+            return self._design_job(requirements)
+        raise SearchError("unsupported requirements type %r"
+                          % type(requirements).__name__)
+
+    # ------------------------------------------------------------------
+
+    def _design_service(self, requirements: ServiceRequirements) \
+            -> DesignOutcome:
+        search = TierSearch(self.evaluator, self.limits)
+        tier_names = [tier.name for tier in self.service.tiers]
+
+        if len(tier_names) == 1:
+            best = search.best_tier_design(tier_names[0],
+                                           requirements.throughput,
+                                           requirements.max_annual_downtime)
+            if best is None:
+                raise InfeasibleError(
+                    "no design meets %s" % requirements.describe())
+            design = Design((best.design,))
+        else:
+            # Per-tier Pareto frontiers, then exact series combination.
+            frontiers: List = []
+            for name in tier_names:
+                frontier = search.tier_frontier(name,
+                                                requirements.throughput)
+                if not frontier:
+                    raise InfeasibleError(
+                        "tier %r cannot carry load %g"
+                        % (name, requirements.throughput))
+                frontiers.append(frontier)
+            if self.combination == "greedy":
+                design = refine_tier_frontiers_greedy(
+                    frontiers, requirements.max_annual_downtime)
+            else:
+                design = combine_tier_frontiers(
+                    frontiers, requirements.max_annual_downtime)
+            if design is None:
+                raise InfeasibleError(
+                    "no tier combination meets %s"
+                    % requirements.describe())
+
+        evaluation = self.evaluator.evaluate(design, requirements)
+        if not evaluation.meets(requirements):
+            raise InfeasibleError(
+                "search result fails verification against %s"
+                % requirements.describe(), best_infeasible=evaluation)
+        return DesignOutcome(design, evaluation, search.stats)
+
+    def _design_job(self, requirements: JobRequirements) -> DesignOutcome:
+        search = JobSearch(self.evaluator, self.limits)
+        evaluation = search.best_design(requirements)
+        if evaluation is None:
+            raise InfeasibleError(
+                "no design meets %s" % requirements.describe())
+        return DesignOutcome(evaluation.design, evaluation, search.stats)

@@ -1,0 +1,115 @@
+"""Explaining a design choice: what was rejected, and why.
+
+An automated designer earns trust by showing its work.  Given a
+requirement point and the chosen design, this module reconstructs the
+local neighborhood of the decision from the tier frontier:
+
+* the **runner-up**: the next-cheapest feasible design (what you would
+  deploy if the winner were unavailable), and the premium it costs;
+* the **near miss**: the most expensive *infeasible* design cheaper
+  than the winner -- the design a naive cost-first process would have
+  picked, and the downtime by which it misses;
+* the **upgrade**: the next point up the frontier, and what one more
+  "nine" (or fraction of one) would cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SearchError
+from ..units import Duration
+from .design import EvaluatedTierDesign
+from .evaluation import DesignEvaluator
+from .search import SearchLimits, TierSearch
+
+
+@dataclass(frozen=True)
+class DesignExplanation:
+    """The decision neighborhood around a chosen tier design."""
+
+    chosen: EvaluatedTierDesign
+    runner_up: Optional[EvaluatedTierDesign]
+    near_miss: Optional[EvaluatedTierDesign]
+    upgrade: Optional[EvaluatedTierDesign]
+    target_minutes: float
+
+    def render(self) -> str:
+        lines = ["chosen:    %s" % _line(self.chosen)]
+        if self.near_miss is not None:
+            gap = (self.near_miss.downtime_minutes
+                   - self.target_minutes)
+            lines.append("near miss: %s -- $%s cheaper but misses the "
+                         "target by %.1f min/yr"
+                         % (_line(self.near_miss),
+                            format(round(self.chosen.annual_cost
+                                         - self.near_miss.annual_cost),
+                                   ",d"),
+                            gap))
+        if self.runner_up is not None:
+            lines.append("runner-up: %s -- feasible at a $%s premium"
+                         % (_line(self.runner_up),
+                            format(round(self.runner_up.annual_cost
+                                         - self.chosen.annual_cost),
+                                   ",d")))
+        if self.upgrade is not None:
+            improvement = (self.chosen.downtime_minutes
+                           - self.upgrade.downtime_minutes)
+            lines.append("upgrade:   %s -- %.2f min/yr less downtime "
+                         "for $%s more"
+                         % (_line(self.upgrade), improvement,
+                            format(round(self.upgrade.annual_cost
+                                         - self.chosen.annual_cost),
+                                   ",d")))
+        return "\n".join(lines)
+
+
+def _line(candidate: EvaluatedTierDesign) -> str:
+    return "%-52s $%s at %.2f min/yr" % (
+        candidate.design.describe()[:52],
+        format(round(candidate.annual_cost), ",d"),
+        candidate.downtime_minutes)
+
+
+def explain_tier_choice(evaluator: DesignEvaluator, tier: str,
+                        load: float, max_downtime: Duration,
+                        limits: Optional[SearchLimits] = None) \
+        -> DesignExplanation:
+    """Reconstruct the decision neighborhood for one requirement point."""
+    search = TierSearch(evaluator, limits)
+    frontier = search.tier_frontier(tier, load)
+    if not frontier:
+        raise SearchError("no designs can carry load %g on tier %r"
+                          % (load, tier))
+    target = max_downtime.as_minutes
+    feasible = sorted(
+        (candidate for candidate in frontier
+         if candidate.downtime_minutes <= target),
+        key=lambda candidate: candidate.annual_cost)
+    if not feasible:
+        raise SearchError(
+            "no frontier design meets %.3g min/yr at load %g; the best "
+            "achieves %.3g"
+            % (target, load,
+               min(c.downtime_minutes for c in frontier)))
+    chosen = feasible[0]
+    runner_up = feasible[1] if len(feasible) > 1 else None
+
+    infeasible_cheaper = [candidate for candidate in frontier
+                          if candidate.downtime_minutes > target
+                          and candidate.annual_cost
+                          < chosen.annual_cost]
+    near_miss = (max(infeasible_cheaper,
+                     key=lambda candidate: candidate.annual_cost)
+                 if infeasible_cheaper else None)
+
+    better = sorted(
+        (candidate for candidate in frontier
+         if candidate.unavailability < chosen.unavailability),
+        key=lambda candidate: candidate.annual_cost)
+    upgrade = better[0] if better else None
+
+    return DesignExplanation(chosen=chosen, runner_up=runner_up,
+                             near_miss=near_miss, upgrade=upgrade,
+                             target_minutes=target)

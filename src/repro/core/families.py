@@ -1,0 +1,75 @@
+"""Design families: the paper's Fig. 6 grouping of optimal designs.
+
+Fig. 6 groups designs into families identified by tuples
+``(resource, contract, n_extra, n_spare)``: the resource type, the
+maintenance contract level, the number of active machines beyond the
+failure-free minimum, and the number of spares.  A family's member at a
+given load uses however many primary machines the load requires plus
+the family's fixed redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..model import MechanismConfig
+from .design import TierDesign
+
+
+@dataclass(frozen=True, order=True)
+class DesignFamily:
+    """The redundancy/contract signature of a tier design."""
+
+    resource: str
+    contract: str             # maintenance level, or "-" if none
+    n_extra: int              # active resources beyond the minimum
+    n_spare: int
+    spare_level: Tuple[str, ...] = ()   # active prefix in spares
+
+    def label(self) -> str:
+        spare = str(self.n_spare)
+        if self.n_spare and self.spare_level:
+            spare += " (warm)"
+        return "%s, %s, %d, %s" % (self.resource, self.contract,
+                                   self.n_extra, spare)
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def family_of(design: TierDesign, n_min: int,
+              contract_mechanisms: Tuple[str, ...] = ("maintenanceA",
+                                                      "maintenanceB")) \
+        -> DesignFamily:
+    """Classify a tier design into its family.
+
+    ``n_min`` is the failure-free minimum active count at the load the
+    design was generated for; ``contract_mechanisms`` names the
+    mechanisms whose ``level`` parameter is reported as the contract.
+    """
+    contract = _contract_level(design, contract_mechanisms)
+    return DesignFamily(resource=design.resource,
+                        contract=contract,
+                        n_extra=design.n_active - n_min,
+                        n_spare=design.n_spare,
+                        spare_level=design.spare_active_prefix)
+
+
+def _contract_level(design: TierDesign,
+                    contract_mechanisms: Tuple[str, ...]) -> str:
+    for config in design.mechanism_configs:
+        if config.name in contract_mechanisms:
+            level = config.settings.get("level")
+            if level is not None:
+                return str(level)
+    return "-"
+
+
+def checkpoint_settings(design: TierDesign,
+                        mechanism: str = "checkpoint") \
+        -> Optional[MechanismConfig]:
+    """The design's checkpoint configuration, if it has one."""
+    if design.has_mechanism(mechanism):
+        return design.mechanism_config(mechanism)
+    return None

@@ -1,0 +1,126 @@
+"""Requirement-space maps: the machinery behind the paper's Figs. 6 and 8.
+
+Fig. 6 plots, over a two-dimensional requirement space (load on the x
+axis, allowed annual downtime on the y axis), which design family is
+cost-optimal in each region -- each curve is a family's achieved
+downtime as a function of load, and the family is optimal for
+requirement points between its curve and the next one up.
+
+Fig. 8 plots, for fixed loads, the *extra* annual cost of meeting a
+downtime requirement relative to the cheapest design that merely
+carries the load.
+
+Both reduce to the same primitive computed here: for each load, the
+tier's Pareto frontier of (cost, downtime) over the design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SearchError
+from ..units import Duration
+from .design import EvaluatedTierDesign
+from .evaluation import DesignEvaluator
+from .families import DesignFamily, family_of
+from .search import SearchLimits, TierSearch
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One Pareto-optimal design at one load level."""
+
+    load: float
+    n_min: int
+    family: DesignFamily
+    downtime_minutes: float
+    annual_cost: float
+    design: EvaluatedTierDesign
+
+
+@dataclass
+class RequirementSpaceMap:
+    """Pareto frontiers for a tier across a sweep of load levels."""
+
+    tier: str
+    loads: Tuple[float, ...]
+    points: Tuple[FrontierPoint, ...]
+
+    def at_load(self, load: float) -> List[FrontierPoint]:
+        """Frontier points for one load, sorted by decreasing downtime."""
+        selected = [point for point in self.points if point.load == load]
+        return sorted(selected, key=lambda p: -p.downtime_minutes)
+
+    def optimal_for(self, load: float, max_downtime: Duration) \
+            -> Optional[FrontierPoint]:
+        """Cheapest design at ``load`` meeting ``max_downtime``."""
+        target = max_downtime.as_minutes
+        feasible = [point for point in self.at_load(load)
+                    if point.downtime_minutes <= target]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.annual_cost)
+
+    def family_curves(self) -> Dict[DesignFamily,
+                                    List[Tuple[float, float]]]:
+        """Fig. 6's curves: family -> [(load, achieved downtime)].
+
+        A family appears at a load when it is on that load's Pareto
+        frontier (i.e. it is the optimal choice for some downtime
+        requirement at that load).
+        """
+        curves: Dict[DesignFamily, List[Tuple[float, float]]] = {}
+        for point in self.points:
+            curves.setdefault(point.family, []).append(
+                (point.load, point.downtime_minutes))
+        for values in curves.values():
+            values.sort()
+        return curves
+
+    def baseline_cost(self, load: float) -> float:
+        """Cheapest cost that merely carries the load (no availability
+        requirement) -- Fig. 8's reference level."""
+        points = self.at_load(load)
+        if not points:
+            raise SearchError("no designs at load %g" % load)
+        return min(point.annual_cost for point in points)
+
+    def extra_cost_curve(self, load: float,
+                         downtime_grid: Sequence[float]) \
+            -> List[Tuple[float, Optional[float]]]:
+        """Fig. 8's curve for one load.
+
+        Returns ``(downtime_minutes, extra_annual_cost)`` pairs; the
+        extra cost is None where no design meets the requirement.
+        """
+        baseline = self.baseline_cost(load)
+        curve: List[Tuple[float, Optional[float]]] = []
+        for downtime in downtime_grid:
+            optimal = self.optimal_for(load, Duration.minutes(downtime))
+            extra = (optimal.annual_cost - baseline
+                     if optimal is not None else None)
+            curve.append((downtime, extra))
+        return curve
+
+
+def build_requirement_map(evaluator: DesignEvaluator, tier: str,
+                          loads: Sequence[float],
+                          limits: Optional[SearchLimits] = None) \
+        -> RequirementSpaceMap:
+    """Compute the tier's Pareto frontier at every load in ``loads``."""
+    search = TierSearch(evaluator, limits)
+    points: List[FrontierPoint] = []
+    for load in loads:
+        frontier = search.tier_frontier(tier, load)
+        for candidate in frontier:
+            option = evaluator.service.tier(tier).option_for(
+                candidate.design.resource)
+            n_min = option.min_active_for(load)
+            family = family_of(candidate.design, n_min)
+            points.append(FrontierPoint(
+                load=load, n_min=n_min, family=family,
+                downtime_minutes=candidate.downtime_minutes,
+                annual_cost=candidate.annual_cost,
+                design=candidate))
+    return RequirementSpaceMap(tier, tuple(loads), tuple(points))

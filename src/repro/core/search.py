@@ -1,0 +1,651 @@
+"""Design-space search (paper section 4.1).
+
+The search examines each tier in isolation: for every candidate
+resource type it starts from the minimum resource count that meets the
+performance requirement without failures, then adds resources one at a
+time.  For each total it enumerates every split into active/spare, every
+spare activation level, and every availability-mechanism configuration.
+Once a feasible design is found, more expensive designs are rejected on
+cost alone without evaluating availability (the paper's pruning rule);
+the search for a resource type ends when even the cheapest conceivable
+design at the next resource count costs more than the incumbent, or --
+if nothing feasible has been found -- when availability degrades as
+resources are added (then no feasible design exists in that direction).
+
+Two searches are provided:
+
+* :class:`TierSearch` for enterprise tiers (throughput + downtime);
+* :class:`JobSearch` for finite applications (expected execution time),
+  which exploits the structural/performance mechanism split: the
+  availability model is solved once per structure and the checkpoint
+  parameter sweep reuses it in closed form.
+
+Multi-tier designs are assembled from per-tier Pareto frontiers by
+exact enumeration (:func:`combine_tier_frontiers`), which subsumes the
+paper's incremental per-tier tightening.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SearchError
+from ..model import JobRequirements, MechanismConfig, ResourceOption
+from ..units import Duration, MINUTES_PER_YEAR
+from .design import Design, EvaluatedTierDesign, TierDesign
+from .evaluation import DesignEvaluation, DesignEvaluator
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Knobs bounding the design-space enumeration.
+
+    ``max_redundancy`` bounds how many resources beyond the failure-free
+    minimum are tried (extras + spares combined).  ``spare_policy``
+    selects which spare activation levels are enumerated: ``"cold"``
+    (all spare components inactive -- the paper's first example),
+    ``"hot"`` (all active), or ``"all"`` (every dependency-respecting
+    prefix).  ``patience`` is how many consecutive resource-count
+    increases may degrade availability before the search gives up when
+    no feasible design has been seen.  ``fixed_settings`` pins mechanism
+    parameters (e.g. the paper's Fig. 7 fixes maintenance at bronze):
+    mechanism name -> {parameter: value}; listed parameters are frozen,
+    others still sweep.
+    """
+
+    max_redundancy: int = 8
+    patience: int = 2
+    spare_policy: str = "cold"
+    max_spares: Optional[int] = None
+    fixed_settings: Mapping[str, Mapping[str, object]] = \
+        field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.max_redundancy < 0:
+            raise SearchError("max_redundancy cannot be negative")
+        if self.patience < 1:
+            raise SearchError("patience must be >= 1")
+        if self.spare_policy not in ("cold", "hot", "all"):
+            raise SearchError("spare_policy must be cold|hot|all, got %r"
+                              % self.spare_policy)
+
+
+@dataclass
+class SearchStats:
+    """Counters describing how much work a search did."""
+
+    structures_enumerated: int = 0
+    availability_evaluations: int = 0
+    cost_pruned: int = 0
+    cache_hits: int = 0
+    job_time_evaluations: int = 0
+
+
+class _TierSearchBase:
+    """Shared enumeration machinery for both search flavors."""
+
+    def __init__(self, evaluator: DesignEvaluator,
+                 limits: Optional[SearchLimits] = None):
+        self.evaluator = evaluator
+        self.limits = limits or SearchLimits()
+        self.stats = SearchStats()
+        self._availability_cache: Dict[tuple, float] = {}
+
+    # -- mechanism enumeration -----------------------------------------
+
+    def _mechanism_configs(self, name: str) -> List[MechanismConfig]:
+        mechanism = self.evaluator.infrastructure.mechanism(name)
+        pinned = self.limits.fixed_settings.get(name, {})
+        configs = []
+        for config in mechanism.configurations():
+            if all(config.settings.get(key) == value
+                   for key, value in pinned.items()):
+                configs.append(config)
+        if not configs:
+            raise SearchError(
+                "fixed settings %r eliminate every configuration of "
+                "mechanism %r" % (dict(pinned), name))
+        return configs
+
+    def _mechanism_combos(self, names: Sequence[str]) \
+            -> List[Tuple[MechanismConfig, ...]]:
+        if not names:
+            return [()]
+        pools = [self._mechanism_configs(name) for name in names]
+        return [tuple(combo) for combo in itertools.product(*pools)]
+
+    # -- spares ----------------------------------------------------------
+
+    def _spare_prefixes(self, resource_name: str,
+                        n_spare: int) -> List[Tuple[str, ...]]:
+        if n_spare == 0:
+            return [()]
+        resource = self.evaluator.infrastructure.resource(resource_name)
+        if self.limits.spare_policy == "cold":
+            return [()]
+        if self.limits.spare_policy == "hot":
+            return [resource.activation_prefixes()[-1]]
+        return resource.activation_prefixes()
+
+    # -- cached availability -------------------------------------------
+
+    def _tier_unavailability(self, tier_design: TierDesign,
+                             load: Optional[float]) -> float:
+        key = self._structure_key(tier_design, load)
+        if key in self._availability_cache:
+            self.stats.cache_hits += 1
+            return self._availability_cache[key]
+        model = self.evaluator.tier_model(tier_design, load)
+        result = self.evaluator.engine.evaluate_tier(model)
+        self.stats.availability_evaluations += 1
+        self._availability_cache[key] = result.unavailability
+        return result.unavailability
+
+    @staticmethod
+    def _structure_key(tier_design: TierDesign,
+                       load: Optional[float]) -> tuple:
+        mech_key = tuple(sorted(
+            (config.name, tuple(sorted((k, str(v))
+                                       for k, v in config.settings.items())))
+            for config in tier_design.mechanism_configs))
+        return (tier_design.tier, tier_design.resource,
+                tier_design.n_active, tier_design.n_spare,
+                tier_design.spare_active_prefix, mech_key, load)
+
+    # -- structure enumeration --------------------------------------------
+
+    def _splits(self, option: ResourceOption, n_min: int,
+                total: int) -> List[Tuple[int, int]]:
+        """All (n_active, n_spare) splits of ``total`` resources.
+
+        Splits exceeding a component type's ``max_instances`` cap are
+        excluded: every resource instance (active or spare) instantiates
+        each of its components.
+        """
+        if total > self._max_total_resources(option.resource):
+            return []
+        allowed = set(option.active_counts())
+        max_spares = (self.limits.max_spares
+                      if self.limits.max_spares is not None
+                      else total)
+        splits = []
+        for n_active in range(n_min, total + 1):
+            n_spare = total - n_active
+            if n_spare > max_spares:
+                continue
+            if n_active in allowed:
+                splits.append((n_active, n_spare))
+        return splits
+
+    def _max_total_resources(self, resource_name: str) -> int:
+        """Tightest component ``max_instances`` cap over the resource."""
+        resource = self.evaluator.infrastructure.resource(resource_name)
+        cap = math.inf
+        for slot in resource.slots:
+            component = self.evaluator.infrastructure.component(
+                slot.component)
+            if component.max_instances is not None:
+                cap = min(cap, component.max_instances)
+        return cap
+
+    def _min_cost_for_total(self, tier_name: str, option: ResourceOption,
+                            structural: Sequence[str], n_min: int,
+                            total: int) -> float:
+        """Cheapest conceivable cost using ``total`` resources.
+
+        Used for the paper's termination rule: once this exceeds the
+        incumbent's cost, adding more resources cannot help.
+        """
+        best = math.inf
+        for n_active, n_spare in self._splits(option, n_min, total):
+            for prefix in self._spare_prefixes(option.resource, n_spare):
+                for combo in self._mechanism_combos(structural):
+                    design = TierDesign(tier_name, option.resource,
+                                        n_active, n_spare, prefix, combo)
+                    cost = self.evaluator.tier_cost(design).total
+                    if cost < best:
+                        best = cost
+        return best
+
+
+class TierSearch(_TierSearchBase):
+    """Per-tier search for enterprise services (throughput + downtime)."""
+
+    def enumerate_candidates(self, tier_name: str, load: float,
+                             max_downtime: Optional[Duration] = None,
+                             prune_cost_above: float = math.inf) \
+            -> Iterator[EvaluatedTierDesign]:
+        """Yield evaluated designs for one tier, cheapest totals first.
+
+        When ``max_downtime`` is given the paper's termination rules
+        apply; otherwise the enumeration is bounded only by
+        ``max_redundancy`` (used for frontier construction).
+        """
+        tier = self.evaluator.service.tier(tier_name)
+        for option in tier.options:
+            yield from self._enumerate_option(tier_name, option, load,
+                                              max_downtime,
+                                              prune_cost_above)
+
+    def _enumerate_option(self, tier_name: str, option: ResourceOption,
+                          load: float, max_downtime: Optional[Duration],
+                          prune_cost_above: float) \
+            -> Iterator[EvaluatedTierDesign]:
+        n_min = option.min_active_for(load)
+        if n_min is None:
+            return
+        structural, _ = self.evaluator.required_mechanisms(
+            tier_name, option.resource)
+        best_cost = prune_cost_above
+        found_feasible = False
+        previous_best_downtime = math.inf
+        degradations = 0
+        target_minutes = (max_downtime.as_minutes
+                          if max_downtime is not None else None)
+
+        for extra in range(self.limits.max_redundancy + 1):
+            total = n_min + extra
+            if found_feasible:
+                floor = self._min_cost_for_total(tier_name, option,
+                                                 structural, n_min, total)
+                if floor >= best_cost:
+                    break
+            best_downtime_this_total = math.inf
+            for n_active, n_spare in self._splits(option, n_min, total):
+                for prefix in self._spare_prefixes(option.resource,
+                                                   n_spare):
+                    for combo in self._mechanism_combos(structural):
+                        design = TierDesign(tier_name, option.resource,
+                                            n_active, n_spare, prefix,
+                                            combo)
+                        self.stats.structures_enumerated += 1
+                        cost = self.evaluator.tier_cost(design).total
+                        if cost >= best_cost:
+                            self.stats.cost_pruned += 1
+                            continue
+                        unavailability = self._tier_unavailability(
+                            design, load)
+                        downtime = unavailability * MINUTES_PER_YEAR
+                        best_downtime_this_total = min(
+                            best_downtime_this_total, downtime)
+                        candidate = EvaluatedTierDesign(design, cost,
+                                                        unavailability)
+                        yield candidate
+                        if target_minutes is not None \
+                                and downtime <= target_minutes:
+                            found_feasible = True
+                            best_cost = min(best_cost, cost)
+            if target_minutes is not None and not found_feasible:
+                if best_downtime_this_total >= previous_best_downtime:
+                    degradations += 1
+                    if degradations >= self.limits.patience:
+                        break
+                else:
+                    degradations = 0
+                previous_best_downtime = min(previous_best_downtime,
+                                             best_downtime_this_total)
+
+    def best_tier_design(self, tier_name: str, load: float,
+                         max_downtime: Duration) \
+            -> Optional[EvaluatedTierDesign]:
+        """Minimum-cost design for one tier, or None if infeasible."""
+        best: Optional[EvaluatedTierDesign] = None
+        target = max_downtime.as_minutes
+        for candidate in self.enumerate_candidates(tier_name, load,
+                                                   max_downtime):
+            if candidate.downtime_minutes <= target:
+                if best is None or candidate.annual_cost < best.annual_cost:
+                    best = candidate
+        return best
+
+    def tier_frontier(self, tier_name: str, load: float) \
+            -> List[EvaluatedTierDesign]:
+        """Pareto frontier (cost vs downtime) for one tier.
+
+        Sorted by increasing cost / decreasing downtime; the first entry
+        is the cheapest design at all, the last the most available one
+        within the enumeration bounds.
+        """
+        candidates = list(self.enumerate_candidates(tier_name, load))
+        return pareto_filter(candidates)
+
+    def best_within_budget(self, tier_name: str, load: float,
+                           max_annual_cost: float) \
+            -> Optional[EvaluatedTierDesign]:
+        """The dual problem: minimize downtime within a cost budget.
+
+        The paper optimizes cost subject to availability; procurement
+        often runs the other way ("what is the most available design
+        $50k buys?").  Returns the lowest-downtime frontier design not
+        exceeding the budget, or None if even the cheapest
+        load-carrying design costs more.
+        """
+        frontier = self.tier_frontier(tier_name, load)
+        affordable = [candidate for candidate in frontier
+                      if candidate.annual_cost
+                      <= max_annual_cost + 1e-9]
+        if not affordable:
+            return None
+        return min(affordable,
+                   key=lambda candidate: (candidate.unavailability,
+                                          candidate.annual_cost))
+
+
+def pareto_filter(candidates: Sequence[EvaluatedTierDesign]) \
+        -> List[EvaluatedTierDesign]:
+    """Keep the non-dominated (cost, unavailability) candidates."""
+    ordered = sorted(candidates,
+                     key=lambda c: (c.annual_cost, c.unavailability))
+    frontier: List[EvaluatedTierDesign] = []
+    best_unavailability = math.inf
+    for candidate in ordered:
+        if candidate.unavailability < best_unavailability - 1e-15:
+            frontier.append(candidate)
+            best_unavailability = candidate.unavailability
+    return frontier
+
+
+def combine_tier_frontiers(
+        frontiers: Sequence[List[EvaluatedTierDesign]],
+        max_downtime: Duration,
+        max_combinations: int = 2_000_000) -> Optional[Design]:
+    """Assemble the min-cost multi-tier design from per-tier frontiers.
+
+    Exact enumeration over the frontier product with branch-and-bound
+    on cost; tiers compose in series
+    (``1 - prod(1 - u_i) <= requirement``).
+    """
+    if not frontiers:
+        raise SearchError("no tier frontiers to combine")
+    if any(not frontier for frontier in frontiers):
+        return None
+    size = 1
+    for frontier in frontiers:
+        size *= len(frontier)
+    if size > max_combinations:
+        raise SearchError(
+            "frontier product has %d combinations (> %d); tighten the "
+            "search limits" % (size, max_combinations))
+
+    target = max_downtime.as_minutes / MINUTES_PER_YEAR
+    best_cost = math.inf
+    best: Optional[Tuple[EvaluatedTierDesign, ...]] = None
+    # Sort each frontier by cost so prefix sums can bound the search.
+    sorted_frontiers = [sorted(frontier, key=lambda c: c.annual_cost)
+                        for frontier in frontiers]
+    min_cost_suffix = [min(c.annual_cost for c in frontier)
+                       for frontier in sorted_frontiers]
+    suffix_floor = [0.0] * (len(frontiers) + 1)
+    for index in range(len(frontiers) - 1, -1, -1):
+        suffix_floor[index] = suffix_floor[index + 1] + \
+            min_cost_suffix[index]
+
+    def recurse(index: int, cost_so_far: float, up_so_far: float,
+                chosen: Tuple[EvaluatedTierDesign, ...]) -> None:
+        nonlocal best_cost, best
+        if cost_so_far + suffix_floor[index] >= best_cost:
+            return
+        if index == len(sorted_frontiers):
+            if 1.0 - up_so_far <= target + 1e-15:
+                best_cost = cost_so_far
+                best = chosen
+            return
+        for candidate in sorted_frontiers[index]:
+            cost = cost_so_far + candidate.annual_cost
+            if cost + suffix_floor[index + 1] >= best_cost:
+                break  # frontier sorted by cost: no cheaper entries left
+            recurse(index + 1, cost,
+                    up_so_far * (1.0 - candidate.unavailability),
+                    chosen + (candidate,))
+
+    recurse(0, 0.0, 1.0, ())
+    if best is None:
+        return None
+    return Design(tuple(candidate.design for candidate in best))
+
+
+def refine_tier_frontiers_greedy(
+        frontiers: Sequence[List[EvaluatedTierDesign]],
+        max_downtime: Duration) -> Optional[Design]:
+    """The paper's incremental multi-tier refinement (section 4.1).
+
+    Start from each tier's individually cheapest design; while the
+    combined (series) downtime exceeds the requirement, "make the
+    requirements for one tier incrementally more aggressive": advance
+    the tier whose next Pareto step buys downtime at the lowest
+    marginal cost.  Greedy, hence possibly suboptimal --
+    :func:`combine_tier_frontiers` is the exact alternative; the search
+    ablation benchmark compares them.
+    """
+    if not frontiers:
+        raise SearchError("no tier frontiers to combine")
+    if any(not frontier for frontier in frontiers):
+        return None
+    # Sort each frontier from cheapest/dirtiest to priciest/cleanest.
+    ladders = [sorted(frontier, key=lambda c: c.annual_cost)
+               for frontier in frontiers]
+    indexes = [0] * len(ladders)
+    target = max_downtime.as_minutes / MINUTES_PER_YEAR
+
+    def combined(index_vector) -> float:
+        up = 1.0
+        for ladder, index in zip(ladders, index_vector):
+            up *= 1.0 - ladder[index].unavailability
+        return 1.0 - up
+
+    while combined(indexes) > target + 1e-15:
+        best_tier = -1
+        best_marginal = math.inf
+        current = combined(indexes)
+        for tier_index, ladder in enumerate(ladders):
+            if indexes[tier_index] + 1 >= len(ladder):
+                continue
+            trial = list(indexes)
+            trial[tier_index] += 1
+            reduction = current - combined(trial)
+            step_cost = (ladder[trial[tier_index]].annual_cost
+                         - ladder[indexes[tier_index]].annual_cost)
+            if reduction <= 0:
+                continue
+            marginal = step_cost / reduction
+            if marginal < best_marginal:
+                best_marginal = marginal
+                best_tier = tier_index
+        if best_tier < 0:
+            return None  # no tier can be tightened further
+        indexes[best_tier] += 1
+    return Design(tuple(ladder[index].design
+                        for ladder, index in zip(ladders, indexes)))
+
+
+class JobSearch(_TierSearchBase):
+    """Search for finite applications (paper's scientific example).
+
+    The service must have a single tier (the compute tier).  The
+    availability model is solved once per structure (resource type,
+    active/spare split, spare level, structural mechanisms); checkpoint
+    parameters sweep in closed form on top of it.
+    """
+
+    def best_design(self, requirements: JobRequirements) \
+            -> Optional[DesignEvaluation]:
+        service = self.evaluator.service
+        if not service.is_finite_job:
+            raise SearchError("service %r has no job size; use TierSearch"
+                              % service.name)
+        if len(service.tiers) != 1:
+            raise SearchError("job search supports single-tier services")
+        tier = service.tiers[0]
+        best: Optional[DesignEvaluation] = None
+        for option in tier.options:
+            candidate = self._search_option(tier.name, option, requirements,
+                                            best)
+            if candidate is not None and (
+                    best is None
+                    or candidate.annual_cost < best.annual_cost):
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _search_option(self, tier_name: str, option: ResourceOption,
+                       requirements: JobRequirements,
+                       incumbent: Optional[DesignEvaluation]) \
+            -> Optional[DesignEvaluation]:
+        n_min = self._min_active_for_deadline(option, requirements)
+        if n_min is None:
+            return None
+        structural, performance = self.evaluator.required_mechanisms(
+            tier_name, option.resource)
+        perf_combos = self._mechanism_combos(performance)
+        best = incumbent
+        best_time_previous = math.inf
+        degradations = 0
+
+        for extra in range(self.limits.max_redundancy + 1):
+            total = n_min + extra
+            if best is not None:
+                floor = self._min_cost_for_total(tier_name, option,
+                                                 structural, n_min, total)
+                if floor >= best.annual_cost:
+                    break
+            best_time_this_total = math.inf
+            for n_active, n_spare in self._splits(option, n_min, total):
+                for prefix in self._spare_prefixes(option.resource,
+                                                   n_spare):
+                    for combo in self._mechanism_combos(structural):
+                        evaluation, best_time = self._evaluate_structure(
+                            tier_name, option, n_active, n_spare, prefix,
+                            combo, perf_combos, requirements, best)
+                        best_time_this_total = min(best_time_this_total,
+                                                   best_time)
+                        if evaluation is not None:
+                            best = evaluation
+            if best is None or not self._meets(best, requirements):
+                if best_time_this_total >= best_time_previous:
+                    degradations += 1
+                    if degradations >= self.limits.patience:
+                        break
+                else:
+                    degradations = 0
+                best_time_previous = min(best_time_previous,
+                                         best_time_this_total)
+        if best is not None and self._meets(best, requirements):
+            return best
+        return None
+
+    @staticmethod
+    def _meets(evaluation: DesignEvaluation,
+               requirements: JobRequirements) -> bool:
+        return (evaluation.job_time is not None
+                and evaluation.job_time.expected_time.is_finite()
+                and evaluation.job_time.expected_time
+                <= requirements.max_execution_time)
+
+    def _min_active_for_deadline(self, option: ResourceOption,
+                                 requirements: JobRequirements) \
+            -> Optional[int]:
+        """Smallest n whose *failure-free, overhead-free* time meets the
+        deadline -- the paper's starting point for the resource sweep."""
+        job_size = self.evaluator.service.job_size
+        hours = requirements.max_execution_time.as_hours
+        needed = job_size / hours
+        return option.min_active_for(needed)
+
+    def _evaluate_structure(self, tier_name: str, option: ResourceOption,
+                            n_active: int, n_spare: int,
+                            prefix: Tuple[str, ...],
+                            structural_combo: Tuple[MechanismConfig, ...],
+                            perf_combos: Sequence[Tuple[MechanismConfig,
+                                                        ...]],
+                            requirements: JobRequirements,
+                            incumbent: Optional[DesignEvaluation]) \
+            -> Tuple[Optional[DesignEvaluation], float]:
+        """Evaluate one structure across all performance-mechanism combos.
+
+        Returns (an evaluation improving on ``incumbent`` or None, best
+        expected job time seen) -- the latter feeds the
+        degradation-based termination rule.  "Improving" is
+        lexicographic: lower cost wins; at equal cost, lower expected
+        job time wins (the paper reports the *optimal* checkpoint
+        configuration, not just any feasible one).
+        """
+        self.stats.structures_enumerated += 1
+        evaluator = self.evaluator
+        best_time = math.inf
+        best_eval = incumbent
+
+        for perf_combo in perf_combos:
+            design = Design((TierDesign(tier_name, option.resource,
+                                        n_active, n_spare, prefix,
+                                        structural_combo + perf_combo),))
+            cost = evaluator.design_cost(design)
+            if not _may_improve(cost.total, best_eval):
+                self.stats.cost_pruned += 1
+                continue
+            # Availability depends only on the structural part, so the
+            # cached solve is shared across the performance sweep.
+            unavailability = self._structural_unavailability(
+                tier_name, option, n_active, n_spare, prefix,
+                structural_combo)
+            availability = self._as_result(tier_name, unavailability)
+            job_time = evaluator.job_time(design, availability)
+            self.stats.job_time_evaluations += 1
+            hours = job_time.expected_time.as_hours \
+                if job_time.expected_time.is_finite() else math.inf
+            best_time = min(best_time, hours)
+            feasible = (job_time.expected_time.is_finite()
+                        and job_time.expected_time
+                        <= requirements.max_execution_time)
+            if feasible:
+                evaluation = DesignEvaluation(design, cost, availability,
+                                              job_time)
+                if _improves(evaluation, best_eval):
+                    best_eval = evaluation
+        if best_eval is incumbent:
+            return None, best_time
+        return best_eval, best_time
+
+    def _structural_unavailability(self, tier_name: str,
+                                   option: ResourceOption, n_active: int,
+                                   n_spare: int, prefix: Tuple[str, ...],
+                                   combo: Tuple[MechanismConfig, ...]) \
+            -> float:
+        design = TierDesign(tier_name, option.resource, n_active, n_spare,
+                            prefix, combo)
+        return self._tier_unavailability(design, None)
+
+    @staticmethod
+    def _as_result(tier_name: str, unavailability: float):
+        from ..availability import AvailabilityResult, TierResult
+        tier = TierResult(tier_name, unavailability)
+        return AvailabilityResult((tier,), unavailability)
+
+
+_COST_TIE_EPSILON = 1e-6
+
+
+def _may_improve(cost: float,
+                 incumbent: Optional[DesignEvaluation]) -> bool:
+    """Could a design at ``cost`` beat the incumbent lexicographically?"""
+    if incumbent is None:
+        return True
+    return cost <= incumbent.annual_cost + _COST_TIE_EPSILON
+
+
+def _improves(candidate: DesignEvaluation,
+              incumbent: Optional[DesignEvaluation]) -> bool:
+    """Lexicographic (cost, expected job time) improvement test."""
+    if incumbent is None:
+        return True
+    if candidate.annual_cost < incumbent.annual_cost - _COST_TIE_EPSILON:
+        return True
+    if candidate.annual_cost > incumbent.annual_cost + _COST_TIE_EPSILON:
+        return False
+    if incumbent.job_time is None:
+        return True
+    return (candidate.job_time.expected_time
+            < incumbent.job_time.expected_time)

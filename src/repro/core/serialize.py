@@ -1,0 +1,147 @@
+"""JSON-friendly serialization of designs and evaluations.
+
+A utility-computing controller (or just a user saving results) needs to
+persist the engine's decisions.  Designs serialize to plain dicts --
+durations as their spec strings (``"10.4m"``), mechanism settings by
+name -- and deserialize against an :class:`InfrastructureModel`, which
+re-validates every mechanism parameter on the way in.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import ModelError
+from ..model import InfrastructureModel, MechanismConfig
+from ..units import Duration
+from .design import Design, TierDesign
+from .evaluation import DesignEvaluation
+
+
+def _setting_to_json(value):
+    if isinstance(value, Duration):
+        return {"duration": value.format()}
+    return value
+
+
+def _setting_from_json(value):
+    if isinstance(value, dict) and set(value) == {"duration"}:
+        return Duration.parse(value["duration"])
+    return value
+
+
+def tier_design_to_dict(tier_design: TierDesign) -> Dict:
+    """Serialize one tier design to a JSON-compatible dict."""
+    return {
+        "tier": tier_design.tier,
+        "resource": tier_design.resource,
+        "n_active": tier_design.n_active,
+        "n_spare": tier_design.n_spare,
+        "spare_active_prefix": list(tier_design.spare_active_prefix),
+        "mechanisms": {
+            config.name: {key: _setting_to_json(value)
+                          for key, value in config.settings.items()}
+            for config in tier_design.mechanism_configs
+        },
+    }
+
+
+def tier_design_from_dict(data: Dict,
+                          infrastructure: InfrastructureModel) \
+        -> TierDesign:
+    """Rebuild a tier design, validating against the infrastructure."""
+    try:
+        mechanisms = data.get("mechanisms", {})
+        configs = []
+        for name, settings in mechanisms.items():
+            mechanism = infrastructure.mechanism(name)
+            resolved = {key: _match_setting(mechanism, key,
+                                            _setting_from_json(value))
+                        for key, value in settings.items()}
+            configs.append(MechanismConfig(mechanism, resolved))
+        return TierDesign(
+            tier=data["tier"],
+            resource=data["resource"],
+            n_active=int(data["n_active"]),
+            n_spare=int(data["n_spare"]),
+            spare_active_prefix=tuple(data.get("spare_active_prefix",
+                                               ())),
+            mechanism_configs=tuple(configs))
+    except KeyError as exc:
+        raise ModelError("design dict missing field %s" % exc)
+
+
+def _match_setting(mechanism, parameter_name: str, value):
+    """Snap deserialized values onto the parameter's actual grid.
+
+    Duration grids are matched by equality of seconds after the round
+    trip through the canonical format; other values pass through (the
+    MechanismConfig constructor still validates membership).
+    """
+    try:
+        allowed = mechanism.parameter(parameter_name).values.values()
+    except ModelError:
+        return value
+    for candidate in allowed:
+        if isinstance(candidate, Duration) and \
+                isinstance(value, Duration):
+            if candidate.format() == value.format():
+                return candidate
+        elif candidate == value:
+            return candidate
+    return value
+
+
+def design_to_dict(design: Design) -> Dict:
+    return {"tiers": [tier_design_to_dict(tier)
+                      for tier in design.tiers]}
+
+
+def design_from_dict(data: Dict,
+                     infrastructure: InfrastructureModel) -> Design:
+    tiers: List[TierDesign] = [
+        tier_design_from_dict(entry, infrastructure)
+        for entry in data.get("tiers", [])]
+    if not tiers:
+        raise ModelError("design dict has no tiers")
+    return Design(tuple(tiers))
+
+
+def design_to_json(design: Design, indent: int = 2) -> str:
+    return json.dumps(design_to_dict(design), indent=indent,
+                      sort_keys=True)
+
+
+def design_from_json(text: str,
+                     infrastructure: InfrastructureModel) -> Design:
+    return design_from_dict(json.loads(text), infrastructure)
+
+
+def evaluation_to_dict(evaluation: DesignEvaluation) -> Dict:
+    """Serialize an evaluation summary (one-way: for records/dashboards)."""
+    result = {
+        "design": design_to_dict(evaluation.design),
+        "annual_cost": evaluation.annual_cost,
+        "cost_breakdown": {
+            "active_components": evaluation.cost.active_components,
+            "spare_components": evaluation.cost.spare_components,
+            "mechanisms": evaluation.cost.mechanisms,
+        },
+        "downtime_minutes": evaluation.downtime_minutes,
+        "tier_downtime_minutes": {
+            tier.name: tier.downtime_minutes
+            for tier in evaluation.availability.tiers
+        },
+    }
+    if evaluation.job_time is not None:
+        job = evaluation.job_time
+        result["job_time"] = {
+            "expected_hours": (job.expected_time.as_hours
+                               if job.expected_time.is_finite()
+                               else None),
+            "useful_fraction": job.useful_fraction,
+            "overhead_factor": job.overhead_factor,
+            "uptime_fraction": job.uptime_fraction,
+        }
+    return result

@@ -1,0 +1,5 @@
+"""Cost evaluation of designs (paper section 4.2, cost half)."""
+
+from .model import ZERO_COST, CostBreakdown, tier_cost
+
+__all__ = ["CostBreakdown", "tier_cost", "ZERO_COST"]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Aved reproduction.
+
+Every error raised by this package derives from :class:`AvedError`, so
+callers can catch a single base class at API boundaries.  The subclasses
+partition errors by the subsystem that detected them (specification
+parsing, model validation, expression evaluation, availability
+evaluation, design search).
+"""
+
+from __future__ import annotations
+
+
+class AvedError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class UnitError(AvedError, ValueError):
+    """A quantity string (duration, rate, range) could not be parsed."""
+
+
+class ExpressionError(AvedError):
+    """An expression could not be parsed or evaluated."""
+
+    def __init__(self, message: str, source: str = "", position: int = -1):
+        self.source = source
+        self.position = position
+        if source and position >= 0:
+            message = "%s (at position %d in %r)" % (message, position, source)
+        super().__init__(message)
+
+
+class SpecError(AvedError):
+    """A specification document (Fig. 3/4/5 style DSL) is malformed."""
+
+    def __init__(self, message: str, line: int = -1):
+        self.line = line
+        if line >= 0:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class ModelError(AvedError):
+    """A model object is internally inconsistent (validation failure)."""
+
+
+class EvaluationError(AvedError):
+    """An availability/cost/job-time evaluation could not be completed."""
+
+
+class SearchError(AvedError):
+    """The design-space search failed (e.g. no feasible design exists)."""
+
+
+class InfeasibleError(SearchError):
+    """No design in the modeled design space satisfies the requirements."""
+
+    def __init__(self, message: str, best_infeasible=None):
+        super().__init__(message)
+        #: The closest design found, if any, for diagnostic reporting.
+        self.best_infeasible = best_infeasible

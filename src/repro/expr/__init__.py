@@ -1,0 +1,21 @@
+"""Safe expression language for performance functions (Table 1).
+
+Public entry points:
+
+* :class:`Expression` -- compile once, evaluate with keyword variables.
+* :func:`parse` -- produce the raw AST.
+* :func:`evaluate` -- evaluate an AST against an environment mapping.
+"""
+
+from .ast_nodes import (Binary, Call, Conditional, Node, Number, Unary,
+                        Variable, free_variables)
+from .evaluator import Expression, evaluate
+from .functions import BUILTIN_FUNCTIONS
+from .parser import parse
+from .printer import to_source
+
+__all__ = [
+    "Expression", "parse", "evaluate", "free_variables",
+    "Node", "Number", "Variable", "Unary", "Binary", "Call", "Conditional",
+    "BUILTIN_FUNCTIONS", "to_source",
+]

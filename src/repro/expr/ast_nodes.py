@@ -1,0 +1,97 @@
+"""AST node types for the Aved expression language.
+
+The expression language is a small, side-effect-free calculator used to
+write performance functions (Table 1 of the paper) without resorting to
+``eval``.  It supports numbers, percentages (``100%`` is 1.0),
+variables, arithmetic, comparisons, boolean logic, function calls, and
+a C-style conditional ``cond ? a : b``.
+
+Nodes are immutable value objects; evaluation lives in
+:mod:`repro.expr.evaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Node:
+    """Base class for expression AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Node", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Number(Node):
+    """A numeric literal (percent literals are pre-scaled by 1/100)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    """A free variable, bound at evaluation time from the environment."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """A unary operation: ``-x`` or ``not x``."""
+
+    op: str
+    operand: Node
+
+    def children(self):
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """A binary operation: arithmetic, comparison, or boolean."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """A call to a builtin function, e.g. ``max(a, b)``."""
+
+    name: str
+    args: Tuple[Node, ...]
+
+    def children(self):
+        return self.args
+
+
+@dataclass(frozen=True)
+class Conditional(Node):
+    """A ternary conditional ``condition ? if_true : if_false``."""
+
+    condition: Node
+    if_true: Node
+    if_false: Node
+
+    def children(self):
+        return (self.condition, self.if_true, self.if_false)
+
+
+def free_variables(node: Node) -> frozenset:
+    """Return the set of variable names appearing in ``node``."""
+    names = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Variable):
+            names.add(current.name)
+        stack.extend(current.children())
+    return frozenset(names)

@@ -1,0 +1,172 @@
+"""Evaluator and compiled-expression convenience class."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import ExpressionError
+from .ast_nodes import (Binary, Call, Conditional, Node, Number, Unary,
+                        Variable, free_variables)
+from .functions import BUILTIN_FUNCTIONS, check_arity
+from .parser import parse
+
+_TRUTH_EPSILON = 0.0  # a value is true iff it is nonzero
+
+
+def _truthy(value: float) -> bool:
+    return value != _TRUTH_EPSILON
+
+
+def evaluate(node: Node, env: Mapping[str, float]) -> float:
+    """Evaluate ``node`` with variables bound from ``env``.
+
+    All values are floats; booleans are represented as 1.0 / 0.0.
+    ``and``/``or`` short-circuit, and the untaken branch of a
+    conditional is never evaluated (so guarded divisions are safe).
+    """
+    if isinstance(node, Number):
+        return node.value
+    if isinstance(node, Variable):
+        try:
+            return float(env[node.name])
+        except KeyError:
+            raise ExpressionError("unbound variable %r" % node.name)
+    if isinstance(node, Unary):
+        if node.op == "-":
+            return -evaluate(node.operand, env)
+        if node.op == "not":
+            return 0.0 if _truthy(evaluate(node.operand, env)) else 1.0
+        raise ExpressionError("unknown unary operator %r" % node.op)
+    if isinstance(node, Binary):
+        return _evaluate_binary(node, env)
+    if isinstance(node, Conditional):
+        if _truthy(evaluate(node.condition, env)):
+            return evaluate(node.if_true, env)
+        return evaluate(node.if_false, env)
+    if isinstance(node, Call):
+        check_arity(node.name, len(node.args))
+        args = [evaluate(arg, env) for arg in node.args]
+        try:
+            return float(BUILTIN_FUNCTIONS[node.name](*args))
+        except (ValueError, OverflowError) as exc:
+            raise ExpressionError("error in %s(): %s" % (node.name, exc))
+    raise ExpressionError("unknown node type %r" % type(node).__name__)
+
+
+def _evaluate_binary(node: Binary, env: Mapping[str, float]) -> float:
+    op = node.op
+    if op == "and":
+        left = evaluate(node.left, env)
+        if not _truthy(left):
+            return 0.0
+        return 1.0 if _truthy(evaluate(node.right, env)) else 0.0
+    if op == "or":
+        left = evaluate(node.left, env)
+        if _truthy(left):
+            return 1.0
+        return 1.0 if _truthy(evaluate(node.right, env)) else 0.0
+
+    left = evaluate(node.left, env)
+    right = evaluate(node.right, env)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0.0:
+            raise ExpressionError("division by zero")
+        return left / right
+    if op == "^":
+        try:
+            return float(left ** right)
+        except (OverflowError, ZeroDivisionError, ValueError) as exc:
+            raise ExpressionError("error in power: %s" % exc)
+    if op == "<":
+        return 1.0 if left < right else 0.0
+    if op == "<=":
+        return 1.0 if left <= right else 0.0
+    if op == ">":
+        return 1.0 if left > right else 0.0
+    if op == ">=":
+        return 1.0 if left >= right else 0.0
+    if op == "==":
+        return 1.0 if left == right else 0.0
+    if op == "!=":
+        return 1.0 if left != right else 0.0
+    raise ExpressionError("unknown binary operator %r" % op)
+
+
+class Expression:
+    """A compiled expression: parse once, evaluate many times.
+
+    >>> Expression("200*n")(n=5)
+    1000.0
+    >>> Expression("n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)")(n=60, cpi=5)
+    4.0
+    """
+
+    __slots__ = ("source", "node", "variables")
+
+    def __init__(self, source: str, optimize: bool = True):
+        self.source = source
+        self.node = parse(source)
+        self._check_functions(self.node)
+        if optimize:
+            from .optimizer import fold_constants
+            self.node = fold_constants(self.node)
+        self.variables = free_variables(self.node)
+
+    @staticmethod
+    def _check_functions(node: Node) -> None:
+        """Validate function names/arity at compile time, not call time."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, Call):
+                check_arity(current.name, len(current.args))
+            stack.extend(current.children())
+
+    def __call__(self, **env: float) -> float:
+        return evaluate(self.node, env)
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return evaluate(self.node, env)
+
+    def partial(self, **bound: float) -> "Expression":
+        """Return a new source-level expression with some variables fixed.
+
+        Implemented by environment chaining rather than AST rewriting;
+        the returned object still reports the remaining free variables.
+        """
+        return _PartialExpression(self, dict(bound))
+
+    def __repr__(self) -> str:
+        return "Expression(%r)" % (self.source,)
+
+
+class _PartialExpression(Expression):
+    """An :class:`Expression` with some variables pre-bound."""
+
+    __slots__ = ("_bound",)
+
+    def __init__(self, base: Expression, bound: Dict[str, float]):
+        # Deliberately do not call super().__init__: reuse the parsed AST.
+        self.source = base.source
+        self.node = base.node
+        self._bound = bound
+        self.variables = base.variables - frozenset(bound)
+
+    def __call__(self, **env: float) -> float:
+        merged = dict(self._bound)
+        merged.update(env)
+        return evaluate(self.node, merged)
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        merged = dict(self._bound)
+        merged.update(env)
+        return evaluate(self.node, merged)
+
+    def __repr__(self) -> str:
+        return "Expression(%r, bound=%r)" % (self.source, self._bound)

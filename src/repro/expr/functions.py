@@ -1,0 +1,77 @@
+"""Builtin function table for the Aved expression language.
+
+Only pure numeric functions are exposed -- the language has no access to
+the interpreter, filesystem, or model state, which is the point of not
+using ``eval`` for user-supplied performance functions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from ..errors import ExpressionError
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    if low > high:
+        raise ExpressionError("clamp: low > high (%g > %g)" % (low, high))
+    return min(max(value, low), high)
+
+
+def _log(value: float, base: float = math.e) -> float:
+    if value <= 0:
+        raise ExpressionError("log of non-positive value %g" % value)
+    return math.log(value, base)
+
+
+def _sqrt(value: float) -> float:
+    if value < 0:
+        raise ExpressionError("sqrt of negative value %g" % value)
+    return math.sqrt(value)
+
+
+BUILTIN_FUNCTIONS: Dict[str, Callable[..., float]] = {
+    "max": max,
+    "min": min,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": round,
+    "exp": math.exp,
+    "log": _log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "sqrt": _sqrt,
+    "pow": math.pow,
+    "clamp": _clamp,
+}
+
+#: Arity constraints: (min_args, max_args); ``None`` means unbounded.
+FUNCTION_ARITY = {
+    "max": (1, None),
+    "min": (1, None),
+    "abs": (1, 1),
+    "floor": (1, 1),
+    "ceil": (1, 1),
+    "round": (1, 2),
+    "exp": (1, 1),
+    "log": (1, 2),
+    "log2": (1, 1),
+    "log10": (1, 1),
+    "sqrt": (1, 1),
+    "pow": (2, 2),
+    "clamp": (3, 3),
+}
+
+
+def check_arity(name: str, arg_count: int) -> None:
+    """Raise :class:`ExpressionError` if ``name`` can't take ``arg_count`` args."""
+    if name not in BUILTIN_FUNCTIONS:
+        raise ExpressionError("unknown function %r" % name)
+    low, high = FUNCTION_ARITY[name]
+    if arg_count < low or (high is not None and arg_count > high):
+        raise ExpressionError(
+            "function %r takes %s args, got %d"
+            % (name, low if high == low else "%d..%s" % (low, high or "n"),
+               arg_count))

@@ -1,0 +1,90 @@
+"""Tokenizer for the Aved expression language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ExpressionError
+
+#: Multi-character operators must be listed before their prefixes.
+_OPERATORS = (
+    "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "^", "<", ">", "(", ")", ",", "?", ":", "%", "!",
+)
+
+_KEYWORDS = {"and", "or", "not", "if", "else", "true", "false"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (for error messages)."""
+
+    kind: str          # "number" | "name" | "op" | "keyword" | "end"
+    text: str
+    position: int
+    value: float = 0.0  # numeric payload for "number" tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, ending with a sentinel ``end`` token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            i = _lex_number(source, i, tokens)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in _KEYWORDS else "name"
+            tokens.append(Token(kind, text, start))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                break
+        else:
+            raise ExpressionError("unexpected character %r" % ch, source, i)
+    tokens.append(Token("end", "", length))
+    return tokens
+
+
+def _lex_number(source: str, start: int, tokens: List[Token]) -> int:
+    """Lex a number (with optional exponent) starting at ``start``.
+
+    Appends the number token to ``tokens`` and returns the index just
+    past it.  A trailing ``%`` is folded into the number (divided by
+    100) to support the paper's ``100%`` notation.
+    """
+    i = start
+    length = len(source)
+    while i < length and (source[i].isdigit() or source[i] == "."):
+        i += 1
+    if i < length and source[i] in "eE":
+        j = i + 1
+        if j < length and source[j] in "+-":
+            j += 1
+        if j < length and source[j].isdigit():
+            i = j
+            while i < length and source[i].isdigit():
+                i += 1
+    text = source[start:i]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ExpressionError("bad number %r" % text, source, start)
+    if i < length and source[i] == "%":
+        value /= 100.0
+        text += "%"
+        i += 1
+    tokens.append(Token("number", text, start, value))
+    return i

@@ -1,0 +1,83 @@
+"""Compile-time simplification of expression ASTs.
+
+The design search evaluates performance expressions millions of times
+(every checkpoint-interval sweep hits one), so constant subtrees are
+folded once at compile time:
+
+* operator/function applications whose operands are all constants are
+  evaluated (errors such as ``1/0`` are left in place to surface at
+  run time, preserving semantics);
+* conditionals with constant conditions are replaced by the taken
+  branch;
+* boolean short-circuits with constant left sides collapse.
+
+Folding never changes observable behavior: anything that could raise at
+evaluation time is only folded if it evaluates cleanly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpressionError
+from .ast_nodes import (Binary, Call, Conditional, Node, Number, Unary,
+                        Variable)
+from .evaluator import evaluate
+
+
+def fold_constants(node: Node) -> Node:
+    """Return an equivalent AST with constant subtrees pre-evaluated."""
+    if isinstance(node, (Number, Variable)):
+        return node
+    if isinstance(node, Unary):
+        operand = fold_constants(node.operand)
+        folded = Unary(node.op, operand)
+        return _try_fold(folded)
+    if isinstance(node, Binary):
+        left = fold_constants(node.left)
+        right = fold_constants(node.right)
+        folded = Binary(node.op, left, right)
+        if isinstance(left, Number) and node.op in ("and", "or"):
+            # Constant left side of a short-circuit: pick statically.
+            if node.op == "and":
+                return _as_bool(right) if left.value != 0.0 \
+                    else Number(0.0)
+            return Number(1.0) if left.value != 0.0 else _as_bool(right)
+        return _try_fold(folded)
+    if isinstance(node, Call):
+        args = tuple(fold_constants(arg) for arg in node.args)
+        return _try_fold(Call(node.name, args))
+    if isinstance(node, Conditional):
+        condition = fold_constants(node.condition)
+        if isinstance(condition, Number):
+            branch = node.if_true if condition.value != 0.0 \
+                else node.if_false
+            return fold_constants(branch)
+        return Conditional(condition, fold_constants(node.if_true),
+                           fold_constants(node.if_false))
+    raise ExpressionError("unknown node type %r" % type(node).__name__)
+
+
+def _as_bool(node: Node) -> Node:
+    """Normalize a node used in boolean position to 0/1 semantics."""
+    if isinstance(node, Number):
+        return Number(1.0 if node.value != 0.0 else 0.0)
+    # `x and/or y` yields 0/1 already per the evaluator; double-negate
+    # to coerce arbitrary values without changing truthiness.
+    return Unary("not", Unary("not", node))
+
+
+def _try_fold(node: Node) -> Node:
+    """Evaluate ``node`` if all leaves are constant and it is safe."""
+    if not _is_constant(node):
+        return node
+    try:
+        return Number(evaluate(node, {}))
+    except ExpressionError:
+        return node  # fold would raise: preserve the runtime error
+
+
+def _is_constant(node: Node) -> bool:
+    if isinstance(node, Variable):
+        return False
+    if isinstance(node, Number):
+        return True
+    return all(_is_constant(child) for child in node.children())

@@ -1,0 +1,179 @@
+"""Pratt (precedence-climbing) parser for the Aved expression language.
+
+Grammar, loosest binding first::
+
+    conditional := or_expr [ "?" conditional ":" conditional ]
+                 | or_expr "if" conditional "else" conditional   (python style)
+    or_expr     := and_expr { ("or" | "||") and_expr }
+    and_expr    := not_expr { ("and" | "&&") not_expr }
+    not_expr    := ("not" | "!") not_expr | comparison
+    comparison  := additive [ ("<"|"<="|">"|">="|"=="|"!=") additive ]
+    additive    := multiplicative { ("+"|"-") multiplicative }
+    multiplicative := unary { ("*"|"/") unary }
+    unary       := "-" unary | power
+    power       := primary [ "^" unary ]          (right associative)
+    primary     := number | name | name "(" args ")" | "(" conditional ")"
+                 | "true" | "false"
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ExpressionError
+from .ast_nodes import Binary, Call, Conditional, Node, Number, Unary, Variable
+from .lexer import Token, tokenize
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens: List[Token] = tokenize(source)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def _match(self, kind: str, text: str = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        if text is not None and token.text != text:
+            return False
+        self._advance()
+        return True
+
+    def _expect(self, kind: str, text: str) -> Token:
+        token = self._peek()
+        if token.kind != kind or token.text != text:
+            raise ExpressionError(
+                "expected %r but found %r" % (text, token.text or "<end>"),
+                self.source, token.position)
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self.conditional()
+        token = self._peek()
+        if token.kind != "end":
+            raise ExpressionError("unexpected trailing input %r" % token.text,
+                                  self.source, token.position)
+        return node
+
+    def conditional(self) -> Node:
+        node = self.or_expr()
+        if self._match("op", "?"):
+            if_true = self.conditional()
+            self._expect("op", ":")
+            if_false = self.conditional()
+            return Conditional(node, if_true, if_false)
+        if self._match("keyword", "if"):
+            condition = self.conditional()
+            self._expect("keyword", "else")
+            if_false = self.conditional()
+            return Conditional(condition, node, if_false)
+        return node
+
+    def or_expr(self) -> Node:
+        node = self.and_expr()
+        while True:
+            if self._match("keyword", "or") or self._match("op", "||"):
+                node = Binary("or", node, self.and_expr())
+            else:
+                return node
+
+    def and_expr(self) -> Node:
+        node = self.not_expr()
+        while True:
+            if self._match("keyword", "and") or self._match("op", "&&"):
+                node = Binary("and", node, self.not_expr())
+            else:
+                return node
+
+    def not_expr(self) -> Node:
+        if self._match("keyword", "not") or self._match("op", "!"):
+            return Unary("not", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> Node:
+        node = self.additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in _COMPARISONS:
+            self._advance()
+            return Binary(token.text, node, self.additive())
+        return node
+
+    def additive(self) -> Node:
+        node = self.multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                node = Binary(token.text, node, self.multiplicative())
+            else:
+                return node
+
+    def multiplicative(self) -> Node:
+        node = self.unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                self._advance()
+                node = Binary(token.text, node, self.unary())
+            else:
+                return node
+
+    def unary(self) -> Node:
+        if self._match("op", "-"):
+            return Unary("-", self.unary())
+        return self.power()
+
+    def power(self) -> Node:
+        node = self.primary()
+        if self._match("op", "^"):
+            return Binary("^", node, self.unary())
+        return node
+
+    def primary(self) -> Node:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return Number(token.value)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return Number(1.0 if token.text == "true" else 0.0)
+        if token.kind == "name":
+            self._advance()
+            if self._match("op", "("):
+                args = []
+                if not self._match("op", ")"):
+                    args.append(self.conditional())
+                    while self._match("op", ","):
+                        args.append(self.conditional())
+                    self._expect("op", ")")
+                return Call(token.text, tuple(args))
+            return Variable(token.text)
+        if self._match("op", "("):
+            node = self.conditional()
+            self._expect("op", ")")
+            return node
+        raise ExpressionError("unexpected token %r" % (token.text or "<end>"),
+                              self.source, token.position)
+
+
+def parse(source: str) -> Node:
+    """Parse ``source`` into an expression AST."""
+    if not source or not source.strip():
+        raise ExpressionError("empty expression", source, 0)
+    return _Parser(source).parse()

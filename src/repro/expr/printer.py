@@ -1,0 +1,104 @@
+"""Pretty-printing expression ASTs back to parseable source.
+
+``to_source`` emits the minimal parenthesization that preserves the
+tree under re-parsing: ``parse(to_source(node))`` equals ``node`` for
+every well-formed AST (a property the test suite enforces).  This is
+what lets optimized or programmatically-built expressions be written
+back into spec documents.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpressionError
+from .ast_nodes import (Binary, Call, Conditional, Node, Number, Unary,
+                        Variable)
+
+#: Binding strength per construct; higher binds tighter.  Mirrors the
+#: parser's grammar levels.
+_PRECEDENCE = {
+    "?:": 1,
+    "or": 2,
+    "and": 3,
+    "not": 4,
+    "<": 5, "<=": 5, ">": 5, ">=": 5, "==": 5, "!=": 5,
+    "+": 6, "-": 6,
+    "*": 7, "/": 7,
+    "neg": 8,
+    "^": 9,
+}
+_ATOM = 10
+
+
+def to_source(node: Node) -> str:
+    """Render ``node`` as source the parser maps back to the same AST."""
+    text, _ = _render(node)
+    return text
+
+
+def _render(node: Node):
+    """Return (text, precedence of the outermost construct)."""
+    if isinstance(node, Number):
+        value = node.value
+        if value == int(value) and abs(value) < 1e15:
+            text = "%d" % int(value)
+        else:
+            text = repr(value)
+        if value < 0:
+            return text, _PRECEDENCE["neg"]
+        return text, _ATOM
+    if isinstance(node, Variable):
+        return node.name, _ATOM
+    if isinstance(node, Unary):
+        op = "-" if node.op == "-" else "not "
+        precedence = _PRECEDENCE["neg" if node.op == "-" else "not"]
+        inner, inner_precedence = _render(node.operand)
+        # '-' is below '^' so -x^2 would re-parse as -(x^2); wrap
+        # operands that bind less tightly than the unary itself.
+        if inner_precedence < precedence:
+            inner = "(%s)" % inner
+        return op + inner, precedence
+    if isinstance(node, Binary):
+        return _render_binary(node)
+    if isinstance(node, Call):
+        args = ", ".join(to_source(arg) for arg in node.args)
+        return "%s(%s)" % (node.name, args), _ATOM
+    if isinstance(node, Conditional):
+        condition, condition_precedence = _render(node.condition)
+        if condition_precedence <= _PRECEDENCE["?:"]:
+            condition = "(%s)" % condition
+        if_true, true_precedence = _render(node.if_true)
+        if true_precedence < _PRECEDENCE["?:"]:
+            if_true = "(%s)" % if_true
+        if_false, _ = _render(node.if_false)  # right-assoc: no wrap
+        return "%s ? %s : %s" % (condition, if_true, if_false), \
+            _PRECEDENCE["?:"]
+    raise ExpressionError("cannot print node type %r"
+                          % type(node).__name__)
+
+
+def _render_binary(node: Binary):
+    precedence = _PRECEDENCE[node.op]
+    left, left_precedence = _render(node.left)
+    right, right_precedence = _render(node.right)
+
+    if node.op == "^":
+        # Right associative: wrap a left child at the same level.
+        if left_precedence <= precedence:
+            left = "(%s)" % left
+        if right_precedence < precedence:
+            right = "(%s)" % right
+    elif node.op in ("<", "<=", ">", ">=", "==", "!="):
+        # Non-associative: wrap children at the same level.
+        if left_precedence <= precedence:
+            left = "(%s)" % left
+        if right_precedence <= precedence:
+            right = "(%s)" % right
+    else:
+        # Left associative.
+        if left_precedence < precedence:
+            left = "(%s)" % left
+        if right_precedence <= precedence:
+            right = "(%s)" % right
+
+    operator = node.op if node.op not in ("and", "or") else node.op
+    return "%s %s %s" % (left, operator, right), precedence

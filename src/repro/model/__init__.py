@@ -1,0 +1,39 @@
+"""Model layer: infrastructure, service, and requirement descriptions.
+
+These classes are the in-memory form of the paper's design space model
+(section 3).  They can be built programmatically or parsed from the
+paper's specification DSL via :mod:`repro.spec`.
+"""
+
+from . import catalog
+from .component import (ComponentType, CostSchedule, FailureMode,
+                        MechanismRef, OperationalMode)
+from .infrastructure import InfrastructureModel
+from .mechanism import (AvailabilityMechanism, ConstantEffect, Effect,
+                        MechanismConfig, MechanismParameter, ParameterEffect,
+                        TableEffect)
+from .perf import (CategoricalOverhead, ConstantPerformance,
+                   ExpressionPerformance, OverheadModel, PerformanceModel,
+                   TabulatedPerformance, UnityOverhead)
+from .requirements import JobRequirements, ServiceRequirements
+from .resource import ComponentSlot, ResourceType
+from .service import (FailureScope, MechanismUse, ResourceOption,
+                      ServiceModel, Sizing, Tier)
+from .validation import collect_problems, validate_pair
+
+__all__ = [
+    "catalog",
+    "ComponentType", "CostSchedule", "FailureMode", "MechanismRef",
+    "OperationalMode",
+    "AvailabilityMechanism", "MechanismParameter", "MechanismConfig",
+    "Effect", "ConstantEffect", "ParameterEffect", "TableEffect",
+    "ComponentSlot", "ResourceType",
+    "InfrastructureModel",
+    "PerformanceModel", "ExpressionPerformance", "TabulatedPerformance",
+    "ConstantPerformance", "OverheadModel", "UnityOverhead",
+    "CategoricalOverhead",
+    "Sizing", "FailureScope", "MechanismUse", "ResourceOption", "Tier",
+    "ServiceModel",
+    "ServiceRequirements", "JobRequirements",
+    "validate_pair", "collect_problems",
+]

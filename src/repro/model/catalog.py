@@ -1,0 +1,162 @@
+"""A starter catalog of infrastructure building blocks.
+
+The paper populates its infrastructure model from vendor databases and
+the authors' judgment.  Users without either need somewhere to start;
+this module provides parameterized templates with illustrative defaults
+in the same ballpark as the paper's Fig. 3 numbers (commodity machine
+MTBF on the order of 1-2 years hard / months soft; software crashes
+every 1-2 months; maintenance response times from next-business-day to
+four-hour).
+
+Every number here is a **default to be overridden**, not a measurement;
+:mod:`repro.availability.fit` exists to replace them with observed
+values.  Templates return ordinary model objects, so catalogs and
+hand-written models mix freely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..units import Duration, EnumeratedRange
+from .component import (ComponentType, CostSchedule, FailureMode,
+                        MechanismRef)
+from .mechanism import (AvailabilityMechanism, MechanismParameter,
+                        ParameterEffect, TableEffect)
+from .resource import ComponentSlot, ResourceType
+
+#: Conventional maintenance levels, mirroring the paper's contract tiers.
+MAINTENANCE_LEVELS = ("nbd", "business-day", "four-hour")
+_MAINTENANCE_MTTRS = (Duration.hours(30), Duration.hours(9),
+                      Duration.hours(4))
+
+
+def maintenance_contract(name: str = "maintenance",
+                         annual_costs: Sequence[float] = (300.0, 700.0,
+                                                          1600.0)) \
+        -> AvailabilityMechanism:
+    """A three-tier hardware maintenance contract mechanism."""
+    if len(annual_costs) != len(MAINTENANCE_LEVELS):
+        raise ValueError("need one cost per level %r"
+                         % (MAINTENANCE_LEVELS,))
+    level = MechanismParameter("level",
+                               EnumeratedRange(list(MAINTENANCE_LEVELS)))
+    return AvailabilityMechanism(
+        name,
+        parameters=(level,),
+        effects={
+            "cost": TableEffect.from_values(level, list(annual_costs)),
+            "mttr": TableEffect.from_values(level,
+                                            list(_MAINTENANCE_MTTRS)),
+        })
+
+
+def checkpointing(name: str = "checkpoint",
+                  min_interval: Duration = Duration.minutes(1),
+                  max_interval: Duration = Duration.hours(24),
+                  grid_factor: float = 1.1,
+                  locations: Sequence[str] = ("central", "peer")) \
+        -> AvailabilityMechanism:
+    """A checkpoint-restart mechanism like the paper's Fig. 3 entry."""
+    from ..units import GeometricRange
+    parameters = [
+        MechanismParameter("storage_location",
+                           EnumeratedRange(list(locations))),
+        MechanismParameter("checkpoint_interval",
+                           GeometricRange(min_interval, max_interval,
+                                          grid_factor)),
+    ]
+    return AvailabilityMechanism(
+        name,
+        parameters=tuple(parameters),
+        effects={"loss_window": ParameterEffect("checkpoint_interval")})
+
+
+def commodity_server(name: str = "server",
+                     annual_cost: float = 2500.0,
+                     maintenance: str = "maintenance",
+                     hard_mtbf: Duration = Duration.days(550),
+                     soft_mtbf: Duration = Duration.days(90),
+                     detect: Duration = Duration.minutes(2)) \
+        -> ComponentType:
+    """A dual-socket pizza box: hard failures need the contract."""
+    return ComponentType(
+        name,
+        cost=CostSchedule(inactive=annual_cost * 0.9,
+                          active=annual_cost),
+        failure_modes=(
+            FailureMode("hard", hard_mtbf, MechanismRef(maintenance),
+                        detect_time=detect),
+            FailureMode("soft", soft_mtbf, Duration.ZERO,
+                        detect_time=Duration.seconds(10)),
+        ))
+
+
+def operating_system(name: str = "os",
+                     crash_mtbf: Duration = Duration.days(60),
+                     license_cost: float = 0.0) -> ComponentType:
+    """An OS image: crashes occasionally, restarts cleanly."""
+    return ComponentType(
+        name,
+        cost=CostSchedule(inactive=0.0, active=license_cost),
+        failure_modes=(FailureMode("crash", crash_mtbf, Duration.ZERO,
+                                   detect_time=Duration.seconds(5)),))
+
+
+def application_software(name: str,
+                         crash_mtbf: Duration = Duration.days(45),
+                         license_cost: float = 0.0,
+                         loss_window_mechanism: Optional[str] = None) \
+        -> ComponentType:
+    """An application process; optionally checkpointed."""
+    loss_window = (MechanismRef(loss_window_mechanism)
+                   if loss_window_mechanism else None)
+    return ComponentType(
+        name,
+        cost=CostSchedule(inactive=0.0, active=license_cost),
+        failure_modes=(FailureMode("crash", crash_mtbf, Duration.ZERO,
+                                   detect_time=Duration.seconds(5)),),
+        loss_window=loss_window)
+
+
+def server_stack(name: str, server: ComponentType, os: ComponentType,
+                 app: ComponentType,
+                 server_boot: Duration = Duration.seconds(45),
+                 os_boot: Duration = Duration.minutes(2),
+                 app_start: Duration = Duration.seconds(30),
+                 reconfig: Duration = Duration.seconds(20)) \
+        -> ResourceType:
+    """The canonical machine -> OS -> application resource."""
+    return ResourceType(
+        name,
+        slots=(
+            ComponentSlot(server.name, None, server_boot),
+            ComponentSlot(os.name, server.name, os_boot),
+            ComponentSlot(app.name, os.name, app_start),
+        ),
+        reconfig_time=reconfig)
+
+
+def starter_infrastructure(app_name: str = "app",
+                           checkpointed: bool = False):
+    """A complete small infrastructure model, ready to design against.
+
+    Returns an :class:`~repro.model.InfrastructureModel` with one
+    server type, an OS, one application component (checkpointed if
+    requested), the maintenance contract, and a ``node`` resource.
+    """
+    from .infrastructure import InfrastructureModel
+    contract = maintenance_contract()
+    mechanisms = [contract]
+    loss_mechanism = None
+    if checkpointed:
+        mechanisms.append(checkpointing())
+        loss_mechanism = "checkpoint"
+    server = commodity_server()
+    os = operating_system()
+    app = application_software(app_name,
+                               loss_window_mechanism=loss_mechanism)
+    node = server_stack("node", server, os, app)
+    return InfrastructureModel(components=[server, os, app],
+                               mechanisms=mechanisms,
+                               resources=[node])

@@ -1,0 +1,169 @@
+"""Component types and failure modes (paper section 3.1.1).
+
+A *component* is the basic unit of fault management: an element that can
+fail (hardware box, operating system, application software).  Each
+component type declares
+
+* one or more :class:`FailureMode` entries (MTBF, detection time, and a
+  repair time that may be delegated to an availability mechanism such
+  as a maintenance contract),
+* a :class:`CostSchedule` giving annual cost per operational mode
+  (``inactive`` components can be cheaper -- powered off hardware,
+  unlicensed software), and
+* optionally a *loss window*: the maximum amount of computation that is
+  lost when the component fails, which may itself be delegated to a
+  mechanism (checkpointing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..errors import ModelError
+from ..units import Duration, WorkAmount
+
+
+class OperationalMode(enum.Enum):
+    """Run state of a component instance in a deployed design."""
+
+    INACTIVE = "inactive"
+    ACTIVE = "active"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MechanismRef:
+    """A deferred attribute value, resolved by a configured mechanism.
+
+    Written ``<maintenanceA>`` in the spec language: the component's
+    MTTR (or loss window) is whatever the selected configuration of
+    that mechanism dictates.
+    """
+
+    mechanism: str
+
+    def __str__(self) -> str:
+        return "<%s>" % self.mechanism
+
+
+#: An attribute that is either a concrete duration or mechanism-supplied.
+DurationOrRef = Union[Duration, MechanismRef]
+#: Loss windows may also be given in application work units (paper
+#: footnote 1); the evaluator converts via the performance model.
+LossWindowValue = Union[Duration, WorkAmount, MechanismRef]
+
+
+@dataclass(frozen=True)
+class FailureMode:
+    """One way a component can fail (paper: ``failure=hard ...``).
+
+    ``mttr`` is the component repair time *after detection*; the
+    availability model adds detection time and dependent-component
+    startup times on top (paper section 4.2 item 5).
+    """
+
+    name: str
+    mtbf: Duration
+    mttr: DurationOrRef
+    detect_time: Duration = Duration.ZERO
+
+    def __post_init__(self):
+        if self.mtbf.as_seconds <= 0:
+            raise ModelError(
+                "failure mode %r: MTBF must be positive" % self.name)
+        if isinstance(self.mttr, Duration) and self.mttr.as_seconds < 0:
+            raise ModelError(
+                "failure mode %r: MTTR cannot be negative" % self.name)
+        if self.detect_time.as_seconds < 0:
+            raise ModelError(
+                "failure mode %r: detect time cannot be negative" % self.name)
+
+    @property
+    def mttr_mechanism(self) -> Optional[str]:
+        """Name of the mechanism supplying MTTR, or None if concrete."""
+        if isinstance(self.mttr, MechanismRef):
+            return self.mttr.mechanism
+        return None
+
+
+@dataclass(frozen=True)
+class CostSchedule:
+    """Annual cost of one component instance, by operational mode.
+
+    Costs bundle annual operational cost plus annualized capital cost
+    (paper section 3.1.1).  ``CostSchedule.flat(c)`` models components
+    whose cost does not depend on mode.
+    """
+
+    inactive: float
+    active: float
+
+    def __post_init__(self):
+        if self.inactive < 0 or self.active < 0:
+            raise ModelError("component costs cannot be negative")
+
+    @classmethod
+    def flat(cls, cost: float) -> "CostSchedule":
+        return cls(inactive=cost, active=cost)
+
+    def for_mode(self, mode: OperationalMode) -> float:
+        if mode is OperationalMode.ACTIVE:
+            return self.active
+        return self.inactive
+
+
+@dataclass(frozen=True)
+class ComponentType:
+    """A reusable component definition in the infrastructure model."""
+
+    name: str
+    cost: CostSchedule = field(default_factory=lambda: CostSchedule.flat(0.0))
+    failure_modes: tuple = ()
+    loss_window: Optional[LossWindowValue] = None
+    max_instances: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ModelError("component type must have a name")
+        seen = set()
+        for mode in self.failure_modes:
+            if not isinstance(mode, FailureMode):
+                raise ModelError(
+                    "component %r: failure modes must be FailureMode objects"
+                    % self.name)
+            if mode.name in seen:
+                raise ModelError(
+                    "component %r: duplicate failure mode %r"
+                    % (self.name, mode.name))
+            seen.add(mode.name)
+        if self.max_instances is not None and self.max_instances < 1:
+            raise ModelError(
+                "component %r: max_instances must be >= 1" % self.name)
+
+    @property
+    def loss_window_mechanism(self) -> Optional[str]:
+        """Name of the mechanism supplying the loss window, if deferred."""
+        if isinstance(self.loss_window, MechanismRef):
+            return self.loss_window.mechanism
+        return None
+
+    def failure_mode(self, name: str) -> FailureMode:
+        for mode in self.failure_modes:
+            if mode.name == name:
+                return mode
+        raise ModelError(
+            "component %r has no failure mode %r" % (self.name, name))
+
+    def mechanism_references(self) -> List[str]:
+        """All mechanism names this component's attributes defer to."""
+        refs = []
+        for mode in self.failure_modes:
+            if mode.mttr_mechanism:
+                refs.append(mode.mttr_mechanism)
+        if self.loss_window_mechanism:
+            refs.append(self.loss_window_mechanism)
+        return refs

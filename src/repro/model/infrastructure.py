@@ -1,0 +1,153 @@
+"""The infrastructure model: registry of components, mechanisms, resources.
+
+This is the repository of building blocks shared by all services (paper
+section 2: "the infrastructure model could be maintained in a repository
+and be used for all services and applications").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ModelError
+from .component import ComponentType
+from .mechanism import AvailabilityMechanism
+from .resource import ResourceType
+
+
+class InfrastructureModel:
+    """Building blocks available to the design engine."""
+
+    def __init__(self,
+                 components: Iterable[ComponentType] = (),
+                 mechanisms: Iterable[AvailabilityMechanism] = (),
+                 resources: Iterable[ResourceType] = ()):
+        self._components: Dict[str, ComponentType] = {}
+        self._mechanisms: Dict[str, AvailabilityMechanism] = {}
+        self._resources: Dict[str, ResourceType] = {}
+        for component in components:
+            self.add_component(component)
+        for mechanism in mechanisms:
+            self.add_mechanism(mechanism)
+        for resource in resources:
+            self.add_resource(resource)
+
+    # -- registration ---------------------------------------------------
+
+    def add_component(self, component: ComponentType) -> None:
+        if component.name in self._components:
+            raise ModelError("duplicate component type %r" % component.name)
+        self._components[component.name] = component
+
+    def add_mechanism(self, mechanism: AvailabilityMechanism) -> None:
+        if mechanism.name in self._mechanisms:
+            raise ModelError("duplicate mechanism %r" % mechanism.name)
+        self._mechanisms[mechanism.name] = mechanism
+
+    def replace_component(self, component: ComponentType) -> None:
+        """Swap a component type definition in place (what-if studies).
+
+        The replacement must already exist by name; resources keep
+        referring to it by name, so derived MTTRs and costs pick up the
+        new attributes on the next evaluation.
+        """
+        if component.name not in self._components:
+            raise ModelError("cannot replace unknown component %r"
+                             % component.name)
+        self._components[component.name] = component
+
+    def add_resource(self, resource: ResourceType) -> None:
+        if resource.name in self._resources:
+            raise ModelError("duplicate resource type %r" % resource.name)
+        for slot in resource.slots:
+            if slot.component not in self._components:
+                raise ModelError(
+                    "resource %r uses unknown component type %r"
+                    % (resource.name, slot.component))
+        self._resources[resource.name] = resource
+
+    # -- lookup -----------------------------------------------------------
+
+    def component(self, name: str) -> ComponentType:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise ModelError("unknown component type %r" % name)
+
+    def mechanism(self, name: str) -> AvailabilityMechanism:
+        try:
+            return self._mechanisms[name]
+        except KeyError:
+            raise ModelError("unknown mechanism %r" % name)
+
+    def resource(self, name: str) -> ResourceType:
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise ModelError("unknown resource type %r" % name)
+
+    @property
+    def components(self) -> List[ComponentType]:
+        return list(self._components.values())
+
+    @property
+    def mechanisms(self) -> List[AvailabilityMechanism]:
+        return list(self._mechanisms.values())
+
+    @property
+    def resources(self) -> List[ResourceType]:
+        return list(self._resources.values())
+
+    def has_resource(self, name: str) -> bool:
+        return name in self._resources
+
+    # -- cross validation ---------------------------------------------
+
+    def validate(self) -> None:
+        """Check that every deferred attribute resolves to a mechanism
+        that actually provides it.
+
+        Raises :class:`ModelError` on the first inconsistency.
+        """
+        for component in self._components.values():
+            for mode in component.failure_modes:
+                mech_name = mode.mttr_mechanism
+                if mech_name is not None:
+                    mechanism = self._require_mechanism(
+                        mech_name, "component %r failure %r mttr"
+                        % (component.name, mode.name))
+                    if not mechanism.provides("mttr"):
+                        raise ModelError(
+                            "mechanism %r does not provide mttr (needed by "
+                            "component %r)" % (mech_name, component.name))
+            lw_mech = component.loss_window_mechanism
+            if lw_mech is not None:
+                mechanism = self._require_mechanism(
+                    lw_mech, "component %r loss window" % component.name)
+                if not mechanism.provides("loss_window"):
+                    raise ModelError(
+                        "mechanism %r does not provide loss_window (needed "
+                        "by component %r)" % (lw_mech, component.name))
+
+    def _require_mechanism(self, name: str,
+                           context: str) -> AvailabilityMechanism:
+        if name not in self._mechanisms:
+            raise ModelError("%s references unknown mechanism %r"
+                             % (context, name))
+        return self._mechanisms[name]
+
+    def resource_mechanisms(self, resource_name: str) -> List[str]:
+        """Mechanism names referenced by any component of a resource."""
+        resource = self.resource(resource_name)
+        names: List[str] = []
+        for slot in resource.slots:
+            for ref in self.component(slot.component).mechanism_references():
+                if ref not in names:
+                    names.append(ref)
+        return names
+
+    def __repr__(self) -> str:
+        return ("InfrastructureModel(components=%d, mechanisms=%d, "
+                "resources=%d)" % (len(self._components),
+                                   len(self._mechanisms),
+                                   len(self._resources)))

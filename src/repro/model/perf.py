@@ -1,0 +1,218 @@
+"""Performance models for tiers and availability-mechanism overheads.
+
+The paper specifies tier performance "in service-specific units of work
+per units of time ... typically defined as a function of the number of
+active resources" (section 3.2), referencing data files (``perfA.dat``)
+whose closed forms are given in Table 1.  We support three encodings:
+
+* :class:`ExpressionPerformance` -- a closed-form function of ``n``
+  (what Table 1 gives);
+* :class:`TabulatedPerformance` -- (n, throughput) samples with linear
+  interpolation, the moral equivalent of a ``.dat`` file;
+* :class:`ConstantPerformance` -- a fixed capacity regardless of the
+  resource count (the paper's database tier: ``performance=10000``).
+
+Mechanism overheads (``mperformance`` in Fig. 5 / Table 1) are modeled
+as *slowdown factors* >= 1 on execution time: ``max(10/cpi, 100%)``
+means a checkpoint every ``cpi`` minutes stretches execution by that
+factor, approaching 1.0 (no overhead) for long intervals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError, ModelError
+from ..expr import Expression
+from ..units import Duration
+
+#: Throughput is expressed in service work units per **hour** throughout.
+THROUGHPUT_TIME_UNIT = "hour"
+
+
+class PerformanceModel:
+    """Throughput of a tier as a function of active resource count."""
+
+    def throughput(self, n_active: int) -> float:
+        """Work units per hour delivered by ``n_active`` resources."""
+        raise NotImplementedError
+
+    def min_resources(self, load: float,
+                      candidates: Sequence[int]) -> Optional[int]:
+        """Smallest candidate count meeting ``load``, or None.
+
+        ``candidates`` must be sorted ascending (it comes from the
+        tier's ``nActive`` range).  Throughput is not assumed monotone
+        in general, so this scans; monotone subclasses may bisect.
+        """
+        for n in candidates:
+            if self.throughput(n) >= load:
+                return n
+        return None
+
+
+class ExpressionPerformance(PerformanceModel):
+    """Closed-form throughput, e.g. ``200*n`` or ``(10*n)/(1+0.004*n)``."""
+
+    def __init__(self, expression):
+        if isinstance(expression, str):
+            expression = Expression(expression)
+        unknown = expression.variables - {"n"}
+        if unknown:
+            raise ModelError(
+                "performance expression %r has free variables %s "
+                "(only 'n' is allowed)" % (expression.source,
+                                           sorted(unknown)))
+        self.expression = expression
+
+    def throughput(self, n_active: int) -> float:
+        if n_active < 0:
+            raise EvaluationError("negative resource count %d" % n_active)
+        if n_active == 0:
+            return 0.0
+        return self.expression(n=float(n_active))
+
+    def __repr__(self) -> str:
+        return "ExpressionPerformance(%r)" % self.expression.source
+
+
+class TabulatedPerformance(PerformanceModel):
+    """Sampled throughput with linear interpolation between samples.
+
+    Extrapolation is refused: asking for a count outside the sampled
+    range raises, because silently extrapolating a performance curve is
+    how capacity planning goes wrong.
+    """
+
+    def __init__(self, samples: Sequence[Tuple[int, float]]):
+        if not samples:
+            raise ModelError("tabulated performance needs at least 1 sample")
+        ordered = sorted(samples)
+        counts = [n for n, _ in ordered]
+        if len(set(counts)) != len(counts):
+            raise ModelError("duplicate resource counts in samples")
+        self._counts = counts
+        self._values = [float(v) for _, v in ordered]
+
+    def throughput(self, n_active: int) -> float:
+        if n_active == 0:
+            return 0.0
+        counts, values = self._counts, self._values
+        if n_active < counts[0] or n_active > counts[-1]:
+            raise EvaluationError(
+                "resource count %d outside sampled range [%d, %d]"
+                % (n_active, counts[0], counts[-1]))
+        index = bisect.bisect_left(counts, n_active)
+        if counts[index] == n_active:
+            return values[index]
+        lo_n, hi_n = counts[index - 1], counts[index]
+        lo_v, hi_v = values[index - 1], values[index]
+        fraction = (n_active - lo_n) / (hi_n - lo_n)
+        return lo_v + fraction * (hi_v - lo_v)
+
+    def __repr__(self) -> str:
+        return "TabulatedPerformance(%d samples)" % len(self._counts)
+
+
+class ConstantPerformance(PerformanceModel):
+    """Fixed capacity regardless of resource count (``performance=10000``)."""
+
+    def __init__(self, capacity: float):
+        if capacity < 0:
+            raise ModelError("capacity cannot be negative")
+        self.capacity = float(capacity)
+
+    def throughput(self, n_active: int) -> float:
+        return self.capacity if n_active > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return "ConstantPerformance(%g)" % self.capacity
+
+
+# ----------------------------------------------------------------------
+# Mechanism overhead (mperformance)
+# ----------------------------------------------------------------------
+
+
+class OverheadModel:
+    """Execution-time slowdown factor of a configured mechanism.
+
+    ``factor() == 1.0`` means no overhead; 2.0 means execution takes
+    twice as long while the mechanism operates.
+    """
+
+    def factor(self, settings: Mapping[str, object], n_active: int) -> float:
+        raise NotImplementedError
+
+
+class UnityOverhead(OverheadModel):
+    """A mechanism with no performance impact."""
+
+    def factor(self, settings: Mapping[str, object], n_active: int) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "UnityOverhead()"
+
+
+class CategoricalOverhead(OverheadModel):
+    """Overhead selected by one categorical parameter, with the rest bound
+    as expression variables.
+
+    This is exactly Table 1's ``mperformance(storage_location, cpi, n)``
+    shape: the storage location picks the expression; the checkpoint
+    interval (bound as ``cpi``, in **minutes**, per the table's note)
+    and the resource count (bound as ``n``) feed it.
+    """
+
+    def __init__(self, category_param: str,
+                 expressions: Dict[str, Expression],
+                 interval_param: str = "checkpoint_interval",
+                 interval_var: str = "cpi"):
+        if not expressions:
+            raise ModelError("categorical overhead needs >= 1 expression")
+        self.category_param = category_param
+        self.interval_param = interval_param
+        self.interval_var = interval_var
+        self.expressions = {
+            key: (Expression(value) if isinstance(value, str) else value)
+            for key, value in expressions.items()
+        }
+        for key, expression in self.expressions.items():
+            unknown = expression.variables - {interval_var, "n"}
+            if unknown:
+                raise ModelError(
+                    "overhead expression for %r has unexpected variables %s"
+                    % (key, sorted(unknown)))
+
+    def factor(self, settings: Mapping[str, object], n_active: int) -> float:
+        try:
+            category = settings[self.category_param]
+        except KeyError:
+            raise EvaluationError(
+                "overhead model needs parameter %r" % self.category_param)
+        try:
+            expression = self.expressions[category]
+        except KeyError:
+            raise EvaluationError(
+                "no overhead expression for %s=%r"
+                % (self.category_param, category))
+        env = {"n": float(n_active)}
+        if self.interval_var in expression.variables:
+            try:
+                interval = settings[self.interval_param]
+            except KeyError:
+                raise EvaluationError(
+                    "overhead model needs parameter %r" % self.interval_param)
+            env[self.interval_var] = Duration.parse(interval).as_minutes
+        factor = expression.evaluate(env)
+        if factor < 1.0 - 1e-9:
+            raise EvaluationError(
+                "overhead factor %.4g < 1 for %s=%r (slowdowns must be "
+                ">= 100%%)" % (factor, self.category_param, category))
+        return max(factor, 1.0)
+
+    def __repr__(self) -> str:
+        return "CategoricalOverhead(%r, %r)" % (
+            self.category_param, sorted(self.expressions))

@@ -1,0 +1,57 @@
+"""Service requirements: the high-level inputs to the design engine.
+
+Two kinds, matching the paper's two application classes (section 2):
+
+* :class:`ServiceRequirements` for enterprise services -- a minimum
+  throughput (in the service's own work units per hour) plus a maximum
+  expected annual downtime;
+* :class:`JobRequirements` for finite computations -- a maximum
+  expected job execution time (availability metrics are internal
+  bookkeeping; only completion time matters to the user).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..units import Duration
+
+
+@dataclass(frozen=True)
+class ServiceRequirements:
+    """Throughput + annual downtime bound for an always-on service."""
+
+    throughput: float                  # work units per hour
+    max_annual_downtime: Duration      # expected downtime per year
+
+    def __post_init__(self):
+        if self.throughput <= 0 or not math.isfinite(self.throughput):
+            raise ModelError("throughput requirement must be positive "
+                             "and finite")
+        if self.max_annual_downtime.as_seconds < 0:
+            raise ModelError("downtime requirement cannot be negative")
+
+    @property
+    def max_downtime_minutes(self) -> float:
+        return self.max_annual_downtime.as_minutes
+
+    def describe(self) -> str:
+        return ("load >= %g units/h, annual downtime <= %s"
+                % (self.throughput, self.max_annual_downtime.format()))
+
+
+@dataclass(frozen=True)
+class JobRequirements:
+    """Execution-time bound for a run-to-completion application."""
+
+    max_execution_time: Duration       # expected wall-clock completion time
+
+    def __post_init__(self):
+        if self.max_execution_time.as_seconds <= 0:
+            raise ModelError("job execution time requirement must be "
+                             "positive")
+
+    def describe(self) -> str:
+        return "job completes in <= %s" % self.max_execution_time.format()

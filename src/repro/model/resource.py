@@ -1,0 +1,237 @@
+"""Resource types: compositions of components (paper section 3.1.3).
+
+A *resource* is the basic unit of allocation to a service tier (e.g. a
+machine plus its OS plus an application server).  Its attributes are
+
+* the ordered list of component slots, each with a startup time and a
+  dependency on another component of the same resource (``depend``),
+* the reconfiguration time incurred on failover to a spare.
+
+Dependencies serve two purposes (paper): they give the start-up order,
+and they define the blast radius of a failure -- a component failure
+also brings down its transitive dependents.  This module exposes the
+derived quantities the availability model needs:
+
+* ``affected_by(name)``: the failed component plus transitive dependents;
+* ``restart_time(name)``: the summed startup latency of that set, which
+  is added to MTTR (section 4.2 item 5);
+* ``activation_time(inactive)``: summed startup latency of the inactive
+  components of a spare, part of the failover time (section 4.2 item 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..units import Duration
+from .component import OperationalMode
+
+
+@dataclass(frozen=True)
+class ComponentSlot:
+    """One component position inside a resource type."""
+
+    component: str               # component type name
+    depends_on: Optional[str]    # component name within the same resource
+    startup: Duration = Duration.ZERO
+
+    def __post_init__(self):
+        if self.startup.as_seconds < 0:
+            raise ModelError("slot %r: startup time cannot be negative"
+                             % self.component)
+        if self.depends_on == self.component:
+            raise ModelError("slot %r cannot depend on itself"
+                             % self.component)
+
+
+class ResourceType:
+    """A named combination of components allocatable as a unit."""
+
+    def __init__(self, name: str, slots: Sequence[ComponentSlot],
+                 reconfig_time: Duration = Duration.ZERO):
+        if not name:
+            raise ModelError("resource type must have a name")
+        if not slots:
+            raise ModelError("resource %r has no components" % name)
+        if reconfig_time.as_seconds < 0:
+            raise ModelError("resource %r: reconfig time cannot be negative"
+                             % name)
+        self.name = name
+        self.slots: Tuple[ComponentSlot, ...] = tuple(slots)
+        self.reconfig_time = reconfig_time
+        self._by_name: Dict[str, ComponentSlot] = {}
+        for slot in self.slots:
+            if slot.component in self._by_name:
+                raise ModelError("resource %r: duplicate component %r"
+                                 % (name, slot.component))
+            self._by_name[slot.component] = slot
+        self._validate_dependencies()
+        self._dependents = self._compute_dependents()
+        self._startup_order = self._topological_order()
+
+    # -- construction-time validation ---------------------------------
+
+    def _validate_dependencies(self) -> None:
+        for slot in self.slots:
+            if slot.depends_on is not None and \
+                    slot.depends_on not in self._by_name:
+                raise ModelError(
+                    "resource %r: component %r depends on unknown "
+                    "component %r" % (self.name, slot.component,
+                                      slot.depends_on))
+        # Cycle check via depth-first search over depend edges.
+        state: Dict[str, int] = {}  # 0=visiting, 1=done
+
+        def visit(component: str) -> None:
+            if state.get(component) == 1:
+                return
+            if state.get(component) == 0:
+                raise ModelError("resource %r: dependency cycle through %r"
+                                 % (self.name, component))
+            state[component] = 0
+            parent = self._by_name[component].depends_on
+            if parent is not None:
+                visit(parent)
+            state[component] = 1
+
+        for slot in self.slots:
+            visit(slot.component)
+
+    def _compute_dependents(self) -> Dict[str, FrozenSet[str]]:
+        """Map each component to its transitive dependents (children)."""
+        children: Dict[str, List[str]] = {s.component: [] for s in self.slots}
+        for slot in self.slots:
+            if slot.depends_on is not None:
+                children[slot.depends_on].append(slot.component)
+
+        result: Dict[str, FrozenSet[str]] = {}
+
+        def collect(component: str) -> FrozenSet[str]:
+            if component in result:
+                return result[component]
+            gathered = set()
+            for child in children[component]:
+                gathered.add(child)
+                gathered |= collect(child)
+            result[component] = frozenset(gathered)
+            return result[component]
+
+        for slot in self.slots:
+            collect(slot.component)
+        return result
+
+    def _topological_order(self) -> Tuple[str, ...]:
+        """Components in a valid startup order (parents first)."""
+        order: List[str] = []
+        placed = set()
+
+        def place(component: str) -> None:
+            if component in placed:
+                return
+            parent = self._by_name[component].depends_on
+            if parent is not None:
+                place(parent)
+            placed.add(component)
+            order.append(component)
+
+        for slot in self.slots:
+            place(slot.component)
+        return tuple(order)
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def component_names(self) -> Tuple[str, ...]:
+        return tuple(slot.component for slot in self.slots)
+
+    @property
+    def startup_order(self) -> Tuple[str, ...]:
+        return self._startup_order
+
+    def slot(self, component: str) -> ComponentSlot:
+        try:
+            return self._by_name[component]
+        except KeyError:
+            raise ModelError("resource %r has no component %r"
+                             % (self.name, component))
+
+    def dependents_of(self, component: str) -> FrozenSet[str]:
+        """Transitive dependents brought down by ``component`` failing."""
+        self.slot(component)  # raise on unknown name
+        return self._dependents[component]
+
+    def affected_by(self, component: str) -> FrozenSet[str]:
+        """The failed component itself plus its transitive dependents."""
+        return self.dependents_of(component) | {component}
+
+    # -- derived durations ----------------------------------------------
+
+    def restart_time(self, component: str) -> Duration:
+        """Startup latency added to MTTR when ``component`` fails.
+
+        The failed component and everything that depends on it must be
+        restarted in dependency order; startups are summed (they form a
+        chain through the dependency graph in all the paper's examples,
+        and summation is the conservative composition otherwise).
+        """
+        total = Duration.ZERO
+        for name in self.affected_by(component):
+            total = total + self._by_name[name].startup
+        return total
+
+    def full_startup_time(self) -> Duration:
+        """Time to bring up the resource from everything powered off."""
+        total = Duration.ZERO
+        for slot in self.slots:
+            total = total + slot.startup
+        return total
+
+    def activation_time(self, modes: Dict[str, OperationalMode]) -> Duration:
+        """Startup latency to activate a spare with the given slot modes.
+
+        Only components currently INACTIVE contribute their startup
+        time; fully-active (hot) spares activate instantly.
+        """
+        total = Duration.ZERO
+        for slot in self.slots:
+            mode = modes.get(slot.component, OperationalMode.INACTIVE)
+            if mode is OperationalMode.INACTIVE:
+                total = total + slot.startup
+        return total
+
+    def activation_prefixes(self) -> List[Tuple[str, ...]]:
+        """Dependency-respecting spare activation levels.
+
+        Level ``k`` keeps the first ``k`` components of the startup
+        order active in the spare (you cannot run an app server on a
+        powered-off machine).  Level 0 is a cold spare, level
+        ``len(slots)`` is a hot spare.  These are the spare
+        operational-mode choices the design search enumerates.
+        """
+        order = self._startup_order
+        return [tuple(order[:k]) for k in range(len(order) + 1)]
+
+    def modes_for_prefix(self, active_prefix: Tuple[str, ...]) \
+            -> Dict[str, OperationalMode]:
+        """Slot-mode map for an activation prefix from
+        :meth:`activation_prefixes`."""
+        active = set(active_prefix)
+        for name in active:
+            self.slot(name)
+            parent = self._by_name[name].depends_on
+            if parent is not None and parent not in active:
+                raise ModelError(
+                    "resource %r: %r cannot be active while its "
+                    "dependency %r is inactive" % (self.name, name, parent))
+        return {
+            slot.component: (OperationalMode.ACTIVE
+                             if slot.component in active
+                             else OperationalMode.INACTIVE)
+            for slot in self.slots
+        }
+
+    def __repr__(self) -> str:
+        return "ResourceType(%r, components=%r)" % (
+            self.name, list(self.component_names))

@@ -1,0 +1,181 @@
+"""Service models: tiers, resource options, sizing, failure scope.
+
+A service is a set of tiers in series (the service is up iff every tier
+is up).  Each tier lists the resource types that could support it; for
+each option the service model captures the tier's parallelism model
+(paper section 3.2):
+
+* ``sizing``: whether the number of resources can change during the
+  service lifetime (``dynamic``) or is fixed at start (``static``,
+  e.g. a scientific code that partitions data at initialization);
+* ``failure_scope``: whether one resource failing takes down just that
+  resource (``resource``) or the entire tier (``tier``);
+* ``nActive``: allowed active-resource counts;
+* a performance model, and per-mechanism overhead models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..units import ValueRange
+from .perf import OverheadModel, PerformanceModel, UnityOverhead
+
+
+class Sizing(enum.Enum):
+    """Can the resource count change during the service's lifetime?"""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class FailureScope(enum.Enum):
+    """Blast radius of a single resource failure within a tier."""
+
+    RESOURCE = "resource"
+    TIER = "tier"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MechanismUse:
+    """A tier option's use of an availability mechanism.
+
+    ``overhead`` is the service-specific performance impact of the
+    mechanism (``mperformance``); mechanisms with no performance impact
+    use :class:`~repro.model.perf.UnityOverhead`.
+    """
+
+    mechanism: str
+    overhead: OverheadModel = field(default_factory=UnityOverhead)
+
+
+class ResourceOption:
+    """One candidate resource type for a tier, with its tier-level model."""
+
+    def __init__(self, resource: str, sizing: Sizing,
+                 failure_scope: FailureScope, n_active: ValueRange,
+                 performance: PerformanceModel,
+                 mechanisms: Sequence[MechanismUse] = ()):
+        if not resource:
+            raise ModelError("resource option must name a resource type")
+        counts = n_active.values()
+        if not counts:
+            raise ModelError("resource option %r: empty nActive range"
+                             % resource)
+        for count in counts:
+            if not float(count).is_integer() or count < 1:
+                raise ModelError(
+                    "resource option %r: nActive values must be positive "
+                    "integers, got %r" % (resource, count))
+        seen = set()
+        for use in mechanisms:
+            if use.mechanism in seen:
+                raise ModelError(
+                    "resource option %r: mechanism %r listed twice"
+                    % (resource, use.mechanism))
+            seen.add(use.mechanism)
+        self.resource = resource
+        self.sizing = sizing
+        self.failure_scope = failure_scope
+        self.n_active = n_active
+        self.performance = performance
+        self.mechanisms: Tuple[MechanismUse, ...] = tuple(mechanisms)
+
+    def active_counts(self) -> List[int]:
+        """Allowed active-resource counts, ascending."""
+        return sorted(int(count) for count in self.n_active.values())
+
+    def min_active_for(self, load: float) -> Optional[int]:
+        """Smallest allowed count whose failure-free throughput meets
+        ``load``; None if even the largest allowed count falls short."""
+        return self.performance.min_resources(load, self.active_counts())
+
+    def mechanism_use(self, name: str) -> MechanismUse:
+        for use in self.mechanisms:
+            if use.mechanism == name:
+                return use
+        raise ModelError("resource option %r does not use mechanism %r"
+                         % (self.resource, name))
+
+    def uses_mechanism(self, name: str) -> bool:
+        return any(use.mechanism == name for use in self.mechanisms)
+
+    def __repr__(self) -> str:
+        return ("ResourceOption(%r, sizing=%s, failure_scope=%s)"
+                % (self.resource, self.sizing, self.failure_scope))
+
+
+class Tier:
+    """One tier of a service with its candidate resource options."""
+
+    def __init__(self, name: str, options: Sequence[ResourceOption]):
+        if not name:
+            raise ModelError("tier must have a name")
+        if not options:
+            raise ModelError("tier %r has no resource options" % name)
+        seen = set()
+        for option in options:
+            if option.resource in seen:
+                raise ModelError("tier %r: resource %r listed twice"
+                                 % (name, option.resource))
+            seen.add(option.resource)
+        self.name = name
+        self.options: Tuple[ResourceOption, ...] = tuple(options)
+
+    def option_for(self, resource: str) -> ResourceOption:
+        for option in self.options:
+            if option.resource == resource:
+                return option
+        raise ModelError("tier %r has no option for resource %r"
+                         % (self.name, resource))
+
+    def __repr__(self) -> str:
+        return "Tier(%r, options=%r)" % (
+            self.name, [option.resource for option in self.options])
+
+
+class ServiceModel:
+    """A complete service/application description (paper Figs. 4, 5)."""
+
+    def __init__(self, name: str, tiers: Sequence[Tier],
+                 job_size: Optional[float] = None):
+        if not name:
+            raise ModelError("service must have a name")
+        if not tiers:
+            raise ModelError("service %r has no tiers" % name)
+        seen = set()
+        for tier in tiers:
+            if tier.name in seen:
+                raise ModelError("service %r: duplicate tier %r"
+                                 % (name, tier.name))
+            seen.add(tier.name)
+        if job_size is not None and job_size <= 0:
+            raise ModelError("job size must be positive")
+        self.name = name
+        self.tiers: Tuple[Tier, ...] = tuple(tiers)
+        self.job_size = job_size
+
+    @property
+    def is_finite_job(self) -> bool:
+        """True for run-to-completion applications (paper's scientific
+        example), False for indefinitely-running services."""
+        return self.job_size is not None
+
+    def tier(self, name: str) -> Tier:
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        raise ModelError("service %r has no tier %r" % (self.name, name))
+
+    def __repr__(self) -> str:
+        return "ServiceModel(%r, tiers=%r, job_size=%r)" % (
+            self.name, [tier.name for tier in self.tiers], self.job_size)

@@ -1,0 +1,82 @@
+"""Cross-model validation: does a service fit an infrastructure model?
+
+The infrastructure model validates itself (:meth:`InfrastructureModel.
+validate`); this module checks the *pairing* of a service model with an
+infrastructure model before any search runs, so that search failures
+are always about requirements, never about dangling references.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ModelError
+from .infrastructure import InfrastructureModel
+from .service import ServiceModel
+
+
+def validate_pair(infrastructure: InfrastructureModel,
+                  service: ServiceModel) -> None:
+    """Raise :class:`ModelError` describing every inconsistency found."""
+    problems = collect_problems(infrastructure, service)
+    if problems:
+        raise ModelError(
+            "service %r is inconsistent with the infrastructure model:\n  - "
+            % service.name + "\n  - ".join(problems))
+
+
+def collect_problems(infrastructure: InfrastructureModel,
+                     service: ServiceModel) -> List[str]:
+    """Return a human-readable list of inconsistencies (empty if clean)."""
+    problems: List[str] = []
+    try:
+        infrastructure.validate()
+    except ModelError as exc:
+        problems.append(str(exc))
+
+    mechanism_names = {mech.name for mech in infrastructure.mechanisms}
+
+    for tier in service.tiers:
+        for option in tier.options:
+            context = "tier %r option %r" % (tier.name, option.resource)
+            if not infrastructure.has_resource(option.resource):
+                problems.append("%s: unknown resource type" % context)
+                continue
+            resource = infrastructure.resource(option.resource)
+
+            for use in option.mechanisms:
+                if use.mechanism not in mechanism_names:
+                    problems.append("%s: uses unknown mechanism %r"
+                                    % (context, use.mechanism))
+
+            # Every mechanism a component of this resource defers to
+            # must exist; and if it has parameters the design search
+            # must be able to configure it for this option.
+            for needed in infrastructure.resource_mechanisms(
+                    option.resource):
+                if needed not in mechanism_names:
+                    problems.append(
+                        "%s: component defers to unknown mechanism %r"
+                        % (context, needed))
+
+            problems.extend(_check_instance_limits(
+                infrastructure, resource, option, context))
+    return problems
+
+
+def _check_instance_limits(infrastructure, resource, option,
+                           context) -> List[str]:
+    """Flag nActive ranges that can never be satisfied because a
+    component type caps its instance count below the minimum."""
+    problems = []
+    min_needed = min(option.active_counts())
+    for slot in resource.slots:
+        component = infrastructure.component(slot.component)
+        if component.max_instances is not None \
+                and component.max_instances < min_needed:
+            problems.append(
+                "%s: component %r allows at most %d instances but the "
+                "tier needs at least %d active resources"
+                % (context, component.name, component.max_instances,
+                   min_needed))
+    return problems

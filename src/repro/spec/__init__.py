@@ -1,0 +1,18 @@
+"""The Aved specification DSL: parse and serialize Fig. 3-5 documents.
+
+* :func:`parse_infrastructure`, :func:`parse_service` -- text to models.
+* :func:`write_infrastructure`, :func:`write_service` -- models to text.
+* :mod:`repro.spec.paper` -- the paper's own specs and Table 1 forms.
+"""
+
+from .lexer import Line, Pair, lex
+from .parser import (DictResolver, FileResolver, Resolver,
+                     parse_infrastructure, parse_service)
+from .writer import write_infrastructure, write_service
+
+__all__ = [
+    "lex", "Line", "Pair",
+    "parse_infrastructure", "parse_service",
+    "Resolver", "DictResolver", "FileResolver",
+    "write_infrastructure", "write_service",
+]

@@ -1,0 +1,178 @@
+"""Line lexer for the Aved specification DSL (paper Figs. 3-5).
+
+A specification is a sequence of lines; each line carries one or more
+*pairs* of the form::
+
+    key=value
+    key(args)=value
+
+Values may be scalars (``650d``, ``0``, ``dynamic``), mechanism
+references (``<maintenanceA>``), bracketed lists with space- or
+comma-separated elements (``[2400 2640]``, ``[bronze,silver]``), or
+bracketed ranges (``[1m-24h;*1.05]``).  Comments start with ``\\\\`` or
+``#`` and run to end of line.  Indentation is not significant; the
+parser reconstructs nesting from the keys themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..errors import SpecError
+
+#: A parsed value: either a raw scalar string or a list of scalar strings.
+RawValue = Union[str, List[str]]
+
+
+@dataclass(frozen=True)
+class Pair:
+    """One ``key(args)=value`` item with its source line number."""
+
+    key: str
+    args: Tuple[str, ...]   # empty when written without parentheses
+    value: RawValue
+    line: int
+
+    @property
+    def is_list(self) -> bool:
+        return isinstance(self.value, list)
+
+    def scalar(self) -> str:
+        if isinstance(self.value, list):
+            raise SpecError("%r expects a scalar value, got a list"
+                            % self.key, self.line)
+        return self.value
+
+    def list_value(self) -> List[str]:
+        if isinstance(self.value, list):
+            return self.value
+        raise SpecError("%r expects a bracketed list" % self.key, self.line)
+
+
+@dataclass(frozen=True)
+class Line:
+    """All pairs found on one physical line."""
+
+    number: int
+    pairs: Tuple[Pair, ...]
+
+    @property
+    def head(self) -> Pair:
+        return self.pairs[0]
+
+
+def lex(text: str) -> List[Line]:
+    """Lex a full specification document into non-empty lines."""
+    lines: List[Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(raw).strip()
+        if not stripped:
+            continue
+        pairs = tuple(_lex_line(stripped, number))
+        if pairs:
+            lines.append(Line(number, pairs))
+    return lines
+
+
+def _strip_comment(raw: str) -> str:
+    for marker in ("\\\\", "#"):
+        index = raw.find(marker)
+        if index >= 0:
+            raw = raw[:index]
+    return raw
+
+
+def _lex_line(text: str, number: int) -> List[Pair]:
+    pairs: List[Pair] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        if text[i].isspace():
+            i += 1
+            continue
+        key, args, i = _lex_key(text, i, number)
+        if i >= length or text[i] != "=":
+            raise SpecError("expected '=' after %r" % key, number)
+        i += 1  # consume '='
+        while i < length and text[i] == " ":
+            i += 1
+        value, i = _lex_value(text, i, number, key)
+        pairs.append(Pair(key, args, value, number))
+    return pairs
+
+
+def _lex_key(text: str, i: int, number: int) -> Tuple[str, Tuple[str, ...], int]:
+    start = i
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    key = text[start:i]
+    if not key:
+        raise SpecError("expected a key at column %d" % (i + 1), number)
+    args: Tuple[str, ...] = ()
+    if i < len(text) and text[i] == "(":
+        close = _matching(text, i, "(", ")", number)
+        inner = text[i + 1:close].strip()
+        # args may themselves be bracketed, e.g. cost([inactive,active])
+        if inner.startswith("[") and inner.endswith("]"):
+            inner = inner[1:-1]
+        args = tuple(part.strip() for part in inner.split(",") if part.strip())
+        i = close + 1
+    return key, args, i
+
+
+def _lex_value(text: str, i: int, number: int, key: str) -> Tuple[RawValue, int]:
+    if i >= len(text):
+        raise SpecError("missing value for %r" % key, number)
+    ch = text[i]
+    if ch == "[":
+        close = _matching(text, i, "[", "]", number)
+        body = text[i:close + 1]
+        return _interpret_bracketed(body), close + 1
+    if ch == "<":
+        close = text.find(">", i)
+        if close < 0:
+            raise SpecError("unterminated '<' in value for %r" % key, number)
+        return text[i:close + 1], close + 1
+    start = i
+    while i < len(text) and not text[i].isspace():
+        i += 1
+    return text[start:i], i
+
+
+def _interpret_bracketed(body: str) -> RawValue:
+    """Decide whether a bracketed value is a list or a range literal.
+
+    Range syntaxes (``[a-b,+s]``, ``[a-b;*f]``) are kept as raw strings
+    for :func:`repro.units.parse_range`; anything else becomes a list of
+    element strings (elements separated by spaces or commas).
+    """
+    inner = body[1:-1].strip()
+    if ";" in inner:
+        return body  # geometric range
+    if "," in inner and "-" in inner.split(",", 1)[0] \
+            and inner.split(",", 1)[1].lstrip().startswith("+"):
+        return body  # arithmetic range
+    separators = "," if "," in inner else None
+    elements = [element for element in inner.split(separators) if element]
+    return elements
+
+
+def _matching(text: str, start: int, open_ch: str, close_ch: str,
+              number: int) -> int:
+    depth = 0
+    for index in range(start, len(text)):
+        if text[index] == open_ch:
+            depth += 1
+        elif text[index] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return index
+    raise SpecError("unbalanced %r" % open_ch, number)
+
+
+def maybe_mechanism_ref(value: str) -> Optional[str]:
+    """Return the mechanism name if ``value`` is ``<name>``, else None."""
+    if value.startswith("<") and value.endswith(">"):
+        return value[1:-1]
+    return None

@@ -1,0 +1,582 @@
+"""Parser for the Aved specification DSL.
+
+Two entry points:
+
+* :func:`parse_infrastructure` -- parses a Fig. 3 style document into an
+  :class:`~repro.model.InfrastructureModel`;
+* :func:`parse_service` -- parses a Fig. 4/5 style document into a
+  :class:`~repro.model.ServiceModel`.  Performance references such as
+  ``perfA.dat`` are resolved through a :class:`Resolver`; the paper's
+  Table 1 closed forms ship as a ready-made resolver in
+  :mod:`repro.spec.paper`.
+
+The grammar is line-oriented and context-sensitive: a ``component=``
+line opens a component definition at top level but declares a slot
+inside a ``resource=`` block (distinguished by the presence of
+``depend``/``startup`` keys, matching the paper's usage).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ModelError, SpecError, UnitError
+from ..model import (AvailabilityMechanism, ComponentSlot, ComponentType,
+                     ConstantEffect, ConstantPerformance, CostSchedule,
+                     ExpressionPerformance, FailureMode, FailureScope,
+                     InfrastructureModel, MechanismParameter, MechanismRef,
+                     MechanismUse, OverheadModel, ParameterEffect,
+                     PerformanceModel, ResourceOption, ResourceType,
+                     ServiceModel, Sizing, TableEffect, TabulatedPerformance,
+                     Tier, UnityOverhead)
+from ..units import Duration, WorkAmount, parse_range
+from .lexer import Line, Pair, lex, maybe_mechanism_ref
+
+# ----------------------------------------------------------------------
+# Resolvers for external performance data
+# ----------------------------------------------------------------------
+
+
+class Resolver:
+    """Resolves ``performance``/``mperformance`` references to models."""
+
+    def performance(self, ref: str) -> PerformanceModel:
+        raise SpecError("no resolver available for performance ref %r" % ref)
+
+    def overhead(self, ref: str) -> OverheadModel:
+        raise SpecError("no resolver available for mperformance ref %r" % ref)
+
+
+class DictResolver(Resolver):
+    """Resolves references from in-memory dictionaries."""
+
+    def __init__(self,
+                 performance: Optional[Dict[str, PerformanceModel]] = None,
+                 overhead: Optional[Dict[str, OverheadModel]] = None):
+        self._performance = dict(performance or {})
+        self._overhead = dict(overhead or {})
+
+    def performance(self, ref: str) -> PerformanceModel:
+        try:
+            return self._performance[ref]
+        except KeyError:
+            raise SpecError("unknown performance reference %r" % ref)
+
+    def overhead(self, ref: str) -> OverheadModel:
+        try:
+            return self._overhead[ref]
+        except KeyError:
+            raise SpecError("unknown mperformance reference %r" % ref)
+
+
+class FileResolver(Resolver):
+    """Loads ``.dat`` files relative to a base directory.
+
+    Performance files hold ``n throughput`` sample pairs, one per line.
+    Overhead files hold ``category: expression`` lines defining a
+    :class:`~repro.model.CategoricalOverhead` keyed on the mechanism's
+    first categorical parameter.
+    """
+
+    def __init__(self, base_dir: str, category_param: str = "storage_location"):
+        self.base_dir = base_dir
+        self.category_param = category_param
+
+    def performance(self, ref: str) -> PerformanceModel:
+        path = os.path.join(self.base_dir, ref)
+        samples: List[Tuple[int, float]] = []
+        try:
+            with open(path) as handle:
+                for raw in handle:
+                    raw = raw.split("#", 1)[0].strip()
+                    if not raw:
+                        continue
+                    fields = raw.split()
+                    if len(fields) != 2:
+                        raise SpecError("bad sample line %r in %s"
+                                        % (raw, path))
+                    samples.append((int(fields[0]), float(fields[1])))
+        except OSError as exc:
+            raise SpecError("cannot read performance file %s: %s"
+                            % (path, exc))
+        return TabulatedPerformance(samples)
+
+    def overhead(self, ref: str) -> OverheadModel:
+        from ..model import CategoricalOverhead
+        path = os.path.join(self.base_dir, ref)
+        expressions: Dict[str, str] = {}
+        try:
+            with open(path) as handle:
+                for raw in handle:
+                    raw = raw.split("#", 1)[0].strip()
+                    if not raw:
+                        continue
+                    if ":" not in raw:
+                        raise SpecError("bad overhead line %r in %s"
+                                        % (raw, path))
+                    category, expression = raw.split(":", 1)
+                    expressions[category.strip()] = expression.strip()
+        except OSError as exc:
+            raise SpecError("cannot read overhead file %s: %s" % (path, exc))
+        return CategoricalOverhead(self.category_param, expressions)
+
+
+# ----------------------------------------------------------------------
+# Infrastructure document
+# ----------------------------------------------------------------------
+
+_STRUCTURAL_KEYS = {"component", "failure", "mechanism", "param", "resource",
+                    "application", "tier"}
+
+
+def parse_infrastructure(text: str) -> InfrastructureModel:
+    """Parse a Fig. 3 style infrastructure specification."""
+    builder = _InfrastructureBuilder()
+    for line in lex(text):
+        builder.feed(line)
+    return builder.finish()
+
+
+class _InfrastructureBuilder:
+    def __init__(self):
+        self.model = InfrastructureModel()
+        self._component: Optional[dict] = None
+        self._mechanism: Optional[dict] = None
+        self._resource: Optional[dict] = None
+
+    # -- dispatch -------------------------------------------------------
+
+    def feed(self, line: Line) -> None:
+        head = line.head
+        if head.key == "component":
+            if self._resource is not None and _is_slot_line(line):
+                self._add_slot(line)
+                return
+            self._flush()
+            self._start_component(line)
+        elif head.key == "failure":
+            if self._component is None:
+                raise SpecError("failure= outside a component block",
+                                line.number)
+            self._add_failure(line)
+        elif head.key == "mechanism":
+            self._flush()
+            self._start_mechanism(line)
+        elif head.key == "param":
+            if self._mechanism is None:
+                raise SpecError("param= outside a mechanism block",
+                                line.number)
+            self._add_param(line)
+        elif head.key == "resource":
+            self._flush()
+            self._start_resource(line)
+        elif self._mechanism is not None:
+            for pair in line.pairs:
+                self._add_effect(pair)
+        else:
+            raise SpecError("unexpected %r at top level" % head.key,
+                            line.number)
+
+    def finish(self) -> InfrastructureModel:
+        self._flush()
+        self.model.validate()
+        return self.model
+
+    def _flush(self) -> None:
+        if self._component is not None:
+            self.model.add_component(_build_component(self._component))
+            self._component = None
+        if self._mechanism is not None:
+            self.model.add_mechanism(_build_mechanism(self._mechanism))
+            self._mechanism = None
+        if self._resource is not None:
+            self.model.add_resource(_build_resource(self._resource))
+            self._resource = None
+
+    # -- component ------------------------------------------------------
+
+    def _start_component(self, line: Line) -> None:
+        spec = {"name": line.head.scalar(), "line": line.number,
+                "cost": None, "loss_window": None, "max_instances": None,
+                "failures": []}
+        for pair in line.pairs[1:]:
+            if pair.key == "cost":
+                spec["cost"] = _parse_cost(pair)
+            elif pair.key == "loss_window":
+                spec["loss_window"] = _parse_duration_or_ref(pair)
+            elif pair.key == "max_instances":
+                spec["max_instances"] = _parse_int(pair)
+            else:
+                raise SpecError("unknown component attribute %r" % pair.key,
+                                pair.line)
+        self._component = spec
+
+    def _add_failure(self, line: Line) -> None:
+        attrs = {"name": line.head.scalar(), "mtbf": None, "mttr": None,
+                 "detect_time": Duration.ZERO}
+        for pair in line.pairs[1:]:
+            if pair.key == "mtbf":
+                attrs["mtbf"] = _parse_duration(pair)
+            elif pair.key == "mttr":
+                attrs["mttr"] = _parse_duration_or_ref(pair)
+            elif pair.key == "detect_time":
+                attrs["detect_time"] = _parse_duration(pair)
+            else:
+                raise SpecError("unknown failure attribute %r" % pair.key,
+                                pair.line)
+        if attrs["mtbf"] is None:
+            raise SpecError("failure mode %r needs mtbf=" % attrs["name"],
+                            line.number)
+        if attrs["mttr"] is None:
+            raise SpecError("failure mode %r needs mttr=" % attrs["name"],
+                            line.number)
+        self._component["failures"].append(attrs)
+
+    # -- mechanism --------------------------------------------------------
+
+    def _start_mechanism(self, line: Line) -> None:
+        self._mechanism = {"name": line.head.scalar(), "line": line.number,
+                           "params": [], "effects": {}}
+        for pair in line.pairs[1:]:
+            self._add_effect(pair)
+
+    def _add_param(self, line: Line) -> None:
+        name = line.head.scalar()
+        values = None
+        for pair in line.pairs[1:]:
+            if pair.key == "range":
+                values = _parse_range_pair(pair)
+            else:
+                raise SpecError("unknown param attribute %r" % pair.key,
+                                pair.line)
+        if values is None:
+            raise SpecError("param %r needs range=" % name, line.number)
+        self._mechanism["params"].append(MechanismParameter(name, values))
+
+    def _add_effect(self, pair: Pair) -> None:
+        if pair.key in _STRUCTURAL_KEYS:
+            raise SpecError("unexpected %r inside mechanism block" % pair.key,
+                            pair.line)
+        effects = self._mechanism["effects"]
+        if pair.key in effects:
+            raise SpecError("duplicate effect %r" % pair.key, pair.line)
+        effects[pair.key] = pair
+
+    # -- resource -----------------------------------------------------------
+
+    def _start_resource(self, line: Line) -> None:
+        spec = {"name": line.head.scalar(), "line": line.number,
+                "reconfig_time": Duration.ZERO, "slots": []}
+        for pair in line.pairs[1:]:
+            if pair.key == "reconfig_time":
+                spec["reconfig_time"] = _parse_duration(pair)
+            else:
+                raise SpecError("unknown resource attribute %r" % pair.key,
+                                pair.line)
+        self._resource = spec
+
+    def _add_slot(self, line: Line) -> None:
+        component = line.head.scalar()
+        depends: Optional[str] = None
+        startup = Duration.ZERO
+        for pair in line.pairs[1:]:
+            if pair.key == "depend":
+                value = pair.scalar()
+                depends = None if value in ("null", "none") else value
+            elif pair.key == "startup":
+                startup = _parse_duration(pair)
+            else:
+                raise SpecError("unknown slot attribute %r" % pair.key,
+                                pair.line)
+        self._resource["slots"].append(
+            ComponentSlot(component, depends, startup))
+
+
+def _is_slot_line(line: Line) -> bool:
+    keys = {pair.key for pair in line.pairs[1:]}
+    return bool(keys & {"depend", "startup"})
+
+
+def _build_component(spec: dict) -> ComponentType:
+    failures = tuple(
+        FailureMode(f["name"], f["mtbf"], f["mttr"], f["detect_time"])
+        for f in spec["failures"])
+    cost = spec["cost"] if spec["cost"] is not None else CostSchedule.flat(0.0)
+    return ComponentType(spec["name"], cost=cost, failure_modes=failures,
+                         loss_window=spec["loss_window"],
+                         max_instances=spec["max_instances"])
+
+
+def _build_resource(spec: dict) -> ResourceType:
+    return ResourceType(spec["name"], spec["slots"],
+                        reconfig_time=spec["reconfig_time"])
+
+
+def _build_mechanism(spec: dict) -> AvailabilityMechanism:
+    params = tuple(spec["params"])
+    by_name = {param.name: param for param in params}
+    effects = {}
+    for attribute, pair in spec["effects"].items():
+        effects[attribute] = _build_effect(attribute, pair, by_name)
+    return AvailabilityMechanism(spec["name"], params, effects)
+
+
+def _build_effect(attribute: str, pair: Pair,
+                  params: Dict[str, MechanismParameter]):
+    as_duration = attribute != "cost"
+    if pair.args:
+        if len(pair.args) != 1:
+            raise SpecError("effect %r may only be keyed by one parameter"
+                            % attribute, pair.line)
+        key = pair.args[0]
+        if key not in params:
+            raise SpecError("effect %r keyed by unknown parameter %r"
+                            % (attribute, key), pair.line)
+        values = [_convert_scalar(v, as_duration, pair.line)
+                  for v in pair.list_value()]
+        try:
+            return TableEffect.from_values(params[key], values)
+        except ModelError as exc:
+            raise SpecError(str(exc), pair.line)
+    if not pair.is_list:
+        value = pair.scalar()
+        if value in params:
+            return ParameterEffect(value)
+        return ConstantEffect(_convert_scalar(value, as_duration, pair.line))
+    raise SpecError("effect %r: a list value requires a parameter key, "
+                    "e.g. %s(level)=[...]" % (attribute, attribute),
+                    pair.line)
+
+
+def _convert_scalar(value: str, as_duration: bool, line: int):
+    try:
+        if as_duration:
+            if value.endswith("u"):
+                return WorkAmount.parse(value)
+            return Duration.parse(value)
+        return float(value)
+    except (UnitError, ValueError) as exc:
+        raise SpecError(str(exc), line)
+
+
+def _parse_cost(pair: Pair) -> CostSchedule:
+    if not pair.args:
+        return CostSchedule.flat(_parse_float(pair))
+    modes = tuple(pair.args)
+    values = [float(v) for v in pair.list_value()]
+    if len(values) != len(modes):
+        raise SpecError("cost: %d modes but %d values"
+                        % (len(modes), len(values)), pair.line)
+    table = dict(zip(modes, values))
+    unknown = set(table) - {"inactive", "active"}
+    if unknown:
+        raise SpecError("cost: unknown operational modes %s"
+                        % sorted(unknown), pair.line)
+    active = table.get("active", table.get("inactive", 0.0))
+    inactive = table.get("inactive", active)
+    return CostSchedule(inactive=inactive, active=active)
+
+
+def _parse_duration(pair: Pair) -> Duration:
+    try:
+        return Duration.parse(pair.scalar())
+    except UnitError as exc:
+        raise SpecError(str(exc), pair.line)
+
+
+def _parse_duration_or_ref(pair: Pair):
+    value = pair.scalar()
+    ref = maybe_mechanism_ref(value)
+    if ref is not None:
+        return MechanismRef(ref)
+    if value.endswith("u"):
+        try:
+            return WorkAmount.parse(value)
+        except UnitError as exc:
+            raise SpecError(str(exc), pair.line)
+    try:
+        return Duration.parse(value)
+    except UnitError as exc:
+        raise SpecError(str(exc), pair.line)
+
+
+def _parse_float(pair: Pair) -> float:
+    try:
+        return float(pair.scalar())
+    except ValueError:
+        raise SpecError("expected a number for %r, got %r"
+                        % (pair.key, pair.value), pair.line)
+
+
+def _parse_int(pair: Pair) -> int:
+    try:
+        return int(pair.scalar())
+    except ValueError:
+        raise SpecError("expected an integer for %r, got %r"
+                        % (pair.key, pair.value), pair.line)
+
+
+def _parse_range_pair(pair: Pair):
+    raw = pair.value
+    if isinstance(raw, list):
+        raw = "[" + ",".join(raw) + "]"
+    try:
+        return parse_range(raw)
+    except UnitError as exc:
+        raise SpecError(str(exc), pair.line)
+
+
+# ----------------------------------------------------------------------
+# Service document
+# ----------------------------------------------------------------------
+
+
+def parse_service(text: str, resolver: Optional[Resolver] = None) \
+        -> ServiceModel:
+    """Parse a Fig. 4/5 style service specification."""
+    builder = _ServiceBuilder(resolver or Resolver())
+    for line in lex(text):
+        builder.feed(line)
+    return builder.finish()
+
+
+class _ServiceBuilder:
+    def __init__(self, resolver: Resolver):
+        self.resolver = resolver
+        self.name: Optional[str] = None
+        self.job_size: Optional[float] = None
+        self.tiers: List[Tier] = []
+        self._tier_name: Optional[str] = None
+        self._options: List[ResourceOption] = []
+        self._option: Optional[dict] = None
+
+    def feed(self, line: Line) -> None:
+        head = line.head
+        if head.key == "application":
+            if self.name is not None:
+                raise SpecError("duplicate application= line", line.number)
+            self.name = head.scalar()
+            for pair in line.pairs[1:]:
+                if pair.key == "jobsize":
+                    self.job_size = _parse_float(pair)
+                else:
+                    raise SpecError("unknown application attribute %r"
+                                    % pair.key, pair.line)
+        elif head.key == "tier":
+            self._flush_tier()
+            self._tier_name = head.scalar()
+        elif head.key == "resource":
+            if self._tier_name is None:
+                raise SpecError("resource= outside a tier block", line.number)
+            self._flush_option()
+            self._start_option(line)
+        elif head.key == "mechanism":
+            if self._option is None:
+                raise SpecError("mechanism= outside a resource option",
+                                line.number)
+            self._add_mechanism_use(line)
+        elif self._option is not None:
+            for pair in line.pairs:
+                self._option_attribute(pair)
+        else:
+            raise SpecError("unexpected %r in service spec" % head.key,
+                            line.number)
+
+    def finish(self) -> ServiceModel:
+        self._flush_tier()
+        if self.name is None:
+            raise SpecError("service spec has no application= line")
+        return ServiceModel(self.name, self.tiers, job_size=self.job_size)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _flush_tier(self) -> None:
+        self._flush_option()
+        if self._tier_name is not None:
+            self.tiers.append(Tier(self._tier_name, self._options))
+            self._tier_name = None
+            self._options = []
+
+    def _flush_option(self) -> None:
+        if self._option is not None:
+            self._options.append(_build_option(self._option))
+            self._option = None
+
+    def _start_option(self, line: Line) -> None:
+        self._option = {"resource": line.head.scalar(), "line": line.number,
+                        "sizing": None, "failure_scope": None,
+                        "n_active": None, "performance": None,
+                        "mechanisms": []}
+        for pair in line.pairs[1:]:
+            self._option_attribute(pair)
+
+    def _option_attribute(self, pair: Pair) -> None:
+        option = self._option
+        if pair.key == "sizing":
+            option["sizing"] = _parse_enum(Sizing, pair)
+        elif pair.key == "failurescope":
+            option["failure_scope"] = _parse_enum(FailureScope, pair)
+        elif pair.key == "nActive":
+            option["n_active"] = _parse_range_pair(pair)
+        elif pair.key == "performance":
+            option["performance"] = self._resolve_performance(pair)
+        elif pair.key == "mperformance":
+            if not option["mechanisms"]:
+                raise SpecError("mperformance= before any mechanism=",
+                                pair.line)
+            name, _ = option["mechanisms"][-1]
+            option["mechanisms"][-1] = (name, self._resolve_overhead(pair))
+        else:
+            raise SpecError("unknown option attribute %r" % pair.key,
+                            pair.line)
+
+    def _add_mechanism_use(self, line: Line) -> None:
+        name = line.head.scalar()
+        self._option["mechanisms"].append((name, None))
+        for pair in line.pairs[1:]:
+            self._option_attribute(pair)
+
+    def _resolve_performance(self, pair: Pair) -> PerformanceModel:
+        value = pair.scalar()
+        if value.startswith("expr:"):
+            return ExpressionPerformance(value[len("expr:"):])
+        try:
+            return ConstantPerformance(float(value))
+        except ValueError:
+            pass
+        return self.resolver.performance(value)
+
+    def _resolve_overhead(self, pair: Pair) -> OverheadModel:
+        value = pair.scalar()
+        if value in ("none", "unity"):
+            return UnityOverhead()
+        return self.resolver.overhead(value)
+
+
+def _parse_enum(enum_cls, pair: Pair):
+    value = pair.scalar()
+    for member in enum_cls:
+        if member.value == value:
+            return member
+    raise SpecError("%r is not a valid %s (expected one of %s)"
+                    % (value, enum_cls.__name__,
+                       [m.value for m in enum_cls]), pair.line)
+
+
+def _build_option(spec: dict) -> ResourceOption:
+    for required in ("sizing", "failure_scope", "n_active", "performance"):
+        if spec[required] is None:
+            raise SpecError("resource option %r is missing %s="
+                            % (spec["resource"],
+                               {"failure_scope": "failurescope",
+                                "n_active": "nActive"}.get(required,
+                                                           required)),
+                            spec["line"])
+    mechanisms = tuple(
+        MechanismUse(name, overhead if overhead is not None
+                     else UnityOverhead())
+        for name, overhead in spec["mechanisms"])
+    return ResourceOption(spec["resource"], spec["sizing"],
+                          spec["failure_scope"], spec["n_active"],
+                          spec["performance"], mechanisms)

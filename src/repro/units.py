@@ -1,0 +1,453 @@
+"""Time quantities and value ranges used throughout the Aved models.
+
+The paper's specification language (Fig. 3) writes durations with unit
+suffixes (``650d``, ``38h``, ``2m``, ``30s``) and parameter ranges in
+three forms:
+
+* enumerated:   ``[bronze,silver,gold,platinum]``
+* arithmetic:   ``[1-1000,+1]``      (start, stop, additive step)
+* geometric:    ``[1m-24h;*1.05]``   (start, stop, multiplicative step)
+
+This module provides :class:`Duration` (an immutable quantity of time
+stored in seconds) and the three range classes, plus parsing helpers.
+All model code holds durations as :class:`Duration` rather than bare
+floats so that unit mistakes fail loudly at construction time.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import re
+from typing import Iterator, List, Sequence, Union
+
+from .errors import UnitError
+
+#: Seconds per supported unit suffix.
+_UNIT_SECONDS = {
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+    "y": 365.0 * 86400.0,
+}
+
+_DURATION_RE = re.compile(r"^\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)\s*([smhdy]?)\s*$")
+
+#: Minutes in a (365-day) year -- the unit Fig. 6/8 report downtime in.
+MINUTES_PER_YEAR = 365.0 * 24.0 * 60.0
+SECONDS_PER_YEAR = MINUTES_PER_YEAR * 60.0
+HOURS_PER_YEAR = 365.0 * 24.0
+
+
+@functools.total_ordering
+class Duration:
+    """An immutable span of time, stored internally in seconds.
+
+    Supports arithmetic with other durations (``+``, ``-``), scaling by
+    numbers (``*``, ``/``), and ratio of two durations (``/``), which
+    yields a dimensionless float.
+    """
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self, seconds: float):
+        if isinstance(seconds, Duration):
+            seconds = seconds._seconds
+        seconds = float(seconds)
+        if math.isnan(seconds):
+            raise UnitError("duration cannot be NaN")
+        self._seconds = seconds
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: Union[str, float, int, "Duration"]) -> "Duration":
+        """Parse ``"650d"``, ``"2m"``, ``"38h"``, ``"30s"``, or a bare number.
+
+        A bare number (no suffix) is interpreted as seconds.  Numeric
+        inputs and existing :class:`Duration` objects pass through.
+        """
+        if isinstance(text, Duration):
+            return text
+        if isinstance(text, (int, float)):
+            return cls(float(text))
+        match = _DURATION_RE.match(text)
+        if not match:
+            raise UnitError("cannot parse duration: %r" % (text,))
+        value, suffix = match.groups()
+        scale = _UNIT_SECONDS[suffix] if suffix else 1.0
+        return cls(float(value) * scale)
+
+    @classmethod
+    def seconds(cls, value: float) -> "Duration":
+        return cls(value)
+
+    @classmethod
+    def minutes(cls, value: float) -> "Duration":
+        return cls(value * 60.0)
+
+    @classmethod
+    def hours(cls, value: float) -> "Duration":
+        return cls(value * 3600.0)
+
+    @classmethod
+    def days(cls, value: float) -> "Duration":
+        return cls(value * 86400.0)
+
+    @classmethod
+    def years(cls, value: float) -> "Duration":
+        return cls(value * SECONDS_PER_YEAR)
+
+    ZERO: "Duration"
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def as_seconds(self) -> float:
+        return self._seconds
+
+    @property
+    def as_minutes(self) -> float:
+        return self._seconds / 60.0
+
+    @property
+    def as_hours(self) -> float:
+        return self._seconds / 3600.0
+
+    @property
+    def as_days(self) -> float:
+        return self._seconds / 86400.0
+
+    @property
+    def as_years(self) -> float:
+        return self._seconds / SECONDS_PER_YEAR
+
+    def is_zero(self) -> bool:
+        return self._seconds == 0.0
+
+    def is_finite(self) -> bool:
+        return math.isfinite(self._seconds)
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return Duration(self._seconds + other._seconds)
+
+    def __sub__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return Duration(self._seconds - other._seconds)
+
+    def __mul__(self, factor: float) -> "Duration":
+        if isinstance(factor, Duration):
+            raise UnitError("cannot multiply two durations")
+        return Duration(self._seconds * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, Duration):
+            if other._seconds == 0.0:
+                raise ZeroDivisionError("division by zero duration")
+            return self._seconds / other._seconds
+        return Duration(self._seconds / float(other))
+
+    def __neg__(self) -> "Duration":
+        return Duration(-self._seconds)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Duration) and self._seconds == other._seconds
+
+    def __lt__(self, other: "Duration") -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return self._seconds < other._seconds
+
+    def __hash__(self) -> int:
+        return hash(("Duration", self._seconds))
+
+    def __bool__(self) -> bool:
+        return self._seconds != 0.0
+
+    # -- formatting ---------------------------------------------------
+
+    def __repr__(self) -> str:
+        return "Duration(%r)" % (self.format(),)
+
+    def format(self) -> str:
+        """Render in the largest unit that yields a clean value.
+
+        The result is canonical: formatting the parsed-back value gives
+        the same string, so ``format`` is a fixed point under
+        ``parse``/``format`` round trips even when it rounds (values
+        are rendered to 4 significant figures when no unit is exact).
+        """
+        text = self._format_once()
+        if not math.isfinite(self._seconds):
+            return text
+        rounded = Duration.parse(text)
+        if rounded._seconds != self._seconds:
+            return rounded._format_once()
+        return text
+
+    def _format_once(self) -> str:
+        seconds = self._seconds
+        if seconds == 0.0:
+            return "0s"
+        if not math.isfinite(seconds):
+            return "inf" if seconds > 0 else "-inf"
+        for suffix in ("y", "d", "h", "m"):
+            scaled = seconds / _UNIT_SECONDS[suffix]
+            # Prefer an exact integer value, but not absurd ones like
+            # "903456m" for what is readably "627.4d".
+            if 1.0 <= abs(scaled) < 10000.0 \
+                    and abs(scaled - round(scaled)) < 1e-9:
+                return "%g%s" % (round(scaled), suffix)
+        for suffix in ("d", "h", "m"):
+            scaled = seconds / _UNIT_SECONDS[suffix]
+            if abs(scaled) >= 1.0:
+                return "%.4g%s" % (scaled, suffix)
+        return "%.4g%s" % (seconds, "s")
+
+
+Duration.ZERO = Duration(0.0)
+
+
+@functools.total_ordering
+class WorkAmount:
+    """An amount of application work, in service-specific units.
+
+    The paper (footnote 1) allows loss windows "either in units of
+    application work or in units of time", converting via the
+    performance model.  ``WorkAmount`` is the work-unit form; written
+    ``500u`` in specs.
+    """
+
+    __slots__ = ("_units",)
+
+    def __init__(self, units: float):
+        units = float(units)
+        if math.isnan(units) or units < 0:
+            raise UnitError("work amount must be a non-negative number")
+        self._units = units
+
+    @classmethod
+    def parse(cls, text: Union[str, float, int,
+                               "WorkAmount"]) -> "WorkAmount":
+        if isinstance(text, WorkAmount):
+            return text
+        if isinstance(text, (int, float)):
+            return cls(float(text))
+        text = text.strip()
+        if not text.endswith("u"):
+            raise UnitError("work amounts end in 'u', got %r" % (text,))
+        try:
+            return cls(float(text[:-1]))
+        except ValueError:
+            raise UnitError("cannot parse work amount: %r" % (text,))
+
+    @property
+    def units(self) -> float:
+        return self._units
+
+    def time_at(self, throughput_per_hour: float) -> Duration:
+        """Convert to wall time at a given processing rate."""
+        if throughput_per_hour <= 0:
+            raise UnitError("throughput must be positive to convert "
+                            "work to time")
+        return Duration.hours(self._units / throughput_per_hour)
+
+    def format(self) -> str:
+        return "%.12gu" % self._units
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, WorkAmount) and \
+            self._units == other._units
+
+    def __lt__(self, other: "WorkAmount") -> bool:
+        if not isinstance(other, WorkAmount):
+            return NotImplemented
+        return self._units < other._units
+
+    def __hash__(self) -> int:
+        return hash(("WorkAmount", self._units))
+
+    def __repr__(self) -> str:
+        return "WorkAmount(%g)" % self._units
+
+
+def rate_per_hour(mtbf: Duration) -> float:
+    """Convert a mean-time-between-failures into an hourly event rate."""
+    if mtbf.as_seconds <= 0:
+        raise UnitError("MTBF must be positive, got %r" % (mtbf,))
+    return 1.0 / mtbf.as_hours
+
+
+# ----------------------------------------------------------------------
+# Parameter ranges
+# ----------------------------------------------------------------------
+
+
+class ValueRange:
+    """Base class for a parameter's set of allowed values.
+
+    Iterating a range yields the allowed settings in order.  Ranges are
+    finite by construction (geometric/arithmetic ranges have explicit
+    endpoints).
+    """
+
+    def values(self) -> List:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator:
+        return iter(self.values())
+
+    def __len__(self) -> int:
+        return len(self.values())
+
+    def __contains__(self, value) -> bool:
+        return value in self.values()
+
+
+class EnumeratedRange(ValueRange):
+    """An explicit list of allowed values, e.g. maintenance levels."""
+
+    def __init__(self, options: Sequence):
+        if not options:
+            raise UnitError("enumerated range must have at least one value")
+        self._options = list(options)
+
+    def values(self) -> List:
+        return list(self._options)
+
+    def __repr__(self) -> str:
+        return "EnumeratedRange(%r)" % (self._options,)
+
+
+class ArithmeticRange(ValueRange):
+    """``[start-stop,+step]`` -- integers (or floats) by additive steps."""
+
+    def __init__(self, start: float, stop: float, step: float):
+        if step <= 0:
+            raise UnitError("arithmetic range step must be positive")
+        if stop < start:
+            raise UnitError("arithmetic range stop < start")
+        self.start = start
+        self.stop = stop
+        self.step = step
+
+    def values(self) -> List[float]:
+        out = []
+        value = self.start
+        # Tolerate float drift on the final step.
+        while value <= self.stop + 1e-9:
+            out.append(int(value) if float(value).is_integer() else value)
+            value += self.step
+        return out
+
+    def __contains__(self, value) -> bool:
+        if value < self.start - 1e-9 or value > self.stop + 1e-9:
+            return False
+        steps = (value - self.start) / self.step
+        return abs(steps - round(steps)) < 1e-9
+
+    def __len__(self) -> int:
+        return int(math.floor((self.stop - self.start) / self.step + 1e-9)) + 1
+
+    def __repr__(self) -> str:
+        return "ArithmeticRange(%g, %g, +%g)" % (self.start, self.stop, self.step)
+
+
+class GeometricRange(ValueRange):
+    """``[1m-24h;*1.05]`` -- durations by multiplicative steps.
+
+    Values are :class:`Duration` objects starting at ``start`` and
+    multiplying by ``factor`` until ``stop`` is exceeded; ``stop``
+    itself is appended if not already the final value, so the declared
+    endpoint is always searchable.
+    """
+
+    def __init__(self, start: Duration, stop: Duration, factor: float):
+        if factor <= 1.0:
+            raise UnitError("geometric range factor must be > 1")
+        if stop < start:
+            raise UnitError("geometric range stop < start")
+        if start.as_seconds <= 0:
+            raise UnitError("geometric range start must be positive")
+        self.start = start
+        self.stop = stop
+        self.factor = factor
+
+    def values(self) -> List[Duration]:
+        out = []
+        seconds = self.start.as_seconds
+        stop = self.stop.as_seconds
+        while seconds <= stop * (1.0 + 1e-12):
+            out.append(Duration(seconds))
+            seconds *= self.factor
+        if not out or out[-1].as_seconds < stop * (1.0 - 1e-12):
+            out.append(Duration(stop))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.values())
+
+    def __repr__(self) -> str:
+        return "GeometricRange(%s, %s, *%g)" % (
+            self.start.format(), self.stop.format(), self.factor)
+
+
+_GEOMETRIC_RE = re.compile(r"^\[([^;\]]+)-([^;\]]+);\s*\*\s*([\d.eE+-]+)\]$")
+_ARITHMETIC_RE = re.compile(r"^\[([^,\]]+)-([^,\]]+),\s*\+\s*([\d.eE+-]+)\]$")
+_SINGLETON_RE = re.compile(r"^\[([^,;\]]+)\]$")
+
+
+def parse_range(text: str) -> ValueRange:
+    """Parse any of the paper's range syntaxes into a :class:`ValueRange`.
+
+    ``[a-b,+s]`` is arithmetic over numbers; ``[a-b;*f]`` is geometric
+    over durations; ``[x,y,z]`` is enumerated (numbers are converted,
+    other tokens stay strings); ``[x]`` is a one-element enumeration.
+    """
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise UnitError("range must be bracketed: %r" % (text,))
+
+    match = _GEOMETRIC_RE.match(text)
+    if match:
+        start, stop, factor = match.groups()
+        return GeometricRange(Duration.parse(start), Duration.parse(stop),
+                              float(factor))
+
+    match = _ARITHMETIC_RE.match(text)
+    if match:
+        start, stop, step = match.groups()
+        try:
+            return ArithmeticRange(float(start), float(stop), float(step))
+        except ValueError as exc:
+            raise UnitError("bad arithmetic range %r: %s" % (text, exc))
+
+    match = _SINGLETON_RE.match(text)
+    if match:
+        return EnumeratedRange([_coerce_token(match.group(1))])
+
+    body = text[1:-1]
+    if not body.strip():
+        raise UnitError("empty range: %r" % (text,))
+    options = [_coerce_token(tok) for tok in body.split(",")]
+    return EnumeratedRange(options)
+
+
+def _coerce_token(token: str):
+    """Turn a range token into int/float when numeric, else a string."""
+    token = token.strip()
+    try:
+        value = float(token)
+    except ValueError:
+        return token
+    if value.is_integer() and "." not in token and "e" not in token.lower():
+        return int(value)
+    return value

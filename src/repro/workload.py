@@ -1,0 +1,101 @@
+"""Synthetic demand trajectories for utility-computing studies.
+
+The paper argues (sections 1, 5.1) that in a utility computing
+environment Aved would re-run as service load fluctuates.  Studying
+that quantitatively needs load trajectories; real traces are
+proprietary, so this module generates the standard synthetic shapes the
+capacity-planning literature uses:
+
+* :func:`diurnal` -- a smooth day/night cycle with configurable peak
+  ratio and optional weekly modulation;
+* :func:`flash_crowd` -- a baseline with a sudden arrival spike and
+  exponential decay (slashdot/launch events);
+* :func:`ramp` -- steady organic growth between two levels;
+* :func:`noisy` -- multiplicative lognormal noise on any trajectory,
+  seeded and reproducible.
+
+All functions return plain lists of load values (work units per hour,
+the paper's service-specific unit), one per sampling interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .errors import ModelError
+
+
+def _check_positive(value: float, label: str) -> None:
+    if value <= 0:
+        raise ModelError("%s must be positive, got %g" % (label, value))
+
+
+def diurnal(base_load: float, peak_ratio: float = 3.0,
+            samples_per_day: int = 24, days: int = 1,
+            peak_hour: float = 14.0,
+            weekend_factor: float = 1.0) -> List[float]:
+    """A day/night cycle: sinusoid between ``base`` and ``base*peak``.
+
+    ``peak_hour`` sets where the maximum falls; with ``days > 1`` the
+    cycle repeats, scaled by ``weekend_factor`` on days 5 and 6 of each
+    week (Saturday/Sunday of a Monday-start week).
+    """
+    _check_positive(base_load, "base load")
+    if peak_ratio < 1.0:
+        raise ModelError("peak ratio must be >= 1")
+    if samples_per_day < 1 or days < 1:
+        raise ModelError("need at least one sample and one day")
+    amplitude = base_load * (peak_ratio - 1.0) / 2.0
+    midline = base_load + amplitude
+    loads: List[float] = []
+    for day in range(days):
+        scale = weekend_factor if day % 7 in (5, 6) else 1.0
+        for sample in range(samples_per_day):
+            hour = 24.0 * sample / samples_per_day
+            phase = 2.0 * math.pi * (hour - peak_hour) / 24.0
+            loads.append(scale * (midline + amplitude * math.cos(phase)))
+    return loads
+
+
+def flash_crowd(base_load: float, spike_ratio: float = 10.0,
+                total_samples: int = 48, spike_at: int = 12,
+                decay_samples: float = 6.0) -> List[float]:
+    """A flash crowd: flat base, a spike, exponential decay back."""
+    _check_positive(base_load, "base load")
+    if spike_ratio < 1.0:
+        raise ModelError("spike ratio must be >= 1")
+    if not 0 <= spike_at < total_samples:
+        raise ModelError("spike must fall inside the trajectory")
+    _check_positive(decay_samples, "decay constant")
+    loads = []
+    for sample in range(total_samples):
+        if sample < spike_at:
+            loads.append(base_load)
+        else:
+            decay = math.exp(-(sample - spike_at) / decay_samples)
+            loads.append(base_load * (1.0 + (spike_ratio - 1.0) * decay))
+    return loads
+
+
+def ramp(start_load: float, end_load: float,
+         total_samples: int = 24) -> List[float]:
+    """Linear growth (or decline) between two load levels."""
+    _check_positive(start_load, "start load")
+    _check_positive(end_load, "end load")
+    if total_samples < 2:
+        raise ModelError("a ramp needs at least 2 samples")
+    step = (end_load - start_load) / (total_samples - 1)
+    return [start_load + step * index for index in range(total_samples)]
+
+
+def noisy(loads: Sequence[float], sigma: float = 0.1,
+          seed: Optional[int] = None) -> List[float]:
+    """Multiplicative lognormal noise: ``load * exp(N(0, sigma))``."""
+    if sigma < 0:
+        raise ModelError("noise sigma cannot be negative")
+    rng = np.random.default_rng(seed)
+    factors = np.exp(rng.normal(0.0, sigma, size=len(loads)))
+    return [float(load * factor) for load, factor in zip(loads, factors)]

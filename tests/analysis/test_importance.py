@@ -1,0 +1,72 @@
+"""Tests for failure-mode importance analysis."""
+
+import pytest
+
+from repro.analysis import downtime_budget_table, mode_importances
+from repro.core import DesignEvaluator, TierDesign
+from repro.errors import EvaluationError
+from repro.model import MechanismConfig
+
+
+@pytest.fixture
+def evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+def bronze(infra):
+    return MechanismConfig(infra.mechanism("maintenanceA"),
+                           {"level": "bronze"})
+
+
+@pytest.fixture
+def family1(paper_infra):
+    """rC x5, bronze, no redundancy: every failure is downtime."""
+    return TierDesign("application", "rC", 5, 0, (),
+                      (bronze(paper_infra),))
+
+
+class TestModeImportances:
+    def test_sorted_by_downtime(self, evaluator, family1):
+        importances = mode_importances(evaluator, family1, 1000)
+        downtimes = [item.downtime_minutes for item in importances]
+        assert downtimes == sorted(downtimes, reverse=True)
+
+    def test_hard_failures_dominate_without_redundancy(self, evaluator,
+                                                       family1):
+        importances = mode_importances(evaluator, family1, 1000)
+        assert importances[0].mode == "machineA.hard"
+        assert importances[0].contribution > 0.9
+
+    def test_contributions_sum_to_about_one(self, evaluator, family1):
+        importances = mode_importances(evaluator, family1, 1000)
+        total = sum(item.contribution for item in importances)
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_improvement_close_to_contribution(self, evaluator, family1):
+        """In the rare-failure regime, suppressing a mode removes
+        roughly its own contribution."""
+        for item in mode_importances(evaluator, family1, 1000):
+            assert item.improvement_minutes == pytest.approx(
+                item.downtime_minutes, rel=0.05, abs=0.2)
+
+    def test_redundancy_shifts_the_budget(self, evaluator, paper_infra):
+        """With one extra active node, hard failures stop dominating as
+        absolutely -- soft doubles matter relatively more."""
+        family9 = TierDesign("application", "rC", 6, 0, (),
+                             (bronze(paper_infra),))
+        base = {item.mode: item for item in
+                mode_importances(evaluator, family9, 1000)}
+        assert base["machineA.hard"].downtime_minutes < 60
+
+    def test_failures_per_year_reported(self, evaluator, family1):
+        by_mode = {item.mode: item for item in
+                   mode_importances(evaluator, family1, 1000)}
+        # 5 machines, MTBF 650d -> ~2.8 hard failures/yr.
+        assert by_mode["machineA.hard"].failures_per_year == \
+            pytest.approx(5 * 365 / 650, rel=0.05)
+
+    def test_budget_table_renders(self, evaluator, family1):
+        table = downtime_budget_table(evaluator, family1, 1000)
+        assert "machineA.hard" in table
+        assert "total" in table
+        assert table.count("\n") >= 5

@@ -1,0 +1,104 @@
+"""Tests for sensitivity analysis and design switch points."""
+
+import pytest
+
+from repro.analysis import (design_switch_points, downtime_sensitivity,
+                            tornado_table)
+from repro.core import DesignEvaluator, SearchLimits, TierDesign
+from repro.errors import EvaluationError
+from repro.model import MechanismConfig
+from repro.units import Duration
+
+
+@pytest.fixture
+def evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+@pytest.fixture
+def design(paper_infra):
+    bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                             {"level": "bronze"})
+    return TierDesign("application", "rC", 5, 0, (), (bronze,))
+
+
+class TestDowntimeSensitivity:
+    def test_nominal_factor_reproduces_baseline(self, evaluator, design):
+        points = downtime_sensitivity(evaluator, design, "machineA.hard",
+                                      "mtbf", [1.0], 1000)
+        from repro.availability.markov import evaluate_tier
+        nominal = evaluate_tier(
+            evaluator.tier_model(design, 1000)).downtime_minutes
+        assert points[0].downtime_minutes == pytest.approx(nominal)
+
+    def test_better_mtbf_less_downtime(self, evaluator, design):
+        points = downtime_sensitivity(evaluator, design, "machineA.hard",
+                                      "mtbf", [0.5, 1.0, 2.0, 4.0], 1000)
+        downtimes = [point.downtime_minutes for point in points]
+        assert downtimes == sorted(downtimes, reverse=True)
+
+    def test_worse_mttr_more_downtime(self, evaluator, design):
+        points = downtime_sensitivity(evaluator, design, "machineA.hard",
+                                      "mttr", [0.5, 1.0, 2.0], 1000)
+        downtimes = [point.downtime_minutes for point in points]
+        assert downtimes == sorted(downtimes)
+
+    def test_scaling_dominant_mode_moves_total_proportionally(
+            self, evaluator, design):
+        """machineA.hard carries ~99% of family 1's downtime; doubling
+        its MTTR nearly doubles the total."""
+        points = downtime_sensitivity(evaluator, design, "machineA.hard",
+                                      "mttr", [1.0, 2.0], 1000)
+        ratio = points[1].downtime_minutes / points[0].downtime_minutes
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_unknown_mode_rejected(self, evaluator, design):
+        with pytest.raises(EvaluationError):
+            downtime_sensitivity(evaluator, design, "ghost.hard", "mtbf",
+                                 [1.0], 1000)
+
+    def test_bad_parameter_rejected(self, evaluator, design):
+        with pytest.raises(EvaluationError):
+            downtime_sensitivity(evaluator, design, "machineA.hard",
+                                 "color", [1.0], 1000)
+
+    def test_nonpositive_factor_rejected(self, evaluator, design):
+        with pytest.raises(EvaluationError):
+            downtime_sensitivity(evaluator, design, "machineA.hard",
+                                 "mtbf", [0.0], 1000)
+
+    def test_tornado_table_renders(self, evaluator, design):
+        table = tornado_table(evaluator, design,
+                              required_throughput=1000)
+        assert "machineA.hard" in table
+        assert "mttr" in table
+
+
+class TestDesignSwitchPoints:
+    def test_paper_load_sweep_switches(self, evaluator):
+        """The paper: 'the optimal design family may change as the load
+        level fluctuates'."""
+        loads = [400, 800, 1200, 1600, 2000, 2400]
+        trajectory, switches = design_switch_points(
+            evaluator, "application", loads, Duration.minutes(100),
+            SearchLimits(max_redundancy=4))
+        assert len(trajectory) == len(loads)
+        assert all(family is not None for _, family in trajectory)
+        assert len(switches) >= 1
+
+    def test_infeasible_loads_are_none(self, evaluator):
+        trajectory, switches = design_switch_points(
+            evaluator, "application", [400, 10_000_000],
+            Duration.minutes(100), SearchLimits(max_redundancy=2))
+        assert trajectory[0][1] is not None
+        assert trajectory[1][1] is None
+
+    def test_constant_family_means_no_switches(self, evaluator):
+        trajectory, switches = design_switch_points(
+            evaluator, "application", [400, 410], Duration.minutes(100),
+            SearchLimits(max_redundancy=3))
+        families = {family for _, family in trajectory}
+        if len(families) == 1:
+            assert switches == []
+        else:
+            assert len(switches) == 1

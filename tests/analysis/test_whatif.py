@@ -1,0 +1,129 @@
+"""Tests for what-if infrastructure improvement analysis."""
+
+import pytest
+
+from repro.analysis import (Improvement, apply_improvement,
+                            evaluate_improvements, whatif_table)
+from repro.core import SearchLimits
+from repro.errors import AvedError, ModelError
+from repro.model import ServiceRequirements
+from repro.units import Duration
+
+
+@pytest.fixture
+def requirement():
+    return ServiceRequirements(1000, Duration.minutes(100))
+
+
+LIMITS = SearchLimits(max_redundancy=4)
+
+
+class TestApplyImprovement:
+    def test_mtbf_scaled(self, paper_infra):
+        improved = apply_improvement(
+            paper_infra, Improvement("x", "machineA", "hard",
+                                     mtbf_factor=2.0))
+        assert improved.component("machineA").failure_mode("hard") \
+            .mtbf == Duration.days(1300)
+        # Other modes untouched.
+        assert improved.component("machineA").failure_mode("soft") \
+            .mtbf == Duration.days(75)
+
+    def test_original_not_mutated(self, paper_infra):
+        before = paper_infra.component("machineA").failure_mode("hard") \
+            .mtbf
+        apply_improvement(paper_infra,
+                          Improvement("x", "machineA", "hard",
+                                      mtbf_factor=10.0))
+        assert paper_infra.component("machineA").failure_mode("hard") \
+            .mtbf == before
+
+    def test_cost_delta_applied_to_active(self, paper_infra):
+        improved = apply_improvement(
+            paper_infra, Improvement("x", "machineA",
+                                     annual_cost_delta=500.0))
+        cost = improved.component("machineA").cost
+        assert cost.active == 2640 + 500
+        assert cost.inactive == 2400
+
+    def test_all_modes_when_unspecified(self, paper_infra):
+        improved = apply_improvement(
+            paper_infra, Improvement("x", "linux", mtbf_factor=3.0))
+        assert improved.component("linux").failure_mode("soft") \
+            .mtbf == Duration.days(180)
+
+    def test_mechanism_mttr_not_scalable(self, paper_infra):
+        with pytest.raises(ModelError):
+            apply_improvement(paper_infra,
+                              Improvement("x", "machineA", "hard",
+                                          mttr_factor=0.5))
+
+    def test_concrete_mttr_scalable(self, tiny_infra):
+        # box.glitch has a concrete (zero) mttr; os.crash too.
+        improved = apply_improvement(
+            tiny_infra, Improvement("x", "os", "crash",
+                                    mttr_factor=0.5))
+        assert improved.component("os").failure_mode("crash").mttr \
+            == Duration.ZERO
+
+    def test_unknown_mode_rejected(self, paper_infra):
+        with pytest.raises(ModelError):
+            apply_improvement(paper_infra,
+                              Improvement("x", "machineA", "ghost",
+                                          mtbf_factor=2.0))
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ModelError):
+            Improvement("x", "machineA", mtbf_factor=0.0)
+
+
+class TestEvaluateImprovements:
+    def test_results_sorted_by_saving(self, paper_infra,
+                                      app_tier_service, requirement):
+        improvements = [
+            Improvement("expensive", "machineA", "hard",
+                        mtbf_factor=1.2, annual_cost_delta=5000.0),
+            Improvement("free", "linux", "soft", mtbf_factor=2.0),
+        ]
+        results = evaluate_improvements(paper_infra, app_tier_service,
+                                        requirement, improvements,
+                                        LIMITS)
+        savings = [r.annual_saving for r in results]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_free_improvement_never_hurts(self, paper_infra,
+                                          app_tier_service, requirement):
+        results = evaluate_improvements(
+            paper_infra, app_tier_service, requirement,
+            [Improvement("free 10x hard", "machineA", "hard",
+                         mtbf_factor=10.0)], LIMITS)
+        assert results[0].annual_saving >= 0
+
+    def test_useful_upgrade_saves_money_at_tight_requirement(
+            self, paper_infra, app_tier_service):
+        """At 10 min/yr the baseline needs silver + extra; a free 10x
+        hard-failure MTBF lets bronze do the job."""
+        tight = ServiceRequirements(1000, Duration.minutes(10))
+        results = evaluate_improvements(
+            paper_infra, app_tier_service, tight,
+            [Improvement("free 10x hard", "machineA", "hard",
+                         mtbf_factor=10.0)], LIMITS)
+        assert results[0].annual_saving > 0
+
+    def test_infeasible_baseline_rejected(self, paper_infra,
+                                          app_tier_service):
+        impossible = ServiceRequirements(10_000_000,
+                                         Duration.minutes(100))
+        with pytest.raises(AvedError):
+            evaluate_improvements(paper_infra, app_tier_service,
+                                  impossible, [], LIMITS)
+
+    def test_table_renders(self, paper_infra, app_tier_service,
+                           requirement):
+        results = evaluate_improvements(
+            paper_infra, app_tier_service, requirement,
+            [Improvement("free", "linux", "soft", mtbf_factor=2.0)],
+            LIMITS)
+        table = whatif_table(results)
+        assert "baseline" in table
+        assert "free" in table

@@ -1,0 +1,130 @@
+"""Golden tests for the Markov chains' state-space structure.
+
+These pin the chain shapes (state counts, reachability) so a refactor
+of the transition functions cannot silently change the model being
+solved.
+"""
+
+import pytest
+
+from repro.availability import (ContinuousTimeMarkovChain,
+                                FailureModeEntry, TierAvailabilityModel)
+from repro.availability.markov import (_TRUNCATION_MARGIN,
+                                       _solve_failover_chain,
+                                       _solve_inplace_chain)
+from repro.units import Duration
+
+
+def failover_mode(mtbf_days=100, mttr_hours=24, failover_minutes=5,
+                  spare_susceptible=False):
+    return FailureModeEntry("hard", Duration.days(mtbf_days),
+                            Duration.hours(mttr_hours),
+                            Duration.minutes(failover_minutes),
+                            spare_susceptible)
+
+
+def build_failover_chain(n, m, s, mode):
+    """Replicate the failover chain's reachable state space."""
+    total = n + s
+    w_cap = min(n, (n - m + 1) + s + _TRUNCATION_MARGIN)
+    spare_fails = mode.spare_susceptible
+
+    def transitions(state):
+        r, w = state
+        idle = s - r + w
+        out = []
+        if n - w > 0 and r < total and w < w_cap:
+            out.append(((r + 1, w + 1), 1.0))
+        if spare_fails and idle > 0:
+            out.append(((r + 1, w), 1.0))
+        if min(w, idle) > 0:
+            out.append(((r, w - 1), 1.0))
+        if r > 0:
+            out.append(((r - 1, w), 1.0))
+        return out
+
+    return ContinuousTimeMarkovChain((0, 0), transitions)
+
+
+class TestStateSpaceInvariants:
+    @pytest.mark.parametrize("n,m,s", [(1, 1, 0), (1, 1, 1), (5, 5, 1),
+                                       (5, 4, 2), (10, 8, 3)])
+    def test_state_constraints_hold(self, n, m, s):
+        chain = build_failover_chain(n, m, s, failover_mode())
+        for r, w in chain.states:
+            assert 0 <= w <= n
+            assert 0 <= r <= n + s
+            assert r <= s + w, (r, w)          # bookkeeping identity
+            assert s - r + w >= 0              # idle spares >= 0
+
+    def test_cold_spares_cap_r_by_s_plus_w(self):
+        """Without spare failures, resources in repair only come from
+        active slots (via w) or previously-consumed spares."""
+        chain = build_failover_chain(4, 4, 2, failover_mode())
+        assert all(r <= 2 + w for r, w in chain.states)
+
+    def test_spare_susceptibility_adds_transitions_not_states(self):
+        """Spare failures add (r+1, w) edges between states the active
+        failure/failover paths already reach: same states, more edges."""
+        cold = build_failover_chain(4, 4, 2, failover_mode())
+        hot = build_failover_chain(
+            4, 4, 2, failover_mode(spare_susceptible=True))
+        assert set(hot.states) == set(cold.states)
+        assert len(hot.edges) > len(cold.edges)
+
+    def test_truncation_caps_w(self):
+        n, m, s = 200, 200, 2
+        chain = build_failover_chain(n, m, s, failover_mode())
+        w_cap = (n - m + 1) + s + _TRUNCATION_MARGIN
+        assert max(w for _, w in chain.states) <= w_cap
+        # Without the cap the space would be ~n*s; with it, bounded.
+        assert chain.size < 40 * (w_cap + 2)
+
+
+class TestSolverOutputsOnGoldenShapes:
+    def test_single_resource_single_spare_counts(self):
+        """n=1, s=1: the reachable set is exactly the 5 states
+        {(0,0), (1,1), (1,0), (0,1), (2,1)}."""
+        chain = build_failover_chain(1, 1, 1, failover_mode())
+        assert set(chain.states) == {(0, 0), (1, 1), (1, 0), (0, 1),
+                                     (2, 1)}
+
+    def test_inplace_chain_size_is_n_plus_one(self):
+        model = TierAvailabilityModel(
+            "t", n=7, m=7, s=0,
+            modes=(FailureModeEntry("glitch", Duration.days(10),
+                                    Duration.minutes(2),
+                                    Duration.minutes(5)),))
+        unavailability, failures = _solve_inplace_chain(
+            model, model.modes[0])
+        assert 0 < unavailability < 1
+        assert failures > 0
+
+    def test_failover_solver_matches_rebuilt_chain(self):
+        """The solver's probability of w >= 1 equals the direct
+        evaluation on our replicated chain with real rates."""
+        mode = failover_mode(mtbf_days=50, mttr_hours=24,
+                             failover_minutes=10)
+        model = TierAvailabilityModel("t", n=3, m=3, s=1, modes=(mode,))
+        unavailability, _ = _solve_failover_chain(model, mode)
+
+        lam = 1.0 / mode.mtbf.as_hours
+        mu = 1.0 / mode.mttr.as_hours
+        phi = 1.0 / mode.failover_time.as_hours
+        n, s = 3, 1
+
+        def transitions(state):
+            r, w = state
+            idle = s - r + w
+            out = []
+            if n - w > 0 and r < n + s:
+                out.append(((r + 1, w + 1), (n - w) * lam))
+            if min(w, idle) > 0:
+                out.append(((r, w - 1), min(w, idle) * phi))
+            if r > 0:
+                out.append(((r - 1, w), r * mu))
+            return out
+
+        chain = ContinuousTimeMarkovChain((0, 0), transitions)
+        direct = chain.probability_where(lambda state: 3 - state[1] < 3)
+        assert unavailability == pytest.approx(direct, rel=1e-9)

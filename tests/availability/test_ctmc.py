@@ -1,0 +1,161 @@
+"""Tests for the CTMC solver against closed-form queueing results."""
+
+import math
+
+import pytest
+
+from repro.availability import ContinuousTimeMarkovChain
+from repro.errors import EvaluationError
+
+
+def two_state(failure_rate, repair_rate):
+    def transitions(state):
+        if state == "up":
+            return [("down", failure_rate)]
+        return [("up", repair_rate)]
+    return ContinuousTimeMarkovChain("up", transitions)
+
+
+class TestTwoState:
+    def test_steady_state_matches_closed_form(self):
+        lam, mu = 0.01, 2.0
+        chain = two_state(lam, mu)
+        pi = chain.steady_state()
+        assert pi["down"] == pytest.approx(lam / (lam + mu), rel=1e-9)
+        assert pi["up"] == pytest.approx(mu / (lam + mu), rel=1e-9)
+
+    def test_probabilities_sum_to_one(self):
+        pi = two_state(0.3, 0.7).steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_extreme_rate_ratio(self):
+        # Stiff chain: rates 9 orders of magnitude apart.
+        pi = two_state(1e-6, 1e3).steady_state()
+        assert pi["down"] == pytest.approx(1e-9, rel=1e-6)
+
+
+class TestBirthDeath:
+    def n_independent(self, n, lam, mu):
+        """n independent machines: state = number failed."""
+        def transitions(k):
+            out = []
+            if k < n:
+                out.append((k + 1, (n - k) * lam))
+            if k > 0:
+                out.append((k - 1, k * mu))
+            return out
+        return ContinuousTimeMarkovChain(0, transitions)
+
+    def test_binomial_distribution(self):
+        n, lam, mu = 4, 0.2, 1.0
+        q = lam / (lam + mu)
+        pi = self.n_independent(n, lam, mu).steady_state()
+        for k in range(n + 1):
+            expected = math.comb(n, k) * q ** k * (1 - q) ** (n - k)
+            assert pi[k] == pytest.approx(expected, rel=1e-9)
+
+    def test_mm1_queue_truncated(self):
+        """M/M/1 with capacity K: geometric steady state."""
+        lam, mu, cap = 0.5, 1.0, 20
+        rho = lam / mu
+
+        def transitions(k):
+            out = []
+            if k < cap:
+                out.append((k + 1, lam))
+            if k > 0:
+                out.append((k - 1, mu))
+            return out
+
+        pi = ContinuousTimeMarkovChain(0, transitions).steady_state()
+        norm = (1 - rho) / (1 - rho ** (cap + 1))
+        for k in (0, 1, 5, 20):
+            assert pi[k] == pytest.approx(norm * rho ** k, rel=1e-9)
+
+
+class TestLargeChains:
+    def test_sparse_path_agrees_with_dense(self):
+        """A chain just above the dense limit must match the same chain
+        solved densely (shifted below the limit)."""
+        def build(n, lam=0.01, mu=1.0):
+            def transitions(k):
+                out = []
+                if k < n:
+                    out.append((k + 1, (n - k) * lam))
+                if k > 0:
+                    out.append((k - 1, k * mu))
+                return out
+            return ContinuousTimeMarkovChain(0, transitions)
+
+        big = build(2000)           # 2001 states: sparse path
+        pi = big.steady_state()
+        q = 0.01 / 1.01
+        expected0 = (1 - q) ** 2000
+        assert pi[0] == pytest.approx(expected0, rel=1e-6)
+
+    def test_state_limit_enforced(self):
+        def transitions(k):
+            return [(k + 1, 1.0)]
+        with pytest.raises(EvaluationError):
+            ContinuousTimeMarkovChain(0, transitions, max_states=100)
+
+
+class TestAPI:
+    def test_expected_value(self):
+        chain = two_state(1.0, 1.0)
+        value = chain.expected_value(lambda s: 1.0 if s == "down" else 0.0)
+        assert value == pytest.approx(0.5)
+
+    def test_probability_where(self):
+        chain = two_state(1.0, 3.0)
+        assert chain.probability_where(lambda s: s == "down") == \
+            pytest.approx(0.25)
+
+    def test_negative_rate_rejected(self):
+        def transitions(state):
+            return [("x", -1.0)]
+        with pytest.raises(EvaluationError):
+            ContinuousTimeMarkovChain("a", transitions)
+
+    def test_self_loops_ignored(self):
+        def transitions(state):
+            if state == 0:
+                return [(0, 5.0), (1, 1.0)]
+            return [(0, 1.0)]
+        pi = ContinuousTimeMarkovChain(0, transitions).steady_state()
+        assert pi[0] == pytest.approx(0.5)
+
+    def test_absorbing_chain(self):
+        def transitions(state):
+            if state == 0:
+                return [(1, 1.0)]
+            return []
+        pi = ContinuousTimeMarkovChain(0, transitions).steady_state()
+        assert pi[1] == pytest.approx(1.0)
+        assert pi[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_state(self):
+        chain = ContinuousTimeMarkovChain("only", lambda s: [])
+        assert chain.steady_state() == {"only": 1.0}
+
+    def test_states_and_size(self):
+        chain = two_state(1.0, 1.0)
+        assert chain.size == 2
+        assert set(chain.states) == {"up", "down"}
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        chain = two_state(0.5, 2.0)
+        dot = chain.to_dot()
+        assert dot.startswith("digraph ctmc {")
+        assert dot.endswith("}")
+        assert dot.count("->") == 2          # up->down, down->up
+        assert "0.5" in dot and "2" in dot   # rates on edges
+
+    def test_custom_labels_and_highlight(self):
+        chain = two_state(1.0, 1.0)
+        dot = chain.to_dot(label=lambda s: s.upper(),
+                           highlight=lambda s: s == "down")
+        assert "UP" in dot and "DOWN" in dot
+        assert dot.count("style=filled") == 1

@@ -1,0 +1,142 @@
+"""Tests for MTBF estimation from observed operation."""
+
+import pytest
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel, estimate_mtbf,
+                                estimates_from_simulation, refine_modes,
+                                simulate_tier)
+from repro.errors import EvaluationError
+from repro.units import Duration
+
+
+def model_with(mtbf_days_hard=100.0, mtbf_days_soft=10.0, n=4, s=1):
+    modes = (
+        FailureModeEntry("hard", Duration.days(mtbf_days_hard),
+                         Duration.hours(10), Duration.minutes(5)),
+        FailureModeEntry("soft", Duration.days(mtbf_days_soft),
+                         Duration.minutes(3), Duration.minutes(5)),
+    )
+    return TierAvailabilityModel("t", n=n, m=n, s=s, modes=modes)
+
+
+class TestEstimateMtbf:
+    def test_point_estimate(self):
+        estimate = estimate_mtbf("m", failures=100,
+                                 exposure_hours=240_000.0)
+        assert estimate.mtbf == Duration.hours(2400)
+
+    def test_interval_brackets_point(self):
+        estimate = estimate_mtbf("m", failures=50,
+                                 exposure_hours=100_000.0)
+        assert estimate.lower < estimate.mtbf < estimate.upper
+
+    def test_interval_narrows_with_more_data(self):
+        wide = estimate_mtbf("m", 10, 24_000.0)
+        narrow = estimate_mtbf("m", 1000, 2_400_000.0)
+
+        def rel_width(estimate):
+            return (estimate.upper - estimate.lower) / estimate.mtbf
+
+        assert rel_width(narrow) < rel_width(wide)
+
+    def test_zero_failures_gives_lower_bound_only(self):
+        estimate = estimate_mtbf("m", 0, 10_000.0)
+        assert estimate.mtbf is None
+        assert estimate.upper is None
+        assert estimate.lower.as_hours > 0
+        assert estimate.contains(Duration.hours(1e9))
+
+    def test_contains(self):
+        estimate = estimate_mtbf("m", 100, 240_000.0)
+        assert estimate.contains(Duration.hours(2400))
+        assert not estimate.contains(Duration.hours(1))
+        assert not estimate.contains(Duration.hours(1e9))
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            estimate_mtbf("m", 1, 0.0)
+        with pytest.raises(EvaluationError):
+            estimate_mtbf("m", -1, 100.0)
+        with pytest.raises(EvaluationError):
+            estimate_mtbf("m", 1, 100.0, confidence=1.5)
+
+
+class TestEstimatesFromSimulation:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        model = model_with()
+        result = simulate_tier(model, years=300, seed=5)
+        return model, result, estimates_from_simulation(model, result)
+
+    def test_true_values_inside_intervals(self, observed):
+        model, _, estimates = observed
+        for mode in model.modes:
+            assert estimates[mode.name].contains(mode.mtbf), mode.name
+
+    def test_point_estimates_close(self, observed):
+        model, _, estimates = observed
+        for mode in model.modes:
+            estimate = estimates[mode.name]
+            ratio = estimate.mtbf / mode.mtbf
+            assert 0.9 < ratio < 1.1, mode.name
+
+    def test_requires_mode_counts(self):
+        from repro.availability import SimulationResult, TierResult
+        model = model_with()
+        bare = SimulationResult(TierResult("t", 0.0), 1.0, 0.0, 0, 0,
+                                0.0)
+        with pytest.raises(EvaluationError):
+            estimates_from_simulation(model, bare)
+
+
+class TestRefineModes:
+    def test_refinement_closes_model_error(self):
+        """Declare a wrong MTBF, observe reality, refine: the refined
+        model's downtime must be closer to the truth's."""
+        truth = model_with(mtbf_days_hard=50.0)
+        declared = model_with(mtbf_days_hard=200.0)
+        observed = simulate_tier(truth, years=300, seed=6)
+        estimates = estimates_from_simulation(truth, observed)
+        refined = refine_modes(declared, estimates)
+
+        engine = MarkovEngine()
+        true_downtime = engine.evaluate_tier(truth).downtime_minutes
+        declared_downtime = engine.evaluate_tier(
+            declared).downtime_minutes
+        refined_downtime = engine.evaluate_tier(refined).downtime_minutes
+        assert abs(refined_downtime - true_downtime) < \
+            abs(declared_downtime - true_downtime)
+
+    def test_sparse_observations_keep_prior(self):
+        model = model_with()
+        estimates = {"hard": estimate_mtbf("hard", 2, 1_000_000.0)}
+        refined = refine_modes(model, estimates, min_failures=10)
+        assert refined.modes[0].mtbf == model.modes[0].mtbf
+
+    def test_unobserved_modes_untouched(self):
+        model = model_with()
+        refined = refine_modes(model, {})
+        assert refined.modes == model.modes
+
+
+class TestExposureAccounting:
+    def test_manned_hours_close_to_n_times_horizon(self):
+        """With rare failures, exposure ~ n x horizon."""
+        model = model_with(mtbf_days_hard=5000, mtbf_days_soft=5000,
+                           n=3, s=0)
+        result = simulate_tier(model, years=50, seed=7)
+        expected = 3 * 50 * 365 * 24
+        assert result.manned_hours == pytest.approx(expected, rel=0.01)
+
+    def test_idle_hours_tracked_for_spares(self):
+        model = model_with(n=2, s=2)
+        result = simulate_tier(model, years=20, seed=8)
+        expected = 2 * 20 * 365 * 24
+        assert result.idle_hours == pytest.approx(expected, rel=0.1)
+
+    def test_mode_counts_sum_to_failures(self):
+        model = model_with()
+        result = simulate_tier(model, years=100, seed=9)
+        assert sum(result.mode_failures.values()) == \
+            result.failure_events

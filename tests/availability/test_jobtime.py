@@ -1,0 +1,125 @@
+"""Tests for the job completion model (paper Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.availability import (estimate_job_time, failure_probability,
+                                mean_time_per_loss_window, useful_fraction)
+from repro.errors import EvaluationError
+from repro.units import Duration
+
+
+class TestEquation1:
+    def test_failure_probability(self):
+        p = failure_probability(Duration.hours(1), Duration.hours(10))
+        assert p == pytest.approx(1 - math.exp(-0.1))
+
+    def test_t_lw_closed_form(self):
+        """T_lw = MTBF * P_f / (1 - P_f) = MTBF * (e^{lw/MTBF} - 1)."""
+        lw, mtbf = Duration.hours(2), Duration.hours(10)
+        t = mean_time_per_loss_window(lw, mtbf)
+        p = failure_probability(lw, mtbf)
+        assert t.as_hours == pytest.approx(10 * p / (1 - p), rel=1e-12)
+
+    def test_t_lw_approaches_lw_for_rare_failures(self):
+        t = mean_time_per_loss_window(Duration.minutes(10),
+                                      Duration.days(365))
+        assert t.as_minutes == pytest.approx(10.0, rel=1e-4)
+
+    def test_t_lw_explodes_for_long_windows(self):
+        t = mean_time_per_loss_window(Duration.hours(50),
+                                      Duration.hours(10))
+        # e^5 - 1 ~ 147.4 mtbf units.
+        assert t.as_hours == pytest.approx(10 * (math.exp(5) - 1),
+                                           rel=1e-9)
+
+    def test_t_lw_overflow_guard(self):
+        t = mean_time_per_loss_window(Duration.hours(10_000),
+                                      Duration.hours(1))
+        assert not t.is_finite()
+
+    def test_zero_window(self):
+        assert mean_time_per_loss_window(Duration.ZERO,
+                                         Duration.hours(1)) == Duration.ZERO
+        assert useful_fraction(Duration.ZERO, Duration.hours(1)) == 1.0
+
+    def test_useful_fraction_monotone_in_window(self):
+        mtbf = Duration.hours(100)
+        fractions = [useful_fraction(Duration.hours(h), mtbf)
+                     for h in (1, 10, 50, 100, 300)]
+        assert all(a > b for a, b in zip(fractions, fractions[1:]))
+        assert all(0 <= f <= 1 for f in fractions)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EvaluationError):
+            failure_probability(Duration.hours(1), Duration.ZERO)
+        with pytest.raises(EvaluationError):
+            mean_time_per_loss_window(Duration.hours(-1),
+                                      Duration.hours(1))
+
+
+class TestJobTimeEstimate:
+    def base(self, **overrides):
+        kwargs = dict(job_size=10_000.0, throughput_per_hour=500.0,
+                      overhead_factor=1.0,
+                      loss_window=Duration.minutes(10),
+                      tier_mtbf=Duration.days(10),
+                      uptime_fraction=1.0)
+        kwargs.update(overrides)
+        return estimate_job_time(**kwargs)
+
+    def test_ideal_case_is_failure_free_time(self):
+        estimate = self.base(loss_window=Duration.ZERO)
+        assert estimate.expected_time.as_hours == pytest.approx(20.0)
+        assert estimate.useful_fraction == 1.0
+
+    def test_overhead_stretches_time(self):
+        assert self.base(overhead_factor=2.0).expected_time.as_hours == \
+            pytest.approx(2 * self.base().expected_time.as_hours, rel=1e-6)
+
+    def test_downtime_stretches_time(self):
+        degraded = self.base(uptime_fraction=0.5)
+        assert degraded.expected_time.as_hours == pytest.approx(
+            2 * self.base().expected_time.as_hours, rel=1e-6)
+
+    def test_reexecution_stretches_time(self):
+        risky = self.base(loss_window=Duration.days(5))
+        assert risky.expected_time > self.base().expected_time
+
+    def test_effective_rate_consistency(self):
+        estimate = self.base()
+        assert estimate.expected_time.as_hours == pytest.approx(
+            10_000.0 / estimate.effective_rate)
+
+    def test_zero_uptime_is_infeasible(self):
+        estimate = self.base(uptime_fraction=0.0)
+        assert not estimate.feasible
+
+    def test_input_validation(self):
+        with pytest.raises(EvaluationError):
+            self.base(job_size=0)
+        with pytest.raises(EvaluationError):
+            self.base(throughput_per_hour=0)
+        with pytest.raises(EvaluationError):
+            self.base(overhead_factor=0.5)
+        with pytest.raises(EvaluationError):
+            self.base(uptime_fraction=1.5)
+
+
+class TestCheckpointIntervalTradeoff:
+    def test_interior_optimum_exists(self):
+        """With an overhead knee and Eq. 1 losses, the expected job time
+        as a function of the interval is minimized at the knee."""
+        mtbf = Duration.hours(50)
+        knee_minutes = 30.0
+
+        def job_hours(cpi_minutes):
+            overhead = max(knee_minutes / cpi_minutes, 1.0)
+            return estimate_job_time(
+                1000.0, 100.0, overhead, Duration.minutes(cpi_minutes),
+                mtbf, 1.0).expected_time.as_hours
+
+        at_knee = job_hours(knee_minutes)
+        assert job_hours(5.0) > at_knee        # overhead dominates
+        assert job_hours(2000.0) > at_knee     # re-execution dominates

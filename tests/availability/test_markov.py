@@ -1,0 +1,176 @@
+"""Tests for the Markov tier evaluation (per-mode chains)."""
+
+import pytest
+
+from repro.availability import (FailureModeEntry, TierAvailabilityModel,
+                                markov)
+from repro.availability.markov import evaluate_mode, evaluate_tier
+from repro.units import Duration, MINUTES_PER_YEAR
+
+
+def mode(name="hard", mtbf_days=100, mttr_hours=24, failover_minutes=5,
+         spare_susceptible=False):
+    return FailureModeEntry(name, Duration.days(mtbf_days),
+                            Duration.hours(mttr_hours),
+                            Duration.minutes(failover_minutes),
+                            spare_susceptible)
+
+
+def tier(n, m, s, modes):
+    return TierAvailabilityModel("t", n=n, m=m, s=s, modes=tuple(modes))
+
+
+class TestFailoverRule:
+    def test_failover_used_when_repair_slower(self):
+        assert mode(mttr_hours=24, failover_minutes=5).uses_failover
+
+    def test_no_failover_when_repair_faster(self):
+        fast = FailureModeEntry("glitch", Duration.days(10),
+                                Duration.minutes(2), Duration.minutes(5))
+        assert not fast.uses_failover
+
+    def test_no_failover_without_spares(self):
+        result = evaluate_mode(tier(2, 2, 0, [mode()]), mode())
+        assert not result.used_failover
+
+    def test_failover_with_spares(self):
+        result = evaluate_mode(tier(2, 2, 1, [mode()]), mode())
+        assert result.used_failover
+
+
+class TestInPlaceChain:
+    def test_single_resource_unavailability(self):
+        """n=1, m=1: classic MTTR/(MTBF+MTTR)."""
+        m = mode(mtbf_days=100, mttr_hours=24)
+        result = evaluate_mode(tier(1, 1, 0, [m]), m)
+        expected = 24.0 / (100 * 24 + 24)
+        assert result.unavailability == pytest.approx(expected, rel=1e-9)
+
+    def test_slack_masks_failures(self):
+        """n=2, m=1: down only when both are down (independent)."""
+        m = mode(mtbf_days=100, mttr_hours=24)
+        q = 24.0 / (100 * 24 + 24)
+        result = evaluate_mode(tier(2, 1, 0, [m]), m)
+        assert result.unavailability == pytest.approx(q * q, rel=1e-9)
+
+    def test_zero_mttr_means_zero_downtime(self):
+        instant = FailureModeEntry("blip", Duration.days(10),
+                                   Duration.ZERO, Duration.minutes(5))
+        result = evaluate_mode(tier(3, 3, 0, [instant]), instant)
+        assert result.unavailability == 0.0
+        assert result.failures_per_year == pytest.approx(3 * 36.5)
+
+    def test_failure_rate_scales_with_n(self):
+        m = mode(mtbf_days=365, mttr_hours=1)
+        small = evaluate_mode(tier(2, 2, 0, [m]), m)
+        large = evaluate_mode(tier(10, 10, 0, [m]), m)
+        assert large.failures_per_year == pytest.approx(
+            5 * small.failures_per_year, rel=1e-2)
+
+
+class TestFailoverChain:
+    def test_failover_reduces_downtime(self):
+        m = mode(mtbf_days=100, mttr_hours=38, failover_minutes=6)
+        without = evaluate_mode(tier(4, 4, 0, [m]), m)
+        with_spare = evaluate_mode(tier(4, 4, 1, [m]), m)
+        assert with_spare.unavailability < without.unavailability / 20
+
+    def test_first_order_downtime_estimate(self):
+        """With ample spares, downtime ~ failure rate x failover time."""
+        m = mode(mtbf_days=365, mttr_hours=4, failover_minutes=10)
+        result = evaluate_mode(tier(2, 2, 2, [m]), m)
+        failures_per_year = 2 * 1.0  # 2 resources, 1/yr each
+        expected_minutes = failures_per_year * 10
+        assert result.unavailability * MINUTES_PER_YEAR == pytest.approx(
+            expected_minutes, rel=0.05)
+
+    def test_second_spare_helps_when_repair_is_slow(self):
+        m = mode(mtbf_days=20, mttr_hours=72, failover_minutes=5)
+        one = evaluate_mode(tier(8, 8, 1, [m]), m)
+        two = evaluate_mode(tier(8, 8, 2, [m]), m)
+        assert two.unavailability < one.unavailability
+
+    def test_spare_susceptibility_increases_downtime(self):
+        cold = mode(mtbf_days=50, mttr_hours=24, failover_minutes=5,
+                    spare_susceptible=False)
+        hot = mode(mtbf_days=50, mttr_hours=24, failover_minutes=5,
+                   spare_susceptible=True)
+        cold_result = evaluate_mode(tier(4, 4, 1, [cold]), cold)
+        hot_result = evaluate_mode(tier(4, 4, 1, [hot]), hot)
+        assert hot_result.unavailability > cold_result.unavailability
+
+    def test_hot_spare_failover_faster_than_cold(self):
+        """Shorter failover time => less downtime (hot spares win).
+
+        With ample spares the wait-for-repair term vanishes and the
+        downtime is proportional to the failover time itself.
+        """
+        slow = mode(failover_minutes=10)
+        fast = mode(failover_minutes=1)
+        slow_result = evaluate_mode(tier(3, 3, 3, [slow]), slow)
+        fast_result = evaluate_mode(tier(3, 3, 3, [fast]), fast)
+        assert fast_result.unavailability == pytest.approx(
+            slow_result.unavailability / 10, rel=0.05)
+
+    def test_scarce_spares_queue_on_repair(self):
+        """With one spare and slow repairs, downtime is dominated by the
+        wait for repair, not the failover time: shrinking the failover
+        time 10x must NOT shrink downtime 10x."""
+        slow = mode(failover_minutes=10)
+        fast = mode(failover_minutes=1)
+        slow_result = evaluate_mode(tier(3, 3, 1, [slow]), slow)
+        fast_result = evaluate_mode(tier(3, 3, 1, [fast]), fast)
+        assert fast_result.unavailability > \
+            slow_result.unavailability / 4
+
+    def test_slack_plus_spare_compound(self):
+        m = mode(mtbf_days=30, mttr_hours=24, failover_minutes=5)
+        tight = evaluate_mode(tier(4, 4, 1, [m]), m)
+        slack = evaluate_mode(tier(5, 4, 1, [m]), m)
+        assert slack.unavailability < tight.unavailability / 10
+
+
+class TestTierComposition:
+    def test_modes_compose_independently(self):
+        a = mode("a", mtbf_days=100, mttr_hours=10)
+        b = mode("b", mtbf_days=50, mttr_hours=5)
+        result = evaluate_tier(tier(1, 1, 0, [a, b]))
+        ua = evaluate_mode(tier(1, 1, 0, [a]), a).unavailability
+        ub = evaluate_mode(tier(1, 1, 0, [b]), b).unavailability
+        expected = 1 - (1 - ua) * (1 - ub)
+        assert result.unavailability == pytest.approx(expected, rel=1e-12)
+
+    def test_mode_results_attached(self):
+        a = mode("a")
+        b = mode("b")
+        result = evaluate_tier(tier(2, 2, 0, [a, b]))
+        assert [m.mode for m in result.mode_results] == ["a", "b"]
+
+    def test_downtime_minutes_property(self):
+        a = mode("a", mtbf_days=100, mttr_hours=24)
+        result = evaluate_tier(tier(1, 1, 0, [a]))
+        assert result.downtime_minutes == pytest.approx(
+            result.unavailability * MINUTES_PER_YEAR)
+
+
+class TestTruncation:
+    def test_large_n_solvable(self):
+        """n=1000 with spares must not explode the state space."""
+        m = mode(mtbf_days=650, mttr_hours=38, failover_minutes=7)
+        result = evaluate_mode(tier(1000, 1000, 2, [m]), m)
+        assert 0.0 < result.unavailability < 1.0
+
+    def test_truncated_close_to_untruncated(self):
+        """For a mid-size chain the truncation must be invisible."""
+        m = mode(mtbf_days=100, mttr_hours=38, failover_minutes=6)
+        model = tier(10, 9, 1, [m])
+        result = evaluate_mode(model, m)
+        # Untruncated reference computed via generous margin.
+        old_margin = markov._TRUNCATION_MARGIN
+        markov._TRUNCATION_MARGIN = 10_000
+        try:
+            reference = evaluate_mode(model, m)
+        finally:
+            markov._TRUNCATION_MARGIN = old_margin
+        assert result.unavailability == pytest.approx(
+            reference.unavailability, rel=1e-6)

@@ -1,0 +1,86 @@
+"""Tests for reliability-block-diagram composition."""
+
+import math
+
+import pytest
+
+from repro.availability import (k_of_n_availability, k_of_n_identical,
+                                parallel_availability, series_availability,
+                                series_unavailability)
+from repro.errors import EvaluationError
+
+
+class TestSeries:
+    def test_two_blocks(self):
+        assert series_availability([0.9, 0.8]) == pytest.approx(0.72)
+
+    def test_unavailability_form(self):
+        u = series_unavailability([0.1, 0.2])
+        assert u == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_empty_series_is_up(self):
+        assert series_availability([]) == 1.0
+        assert series_unavailability([]) == 0.0
+
+    def test_perfect_blocks(self):
+        assert series_availability([1.0, 1.0, 1.0]) == 1.0
+
+    def test_rejects_non_probability(self):
+        with pytest.raises(EvaluationError):
+            series_availability([1.5])
+        with pytest.raises(EvaluationError):
+            series_unavailability([-0.1])
+
+    def test_small_unavailabilities_approximately_add(self):
+        u = series_unavailability([1e-6, 2e-6, 3e-6])
+        assert u == pytest.approx(6e-6, rel=1e-4)
+
+
+class TestParallel:
+    def test_two_blocks(self):
+        assert parallel_availability([0.9, 0.9]) == pytest.approx(0.99)
+
+    def test_any_perfect_block_suffices(self):
+        assert parallel_availability([0.2, 1.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            parallel_availability([])
+
+
+class TestKofN:
+    def test_one_of_n_is_parallel(self):
+        values = [0.9, 0.8, 0.7]
+        assert k_of_n_availability(1, values) == pytest.approx(
+            parallel_availability(values))
+
+    def test_n_of_n_is_series(self):
+        values = [0.9, 0.8, 0.7]
+        assert k_of_n_availability(3, values) == pytest.approx(
+            series_availability(values))
+
+    def test_zero_of_n_is_one(self):
+        assert k_of_n_availability(0, [0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_heterogeneous_two_of_three(self):
+        a, b, c = 0.9, 0.8, 0.7
+        expected = (a * b * c
+                    + a * b * (1 - c) + a * (1 - b) * c
+                    + (1 - a) * b * c)
+        assert k_of_n_availability(2, [a, b, c]) == pytest.approx(expected)
+
+    def test_identical_matches_binomial(self):
+        n, k, p = 8, 6, 0.95
+        expected = sum(math.comb(n, j) * p ** j * (1 - p) ** (n - j)
+                       for j in range(k, n + 1))
+        assert k_of_n_identical(k, n, p) == pytest.approx(expected)
+
+    def test_identical_matches_general(self):
+        assert k_of_n_identical(3, 5, 0.9) == pytest.approx(
+            k_of_n_availability(3, [0.9] * 5))
+
+    def test_out_of_range_k_rejected(self):
+        with pytest.raises(EvaluationError):
+            k_of_n_availability(4, [0.9] * 3)
+        with pytest.raises(EvaluationError):
+            k_of_n_identical(-1, 3, 0.9)

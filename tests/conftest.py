@@ -1,0 +1,84 @@
+"""Shared fixtures: the paper's models and small synthetic ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import (AvailabilityMechanism, ComponentSlot, ComponentType,
+                         CostSchedule, ExpressionPerformance, FailureMode,
+                         FailureScope, InfrastructureModel,
+                         MechanismParameter, MechanismRef, MechanismUse,
+                         ResourceOption, ResourceType, ServiceModel, Sizing,
+                         TableEffect, Tier)
+from repro.spec.paper import (ecommerce_service, paper_infrastructure,
+                              scientific_service)
+from repro.units import ArithmeticRange, Duration, EnumeratedRange
+
+
+@pytest.fixture(scope="session")
+def paper_infra():
+    return paper_infrastructure()
+
+
+@pytest.fixture(scope="session")
+def ecommerce():
+    return ecommerce_service()
+
+
+@pytest.fixture(scope="session")
+def scientific():
+    return scientific_service()
+
+
+@pytest.fixture(scope="session")
+def app_tier_service(ecommerce):
+    """The application tier in isolation, as the paper's Fig. 6 uses it."""
+    return ServiceModel("app-only", [ecommerce.tier("application")])
+
+
+@pytest.fixture
+def tiny_infra():
+    """A minimal synthetic infrastructure: one box, one OS, one contract."""
+    contract = AvailabilityMechanism(
+        "contract",
+        parameters=(MechanismParameter(
+            "level", EnumeratedRange(["basic", "fast"])),),
+        effects={
+            "cost": TableEffect("level",
+                                (("basic", 100.0), ("fast", 400.0))),
+            "mttr": TableEffect("level",
+                                (("basic", Duration.hours(24)),
+                                 ("fast", Duration.hours(4)))),
+        })
+    box = ComponentType(
+        "box",
+        cost=CostSchedule(inactive=500.0, active=1000.0),
+        failure_modes=(
+            FailureMode("hard", Duration.days(365),
+                        MechanismRef("contract"),
+                        detect_time=Duration.minutes(1)),
+            FailureMode("glitch", Duration.days(30), Duration.ZERO),
+        ))
+    os = ComponentType(
+        "os",
+        cost=CostSchedule.flat(0.0),
+        failure_modes=(
+            FailureMode("crash", Duration.days(60), Duration.ZERO),))
+    resource = ResourceType(
+        "node",
+        slots=(ComponentSlot("box", None, Duration.minutes(1)),
+               ComponentSlot("os", "box", Duration.minutes(2))),
+        reconfig_time=Duration.seconds(30))
+    return InfrastructureModel(components=[box, os],
+                               mechanisms=[contract],
+                               resources=[resource])
+
+
+@pytest.fixture
+def tiny_service():
+    """A one-tier dynamic service on the tiny infrastructure."""
+    option = ResourceOption(
+        "node", Sizing.DYNAMIC, FailureScope.RESOURCE,
+        ArithmeticRange(1, 100, 1),
+        ExpressionPerformance("100*n"))
+    return ServiceModel("svc", [Tier("web", [option])])

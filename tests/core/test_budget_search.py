@@ -1,0 +1,52 @@
+"""Tests for the dual search: best availability within a cost budget."""
+
+import pytest
+
+from repro.core import DesignEvaluator, SearchLimits, TierSearch
+from repro.units import Duration
+
+
+@pytest.fixture(scope="module")
+def search(paper_infra, app_tier_service):
+    return TierSearch(DesignEvaluator(paper_infra, app_tier_service),
+                      SearchLimits(max_redundancy=4))
+
+
+class TestBestWithinBudget:
+    def test_budget_below_minimum_is_none(self, search):
+        # Load 1000 needs 5 machines ~ $23.6k minimum.
+        assert search.best_within_budget("application", 1000,
+                                         10_000.0) is None
+
+    def test_exact_minimum_buys_the_base_design(self, search):
+        best = search.best_within_budget("application", 1000, 23_600.0)
+        assert best is not None
+        assert best.annual_cost <= 23_600.0
+        assert best.design.n_active == 5
+        assert best.design.n_spare == 0
+
+    def test_bigger_budget_never_less_available(self, search):
+        downtimes = []
+        for budget in (24_000, 28_000, 32_000, 40_000, 60_000):
+            best = search.best_within_budget("application", 1000,
+                                             float(budget))
+            assert best is not None
+            assert best.annual_cost <= budget
+            downtimes.append(best.downtime_minutes)
+        assert downtimes == sorted(downtimes, reverse=True)
+
+    def test_duality_with_cost_minimization(self, search):
+        """Budget-optimal at B, then cost-minimize at its downtime:
+        the costs must agree (both sit on the same frontier point)."""
+        budget_best = search.best_within_budget("application", 1000,
+                                                32_000.0)
+        cost_best = search.best_tier_design(
+            "application", 1000,
+            Duration.minutes(budget_best.downtime_minutes * 1.0000001))
+        assert cost_best.annual_cost <= budget_best.annual_cost + 1e-6
+        assert cost_best.downtime_minutes <= \
+            budget_best.downtime_minutes * 1.01
+
+    def test_unreachable_load_is_none(self, search):
+        assert search.best_within_budget("application", 10_000_000,
+                                         1e12) is None

@@ -1,0 +1,251 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, parse_fixed_settings
+from repro.errors import AvedError
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestFixedSettings:
+    def test_parse_single(self):
+        assert parse_fixed_settings(["maintenanceA.level=bronze"]) == \
+            {"maintenanceA": {"level": "bronze"}}
+
+    def test_parse_multiple_and_numeric(self):
+        fixed = parse_fixed_settings(["a.x=1", "a.y=2.5", "b.z=gold"])
+        assert fixed == {"a": {"x": 1, "y": 2.5}, "b": {"z": "gold"}}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(AvedError):
+            parse_fixed_settings(["nodots=1"])
+        with pytest.raises(AvedError):
+            parse_fixed_settings(["a.b"])
+
+
+class TestDesignCommand:
+    def test_paper_app_tier_anchor(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m"])
+        assert code == 0
+        assert "rC x6" in output
+        assert "$28,320" in output
+
+    def test_job_design(self):
+        code, output = run(["design", "--paper-scientific",
+                            "--job-time", "200h",
+                            "--fix", "maintenanceA.level=bronze",
+                            "--fix", "maintenanceB.level=bronze"])
+        assert code == 0
+        assert "rH" in output
+        assert "expected job time" in output
+
+    def test_infeasible_returns_2(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "0.000001m",
+                            "--max-redundancy", "1"])
+        assert code == 2
+        assert "infeasible" in output
+
+    def test_missing_requirement_errors(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only"])
+        assert code == 1
+        assert "error" in output
+
+    def test_missing_model_files_errors(self):
+        code, output = run(["design", "--load", "1", "--downtime", "1m"])
+        assert code == 1
+        assert "--infrastructure" in output
+
+    def test_unreadable_file_errors(self):
+        code, output = run(["design", "--infrastructure", "/nope.spec",
+                            "--service", "/nope2.spec",
+                            "--load", "1", "--downtime", "1m"])
+        assert code == 1
+
+    def test_analytic_engine_option(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "400",
+                            "--downtime", "1000m",
+                            "--engine", "analytic"])
+        assert code == 0
+        assert "annual cost" in output
+
+
+class TestFrontierCommand:
+    def test_frontier_table(self):
+        code, output = run(["frontier", "--paper-ecommerce",
+                            "--app-tier-only", "--tier", "application",
+                            "--load", "800", "--max-redundancy", "3"])
+        assert code == 0
+        assert "annual cost" in output
+        assert "rC" in output
+
+    def test_unreachable_load(self):
+        code, output = run(["frontier", "--paper-ecommerce",
+                            "--app-tier-only", "--tier", "application",
+                            "--load", "99999999"])
+        assert code == 2
+        assert "no designs" in output
+
+
+class TestValidateCommand:
+    def test_paper_models_validate(self):
+        code, output = run(["validate", "--paper-scientific"])
+        assert code == 0
+        assert "ok:" in output
+
+    def test_spec_files_from_disk(self, tmp_path):
+        (tmp_path / "infra.spec").write_text("""
+component=box cost=10
+ failure=soft mtbf=30d mttr=0 detect_time=0
+resource=node reconfig_time=0
+ component=box depend=null startup=1m
+""")
+        (tmp_path / "svc.spec").write_text("""
+application=svc
+tier=t
+ resource=node sizing=dynamic failurescope=resource
+  nActive=[1-10,+1] performance=expr:10*n
+""")
+        code, output = run(["validate",
+                            "--infrastructure",
+                            str(tmp_path / "infra.spec"),
+                            "--service", str(tmp_path / "svc.spec")])
+        assert code == 0
+
+    def test_broken_pair_reports_problems(self, tmp_path):
+        (tmp_path / "infra.spec").write_text("""
+component=box cost=10
+ failure=soft mtbf=30d mttr=0 detect_time=0
+resource=node reconfig_time=0
+ component=box depend=null startup=1m
+""")
+        (tmp_path / "svc.spec").write_text("""
+application=svc
+tier=t
+ resource=ghost sizing=dynamic failurescope=resource
+  nActive=[1-10,+1] performance=expr:10*n
+""")
+        code, output = run(["validate",
+                            "--infrastructure",
+                            str(tmp_path / "infra.spec"),
+                            "--service", str(tmp_path / "svc.spec")])
+        assert code == 2
+        assert "unknown resource" in output
+
+
+class TestDesignFromFiles:
+    def test_full_pipeline_from_disk(self, tmp_path):
+        (tmp_path / "infra.spec").write_text("""
+component=box cost([inactive,active])=[500 600]
+ failure=hard mtbf=200d mttr=<support> detect_time=1m
+ failure=soft mtbf=20d mttr=0 detect_time=0
+component=app cost=0
+ failure=crash mtbf=30d mttr=0 detect_time=0
+mechanism=support
+ param=level range=[slow,fast]
+ cost(level)=[100 300]
+ mttr(level)=[48h 6h]
+resource=node reconfig_time=0
+ component=box depend=null startup=1m
+ component=app depend=box startup=30s
+""")
+        (tmp_path / "svc.spec").write_text("""
+application=svc
+tier=t
+ resource=node sizing=dynamic failurescope=resource
+  nActive=[1-20,+1] performance(nActive)=perf.dat
+""")
+        (tmp_path / "perf.dat").write_text(
+            "\n".join("%d %d" % (n, 25 * n) for n in range(1, 21)))
+        code, output = run(["design",
+                            "--infrastructure",
+                            str(tmp_path / "infra.spec"),
+                            "--service", str(tmp_path / "svc.spec"),
+                            "--perf-dir", str(tmp_path),
+                            "--load", "100", "--downtime", "500m"])
+        assert code == 0
+        assert "node" in output
+
+
+class TestAnalyzeCommand:
+    def test_budget_and_tornado(self):
+        code, output = run(["analyze", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m"])
+        assert code == 0
+        assert "downtime budget" in output
+        assert "sensitivity of" in output
+        assert "machineA.hard" in output
+
+    def test_infeasible(self):
+        code, output = run(["analyze", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "0.0000001m",
+                            "--max-redundancy", "1"])
+        assert code == 2
+
+
+class TestDescribeCommand:
+    def test_describe_paper_models(self):
+        code, output = run(["describe", "--paper-scientific"])
+        assert code == 0
+        assert "machineA" in output
+        assert "maintenanceA" in output
+        assert "rH" in output
+        assert "finite job" in output
+
+    def test_describe_ecommerce(self):
+        code, output = run(["describe", "--paper-ecommerce"])
+        assert code == 0
+        assert "always-on service" in output
+        assert "tier application" in output
+
+
+class TestRepairCrewFlag:
+    def test_crew_limit_changes_design(self):
+        code_free, out_free = run(["design", "--paper-ecommerce",
+                                   "--app-tier-only", "--load", "1000",
+                                   "--downtime", "100m"])
+        code_solo, out_solo = run(["design", "--paper-ecommerce",
+                                   "--app-tier-only", "--load", "1000",
+                                   "--downtime", "100m",
+                                   "--repair-crew", "1"])
+        assert code_free == 0 and code_solo == 0
+        assert out_free != out_solo
+
+
+class TestJsonOutput:
+    def test_design_json_parses_and_reloads(self, paper_infra):
+        import json as json_module
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m", "--json"])
+        assert code == 0
+        data = json_module.loads(output)
+        assert data["annual_cost"] == pytest.approx(28320.0)
+        # The embedded design reloads against the infrastructure.
+        from repro.core.serialize import design_from_dict
+        design = design_from_dict(data["design"], paper_infra)
+        assert design.tiers[0].resource == "rC"
+
+    def test_job_design_json_has_job_block(self):
+        import json as json_module
+        code, output = run(["design", "--paper-scientific",
+                            "--job-time", "200h", "--json",
+                            "--fix", "maintenanceA.level=bronze",
+                            "--fix", "maintenanceB.level=bronze"])
+        assert code == 0
+        data = json_module.loads(output)
+        assert data["job_time"]["expected_hours"] <= 200

@@ -1,0 +1,149 @@
+"""Tests for the redesign controller."""
+
+import pytest
+
+from repro import Duration, SearchLimits, workload
+from repro.core import DesignEvaluator, RedesignController
+from repro.errors import SearchError
+
+
+@pytest.fixture
+def controller_factory(paper_infra, app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+
+    def make(hysteresis=0.05, minutes=100, max_redundancy=3):
+        return RedesignController(
+            evaluator, "application", Duration.minutes(minutes),
+            SearchLimits(max_redundancy=max_redundancy),
+            hysteresis=hysteresis)
+
+    return make
+
+
+class TestControllerBasics:
+    def test_constant_load_configures_once(self, controller_factory):
+        report = controller_factory().run([800] * 6)
+        assert report.reconfigurations == 1
+        assert report.infeasible_steps == 0
+        designs = {step.design.design.describe()
+                   for step in report.steps}
+        assert len(designs) == 1
+
+    def test_empty_trajectory_rejected(self, controller_factory):
+        with pytest.raises(SearchError):
+            controller_factory().run([])
+
+    def test_negative_hysteresis_rejected(self, paper_infra,
+                                          app_tier_service):
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        with pytest.raises(SearchError):
+            RedesignController(evaluator, "application",
+                               Duration.minutes(100), hysteresis=-0.1)
+
+    def test_every_feasible_step_meets_slo(self, controller_factory):
+        loads = workload.diurnal(600, peak_ratio=3.0,
+                                 samples_per_day=12)
+        report = controller_factory().run(loads)
+        for step in report.steps:
+            assert step.design is not None
+            assert step.design.downtime_minutes <= 100 + 1e-9
+
+    def test_infeasible_loads_counted(self, controller_factory):
+        report = controller_factory().run([800, 10_000_000, 800])
+        assert report.infeasible_steps == 1
+        assert report.steps[1].design is None
+
+
+class TestHysteresis:
+    def test_rising_load_forces_reconfiguration(self, controller_factory):
+        report = controller_factory(hysteresis=0.5).run([400, 4000])
+        # A 400-unit design cannot carry 4000 units: must switch even
+        # with huge hysteresis.
+        assert report.reconfigurations == 2
+
+    def test_high_hysteresis_rides_out_small_dips(self,
+                                                  controller_factory):
+        loads = [2000, 1900, 2000]
+        lazy = controller_factory(hysteresis=0.5).run(loads)
+        eager = controller_factory(hysteresis=0.0).run(loads)
+        assert lazy.reconfigurations <= eager.reconfigurations
+
+    def test_zero_hysteresis_tracks_optimum(self, controller_factory,
+                                            paper_infra,
+                                            app_tier_service):
+        from repro.core import TierSearch
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=3))
+        loads = [500, 1500, 2500]
+        report = controller_factory(hysteresis=0.0).run(loads)
+        for step in report.steps:
+            optimum = search.best_tier_design(
+                "application", step.load, Duration.minutes(100))
+            assert step.design.annual_cost == pytest.approx(
+                optimum.annual_cost)
+
+
+class TestAccounting:
+    def test_dynamic_saves_over_static_peak(self, controller_factory):
+        loads = workload.diurnal(800, peak_ratio=4.0,
+                                 samples_per_day=12)
+        report = controller_factory().run(loads)
+        assert report.static_peak_cost > 0
+        assert report.average_cost < report.static_peak_cost
+        assert 0.0 < report.saving_fraction < 1.0
+
+    def test_flat_load_saves_nothing(self, controller_factory):
+        report = controller_factory().run([1000] * 4)
+        assert report.saving_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_steps_recorded_in_order(self, controller_factory):
+        loads = [400, 800, 1200]
+        report = controller_factory().run(loads)
+        assert [step.load for step in report.steps] == loads
+        assert [step.index for step in report.steps] == [0, 1, 2]
+
+
+class TestReconfigurationCharges:
+    def test_free_switches_by_default(self, controller_factory):
+        report = controller_factory().run([400, 1600, 400])
+        assert report.reconfiguration_charges == 0.0
+        assert report.average_cost_with_charges == report.average_cost
+
+    def test_charges_accrue_per_switch(self, paper_infra,
+                                       app_tier_service):
+        from repro.core import DesignEvaluator, RedesignController
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        controller = RedesignController(
+            evaluator, "application", Duration.minutes(100),
+            SearchLimits(max_redundancy=3), hysteresis=0.05,
+            reconfiguration_cost=500.0)
+        report = controller.run([400, 1600, 400])
+        assert report.reconfigurations >= 2
+        assert report.reconfiguration_charges == \
+            500.0 * report.reconfigurations
+        assert report.average_cost_with_charges > report.average_cost
+
+    def test_charges_eat_into_savings(self, paper_infra,
+                                      app_tier_service):
+        from repro import workload
+        from repro.core import DesignEvaluator, RedesignController
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        loads = workload.diurnal(800, peak_ratio=4.0, samples_per_day=12)
+
+        def saving(charge):
+            controller = RedesignController(
+                evaluator, "application", Duration.minutes(100),
+                SearchLimits(max_redundancy=3),
+                reconfiguration_cost=charge)
+            return controller.run(loads).saving_fraction
+
+        assert saving(2000.0) < saving(0.0)
+
+    def test_negative_charge_rejected(self, paper_infra,
+                                      app_tier_service):
+        from repro.core import DesignEvaluator, RedesignController
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        with pytest.raises(SearchError):
+            RedesignController(evaluator, "application",
+                               Duration.minutes(100),
+                               reconfiguration_cost=-1.0)

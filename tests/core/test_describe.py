@@ -1,0 +1,53 @@
+"""Tests for the model describe renderers."""
+
+import pytest
+
+from repro.core.report import describe_infrastructure, describe_service
+
+
+class TestDescribeInfrastructure:
+    def test_counts_line(self, paper_infra):
+        text = describe_infrastructure(paper_infra)
+        assert "9 components, 3 mechanisms, 9 resources" in text
+
+    def test_all_components_listed(self, paper_infra):
+        text = describe_infrastructure(paper_infra)
+        for component in paper_infra.components:
+            assert component.name in text
+
+    def test_mechanism_parameters_summarized(self, paper_infra):
+        text = describe_infrastructure(paper_infra)
+        assert "level (4 settings)" in text
+        assert "checkpoint_interval (151 settings)" in text
+
+    def test_deferred_attributes_marked(self, paper_infra):
+        text = describe_infrastructure(paper_infra)
+        assert "via <maintenanceA>" in text
+        assert "loss window via <checkpoint>" in text
+
+    def test_resource_chains_rendered(self, paper_infra):
+        text = describe_infrastructure(paper_infra)
+        assert "machineA -> linux -> appserverA" in text
+        assert "full startup 4.5m" in text
+
+    def test_tiny_model(self, tiny_infra):
+        text = describe_infrastructure(tiny_infra)
+        assert "box" in text
+        assert "contract" in text
+        assert "node" in text
+
+
+class TestDescribeService:
+    def test_enterprise_summary(self, ecommerce):
+        text = describe_service(ecommerce)
+        assert "always-on service, 3 tier(s)" in text
+        assert "tier web:" in text
+        assert "tier database:" in text
+        assert "sizing=static" in text
+        assert "sizing=dynamic" in text
+
+    def test_job_summary(self, scientific):
+        text = describe_service(scientific)
+        assert "finite job (size 10000)" in text
+        assert "mechanisms: checkpoint" in text
+        assert "n=[1..1000]" in text

@@ -1,0 +1,102 @@
+"""Tests for design representations."""
+
+import pytest
+
+from repro.core import Design, EvaluatedTierDesign, TierDesign
+from repro.errors import ModelError
+from repro.model import MechanismConfig
+
+
+def bronze(paper_infra):
+    return MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                           {"level": "bronze"})
+
+
+class TestTierDesign:
+    def test_basic(self, paper_infra):
+        design = TierDesign("app", "rC", 6, 1, (),
+                            (bronze(paper_infra),))
+        assert design.total_resources == 7
+        assert design.has_mechanism("maintenanceA")
+        assert design.mechanism_config("maintenanceA") \
+            .settings["level"] == "bronze"
+
+    def test_missing_mechanism_lookup(self, paper_infra):
+        design = TierDesign("app", "rC", 1, 0)
+        with pytest.raises(ModelError):
+            design.mechanism_config("maintenanceA")
+        assert not design.has_mechanism("maintenanceA")
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TierDesign("app", "rC", 0, 0)
+        with pytest.raises(ModelError):
+            TierDesign("app", "rC", 1, -1)
+
+    def test_duplicate_mechanisms_rejected(self, paper_infra):
+        config = bronze(paper_infra)
+        with pytest.raises(ModelError):
+            TierDesign("app", "rC", 1, 0, (), (config, config))
+
+    def test_describe(self, paper_infra):
+        design = TierDesign("app", "rC", 6, 2, ("machineA",),
+                            (bronze(paper_infra),))
+        text = design.describe()
+        assert "rC x6" in text
+        assert "+2 warm[machineA] spares" in text
+        assert "maintenanceA(level=bronze)" in text
+
+    def test_describe_cold_spare(self):
+        design = TierDesign("app", "rC", 5, 1)
+        assert "+1 cold spare" in design.describe()
+
+
+class TestDesign:
+    def test_tier_lookup(self):
+        design = Design((TierDesign("web", "rA", 2, 0),
+                         TierDesign("db", "rG", 1, 1)))
+        assert design.tier("db").resource == "rG"
+        with pytest.raises(ModelError):
+            design.tier("cache")
+
+    def test_duplicate_tiers_rejected(self):
+        with pytest.raises(ModelError):
+            Design((TierDesign("web", "rA", 1, 0),
+                    TierDesign("web", "rB", 1, 0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Design(())
+
+    def test_describe_joins_tiers(self):
+        design = Design((TierDesign("web", "rA", 2, 0),
+                         TierDesign("db", "rG", 1, 0)))
+        assert "web" in design.describe()
+        assert "db" in design.describe()
+
+
+class TestEvaluatedTierDesign:
+    def make(self, cost, unavailability):
+        return EvaluatedTierDesign(TierDesign("t", "rC", 1, 0), cost,
+                                   unavailability)
+
+    def test_downtime_minutes(self):
+        evaluated = self.make(100.0, 1.0 / (365 * 24 * 60))
+        assert evaluated.downtime_minutes == pytest.approx(1.0)
+
+    def test_dominates(self):
+        cheap_good = self.make(100.0, 0.001)
+        pricey_bad = self.make(200.0, 0.01)
+        assert cheap_good.dominates(pricey_bad)
+        assert not pricey_bad.dominates(cheap_good)
+
+    def test_no_domination_on_tradeoff(self):
+        cheap_bad = self.make(100.0, 0.01)
+        pricey_good = self.make(200.0, 0.001)
+        assert not cheap_bad.dominates(pricey_good)
+        assert not pricey_good.dominates(cheap_bad)
+
+    def test_equal_points_do_not_dominate(self):
+        a = self.make(100.0, 0.01)
+        b = self.make(100.0, 0.01)
+        assert not a.dominates(b)

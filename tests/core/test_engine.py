@@ -1,0 +1,118 @@
+"""Tests for the Aved facade (paper Fig. 1 architecture)."""
+
+import pytest
+
+from repro import (Aved, Duration, InfeasibleError, JobRequirements,
+                   SearchLimits, ServiceRequirements)
+from repro.errors import ModelError, SearchError
+
+
+class TestServiceDesign:
+    def test_single_tier_anchor(self, paper_infra, app_tier_service):
+        engine = Aved(paper_infra, app_tier_service)
+        outcome = engine.design(ServiceRequirements(
+            1000, Duration.minutes(100)))
+        tier = outcome.design.tiers[0]
+        assert tier.resource == "rC"
+        assert tier.n_active == 6
+        assert outcome.annual_cost == pytest.approx(28320.0)
+        assert outcome.downtime_minutes <= 100
+
+    def test_infeasible_raises(self, paper_infra, app_tier_service):
+        engine = Aved(paper_infra, app_tier_service,
+                      limits=SearchLimits(max_redundancy=1))
+        with pytest.raises(InfeasibleError):
+            engine.design(ServiceRequirements(1000, Duration.seconds(1)))
+
+    def test_multi_tier_design(self, paper_infra, ecommerce):
+        engine = Aved(paper_infra, ecommerce,
+                      limits=SearchLimits(max_redundancy=3))
+        outcome = engine.design(ServiceRequirements(
+            1000, Duration.minutes(500)))
+        tiers = {t.tier: t for t in outcome.design.tiers}
+        assert set(tiers) == {"web", "application", "database"}
+        assert outcome.downtime_minutes <= 500
+        # Database tier is static single-resource rG.
+        assert tiers["database"].resource == "rG"
+        assert tiers["database"].n_active == 1
+
+    def test_multi_tier_budget_allocation(self, paper_infra, ecommerce):
+        """A tighter overall budget makes the whole design pricier."""
+        engine = Aved(paper_infra, ecommerce,
+                      limits=SearchLimits(max_redundancy=3))
+        loose = engine.design(ServiceRequirements(
+            800, Duration.minutes(2000)))
+        tight = engine.design(ServiceRequirements(
+            800, Duration.minutes(60)))
+        assert tight.annual_cost > loose.annual_cost
+
+    def test_validation_happens_at_construction(self, paper_infra,
+                                                tiny_service):
+        with pytest.raises(ModelError):
+            Aved(paper_infra, tiny_service)  # 'node' not in paper infra
+
+    def test_unsupported_requirements(self, paper_infra,
+                                      app_tier_service):
+        engine = Aved(paper_infra, app_tier_service)
+        with pytest.raises(SearchError):
+            engine.design("not requirements")
+
+    def test_outcome_summary_renders(self, paper_infra, app_tier_service):
+        engine = Aved(paper_infra, app_tier_service)
+        outcome = engine.design(ServiceRequirements(
+            400, Duration.minutes(1000)))
+        text = outcome.summary()
+        assert "annual cost" in text
+        assert "downtime" in text
+
+
+class TestJobDesign:
+    @pytest.fixture
+    def engine(self, paper_infra, scientific):
+        limits = SearchLimits(
+            max_redundancy=12,
+            fixed_settings={"maintenanceA": {"level": "bronze"},
+                            "maintenanceB": {"level": "bronze"}})
+        return Aved(paper_infra, scientific, limits=limits)
+
+    def test_job_design(self, engine):
+        outcome = engine.design(JobRequirements(Duration.hours(100)))
+        tier = outcome.design.tiers[0]
+        assert tier.resource == "rH"
+        assert outcome.evaluation.job_time.expected_time <= \
+            Duration.hours(100)
+
+    def test_job_summary_includes_job_time(self, engine):
+        outcome = engine.design(JobRequirements(Duration.hours(100)))
+        assert "expected job time" in outcome.summary()
+
+    def test_job_infeasible(self, engine):
+        with pytest.raises(InfeasibleError):
+            engine.design(JobRequirements(Duration.minutes(5)))
+
+
+class TestCustomEngine:
+    def test_simulation_engine_can_drive_search(self, paper_infra,
+                                                app_tier_service):
+        from repro.availability import SimulationEngine
+        engine = Aved(paper_infra, app_tier_service,
+                      availability_engine=SimulationEngine(years=150,
+                                                           seed=7),
+                      limits=SearchLimits(max_redundancy=2))
+        outcome = engine.design(ServiceRequirements(
+            400, Duration.minutes(3000)))
+        assert outcome.design.tiers[0].resource in ("rC", "rD")
+
+
+class TestRepairCrewOption:
+    def test_engine_accepts_crew_limit(self, paper_infra,
+                                       app_tier_service):
+        from repro import SearchLimits
+        solo = Aved(paper_infra, app_tier_service,
+                    limits=SearchLimits(max_redundancy=4),
+                    repair_crew=1)
+        free = Aved(paper_infra, app_tier_service,
+                    limits=SearchLimits(max_redundancy=4))
+        req = ServiceRequirements(1000, Duration.minutes(100))
+        assert solo.design(req).annual_cost >= \
+            free.design(req).annual_cost

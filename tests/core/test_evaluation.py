@@ -1,0 +1,248 @@
+"""Tests for design evaluation: model generation, cost, job time."""
+
+import pytest
+
+from repro.core import Design, DesignEvaluator, TierDesign
+from repro.errors import EvaluationError
+from repro.model import (JobRequirements, MechanismConfig,
+                         ServiceRequirements)
+from repro.units import Duration
+
+
+@pytest.fixture
+def app_evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+@pytest.fixture
+def sci_evaluator(paper_infra, scientific):
+    return DesignEvaluator(paper_infra, scientific)
+
+
+def bronze(infra, mech="maintenanceA"):
+    return MechanismConfig(infra.mechanism(mech), {"level": "bronze"})
+
+
+def checkpoint(infra, location="central", minutes=30):
+    mechanism = infra.mechanism("checkpoint")
+    grid = mechanism.parameter("checkpoint_interval").values.values()
+    interval = min(grid, key=lambda d: abs(d.as_minutes - minutes))
+    return MechanismConfig(mechanism,
+                           {"storage_location": location,
+                            "checkpoint_interval": interval})
+
+
+class TestTierModelGeneration:
+    def test_paper_section42_parameters(self, app_evaluator, paper_infra):
+        """Check n, m, s and the derived MTTR/failover of each mode."""
+        design = TierDesign("application", "rC", 6, 1, (),
+                            (bronze(paper_infra),))
+        model = app_evaluator.tier_model(design, required_throughput=1000)
+        assert (model.n, model.m, model.s) == (6, 5, 1)
+
+        by_name = {mode.name: mode for mode in model.modes}
+        assert set(by_name) == {"machineA.hard", "machineA.soft",
+                                "linux.soft", "appserverA.soft"}
+
+        hard = by_name["machineA.hard"]
+        # MTTR = detect (2m) + contract repair (38h) + restarts (4.5m)
+        assert hard.mttr == Duration.minutes(2) + Duration.hours(38) \
+            + Duration.minutes(4.5)
+        # Failover = detect (2m) + reconfig (0) + cold activation (4.5m)
+        assert hard.failover_time == Duration.minutes(6.5)
+        assert hard.uses_failover
+
+        soft = by_name["machineA.soft"]
+        # MTTR = detect (0) + repair (0) + restarts (4.5m)
+        assert soft.mttr == Duration.minutes(4.5)
+        assert soft.failover_time == Duration.minutes(4.5)
+        assert not soft.uses_failover  # repair not slower than failover
+
+        os_soft = by_name["linux.soft"]
+        assert os_soft.mttr == Duration.minutes(4)  # linux + appserver
+
+        app_soft = by_name["appserverA.soft"]
+        assert app_soft.mttr == Duration.minutes(2)
+
+    def test_m_for_dynamic_tier_follows_load(self, app_evaluator,
+                                             paper_infra):
+        design = TierDesign("application", "rC", 10, 0, (),
+                            (bronze(paper_infra),))
+        assert app_evaluator.tier_model(design, 1000).m == 5
+        assert app_evaluator.tier_model(design, 1001).m == 6
+        assert app_evaluator.tier_model(design, 1).m == 1
+
+    def test_m_equals_n_for_static_tier(self, sci_evaluator, paper_infra):
+        design = TierDesign("computation", "rH", 8, 0, (),
+                            (bronze(paper_infra),))
+        model = sci_evaluator.tier_model(design)
+        assert model.m == model.n == 8
+
+    def test_m_needs_throughput_for_dynamic(self, app_evaluator,
+                                            paper_infra):
+        design = TierDesign("application", "rC", 5, 0, (),
+                            (bronze(paper_infra),))
+        with pytest.raises(EvaluationError):
+            app_evaluator.tier_model(design, None)
+
+    def test_insufficient_actives_rejected(self, app_evaluator,
+                                           paper_infra):
+        design = TierDesign("application", "rC", 3, 0, (),
+                            (bronze(paper_infra),))
+        with pytest.raises(EvaluationError):
+            app_evaluator.tier_model(design, 1000)  # needs 5
+
+    def test_warm_spare_shortens_failover(self, app_evaluator,
+                                          paper_infra):
+        cold = TierDesign("application", "rC", 6, 1, (),
+                          (bronze(paper_infra),))
+        warm = TierDesign("application", "rC", 6, 1,
+                          ("machineA", "linux"), (bronze(paper_infra),))
+        cold_model = app_evaluator.tier_model(cold, 1000)
+        warm_model = app_evaluator.tier_model(warm, 1000)
+        hard_cold = cold_model.modes[0]
+        hard_warm = warm_model.modes[0]
+        # Warm spare: only appserver (2m) to start, plus 2m detect.
+        assert hard_warm.failover_time == Duration.minutes(4)
+        assert hard_warm.failover_time < hard_cold.failover_time
+        assert hard_warm.spare_susceptible  # machineA active in spare
+        assert not hard_cold.spare_susceptible
+
+    def test_missing_mechanism_config_raises(self, app_evaluator):
+        design = TierDesign("application", "rC", 6, 0)
+        with pytest.raises(Exception):
+            app_evaluator.tier_model(design, 1000)
+
+
+class TestEvaluate:
+    def test_service_evaluation(self, app_evaluator, paper_infra):
+        design = Design((TierDesign("application", "rC", 6, 0, (),
+                                    (bronze(paper_infra),)),))
+        requirements = ServiceRequirements(1000, Duration.minutes(100))
+        evaluation = app_evaluator.evaluate(design, requirements)
+        assert evaluation.annual_cost == pytest.approx(28320.0)
+        assert evaluation.downtime_minutes == pytest.approx(46.5, abs=2.0)
+        assert evaluation.meets(requirements)
+        assert not evaluation.meets(
+            ServiceRequirements(1000, Duration.minutes(10)))
+
+    def test_unknown_requirements_type(self, app_evaluator, paper_infra):
+        design = Design((TierDesign("application", "rC", 6, 0, (),
+                                    (bronze(paper_infra),)),))
+        evaluation = app_evaluator.evaluate(
+            design, ServiceRequirements(1000, Duration.minutes(100)))
+        with pytest.raises(EvaluationError):
+            evaluation.meets(object())
+
+
+class TestJobTime:
+    def design(self, infra, n=10, s=0, minutes=30, location="central"):
+        return Design((TierDesign("computation", "rH", n, s, (),
+                                  (bronze(infra),
+                                   checkpoint(infra, location, minutes))),))
+
+    def test_job_time_components(self, sci_evaluator, paper_infra):
+        design = self.design(paper_infra)
+        estimate = sci_evaluator.job_time(design)
+        assert estimate.feasible
+        assert 0.9 < estimate.useful_fraction <= 1.0
+        assert estimate.overhead_factor >= 1.0
+        # 10000 units at ~96 units/h => ~104h plus overheads.
+        assert 100 < estimate.expected_time.as_hours < 130
+
+    def test_meets_job_requirements(self, sci_evaluator, paper_infra):
+        design = self.design(paper_infra)
+        evaluation = sci_evaluator.evaluate(
+            design, JobRequirements(Duration.hours(150)))
+        assert evaluation.job_time is not None
+        assert evaluation.meets(JobRequirements(Duration.hours(150)))
+        assert not evaluation.meets(JobRequirements(Duration.hours(50)))
+
+    def test_shorter_interval_less_loss_more_overhead(self, sci_evaluator,
+                                                      paper_infra):
+        frequent = sci_evaluator.job_time(
+            self.design(paper_infra, minutes=2))
+        rare = sci_evaluator.job_time(
+            self.design(paper_infra, minutes=1200))
+        assert frequent.useful_fraction > rare.useful_fraction
+        assert frequent.overhead_factor > rare.overhead_factor
+
+    def test_job_time_on_non_job_service_rejected(self, app_evaluator,
+                                                  paper_infra):
+        design = Design((TierDesign("application", "rC", 6, 0, (),
+                                    (bronze(paper_infra),)),))
+        with pytest.raises(EvaluationError):
+            app_evaluator.job_time(design)
+
+    def test_spares_improve_job_time(self, sci_evaluator, paper_infra):
+        """rH at n=40 with bronze (38h) repairs: spares cut the repair
+        outages dramatically."""
+        without = sci_evaluator.job_time(self.design(paper_infra, n=40))
+        with_spares = sci_evaluator.job_time(
+            self.design(paper_infra, n=40, s=2))
+        assert with_spares.expected_time < without.expected_time
+
+
+class TestRequiredMechanisms:
+    def test_app_tier(self, app_evaluator):
+        structural, performance = app_evaluator.required_mechanisms(
+            "application", "rC")
+        assert structural == ["maintenanceA"]
+        assert performance == []
+
+    def test_compute_tier(self, sci_evaluator):
+        structural, performance = sci_evaluator.required_mechanisms(
+            "computation", "rH")
+        assert structural == ["maintenanceA"]
+        assert performance == ["checkpoint"]
+
+    def test_machineb_compute(self, sci_evaluator):
+        structural, performance = sci_evaluator.required_mechanisms(
+            "computation", "rI")
+        assert structural == ["maintenanceB"]
+        assert performance == ["checkpoint"]
+
+
+class TestRepairCrewPlumbing:
+    def test_crew_reaches_tier_models(self, paper_infra,
+                                      app_tier_service):
+        limited = DesignEvaluator(paper_infra, app_tier_service,
+                                  repair_crew=1)
+        design = TierDesign("application", "rC", 6, 0, (),
+                            (MechanismConfig(
+                                paper_infra.mechanism("maintenanceA"),
+                                {"level": "bronze"}),))
+        model = limited.tier_model(design, 1000)
+        assert model.repair_crew == 1
+
+    def test_crew_constrained_design_has_more_downtime(
+            self, paper_infra, app_tier_service):
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        design = Design((TierDesign("application", "rC", 6, 0, (),
+                                    (bronze,)),))
+        free = DesignEvaluator(paper_infra, app_tier_service)
+        solo = DesignEvaluator(paper_infra, app_tier_service,
+                               repair_crew=1)
+        assert solo.availability(design, 1000).downtime_minutes > \
+            free.availability(design, 1000).downtime_minutes * 1.5
+
+    def test_search_buys_more_redundancy_under_staffing_limits(
+            self, paper_infra, app_tier_service):
+        """With one technician, the 100 min/yr SLO at load 1000 costs
+        more than with unlimited staff."""
+        from repro.core import SearchLimits, TierSearch
+        free_search = TierSearch(
+            DesignEvaluator(paper_infra, app_tier_service),
+            SearchLimits(max_redundancy=4))
+        solo_search = TierSearch(
+            DesignEvaluator(paper_infra, app_tier_service,
+                            repair_crew=1),
+            SearchLimits(max_redundancy=4))
+        free = free_search.best_tier_design("application", 1000,
+                                            Duration.minutes(100))
+        solo = solo_search.best_tier_design("application", 1000,
+                                            Duration.minutes(100))
+        assert solo is not None
+        assert solo.annual_cost >= free.annual_cost
+        assert solo.downtime_minutes <= 100

@@ -1,0 +1,82 @@
+"""Tests for design-choice explanations."""
+
+import pytest
+
+from repro.core import (DesignEvaluator, SearchLimits, TierSearch,
+                        explain_tier_choice)
+from repro.errors import SearchError
+from repro.units import Duration
+
+LIMITS = SearchLimits(max_redundancy=4)
+
+
+@pytest.fixture(scope="module")
+def evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+class TestExplainTierChoice:
+    def test_chosen_matches_search(self, evaluator):
+        explanation = explain_tier_choice(
+            evaluator, "application", 1000, Duration.minutes(100),
+            LIMITS)
+        direct = TierSearch(evaluator, LIMITS).best_tier_design(
+            "application", 1000, Duration.minutes(100))
+        assert explanation.chosen.annual_cost == pytest.approx(
+            direct.annual_cost)
+        assert explanation.chosen.downtime_minutes <= 100
+
+    def test_near_miss_is_cheaper_and_infeasible(self, evaluator):
+        explanation = explain_tier_choice(
+            evaluator, "application", 1000, Duration.minutes(100),
+            LIMITS)
+        assert explanation.near_miss is not None
+        assert explanation.near_miss.annual_cost < \
+            explanation.chosen.annual_cost
+        assert explanation.near_miss.downtime_minutes > 100
+
+    def test_runner_up_is_feasible_and_pricier(self, evaluator):
+        explanation = explain_tier_choice(
+            evaluator, "application", 1000, Duration.minutes(100),
+            LIMITS)
+        assert explanation.runner_up is not None
+        assert explanation.runner_up.downtime_minutes <= 100
+        assert explanation.runner_up.annual_cost > \
+            explanation.chosen.annual_cost
+
+    def test_upgrade_improves_availability(self, evaluator):
+        explanation = explain_tier_choice(
+            evaluator, "application", 1000, Duration.minutes(100),
+            LIMITS)
+        assert explanation.upgrade is not None
+        assert explanation.upgrade.downtime_minutes < \
+            explanation.chosen.downtime_minutes
+
+    def test_loose_requirement_has_no_near_miss(self, evaluator):
+        """At a requirement the cheapest design meets, nothing cheaper
+        exists to have missed it."""
+        explanation = explain_tier_choice(
+            evaluator, "application", 1000, Duration.minutes(50_000),
+            LIMITS)
+        assert explanation.near_miss is None
+
+    def test_infeasible_requirement_raises(self, evaluator):
+        with pytest.raises(SearchError):
+            explain_tier_choice(evaluator, "application", 1000,
+                                Duration.seconds(1e-6),
+                                SearchLimits(max_redundancy=1))
+
+    def test_unreachable_load_raises(self, evaluator):
+        with pytest.raises(SearchError):
+            explain_tier_choice(evaluator, "application", 10_000_000,
+                                Duration.minutes(100), LIMITS)
+
+    def test_render_contains_all_sections(self, evaluator):
+        explanation = explain_tier_choice(
+            evaluator, "application", 1000, Duration.minutes(100),
+            LIMITS)
+        text = explanation.render()
+        assert "chosen:" in text
+        assert "near miss:" in text
+        assert "runner-up:" in text
+        assert "upgrade:" in text

@@ -1,0 +1,69 @@
+"""Tests for design-family classification (Fig. 6 grouping)."""
+
+import pytest
+
+from repro.core import TierDesign
+from repro.core.families import (DesignFamily, checkpoint_settings,
+                                 family_of)
+from repro.model import MechanismConfig
+
+
+def bronze(infra):
+    return MechanismConfig(infra.mechanism("maintenanceA"),
+                           {"level": "bronze"})
+
+
+class TestFamilyOf:
+    def test_paper_family9(self, paper_infra):
+        design = TierDesign("app", "rC", 6, 0, (), (bronze(paper_infra),))
+        family = family_of(design, n_min=5)
+        assert family == DesignFamily("rC", "bronze", 1, 0)
+        assert family.label() == "rC, bronze, 1, 0"
+
+    def test_spare_family(self, paper_infra):
+        design = TierDesign("app", "rC", 5, 1, (), (bronze(paper_infra),))
+        family = family_of(design, n_min=5)
+        assert family.n_extra == 0
+        assert family.n_spare == 1
+
+    def test_warm_spare_label(self, paper_infra):
+        design = TierDesign("app", "rC", 5, 1, ("machineA",),
+                            (bronze(paper_infra),))
+        family = family_of(design, n_min=5)
+        assert "warm" in family.label()
+
+    def test_no_contract(self):
+        design = TierDesign("app", "rC", 5, 0)
+        family = family_of(design, n_min=5)
+        assert family.contract == "-"
+
+    def test_machineb_contract(self, paper_infra):
+        config = MechanismConfig(paper_infra.mechanism("maintenanceB"),
+                                 {"level": "gold"})
+        design = TierDesign("app", "rE", 2, 0, (), (config,))
+        family = family_of(design, n_min=1)
+        assert family.contract == "gold"
+        assert family.n_extra == 1
+
+    def test_families_are_hashable_and_ordered(self):
+        a = DesignFamily("rC", "bronze", 0, 0)
+        b = DesignFamily("rC", "bronze", 1, 0)
+        assert a < b
+        assert len({a, b, DesignFamily("rC", "bronze", 0, 0)}) == 2
+
+
+class TestCheckpointSettings:
+    def test_present(self, paper_infra):
+        mechanism = paper_infra.mechanism("checkpoint")
+        interval = mechanism.parameter("checkpoint_interval") \
+            .values.values()[0]
+        config = MechanismConfig(mechanism,
+                                 {"storage_location": "peer",
+                                  "checkpoint_interval": interval})
+        design = TierDesign("compute", "rH", 4, 0, (), (config,))
+        found = checkpoint_settings(design)
+        assert found.settings["storage_location"] == "peer"
+
+    def test_absent(self):
+        design = TierDesign("compute", "rH", 4, 0)
+        assert checkpoint_settings(design) is None

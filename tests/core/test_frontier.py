@@ -1,0 +1,84 @@
+"""Tests for requirement-space maps (Fig. 6 / Fig. 8 machinery)."""
+
+import pytest
+
+from repro.core import (DesignEvaluator, SearchLimits,
+                        build_requirement_map)
+from repro.units import Duration
+
+
+@pytest.fixture(scope="module")
+def req_map(paper_infra, app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    return build_requirement_map(
+        evaluator, "application", loads=[400, 1000, 3200],
+        limits=SearchLimits(max_redundancy=4))
+
+
+class TestRequirementSpaceMap:
+    def test_loads_recorded(self, req_map):
+        assert req_map.loads == (400, 1000, 3200)
+
+    def test_at_load_sorted_by_downtime(self, req_map):
+        points = req_map.at_load(1000)
+        downtimes = [p.downtime_minutes for p in points]
+        assert downtimes == sorted(downtimes, reverse=True)
+
+    def test_optimal_for_picks_cheapest_feasible(self, req_map):
+        point = req_map.optimal_for(1000, Duration.minutes(100))
+        assert point is not None
+        assert point.downtime_minutes <= 100
+        # The paper's family 9.
+        assert point.family.resource == "rC"
+        assert point.family.contract == "bronze"
+        assert point.family.n_extra == 1
+        assert point.family.n_spare == 0
+
+    def test_optimal_for_unknown_load_is_none(self, req_map):
+        assert req_map.optimal_for(999, Duration.minutes(100)) is None
+
+    def test_optimal_tracks_requirement(self, req_map):
+        """As the requirement tightens, the chosen design's cost rises."""
+        costs = []
+        for minutes in (5000, 300, 30, 3):
+            point = req_map.optimal_for(1000, Duration.minutes(minutes))
+            assert point is not None
+            costs.append(point.annual_cost)
+        assert costs == sorted(costs)
+
+    def test_family_curves_structure(self, req_map):
+        curves = req_map.family_curves()
+        assert len(curves) >= 8
+        for family, points in curves.items():
+            for load, downtime in points:
+                assert load in (400, 1000, 3200)
+                assert downtime >= 0
+
+    def test_family_downtime_increases_with_load(self, req_map):
+        """The paper: a family's downtime estimate rises with load."""
+        curves = req_map.family_curves()
+        from repro.core.families import DesignFamily
+        family = DesignFamily("rC", "bronze", 0, 0)
+        assert family in curves
+        points = dict(curves[family])
+        assert points[400] < points[1000] < points[3200]
+
+    def test_baseline_cost_scales_with_load(self, req_map):
+        assert req_map.baseline_cost(400) < req_map.baseline_cost(1000) \
+            < req_map.baseline_cost(3200)
+
+    def test_extra_cost_curve_monotone(self, req_map):
+        """Fig. 8: tighter downtime never costs less."""
+        curve = req_map.extra_cost_curve(1000, [1000, 100, 10, 1])
+        costs = [extra for _, extra in curve if extra is not None]
+        assert costs == sorted(costs)
+
+    def test_extra_cost_zero_at_loose_requirement(self, req_map):
+        curve = dict(req_map.extra_cost_curve(1000, [1e9]))
+        assert curve[1e9] == pytest.approx(0.0)
+
+    def test_point_metadata(self, req_map):
+        point = req_map.at_load(400)[0]
+        assert point.n_min == 2           # 400 / 200 per machine
+        assert point.annual_cost > 0
+        assert point.design.design.tier == "application"

@@ -1,0 +1,127 @@
+"""Tests for the paper-literal greedy multi-tier refinement."""
+
+import pytest
+
+from repro import Aved, Duration, SearchLimits, ServiceRequirements
+from repro.core import (EvaluatedTierDesign, TierDesign,
+                        combine_tier_frontiers,
+                        refine_tier_frontiers_greedy)
+from repro.errors import SearchError
+
+
+def make(tier, cost, unavailability):
+    return EvaluatedTierDesign(TierDesign(tier, "rC", 1, 0), cost,
+                               unavailability)
+
+
+def minutes(value):
+    return Duration.minutes(value)
+
+
+class TestGreedyRefinement:
+    def test_already_feasible_start(self):
+        a = [make("a", 100, 1e-7)]
+        b = [make("b", 100, 1e-7)]
+        design = refine_tier_frontiers_greedy([a, b], minutes(100))
+        assert design is not None
+        assert len(design.tiers) == 2
+
+    def test_tightens_cheapest_tier_first(self):
+        # Both tiers start dirty; tier B's upgrade is much cheaper per
+        # unit of downtime removed, so greedy should take it first and
+        # stop if that suffices.
+        a = [make("a", 100, 2e-4), make("a", 1000, 1e-7)]
+        b = [make("b", 100, 2e-4), make("b", 150, 1e-7)]
+        design = refine_tier_frontiers_greedy([a, b], minutes(110))
+        assert design is not None
+        chosen = {t.tier: t for t in design.tiers}
+        # 2e-4 ~ 105 min; after upgrading b, total ~105 min <= 110.
+        assert chosen["b"].resource == "rC"
+        # Tier a must still be the cheap design.
+        total_cost = 0.0
+        for tier_design in design.tiers:
+            pool = a if tier_design.tier == "a" else b
+            match = [c for c in pool if c.design is tier_design]
+            total_cost += match[0].annual_cost
+        assert total_cost == pytest.approx(250)
+
+    def test_infeasible_returns_none(self):
+        a = [make("a", 100, 0.5)]
+        b = [make("b", 100, 0.5)]
+        assert refine_tier_frontiers_greedy([a, b], minutes(1)) is None
+
+    def test_empty_frontier_returns_none(self):
+        a = [make("a", 100, 0.1)]
+        assert refine_tier_frontiers_greedy([a, []],
+                                            minutes(1000)) is None
+
+    def test_no_frontiers_rejected(self):
+        with pytest.raises(SearchError):
+            refine_tier_frontiers_greedy([], minutes(1))
+
+    def test_greedy_never_cheaper_than_exact(self):
+        """Greedy is at best equal to the exact combiner."""
+        import itertools
+        a = [make("a", c, u) for c, u in
+             ((100, 3e-4), (160, 1.2e-4), (420, 1e-6))]
+        b = [make("b", c, u) for c, u in
+             ((90, 4e-4), (205, 6e-5), (340, 2e-6))]
+        c_ = [make("c", c, u) for c, u in
+              ((80, 2e-4), (140, 8e-5), (300, 1e-6))]
+        for target in (500, 200, 120, 60, 20):
+            exact = combine_tier_frontiers([a, b, c_], minutes(target))
+            greedy = refine_tier_frontiers_greedy([a, b, c_],
+                                                  minutes(target))
+            if exact is None:
+                assert greedy is None
+                continue
+            if greedy is None:
+                continue  # greedy may fail where exact succeeds
+
+            def cost_of(design):
+                total = 0.0
+                for tier_design in design.tiers:
+                    pool = {"a": a, "b": b, "c": c_}[tier_design.tier]
+                    match = [cand for cand in pool
+                             if cand.design is tier_design]
+                    total += match[0].annual_cost
+                return total
+
+            assert cost_of(greedy) >= cost_of(exact) - 1e-9
+
+    def test_greedy_result_is_feasible(self):
+        a = [make("a", 100, 3e-4), make("a", 200, 1e-5)]
+        b = [make("b", 90, 2e-4), make("b", 300, 1e-6)]
+        design = refine_tier_frontiers_greedy([a, b], minutes(60))
+        assert design is not None
+        unavailability = 1.0
+        for tier_design in design.tiers:
+            pool = a if tier_design.tier == "a" else b
+            match = [cand for cand in pool
+                     if cand.design is tier_design]
+            unavailability *= 1.0 - match[0].unavailability
+        assert (1.0 - unavailability) * 525600 <= 60 + 1e-6
+
+
+class TestAvedGreedyMode:
+    def test_greedy_multi_tier_design(self, paper_infra, ecommerce):
+        engine = Aved(paper_infra, ecommerce,
+                      limits=SearchLimits(max_redundancy=3),
+                      combination="greedy")
+        outcome = engine.design(ServiceRequirements(
+            1000, Duration.minutes(500)))
+        assert outcome.downtime_minutes <= 500
+
+    def test_greedy_never_beats_exact(self, paper_infra, ecommerce):
+        limits = SearchLimits(max_redundancy=3)
+        exact = Aved(paper_infra, ecommerce, limits=limits,
+                     combination="exact").design(
+            ServiceRequirements(800, Duration.minutes(200)))
+        greedy = Aved(paper_infra, ecommerce, limits=limits,
+                      combination="greedy").design(
+            ServiceRequirements(800, Duration.minutes(200)))
+        assert greedy.annual_cost >= exact.annual_cost - 1e-6
+
+    def test_bad_combination_rejected(self, paper_infra, ecommerce):
+        with pytest.raises(SearchError):
+            Aved(paper_infra, ecommerce, combination="magic")

@@ -1,0 +1,62 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.core import (DesignEvaluator, SearchLimits, TierSearch,
+                        build_requirement_map)
+from repro.core.report import (evaluation_summary, format_cost,
+                               format_downtime, frontier_table,
+                               requirement_grid)
+from repro.model import ServiceRequirements
+from repro.units import Duration
+
+
+class TestFormatters:
+    def test_format_cost(self):
+        assert format_cost(28320.4) == "$28,320"
+        assert format_cost(0) == "$0"
+        assert format_cost(1234567.9) == "$1,234,568"
+
+    def test_format_downtime(self):
+        assert format_downtime(120.0) == "2.0 h/yr"
+        assert format_downtime(46.5) == "46.5 min/yr"
+        assert format_downtime(0.43) == "0.43 min/yr"
+
+
+class TestSummaries:
+    def test_evaluation_summary(self, paper_infra, app_tier_service):
+        from repro.core import Design, TierDesign
+        from repro.model import MechanismConfig
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        design = Design((TierDesign("application", "rC", 6, 0, (),
+                                    (bronze,)),))
+        evaluation = evaluator.evaluate(
+            design, ServiceRequirements(1000, Duration.minutes(100)))
+        text = evaluation_summary(evaluation)
+        assert "$28,320" in text
+        assert "rC x6" in text
+
+
+class TestTables:
+    def test_frontier_table(self, paper_infra, app_tier_service):
+        search = TierSearch(DesignEvaluator(paper_infra, app_tier_service),
+                            SearchLimits(max_redundancy=2))
+        frontier = search.tier_frontier("application", 400)
+        table = frontier_table(frontier, title="load 400")
+        assert "load 400" in table
+        assert "annual cost" in table
+        assert table.count("\n") >= len(frontier)
+
+    def test_requirement_grid(self, paper_infra, app_tier_service):
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        req_map = build_requirement_map(
+            evaluator, "application", loads=[400, 1000],
+            limits=SearchLimits(max_redundancy=3))
+        grid = requirement_grid(req_map, [5000, 1000, 100, 10, 1])
+        assert "families:" in grid
+        assert "rC, bronze" in grid
+        # Every downtime row is rendered.
+        for value in ("5000", "1000", "100"):
+            assert value in grid

@@ -1,0 +1,58 @@
+"""Additional report-formatting coverage: multi-tier and job outputs."""
+
+import pytest
+
+from repro.core import Design, DesignEvaluator, TierDesign
+from repro.core.report import evaluation_summary, format_downtime
+from repro.model import MechanismConfig, ServiceRequirements
+from repro.units import Duration
+
+
+class TestFormatDowntimeBoundaries:
+    def test_hours_threshold(self):
+        assert format_downtime(60.0) == "1.0 h/yr"
+        assert format_downtime(59.9).endswith("min/yr")
+
+    def test_sub_minute_precision(self):
+        assert format_downtime(0.999) == "1.00 min/yr"
+        assert format_downtime(0.005) == "0.01 min/yr"
+
+
+class TestMultiTierSummary:
+    def test_three_tier_summary(self, paper_infra, ecommerce):
+        evaluator = DesignEvaluator(paper_infra, ecommerce)
+        bronze_a = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                   {"level": "bronze"})
+        bronze_b = MechanismConfig(paper_infra.mechanism("maintenanceB"),
+                                   {"level": "bronze"})
+        design = Design((
+            TierDesign("web", "rA", 3, 0, (), (bronze_a,)),
+            TierDesign("application", "rC", 6, 0, (), (bronze_a,)),
+            TierDesign("database", "rG", 1, 1, (), (bronze_b,)),
+        ))
+        evaluation = evaluator.evaluate(
+            design, ServiceRequirements(400, Duration.minutes(2000)))
+        text = evaluation_summary(evaluation)
+        for tier in ("web", "application", "database"):
+            assert tier in text
+        assert "annual cost" in text
+        # Database tier includes a 93.5k machineB: total is six figures.
+        assert evaluation.annual_cost > 100_000
+
+    def test_job_summary_fields(self, paper_infra, scientific):
+        evaluator = DesignEvaluator(paper_infra, scientific)
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        checkpoint = paper_infra.mechanism("checkpoint")
+        grid = checkpoint.parameter("checkpoint_interval").values \
+            .values()
+        config = MechanismConfig(checkpoint,
+                                 {"storage_location": "central",
+                                  "checkpoint_interval": grid[60]})
+        design = Design((TierDesign("computation", "rH", 12, 1, (),
+                                    (bronze, config)),))
+        evaluation = evaluator.evaluate(design, None)
+        text = evaluation_summary(evaluation)
+        assert "expected job time" in text
+        assert "useful" in text
+        assert "overhead" in text

@@ -1,0 +1,317 @@
+"""Tests for the design-space search (paper section 4.1)."""
+
+import math
+
+import pytest
+
+from repro.core import (Design, DesignEvaluator, EvaluatedTierDesign,
+                        JobSearch, SearchLimits, TierDesign, TierSearch,
+                        combine_tier_frontiers, pareto_filter)
+from repro.errors import SearchError
+from repro.model import JobRequirements
+from repro.units import Duration
+
+
+@pytest.fixture
+def app_search(paper_infra, app_tier_service):
+    return TierSearch(DesignEvaluator(paper_infra, app_tier_service))
+
+
+@pytest.fixture
+def sci_search(paper_infra, scientific):
+    limits = SearchLimits(
+        spare_policy="cold", max_redundancy=12,
+        fixed_settings={"maintenanceA": {"level": "bronze"},
+                        "maintenanceB": {"level": "bronze"}})
+    return JobSearch(DesignEvaluator(paper_infra, scientific), limits)
+
+
+class TestSearchLimits:
+    def test_defaults(self):
+        limits = SearchLimits()
+        assert limits.max_redundancy == 8
+        assert limits.spare_policy == "cold"
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            SearchLimits(max_redundancy=-1)
+        with pytest.raises(SearchError):
+            SearchLimits(patience=0)
+        with pytest.raises(SearchError):
+            SearchLimits(spare_policy="lukewarm")
+
+
+class TestTierSearch:
+    def test_paper_anchor_load1000_downtime100(self, app_search):
+        """The paper's worked example: family 9 (rC, bronze, 1 extra)."""
+        best = app_search.best_tier_design(
+            "application", 1000, Duration.minutes(100))
+        assert best is not None
+        assert best.design.resource == "rC"
+        assert best.design.n_active == 6
+        assert best.design.n_spare == 0
+        assert best.design.mechanism_config("maintenanceA") \
+            .settings["level"] == "bronze"
+        assert best.annual_cost == pytest.approx(28320.0)
+        assert best.downtime_minutes == pytest.approx(46.5, abs=2)
+
+    def test_loose_requirement_gives_minimum_design(self, app_search):
+        best = app_search.best_tier_design(
+            "application", 1000, Duration.minutes(8000))
+        assert best.design.n_active == 5
+        assert best.design.n_spare == 0
+        assert best.annual_cost == pytest.approx(5 * 4720.0)
+
+    def test_tight_requirement_buys_redundancy(self, app_search):
+        loose = app_search.best_tier_design(
+            "application", 1000, Duration.minutes(100))
+        tight = app_search.best_tier_design(
+            "application", 1000, Duration.minutes(1))
+        assert tight.annual_cost > loose.annual_cost
+        assert tight.downtime_minutes <= 1.0
+
+    def test_infeasible_returns_none(self, paper_infra, app_tier_service):
+        search = TierSearch(DesignEvaluator(paper_infra, app_tier_service),
+                            SearchLimits(max_redundancy=1))
+        best = search.best_tier_design(
+            "application", 1000, Duration.seconds(1))
+        assert best is None
+
+    def test_unreachable_load_returns_none(self, app_search):
+        # rC/rD max out at 200*1000; rE/rF at 1600*1000.
+        best = app_search.best_tier_design(
+            "application", 2_000_000, Duration.minutes(1000))
+        assert best is None
+
+    def test_monotone_cost_in_requirement(self, app_search):
+        """Tighter downtime requirements can never get cheaper."""
+        costs = []
+        for minutes in (5000, 500, 50, 5, 0.5):
+            best = app_search.best_tier_design(
+                "application", 800, Duration.minutes(minutes))
+            assert best is not None
+            costs.append(best.annual_cost)
+        assert costs == sorted(costs)
+
+    def test_feasible_design_meets_requirement(self, app_search):
+        for minutes in (10, 100, 1000):
+            best = app_search.best_tier_design(
+                "application", 1600, Duration.minutes(minutes))
+            assert best.downtime_minutes <= minutes
+
+    def test_stats_track_work(self, app_search):
+        app_search.best_tier_design("application", 400,
+                                    Duration.minutes(100))
+        assert app_search.stats.structures_enumerated > 0
+        assert app_search.stats.availability_evaluations > 0
+
+    def test_cache_reused_across_calls(self, app_search):
+        app_search.best_tier_design("application", 400,
+                                    Duration.minutes(100))
+        solves_before = app_search.stats.availability_evaluations
+        app_search.best_tier_design("application", 400,
+                                    Duration.minutes(100))
+        assert app_search.stats.cache_hits > 0
+        assert app_search.stats.availability_evaluations == solves_before
+
+
+class TestTierFrontier:
+    def test_frontier_is_pareto(self, app_search):
+        frontier = app_search.tier_frontier("application", 1000)
+        assert len(frontier) > 3
+        ordered = sorted(frontier, key=lambda c: c.annual_cost)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.unavailability < a.unavailability
+
+    def test_frontier_contains_paper_families(self, app_search):
+        frontier = app_search.tier_frontier("application", 1000)
+        signatures = {(c.design.resource, c.design.n_active,
+                       c.design.n_spare,
+                       c.design.mechanism_config("maintenanceA")
+                       .settings["level"])
+                      for c in frontier}
+        assert ("rC", 5, 0, "bronze") in signatures      # family 1
+        assert ("rC", 6, 0, "bronze") in signatures      # family 9
+        assert ("rC", 5, 1, "bronze") in signatures      # family 6
+
+    def test_pareto_filter(self):
+        def make(cost, unavailability):
+            return EvaluatedTierDesign(TierDesign("t", "rC", 1, 0),
+                                       cost, unavailability)
+        candidates = [make(100, 0.5), make(200, 0.1), make(150, 0.5),
+                      make(300, 0.1), make(250, 0.05)]
+        frontier = pareto_filter(candidates)
+        assert [(c.annual_cost, c.unavailability) for c in frontier] == \
+            [(100, 0.5), (200, 0.1), (250, 0.05)]
+
+    def test_pareto_filter_empty(self):
+        assert pareto_filter([]) == []
+
+
+class TestCombineTierFrontiers:
+    def make(self, tier, cost, unavailability):
+        return EvaluatedTierDesign(TierDesign(tier, "rC", 1, 0), cost,
+                                   unavailability)
+
+    def minutes(self, value):
+        return Duration.minutes(value)
+
+    def test_single_tier(self):
+        frontier = [self.make("a", 100, 1e-4), self.make("a", 50, 1e-2)]
+        design = combine_tier_frontiers([frontier], self.minutes(100))
+        # 1e-4 * 525600 = 52.6 min <= 100: cheap one is infeasible
+        # (1e-2 -> 5256 min), so the expensive one wins.
+        assert design.tiers[0].resource == "rC"
+        assert design is not None
+
+    def test_budget_split_across_tiers(self):
+        # Tier A: cheap/dirty or pricey/clean. Tier B likewise.
+        a = [self.make("a", 100, 2e-4), self.make("a", 500, 1e-6)]
+        b = [self.make("b", 100, 2e-4), self.make("b", 300, 1e-6)]
+        # Requirement ~105 min/yr: one tier can stay dirty (105 min
+        # covers one 2e-4) but not both; upgrading B is cheaper.
+        design = combine_tier_frontiers([a, b], self.minutes(107))
+        assert design is not None
+        chosen_costs = {t.tier: t for t in design.tiers}
+        assert len(design.tiers) == 2
+        # The optimal combination upgrades tier B (300 < 500).
+        total = 100 + 300
+        # Verify through recomputation: find which split was chosen.
+        picked = sorted(t.tier for t in design.tiers)
+        assert picked == ["a", "b"]
+        assert chosen_costs["a"].n_active == 1
+
+    def test_infeasible_combination(self):
+        a = [self.make("a", 100, 0.5)]
+        b = [self.make("b", 100, 0.5)]
+        assert combine_tier_frontiers([a, b], self.minutes(1)) is None
+
+    def test_empty_frontier_gives_none(self):
+        a = [self.make("a", 100, 0.1)]
+        assert combine_tier_frontiers([a, []], self.minutes(1000)) is None
+
+    def test_no_frontiers_rejected(self):
+        with pytest.raises(SearchError):
+            combine_tier_frontiers([], self.minutes(1))
+
+    def test_optimality_against_brute_force(self):
+        import itertools
+        a = [self.make("a", c, u) for c, u in
+             ((100, 3e-4), (180, 1e-4), (400, 1e-6))]
+        b = [self.make("b", c, u) for c, u in
+             ((90, 4e-4), (210, 5e-5), (350, 1e-6))]
+        target_minutes = 150.0
+        best_cost = math.inf
+        for ca, cb in itertools.product(a, b):
+            u = 1 - (1 - ca.unavailability) * (1 - cb.unavailability)
+            if u * 525600 <= target_minutes:
+                best_cost = min(best_cost,
+                                ca.annual_cost + cb.annual_cost)
+        design = combine_tier_frontiers([a, b],
+                                        self.minutes(target_minutes))
+        assert design is not None
+        # Recompute the chosen cost.
+        chosen = 0.0
+        for tier_design in design.tiers:
+            pool = a if tier_design.tier == "a" else b
+            match = [c for c in pool if c.design is tier_design]
+            chosen += match[0].annual_cost
+        assert chosen == pytest.approx(best_cost)
+
+
+class TestJobSearch:
+    def test_relaxed_deadline_prefers_machineA(self, sci_search):
+        best = sci_search.best_design(JobRequirements(Duration.hours(200)))
+        assert best is not None
+        assert best.design.tiers[0].resource == "rH"
+        assert best.job_time.expected_time <= Duration.hours(200)
+
+    def test_tight_deadline_prefers_machineB(self, sci_search):
+        best = sci_search.best_design(JobRequirements(Duration.hours(5)))
+        assert best is not None
+        assert best.design.tiers[0].resource == "rI"
+
+    def test_impossible_deadline_returns_none(self, sci_search):
+        assert sci_search.best_design(
+            JobRequirements(Duration.minutes(10))) is None
+
+    def test_cost_monotone_in_deadline(self, sci_search):
+        costs = []
+        for hours in (1000, 100, 20, 5):
+            best = sci_search.best_design(
+                JobRequirements(Duration.hours(hours)))
+            assert best is not None
+            costs.append(best.annual_cost)
+        assert costs == sorted(costs)
+
+    def test_checkpoint_configured(self, sci_search):
+        best = sci_search.best_design(JobRequirements(Duration.hours(100)))
+        tier = best.design.tiers[0]
+        config = tier.mechanism_config("checkpoint")
+        assert config.settings["storage_location"] in ("central", "peer")
+        assert Duration.minutes(1) <= \
+            config.settings["checkpoint_interval"] <= Duration.hours(24)
+
+    def test_maintenance_pinned_to_bronze(self, sci_search):
+        best = sci_search.best_design(JobRequirements(Duration.hours(100)))
+        tier = best.design.tiers[0]
+        assert tier.mechanism_config("maintenanceA") \
+            .settings["level"] == "bronze"
+
+    def test_fixed_settings_validation(self, paper_infra, scientific):
+        limits = SearchLimits(fixed_settings={
+            "maintenanceA": {"level": "diamond"}})
+        search = JobSearch(DesignEvaluator(paper_infra, scientific),
+                           limits)
+        with pytest.raises(SearchError):
+            search.best_design(JobRequirements(Duration.hours(100)))
+
+    def test_job_search_rejects_non_job_service(self, paper_infra,
+                                                app_tier_service):
+        search = JobSearch(DesignEvaluator(paper_infra, app_tier_service))
+        with pytest.raises(SearchError):
+            search.best_design(JobRequirements(Duration.hours(1)))
+
+
+class TestMaxInstancesCap:
+    @pytest.fixture
+    def capped_setup(self):
+        """A component capped at 6 instances limits actives + spares."""
+        from repro.model import (ComponentSlot, ComponentType,
+                                 ExpressionPerformance, FailureMode,
+                                 FailureScope, InfrastructureModel,
+                                 ResourceOption, ResourceType,
+                                 ServiceModel, Sizing, Tier)
+        from repro.units import ArithmeticRange
+        box = ComponentType(
+            "box", max_instances=6,
+            failure_modes=(FailureMode("hard", Duration.days(100),
+                                       Duration.hours(24)),))
+        infra = InfrastructureModel(
+            components=[box],
+            resources=[ResourceType(
+                "node", slots=(ComponentSlot("box", None,
+                                             Duration.minutes(1)),))])
+        option = ResourceOption("node", Sizing.DYNAMIC,
+                                FailureScope.RESOURCE,
+                                ArithmeticRange(1, 50, 1),
+                                ExpressionPerformance("100*n"))
+        service = ServiceModel("svc", [Tier("t", [option])])
+        return DesignEvaluator(infra, service)
+
+    def test_designs_respect_cap(self, capped_setup):
+        search = TierSearch(capped_setup, SearchLimits(max_redundancy=8))
+        for candidate in search.enumerate_candidates("t", 400):
+            assert candidate.design.total_resources <= 6
+
+    def test_feasible_within_cap(self, capped_setup):
+        search = TierSearch(capped_setup, SearchLimits(max_redundancy=8))
+        best = search.best_tier_design("t", 400, Duration.minutes(5000))
+        assert best is not None
+        assert best.design.total_resources <= 6
+
+    def test_infeasible_when_cap_too_tight(self, capped_setup):
+        """Load 650 needs 7 actives; the cap is 6."""
+        search = TierSearch(capped_setup, SearchLimits(max_redundancy=8))
+        best = search.best_tier_design("t", 650, Duration.minutes(50000))
+        assert best is None

@@ -1,0 +1,92 @@
+"""Coverage for the less-traveled SearchLimits knobs."""
+
+import pytest
+
+from repro.core import DesignEvaluator, SearchLimits, TierSearch
+from repro.units import Duration
+
+
+@pytest.fixture
+def evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+class TestMaxSpares:
+    def test_zero_spares_policy(self, evaluator):
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=4,
+                                                    max_spares=0))
+        for candidate in search.enumerate_candidates("application", 800):
+            assert candidate.design.n_spare == 0
+
+    def test_one_spare_cap(self, evaluator):
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=4,
+                                                    max_spares=1))
+        spare_counts = {candidate.design.n_spare for candidate in
+                        search.enumerate_candidates("application", 800)}
+        assert spare_counts <= {0, 1}
+        assert 1 in spare_counts
+
+    def test_cap_changes_feasible_optimum(self, evaluator):
+        """At a requirement where the unrestricted optimum uses a
+        spare, capping spares must either cost more or pick an
+        extra-active design."""
+        unrestricted = TierSearch(
+            evaluator, SearchLimits(max_redundancy=4)).best_tier_design(
+            "application", 800, Duration.minutes(400))
+        capped = TierSearch(
+            evaluator,
+            SearchLimits(max_redundancy=4,
+                         max_spares=0)).best_tier_design(
+            "application", 800, Duration.minutes(400))
+        assert capped is not None
+        assert capped.design.n_spare == 0
+        assert capped.annual_cost >= unrestricted.annual_cost - 1e-9
+
+
+class TestPatience:
+    def test_patient_search_explores_further(self, evaluator):
+        """A patience of 1 gives up on a degrading availability trend
+        immediately; more patience enumerates at least as much."""
+        impatient = TierSearch(evaluator,
+                               SearchLimits(max_redundancy=6,
+                                            patience=1))
+        patient = TierSearch(evaluator,
+                             SearchLimits(max_redundancy=6, patience=3))
+        target = Duration.seconds(0.0001)  # infeasible: forces full walk
+        impatient.best_tier_design("application", 400, target)
+        patient.best_tier_design("application", 400, target)
+        assert patient.stats.structures_enumerated >= \
+            impatient.stats.structures_enumerated
+
+
+class TestHotSparePolicy:
+    def test_hot_policy_yields_full_prefixes(self, evaluator,
+                                             paper_infra):
+        search = TierSearch(evaluator,
+                            SearchLimits(max_redundancy=3,
+                                         spare_policy="hot"))
+        prefixes = {candidate.design.spare_active_prefix
+                    for candidate in search.enumerate_candidates(
+                        "application", 400)
+                    if candidate.design.n_spare > 0}
+        for prefix in prefixes:
+            # A hot spare keeps the full component stack active.
+            assert len(prefix) == 3
+
+    def test_hot_spares_fail_over_faster_but_cost_more(self, evaluator,
+                                                       paper_infra):
+        from repro.core import TierDesign
+        from repro.model import MechanismConfig
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        resource = paper_infra.resource("rC")
+        hot_prefix = resource.activation_prefixes()[-1]
+        cold = TierDesign("application", "rC", 5, 1, (), (bronze,))
+        hot = TierDesign("application", "rC", 5, 1, hot_prefix,
+                         (bronze,))
+        assert evaluator.tier_cost(hot).total > \
+            evaluator.tier_cost(cold).total
+        cold_model = evaluator.tier_model(cold, 1000)
+        hot_model = evaluator.tier_model(hot, 1000)
+        assert hot_model.modes[0].failover_time < \
+            cold_model.modes[0].failover_time

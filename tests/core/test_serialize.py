@@ -1,0 +1,130 @@
+"""Tests for design serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.core import Design, DesignEvaluator, TierDesign
+from repro.core.serialize import (design_from_dict, design_from_json,
+                                  design_to_dict, design_to_json,
+                                  evaluation_to_dict,
+                                  tier_design_from_dict,
+                                  tier_design_to_dict)
+from repro.errors import ModelError
+from repro.model import MechanismConfig, ServiceRequirements
+from repro.units import Duration
+
+
+@pytest.fixture
+def sample_design(paper_infra):
+    bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                             {"level": "bronze"})
+    checkpoint = paper_infra.mechanism("checkpoint")
+    grid = checkpoint.parameter("checkpoint_interval").values.values()
+    cp = MechanismConfig(checkpoint, {"storage_location": "peer",
+                                      "checkpoint_interval": grid[50]})
+    return Design((
+        TierDesign("application", "rC", 6, 1, ("machineA",), (bronze,)),
+        TierDesign("computation", "rH", 8, 0, (), (bronze, cp)),
+    ))
+
+
+class TestRoundTrip:
+    def test_design_dict_roundtrip(self, sample_design, paper_infra):
+        data = design_to_dict(sample_design)
+        rebuilt = design_from_dict(data, paper_infra)
+        assert rebuilt == sample_design
+
+    def test_design_json_roundtrip(self, sample_design, paper_infra):
+        text = design_to_json(sample_design)
+        json.loads(text)  # valid JSON
+        rebuilt = design_from_json(text, paper_infra)
+        assert rebuilt == sample_design
+
+    def test_durations_as_spec_strings(self, sample_design):
+        data = design_to_dict(sample_design)
+        compute = data["tiers"][1]
+        interval = compute["mechanisms"]["checkpoint"][
+            "checkpoint_interval"]
+        assert set(interval) == {"duration"}
+        Duration.parse(interval["duration"])  # parseable
+
+    def test_spare_prefix_preserved(self, sample_design, paper_infra):
+        rebuilt = design_from_dict(design_to_dict(sample_design),
+                                   paper_infra)
+        assert rebuilt.tiers[0].spare_active_prefix == ("machineA",)
+
+    def test_grid_snapping(self, paper_infra):
+        """Deserialized durations snap onto the mechanism's own grid
+        objects so config equality holds."""
+        checkpoint = paper_infra.mechanism("checkpoint")
+        grid = checkpoint.parameter("checkpoint_interval").values \
+            .values()
+        original = TierDesign(
+            "computation", "rH", 4, 0, (),
+            (MechanismConfig(checkpoint,
+                             {"storage_location": "central",
+                              "checkpoint_interval": grid[33]}),))
+        rebuilt = tier_design_from_dict(tier_design_to_dict(original),
+                                        paper_infra)
+        assert rebuilt.mechanism_config("checkpoint") \
+            .settings["checkpoint_interval"] == grid[33]
+
+
+class TestValidation:
+    def test_unknown_mechanism_rejected(self, paper_infra):
+        data = {"tier": "t", "resource": "rC", "n_active": 1,
+                "n_spare": 0, "mechanisms": {"ghost": {}}}
+        with pytest.raises(ModelError):
+            tier_design_from_dict(data, paper_infra)
+
+    def test_bad_setting_rejected(self, paper_infra):
+        data = {"tier": "t", "resource": "rC", "n_active": 1,
+                "n_spare": 0,
+                "mechanisms": {"maintenanceA": {"level": "diamond"}}}
+        with pytest.raises(ModelError):
+            tier_design_from_dict(data, paper_infra)
+
+    def test_missing_field_rejected(self, paper_infra):
+        with pytest.raises(ModelError):
+            tier_design_from_dict({"tier": "t"}, paper_infra)
+
+    def test_empty_design_rejected(self, paper_infra):
+        with pytest.raises(ModelError):
+            design_from_dict({"tiers": []}, paper_infra)
+
+
+class TestEvaluationExport:
+    def test_service_evaluation_dict(self, paper_infra,
+                                     app_tier_service):
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        design = Design((TierDesign("application", "rC", 6, 0, (),
+                                    (bronze,)),))
+        evaluation = evaluator.evaluate(
+            design, ServiceRequirements(1000, Duration.minutes(100)))
+        data = evaluation_to_dict(evaluation)
+        assert data["annual_cost"] == pytest.approx(28320.0)
+        assert data["downtime_minutes"] == pytest.approx(46.5, abs=2)
+        assert "application" in data["tier_downtime_minutes"]
+        assert "job_time" not in data
+        json.dumps(data)  # JSON-compatible
+
+    def test_job_evaluation_dict(self, paper_infra, scientific):
+        evaluator = DesignEvaluator(paper_infra, scientific)
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        checkpoint = paper_infra.mechanism("checkpoint")
+        grid = checkpoint.parameter("checkpoint_interval").values \
+            .values()
+        cp = MechanismConfig(checkpoint,
+                             {"storage_location": "central",
+                              "checkpoint_interval": grid[60]})
+        design = Design((TierDesign("computation", "rH", 10, 0, (),
+                                    (bronze, cp)),))
+        evaluation = evaluator.evaluate(design, None)
+        data = evaluation_to_dict(evaluation)
+        assert data["job_time"]["expected_hours"] > 0
+        assert 0 < data["job_time"]["useful_fraction"] <= 1
+        json.dumps(data)

@@ -1,0 +1,105 @@
+"""Tests for work-unit loss windows (paper footnote 1)."""
+
+import pytest
+
+from repro import Aved, Duration, JobRequirements, SearchLimits
+from repro.core import Design, DesignEvaluator, TierDesign
+from repro.errors import EvaluationError, UnitError
+from repro.spec import parse_infrastructure, parse_service
+from repro.units import WorkAmount
+
+INFRA = """
+component=box cost=1000
+ failure=hard mtbf=200d mttr=24h detect_time=1m
+component=app cost=0 loss_window=50u
+ failure=crash mtbf=30d mttr=0 detect_time=0
+resource=node reconfig_time=0
+ component=box depend=null startup=1m
+ component=app depend=box startup=10s
+"""
+
+SERVICE = """
+application=batch jobsize=2000
+tier=farm
+ resource=node sizing=static failurescope=tier
+  nActive=[1-50,+1] performance=expr:20*n
+"""
+
+
+class TestWorkAmount:
+    def test_parse_and_format(self):
+        amount = WorkAmount.parse("500u")
+        assert amount.units == 500.0
+        assert amount.format() == "500u"
+        assert WorkAmount.parse(amount) is amount
+
+    def test_time_at_rate(self):
+        assert WorkAmount(100).time_at(50.0) == Duration.hours(2)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            WorkAmount(-1)
+        with pytest.raises(UnitError):
+            WorkAmount.parse("5x")
+        with pytest.raises(UnitError):
+            WorkAmount(100).time_at(0.0)
+
+    def test_ordering(self):
+        assert WorkAmount(1) < WorkAmount(2)
+        assert WorkAmount(2) == WorkAmount(2.0)
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def evaluator(self):
+        return DesignEvaluator(parse_infrastructure(INFRA),
+                               parse_service(SERVICE))
+
+    def test_spec_roundtrip(self):
+        from repro.spec import write_infrastructure
+        infra = parse_infrastructure(INFRA)
+        assert infra.component("app").loss_window == WorkAmount(50)
+        assert "loss_window=50u" in write_infrastructure(infra)
+
+    def test_work_window_converts_at_design_rate(self, evaluator):
+        """50 work units at 20*n units/h: the time window shrinks as
+        the cluster grows, so the useful fraction should barely move
+        while the failure rate grows."""
+        small = evaluator.job_time(
+            Design((TierDesign("farm", "node", 2, 0),)))
+        large = evaluator.job_time(
+            Design((TierDesign("farm", "node", 10, 0),)))
+        # 50u at 40/h = 1.25h window vs tier MTBF; at 200/h = 0.25h.
+        # The conversion must actually happen: both feasible, useful
+        # fraction high, and the larger cluster is faster overall.
+        assert small.feasible and large.feasible
+        assert large.expected_time < small.expected_time
+        assert small.useful_fraction > 0.95
+
+    def test_design_search_with_work_window(self):
+        engine = Aved(parse_infrastructure(INFRA),
+                      parse_service(SERVICE),
+                      limits=SearchLimits(max_redundancy=4))
+        outcome = engine.design(JobRequirements(Duration.hours(20)))
+        assert outcome.evaluation.job_time.expected_time <= \
+            Duration.hours(20)
+
+    def test_mixed_window_types_rejected(self):
+        mixed_infra = parse_infrastructure(INFRA + """
+component=app2 cost=0 loss_window=30m
+ failure=crash mtbf=30d mttr=0 detect_time=0
+resource=node2 reconfig_time=0
+ component=box depend=null startup=1m
+ component=app depend=box startup=10s
+ component=app2 depend=box startup=10s
+""")
+        service = parse_service("""
+application=batch jobsize=2000
+tier=farm
+ resource=node2 sizing=static failurescope=tier
+  nActive=[1-50,+1] performance=expr:20*n
+""")
+        evaluator = DesignEvaluator(mixed_infra, service)
+        with pytest.raises(EvaluationError, match="time and work"):
+            evaluator.job_time(
+                Design((TierDesign("farm", "node2", 2, 0),)))

@@ -1,0 +1,111 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.cost import CostBreakdown, tier_cost
+from repro.errors import EvaluationError
+from repro.model import MechanismConfig, OperationalMode
+
+
+def modes_for(resource, prefix):
+    return resource.modes_for_prefix(prefix)
+
+
+class TestCostBreakdown:
+    def test_total(self):
+        cost = CostBreakdown(100.0, 20.0, 5.0)
+        assert cost.total == 125.0
+
+    def test_addition(self):
+        total = CostBreakdown(1, 2, 3) + CostBreakdown(10, 20, 30)
+        assert total.active_components == 11
+        assert total.spare_components == 22
+        assert total.mechanisms == 33
+
+
+class TestTierCost:
+    def bronze(self, infra):
+        return MechanismConfig(infra.mechanism("maintenanceA"),
+                               {"level": "bronze"})
+
+    def test_paper_family9_cost(self, paper_infra):
+        """rC x6, bronze, no spares: 6*(2640+1700+380) = 28320."""
+        rc = paper_infra.resource("rC")
+        cost = tier_cost(paper_infra, rc, 6, 0, modes_for(rc, ()),
+                         (self.bronze(paper_infra),))
+        assert cost.total == pytest.approx(28320.0)
+        assert cost.active_components == pytest.approx(6 * 4340.0)
+        assert cost.mechanisms == pytest.approx(6 * 380.0)
+
+    def test_inactive_spare_cheaper(self, paper_infra):
+        """A cold rC spare costs 2400 (machine) + 0 + 0; plus contract."""
+        rc = paper_infra.resource("rC")
+        cost = tier_cost(paper_infra, rc, 5, 1, modes_for(rc, ()),
+                         (self.bronze(paper_infra),))
+        assert cost.spare_components == pytest.approx(2400.0)
+        assert cost.mechanisms == pytest.approx(6 * 380.0)  # spares covered
+
+    def test_hot_spare_costs_like_active(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        prefix = ("machineA", "linux", "appserverA")
+        cost = tier_cost(paper_infra, rc, 5, 1, modes_for(rc, prefix),
+                         (self.bronze(paper_infra),))
+        assert cost.spare_components == pytest.approx(2640 + 1700)
+
+    def test_warm_spare_partial(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        prefix = ("machineA", "linux")
+        cost = tier_cost(paper_infra, rc, 5, 1, modes_for(rc, prefix),
+                         (self.bronze(paper_infra),))
+        assert cost.spare_components == pytest.approx(2640.0)
+
+    def test_contract_level_changes_cost(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        platinum = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                   {"level": "platinum"})
+        cost = tier_cost(paper_infra, rc, 5, 0, modes_for(rc, ()),
+                         (platinum,))
+        assert cost.mechanisms == pytest.approx(5 * 1500.0)
+
+    def test_tier_level_mechanism_charged_once(self, paper_infra):
+        """Checkpoint has no deferring cost multiplier issue: its cost
+        is 0, but a hypothetical per-tier mechanism is charged once."""
+        rh = paper_infra.resource("rH")
+        checkpoint = paper_infra.mechanism("checkpoint")
+        interval = checkpoint.parameter("checkpoint_interval") \
+            .values.values()[0]
+        config = MechanismConfig(checkpoint,
+                                 {"storage_location": "central",
+                                  "checkpoint_interval": interval})
+        bronze = self.bronze(paper_infra)
+        cost = tier_cost(paper_infra, rh, 4, 0, modes_for(rh, ()),
+                         (bronze, config))
+        # mpi defers loss_window to checkpoint: 4 instances x $0 = 0.
+        assert cost.mechanisms == pytest.approx(4 * 380.0)
+
+    def test_machineb_resource_cost(self, paper_infra):
+        """rE active: 93500 (machineB) + 200 (unix) + 1700 (appserverA)."""
+        re = paper_infra.resource("rE")
+        bronze_b = MechanismConfig(paper_infra.mechanism("maintenanceB"),
+                                   {"level": "bronze"})
+        cost = tier_cost(paper_infra, re, 1, 0, modes_for(re, ()),
+                         (bronze_b,))
+        assert cost.active_components == pytest.approx(95400.0)
+        assert cost.mechanisms == pytest.approx(10100.0)
+
+    def test_validation(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        with pytest.raises(EvaluationError):
+            tier_cost(paper_infra, rc, 0, 0, {}, ())
+        with pytest.raises(EvaluationError):
+            tier_cost(paper_infra, rc, 1, -1, {}, ())
+
+    def test_unknown_spare_mode_defaults_inactive(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        cost = tier_cost(paper_infra, rc, 1, 1, {}, ())
+        assert cost.spare_components == pytest.approx(2400.0)
+
+    def test_zero_mechanisms(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        cost = tier_cost(paper_infra, rc, 2, 0, modes_for(rc, ()), ())
+        assert cost.mechanisms == 0.0

@@ -1,0 +1,160 @@
+"""Tests for expression evaluation semantics."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import Expression
+
+
+def ev(source, **env):
+    return Expression(source)(**env)
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert ev("1+2") == 3.0
+        assert ev("7-2") == 5.0
+        assert ev("3*4") == 12.0
+        assert ev("10/4") == 2.5
+        assert ev("2^10") == 1024.0
+
+    def test_unary_minus(self):
+        assert ev("-5") == -5.0
+        assert ev("--5") == 5.0
+        assert ev("3 - -2") == 5.0
+
+    def test_percent(self):
+        assert ev("100%") == 1.0
+        assert ev("250%") == 2.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            ev("1/0")
+
+    def test_variables_bound(self):
+        assert ev("200*n", n=5) == 1000.0
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            ev("n + 1")
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self):
+        assert ev("1 < 2") == 1.0
+        assert ev("2 < 1") == 0.0
+        assert ev("2 <= 2") == 1.0
+        assert ev("3 > 2") == 1.0
+        assert ev("2 >= 3") == 0.0
+        assert ev("2 == 2") == 1.0
+        assert ev("2 != 2") == 0.0
+
+    def test_and_or_not(self):
+        assert ev("1 and 1") == 1.0
+        assert ev("1 and 0") == 0.0
+        assert ev("0 or 1") == 1.0
+        assert ev("not 0") == 1.0
+        assert ev("not 3") == 0.0
+
+    def test_symbolic_forms(self):
+        assert ev("1 && 1") == 1.0
+        assert ev("0 || 1") == 1.0
+        assert ev("!0") == 1.0
+
+    def test_short_circuit_guards_division(self):
+        # The right side would divide by zero; 'and' must not evaluate it.
+        assert ev("x != 0 and 1/x > 0", x=0) == 0.0
+        assert ev("x == 0 or 1/x > 0", x=0) == 1.0
+
+
+class TestConditionals:
+    def test_ternary_selects_branch(self):
+        assert ev("n < 30 ? 1 : 2", n=10) == 1.0
+        assert ev("n < 30 ? 1 : 2", n=30) == 2.0
+
+    def test_untaken_branch_not_evaluated(self):
+        assert ev("x == 0 ? 99 : 1/x", x=0) == 99.0
+
+    def test_python_style(self):
+        assert ev("1 if n < 30 else 2", n=29) == 1.0
+
+
+class TestFunctions:
+    def test_max_min(self):
+        assert ev("max(1, 5, 3)") == 5.0
+        assert ev("min(4, 2)") == 2.0
+
+    def test_math_functions(self):
+        assert ev("sqrt(16)") == 4.0
+        assert ev("exp(0)") == 1.0
+        assert ev("log(exp(1))") == pytest.approx(1.0)
+        assert ev("log2(8)") == 3.0
+        assert ev("floor(2.7)") == 2.0
+        assert ev("ceil(2.2)") == 3.0
+        assert ev("abs(-4)") == 4.0
+        assert ev("clamp(5, 0, 3)") == 3.0
+
+    def test_unknown_function_rejected_at_compile(self):
+        with pytest.raises(ExpressionError):
+            Expression("frobnicate(1)")
+
+    def test_arity_checked_at_compile(self):
+        with pytest.raises(ExpressionError):
+            Expression("sqrt(1, 2)")
+        with pytest.raises(ExpressionError):
+            Expression("pow(1)")
+
+    def test_domain_errors_wrapped(self):
+        with pytest.raises(ExpressionError):
+            ev("sqrt(-1)")
+        with pytest.raises(ExpressionError):
+            ev("log(0)")
+
+
+class TestTable1Forms:
+    """The exact expressions used for the paper's Table 1."""
+
+    def test_linear_tier_performance(self):
+        assert ev("200*n", n=5) == 1000.0
+        assert ev("1600*n", n=1) == 1600.0
+
+    def test_sublinear_compute_performance(self):
+        assert ev("(10*n)/(1+0.004*n)", n=100) == pytest.approx(714.2857,
+                                                                rel=1e-4)
+        assert ev("(100*n)/(1+0.004*n)", n=10) == pytest.approx(961.538,
+                                                                rel=1e-4)
+
+    def test_checkpoint_overhead_central_small_n(self):
+        source = "n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)"
+        assert ev(source, n=10, cpi=5) == 2.0       # 10/5
+        assert ev(source, n=10, cpi=60) == 1.0       # saturates at 100%
+
+    def test_checkpoint_overhead_central_large_n(self):
+        source = "n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)"
+        assert ev(source, n=60, cpi=5) == 4.0        # 60/(3*5)
+        assert ev(source, n=30, cpi=10) == 1.0       # continuous at n=30
+
+    def test_checkpoint_overhead_peer(self):
+        assert ev("max(20/cpi, 100%)", cpi=5) == 4.0
+        assert ev("max(20/cpi, 100%)", cpi=40) == 1.0
+
+
+class TestExpressionObject:
+    def test_variables_reported(self):
+        assert Expression("a*b + max(c, 1)").variables == {"a", "b", "c"}
+
+    def test_partial_binding(self):
+        expression = Expression("a + b")
+        bound = expression.partial(a=10)
+        assert bound.variables == {"b"}
+        assert bound(b=5) == 15.0
+
+    def test_partial_can_be_overridden(self):
+        bound = Expression("a + b").partial(a=10)
+        assert bound(a=1, b=1) == 2.0
+
+    def test_evaluate_with_mapping(self):
+        assert Expression("x*2").evaluate({"x": 3}) == 6.0
+
+    def test_repr_mentions_source(self):
+        assert "200*n" in repr(Expression("200*n"))

@@ -1,0 +1,101 @@
+"""Tests for the expression tokenizer."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)][:-1]  # drop end
+
+
+class TestNumbers:
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "number"
+        assert tokens[0].value == 42.0
+
+    def test_float(self):
+        assert tokenize("0.004")[0].value == 0.004
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5E-2")[0].value == 0.025
+
+    def test_percent_literal(self):
+        token = tokenize("100%")[0]
+        assert token.value == 1.0
+        assert token.text == "100%"
+
+    def test_percent_fraction(self):
+        assert tokenize("2.5%")[0].value == pytest.approx(0.025)
+
+
+class TestNamesAndKeywords:
+    def test_identifier(self):
+        token = tokenize("cpi")[0]
+        assert token.kind == "name"
+        assert token.text == "cpi"
+
+    def test_underscore_names(self):
+        assert tokenize("storage_location")[0].text == "storage_location"
+
+    def test_keywords(self):
+        assert tokenize("and")[0].kind == "keyword"
+        assert tokenize("or")[0].kind == "keyword"
+        assert tokenize("not")[0].kind == "keyword"
+        assert tokenize("if")[0].kind == "keyword"
+        assert tokenize("else")[0].kind == "keyword"
+
+    def test_name_with_digits(self):
+        assert tokenize("x2")[0].text == "x2"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "^", "(", ")", ",",
+                                    "?", ":", "<", ">", "<=", ">=", "==",
+                                    "!=", "&&", "||", "!"])
+    def test_single_operator(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].kind == "op"
+        assert tokens[0].text == op
+
+    def test_two_char_ops_not_split(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a>=b") == ["a", ">=", "b"]
+        assert texts("a!=b") == ["a", "!=", "b"]
+
+    def test_expression_stream(self):
+        assert texts("max(10/cpi,100%)") == \
+            ["max", "(", "10", "/", "cpi", ",", "100%", ")"]
+
+
+class TestStructure:
+    def test_end_sentinel(self):
+        assert kinds("1 + 2")[-1] == "end"
+
+    def test_whitespace_ignored(self):
+        assert texts("  1   +\t2 ") == ["1", "+", "2"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab + cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+        assert tokens[2].position == 5
+
+    def test_rejects_unknown_character(self):
+        with pytest.raises(ExpressionError):
+            tokenize("a @ b")
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "end"

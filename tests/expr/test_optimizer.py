@@ -1,0 +1,96 @@
+"""Tests for compile-time constant folding."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import Expression, Number, parse
+from repro.expr.optimizer import fold_constants
+
+
+def folded(source):
+    return fold_constants(parse(source))
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        assert folded("1 + 2 * 3") == Number(7.0)
+        assert folded("2^10") == Number(1024.0)
+        assert folded("-(4/2)") == Number(-2.0)
+
+    def test_function_calls_fold(self):
+        assert folded("max(10/5, 100%)") == Number(2.0)
+        assert folded("sqrt(16) + min(1, 2)") == Number(5.0)
+
+    def test_variables_block_folding(self):
+        node = folded("n * 2")
+        assert node != Number(2.0)
+        assert Expression("n * 2")(n=3) == 6.0
+
+    def test_partial_folding_inside(self):
+        """Constant subtrees fold even when the whole tree cannot."""
+        node = folded("n + (2 * 3)")
+        # The right child is now a literal 6.
+        assert Number(6.0) in node.children()
+
+    def test_constant_conditional_picks_branch(self):
+        assert folded("1 < 2 ? 10 : n") == Number(10.0)
+        assert folded("1 > 2 ? n : 20") == Number(20.0)
+
+    def test_variable_conditional_kept(self):
+        node = folded("n < 30 ? 1 : 2")
+        assert node != Number(1.0)
+        assert node != Number(2.0)
+
+    def test_short_circuit_left_constant(self):
+        assert folded("0 and n") == Number(0.0)
+        assert folded("1 or n") == Number(1.0)
+
+    def test_short_circuit_preserves_truthiness(self):
+        expression = Expression("1 and n")
+        assert expression(n=0) == 0.0
+        assert expression(n=7) == 1.0
+        expression = Expression("0 or n")
+        assert expression(n=0) == 0.0
+        assert expression(n=7) == 1.0
+
+    def test_division_by_zero_not_folded(self):
+        """A folding that would raise is left to raise at run time."""
+        node = folded("1/0")
+        assert not isinstance(node, Number)
+        with pytest.raises(ExpressionError):
+            Expression("1/0")()
+
+    def test_guarded_division_stays_guarded(self):
+        expression = Expression("x == 0 ? 99 : 1/x")
+        assert expression(x=0) == 99.0
+        assert expression(x=4) == 0.25
+
+
+class TestSemanticsPreserved:
+    TABLE1 = [
+        "200*n",
+        "(10*n)/(1+0.004*n)",
+        "n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)",
+        "max(20/cpi, 100%)",
+    ]
+
+    @pytest.mark.parametrize("source", TABLE1)
+    def test_optimized_matches_unoptimized(self, source):
+        optimized = Expression(source, optimize=True)
+        plain = Expression(source, optimize=False)
+        for n in (1, 10, 29, 30, 31, 100):
+            for cpi in (0.5, 5.0, 60.0):
+                env = {name: {"n": n, "cpi": cpi}[name]
+                       for name in plain.variables}
+                assert optimized.evaluate(env) == plain.evaluate(env)
+
+    def test_variables_never_grow(self):
+        for source in self.TABLE1:
+            optimized = Expression(source, optimize=True)
+            plain = Expression(source, optimize=False)
+            assert optimized.variables <= plain.variables
+
+    def test_fully_constant_expression(self):
+        expression = Expression("max(1, 2) * 3 + 100%")
+        assert expression.variables == frozenset()
+        assert expression() == 7.0

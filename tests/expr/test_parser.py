@@ -1,0 +1,121 @@
+"""Tests for the expression parser (grammar and precedence)."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import (Binary, Call, Conditional, Number, Unary, Variable,
+                        free_variables, parse)
+
+
+class TestPrimaries:
+    def test_number(self):
+        assert parse("3.5") == Number(3.5)
+
+    def test_variable(self):
+        assert parse("n") == Variable("n")
+
+    def test_true_false(self):
+        assert parse("true") == Number(1.0)
+        assert parse("false") == Number(0.0)
+
+    def test_parenthesized(self):
+        assert parse("(n)") == Variable("n")
+
+    def test_call_no_args_rejected_by_arity(self):
+        # max() parses but fails the compile-time arity check in
+        # Expression; raw parse() allows it structurally.
+        node = parse("max(1)")
+        assert isinstance(node, Call)
+
+    def test_call_multiple_args(self):
+        node = parse("max(a, b, c)")
+        assert node == Call("max", (Variable("a"), Variable("b"),
+                                    Variable("c")))
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        assert parse("1+2*3") == Binary(
+            "+", Number(1.0), Binary("*", Number(2.0), Number(3.0)))
+
+    def test_left_associativity_subtraction(self):
+        assert parse("10-3-2") == Binary(
+            "-", Binary("-", Number(10.0), Number(3.0)), Number(2.0))
+
+    def test_division_left_associative(self):
+        assert parse("8/4/2") == Binary(
+            "/", Binary("/", Number(8.0), Number(4.0)), Number(2.0))
+
+    def test_power_right_associative(self):
+        assert parse("2^3^2") == Binary(
+            "^", Number(2.0), Binary("^", Number(3.0), Number(2.0)))
+
+    def test_power_binds_tighter_than_unary_minus(self):
+        # -2^2 parses as -(2^2)
+        assert parse("-2^2") == Unary(
+            "-", Binary("^", Number(2.0), Number(2.0)))
+
+    def test_parentheses_override(self):
+        assert parse("(1+2)*3") == Binary(
+            "*", Binary("+", Number(1.0), Number(2.0)), Number(3.0))
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        node = parse("n+1 < 30")
+        assert node == Binary("<", Binary("+", Variable("n"), Number(1.0)),
+                              Number(30.0))
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse("a or b and c")
+        assert node == Binary("or", Variable("a"),
+                              Binary("and", Variable("b"), Variable("c")))
+
+
+class TestConditionals:
+    def test_c_style_ternary(self):
+        node = parse("n < 30 ? 1 : 2")
+        assert isinstance(node, Conditional)
+        assert node.if_true == Number(1.0)
+        assert node.if_false == Number(2.0)
+
+    def test_python_style_conditional(self):
+        node = parse("1 if n < 30 else 2")
+        assert isinstance(node, Conditional)
+        assert node.if_true == Number(1.0)
+        assert node.if_false == Number(2.0)
+
+    def test_nested_ternary_right_associative(self):
+        node = parse("a ? 1 : b ? 2 : 3")
+        assert isinstance(node.if_false, Conditional)
+
+    def test_table1_expression_parses(self):
+        parse("n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "1 +", "* 2", "max(1,", "(1", "1)", "a ? 1",
+        "a ? 1 : ", "1 if a", "1 2", "+",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ExpressionError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ExpressionError) as info:
+            parse("1 + + 2")
+        assert info.value.position >= 0
+
+
+class TestFreeVariables:
+    def test_simple(self):
+        assert free_variables(parse("a + b*c")) == {"a", "b", "c"}
+
+    def test_none(self):
+        assert free_variables(parse("1 + 2")) == frozenset()
+
+    def test_inside_calls_and_conditionals(self):
+        node = parse("x < 1 ? max(y, 2) : z")
+        assert free_variables(node) == {"x", "y", "z"}
+
+    def test_function_names_not_variables(self):
+        assert free_variables(parse("max(1, 2)")) == frozenset()

@@ -1,0 +1,92 @@
+"""Cross-engine integration: Markov vs simulation on generated designs.
+
+The Markov engine makes two approximations the simulator does not:
+failure-mode decomposition and chain truncation.  These tests generate
+tier models through the *real* evaluator pipeline (paper components,
+derived MTTRs/failover times) and require the engines to agree.
+"""
+
+import pytest
+
+from repro.availability import MarkovEngine, simulate_tier
+from repro.core import DesignEvaluator, TierDesign
+from repro.model import MechanismConfig
+
+
+def bronze(infra, mech="maintenanceA"):
+    return MechanismConfig(infra.mechanism(mech), {"level": "bronze"})
+
+
+def gold(infra, mech="maintenanceA"):
+    return MechanismConfig(infra.mechanism(mech), {"level": "gold"})
+
+
+def agreement(model, years, seed=1234, rel=0.15):
+    markov = MarkovEngine().evaluate_tier(model)
+    sim = simulate_tier(model, years=years, seed=seed)
+    tolerance = max(markov.unavailability * rel,
+                    2.5 * sim.ci_halfwidth, 2e-7)
+    assert abs(markov.unavailability - sim.tier.unavailability) \
+        <= tolerance, (markov.unavailability, sim.tier.unavailability,
+                       sim.ci_halfwidth)
+
+
+class TestAppTierDesigns:
+    @pytest.fixture
+    def evaluator(self, paper_infra, app_tier_service):
+        return DesignEvaluator(paper_infra, app_tier_service)
+
+    def test_family1_no_redundancy(self, evaluator, paper_infra):
+        design = TierDesign("application", "rC", 5, 0, (),
+                            (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design, 1000), years=2000)
+
+    def test_family6_cold_spare(self, evaluator, paper_infra):
+        design = TierDesign("application", "rC", 5, 1, (),
+                            (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design, 1000), years=3000)
+
+    def test_family9_extra_active(self, evaluator, paper_infra):
+        design = TierDesign("application", "rC", 6, 0, (),
+                            (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design, 1000), years=6000,
+                  rel=0.25)
+
+    def test_gold_contract(self, evaluator, paper_infra):
+        design = TierDesign("application", "rC", 5, 0, (),
+                            (gold(paper_infra),))
+        agreement(evaluator.tier_model(design, 1000), years=2000)
+
+    def test_warm_spare(self, evaluator, paper_infra):
+        design = TierDesign("application", "rC", 5, 1,
+                            ("machineA", "linux"), (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design, 1000), years=3000)
+
+    def test_appserverB_resource(self, evaluator, paper_infra):
+        # m = 6 at load 1200, so single failover windows are visible
+        # downtime (a 6+1 design at load 1000 only goes down on triple
+        # overlaps -- far too rare to resolve by simulation).
+        design = TierDesign("application", "rD", 6, 1, (),
+                            (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design, 1200), years=3000)
+
+
+class TestComputeTierDesigns:
+    @pytest.fixture
+    def evaluator(self, paper_infra, scientific):
+        return DesignEvaluator(paper_infra, scientific)
+
+    def test_small_compute_cluster(self, evaluator, paper_infra):
+        design = TierDesign("computation", "rH", 8, 0, (),
+                            (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design), years=1500)
+
+    def test_compute_cluster_with_spares(self, evaluator, paper_infra):
+        design = TierDesign("computation", "rH", 30, 2, (),
+                            (bronze(paper_infra),))
+        agreement(evaluator.tier_model(design), years=1000)
+
+    def test_machineb_cluster(self, evaluator, paper_infra):
+        design = TierDesign("computation", "rI", 12, 1, (),
+                            (bronze(paper_infra, "maintenanceB"),))
+        agreement(evaluator.tier_model(design), years=1500)

@@ -1,0 +1,174 @@
+"""End-to-end integration: spec text -> models -> search -> evaluation.
+
+Builds a synthetic scenario entirely from specification documents (the
+way a user of the library would) and drives the full Aved loop on it.
+"""
+
+import pytest
+
+from repro import (Aved, Duration, InfeasibleError, JobRequirements,
+                   SearchLimits, ServiceRequirements)
+from repro.spec import parse_infrastructure, parse_service
+
+INFRA = """
+\\\\ A two-platform shop: cheap pizza boxes and a big SMP.
+component=pizzabox cost([inactive,active])=[900 1000]
+ failure=hard mtbf=400d mttr=<support> detect_time=1m
+ failure=glitch mtbf=40d mttr=0 detect_time=0
+component=bigbox cost([inactive,active])=[28000 30000]
+ failure=hard mtbf=800d mttr=<support> detect_time=1m
+ failure=glitch mtbf=80d mttr=0 detect_time=0
+component=os cost=0
+ failure=crash mtbf=50d mttr=0 detect_time=0
+component=server cost([inactive,active])=[0 500]
+ failure=crash mtbf=45d mttr=0 detect_time=0
+component=batch cost=0 loss_window=<snap>
+ failure=crash mtbf=45d mttr=0 detect_time=0
+
+mechanism=support
+ param=level range=[slow,fast]
+ cost(level)=[200 800]
+ mttr(level)=[48h 8h]
+mechanism=snap
+ param=interval range=[1m-8h;*1.25]
+ cost=0
+ loss_window=interval
+
+resource=small reconfig_time=10s
+ component=pizzabox depend=null startup=1m
+ component=os depend=pizzabox startup=2m
+ component=server depend=os startup=30s
+resource=big reconfig_time=10s
+ component=bigbox depend=null startup=2m
+ component=os depend=bigbox startup=3m
+ component=server depend=os startup=30s
+resource=smallbatch reconfig_time=10s
+ component=pizzabox depend=null startup=1m
+ component=os depend=pizzabox startup=2m
+ component=batch depend=os startup=10s
+"""
+
+WEB_SERVICE = """
+application=webshop
+tier=frontend
+ resource=small sizing=dynamic failurescope=resource
+  nActive=[1-200,+1] performance=expr:50*n
+ resource=big sizing=dynamic failurescope=resource
+  nActive=[1-50,+1] performance=expr:900*n
+"""
+
+BATCH_SERVICE = """
+application=render jobsize=5000
+tier=farm
+ resource=smallbatch sizing=static failurescope=tier
+  nActive=[1-300,+1] performance=expr:(20*n)/(1+0.01*n)
+  mechanism=snap mperformance(interval,n)=snapcost.dat
+"""
+
+
+@pytest.fixture(scope="module")
+def infra():
+    return parse_infrastructure(INFRA)
+
+
+@pytest.fixture(scope="module")
+def web_service():
+    return parse_service(WEB_SERVICE)
+
+
+@pytest.fixture(scope="module")
+def batch_service():
+    from repro.spec import DictResolver
+    resolver = DictResolver(overhead={"snapcost.dat": _flat_overhead()})
+    return parse_service(BATCH_SERVICE, resolver)
+
+
+def _flat_overhead():
+    from repro.expr import Expression
+    from repro.model import OverheadModel
+    from repro.units import Duration
+
+    class _SnapOverhead(OverheadModel):
+        expression = Expression("max(5/cpi, 100%)")
+
+        def factor(self, settings, n_active):
+            cpi = Duration.parse(settings["interval"]).as_minutes
+            return self.expression(cpi=cpi)
+
+    return _SnapOverhead()
+
+
+class TestWebServiceDesign:
+    def test_low_load_prefers_small_boxes(self, infra, web_service):
+        engine = Aved(infra, web_service,
+                      limits=SearchLimits(max_redundancy=4))
+        outcome = engine.design(ServiceRequirements(
+            200, Duration.minutes(200)))
+        assert outcome.design.tiers[0].resource == "small"
+        assert outcome.downtime_minutes <= 200
+
+    def test_big_box_cost_effective_at_scale(self, infra, web_service):
+        """900 units for $30.5-31.3k vs 18 small boxes at ~$27k: small
+        still wins on raw cost, but the crossover logic must at least
+        consider both; verify the engine returns the cheaper one."""
+        engine = Aved(infra, web_service,
+                      limits=SearchLimits(max_redundancy=4))
+        outcome = engine.design(ServiceRequirements(
+            900, Duration.minutes(500)))
+        evaluator = engine.evaluator
+        assert outcome.design.tiers[0].resource in ("small", "big")
+        # Whichever was chosen, no candidate of the other type on the
+        # frontier may be both cheaper and at least as available.
+        from repro.core import TierSearch
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=4))
+        frontier = search.tier_frontier("frontend", 900)
+        chosen_cost = outcome.annual_cost
+        for candidate in frontier:
+            if candidate.downtime_minutes <= 500:
+                assert candidate.annual_cost >= chosen_cost - 1e-6
+
+    def test_fast_support_or_redundancy(self, infra, web_service):
+        """Tight downtime must buy either the fast contract or extra
+        machines; either way cost exceeds the loose design."""
+        engine = Aved(infra, web_service,
+                      limits=SearchLimits(max_redundancy=4))
+        loose = engine.design(ServiceRequirements(
+            200, Duration.minutes(2000)))
+        tight = engine.design(ServiceRequirements(
+            200, Duration.minutes(20)))
+        assert tight.annual_cost > loose.annual_cost
+
+    def test_impossible_requirement(self, infra, web_service):
+        engine = Aved(infra, web_service,
+                      limits=SearchLimits(max_redundancy=1))
+        with pytest.raises(InfeasibleError):
+            engine.design(ServiceRequirements(
+                200, Duration.seconds(0.001)))
+
+
+class TestBatchServiceDesign:
+    def test_job_design_end_to_end(self, infra, batch_service):
+        limits = SearchLimits(
+            max_redundancy=6,
+            fixed_settings={"support": {"level": "slow"}})
+        engine = Aved(infra, batch_service, limits=limits)
+        outcome = engine.design(JobRequirements(Duration.hours(30)))
+        tier = outcome.design.tiers[0]
+        assert tier.resource == "smallbatch"
+        assert outcome.evaluation.job_time.expected_time <= \
+            Duration.hours(30)
+        snap = tier.mechanism_config("snap")
+        assert Duration.minutes(1) <= snap.settings["interval"] \
+            <= Duration.hours(8)
+
+    def test_snapshot_interval_near_overhead_knee(self, infra,
+                                                  batch_service):
+        """The flat-knee overhead (5/cpi saturating at 1) plus Eq. 1
+        losses puts the optimal interval at or near 5 minutes."""
+        limits = SearchLimits(
+            max_redundancy=6,
+            fixed_settings={"support": {"level": "slow"}})
+        engine = Aved(infra, batch_service, limits=limits)
+        outcome = engine.design(JobRequirements(Duration.hours(100)))
+        snap = outcome.design.tiers[0].mechanism_config("snap")
+        assert 3.0 <= snap.settings["interval"].as_minutes <= 12.0

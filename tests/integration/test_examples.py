@@ -1,0 +1,58 @@
+"""Every example script must run clean: examples are executable docs.
+
+Each example's ``main()`` is imported and executed with stdout
+captured; a broken public API surfaces here before a user hits it.
+"""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            os.pardir, "examples")
+
+EXPECTATIONS = {
+    "quickstart": ["rC x6", "$28,320", "tightening"],
+    "staffing_study": ["crew", "optimal design", "technician"],
+    "ecommerce_app_tier": ["Pareto frontier", "families:",
+                           "requirement points where machineB is optimal: 0"],
+    "scientific_checkpoint": ["rI", "rH", "central"],
+    "tradeoff_explorer": ["extra annual cost", "baseline"],
+    "custom_infrastructure": ["api_node", "snapshot every",
+                              "engine ablation"],
+    "utility_computing": ["redesign points", "downtime budget",
+                          "sensitivity"],
+    "model_refinement": ["declared model", "refined model",
+                         "optimal design under"],
+}
+
+
+def run_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(
+        "example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs_and_produces_expected_output(name):
+    output = run_example(name)
+    assert len(output) > 100, "example %s produced no output" % name
+    for marker in EXPECTATIONS[name]:
+        assert marker in output, (name, marker)
+
+
+def test_every_example_file_is_covered():
+    present = {fname[:-3] for fname in os.listdir(EXAMPLES_DIR)
+               if fname.endswith(".py")}
+    assert present == set(EXPECTATIONS), \
+        "update EXPECTATIONS when adding/removing examples"

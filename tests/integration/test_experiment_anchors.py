@@ -1,0 +1,102 @@
+"""Pins the concrete numbers quoted in EXPERIMENTS.md.
+
+If a model or engine change moves these anchors, EXPERIMENTS.md is
+stale -- this file fails first and says which number to re-derive.
+"""
+
+import pytest
+
+from repro.core import (DesignEvaluator, SearchLimits, TierSearch,
+                        build_requirement_map)
+from repro.model import MechanismConfig
+from repro.units import Duration
+
+
+@pytest.fixture(scope="module")
+def evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+class TestFig6Anchors:
+    def test_family9_downtime_and_cost(self, evaluator):
+        search = TierSearch(evaluator)
+        best = search.best_tier_design("application", 1000,
+                                       Duration.minutes(100))
+        assert best.annual_cost == pytest.approx(28320.0)
+        assert best.downtime_minutes == pytest.approx(46.5, abs=0.5)
+
+    def test_family1_downtime_curve(self, evaluator):
+        """(rC, bronze, 0, 0): 2,675 / 6,661 / 32,500 min/yr at loads
+        400 / 1000 / 5000 (quoted in EXPERIMENTS.md)."""
+        from repro.core import TierDesign
+        bronze = MechanismConfig(
+            evaluator.infrastructure.mechanism("maintenanceA"),
+            {"level": "bronze"})
+        expectations = {400: 2675.0, 1000: 6661.0, 5000: 32500.0}
+        for load, expected in expectations.items():
+            option = evaluator.service.tier("application") \
+                .option_for("rC")
+            n_min = option.min_active_for(load)
+            design = TierDesign("application", "rC", n_min, 0, (),
+                                (bronze,))
+            model = evaluator.tier_model(design, load)
+            result = evaluator.engine.evaluate_tier(model)
+            assert result.downtime_minutes == pytest.approx(
+                expected, rel=0.01), load
+
+
+class TestFig8Anchors:
+    @pytest.fixture(scope="class")
+    def req_map(self, evaluator):
+        return build_requirement_map(
+            evaluator, "application", loads=[400, 3200],
+            limits=SearchLimits(max_redundancy=4))
+
+    def test_baselines(self, req_map):
+        assert req_map.baseline_cost(400) == pytest.approx(9440.0)
+        assert req_map.baseline_cost(3200) == pytest.approx(75520.0)
+
+    def test_extra_cost_at_one_minute(self, req_map):
+        curve_400 = dict(req_map.extra_cost_curve(400, [1.0]))
+        curve_3200 = dict(req_map.extra_cost_curve(3200, [1.0]))
+        assert curve_400[1.0] == pytest.approx(5860.0)
+        assert curve_3200[1.0] == pytest.approx(10280.0)
+
+
+class TestFig7Anchors:
+    def test_relaxed_end_of_sweep(self, paper_infra, scientific):
+        """1000h requirement: rH x2, cpi at the 10-minute knee,
+        $6,040/yr (quoted in EXPERIMENTS.md)."""
+        from repro import JobRequirements
+        from repro.core import JobSearch
+        from repro.core.families import checkpoint_settings
+        limits = SearchLimits(
+            max_redundancy=12,
+            fixed_settings={"maintenanceA": {"level": "bronze"},
+                            "maintenanceB": {"level": "bronze"}})
+        search = JobSearch(DesignEvaluator(paper_infra, scientific),
+                           limits)
+        best = search.best_design(JobRequirements(Duration.hours(1000)))
+        tier = best.design.tiers[0]
+        assert tier.resource == "rH"
+        assert tier.n_active == 2
+        assert best.annual_cost == pytest.approx(6040.0)
+        config = checkpoint_settings(tier)
+        assert config.settings["checkpoint_interval"].as_minutes == \
+            pytest.approx(10.4, abs=0.6)
+        assert config.settings["storage_location"] == "central"
+
+
+class TestEngineAblationAnchors:
+    def test_quoted_engine_comparison(self, evaluator, paper_infra):
+        """rC x5 + 1 cold spare: markov 349, analytic 310 min/yr."""
+        from repro.availability import AnalyticEngine, MarkovEngine
+        from repro.core import TierDesign
+        bronze = MechanismConfig(paper_infra.mechanism("maintenanceA"),
+                                 {"level": "bronze"})
+        design = TierDesign("application", "rC", 5, 1, (), (bronze,))
+        model = evaluator.tier_model(design, 1000)
+        markov = MarkovEngine().evaluate_tier(model)
+        analytic = AnalyticEngine().evaluate_tier(model)
+        assert markov.downtime_minutes == pytest.approx(349.0, abs=2)
+        assert analytic.downtime_minutes == pytest.approx(310.0, abs=2)

@@ -1,0 +1,79 @@
+"""Integration: the full monitoring/refinement loop, statistically.
+
+Plants a wrong declared MTBF, observes "production" (the simulator on
+the true model), fits estimates, refines, and checks the loop actually
+converges.  Also checks the confidence intervals are calibrated: over
+many observation runs, ~95% of intervals should contain the truth.
+"""
+
+import pytest
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel,
+                                estimates_from_simulation, refine_modes,
+                                simulate_tier)
+from repro.units import Duration
+
+
+def make_model(linux_mtbf_days):
+    """A family-1 shape (m = n) where the OS crash rate matters: every
+    soft failure is downtime, so a 4x error in the declared linux MTBF
+    moves the downtime estimate by hundreds of minutes per year."""
+    modes = (
+        FailureModeEntry("machineA.hard", Duration.days(650),
+                         Duration.hours(2), Duration.minutes(6.5)),
+        FailureModeEntry("linux.soft", Duration.days(linux_mtbf_days),
+                         Duration.minutes(4), Duration.minutes(6.5)),
+    )
+    return TierAvailabilityModel("app", n=5, m=5, s=0, modes=modes)
+
+
+class TestRefinementLoop:
+    def test_loop_converges_toward_truth(self):
+        truth = make_model(linux_mtbf_days=15.0)
+        declared = make_model(linux_mtbf_days=60.0)
+        observed = simulate_tier(truth, years=40, seed=7)
+        estimates = estimates_from_simulation(truth, observed)
+        refined = refine_modes(declared, estimates)
+
+        engine = MarkovEngine()
+        truth_minutes = engine.evaluate_tier(truth).downtime_minutes
+        declared_minutes = engine.evaluate_tier(
+            declared).downtime_minutes
+        refined_minutes = engine.evaluate_tier(refined).downtime_minutes
+        assert abs(refined_minutes - truth_minutes) < \
+            abs(declared_minutes - truth_minutes)
+
+    def test_refined_mtbf_close_to_truth(self):
+        truth = make_model(linux_mtbf_days=15.0)
+        observed = simulate_tier(truth, years=60, seed=11)
+        estimates = estimates_from_simulation(truth, observed)
+        estimate = estimates["linux.soft"]
+        assert estimate.mtbf.as_days == pytest.approx(15.0, rel=0.1)
+
+    def test_confidence_interval_calibration(self):
+        """Over 24 independent observation runs, the 95% CI should
+        contain the true MTBF in at least ~80% of runs (binomial slack
+        for the small sample)."""
+        truth = make_model(linux_mtbf_days=15.0)
+        hits = 0
+        runs = 24
+        for seed in range(runs):
+            observed = simulate_tier(truth, years=3, seed=1000 + seed)
+            estimates = estimates_from_simulation(truth, observed)
+            if estimates["linux.soft"].contains(Duration.days(15.0)):
+                hits += 1
+        assert hits >= int(0.8 * runs), hits
+
+    def test_more_observation_tightens_the_refinement(self):
+        truth = make_model(linux_mtbf_days=15.0)
+        short = estimates_from_simulation(
+            truth, simulate_tier(truth, years=2, seed=3))["linux.soft"]
+        long = estimates_from_simulation(
+            truth, simulate_tier(truth, years=80, seed=3))["linux.soft"]
+
+        def rel_width(estimate):
+            return ((estimate.upper - estimate.lower)
+                    / estimate.mtbf)
+
+        assert rel_width(long) < rel_width(short)

@@ -1,0 +1,111 @@
+"""Multi-tier design integration: the full e-commerce service.
+
+The paper's examples isolate single tiers; its engine, and ours,
+handle the full three-tier service (web, application, database in
+series).  These tests check the budget-allocation behavior the exact
+combiner should exhibit.
+"""
+
+import pytest
+
+from repro import Aved, Duration, SearchLimits, ServiceRequirements
+
+
+@pytest.fixture(scope="module")
+def engine(paper_infra, ecommerce):
+    return Aved(paper_infra, ecommerce,
+                limits=SearchLimits(max_redundancy=3))
+
+
+@pytest.fixture(scope="module")
+def relaxed(engine):
+    return engine.design(ServiceRequirements(1000,
+                                             Duration.minutes(2000)))
+
+
+@pytest.fixture(scope="module")
+def strict(engine):
+    # The database tier (static single rG) has a hard floor of ~45
+    # min/yr from restart-repaired soft failures that neither spares
+    # nor contracts can reduce; ~100 min/yr is the practical edge of
+    # the three-tier feasibility region.
+    return engine.design(ServiceRequirements(1000,
+                                             Duration.minutes(100)))
+
+
+class TestStructure:
+    def test_all_tiers_designed(self, relaxed):
+        assert {t.tier for t in relaxed.design.tiers} == \
+            {"web", "application", "database"}
+
+    def test_database_always_rG_static_single(self, relaxed, strict):
+        for outcome in (relaxed, strict):
+            db = outcome.design.tier("database")
+            assert db.resource == "rG"
+            assert db.n_active == 1
+
+    def test_web_and_app_use_machineA(self, relaxed):
+        assert relaxed.design.tier("web").resource == "rA"
+        assert relaxed.design.tier("application").resource in ("rC",
+                                                               "rD")
+
+    def test_series_requirement_met(self, relaxed, strict):
+        assert relaxed.downtime_minutes <= 2000
+        assert strict.downtime_minutes <= 100
+
+
+class TestBudgetAllocation:
+    def test_database_keeps_its_soft_failure_floor(self, engine,
+                                                   strict):
+        """The static single-node database has an irreducible soft-
+        failure floor (~45 min/yr); the optimal split hands it (and the
+        similarly-floored web tier) the budget instead of overpaying,
+        and buys the database hard-failure protection."""
+        evaluation = engine.evaluator.evaluate(
+            strict.design, ServiceRequirements(1000,
+                                               Duration.minutes(100)))
+        downtimes = {t.name: t.downtime_minutes
+                     for t in evaluation.availability.tiers}
+        assert downtimes["database"] > downtimes["application"]
+        assert downtimes["database"] > 30.0   # the soft floor remains
+        db = strict.design.tier("database")
+        level = db.mechanism_config("maintenanceB").settings["level"]
+        assert db.n_spare >= 1 or level != "bronze"
+
+    def test_tier_downtimes_sum_within_budget(self, engine, strict):
+        evaluation = engine.evaluator.evaluate(
+            strict.design, ServiceRequirements(1000,
+                                               Duration.minutes(100)))
+        total = sum(t.downtime_minutes
+                    for t in evaluation.availability.tiers)
+        # Series unavailability ~ sum of tier downtimes for small u.
+        assert total == pytest.approx(evaluation.downtime_minutes,
+                                      rel=0.01)
+        assert total <= 100 * 1.01
+
+    def test_strict_budget_costs_more(self, relaxed, strict):
+        assert strict.annual_cost > relaxed.annual_cost
+
+    def test_no_tier_grossly_overbuilt(self, engine, strict):
+        """Optimality sanity: no single tier may be swappable for a
+        cheaper frontier entry while keeping the series within budget."""
+        from repro.core import TierSearch
+        search = TierSearch(engine.evaluator,
+                            SearchLimits(max_redundancy=3))
+        evaluation = engine.evaluator.evaluate(
+            strict.design, ServiceRequirements(1000,
+                                               Duration.minutes(100)))
+        tier_down = {t.name: t.unavailability
+                     for t in evaluation.availability.tiers}
+        for tier_design in strict.design.tiers:
+            frontier = search.tier_frontier(tier_design.tier, 1000)
+            current_cost = search.evaluator.tier_cost(tier_design).total
+            others_up = 1.0
+            for name, unavailability in tier_down.items():
+                if name != tier_design.tier:
+                    others_up *= 1.0 - unavailability
+            budget = 1.0 - (1.0 - 100.0 / 525600.0) / others_up
+            for candidate in frontier:
+                if candidate.annual_cost < current_cost - 1e-6:
+                    assert candidate.unavailability > budget, \
+                        (tier_design.tier, candidate.design.describe())

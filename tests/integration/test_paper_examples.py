@@ -1,0 +1,184 @@
+"""Integration tests pinning the paper's reported example behavior.
+
+Each test corresponds to a claim made in section 5 of the paper about
+Fig. 6, Fig. 7, or Fig. 8.  Where the paper gives a number (family 9's
+~50 minutes at load 1000) we check it quantitatively; where it gives a
+trend (machineB never selected; checkpoint storage flips to peer at
+large n) we check the trend.
+"""
+
+import pytest
+
+from repro import (Aved, Duration, JobRequirements, SearchLimits,
+                   ServiceRequirements)
+from repro.core import (DesignEvaluator, JobSearch, TierSearch,
+                        build_requirement_map)
+from repro.core.families import DesignFamily, checkpoint_settings
+
+
+@pytest.fixture(scope="module")
+def app_map(paper_infra, app_tier_service):
+    evaluator = DesignEvaluator(paper_infra, app_tier_service)
+    return build_requirement_map(
+        evaluator, "application",
+        loads=[400, 800, 1600, 3200],
+        limits=SearchLimits(max_redundancy=4))
+
+
+@pytest.fixture(scope="module")
+def job_searcher(paper_infra, scientific):
+    limits = SearchLimits(
+        max_redundancy=12,
+        fixed_settings={"maintenanceA": {"level": "bronze"},
+                        "maintenanceB": {"level": "bronze"}})
+    return JobSearch(DesignEvaluator(paper_infra, scientific), limits)
+
+
+class TestFig6Claims:
+    def test_family9_downtime_about_50min_at_load_1000(
+            self, paper_infra, app_tier_service):
+        """Paper: "for a requirement (load = 1000, downtime = 100) ...
+        the optimal design family (number 9) ... has downtime of
+        approximately 50 minutes." """
+        engine = Aved(paper_infra, app_tier_service)
+        outcome = engine.design(ServiceRequirements(
+            1000, Duration.minutes(100)))
+        family = (outcome.design.tiers[0].resource,
+                  outcome.design.tiers[0].mechanism_config("maintenanceA")
+                  .settings["level"],
+                  outcome.design.tiers[0].n_active - 5,
+                  outcome.design.tiers[0].n_spare)
+        assert family == ("rC", "bronze", 1, 0)
+        assert outcome.downtime_minutes == pytest.approx(50, abs=10)
+
+    def test_machineB_never_on_cheap_frontier(self, app_map):
+        """Paper: "the more powerful machineB is never selected"
+        (linear scalability + worse cost/performance).  machineB
+        families may appear deep in the over-provisioned tail but never
+        as the optimal choice for the paper's requirement range."""
+        for load in app_map.loads:
+            for minutes in (10000, 1000, 100, 10, 1, 0.1):
+                point = app_map.optimal_for(load,
+                                            Duration.minutes(minutes))
+                if point is not None:
+                    assert point.family.resource in ("rC", "rD"), \
+                        (load, minutes, point.family)
+
+    def test_family_downtime_increases_with_load(self, app_map):
+        """Paper: "the downtime estimated for a particular design
+        family increases with load." """
+        curves = app_map.family_curves()
+        checked = 0
+        for family, points in curves.items():
+            if len(points) >= 3:
+                downtimes = [d for _, d in sorted(points)]
+                # Allow tiny numerical jitter on near-zero values.
+                for a, b in zip(downtimes, downtimes[1:]):
+                    assert b >= a * 0.99 - 1e-9, (family, points)
+                checked += 1
+        assert checked >= 3
+
+    def test_gold_contract_displaced_by_extra_resource_at_high_load(
+            self, app_map):
+        """Paper: family 3 (gold, 0, 0) is not selected above ~1400
+        load units; family 6 (bronze, 0, 1) replaces it: contract cost
+        scales with machine count while a spare is one machine."""
+        gold = DesignFamily("rC", "gold", 0, 0)
+        families_low = {p.family for p in app_map.at_load(400)}
+        families_high = {p.family for p in app_map.at_load(3200)}
+        assert gold in families_low
+        assert gold not in families_high
+        assert DesignFamily("rC", "bronze", 0, 1) in families_high
+
+    def test_number_of_optimal_families_is_large(self, app_map):
+        """Paper: "the number of optimal solutions distributed across
+        the requirements space is large" (17 families in Fig. 6)."""
+        assert len(app_map.family_curves()) >= 10
+
+
+class TestFig7Claims:
+    @pytest.fixture(scope="class")
+    def sweep(self, job_searcher):
+        results = {}
+        for hours in (2, 5, 20, 100, 500, 1000):
+            best = job_searcher.best_design(
+                JobRequirements(Duration.hours(hours)))
+            assert best is not None, hours
+            results[hours] = best
+        return results
+
+    def test_resource_type_crossover(self, sweep):
+        """Paper: machineB at low execution times, machineA when more
+        time is tolerated."""
+        assert sweep[2].design.tiers[0].resource == "rI"
+        assert sweep[5].design.tiers[0].resource == "rI"
+        assert sweep[500].design.tiers[0].resource == "rH"
+        assert sweep[1000].design.tiers[0].resource == "rH"
+
+    def test_resource_count_decreases_with_relaxed_deadline(self, sweep):
+        """Paper: "for the same resource type the number of resources
+        decreases as the user tolerates a longer execution time." """
+        rh_counts = [(h, e.design.tiers[0].n_active)
+                     for h, e in sweep.items()
+                     if e.design.tiers[0].resource == "rH"]
+        rh_counts.sort()
+        counts = [n for _, n in rh_counts]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_spares_grow_with_resource_count(self, sweep):
+        """Paper: "the number of spare resources increases as the
+        number of total resources increases." """
+        by_n = sorted((e.design.tiers[0].n_active,
+                       e.design.tiers[0].n_spare)
+                      for e in sweep.values())
+        smallest_spares = by_n[0][1]
+        largest_spares = by_n[-1][1]
+        assert largest_spares >= smallest_spares
+        assert largest_spares >= 1
+
+    def test_designs_meet_their_requirements(self, sweep):
+        for hours, evaluation in sweep.items():
+            assert evaluation.job_time.expected_time <= \
+                Duration.hours(hours)
+
+    def test_storage_location_flips_to_peer_at_large_n(self, sweep,
+                                                       job_searcher):
+        """Paper: central storage for few nodes, peer for many.  With
+        Table 1's numbers the flip for rH sits near n=60 (central
+        overhead n/3 exceeds peer's 20)."""
+        locations = {}
+        for hours, evaluation in sweep.items():
+            tier = evaluation.design.tiers[0]
+            config = checkpoint_settings(tier)
+            locations[tier.n_active, tier.resource] = \
+                config.settings["storage_location"]
+        small_n = [loc for (n, r), loc in locations.items() if n < 30]
+        large_rh = [loc for (n, r), loc in locations.items()
+                    if n > 60 and r == "rH"]
+        assert all(loc == "central" for loc in small_n)
+        assert all(loc == "peer" for loc in large_rh)
+
+    def test_cost_increases_as_deadline_tightens(self, sweep):
+        ordered = sorted(sweep.items())  # ascending hours
+        costs = [e.annual_cost for _, e in ordered]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestFig8Claims:
+    def test_extra_cost_curves(self, app_map):
+        """Fig. 8's shape: extra cost is non-increasing in allowed
+        downtime, and higher loads pay more for the same downtime."""
+        grid = [1000, 100, 10, 1]
+        curves = {load: dict(app_map.extra_cost_curve(load, grid))
+                  for load in (400, 1600, 3200)}
+        for load, curve in curves.items():
+            values = [curve[d] for d in grid if curve[d] is not None]
+            assert values == sorted(values), load
+        # At a tight 1-minute requirement the 3200-load system needs
+        # more extra spend than the 400-load system.
+        assert curves[3200][1] > curves[400][1]
+
+    def test_large_downtime_requirement_costs_nothing_extra(self,
+                                                            app_map):
+        curve = dict(app_map.extra_cost_curve(800, [50000]))
+        assert curve[50000] == pytest.approx(0.0)

@@ -1,0 +1,105 @@
+"""Tests for the starter catalog of building blocks."""
+
+import pytest
+
+from repro.model import catalog
+from repro.model import (ExpressionPerformance, FailureScope,
+                         MechanismConfig, ResourceOption, ServiceModel,
+                         Sizing, Tier)
+from repro.units import ArithmeticRange, Duration
+
+
+class TestTemplates:
+    def test_maintenance_contract_levels(self):
+        contract = catalog.maintenance_contract()
+        assert [p.name for p in contract.parameters] == ["level"]
+        nbd = MechanismConfig(contract, {"level": "nbd"})
+        fast = MechanismConfig(contract, {"level": "four-hour"})
+        assert nbd.duration_attribute("mttr") == Duration.hours(30)
+        assert fast.duration_attribute("mttr") == Duration.hours(4)
+        assert fast.cost() > nbd.cost()
+
+    def test_contract_cost_count_mismatch(self):
+        with pytest.raises(ValueError):
+            catalog.maintenance_contract(annual_costs=[1.0])
+
+    def test_checkpointing_grid(self):
+        mechanism = catalog.checkpointing(
+            min_interval=Duration.minutes(5),
+            max_interval=Duration.hours(2), grid_factor=2.0)
+        grid = mechanism.parameter("checkpoint_interval").values.values()
+        assert grid[0] == Duration.minutes(5)
+        assert grid[-1] == Duration.hours(2)
+        assert mechanism.provides("loss_window")
+
+    def test_commodity_server_defers_to_contract(self):
+        server = catalog.commodity_server(maintenance="maint")
+        assert server.failure_mode("hard").mttr_mechanism == "maint"
+        assert server.failure_mode("soft").mttr == Duration.ZERO
+        assert server.cost.active > server.cost.inactive
+
+    def test_application_with_loss_window(self):
+        app = catalog.application_software(
+            "worker", loss_window_mechanism="checkpoint")
+        assert app.loss_window_mechanism == "checkpoint"
+        plain = catalog.application_software("api")
+        assert plain.loss_window is None
+
+    def test_server_stack_dependencies(self):
+        server = catalog.commodity_server()
+        os = catalog.operating_system()
+        app = catalog.application_software("api")
+        stack = catalog.server_stack("node", server, os, app)
+        assert stack.component_names == ("server", "os", "api")
+        assert stack.slot("os").depends_on == "server"
+        assert stack.slot("api").depends_on == "os"
+
+
+class TestStarterInfrastructure:
+    def test_validates(self):
+        infra = catalog.starter_infrastructure()
+        infra.validate()
+        assert infra.has_resource("node")
+
+    def test_checkpointed_variant(self):
+        infra = catalog.starter_infrastructure(checkpointed=True)
+        infra.validate()
+        assert infra.component("app").loss_window_mechanism == \
+            "checkpoint"
+        assert infra.mechanism("checkpoint").provides("loss_window")
+
+    def test_designable_end_to_end(self):
+        """The catalog's output drives the full engine."""
+        from repro import Aved, Duration, SearchLimits, \
+            ServiceRequirements
+        infra = catalog.starter_infrastructure()
+        option = ResourceOption("node", Sizing.DYNAMIC,
+                                FailureScope.RESOURCE,
+                                ArithmeticRange(1, 40, 1),
+                                ExpressionPerformance("75*n"))
+        service = ServiceModel("svc", [Tier("web", [option])])
+        engine = Aved(infra, service,
+                      limits=SearchLimits(max_redundancy=4))
+        outcome = engine.design(ServiceRequirements(
+            500, Duration.minutes(200)))
+        assert outcome.downtime_minutes <= 200
+        assert outcome.design.tiers[0].resource == "node"
+
+    def test_job_designable_with_checkpointing(self):
+        from repro import Aved, Duration, JobRequirements, SearchLimits
+        from repro.model import MechanismUse, UnityOverhead
+        infra = catalog.starter_infrastructure(checkpointed=True)
+        option = ResourceOption(
+            "node", Sizing.STATIC, FailureScope.TIER,
+            ArithmeticRange(1, 40, 1),
+            ExpressionPerformance("50*n"),
+            mechanisms=(MechanismUse("checkpoint", UnityOverhead()),))
+        service = ServiceModel("batch", [Tier("farm", [option])],
+                               job_size=1000)
+        engine = Aved(infra, service,
+                      limits=SearchLimits(max_redundancy=4))
+        outcome = engine.design(JobRequirements(Duration.hours(24)))
+        tier = outcome.design.tiers[0]
+        assert tier.has_mechanism("checkpoint")
+        assert outcome.evaluation.job_time.expected_time <= \
+            Duration.hours(24)

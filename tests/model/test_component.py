@@ -1,0 +1,110 @@
+"""Tests for component types, failure modes, and cost schedules."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (ComponentType, CostSchedule, FailureMode,
+                         MechanismRef, OperationalMode)
+from repro.units import Duration
+
+
+class TestFailureMode:
+    def test_concrete_mttr(self):
+        mode = FailureMode("hard", Duration.days(650), Duration.hours(38),
+                           detect_time=Duration.minutes(2))
+        assert mode.mttr_mechanism is None
+        assert mode.mtbf.as_days == 650
+
+    def test_mechanism_deferred_mttr(self):
+        mode = FailureMode("hard", Duration.days(650),
+                           MechanismRef("maintenanceA"))
+        assert mode.mttr_mechanism == "maintenanceA"
+
+    def test_default_detect_time_zero(self):
+        mode = FailureMode("soft", Duration.days(60), Duration.ZERO)
+        assert mode.detect_time == Duration.ZERO
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ModelError):
+            FailureMode("bad", Duration.ZERO, Duration.ZERO)
+
+    def test_rejects_negative_mttr(self):
+        with pytest.raises(ModelError):
+            FailureMode("bad", Duration.days(1), Duration.seconds(-1))
+
+    def test_rejects_negative_detect(self):
+        with pytest.raises(ModelError):
+            FailureMode("bad", Duration.days(1), Duration.ZERO,
+                        detect_time=Duration.seconds(-1))
+
+
+class TestCostSchedule:
+    def test_flat(self):
+        cost = CostSchedule.flat(100.0)
+        assert cost.for_mode(OperationalMode.ACTIVE) == 100.0
+        assert cost.for_mode(OperationalMode.INACTIVE) == 100.0
+
+    def test_mode_dependent(self):
+        cost = CostSchedule(inactive=2400.0, active=2640.0)
+        assert cost.for_mode(OperationalMode.ACTIVE) == 2640.0
+        assert cost.for_mode(OperationalMode.INACTIVE) == 2400.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            CostSchedule(inactive=-1.0, active=0.0)
+
+
+class TestComponentType:
+    def test_basic(self):
+        component = ComponentType(
+            "machineA",
+            cost=CostSchedule(2400, 2640),
+            failure_modes=(
+                FailureMode("hard", Duration.days(650),
+                            MechanismRef("maintenanceA")),
+                FailureMode("soft", Duration.days(75), Duration.ZERO),
+            ))
+        assert component.failure_mode("hard").mtbf.as_days == 650
+        assert component.loss_window is None
+
+    def test_duplicate_failure_modes_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentType("x", failure_modes=(
+                FailureMode("soft", Duration.days(1), Duration.ZERO),
+                FailureMode("soft", Duration.days(2), Duration.ZERO)))
+
+    def test_unknown_failure_mode_lookup(self):
+        component = ComponentType("x")
+        with pytest.raises(ModelError):
+            component.failure_mode("nope")
+
+    def test_loss_window_mechanism(self):
+        component = ComponentType("mpi",
+                                  loss_window=MechanismRef("checkpoint"))
+        assert component.loss_window_mechanism == "checkpoint"
+
+    def test_concrete_loss_window(self):
+        component = ComponentType("app", loss_window=Duration.hours(1))
+        assert component.loss_window_mechanism is None
+        assert component.loss_window == Duration.hours(1)
+
+    def test_mechanism_references_collects_all(self):
+        component = ComponentType(
+            "x",
+            failure_modes=(FailureMode("hard", Duration.days(1),
+                                       MechanismRef("contract")),),
+            loss_window=MechanismRef("checkpoint"))
+        assert component.mechanism_references() == ["contract",
+                                                    "checkpoint"]
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            ComponentType("")
+
+    def test_rejects_bad_max_instances(self):
+        with pytest.raises(ModelError):
+            ComponentType("x", max_instances=0)
+
+    def test_default_cost_is_zero(self):
+        component = ComponentType("free")
+        assert component.cost.for_mode(OperationalMode.ACTIVE) == 0.0

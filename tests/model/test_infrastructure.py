@@ -1,0 +1,130 @@
+"""Tests for the infrastructure registry and cross validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (AvailabilityMechanism, ComponentSlot, ComponentType,
+                         ConstantEffect, FailureMode, InfrastructureModel,
+                         MechanismRef, ResourceType)
+from repro.units import Duration
+
+
+def simple_component(name="box"):
+    return ComponentType(name, failure_modes=(
+        FailureMode("soft", Duration.days(30), Duration.ZERO),))
+
+
+class TestRegistry:
+    def test_lookup(self, tiny_infra):
+        assert tiny_infra.component("box").name == "box"
+        assert tiny_infra.mechanism("contract").name == "contract"
+        assert tiny_infra.resource("node").name == "node"
+
+    def test_unknown_lookups_raise(self, tiny_infra):
+        with pytest.raises(ModelError):
+            tiny_infra.component("ghost")
+        with pytest.raises(ModelError):
+            tiny_infra.mechanism("ghost")
+        with pytest.raises(ModelError):
+            tiny_infra.resource("ghost")
+
+    def test_has_resource(self, tiny_infra):
+        assert tiny_infra.has_resource("node")
+        assert not tiny_infra.has_resource("ghost")
+
+    def test_duplicates_rejected(self):
+        infra = InfrastructureModel(components=[simple_component()])
+        with pytest.raises(ModelError):
+            infra.add_component(simple_component())
+
+    def test_resource_with_unknown_component_rejected(self):
+        infra = InfrastructureModel()
+        with pytest.raises(ModelError):
+            infra.add_resource(ResourceType(
+                "r", slots=(ComponentSlot("ghost", None),)))
+
+    def test_listing_properties(self, tiny_infra):
+        assert len(tiny_infra.components) == 2
+        assert len(tiny_infra.mechanisms) == 1
+        assert len(tiny_infra.resources) == 1
+
+
+class TestValidation:
+    def test_valid_model_passes(self, tiny_infra):
+        tiny_infra.validate()
+
+    def test_dangling_mttr_mechanism_caught(self):
+        component = ComponentType("box", failure_modes=(
+            FailureMode("hard", Duration.days(1),
+                        MechanismRef("ghost")),))
+        infra = InfrastructureModel(components=[component])
+        with pytest.raises(ModelError, match="ghost"):
+            infra.validate()
+
+    def test_mechanism_not_providing_mttr_caught(self):
+        component = ComponentType("box", failure_modes=(
+            FailureMode("hard", Duration.days(1),
+                        MechanismRef("contract")),))
+        mechanism = AvailabilityMechanism(
+            "contract", effects={"cost": ConstantEffect(1.0)})
+        infra = InfrastructureModel(components=[component],
+                                    mechanisms=[mechanism])
+        with pytest.raises(ModelError, match="mttr"):
+            infra.validate()
+
+    def test_dangling_loss_window_mechanism_caught(self):
+        component = ComponentType("mpi", loss_window=MechanismRef("cp"))
+        infra = InfrastructureModel(components=[component])
+        with pytest.raises(ModelError, match="cp"):
+            infra.validate()
+
+    def test_resource_mechanisms_listed(self, tiny_infra):
+        assert tiny_infra.resource_mechanisms("node") == ["contract"]
+
+
+class TestPaperModel:
+    def test_counts(self, paper_infra):
+        assert len(paper_infra.components) == 9
+        assert len(paper_infra.mechanisms) == 3
+        assert len(paper_infra.resources) == 9
+
+    def test_validates(self, paper_infra):
+        paper_infra.validate()
+
+    def test_machine_costs(self, paper_infra):
+        from repro.model import OperationalMode
+        machine_a = paper_infra.component("machineA")
+        assert machine_a.cost.for_mode(OperationalMode.ACTIVE) == 2640
+        assert machine_a.cost.for_mode(OperationalMode.INACTIVE) == 2400
+        machine_b = paper_infra.component("machineB")
+        assert machine_b.cost.for_mode(OperationalMode.ACTIVE) == 93500
+
+    def test_machine_failure_modes(self, paper_infra):
+        hard = paper_infra.component("machineA").failure_mode("hard")
+        assert hard.mtbf == Duration.days(650)
+        assert hard.detect_time == Duration.minutes(2)
+        assert hard.mttr_mechanism == "maintenanceA"
+        soft = paper_infra.component("machineA").failure_mode("soft")
+        assert soft.mtbf == Duration.days(75)
+        assert soft.mttr == Duration.ZERO
+
+    def test_mpi_loss_window_deferred_to_checkpoint(self, paper_infra):
+        mpi = paper_infra.component("mpi")
+        assert mpi.loss_window_mechanism == "checkpoint"
+
+    def test_maintenance_tables(self, paper_infra):
+        from repro.model import MechanismConfig
+        mech = paper_infra.mechanism("maintenanceA")
+        bronze = MechanismConfig(mech, {"level": "bronze"})
+        platinum = MechanismConfig(mech, {"level": "platinum"})
+        assert bronze.duration_attribute("mttr") == Duration.hours(38)
+        assert bronze.cost() == 380
+        assert platinum.duration_attribute("mttr") == Duration.hours(6)
+        assert platinum.cost() == 1500
+
+    def test_resource_composition(self, paper_infra):
+        rc = paper_infra.resource("rC")
+        assert rc.component_names == ("machineA", "linux", "appserverA")
+        assert rc.restart_time("machineA") == Duration.minutes(4.5)
+        ri = paper_infra.resource("rI")
+        assert ri.component_names == ("machineB", "unix", "mpi")

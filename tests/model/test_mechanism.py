@@ -1,0 +1,132 @@
+"""Tests for availability mechanisms and their configurations."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (AvailabilityMechanism, ConstantEffect,
+                         MechanismConfig, MechanismParameter,
+                         ParameterEffect, TableEffect)
+from repro.units import Duration, EnumeratedRange, GeometricRange
+
+
+@pytest.fixture
+def maintenance():
+    level = MechanismParameter(
+        "level", EnumeratedRange(["bronze", "silver", "gold", "platinum"]))
+    return AvailabilityMechanism(
+        "maintenanceA",
+        parameters=(level,),
+        effects={
+            "cost": TableEffect.from_values(level, [380, 580, 760, 1500]),
+            "mttr": TableEffect.from_values(
+                level, [Duration.hours(h) for h in (38, 15, 8, 6)]),
+        })
+
+
+@pytest.fixture
+def checkpoint():
+    return AvailabilityMechanism(
+        "checkpoint",
+        parameters=(
+            MechanismParameter("storage_location",
+                               EnumeratedRange(["central", "peer"])),
+            MechanismParameter("checkpoint_interval",
+                               GeometricRange(Duration.minutes(1),
+                                              Duration.hours(24), 1.05)),
+        ),
+        effects={
+            "cost": ConstantEffect(0.0),
+            "loss_window": ParameterEffect("checkpoint_interval"),
+        })
+
+
+class TestMechanismDefinition:
+    def test_parameter_lookup(self, maintenance):
+        assert maintenance.parameter("level").name == "level"
+        with pytest.raises(ModelError):
+            maintenance.parameter("nope")
+
+    def test_provides(self, maintenance):
+        assert maintenance.provides("mttr")
+        assert maintenance.provides("cost")
+        assert not maintenance.provides("loss_window")
+
+    def test_duplicate_parameters_rejected(self):
+        p = MechanismParameter("x", EnumeratedRange([1]))
+        with pytest.raises(ModelError):
+            AvailabilityMechanism("m", parameters=(p, p))
+
+    def test_effect_referencing_unknown_parameter_rejected(self):
+        with pytest.raises(ModelError):
+            AvailabilityMechanism(
+                "m", parameters=(),
+                effects={"mttr": ParameterEffect("ghost")})
+
+    def test_table_effect_length_mismatch_rejected(self):
+        level = MechanismParameter("level", EnumeratedRange(["a", "b"]))
+        with pytest.raises(ModelError):
+            TableEffect.from_values(level, [1.0])
+
+    def test_configuration_count(self, maintenance, checkpoint):
+        assert maintenance.configuration_count() == 4
+        grid = checkpoint.parameter("checkpoint_interval").values
+        assert checkpoint.configuration_count() == 2 * len(grid)
+
+    def test_configurations_enumerated(self, maintenance):
+        configs = list(maintenance.configurations())
+        assert len(configs) == 4
+        levels = [config.settings["level"] for config in configs]
+        assert levels == ["bronze", "silver", "gold", "platinum"]
+
+    def test_parameterless_mechanism_has_one_config(self):
+        mechanism = AvailabilityMechanism("plain",
+                                          effects={"cost":
+                                                   ConstantEffect(5.0)})
+        configs = list(mechanism.configurations())
+        assert len(configs) == 1
+        assert configs[0].cost() == 5.0
+
+
+class TestMechanismConfig:
+    def test_table_resolution(self, maintenance):
+        config = MechanismConfig(maintenance, {"level": "gold"})
+        assert config.cost() == 760.0
+        assert config.duration_attribute("mttr") == Duration.hours(8)
+
+    def test_parameter_effect_resolution(self, checkpoint):
+        interval = checkpoint.parameter("checkpoint_interval") \
+            .values.values()[0]
+        config = MechanismConfig(checkpoint,
+                                 {"storage_location": "peer",
+                                  "checkpoint_interval": interval})
+        assert config.duration_attribute("loss_window") == interval
+        assert config.cost() == 0.0
+
+    def test_missing_parameter_rejected(self, maintenance):
+        with pytest.raises(ModelError):
+            MechanismConfig(maintenance, {})
+
+    def test_out_of_range_value_rejected(self, maintenance):
+        with pytest.raises(ModelError):
+            MechanismConfig(maintenance, {"level": "diamond"})
+
+    def test_unknown_parameter_rejected(self, maintenance):
+        with pytest.raises(ModelError):
+            MechanismConfig(maintenance, {"level": "gold", "extra": 1})
+
+    def test_unprovided_attribute_rejected(self, maintenance):
+        config = MechanismConfig(maintenance, {"level": "bronze"})
+        with pytest.raises(ModelError):
+            config.attribute("loss_window")
+
+    def test_equality_and_hash(self, maintenance):
+        a = MechanismConfig(maintenance, {"level": "gold"})
+        b = MechanismConfig(maintenance, {"level": "gold"})
+        c = MechanismConfig(maintenance, {"level": "bronze"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_describe(self, maintenance):
+        config = MechanismConfig(maintenance, {"level": "silver"})
+        assert config.describe() == "maintenanceA(level=silver)"

@@ -1,0 +1,146 @@
+"""Tests for performance models and mechanism overhead models."""
+
+import pytest
+
+from repro.errors import EvaluationError, ModelError
+from repro.model import (CategoricalOverhead, ConstantPerformance,
+                         ExpressionPerformance, TabulatedPerformance,
+                         UnityOverhead)
+from repro.units import Duration
+
+
+class TestExpressionPerformance:
+    def test_linear(self):
+        perf = ExpressionPerformance("200*n")
+        assert perf.throughput(5) == 1000.0
+
+    def test_zero_resources_zero_throughput(self):
+        assert ExpressionPerformance("200*n").throughput(0) == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(EvaluationError):
+            ExpressionPerformance("200*n").throughput(-1)
+
+    def test_extra_variables_rejected(self):
+        with pytest.raises(ModelError):
+            ExpressionPerformance("200*n*cpi")
+
+    def test_min_resources(self):
+        perf = ExpressionPerformance("200*n")
+        assert perf.min_resources(1000, range(1, 100)) == 5
+        assert perf.min_resources(1001, range(1, 100)) == 6
+
+    def test_min_resources_unreachable(self):
+        perf = ExpressionPerformance("200*n")
+        assert perf.min_resources(10_000, range(1, 10)) is None
+
+    def test_min_resources_sublinear_saturation(self):
+        # (10n)/(1+0.004n) saturates at 2500: loads above are unreachable.
+        perf = ExpressionPerformance("(10*n)/(1+0.004*n)")
+        assert perf.min_resources(2600, range(1, 1001)) is None
+
+
+class TestTabulatedPerformance:
+    def test_exact_sample(self):
+        perf = TabulatedPerformance([(1, 100.0), (2, 190.0), (4, 350.0)])
+        assert perf.throughput(2) == 190.0
+
+    def test_interpolation(self):
+        perf = TabulatedPerformance([(1, 100.0), (3, 300.0)])
+        assert perf.throughput(2) == 200.0
+
+    def test_zero_is_zero(self):
+        perf = TabulatedPerformance([(1, 100.0)])
+        assert perf.throughput(0) == 0.0
+
+    def test_extrapolation_refused(self):
+        perf = TabulatedPerformance([(2, 100.0), (4, 200.0)])
+        with pytest.raises(EvaluationError):
+            perf.throughput(5)
+        with pytest.raises(EvaluationError):
+            perf.throughput(1)
+
+    def test_duplicate_counts_rejected(self):
+        with pytest.raises(ModelError):
+            TabulatedPerformance([(1, 100.0), (1, 200.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            TabulatedPerformance([])
+
+    def test_unsorted_input_accepted(self):
+        perf = TabulatedPerformance([(4, 400.0), (1, 100.0), (2, 200.0)])
+        assert perf.throughput(2) == 200.0
+
+
+class TestConstantPerformance:
+    def test_capacity(self):
+        perf = ConstantPerformance(10000)
+        assert perf.throughput(1) == 10000
+        assert perf.throughput(7) == 10000
+
+    def test_zero_resources(self):
+        assert ConstantPerformance(10000).throughput(0) == 0.0
+
+    def test_min_resources(self):
+        perf = ConstantPerformance(10000)
+        assert perf.min_resources(500, [1]) == 1
+        assert perf.min_resources(20000, [1]) is None
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            ConstantPerformance(-1)
+
+
+class TestUnityOverhead:
+    def test_always_one(self):
+        assert UnityOverhead().factor({}, 10) == 1.0
+
+
+class TestCategoricalOverhead:
+    @pytest.fixture
+    def overhead(self):
+        return CategoricalOverhead(
+            "storage_location",
+            {"central": "n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)",
+             "peer": "max(20/cpi, 100%)"})
+
+    def settings(self, location, minutes):
+        return {"storage_location": location,
+                "checkpoint_interval": Duration.minutes(minutes)}
+
+    def test_central_small_n(self, overhead):
+        assert overhead.factor(self.settings("central", 5), 10) == 2.0
+
+    def test_central_saturates(self, overhead):
+        assert overhead.factor(self.settings("central", 60), 10) == 1.0
+
+    def test_central_large_n_scales(self, overhead):
+        assert overhead.factor(self.settings("central", 5), 60) == 4.0
+
+    def test_peer_independent_of_n(self, overhead):
+        assert overhead.factor(self.settings("peer", 5), 10) == \
+            overhead.factor(self.settings("peer", 5), 500) == 4.0
+
+    def test_unknown_category_rejected(self, overhead):
+        with pytest.raises(EvaluationError):
+            overhead.factor(self.settings("cloud", 5), 10)
+
+    def test_missing_parameters_rejected(self, overhead):
+        with pytest.raises(EvaluationError):
+            overhead.factor({}, 10)
+        with pytest.raises(EvaluationError):
+            overhead.factor({"storage_location": "peer"}, 10)
+
+    def test_factor_below_one_rejected(self):
+        broken = CategoricalOverhead("loc", {"a": "0.5"})
+        with pytest.raises(EvaluationError):
+            broken.factor({"loc": "a"}, 1)
+
+    def test_unexpected_variables_rejected(self):
+        with pytest.raises(ModelError):
+            CategoricalOverhead("loc", {"a": "zz*2"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            CategoricalOverhead("loc", {})

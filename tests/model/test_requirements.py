@@ -1,0 +1,45 @@
+"""Tests for requirement objects."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import JobRequirements, ServiceRequirements
+from repro.units import Duration
+
+
+class TestServiceRequirements:
+    def test_basic(self):
+        req = ServiceRequirements(throughput=1000,
+                                  max_annual_downtime=Duration.minutes(100))
+        assert req.max_downtime_minutes == 100.0
+        assert "1000" in req.describe()
+
+    def test_zero_downtime_allowed(self):
+        ServiceRequirements(throughput=1,
+                            max_annual_downtime=Duration.ZERO)
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(ModelError):
+            ServiceRequirements(throughput=0,
+                                max_annual_downtime=Duration.minutes(1))
+
+    def test_rejects_infinite_throughput(self):
+        with pytest.raises(ModelError):
+            ServiceRequirements(throughput=float("inf"),
+                                max_annual_downtime=Duration.minutes(1))
+
+    def test_rejects_negative_downtime(self):
+        with pytest.raises(ModelError):
+            ServiceRequirements(throughput=1,
+                                max_annual_downtime=Duration.minutes(-1))
+
+
+class TestJobRequirements:
+    def test_basic(self):
+        req = JobRequirements(Duration.hours(20))
+        assert req.max_execution_time.as_hours == 20
+        assert "20h" in req.describe()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            JobRequirements(Duration.ZERO)

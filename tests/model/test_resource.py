@@ -1,0 +1,135 @@
+"""Tests for resource types: dependencies, restart and activation times."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import ComponentSlot, OperationalMode, ResourceType
+from repro.units import Duration
+
+
+@pytest.fixture
+def stack():
+    """machine -> os -> app chain, like the paper's rC."""
+    return ResourceType(
+        "rC",
+        slots=(
+            ComponentSlot("machine", None, Duration.seconds(30)),
+            ComponentSlot("os", "machine", Duration.minutes(2)),
+            ComponentSlot("app", "os", Duration.minutes(2)),
+        ))
+
+
+@pytest.fixture
+def diamond():
+    """machine with two independent services on the OS."""
+    return ResourceType(
+        "d",
+        slots=(
+            ComponentSlot("machine", None, Duration.seconds(10)),
+            ComponentSlot("os", "machine", Duration.seconds(20)),
+            ComponentSlot("svc1", "os", Duration.seconds(5)),
+            ComponentSlot("svc2", "os", Duration.seconds(7)),
+        ))
+
+
+class TestConstruction:
+    def test_component_names(self, stack):
+        assert stack.component_names == ("machine", "os", "app")
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceType("r", slots=(
+                ComponentSlot("a", None), ComponentSlot("a", None)))
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceType("r", slots=(ComponentSlot("a", "ghost"),))
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentSlot("a", "a")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceType("r", slots=(
+                ComponentSlot("a", "b"), ComponentSlot("b", "a")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceType("r", slots=())
+
+    def test_negative_reconfig_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceType("r", slots=(ComponentSlot("a", None),),
+                         reconfig_time=Duration.seconds(-1))
+
+
+class TestDependencyAnalysis:
+    def test_dependents_chain(self, stack):
+        assert stack.dependents_of("machine") == {"os", "app"}
+        assert stack.dependents_of("os") == {"app"}
+        assert stack.dependents_of("app") == frozenset()
+
+    def test_affected_includes_self(self, stack):
+        assert stack.affected_by("os") == {"os", "app"}
+
+    def test_dependents_diamond(self, diamond):
+        assert diamond.dependents_of("os") == {"svc1", "svc2"}
+        assert diamond.dependents_of("svc1") == frozenset()
+
+    def test_unknown_component_raises(self, stack):
+        with pytest.raises(ModelError):
+            stack.dependents_of("ghost")
+
+    def test_startup_order_respects_dependencies(self, diamond):
+        order = diamond.startup_order
+        assert order.index("machine") < order.index("os")
+        assert order.index("os") < order.index("svc1")
+        assert order.index("os") < order.index("svc2")
+
+
+class TestRestartTimes:
+    def test_root_failure_restarts_everything(self, stack):
+        # 30s + 2m + 2m = 4.5m
+        assert stack.restart_time("machine") == Duration.minutes(4.5)
+
+    def test_mid_failure_restarts_dependents(self, stack):
+        assert stack.restart_time("os") == Duration.minutes(4)
+
+    def test_leaf_failure_restarts_itself(self, stack):
+        assert stack.restart_time("app") == Duration.minutes(2)
+
+    def test_full_startup(self, stack):
+        assert stack.full_startup_time() == Duration.minutes(4.5)
+
+
+class TestActivation:
+    def test_cold_spare_activation_is_full_startup(self, stack):
+        modes = stack.modes_for_prefix(())
+        assert stack.activation_time(modes) == stack.full_startup_time()
+
+    def test_hot_spare_activation_is_zero(self, stack):
+        modes = stack.modes_for_prefix(("machine", "os", "app"))
+        assert stack.activation_time(modes) == Duration.ZERO
+
+    def test_warm_spare_partial(self, stack):
+        modes = stack.modes_for_prefix(("machine",))
+        assert stack.activation_time(modes) == Duration.minutes(4)
+
+    def test_prefixes_enumerated(self, stack):
+        assert stack.activation_prefixes() == [
+            (), ("machine",), ("machine", "os"), ("machine", "os", "app")]
+
+    def test_prefix_modes(self, stack):
+        modes = stack.modes_for_prefix(("machine", "os"))
+        assert modes["machine"] is OperationalMode.ACTIVE
+        assert modes["os"] is OperationalMode.ACTIVE
+        assert modes["app"] is OperationalMode.INACTIVE
+
+    def test_prefix_violating_dependency_rejected(self, stack):
+        with pytest.raises(ModelError):
+            stack.modes_for_prefix(("os",))  # os active, machine off
+
+    def test_prefix_with_unknown_component_rejected(self, stack):
+        with pytest.raises(ModelError):
+            stack.modes_for_prefix(("ghost",))

@@ -1,0 +1,118 @@
+"""Tests for service models: tiers, options, sizing, failure scopes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (ExpressionPerformance, FailureScope, MechanismUse,
+                         ResourceOption, ServiceModel, Sizing, Tier,
+                         UnityOverhead)
+from repro.units import ArithmeticRange, EnumeratedRange
+
+
+def make_option(resource="rC", n_max=100):
+    return ResourceOption(resource, Sizing.DYNAMIC, FailureScope.RESOURCE,
+                          ArithmeticRange(1, n_max, 1),
+                          ExpressionPerformance("200*n"))
+
+
+class TestResourceOption:
+    def test_active_counts_sorted(self):
+        option = ResourceOption("r", Sizing.STATIC, FailureScope.TIER,
+                                EnumeratedRange([8, 2, 4]),
+                                ExpressionPerformance("10*n"))
+        assert option.active_counts() == [2, 4, 8]
+
+    def test_min_active_for(self):
+        assert make_option().min_active_for(1000) == 5
+        assert make_option().min_active_for(1) == 1
+
+    def test_min_active_for_unreachable(self):
+        assert make_option(n_max=3).min_active_for(1000) is None
+
+    def test_restricted_counts(self):
+        option = ResourceOption("r", Sizing.STATIC, FailureScope.TIER,
+                                EnumeratedRange([1, 2, 4, 8]),
+                                ExpressionPerformance("200*n"))
+        # 1000/200 = 5, but only powers of two are allowed.
+        assert option.min_active_for(1000) == 8
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ModelError):
+            ResourceOption("r", Sizing.STATIC, FailureScope.TIER,
+                           EnumeratedRange([0, 1]),
+                           ExpressionPerformance("n"))
+
+    def test_rejects_fractional_counts(self):
+        with pytest.raises(ModelError):
+            ResourceOption("r", Sizing.STATIC, FailureScope.TIER,
+                           EnumeratedRange([1.5]),
+                           ExpressionPerformance("n"))
+
+    def test_duplicate_mechanisms_rejected(self):
+        with pytest.raises(ModelError):
+            ResourceOption("r", Sizing.STATIC, FailureScope.TIER,
+                           EnumeratedRange([1]),
+                           ExpressionPerformance("n"),
+                           mechanisms=[MechanismUse("cp"),
+                                       MechanismUse("cp")])
+
+    def test_mechanism_lookup(self):
+        option = ResourceOption("r", Sizing.STATIC, FailureScope.TIER,
+                                EnumeratedRange([1]),
+                                ExpressionPerformance("n"),
+                                mechanisms=[MechanismUse("cp")])
+        assert option.uses_mechanism("cp")
+        assert isinstance(option.mechanism_use("cp").overhead,
+                          UnityOverhead)
+        with pytest.raises(ModelError):
+            option.mechanism_use("other")
+
+
+class TestTier:
+    def test_option_lookup(self):
+        tier = Tier("web", [make_option("rA"), make_option("rB")])
+        assert tier.option_for("rB").resource == "rB"
+        with pytest.raises(ModelError):
+            tier.option_for("rZ")
+
+    def test_duplicate_resources_rejected(self):
+        with pytest.raises(ModelError):
+            Tier("web", [make_option("rA"), make_option("rA")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Tier("web", [])
+
+
+class TestServiceModel:
+    def test_tier_lookup(self):
+        service = ServiceModel("svc", [Tier("web", [make_option()])])
+        assert service.tier("web").name == "web"
+        with pytest.raises(ModelError):
+            service.tier("db")
+
+    def test_finite_job_flag(self):
+        tiers = [Tier("compute", [make_option()])]
+        assert not ServiceModel("svc", tiers).is_finite_job
+        assert ServiceModel("job", tiers, job_size=1000).is_finite_job
+
+    def test_rejects_nonpositive_job_size(self):
+        with pytest.raises(ModelError):
+            ServiceModel("job", [Tier("t", [make_option()])], job_size=0)
+
+    def test_duplicate_tiers_rejected(self):
+        tier = Tier("web", [make_option()])
+        with pytest.raises(ModelError):
+            ServiceModel("svc", [tier, Tier("web", [make_option()])])
+
+    def test_no_tiers_rejected(self):
+        with pytest.raises(ModelError):
+            ServiceModel("svc", [])
+
+
+class TestEnums:
+    def test_str_forms(self):
+        assert str(Sizing.DYNAMIC) == "dynamic"
+        assert str(Sizing.STATIC) == "static"
+        assert str(FailureScope.RESOURCE) == "resource"
+        assert str(FailureScope.TIER) == "tier"

@@ -1,0 +1,65 @@
+"""Tests for infrastructure/service cross validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (ComponentType, ExpressionPerformance, FailureMode,
+                         FailureScope, InfrastructureModel, MechanismUse,
+                         ResourceOption, ServiceModel, Sizing, Tier,
+                         collect_problems, validate_pair)
+from repro.units import ArithmeticRange, Duration, EnumeratedRange
+
+
+def option_for(resource, **kwargs):
+    defaults = dict(sizing=Sizing.DYNAMIC,
+                    failure_scope=FailureScope.RESOURCE,
+                    n_active=ArithmeticRange(1, 10, 1),
+                    performance=ExpressionPerformance("100*n"))
+    defaults.update(kwargs)
+    return ResourceOption(resource, defaults["sizing"],
+                          defaults["failure_scope"], defaults["n_active"],
+                          defaults["performance"],
+                          defaults.get("mechanisms", ()))
+
+
+class TestValidatePair:
+    def test_clean_pair(self, tiny_infra, tiny_service):
+        validate_pair(tiny_infra, tiny_service)
+
+    def test_paper_pairs(self, paper_infra, ecommerce, scientific):
+        validate_pair(paper_infra, ecommerce)
+        validate_pair(paper_infra, scientific)
+
+    def test_unknown_resource_flagged(self, tiny_infra):
+        service = ServiceModel("svc", [Tier("t", [option_for("ghost")])])
+        problems = collect_problems(tiny_infra, service)
+        assert any("unknown resource" in problem for problem in problems)
+        with pytest.raises(ModelError):
+            validate_pair(tiny_infra, service)
+
+    def test_unknown_mechanism_use_flagged(self, tiny_infra):
+        service = ServiceModel("svc", [Tier("t", [option_for(
+            "node", mechanisms=(MechanismUse("ghost"),))])])
+        problems = collect_problems(tiny_infra, service)
+        assert any("unknown mechanism" in problem for problem in problems)
+
+    def test_max_instances_conflict_flagged(self):
+        from repro.model import ComponentSlot, ResourceType
+        box = ComponentType("box", max_instances=2, failure_modes=(
+            FailureMode("soft", Duration.days(10), Duration.ZERO),))
+        infra = InfrastructureModel(
+            components=[box],
+            resources=[ResourceType("node",
+                                    slots=(ComponentSlot("box", None),))])
+        service = ServiceModel("svc", [Tier("t", [option_for(
+            "node", n_active=EnumeratedRange([5]))])])
+        problems = collect_problems(infra, service)
+        assert any("at most 2 instances" in problem for problem in problems)
+
+    def test_multiple_problems_reported_together(self, tiny_infra):
+        service = ServiceModel("svc", [
+            Tier("a", [option_for("ghost1")]),
+            Tier("b", [option_for("ghost2")]),
+        ])
+        problems = collect_problems(tiny_infra, service)
+        assert len(problems) == 2

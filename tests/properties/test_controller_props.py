@@ -1,0 +1,97 @@
+"""Property-based tests for the redesign controller and workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Duration, SearchLimits, workload
+from repro.core import DesignEvaluator, RedesignController
+
+loads = st.lists(st.floats(min_value=100.0, max_value=4000.0,
+                           allow_nan=False), min_size=1, max_size=8)
+
+
+@pytest.fixture(scope="module")
+def evaluator(paper_infra, app_tier_service):
+    return DesignEvaluator(paper_infra, app_tier_service)
+
+
+class TestControllerInvariants:
+    @given(loads, st.floats(min_value=0.0, max_value=0.5,
+                            allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_every_step_meets_slo_or_infeasible(self, evaluator, trail,
+                                                hysteresis):
+        controller = RedesignController(
+            evaluator, "application", Duration.minutes(150),
+            SearchLimits(max_redundancy=3), hysteresis=hysteresis)
+        report = controller.run(trail)
+        assert len(report.steps) == len(trail)
+        for step in report.steps:
+            if step.design is not None:
+                assert step.design.downtime_minutes <= 150 + 1e-9
+
+    @given(loads)
+    @settings(max_examples=15, deadline=None)
+    def test_reconfigurations_bounded_by_steps(self, evaluator, trail):
+        controller = RedesignController(
+            evaluator, "application", Duration.minutes(150),
+            SearchLimits(max_redundancy=3))
+        report = controller.run(trail)
+        assert 0 <= report.reconfigurations <= len(trail)
+        assert report.reconfigurations + report.infeasible_steps >= 1
+
+    @given(loads)
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_never_beats_infeasible_peak(self, evaluator,
+                                                 trail):
+        controller = RedesignController(
+            evaluator, "application", Duration.minutes(150),
+            SearchLimits(max_redundancy=3))
+        report = controller.run(trail)
+        if report.infeasible_steps == 0:
+            # Every step's cost <= peak cost, so the average is too.
+            assert report.average_cost <= report.static_peak_cost + 1e-6
+            assert 0.0 <= report.saving_fraction < 1.0
+
+
+class TestWorkloadInvariants:
+    @given(st.floats(min_value=10.0, max_value=5000.0, allow_nan=False),
+           st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+           st.integers(min_value=1, max_value=96))
+    def test_diurnal_bounds(self, base, ratio, samples):
+        trail = workload.diurnal(base, peak_ratio=ratio,
+                                 samples_per_day=samples)
+        assert len(trail) == samples
+        for value in trail:
+            assert base * (1 - 1e-9) <= value <= base * ratio * (1 + 1e-9)
+
+    @given(st.floats(min_value=10.0, max_value=5000.0, allow_nan=False),
+           st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+           st.integers(min_value=2, max_value=60))
+    def test_flash_crowd_bounds(self, base, ratio, total):
+        trail = workload.flash_crowd(base, spike_ratio=ratio,
+                                     total_samples=total,
+                                     spike_at=total // 2)
+        assert max(trail) <= base * ratio * (1 + 1e-9)
+        assert min(trail) >= base * (1 - 1e-9)
+
+    @given(st.floats(min_value=10.0, max_value=1000.0, allow_nan=False),
+           st.floats(min_value=10.0, max_value=1000.0, allow_nan=False),
+           st.integers(min_value=2, max_value=50))
+    def test_ramp_monotone(self, start, end, samples):
+        trail = workload.ramp(start, end, total_samples=samples)
+        if end >= start:
+            assert trail == sorted(trail)
+        else:
+            assert trail == sorted(trail, reverse=True)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e4,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_noise_positive_and_seeded(self, trail, sigma, seed):
+        noisy_a = workload.noisy(trail, sigma=sigma, seed=seed)
+        noisy_b = workload.noisy(trail, sigma=sigma, seed=seed)
+        assert noisy_a == noisy_b
+        assert all(value > 0 for value in noisy_a)

@@ -1,0 +1,77 @@
+"""Property-based tests for the expression language."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import Expression, parse
+
+values = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+positives = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+names = st.sampled_from(["a", "b", "c", "n", "cpi", "x"])
+
+
+@st.composite
+def arithmetic_sources(draw, depth=0):
+    """Generate random well-formed arithmetic expressions over a, b."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return "%.6g" % draw(st.floats(min_value=-100, max_value=100,
+                                           allow_nan=False))
+        return draw(st.sampled_from(["a", "b"]))
+    left = draw(arithmetic_sources(depth=depth + 1))
+    right = draw(arithmetic_sources(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return "(%s %s %s)" % (left, op, right)
+
+
+class TestParserProperties:
+    @given(arithmetic_sources())
+    @settings(max_examples=200)
+    def test_generated_expressions_parse(self, source):
+        parse(source)
+
+    @given(arithmetic_sources(), values, values)
+    @settings(max_examples=200)
+    def test_evaluation_matches_python(self, source, a, b):
+        ours = Expression(source)(a=a, b=b)
+        theirs = eval(source, {"__builtins__": {}}, {"a": a, "b": b})
+        assert math.isclose(ours, float(theirs), rel_tol=1e-9,
+                            abs_tol=1e-9)
+
+    @given(values, values)
+    def test_max_min_consistent(self, a, b):
+        assert Expression("max(a,b)")(a=a, b=b) == max(a, b)
+        assert Expression("min(a,b)")(a=a, b=b) == min(a, b)
+
+    @given(values)
+    def test_double_negation_identity(self, a):
+        assert Expression("--a")(a=a) == a
+
+    @given(values, values)
+    def test_comparison_trichotomy(self, a, b):
+        lt = Expression("a < b")(a=a, b=b)
+        eq = Expression("a == b")(a=a, b=b)
+        gt = Expression("a > b")(a=a, b=b)
+        assert lt + eq + gt == 1.0
+
+    @given(values, values, values)
+    def test_ternary_equivalence(self, a, b, c):
+        via_ternary = Expression("a < b ? b : c")(a=a, b=b, c=c)
+        via_python = b if a < b else c
+        assert via_ternary == via_python
+
+    @given(positives, st.integers(min_value=1, max_value=1000))
+    def test_table1_overhead_always_at_least_one(self, cpi, n):
+        source = "n < 30 ? max(10/cpi, 100%) : max(n/(3*cpi), 100%)"
+        assert Expression(source)(n=n, cpi=cpi) >= 1.0
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_table1_performance_positive_increasing(self, n):
+        perf = Expression("(10*n)/(1+0.004*n)")
+        assert perf(n=n) > 0
+        assert perf(n=n + 1) > perf(n=n)

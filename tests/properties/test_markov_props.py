@@ -1,0 +1,100 @@
+"""Property-based tests for the availability engines' invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (AnalyticEngine, FailureModeEntry,
+                                MarkovEngine, TierAvailabilityModel)
+from repro.availability.markov import evaluate_mode
+from repro.units import Duration
+
+mtbf_days = st.floats(min_value=5.0, max_value=2000.0, allow_nan=False)
+mttr_hours = st.floats(min_value=0.05, max_value=100.0, allow_nan=False)
+failover_minutes = st.floats(min_value=0.1, max_value=60.0,
+                             allow_nan=False)
+
+
+@st.composite
+def tier_models(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=n))
+    s = draw(st.integers(min_value=0, max_value=3))
+    mode = FailureModeEntry(
+        "hard",
+        Duration.days(draw(mtbf_days)),
+        Duration.hours(draw(mttr_hours)),
+        Duration.minutes(draw(failover_minutes)),
+        spare_susceptible=draw(st.booleans()))
+    return TierAvailabilityModel("t", n=n, m=m, s=s, modes=(mode,))
+
+
+class TestMarkovInvariants:
+    @given(tier_models())
+    @settings(max_examples=60, deadline=None)
+    def test_unavailability_is_probability(self, model):
+        result = MarkovEngine().evaluate_tier(model)
+        assert 0.0 <= result.unavailability <= 1.0
+
+    @given(tier_models())
+    @settings(max_examples=40, deadline=None)
+    def test_spares_never_hurt(self, model):
+        """Adding a spare can only reduce (or keep) unavailability."""
+        more_spares = TierAvailabilityModel(
+            model.name, n=model.n, m=model.m, s=model.s + 1,
+            modes=model.modes)
+        base = MarkovEngine().evaluate_tier(model).unavailability
+        better = MarkovEngine().evaluate_tier(more_spares).unavailability
+        assert better <= base * (1 + 1e-9) + 1e-15
+
+    @given(tier_models())
+    @settings(max_examples=40, deadline=None)
+    def test_slack_never_hurts(self, model):
+        """Lowering m (more slack) can only improve availability."""
+        if model.m == 1:
+            return
+        slacker = TierAvailabilityModel(
+            model.name, n=model.n, m=model.m - 1, s=model.s,
+            modes=model.modes)
+        base = MarkovEngine().evaluate_tier(model).unavailability
+        better = MarkovEngine().evaluate_tier(slacker).unavailability
+        assert better <= base * (1 + 1e-9) + 1e-15
+
+    @given(tier_models(), st.floats(min_value=1.5, max_value=10.0,
+                                    allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_faster_repair_never_hurts(self, model, speedup):
+        mode = model.modes[0]
+        faster = FailureModeEntry(mode.name, mode.mtbf,
+                                  Duration(mode.mttr.as_seconds / speedup),
+                                  mode.failover_time,
+                                  mode.spare_susceptible)
+        faster_model = TierAvailabilityModel(
+            model.name, n=model.n, m=model.m, s=model.s, modes=(faster,))
+        base = MarkovEngine().evaluate_tier(model).unavailability
+        better = MarkovEngine().evaluate_tier(faster_model).unavailability
+        assert better <= base * (1 + 1e-6) + 1e-15
+
+    @given(tier_models())
+    @settings(max_examples=40, deadline=None)
+    def test_failures_per_year_bounded_by_total_rate(self, model):
+        result = evaluate_mode(model, model.modes[0])
+        max_rate = (model.n + model.s) * 365.25 * 24 \
+            / model.modes[0].mtbf.as_hours
+        assert 0.0 <= result.failures_per_year <= max_rate * 1.01
+
+    @given(tier_models(max_n=6))
+    @settings(max_examples=30, deadline=None)
+    def test_analytic_is_probability_and_no_worse_than_one(self, model):
+        result = AnalyticEngine().evaluate_tier(model)
+        assert 0.0 <= result.unavailability <= 1.0
+
+    @given(tier_models(max_n=5))
+    @settings(max_examples=25, deadline=None)
+    def test_analytic_matches_markov_without_spares(self, model):
+        """In-place chains: the binomial closed form is exact."""
+        no_spares = TierAvailabilityModel(
+            model.name, n=model.n, m=model.m, s=0, modes=model.modes)
+        markov = MarkovEngine().evaluate_tier(no_spares).unavailability
+        analytic = AnalyticEngine().evaluate_tier(no_spares).unavailability
+        assert analytic == pytest.approx(markov, rel=1e-6, abs=1e-12)

@@ -1,0 +1,99 @@
+"""Property-based equivalence of the expression optimizer and printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.expr import evaluate, parse
+from repro.expr.optimizer import fold_constants
+from repro.expr.printer import to_source
+
+
+@st.composite
+def sources(draw, depth=0):
+    """Random well-formed expression source strings."""
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return "%d" % draw(st.integers(0, 40))
+        if kind == 1:
+            return "%.3g" % draw(st.floats(min_value=0.001,
+                                           max_value=100.0,
+                                           allow_nan=False))
+        return draw(st.sampled_from(["a", "b", "n"]))
+    kind = draw(st.integers(0, 4))
+    left = draw(sources(depth=depth + 1))
+    right = draw(sources(depth=depth + 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["+", "-", "*", "/"]))
+        # Parenthesize children: a bare comparison child would chain
+        # (a < b + c < d), which this grammar rejects.
+        return "((%s) %s (%s))" % (left, op, right)
+    if kind == 1:
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        return "(%s) %s (%s)" % (left, op, right)
+    if kind == 2:
+        op = draw(st.sampled_from(["and", "or"]))
+        return "(%s) %s (%s)" % (left, op, right)
+    if kind == 3:
+        name = draw(st.sampled_from(["max", "min"]))
+        return "%s(%s, %s)" % (name, left, right)
+    condition = draw(sources(depth=depth + 1))
+    return "(%s ? %s : %s)" % (condition, left, right)
+
+
+ENVIRONMENTS = [
+    {"a": 0.0, "b": 1.0, "n": 2.0},
+    {"a": -3.5, "b": 0.0, "n": 10.0},
+    {"a": 7.0, "b": -1.0, "n": 0.0},
+]
+
+
+def evaluate_or_error(node, env):
+    try:
+        return ("value", evaluate(node, env))
+    except ExpressionError:
+        return ("error", None)
+
+
+class TestOptimizerEquivalence:
+    @given(sources())
+    @settings(max_examples=250, deadline=None)
+    def test_folding_preserves_semantics(self, source):
+        original = parse(source)
+        folded = fold_constants(original)
+        for env in ENVIRONMENTS:
+            kind_a, value_a = evaluate_or_error(original, env)
+            kind_b, value_b = evaluate_or_error(folded, env)
+            assert kind_a == kind_b, source
+            if kind_a == "value":
+                assert value_a == pytest.approx(value_b, rel=1e-12,
+                                                abs=1e-12), source
+
+    @given(sources())
+    @settings(max_examples=250, deadline=None)
+    def test_printer_preserves_semantics(self, source):
+        original = parse(source)
+        printed = parse(to_source(original))
+        for env in ENVIRONMENTS:
+            kind_a, value_a = evaluate_or_error(original, env)
+            kind_b, value_b = evaluate_or_error(printed, env)
+            assert kind_a == kind_b, source
+            if kind_a == "value":
+                assert value_a == pytest.approx(value_b, rel=1e-12,
+                                                abs=1e-12), source
+
+    @given(sources())
+    @settings(max_examples=150, deadline=None)
+    def test_fold_print_fold_stable(self, source):
+        """Folding is idempotent, including through a print round trip."""
+        folded = fold_constants(parse(source))
+        again = fold_constants(parse(to_source(folded)))
+        for env in ENVIRONMENTS:
+            kind_a, value_a = evaluate_or_error(folded, env)
+            kind_b, value_b = evaluate_or_error(again, env)
+            assert kind_a == kind_b
+            if kind_a == "value":
+                assert value_a == pytest.approx(value_b, rel=1e-12,
+                                                abs=1e-12)

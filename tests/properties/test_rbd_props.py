@@ -1,0 +1,87 @@
+"""Property-based tests for RBD composition and Eq. 1."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (failure_probability, k_of_n_availability,
+                                mean_time_per_loss_window,
+                                parallel_availability, series_availability,
+                                series_unavailability, useful_fraction)
+from repro.units import Duration
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+prob_lists = st.lists(probabilities, min_size=1, max_size=8)
+positive_hours = st.floats(min_value=1e-3, max_value=1e5,
+                           allow_nan=False)
+
+
+class TestRbdProperties:
+    @given(prob_lists)
+    def test_series_no_better_than_weakest(self, availabilities):
+        series = series_availability(availabilities)
+        assert series <= min(availabilities) + 1e-12
+
+    @given(prob_lists)
+    def test_parallel_no_worse_than_strongest(self, availabilities):
+        parallel = parallel_availability(availabilities)
+        assert parallel >= max(availabilities) - 1e-12
+
+    @given(prob_lists)
+    def test_series_forms_consistent(self, availabilities):
+        unavailability = series_unavailability(
+            1.0 - a for a in availabilities)
+        assert math.isclose(1.0 - unavailability,
+                            series_availability(availabilities),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(prob_lists)
+    def test_k_of_n_monotone_in_k(self, availabilities):
+        n = len(availabilities)
+        values = [k_of_n_availability(k, availabilities)
+                  for k in range(n + 1)]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12
+
+    @given(prob_lists, probabilities)
+    def test_k_of_n_bounds(self, availabilities, _):
+        n = len(availabilities)
+        for k in range(n + 1):
+            value = k_of_n_availability(k, availabilities)
+            assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestEquation1Properties:
+    @given(positive_hours, positive_hours)
+    def test_failure_probability_in_unit_interval(self, lw, mtbf):
+        p = failure_probability(Duration.hours(lw), Duration.hours(mtbf))
+        assert 0.0 <= p <= 1.0
+
+    @given(positive_hours, positive_hours)
+    def test_t_lw_at_least_lw(self, lw, mtbf):
+        t = mean_time_per_loss_window(Duration.hours(lw),
+                                      Duration.hours(mtbf))
+        assert not t.is_finite() or t.as_hours >= lw * (1 - 1e-12)
+
+    @given(positive_hours, positive_hours)
+    def test_useful_fraction_in_unit_interval(self, lw, mtbf):
+        fraction = useful_fraction(Duration.hours(lw),
+                                   Duration.hours(mtbf))
+        assert 0.0 <= fraction <= 1.0
+
+    @given(positive_hours, positive_hours, positive_hours)
+    @settings(max_examples=60)
+    def test_useful_fraction_monotone_in_mtbf(self, lw, mtbf, extra):
+        worse = useful_fraction(Duration.hours(lw), Duration.hours(mtbf))
+        better = useful_fraction(Duration.hours(lw),
+                                 Duration.hours(mtbf + extra))
+        assert better >= worse - 1e-12
+
+    @given(positive_hours, positive_hours, positive_hours)
+    @settings(max_examples=60)
+    def test_useful_fraction_antitone_in_window(self, lw, mtbf, extra):
+        better = useful_fraction(Duration.hours(lw), Duration.hours(mtbf))
+        worse = useful_fraction(Duration.hours(lw + extra),
+                                Duration.hours(mtbf))
+        assert worse <= better + 1e-12

@@ -1,0 +1,198 @@
+"""Property-based tests for the design-space search on random models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (DesignEvaluator, EvaluatedTierDesign,
+                        SearchLimits, TierDesign, TierSearch,
+                        combine_tier_frontiers, pareto_filter,
+                        refine_tier_frontiers_greedy)
+from repro.model import (ComponentSlot, ComponentType,
+                         ExpressionPerformance, FailureMode, FailureScope,
+                         InfrastructureModel, ResourceOption, ResourceType,
+                         ServiceModel, Sizing, Tier)
+from repro.units import ArithmeticRange, Duration
+
+
+@st.composite
+def small_scenarios(draw):
+    """A one-component resource with random failure/cost parameters."""
+    mtbf_days = draw(st.floats(min_value=20.0, max_value=2000.0,
+                               allow_nan=False))
+    mttr_hours = draw(st.floats(min_value=0.5, max_value=72.0,
+                                allow_nan=False))
+    cost_active = draw(st.floats(min_value=100.0, max_value=5000.0,
+                                 allow_nan=False))
+    cost_inactive = cost_active * draw(st.floats(min_value=0.3,
+                                                 max_value=1.0,
+                                                 allow_nan=False))
+    per_node = draw(st.floats(min_value=50.0, max_value=500.0,
+                              allow_nan=False))
+    box = ComponentType(
+        "box",
+        cost=__import__("repro.model", fromlist=["CostSchedule"])
+        .CostSchedule(inactive=cost_inactive, active=cost_active),
+        failure_modes=(FailureMode("hard", Duration.days(mtbf_days),
+                                   Duration.hours(mttr_hours),
+                                   detect_time=Duration.minutes(1)),))
+    infra = InfrastructureModel(
+        components=[box],
+        resources=[ResourceType(
+            "node", slots=(ComponentSlot("box", None,
+                                         Duration.minutes(2)),))])
+    option = ResourceOption("node", Sizing.DYNAMIC,
+                            FailureScope.RESOURCE,
+                            ArithmeticRange(1, 60, 1),
+                            ExpressionPerformance("%g*n" % per_node))
+    service = ServiceModel("svc", [Tier("t", [option])])
+    load = draw(st.floats(min_value=per_node * 0.5,
+                          max_value=per_node * 20.0, allow_nan=False))
+    return DesignEvaluator(infra, service), load
+
+
+class TestSearchInvariants:
+    @given(small_scenarios(),
+           st.floats(min_value=0.5, max_value=20000.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_returned_design_is_feasible(self, scenario, minutes):
+        evaluator, load = scenario
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=4,
+                                                    spare_policy="all"))
+        best = search.best_tier_design("t", load,
+                                       Duration.minutes(minutes))
+        if best is not None:
+            assert best.downtime_minutes <= minutes + 1e-9
+            option = evaluator.service.tier("t").option_for("node")
+            assert best.design.n_active >= option.min_active_for(load)
+
+    @given(small_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_cost_monotone_in_requirement(self, scenario):
+        evaluator, load = scenario
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=4))
+        costs = []
+        for minutes in (20000.0, 2000.0, 200.0, 20.0):
+            best = search.best_tier_design("t", load,
+                                           Duration.minutes(minutes))
+            if best is None:
+                break
+            costs.append(best.annual_cost)
+        assert costs == sorted(costs)
+
+    @given(small_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_frontier_is_pareto_and_feasible_queries_match(self,
+                                                           scenario):
+        evaluator, load = scenario
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=3))
+        frontier = search.tier_frontier("t", load)
+        ordered = sorted(frontier, key=lambda c: c.annual_cost)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.unavailability < a.unavailability
+        # The frontier's cheapest feasible entry at a cut equals the
+        # direct search's answer.  The cut must survive the minutes ->
+        # Duration -> minutes float round trip, so canonicalize it
+        # through Duration first (and nudge it off the exact boundary).
+        if frontier:
+            raw = ordered[len(ordered) // 2].downtime_minutes
+            cut = Duration.minutes(raw * (1.0 + 1e-9))
+            target = cut.as_minutes
+            direct = search.best_tier_design("t", load, cut)
+            via_frontier = min(
+                (c for c in frontier if c.downtime_minutes <= target),
+                key=lambda c: c.annual_cost, default=None)
+            if direct is not None and via_frontier is not None:
+                assert direct.annual_cost <= via_frontier.annual_cost \
+                    + 1e-6
+
+
+class TestCombinerProperties:
+    @st.composite
+    @staticmethod
+    def frontiers(draw):
+        def frontier(tier):
+            count = draw(st.integers(min_value=1, max_value=4))
+            costs = sorted(draw(st.lists(
+                st.floats(min_value=10, max_value=10_000,
+                          allow_nan=False),
+                min_size=count, max_size=count)))
+            unavailabilities = sorted(draw(st.lists(
+                st.floats(min_value=1e-9, max_value=1e-2,
+                          allow_nan=False),
+                min_size=count, max_size=count)), reverse=True)
+            return [EvaluatedTierDesign(TierDesign(tier, "rC", 1, 0),
+                                        cost, unavailability)
+                    for cost, unavailability
+                    in zip(costs, unavailabilities)]
+        tier_count = draw(st.integers(min_value=1, max_value=3))
+        return [frontier("t%d" % i) for i in range(tier_count)]
+
+    @given(frontiers(),
+           st.floats(min_value=0.1, max_value=50_000, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_never_cheaper_than_exact(self, frontiers, minutes):
+        target = Duration.minutes(minutes)
+        exact = combine_tier_frontiers(frontiers, target)
+        greedy = refine_tier_frontiers_greedy(frontiers, target)
+
+        def cost_of(design):
+            total = 0.0
+            for tier_design in design.tiers:
+                index = int(tier_design.tier[1:])
+                match = [c for c in frontiers[index]
+                         if c.design is tier_design]
+                total += match[0].annual_cost
+            return total
+
+        if greedy is not None:
+            assert exact is not None
+            assert cost_of(greedy) >= cost_of(exact) - 1e-9
+
+    @given(frontiers(),
+           st.floats(min_value=0.1, max_value=50_000, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_result_is_feasible(self, frontiers, minutes):
+        target = Duration.minutes(minutes)
+        design = combine_tier_frontiers(frontiers, target)
+        if design is None:
+            return
+        up = 1.0
+        for tier_design in design.tiers:
+            index = int(tier_design.tier[1:])
+            match = [c for c in frontiers[index]
+                     if c.design is tier_design]
+            up *= 1.0 - match[0].unavailability
+        assert (1.0 - up) * 525600.0 <= minutes * (1 + 1e-9) + 1e-9
+
+
+class TestParetoFilterProperties:
+    evaluated = st.builds(
+        lambda cost, unavailability: EvaluatedTierDesign(
+            TierDesign("t", "rC", 1, 0), cost, unavailability),
+        st.floats(min_value=1, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+
+    @given(st.lists(evaluated, max_size=40))
+    def test_filter_output_is_antichain(self, candidates):
+        frontier = pareto_filter(candidates)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    @given(st.lists(evaluated, max_size=40))
+    def test_every_candidate_dominated_or_kept(self, candidates):
+        """Every input is kept or covered by a kept point that is no
+        costlier and no less available -- up to the filter's 1e-15
+        unavailability tie tolerance (differences that small are
+        sub-nanosecond-per-year noise)."""
+        frontier = pareto_filter(candidates)
+        for candidate in candidates:
+            covered = any(
+                kept is candidate
+                or (kept.annual_cost <= candidate.annual_cost
+                    and kept.unavailability
+                    <= candidate.unavailability + 1e-15)
+                for kept in frontier)
+            assert covered

@@ -1,0 +1,165 @@
+"""Property-based tests for spec round-tripping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (AvailabilityMechanism, ComponentSlot, ComponentType,
+                         CostSchedule, FailureMode, InfrastructureModel,
+                         MechanismParameter, MechanismRef, ResourceType,
+                         TableEffect)
+from repro.spec import parse_infrastructure, write_infrastructure
+from repro.units import Duration, EnumeratedRange
+
+component_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon"])
+costs = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+days = st.floats(min_value=0.5, max_value=5000.0, allow_nan=False)
+hours = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+@st.composite
+def infrastructures(draw):
+    """Random small but valid infrastructure models."""
+    names = draw(st.lists(component_names, min_size=1, max_size=4,
+                          unique=True))
+    levels = EnumeratedRange(["lo", "hi"])
+    parameter = MechanismParameter("level", levels)
+    mechanism = AvailabilityMechanism(
+        "contract",
+        parameters=(parameter,),
+        effects={
+            "cost": TableEffect.from_values(
+                parameter, [draw(costs), draw(costs)]),
+            "mttr": TableEffect.from_values(
+                parameter, [Duration.hours(draw(hours) + 0.1),
+                            Duration.hours(draw(hours) + 0.1)]),
+        })
+    components = []
+    for name in names:
+        use_mechanism = draw(st.booleans())
+        mttr = (MechanismRef("contract") if use_mechanism
+                else Duration.hours(draw(hours)))
+        components.append(ComponentType(
+            name,
+            cost=CostSchedule(inactive=draw(costs), active=draw(costs)),
+            failure_modes=(FailureMode(
+                "hard", Duration.days(draw(days)), mttr,
+                detect_time=Duration.seconds(
+                    draw(st.integers(min_value=0, max_value=600)))),)))
+    slots = []
+    for index, name in enumerate(names):
+        parent = names[index - 1] if index else None
+        slots.append(ComponentSlot(
+            name, parent,
+            Duration.seconds(draw(st.integers(min_value=0,
+                                              max_value=600)))))
+    resource = ResourceType("stack", slots=tuple(slots))
+    return InfrastructureModel(components=components,
+                               mechanisms=[mechanism],
+                               resources=[resource])
+
+
+class TestSpecRoundTrip:
+    @given(infrastructures())
+    @settings(max_examples=40, deadline=None)
+    def test_write_parse_write_fixed_point(self, infra):
+        text = write_infrastructure(infra)
+        again = write_infrastructure(parse_infrastructure(text))
+        assert text == again
+
+    @given(infrastructures())
+    @settings(max_examples=40, deadline=None)
+    def test_reparse_preserves_structure(self, infra):
+        reparsed = parse_infrastructure(write_infrastructure(infra))
+        assert {c.name for c in reparsed.components} == \
+            {c.name for c in infra.components}
+        original = infra.resource("stack")
+        twin = reparsed.resource("stack")
+        assert twin.component_names == original.component_names
+        for slot in original.slots:
+            assert twin.slot(slot.component).depends_on == slot.depends_on
+
+    @given(infrastructures())
+    @settings(max_examples=20, deadline=None)
+    def test_reparse_preserves_restart_times(self, infra):
+        reparsed = parse_infrastructure(write_infrastructure(infra))
+        original = infra.resource("stack")
+        twin = reparsed.resource("stack")
+        for name in original.component_names:
+            a = original.restart_time(name).as_seconds
+            b = twin.restart_time(name).as_seconds
+            assert abs(a - b) < 0.5  # formatting rounds to 4 sig figs
+
+
+service_names = st.sampled_from(["svc", "shop", "batch", "portal"])
+tier_names = st.sampled_from(["web", "app", "db", "cache", "farm"])
+
+
+@st.composite
+def service_models(draw):
+    """Random service models using inlineable performance forms."""
+    from repro.model import (ConstantPerformance, ExpressionPerformance,
+                             FailureScope, MechanismUse, ResourceOption,
+                             ServiceModel, Sizing, Tier)
+    from repro.units import ArithmeticRange
+    tiers = []
+    for name in draw(st.lists(tier_names, min_size=1, max_size=3,
+                              unique=True)):
+        options = []
+        for index in range(draw(st.integers(min_value=1, max_value=2))):
+            if draw(st.booleans()):
+                performance = ExpressionPerformance(
+                    "%d*n" % draw(st.integers(1, 500)))
+            else:
+                performance = ConstantPerformance(
+                    draw(st.integers(1, 10_000)))
+            mechanisms = ()
+            if draw(st.booleans()):
+                mechanisms = (MechanismUse("checkpoint"),)
+            options.append(ResourceOption(
+                "r%d_%s" % (index, name),
+                draw(st.sampled_from(list(Sizing))),
+                draw(st.sampled_from(list(FailureScope))),
+                ArithmeticRange(1, draw(st.integers(2, 500)), 1),
+                performance, mechanisms))
+        tiers.append(Tier(name, options))
+    job_size = draw(st.one_of(st.none(),
+                              st.integers(min_value=1,
+                                          max_value=100_000)))
+    return ServiceModel(draw(service_names), tiers,
+                        job_size=float(job_size) if job_size else None)
+
+
+class TestServiceSpecRoundTrip:
+    @given(service_models())
+    @settings(max_examples=40, deadline=None)
+    def test_write_parse_write_fixed_point(self, service):
+        from repro.model import UnityOverhead
+        from repro.spec import (DictResolver, parse_service,
+                                write_service)
+        resolver = DictResolver()  # no refs needed: all inlineable
+        text = write_service(service)
+        again = write_service(parse_service(text, resolver))
+        assert text == again
+
+    @given(service_models())
+    @settings(max_examples=40, deadline=None)
+    def test_reparse_preserves_semantics(self, service):
+        from repro.spec import DictResolver, parse_service, write_service
+        twin = parse_service(write_service(service), DictResolver())
+        assert twin.name == service.name
+        assert twin.job_size == service.job_size
+        assert [t.name for t in twin.tiers] == \
+            [t.name for t in service.tiers]
+        for tier in service.tiers:
+            twin_tier = twin.tier(tier.name)
+            for option in tier.options:
+                twin_option = twin_tier.option_for(option.resource)
+                assert twin_option.sizing is option.sizing
+                assert twin_option.failure_scope is option.failure_scope
+                assert twin_option.active_counts() == \
+                    option.active_counts()
+                for n in (1, 2):
+                    assert twin_option.performance.throughput(n) == \
+                        pytest.approx(option.performance.throughput(n))

@@ -1,0 +1,118 @@
+"""Property-based tests for durations and ranges."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import (ArithmeticRange, Duration, GeometricRange,
+                         parse_range)
+
+finite_seconds = st.floats(min_value=0.0, max_value=1e12,
+                           allow_nan=False, allow_infinity=False)
+positive_seconds = st.floats(min_value=1e-3, max_value=1e12,
+                             allow_nan=False, allow_infinity=False)
+
+
+class TestDurationProperties:
+    @given(finite_seconds)
+    def test_format_parse_roundtrip(self, seconds):
+        duration = Duration(seconds)
+        parsed = Duration.parse(duration.format())
+        assert math.isclose(parsed.as_seconds, seconds,
+                            rel_tol=1e-3, abs_tol=1e-9)
+
+    @given(finite_seconds, finite_seconds)
+    def test_addition_commutes(self, a, b):
+        assert Duration(a) + Duration(b) == Duration(b) + Duration(a)
+
+    @given(st.floats(min_value=1e-6, max_value=1e12, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_scaling_consistent_with_ratio(self, seconds, factor):
+        duration = Duration(seconds)
+        scaled = duration * factor
+        assert math.isclose(scaled / duration, factor,
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(finite_seconds, finite_seconds)
+    def test_ordering_matches_seconds(self, a, b):
+        assert (Duration(a) < Duration(b)) == (a < b)
+
+    @given(finite_seconds)
+    def test_unit_accessors_consistent(self, seconds):
+        duration = Duration(seconds)
+        assert math.isclose(duration.as_minutes * 60, seconds,
+                            rel_tol=1e-12, abs_tol=1e-9)
+        assert math.isclose(duration.as_hours * 3600, seconds,
+                            rel_tol=1e-12, abs_tol=1e-9)
+        assert math.isclose(duration.as_days * 86400, seconds,
+                            rel_tol=1e-12, abs_tol=1e-9)
+
+
+class TestRangeProperties:
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=7))
+    def test_arithmetic_range_values_within_bounds(self, start, extent,
+                                                   step):
+        stop = start + extent
+        values = ArithmeticRange(start, stop, step).values()
+        assert values[0] == start
+        assert all(start <= v <= stop for v in values)
+        assert all(b - a == step for a, b in zip(values, values[1:]))
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=7))
+    def test_arithmetic_len_matches_values(self, start, extent, step):
+        r = ArithmeticRange(start, start + extent, step)
+        assert len(r) == len(r.values())
+
+    @given(positive_seconds,
+           st.floats(min_value=1.01, max_value=10.0, allow_nan=False),
+           st.floats(min_value=1.1, max_value=1000.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_geometric_range_covers_endpoints(self, start_s, factor,
+                                              span):
+        start = Duration(start_s)
+        stop = Duration(start_s * span)
+        values = GeometricRange(start, stop, factor).values()
+        assert values[0] == start
+        assert math.isclose(values[-1].as_seconds, stop.as_seconds,
+                            rel_tol=1e-9)
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=999),
+                    min_size=1, max_size=10, unique=True))
+    def test_enumerated_roundtrip_through_parse(self, numbers):
+        text = "[" + ",".join(str(n) for n in numbers) + "]"
+        values = parse_range(text).values()
+        assert values == numbers
+
+
+class TestWorkAmountProperties:
+    from repro.units import WorkAmount as _WA
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_parse_format_roundtrip(self, units):
+        from repro.units import WorkAmount
+        amount = WorkAmount(units)
+        parsed = WorkAmount.parse(amount.format())
+        assert math.isclose(parsed.units, units, rel_tol=1e-6,
+                            abs_tol=1e-9)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+           st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+    def test_time_conversion_inverts(self, units, rate):
+        from repro.units import WorkAmount
+        amount = WorkAmount(units)
+        duration = amount.time_at(rate)
+        assert math.isclose(duration.as_hours * rate, units,
+                            rel_tol=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_ordering_matches_units(self, a, b):
+        from repro.units import WorkAmount
+        assert (WorkAmount(a) < WorkAmount(b)) == (a < b)
+        assert (WorkAmount(a) == WorkAmount(b)) == (a == b)

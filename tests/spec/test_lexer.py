@@ -1,0 +1,115 @@
+"""Tests for the specification DSL line lexer."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import lex
+from repro.spec.lexer import maybe_mechanism_ref
+
+
+def single_line(text):
+    lines = lex(text)
+    assert len(lines) == 1
+    return lines[0]
+
+
+class TestBasics:
+    def test_simple_pair(self):
+        line = single_line("component=machineA")
+        assert line.head.key == "component"
+        assert line.head.scalar() == "machineA"
+
+    def test_multiple_pairs_on_line(self):
+        line = single_line("failure=hard mtbf=650d mttr=0 detect_time=2m")
+        assert [pair.key for pair in line.pairs] == \
+            ["failure", "mtbf", "mttr", "detect_time"]
+
+    def test_comments_stripped(self):
+        assert lex("\\\\ a comment\ncomponent=x \\\\ trailing")[0] \
+            .head.scalar() == "x"
+
+    def test_hash_comments(self):
+        assert lex("# comment\ncomponent=x # trailing")[0] \
+            .head.scalar() == "x"
+
+    def test_blank_lines_skipped(self):
+        lines = lex("\n\ncomponent=x\n\n\ncomponent=y\n")
+        assert len(lines) == 2
+
+    def test_line_numbers_recorded(self):
+        lines = lex("\ncomponent=x\n\ncomponent=y")
+        assert lines[0].number == 2
+        assert lines[1].number == 4
+
+
+class TestValues:
+    def test_mechanism_ref_value(self):
+        line = single_line("mttr=<maintenanceA>")
+        assert line.head.scalar() == "<maintenanceA>"
+        assert maybe_mechanism_ref(line.head.scalar()) == "maintenanceA"
+
+    def test_maybe_mechanism_ref_negative(self):
+        assert maybe_mechanism_ref("38h") is None
+
+    def test_bracketed_space_list(self):
+        line = single_line("cost(level)=[380 580 760 1500]")
+        assert line.head.list_value() == ["380", "580", "760", "1500"]
+        assert line.head.args == ("level",)
+
+    def test_bracketed_comma_list(self):
+        line = single_line("range=[bronze,silver,gold]")
+        assert line.head.list_value() == ["bronze", "silver", "gold"]
+
+    def test_geometric_range_kept_raw(self):
+        line = single_line("range=[1m-24h;*1.05]")
+        assert line.head.scalar() == "[1m-24h;*1.05]"
+
+    def test_arithmetic_range_kept_raw(self):
+        line = single_line("nActive=[1-1000,+1]")
+        assert line.head.scalar() == "[1-1000,+1]"
+
+    def test_bracketed_args(self):
+        line = single_line("cost([inactive,active])=[2400 2640]")
+        assert line.head.args == ("inactive", "active")
+        assert line.head.list_value() == ["2400", "2640"]
+
+    def test_function_style_args(self):
+        line = single_line(
+            "mperformance(storage_location,checkpoint_interval,nActive)"
+            "=mperfH.dat")
+        assert line.head.args == ("storage_location", "checkpoint_interval",
+                                  "nActive")
+        assert line.head.scalar() == "mperfH.dat"
+
+    def test_scalar_on_list_accessor_raises(self):
+        line = single_line("cost(level)=[1 2]")
+        with pytest.raises(SpecError):
+            line.head.scalar()
+
+    def test_list_on_scalar_accessor_raises(self):
+        line = single_line("cost=5")
+        with pytest.raises(SpecError):
+            line.head.list_value()
+
+
+class TestErrors:
+    def test_missing_equals(self):
+        with pytest.raises(SpecError):
+            lex("component machineA")
+
+    def test_missing_value(self):
+        with pytest.raises(SpecError):
+            lex("component=")
+
+    def test_unbalanced_bracket(self):
+        with pytest.raises(SpecError):
+            lex("cost=[1 2")
+
+    def test_unterminated_ref(self):
+        with pytest.raises(SpecError):
+            lex("mttr=<maintenanceA")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SpecError) as info:
+            lex("component=x\ncost=[1")
+        assert info.value.line == 2

@@ -1,0 +1,119 @@
+"""Tests for the embedded paper models (Fig. 3-5, Table 1).
+
+These pin the exact numbers the benchmarks depend on, so a model edit
+that would silently change the reproduced figures fails here first.
+"""
+
+import pytest
+
+from repro.model import FailureScope, Sizing
+from repro.spec.paper import (TABLE1_OVERHEAD, TABLE1_PERFORMANCE,
+                              table1_resolver)
+from repro.units import Duration
+
+
+class TestEcommerceService:
+    def test_tiers_and_options(self, ecommerce):
+        assert ecommerce.name == "ecommerce"
+        web = ecommerce.tier("web")
+        assert [o.resource for o in web.options] == ["rA", "rB"]
+        app = ecommerce.tier("application")
+        assert [o.resource for o in app.options] == ["rC", "rD", "rE",
+                                                     "rF"]
+        db = ecommerce.tier("database")
+        assert [o.resource for o in db.options] == ["rG"]
+
+    def test_app_tier_parallelism_model(self, ecommerce):
+        option = ecommerce.tier("application").option_for("rC")
+        assert option.sizing is Sizing.DYNAMIC
+        assert option.failure_scope is FailureScope.RESOURCE
+        assert option.active_counts()[0] == 1
+        assert option.active_counts()[-1] == 1000
+
+    def test_database_tier_static_single(self, ecommerce):
+        option = ecommerce.tier("database").option_for("rG")
+        assert option.sizing is Sizing.STATIC
+        assert option.active_counts() == [1]
+        assert option.performance.throughput(1) == 10000
+
+    def test_table1_app_tier_performance(self, ecommerce):
+        app = ecommerce.tier("application")
+        assert app.option_for("rC").performance.throughput(5) == 1000
+        assert app.option_for("rD").performance.throughput(5) == 1000
+        assert app.option_for("rE").performance.throughput(1) == 1600
+        assert app.option_for("rF").performance.throughput(1) == 1600
+
+
+class TestScientificService:
+    def test_job_size(self, scientific):
+        assert scientific.job_size == 10000
+        assert scientific.is_finite_job
+
+    def test_computation_tier(self, scientific):
+        tier = scientific.tier("computation")
+        assert [o.resource for o in tier.options] == ["rH", "rI"]
+        for option in tier.options:
+            assert option.sizing is Sizing.STATIC
+            assert option.failure_scope is FailureScope.TIER
+            assert option.uses_mechanism("checkpoint")
+
+    def test_table1_computation_performance(self, scientific):
+        tier = scientific.tier("computation")
+        rh = tier.option_for("rH").performance
+        ri = tier.option_for("rI").performance
+        assert rh.throughput(100) == pytest.approx(714.2857, rel=1e-4)
+        assert ri.throughput(100) == pytest.approx(7142.857, rel=1e-4)
+        # machineB is 10x machineA per node here.
+        assert ri.throughput(50) == pytest.approx(10 * rh.throughput(50))
+
+    def test_table1_overhead_functions(self, scientific):
+        tier = scientific.tier("computation")
+        rh = tier.option_for("rH").mechanism_use("checkpoint").overhead
+        ri = tier.option_for("rI").mechanism_use("checkpoint").overhead
+
+        def settings(loc, minutes):
+            return {"storage_location": loc,
+                    "checkpoint_interval": Duration.minutes(minutes)}
+
+        # Table 1 rows, spot checks.
+        assert rh.factor(settings("central", 5), 10) == 2.0
+        assert rh.factor(settings("central", 5), 60) == 4.0
+        assert rh.factor(settings("peer", 5), 60) == 4.0
+        assert ri.factor(settings("central", 5), 10) == 1.0
+        assert ri.factor(settings("central", 5), 60) == 2.0
+        assert ri.factor(settings("peer", 50), 60) == 2.0
+
+    def test_overhead_continuous_at_n30(self, scientific):
+        tier = scientific.tier("computation")
+        rh = tier.option_for("rH").mechanism_use("checkpoint").overhead
+
+        def factor(n):
+            return rh.factor({"storage_location": "central",
+                              "checkpoint_interval": Duration.minutes(2)},
+                             n)
+
+        assert factor(29) == pytest.approx(5.0)       # 10/2
+        assert factor(30) == pytest.approx(5.0)       # 30/(3*2)
+
+    def test_checkpoint_grid_matches_fig3(self, paper_infra):
+        grid = paper_infra.mechanism("checkpoint") \
+            .parameter("checkpoint_interval").values
+        values = grid.values()
+        assert values[0] == Duration.minutes(1)
+        assert values[-1] == Duration.hours(24)
+
+
+class TestTable1Data:
+    def test_all_references_resolvable(self):
+        resolver = table1_resolver()
+        for ref in TABLE1_PERFORMANCE:
+            assert resolver.performance(ref) is not None
+        for ref in TABLE1_OVERHEAD:
+            assert resolver.overhead(ref) is not None
+
+    def test_fixed_dependency_typos(self, paper_infra):
+        """Fig. 3's rB/rF/rG print machineA/linux parents for machineB
+        resources; the embedded spec uses the corrected parents."""
+        for name in ("rB", "rF", "rG"):
+            resource = paper_infra.resource(name)
+            assert resource.slot("unix").depends_on == "machineB"

@@ -1,0 +1,262 @@
+"""Tests for the infrastructure/service specification parser."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.model import (ConstantPerformance, ExpressionPerformance,
+                         FailureScope, MechanismRef, Sizing)
+from repro.spec import DictResolver, parse_infrastructure, parse_service
+from repro.units import Duration
+
+MINIMAL_INFRA = """
+component=box cost([inactive,active])=[10 20]
+ failure=hard mtbf=100d mttr=<contract> detect_time=1m
+ failure=soft mtbf=10d mttr=0 detect_time=0
+component=os cost=0
+ failure=crash mtbf=30d mttr=0 detect_time=0
+
+mechanism=contract
+ param=level range=[basic,fast]
+ cost(level)=[100 400]
+ mttr(level)=[24h 4h]
+
+resource=node reconfig_time=30s
+ component=box depend=null startup=1m
+ component=os depend=box startup=2m
+"""
+
+
+class TestInfrastructureParsing:
+    def test_components(self):
+        infra = parse_infrastructure(MINIMAL_INFRA)
+        box = infra.component("box")
+        assert box.cost.inactive == 10
+        assert box.cost.active == 20
+        assert box.failure_mode("hard").mttr == MechanismRef("contract")
+        assert box.failure_mode("hard").detect_time == Duration.minutes(1)
+        assert box.failure_mode("soft").mttr == Duration.ZERO
+
+    def test_mechanism(self):
+        infra = parse_infrastructure(MINIMAL_INFRA)
+        contract = infra.mechanism("contract")
+        assert contract.parameter("level").values.values() == \
+            ["basic", "fast"]
+        from repro.model import MechanismConfig
+        fast = MechanismConfig(contract, {"level": "fast"})
+        assert fast.cost() == 400
+        assert fast.duration_attribute("mttr") == Duration.hours(4)
+
+    def test_resource(self):
+        infra = parse_infrastructure(MINIMAL_INFRA)
+        node = infra.resource("node")
+        assert node.reconfig_time == Duration.seconds(30)
+        assert node.component_names == ("box", "os")
+        assert node.slot("os").depends_on == "box"
+        assert node.slot("box").depends_on is None
+
+    def test_loss_window_component(self):
+        text = MINIMAL_INFRA + """
+component=app cost=0 loss_window=<cp>
+ failure=soft mtbf=60d mttr=0 detect_time=0
+mechanism=cp
+ param=interval range=[1m-1h;*2]
+ cost=0
+ loss_window=interval
+"""
+        infra = parse_infrastructure(text)
+        assert infra.component("app").loss_window_mechanism == "cp"
+        cp = infra.mechanism("cp")
+        from repro.model import MechanismConfig
+        interval = cp.parameter("interval").values.values()[2]
+        config = MechanismConfig(cp, {"interval": interval})
+        assert config.duration_attribute("loss_window") == interval
+
+    def test_max_instances(self):
+        text = """
+component=box cost=0 max_instances=4
+ failure=soft mtbf=10d mttr=0 detect_time=0
+"""
+        infra = parse_infrastructure(text)
+        assert infra.component("box").max_instances == 4
+
+    def test_failure_outside_component_rejected(self):
+        with pytest.raises(SpecError):
+            parse_infrastructure("failure=hard mtbf=1d mttr=0")
+
+    def test_param_outside_mechanism_rejected(self):
+        with pytest.raises(SpecError):
+            parse_infrastructure("param=level range=[a,b]")
+
+    def test_missing_mtbf_rejected(self):
+        with pytest.raises(SpecError):
+            parse_infrastructure(
+                "component=x cost=0\n failure=soft mttr=0")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SpecError):
+            parse_infrastructure("component=x cost=0 color=red")
+
+    def test_dangling_mechanism_ref_rejected(self):
+        with pytest.raises(Exception):
+            parse_infrastructure("""
+component=x cost=0
+ failure=hard mtbf=1d mttr=<ghost> detect_time=0
+""")
+
+    def test_table_effect_wrong_length_rejected(self):
+        with pytest.raises(SpecError):
+            parse_infrastructure("""
+mechanism=m
+ param=level range=[a,b]
+ cost(level)=[1 2 3]
+""")
+
+    def test_effect_keyed_by_unknown_param_rejected(self):
+        with pytest.raises(SpecError):
+            parse_infrastructure("""
+mechanism=m
+ param=level range=[a,b]
+ cost(ghost)=[1 2]
+""")
+
+
+MINIMAL_SERVICE = """
+application=shop
+tier=web
+ resource=node sizing=dynamic failurescope=resource
+  nActive=[1-50,+1] performance=expr:100*n
+tier=db
+ resource=dbnode sizing=static failurescope=resource
+  nActive=[1] performance=5000
+"""
+
+
+class TestServiceParsing:
+    def test_structure(self):
+        service = parse_service(MINIMAL_SERVICE)
+        assert service.name == "shop"
+        assert not service.is_finite_job
+        assert [tier.name for tier in service.tiers] == ["web", "db"]
+
+    def test_option_attributes(self):
+        service = parse_service(MINIMAL_SERVICE)
+        web = service.tier("web").option_for("node")
+        assert web.sizing is Sizing.DYNAMIC
+        assert web.failure_scope is FailureScope.RESOURCE
+        assert isinstance(web.performance, ExpressionPerformance)
+        assert web.performance.throughput(3) == 300.0
+        assert web.active_counts()[:3] == [1, 2, 3]
+
+    def test_constant_performance(self):
+        service = parse_service(MINIMAL_SERVICE)
+        db = service.tier("db").option_for("dbnode")
+        assert isinstance(db.performance, ConstantPerformance)
+        assert db.performance.throughput(1) == 5000.0
+
+    def test_jobsize(self):
+        service = parse_service("""
+application=science jobsize=10000
+tier=compute
+ resource=n sizing=static failurescope=tier
+  nActive=[1-10,+1] performance=expr:10*n
+""")
+        assert service.job_size == 10000
+        assert service.is_finite_job
+
+    def test_mechanism_use_with_resolver(self):
+        from repro.model import CategoricalOverhead
+        resolver = DictResolver(overhead={
+            "ov.dat": CategoricalOverhead("loc", {"a": "max(1/cpi,100%)"})})
+        service = parse_service("""
+application=science jobsize=100
+tier=compute
+ resource=n sizing=static failurescope=tier
+  nActive=[1-10,+1] performance=expr:10*n
+  mechanism=cp mperformance(loc,cpi,n)=ov.dat
+""", resolver)
+        option = service.tier("compute").option_for("n")
+        assert option.uses_mechanism("cp")
+        assert isinstance(option.mechanism_use("cp").overhead,
+                          CategoricalOverhead)
+
+    def test_dat_reference_without_resolver_rejected(self):
+        with pytest.raises(SpecError):
+            parse_service("""
+application=x
+tier=t
+ resource=r sizing=dynamic failurescope=resource
+  nActive=[1-5,+1] performance(nActive)=perf.dat
+""")
+
+    def test_missing_required_attribute_rejected(self):
+        with pytest.raises(SpecError, match="sizing"):
+            parse_service("""
+application=x
+tier=t
+ resource=r failurescope=resource nActive=[1] performance=10
+""")
+
+    def test_bad_enum_rejected(self):
+        with pytest.raises(SpecError):
+            parse_service("""
+application=x
+tier=t
+ resource=r sizing=elastic failurescope=resource nActive=[1] performance=1
+""")
+
+    def test_resource_outside_tier_rejected(self):
+        with pytest.raises(SpecError):
+            parse_service("""
+application=x
+resource=r sizing=dynamic failurescope=resource nActive=[1] performance=1
+""")
+
+    def test_mperformance_before_mechanism_rejected(self):
+        with pytest.raises(SpecError):
+            parse_service("""
+application=x
+tier=t
+ resource=r sizing=dynamic failurescope=resource nActive=[1] performance=1
+  mperformance(a,b,n)=x.dat
+""")
+
+    def test_duplicate_application_rejected(self):
+        with pytest.raises(SpecError):
+            parse_service("application=a\napplication=b")
+
+    def test_missing_application_rejected(self):
+        with pytest.raises(SpecError):
+            parse_service("tier=t\n resource=r sizing=dynamic "
+                          "failurescope=resource nActive=[1] performance=1")
+
+
+class TestFileResolver:
+    def test_performance_file(self, tmp_path):
+        from repro.spec import FileResolver
+        (tmp_path / "perf.dat").write_text("1 100\n2 190\n4 350\n")
+        resolver = FileResolver(str(tmp_path))
+        perf = resolver.performance("perf.dat")
+        assert perf.throughput(2) == 190.0
+        assert perf.throughput(3) == pytest.approx(270.0)
+
+    def test_overhead_file(self, tmp_path):
+        from repro.spec import FileResolver
+        (tmp_path / "ov.dat").write_text(
+            "central: max(10/cpi, 100%)\npeer: max(20/cpi, 100%)\n")
+        resolver = FileResolver(str(tmp_path))
+        overhead = resolver.overhead("ov.dat")
+        factor = overhead.factor(
+            {"storage_location": "peer",
+             "checkpoint_interval": Duration.minutes(5)}, 3)
+        assert factor == 4.0
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.spec import FileResolver
+        with pytest.raises(SpecError):
+            FileResolver(str(tmp_path)).performance("nope.dat")
+
+    def test_malformed_performance_file_raises(self, tmp_path):
+        from repro.spec import FileResolver
+        (tmp_path / "bad.dat").write_text("1 2 3\n")
+        with pytest.raises(SpecError):
+            FileResolver(str(tmp_path)).performance("bad.dat")

@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy and error message formatting."""
+
+import pytest
+
+from repro.errors import (AvedError, EvaluationError, ExpressionError,
+                          InfeasibleError, ModelError, SearchError,
+                          SpecError, UnitError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        UnitError, ExpressionError, SpecError, ModelError,
+        EvaluationError, SearchError, InfeasibleError,
+    ])
+    def test_all_derive_from_aved_error(self, exc_cls):
+        assert issubclass(exc_cls, AvedError)
+
+    def test_unit_error_is_value_error(self):
+        assert issubclass(UnitError, ValueError)
+        with pytest.raises(ValueError):
+            raise UnitError("bad")
+
+    def test_infeasible_is_search_error(self):
+        assert issubclass(InfeasibleError, SearchError)
+
+
+class TestMessageFormatting:
+    def test_expression_error_position(self):
+        error = ExpressionError("boom", source="1 + + 2", position=4)
+        assert "position 4" in str(error)
+        assert "1 + + 2" in str(error)
+
+    def test_expression_error_without_source(self):
+        assert str(ExpressionError("boom")) == "boom"
+
+    def test_spec_error_line_number(self):
+        error = SpecError("bad key", line=17)
+        assert str(error).startswith("line 17:")
+        assert error.line == 17
+
+    def test_spec_error_without_line(self):
+        error = SpecError("bad key")
+        assert str(error) == "bad key"
+        assert error.line == -1
+
+    def test_infeasible_carries_diagnostic(self):
+        marker = object()
+        error = InfeasibleError("nope", best_infeasible=marker)
+        assert error.best_infeasible is marker
+
+    def test_one_catch_all(self):
+        """Library callers can wrap any entry point in one except."""
+        from repro.units import Duration
+        with pytest.raises(AvedError):
+            Duration.parse("not-a-duration")
+        from repro.expr import Expression
+        with pytest.raises(AvedError):
+            Expression("max(")
+        from repro.spec import parse_infrastructure
+        with pytest.raises(AvedError):
+            parse_infrastructure("failure=orphan mtbf=1d mttr=0")

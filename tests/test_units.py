@@ -1,0 +1,245 @@
+"""Tests for durations and parameter ranges (repro.units)."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitError
+from repro.units import (ArithmeticRange, Duration, EnumeratedRange,
+                         GeometricRange, HOURS_PER_YEAR, MINUTES_PER_YEAR,
+                         parse_range, rate_per_hour)
+
+
+class TestDurationParsing:
+    def test_seconds_suffix(self):
+        assert Duration.parse("30s").as_seconds == 30.0
+
+    def test_minutes_suffix(self):
+        assert Duration.parse("2m").as_seconds == 120.0
+
+    def test_hours_suffix(self):
+        assert Duration.parse("38h").as_hours == 38.0
+
+    def test_days_suffix(self):
+        assert Duration.parse("650d").as_days == 650.0
+
+    def test_years_suffix(self):
+        assert Duration.parse("1y").as_days == 365.0
+
+    def test_bare_number_is_seconds(self):
+        assert Duration.parse("0").as_seconds == 0.0
+        assert Duration.parse("90").as_seconds == 90.0
+
+    def test_numeric_input_passthrough(self):
+        assert Duration.parse(45).as_seconds == 45.0
+        assert Duration.parse(1.5).as_seconds == 1.5
+
+    def test_duration_input_passthrough(self):
+        original = Duration.minutes(5)
+        assert Duration.parse(original) == original
+
+    def test_fractional_value(self):
+        assert Duration.parse("1.5h").as_minutes == 90.0
+
+    def test_whitespace_tolerated(self):
+        assert Duration.parse(" 2m ").as_seconds == 120.0
+
+    @pytest.mark.parametrize("bad", ["", "abc", "5x", "2 m m", "h", "--3s"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitError):
+            Duration.parse(bad)
+
+    def test_rejects_nan(self):
+        with pytest.raises(UnitError):
+            Duration(float("nan"))
+
+
+class TestDurationArithmetic:
+    def test_addition(self):
+        assert (Duration.minutes(2) + Duration.seconds(30)).as_seconds == 150
+
+    def test_subtraction(self):
+        assert (Duration.hours(1) - Duration.minutes(30)).as_minutes == 30
+
+    def test_scale_by_number(self):
+        assert (Duration.minutes(2) * 3).as_minutes == 6
+        assert (3 * Duration.minutes(2)).as_minutes == 6
+
+    def test_divide_by_number(self):
+        assert (Duration.hours(1) / 4).as_minutes == 15
+
+    def test_ratio_of_durations_is_float(self):
+        ratio = Duration.hours(2) / Duration.minutes(30)
+        assert ratio == pytest.approx(4.0)
+
+    def test_ratio_by_zero_duration_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Duration.hours(1) / Duration.ZERO
+
+    def test_cannot_multiply_durations(self):
+        with pytest.raises(UnitError):
+            Duration.hours(1) * Duration.hours(2)
+
+    def test_negation(self):
+        assert (-Duration.minutes(5)).as_minutes == -5
+
+    def test_comparison(self):
+        assert Duration.minutes(1) < Duration.hours(1)
+        assert Duration.days(1) > Duration.hours(23)
+        assert Duration.minutes(60) == Duration.hours(1)
+        assert Duration.minutes(60) <= Duration.hours(1)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Duration.minutes(60)) == hash(Duration.hours(1))
+
+    def test_bool_zero_is_false(self):
+        assert not Duration.ZERO
+        assert Duration.seconds(1)
+
+    def test_is_finite(self):
+        assert Duration.hours(5).is_finite()
+        assert not Duration(math.inf).is_finite()
+
+
+class TestDurationFormatting:
+    @pytest.mark.parametrize("duration,expected", [
+        (Duration.ZERO, "0s"),
+        (Duration.seconds(30), "30s"),
+        (Duration.minutes(2), "2m"),
+        (Duration.hours(38), "38h"),
+        (Duration.days(650), "650d"),
+        (Duration.days(365), "1y"),
+    ])
+    def test_round_values(self, duration, expected):
+        assert duration.format() == expected
+
+    def test_format_parses_back(self):
+        for duration in (Duration.seconds(45), Duration.minutes(90),
+                         Duration.hours(4.5), Duration.days(1.586)):
+            assert Duration.parse(duration.format()).as_seconds == \
+                pytest.approx(duration.as_seconds, rel=1e-3)
+
+    def test_infinite(self):
+        assert Duration(math.inf).format() == "inf"
+
+
+class TestConstants:
+    def test_minutes_per_year(self):
+        assert MINUTES_PER_YEAR == 365 * 24 * 60
+
+    def test_hours_per_year(self):
+        assert HOURS_PER_YEAR == 365 * 24
+
+    def test_rate_per_hour(self):
+        assert rate_per_hour(Duration.hours(2)) == pytest.approx(0.5)
+
+    def test_rate_per_hour_rejects_zero(self):
+        with pytest.raises(UnitError):
+            rate_per_hour(Duration.ZERO)
+
+
+class TestEnumeratedRange:
+    def test_values_preserved_in_order(self):
+        r = EnumeratedRange(["bronze", "silver", "gold"])
+        assert r.values() == ["bronze", "silver", "gold"]
+
+    def test_len_and_contains(self):
+        r = EnumeratedRange(["a", "b"])
+        assert len(r) == 2
+        assert "a" in r
+        assert "c" not in r
+
+    def test_rejects_empty(self):
+        with pytest.raises(UnitError):
+            EnumeratedRange([])
+
+
+class TestArithmeticRange:
+    def test_values(self):
+        assert ArithmeticRange(1, 5, 1).values() == [1, 2, 3, 4, 5]
+
+    def test_step_two(self):
+        assert ArithmeticRange(2, 8, 2).values() == [2, 4, 6, 8]
+
+    def test_endpoint_not_on_grid(self):
+        assert ArithmeticRange(1, 6, 2).values() == [1, 3, 5]
+
+    def test_len(self):
+        assert len(ArithmeticRange(1, 1000, 1)) == 1000
+
+    def test_contains(self):
+        r = ArithmeticRange(1, 9, 2)
+        assert 5 in r
+        assert 4 not in r
+        assert 11 not in r
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(UnitError):
+            ArithmeticRange(1, 10, 0)
+        with pytest.raises(UnitError):
+            ArithmeticRange(1, 10, -1)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(UnitError):
+            ArithmeticRange(10, 1, 1)
+
+
+class TestGeometricRange:
+    def test_paper_checkpoint_grid(self):
+        r = GeometricRange(Duration.minutes(1), Duration.hours(24), 1.05)
+        values = r.values()
+        assert values[0] == Duration.minutes(1)
+        assert values[-1] == Duration.hours(24)
+        # log(1440)/log(1.05) ~ 149 steps, plus endpoints handling.
+        assert 148 <= len(values) <= 152
+
+    def test_ratio_between_consecutive(self):
+        r = GeometricRange(Duration.seconds(1), Duration.seconds(100), 2.0)
+        values = r.values()
+        for a, b in zip(values, values[1:-1]):
+            assert b / a == pytest.approx(2.0)
+
+    def test_endpoint_always_included(self):
+        r = GeometricRange(Duration.seconds(1), Duration.seconds(10), 3.0)
+        assert r.values()[-1] == Duration.seconds(10)
+
+    def test_rejects_factor_not_above_one(self):
+        with pytest.raises(UnitError):
+            GeometricRange(Duration.seconds(1), Duration.seconds(10), 1.0)
+
+    def test_rejects_nonpositive_start(self):
+        with pytest.raises(UnitError):
+            GeometricRange(Duration.ZERO, Duration.seconds(10), 2.0)
+
+
+class TestParseRange:
+    def test_arithmetic(self):
+        r = parse_range("[1-1000,+1]")
+        assert isinstance(r, ArithmeticRange)
+        assert r.values()[:3] == [1, 2, 3]
+        assert r.values()[-1] == 1000
+
+    def test_geometric(self):
+        r = parse_range("[1m-24h;*1.05]")
+        assert isinstance(r, GeometricRange)
+        assert r.start == Duration.minutes(1)
+        assert r.stop == Duration.hours(24)
+
+    def test_enumerated_strings(self):
+        r = parse_range("[bronze,silver,gold,platinum]")
+        assert r.values() == ["bronze", "silver", "gold", "platinum"]
+
+    def test_enumerated_numbers_coerced(self):
+        assert parse_range("[1,2,4]").values() == [1, 2, 4]
+        assert parse_range("[1.5,2.5]").values() == [1.5, 2.5]
+
+    def test_singleton(self):
+        assert parse_range("[1]").values() == [1]
+
+    def test_rejects_unbracketed(self):
+        with pytest.raises(UnitError):
+            parse_range("1-10,+1")
+
+    def test_rejects_empty(self):
+        with pytest.raises(UnitError):
+            parse_range("[]")

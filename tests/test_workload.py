@@ -1,0 +1,104 @@
+"""Tests for synthetic workload generation."""
+
+import pytest
+
+from repro import workload
+from repro.errors import ModelError
+
+
+class TestDiurnal:
+    def test_range(self):
+        loads = workload.diurnal(100, peak_ratio=3.0)
+        assert len(loads) == 24
+        assert min(loads) == pytest.approx(100, rel=1e-9)
+        assert max(loads) == pytest.approx(300, rel=1e-9)
+
+    def test_peak_hour(self):
+        loads = workload.diurnal(100, peak_ratio=2.0, peak_hour=14.0)
+        assert loads.index(max(loads)) == 14
+
+    def test_flat_when_ratio_one(self):
+        loads = workload.diurnal(100, peak_ratio=1.0)
+        assert all(load == pytest.approx(100) for load in loads)
+
+    def test_multiple_days_repeat(self):
+        loads = workload.diurnal(100, days=2)
+        assert loads[:24] == loads[24:]
+
+    def test_weekend_scaling(self):
+        loads = workload.diurnal(100, days=7, weekend_factor=0.5)
+        weekday = loads[:24]
+        saturday = loads[5 * 24:6 * 24]
+        for a, b in zip(weekday, saturday):
+            assert b == pytest.approx(a * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            workload.diurnal(0)
+        with pytest.raises(ModelError):
+            workload.diurnal(100, peak_ratio=0.5)
+        with pytest.raises(ModelError):
+            workload.diurnal(100, samples_per_day=0)
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        loads = workload.flash_crowd(100, spike_ratio=10.0,
+                                     total_samples=48, spike_at=12)
+        assert all(load == 100 for load in loads[:12])
+        assert loads[12] == pytest.approx(1000)
+        assert loads[-1] < loads[12]
+        # Monotone decay after the spike.
+        tail = loads[12:]
+        assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+    def test_decay_constant(self):
+        loads = workload.flash_crowd(100, spike_ratio=11.0,
+                                     total_samples=20, spike_at=0,
+                                     decay_samples=5.0)
+        import math
+        assert loads[5] == pytest.approx(
+            100 * (1 + 10 * math.exp(-1.0)))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            workload.flash_crowd(100, spike_at=100, total_samples=50)
+        with pytest.raises(ModelError):
+            workload.flash_crowd(100, spike_ratio=0.5)
+
+
+class TestRamp:
+    def test_endpoints(self):
+        loads = workload.ramp(100, 500, total_samples=5)
+        assert loads[0] == 100
+        assert loads[-1] == 500
+        assert loads == sorted(loads)
+
+    def test_descending(self):
+        loads = workload.ramp(500, 100, total_samples=5)
+        assert loads == sorted(loads, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            workload.ramp(100, 500, total_samples=1)
+
+
+class TestNoisy:
+    def test_reproducible_with_seed(self):
+        base = workload.ramp(100, 200, 10)
+        assert workload.noisy(base, seed=7) == workload.noisy(base,
+                                                              seed=7)
+
+    def test_zero_sigma_is_identity(self):
+        base = workload.ramp(100, 200, 10)
+        assert workload.noisy(base, sigma=0.0, seed=1) == \
+            pytest.approx(base)
+
+    def test_noise_stays_positive(self):
+        base = workload.diurnal(50)
+        assert all(load > 0 for load in workload.noisy(base, sigma=0.5,
+                                                       seed=3))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            workload.noisy([100], sigma=-0.1)
