@@ -1,0 +1,74 @@
+"""Lint throughput: static analysis must stay negligible next to search.
+
+``repro lint`` runs ahead of every design search (``Aved(lint="warn")``)
+so its cost has to be paper-model-trivial: well under 50 ms for the
+full e-commerce and scientific pairs, interval analysis of every
+Table 1 expression included.
+"""
+
+import time
+
+import pytest
+
+from repro.lint import lint_pair
+from repro.spec.paper import (ecommerce_service, paper_infrastructure,
+                              scientific_service)
+
+from .conftest import write_report
+
+BUDGET_SECONDS = 0.050
+
+
+def lint_report_text():
+    lines = ["repro lint -- paper models", ""]
+    infrastructure = paper_infrastructure()
+    for service in (ecommerce_service(), scientific_service()):
+        started = time.perf_counter()
+        report = lint_pair(infrastructure, service)
+        elapsed = time.perf_counter() - started
+        lines.append("%s: %s in %.1f ms"
+                     % (service.name, report.summary(), elapsed * 1e3))
+        for diagnostic in report:
+            lines.append("  %s" % diagnostic.format())
+        lines.append("")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def lint_report():
+    return write_report("lint.txt", lint_report_text())
+
+
+def test_paper_models_lint_clean(lint_report):
+    infrastructure = paper_infrastructure()
+    for service in (ecommerce_service(), scientific_service()):
+        report = lint_pair(infrastructure, service)
+        assert not report.has_errors
+        assert report.warnings == []
+
+
+def test_lint_under_budget(lint_report):
+    infrastructure = paper_infrastructure()
+    services = [ecommerce_service(), scientific_service()]
+    lint_pair(infrastructure, services[0])  # warm imports and caches
+    for service in services:
+        started = time.perf_counter()
+        lint_pair(infrastructure, service)
+        elapsed = time.perf_counter() - started
+        assert elapsed < BUDGET_SECONDS, (
+            "lint of %r took %.1f ms (budget %.0f ms)"
+            % (service.name, elapsed * 1e3, BUDGET_SECONDS * 1e3))
+
+
+def test_benchmark_lint_ecommerce(benchmark, lint_report):
+    infrastructure = paper_infrastructure()
+    service = ecommerce_service()
+    report = benchmark(lint_pair, infrastructure, service)
+    assert not report.has_errors
+
+
+def test_benchmark_lint_scientific(benchmark, lint_report):
+    infrastructure = paper_infrastructure()
+    service = scientific_service()
+    report = benchmark(lint_pair, infrastructure, service)
+    assert not report.has_errors

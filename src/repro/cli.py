@@ -6,6 +6,7 @@ Subcommands::
     python -m repro design    --job-time 20h [model options]
     python -m repro frontier  --tier application --load 1000 [...]
     python -m repro validate  [model options]
+    python -m repro lint      [--format json] [--strict] [model options]
 
 Model options: ``--infrastructure FILE`` and ``--service FILE`` load
 spec documents (``--perf-dir DIR`` resolves their ``.dat`` references);
@@ -60,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check an infrastructure/service model pair")
     _add_model_options(validate)
 
+    lint = subparsers.add_parser(
+        "lint", help="static analysis of a model pair: dangling "
+                     "references, expression domain errors (division by "
+                     "zero, log/sqrt), plausibility warnings")
+    _add_model_options(lint)
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="output rendering (default: text)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings, not just errors")
+
     describe = subparsers.add_parser(
         "describe", help="summarize an infrastructure/service model pair")
     _add_model_options(describe)
@@ -110,8 +121,13 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
                              "(default: unlimited)")
 
 
-def load_models(args) -> tuple:
-    """Resolve (infrastructure, service) from the CLI options."""
+def load_models(args, validate: bool = True) -> tuple:
+    """Resolve (infrastructure, service) from the CLI options.
+
+    ``validate=False`` defers infrastructure cross-reference checking
+    (used by ``repro lint``, which reports dangling references itself
+    with source spans).
+    """
     if args.paper_ecommerce or args.paper_scientific:
         from .spec.paper import (ecommerce_service, paper_infrastructure,
                                  scientific_service)
@@ -129,7 +145,8 @@ def load_models(args) -> tuple:
             "provide --infrastructure and --service files, or one of "
             "--paper-ecommerce / --paper-scientific")
     with open(args.infrastructure) as handle:
-        infrastructure = parse_infrastructure(handle.read())
+        infrastructure = parse_infrastructure(handle.read(),
+                                              validate=validate)
     with open(args.service) as handle:
         service = parse_service(handle.read(),
                                 FileResolver(args.perf_dir))
@@ -231,6 +248,28 @@ def cmd_validate(args, out) -> int:
     return 0
 
 
+def cmd_lint(args, out) -> int:
+    from .errors import ExpressionError, ModelError, SpecError, UnitError
+    from .lint import Diagnostic, LintReport, Span, lint_pair
+    try:
+        infrastructure, service = load_models(args, validate=False)
+    except SpecError as exc:
+        # The document never became a model; the parse error is the
+        # (single, spanned) finding.
+        report = LintReport([Diagnostic.new(
+            "AVD001", str(exc),
+            span=Span(line=exc.line) if exc.line >= 0 else None)])
+    except (ModelError, ExpressionError, UnitError) as exc:
+        report = LintReport([Diagnostic.new("AVD002", str(exc))])
+    else:
+        report = lint_pair(infrastructure, service)
+    if args.format == "json":
+        print(report.to_json(), file=out)
+    else:
+        print(report.to_text(), file=out)
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_analyze(args, out) -> int:
     from .analysis import downtime_budget_table, tornado_table
     infrastructure, service = load_models(args)
@@ -278,6 +317,7 @@ _COMMANDS = {
     "design": cmd_design,
     "frontier": cmd_frontier,
     "validate": cmd_validate,
+    "lint": cmd_lint,
     "analyze": cmd_analyze,
     "describe": cmd_describe,
 }

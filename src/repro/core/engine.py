@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..availability import AvailabilityEngine, MarkovEngine
-from ..errors import InfeasibleError, SearchError
+from ..errors import InfeasibleError, ModelError, SearchError
 from ..model import (InfrastructureModel, JobRequirements, ServiceModel,
                      ServiceRequirements, validate_pair)
 from .design import Design
@@ -60,16 +60,38 @@ class Aved:
                  availability_engine: Optional[AvailabilityEngine] = None,
                  limits: Optional[SearchLimits] = None,
                  combination: str = "exact",
-                 repair_crew: Optional[int] = None):
+                 repair_crew: Optional[int] = None,
+                 lint: str = "warn"):
         """``combination`` picks the multi-tier assembly strategy:
         ``"exact"`` (branch-and-bound over the frontier product) or
         ``"greedy"`` (the paper's incremental per-tier tightening).
         ``repair_crew`` optionally bounds concurrent repairs per tier.
+
+        ``lint`` controls the static-analysis pass that runs before any
+        search: ``"warn"`` (default) stores findings on
+        :attr:`lint_report`; ``"error"`` additionally raises
+        :class:`~repro.errors.ModelError` when any error-severity
+        finding exists; ``"off"`` skips the pass (``lint_report`` is
+        None).  Gating reference checks (:func:`validate_pair`) always
+        run regardless.
         """
         validate_pair(infrastructure, service)
         if combination not in ("exact", "greedy"):
             raise SearchError("combination must be 'exact' or 'greedy', "
                               "got %r" % combination)
+        if lint not in ("off", "warn", "error"):
+            raise SearchError("lint must be 'off', 'warn', or 'error', "
+                              "got %r" % lint)
+        self.lint_report = None
+        if lint != "off":
+            from ..lint import lint_pair
+            self.lint_report = lint_pair(infrastructure, service)
+            if lint == "error" and self.lint_report.has_errors:
+                raise ModelError(
+                    "lint found %d error(s) in the model pair:\n  - %s"
+                    % (len(self.lint_report.errors),
+                       "\n  - ".join(d.format()
+                                     for d in self.lint_report.errors)))
         self.infrastructure = infrastructure
         self.service = service
         self.limits = limits or SearchLimits()

@@ -8,12 +8,21 @@ a C-style conditional ``cond ? a : b``.
 
 Nodes are immutable value objects; evaluation lives in
 :mod:`repro.expr.evaluator`.
+
+Each node optionally carries a *span* -- the ``(start, end)`` character
+offsets of the text it was parsed from -- so that static analysis
+(:mod:`repro.lint`) can point diagnostics at the exact subexpression.
+Spans never participate in equality or hashing: two nodes parsed from
+different positions still compare equal.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: ``(start, end)`` character offsets into the expression source.
+SourceSpan = Tuple[int, int]
 
 
 class Node:
@@ -30,6 +39,8 @@ class Number(Node):
     """A numeric literal (percent literals are pre-scaled by 1/100)."""
 
     value: float
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)
@@ -37,6 +48,8 @@ class Variable(Node):
     """A free variable, bound at evaluation time from the environment."""
 
     name: str
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
 
 @dataclass(frozen=True)
@@ -45,6 +58,8 @@ class Unary(Node):
 
     op: str
     operand: Node
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
     def children(self):
         return (self.operand,)
@@ -57,6 +72,8 @@ class Binary(Node):
     op: str
     left: Node
     right: Node
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
     def children(self):
         return (self.left, self.right)
@@ -68,6 +85,8 @@ class Call(Node):
 
     name: str
     args: Tuple[Node, ...]
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
     def children(self):
         return self.args
@@ -80,6 +99,8 @@ class Conditional(Node):
     condition: Node
     if_true: Node
     if_false: Node
+    span: Optional[SourceSpan] = field(default=None, compare=False,
+                                       repr=False)
 
     def children(self):
         return (self.condition, self.if_true, self.if_false)

@@ -29,8 +29,8 @@ def evaluate(node: Node, env: Mapping[str, float]) -> float:
     if isinstance(node, Variable):
         try:
             return float(env[node.name])
-        except KeyError:
-            raise ExpressionError("unbound variable %r" % node.name)
+        except KeyError as exc:
+            raise ExpressionError("unbound variable %r" % node.name) from exc
     if isinstance(node, Unary):
         if node.op == "-":
             return -evaluate(node.operand, env)
@@ -48,8 +48,11 @@ def evaluate(node: Node, env: Mapping[str, float]) -> float:
         args = [evaluate(arg, env) for arg in node.args]
         try:
             return float(BUILTIN_FUNCTIONS[node.name](*args))
-        except (ValueError, OverflowError) as exc:
-            raise ExpressionError("error in %s(): %s" % (node.name, exc))
+        except (ValueError, OverflowError, ZeroDivisionError) as exc:
+            # ZeroDivisionError covers e.g. log(x, 1), whose math.log
+            # raises it rather than ValueError.
+            raise ExpressionError(
+                "error in %s(): %s" % (node.name, exc)) from exc
     raise ExpressionError("unknown node type %r" % type(node).__name__)
 
 
@@ -81,8 +84,11 @@ def _evaluate_binary(node: Binary, env: Mapping[str, float]) -> float:
     if op == "^":
         try:
             return float(left ** right)
-        except (OverflowError, ZeroDivisionError, ValueError) as exc:
-            raise ExpressionError("error in power: %s" % exc)
+        except (OverflowError, ZeroDivisionError, ValueError,
+                TypeError) as exc:
+            # TypeError covers negative ** fractional, where Python
+            # returns a complex number that float() refuses.
+            raise ExpressionError("error in power: %s" % exc) from exc
     if op == "<":
         return 1.0 if left < right else 0.0
     if op == "<=":

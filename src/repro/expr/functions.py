@@ -31,13 +31,22 @@ def _sqrt(value: float) -> float:
     return math.sqrt(value)
 
 
+def _round(value: float, ndigits: float = 0.0) -> float:
+    # The evaluator passes every argument as a float, but Python's round
+    # requires an integer digit count.
+    if not float(ndigits).is_integer():
+        raise ExpressionError("round: digit count %g is not an integer"
+                              % ndigits)
+    return float(round(value, int(ndigits)))
+
+
 BUILTIN_FUNCTIONS: Dict[str, Callable[..., float]] = {
     "max": max,
     "min": min,
     "abs": abs,
     "floor": math.floor,
     "ceil": math.ceil,
-    "round": round,
+    "round": _round,
     "exp": math.exp,
     "log": _log,
     "log2": math.log2,

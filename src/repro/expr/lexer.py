@@ -80,8 +80,8 @@ def _lex_number(source: str, start: int, tokens: List[Token]) -> int:
     text = source[start:i]
     try:
         value = float(text)
-    except ValueError:
-        raise ExpressionError("bad number %r" % text, source, start)
+    except ValueError as exc:
+        raise ExpressionError("bad number %r" % text, source, start) from exc
     if i < length and source[i] == "%":
         value /= 100.0
         text += "%"

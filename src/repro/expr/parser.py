@@ -18,6 +18,7 @@ Grammar, loosest binding first::
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List
 
 from ..errors import ExpressionError
@@ -32,6 +33,8 @@ class _Parser:
         self.source = source
         self.tokens: List[Token] = tokenize(source)
         self.index = 0
+        #: End offset of the most recently consumed token, for spans.
+        self._end = 0
 
     # -- token helpers ------------------------------------------------
 
@@ -42,6 +45,7 @@ class _Parser:
         token = self.tokens[self.index]
         if token.kind != "end":
             self.index += 1
+            self._end = token.position + len(token.text)
         return token
 
     def _match(self, kind: str, text: str = None) -> bool:
@@ -77,19 +81,22 @@ class _Parser:
             if_true = self.conditional()
             self._expect("op", ":")
             if_false = self.conditional()
-            return Conditional(node, if_true, if_false)
+            return Conditional(node, if_true, if_false,
+                               span=_join(node, if_false))
         if self._match("keyword", "if"):
             condition = self.conditional()
             self._expect("keyword", "else")
             if_false = self.conditional()
-            return Conditional(condition, node, if_false)
+            return Conditional(condition, node, if_false,
+                               span=_join(node, if_false))
         return node
 
     def or_expr(self) -> Node:
         node = self.and_expr()
         while True:
             if self._match("keyword", "or") or self._match("op", "||"):
-                node = Binary("or", node, self.and_expr())
+                right = self.and_expr()
+                node = Binary("or", node, right, span=_join(node, right))
             else:
                 return node
 
@@ -97,13 +104,17 @@ class _Parser:
         node = self.not_expr()
         while True:
             if self._match("keyword", "and") or self._match("op", "&&"):
-                node = Binary("and", node, self.not_expr())
+                right = self.not_expr()
+                node = Binary("and", node, right, span=_join(node, right))
             else:
                 return node
 
     def not_expr(self) -> Node:
+        token = self._peek()
         if self._match("keyword", "not") or self._match("op", "!"):
-            return Unary("not", self.not_expr())
+            operand = self.not_expr()
+            return Unary("not", operand,
+                         span=_span_from(token, operand))
         return self.comparison()
 
     def comparison(self) -> Node:
@@ -111,7 +122,8 @@ class _Parser:
         token = self._peek()
         if token.kind == "op" and token.text in _COMPARISONS:
             self._advance()
-            return Binary(token.text, node, self.additive())
+            right = self.additive()
+            return Binary(token.text, node, right, span=_join(node, right))
         return node
 
     def additive(self) -> Node:
@@ -120,7 +132,9 @@ class _Parser:
             token = self._peek()
             if token.kind == "op" and token.text in ("+", "-"):
                 self._advance()
-                node = Binary(token.text, node, self.multiplicative())
+                right = self.multiplicative()
+                node = Binary(token.text, node, right,
+                              span=_join(node, right))
             else:
                 return node
 
@@ -130,29 +144,35 @@ class _Parser:
             token = self._peek()
             if token.kind == "op" and token.text in ("*", "/"):
                 self._advance()
-                node = Binary(token.text, node, self.unary())
+                right = self.unary()
+                node = Binary(token.text, node, right,
+                              span=_join(node, right))
             else:
                 return node
 
     def unary(self) -> Node:
+        token = self._peek()
         if self._match("op", "-"):
-            return Unary("-", self.unary())
+            operand = self.unary()
+            return Unary("-", operand, span=_span_from(token, operand))
         return self.power()
 
     def power(self) -> Node:
         node = self.primary()
         if self._match("op", "^"):
-            return Binary("^", node, self.unary())
+            right = self.unary()
+            return Binary("^", node, right, span=_join(node, right))
         return node
 
     def primary(self) -> Node:
         token = self._peek()
         if token.kind == "number":
             self._advance()
-            return Number(token.value)
+            return Number(token.value, span=_token_span(token))
         if token.kind == "keyword" and token.text in ("true", "false"):
             self._advance()
-            return Number(1.0 if token.text == "true" else 0.0)
+            return Number(1.0 if token.text == "true" else 0.0,
+                          span=_token_span(token))
         if token.kind == "name":
             self._advance()
             if self._match("op", "("):
@@ -162,14 +182,37 @@ class _Parser:
                     while self._match("op", ","):
                         args.append(self.conditional())
                     self._expect("op", ")")
-                return Call(token.text, tuple(args))
-            return Variable(token.text)
+                return Call(token.text, tuple(args),
+                            span=(token.position, self._end))
+            return Variable(token.text, span=_token_span(token))
         if self._match("op", "("):
             node = self.conditional()
             self._expect("op", ")")
+            if node.span is not None:
+                # Widen to include the parentheses so joined spans of
+                # enclosing operators cover the full source text.
+                node = replace(node, span=(token.position, self._end))
             return node
         raise ExpressionError("unexpected token %r" % (token.text or "<end>"),
                               self.source, token.position)
+
+
+def _token_span(token: Token):
+    return (token.position, token.position + len(token.text))
+
+
+def _span_from(token: Token, node: Node):
+    """Span from an operator token through the end of ``node``."""
+    if node.span is None:
+        return None
+    return (token.position, node.span[1])
+
+
+def _join(left: Node, right: Node):
+    """Span covering ``left`` through ``right`` (None if either lacks one)."""
+    if left.span is None or right.span is None:
+        return None
+    return (left.span[0], right.span[1])
 
 
 def parse(source: str) -> Node:

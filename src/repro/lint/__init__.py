@@ -1,0 +1,45 @@
+"""Static analysis and diagnostics for Aved models and expressions.
+
+The lint subsystem finds specification problems *before* a design
+search runs: dangling references, implausible failure models, and --
+via interval analysis over the expression ASTs -- runtime errors that
+some environment in the declared variable domains could trigger
+(division by zero, ``log``/``sqrt`` domain violations, dead branches).
+
+Entry points:
+
+* :func:`analyze_expression` -- interval static analysis of one
+  expression against declared variable domains;
+* :func:`lint_pair` / :func:`lint_infrastructure` -- structured model
+  checks, layering on :mod:`repro.model.validation`;
+* :class:`LintReport` -- aggregation plus text/JSON rendering, used by
+  the ``repro lint`` CLI subcommand.
+
+Every finding carries a stable ``AVDnnn`` code from :data:`CODES`;
+``docs/LINTING.md`` is the user-facing catalog.
+"""
+
+from .codes import CODES, RUNTIME_ERROR_CODES, default_severity, title
+from .diagnostics import Diagnostic, LintReport, Severity, Span
+from .expr_analyzer import (ExpressionAnalysis, analyze_expression,
+                            analyze_overhead, analyze_performance)
+from .intervals import Interval
+from .model_analyzer import lint_infrastructure, lint_pair
+
+__all__ = [
+    "CODES",
+    "RUNTIME_ERROR_CODES",
+    "default_severity",
+    "title",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "Span",
+    "ExpressionAnalysis",
+    "analyze_expression",
+    "analyze_overhead",
+    "analyze_performance",
+    "Interval",
+    "lint_infrastructure",
+    "lint_pair",
+]

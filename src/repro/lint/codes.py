@@ -1,0 +1,90 @@
+"""The diagnostic-code catalog for :mod:`repro.lint`.
+
+Codes are stable identifiers CI can gate on: ``AVD0xx`` are general
+loader failures, ``AVD1xx`` come from the expression static analyzer,
+and ``AVD2xx`` from the model analyzer.  Each code has a default
+severity; individual diagnostics may tighten it (e.g. an overhead
+expression that is *always* below 1.0 upgrades AVD111 to an error).
+
+``docs/LINTING.md`` documents every code with examples; the registry
+here is the single source of truth for code -> (severity, title).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from .diagnostics import Severity
+
+
+class CodeInfo(NamedTuple):
+    """Registry entry for one diagnostic code."""
+
+    severity: Severity
+    title: str
+
+
+#: All known diagnostic codes with their default severity and title.
+CODES: Dict[str, CodeInfo] = {
+    # -- general / loader ------------------------------------------------
+    "AVD001": CodeInfo(Severity.ERROR, "specification parse error"),
+    "AVD002": CodeInfo(Severity.ERROR, "model construction error"),
+    # -- expression analyzer ---------------------------------------------
+    "AVD100": CodeInfo(Severity.ERROR, "expression syntax error"),
+    "AVD101": CodeInfo(Severity.ERROR, "unbound variable"),
+    "AVD102": CodeInfo(Severity.WARNING, "declared variable unused"),
+    "AVD103": CodeInfo(Severity.ERROR, "unknown function or bad arity"),
+    "AVD104": CodeInfo(Severity.ERROR, "division by zero"),
+    "AVD105": CodeInfo(Severity.WARNING, "possible division by zero"),
+    "AVD106": CodeInfo(Severity.ERROR, "function domain error"),
+    "AVD107": CodeInfo(Severity.WARNING, "possible function domain error"),
+    "AVD108": CodeInfo(Severity.WARNING, "unreachable conditional branch"),
+    "AVD109": CodeInfo(Severity.WARNING,
+                       "performance not monotone in resource count"),
+    "AVD110": CodeInfo(Severity.WARNING,
+                       "performance non-positive on declared domain"),
+    "AVD111": CodeInfo(Severity.WARNING,
+                       "overhead factor below 1.0 (slowdown < 100%)"),
+    # -- model analyzer --------------------------------------------------
+    "AVD201": CodeInfo(Severity.ERROR, "unknown resource type"),
+    "AVD202": CodeInfo(Severity.ERROR, "unknown mechanism"),
+    "AVD203": CodeInfo(Severity.ERROR,
+                       "component defers to unknown mechanism"),
+    "AVD204": CodeInfo(Severity.ERROR,
+                       "mechanism does not provide deferred attribute"),
+    "AVD205": CodeInfo(Severity.ERROR,
+                       "component instance cap below tier minimum"),
+    "AVD206": CodeInfo(Severity.WARNING, "MTTR not below MTBF"),
+    "AVD207": CodeInfo(Severity.ERROR, "tier has no feasible option"),
+    "AVD208": CodeInfo(Severity.WARNING,
+                       "name shared across model namespaces"),
+    "AVD209": CodeInfo(Severity.WARNING,
+                       "mechanism range inconsistent with failure model"),
+    "AVD210": CodeInfo(Severity.INFO, "infrastructure element unused"),
+    "AVD211": CodeInfo(Severity.ERROR,
+                       "overhead missing expression for allowed category"),
+    "AVD212": CodeInfo(Severity.INFO,
+                       "overhead expression for undeclared category"),
+    "AVD213": CodeInfo(Severity.WARNING,
+                       "nActive exceeds tabulated sample range"),
+}
+
+#: Codes whose presence means the expression *may* raise at evaluation
+#: time.  An expression analysis with none of these proves the absence
+#: of runtime errors on the declared domain (the soundness contract the
+#: property tests in ``tests/properties/test_lint_props.py`` check).
+RUNTIME_ERROR_CODES = frozenset({
+    "AVD100", "AVD101", "AVD103", "AVD104", "AVD105", "AVD106", "AVD107",
+})
+
+
+def default_severity(code: str) -> Severity:
+    """Default severity for ``code`` (ERROR for unknown codes)."""
+    info = CODES.get(code)
+    return info.severity if info is not None else Severity.ERROR
+
+
+def title(code: str) -> str:
+    """Human-readable title for ``code``."""
+    info = CODES.get(code)
+    return info.title if info is not None else "unknown diagnostic"

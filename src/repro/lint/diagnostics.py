@@ -1,0 +1,215 @@
+"""Diagnostics core: severities, source spans, diagnostics, reports.
+
+A :class:`Diagnostic` is one finding of the static-analysis pass: a
+stable code (``AVD104``), a severity, a message, an optional source
+:class:`Span`, and an optional *context* naming the model element it
+concerns (``"tier 'web' option 'rA' performance"``).  A
+:class:`LintReport` aggregates diagnostics and renders them as text for
+humans or JSON for CI; JSON output round-trips through
+:meth:`LintReport.from_json`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is: gate (error) vs. advice (warning, info)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where in the source a diagnostic points.
+
+    ``line`` is the 1-based line of a spec document (-1 when unknown);
+    ``start``/``end`` are 0-based character offsets into ``source``
+    (an expression string), -1 when unknown.  Either half may be absent:
+    a model-level finding has only a line, an expression finding inside
+    an embedded model has only offsets.
+    """
+
+    line: int = -1
+    start: int = -1
+    end: int = -1
+    source: str = ""
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.line >= 0:
+            parts.append("line %d" % self.line)
+        if self.start >= 0:
+            parts.append("col %d-%d" % (self.start + 1, max(self.end, self.start + 1)))
+        if self.source:
+            excerpt = self.source
+            if 0 <= self.start < self.end <= len(self.source):
+                excerpt = self.source[self.start:self.end]
+            parts.append("in %r" % excerpt)
+        return ", ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"line": self.line, "start": self.start, "end": self.end,
+                "source": self.source}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        return cls(line=int(data.get("line", -1)),
+                   start=int(data.get("start", -1)),
+                   end=int(data.get("end", -1)),
+                   source=str(data.get("source", "")))
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding with a stable, machine-checkable code."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    context: str = ""
+
+    @classmethod
+    def new(cls, code: str, message: str, span: Optional[Span] = None,
+            context: str = "",
+            severity: Optional[Severity] = None) -> "Diagnostic":
+        """Build a diagnostic, defaulting severity from the code registry."""
+        from .codes import default_severity
+        return cls(code, severity if severity is not None
+                   else default_severity(code), message, span, context)
+
+    def legacy_text(self) -> str:
+        """The pre-lint string form (``context: message``), kept stable
+        for :func:`repro.model.validation.collect_problems`."""
+        if self.context:
+            return "%s: %s" % (self.context, self.message)
+        return self.message
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        text = "%s %s: %s" % (self.code, self.severity, self.legacy_text())
+        if self.span is not None:
+            located = self.span.describe()
+            if located:
+                text += " [%s]" % located
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "context": self.context,
+        }
+        if self.span is not None:
+            data["span"] = self.span.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Diagnostic":
+        span_data = data.get("span")
+        return cls(code=str(data["code"]),
+                   severity=Severity(str(data["severity"])),
+                   message=str(data["message"]),
+                   span=Span.from_dict(span_data)  # type: ignore[arg-type]
+                   if isinstance(span_data, dict) else None,
+                   context=str(data.get("context", "")))
+
+
+class LintReport:
+    """An ordered collection of diagnostics with renderers and exit codes."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # -- aggregation ----------------------------------------------------
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def counts(self) -> Tuple[int, int, int]:
+        """(errors, warnings, infos)."""
+        return (len(self.errors), len(self.warnings), len(self.infos))
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: 1 when gating findings exist, else 0."""
+        if self.has_errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    # -- rendering ------------------------------------------------------
+
+    def summary(self) -> str:
+        errors, warnings, infos = self.counts()
+        return ("%d error(s), %d warning(s), %d info(s)"
+                % (errors, warnings, infos))
+
+    def to_text(self) -> str:
+        """Human-readable multi-line rendering (errors first)."""
+        if not self.diagnostics:
+            return "ok: no problems found"
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (order[d.severity], d.code))
+        lines = [diagnostic.format() for diagnostic in ordered]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Machine-readable rendering; parses back via :meth:`from_json`."""
+        errors, warnings, infos = self.counts()
+        payload = {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {"errors": errors, "warnings": warnings,
+                        "infos": infos},
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        payload = json.loads(text)
+        return cls(Diagnostic.from_dict(item)
+                   for item in payload["diagnostics"])
+
+    def __repr__(self) -> str:
+        return "LintReport(%s)" % self.summary()

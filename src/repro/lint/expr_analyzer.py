@@ -1,0 +1,679 @@
+"""Static analysis of expressions over interval (range) domains.
+
+:func:`analyze_expression` walks an expression AST with every variable
+bound to an :class:`~repro.lint.intervals.Interval` of its declared
+domain and reports, without evaluating anything at runtime:
+
+* unbound variables (``AVD101``) and required-but-unused variables
+  (``AVD102``), unknown functions and arity violations (``AVD103``);
+* reachable division by zero, proved (``AVD104``) or possible
+  (``AVD105``), and ``log``/``sqrt``/power-domain errors, proved
+  (``AVD106``) or possible (``AVD107``);
+* conditional branches that can never be taken because their guard is
+  decided by the variable domains (``AVD108``) -- the static mirror of
+  the constant folding in :mod:`repro.expr.optimizer`.
+
+The analysis is *sound* for runtime errors: when it reports none of the
+:data:`~repro.lint.codes.RUNTIME_ERROR_CODES`, no environment drawn
+from the declared domains can make the evaluator raise.  Guards of the
+form ``variable <op> constant`` narrow the variable's interval inside
+each branch, so Table 1's piecewise overheads analyze precisely.
+
+:func:`analyze_performance` and :func:`analyze_overhead` add the
+domain-specific checks for the two expression sites the models use:
+monotonicity/positivity of ``performance`` functions (``AVD109``,
+``AVD110``) and the >= 100% invariant of ``mperformance`` slowdown
+factors (``AVD111``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import (Dict, List, Mapping, Optional, Sequence, Set,
+                    Tuple, Union)
+
+from ..errors import ExpressionError
+from ..expr.ast_nodes import (Binary, Call, Conditional, Node, Number,
+                              Unary, Variable, free_variables)
+from ..expr.evaluator import Expression, evaluate
+from ..expr.functions import BUILTIN_FUNCTIONS, FUNCTION_ARITY
+from ..expr.parser import parse
+from ..expr.printer import to_source
+from . import intervals as iv
+from .codes import RUNTIME_ERROR_CODES
+from .diagnostics import Diagnostic, Severity, Span
+from .intervals import BOOL, FALSE, TOP, TRUE, Interval
+
+_COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+
+#: Accepted forms for one variable's domain.
+DomainLike = Union[Interval, float, int, Sequence[float]]
+
+#: An AST node's source extent: (start, end) offsets, or unknown.
+SpanPair = Optional[Tuple[int, int]]
+
+#: math.exp overflows above this; used by the exp/``^`` transfers.
+_EXP_OVERFLOW = 709.0
+
+
+@dataclass
+class ExpressionAnalysis:
+    """Everything the analyzer learned about one expression."""
+
+    source: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    result: Interval = TOP
+
+    @property
+    def provably_safe(self) -> bool:
+        """True when no environment drawn from the declared domains can
+        make evaluation raise :class:`~repro.errors.ExpressionError`."""
+        return all(d.code not in RUNTIME_ERROR_CODES
+                   for d in self.diagnostics)
+
+
+def as_interval(domain: DomainLike) -> Interval:
+    """Normalize a domain spec (interval, number, or samples) to an
+    :class:`Interval`."""
+    if isinstance(domain, Interval):
+        return domain
+    if isinstance(domain, (int, float)):
+        return Interval.point(float(domain))
+    values = [float(v) for v in domain]
+    if not values:
+        return TOP
+    return Interval(min(values), max(values))
+
+
+def analyze_expression(expression: Union[str, Node, Expression],
+                       env: Optional[Mapping[str, DomainLike]] = None,
+                       *, context: str = "",
+                       require_used: Sequence[str] = (),
+                       line: int = -1) -> ExpressionAnalysis:
+    """Statically analyze ``expression`` with variables in ``env`` domains.
+
+    ``env`` maps each documented variable of the expression site to its
+    domain; variables outside ``env`` are unbound (``AVD101``).
+    ``require_used`` lists variables the site expects the expression to
+    actually depend on (``AVD102`` when absent).  ``line`` locates the
+    expression inside a spec document, when known.
+    """
+    source, node, analysis = _prepare(expression, line, context)
+    if node is None:
+        return analysis
+    domains = {name: as_interval(domain)
+               for name, domain in (env or {}).items()}
+    walker = _Walker(source, line, context)
+    analysis.result = walker.visit(node, domains)
+    analysis.diagnostics.extend(walker.diagnostics)
+
+    free = free_variables(node)
+    for name in require_used:
+        if name not in free:
+            analysis.diagnostics.append(_diag(
+                "AVD102", "expression does not depend on %r" % name,
+                source, node.span, line, context))
+    return analysis
+
+
+def _prepare(expression: Union[str, Node, Expression], line: int,
+             context: str
+             ) -> Tuple[str, Optional[Node], ExpressionAnalysis]:
+    """Resolve the input form to ``(source, node, analysis)``; on a parse
+    failure the node is None and the analysis already carries AVD100."""
+    if isinstance(expression, Expression):
+        expression = expression.source
+    if isinstance(expression, str):
+        source = expression
+        analysis = ExpressionAnalysis(source)
+        try:
+            # Re-parse rather than reuse a compiled AST: constant folding
+            # would hide unreachable branches from the analyzer.
+            node = parse(source)
+        except ExpressionError as exc:
+            span = None
+            if exc.position >= 0:
+                span = Span(line=line, start=exc.position,
+                            end=exc.position + 1, source=source)
+            analysis.diagnostics.append(Diagnostic.new(
+                "AVD100", str(exc), span=span, context=context))
+            return source, None, analysis
+        return source, node, analysis
+    node = expression
+    source = to_source(node)
+    return source, node, ExpressionAnalysis(source)
+
+
+def _diag(code: str, message: str, source: str, span: SpanPair,
+          line: int,
+          context: str, severity: Optional[Severity] = None) -> Diagnostic:
+    start, end = span if span is not None else (-1, -1)
+    return Diagnostic.new(code, message,
+                          span=Span(line=line, start=start, end=end,
+                                    source=source),
+                          context=context, severity=severity)
+
+
+class _Walker:
+    """The interval walker; collects diagnostics as it folds the AST."""
+
+    def __init__(self, source: str, line: int, context: str):
+        self.source = source
+        self.line = line
+        self.context = context
+        self.diagnostics: List[Diagnostic] = []
+        self._reported: Set[tuple] = set()
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, code: str, message: str, span: SpanPair,
+               severity: Optional[Severity] = None) -> None:
+        key = (code, message, span)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.diagnostics.append(_diag(code, message, self.source, span,
+                                      self.line, self.context, severity))
+
+    # -- dispatch -------------------------------------------------------
+
+    def visit(self, node: Node, env: Dict[str, Interval]) -> Interval:
+        if isinstance(node, Number):
+            return Interval.point(node.value)
+        if isinstance(node, Variable):
+            return self._visit_variable(node, env)
+        if isinstance(node, Unary):
+            return self._visit_unary(node, env)
+        if isinstance(node, Binary):
+            return self._visit_binary(node, env)
+        if isinstance(node, Conditional):
+            return self._visit_conditional(node, env)
+        if isinstance(node, Call):
+            return self._visit_call(node, env)
+        return TOP
+
+    def _visit_variable(self, node: Variable,
+                        env: Dict[str, Interval]) -> Interval:
+        try:
+            return env[node.name]
+        except KeyError:
+            self.report("AVD101",
+                        "unbound variable %r (environment provides %s)"
+                        % (node.name, sorted(env) or "nothing"), node.span)
+            return TOP
+
+    def _visit_unary(self, node: Unary,
+                     env: Dict[str, Interval]) -> Interval:
+        operand = self.visit(node.operand, env)
+        if node.op == "-":
+            return iv.neg(operand)
+        if node.op == "not":
+            return _invert(_truthiness(operand))
+        return TOP
+
+    def _visit_binary(self, node: Binary,
+                      env: Dict[str, Interval]) -> Interval:
+        op = node.op
+        if op in ("and", "or"):
+            return self._visit_boolean(node, env)
+        left = self.visit(node.left, env)
+        right = self.visit(node.right, env)
+        if op == "+":
+            return iv.add(left, right)
+        if op == "-":
+            return iv.sub(left, right)
+        if op == "*":
+            return iv.mul(left, right)
+        if op == "/":
+            return self._visit_division(node, left, right)
+        if op == "^":
+            outcome = iv.power(left, right)
+            if outcome.error == "always":
+                self.report("AVD106",
+                            "power %s always fails (base %s, exponent %s)"
+                            % (_excerpt(self.source, node.span),
+                               left, right), node.span)
+            elif outcome.error == "possible":
+                self.report("AVD107",
+                            "power %s can fail (base %s, exponent %s)"
+                            % (_excerpt(self.source, node.span),
+                               left, right), node.span)
+            return outcome.interval
+        if op in _COMPARISONS:
+            return iv.compare(op, left, right)
+        return TOP
+
+    def _visit_division(self, node: Binary, left: Interval,
+                        right: Interval) -> Interval:
+        if right.is_zero:
+            self.report("AVD104",
+                        "division by zero: denominator %s is always 0"
+                        % _excerpt(self.source, node.right.span), node.span)
+            return TOP
+        if right.contains_zero:
+            self.report("AVD105",
+                        "possible division by zero: denominator %s ranges "
+                        "over %s" % (_excerpt(self.source, node.right.span),
+                                     right), node.span)
+            return TOP
+        return iv.divide(left, right)
+
+    def _visit_boolean(self, node: Binary,
+                       env: Dict[str, Interval]) -> Interval:
+        left = _truthiness(self.visit(node.left, env))
+        if node.op == "and":
+            if left.definitely_false:
+                return FALSE  # right never evaluated
+            right = _truthiness(self.visit(node.right, env))
+            if left.definitely_true:
+                return right
+            if right.definitely_false:
+                return FALSE
+            return BOOL
+        # "or"
+        if left.definitely_true:
+            return TRUE  # right never evaluated
+        right = _truthiness(self.visit(node.right, env))
+        if left.definitely_false:
+            return right
+        if right.definitely_true:
+            return TRUE
+        return BOOL
+
+    def _visit_conditional(self, node: Conditional,
+                           env: Dict[str, Interval]) -> Interval:
+        condition = _truthiness(self.visit(node.condition, env))
+        if condition.definitely_true:
+            self.report("AVD108",
+                        "branch %s is unreachable: condition %s is always "
+                        "true on the declared domain"
+                        % (_excerpt(self.source, node.if_false.span),
+                           _excerpt(self.source, node.condition.span)),
+                        node.if_false.span)
+            return self.visit(node.if_true, env)
+        if condition.definitely_false:
+            self.report("AVD108",
+                        "branch %s is unreachable: condition %s is always "
+                        "false on the declared domain"
+                        % (_excerpt(self.source, node.if_true.span),
+                           _excerpt(self.source, node.condition.span)),
+                        node.if_true.span)
+            return self.visit(node.if_false, env)
+        results = []
+        true_env = _refine(env, node.condition, take_true=True)
+        if true_env is not None:
+            results.append(self.visit(node.if_true, true_env))
+        false_env = _refine(env, node.condition, take_true=False)
+        if false_env is not None:
+            results.append(self.visit(node.if_false, false_env))
+        if not results:
+            return TOP
+        return iv.envelope(results)
+
+    # -- calls ----------------------------------------------------------
+
+    def _visit_call(self, node: Call, env: Dict[str, Interval]) -> Interval:
+        name = node.name
+        if name not in BUILTIN_FUNCTIONS:
+            self.report("AVD103", "unknown function %r" % name, node.span)
+            return TOP
+        low, high = FUNCTION_ARITY[name]
+        count = len(node.args)
+        if count < low or (high is not None and count > high):
+            self.report("AVD103",
+                        "function %r takes %s args, got %d"
+                        % (name,
+                           low if high == low
+                           else "%d..%s" % (low, high or "n"), count),
+                        node.span)
+            return TOP
+        args = [self.visit(arg, env) for arg in node.args]
+        return self._transfer(node, name, args)
+
+    def _transfer(self, node: Call, name: str,
+                  args: List[Interval]) -> Interval:
+        span = node.span
+        if name == "max":
+            return Interval(max(a.lo for a in args), max(a.hi for a in args))
+        if name == "min":
+            return Interval(min(a.lo for a in args), min(a.hi for a in args))
+        if name == "abs":
+            return _abs_interval(args[0])
+        if name in ("floor", "ceil"):
+            return self._integral(name, args[0], span)
+        if name == "round":
+            return self._round(node, args, span)
+        if name == "exp":
+            return self._exp(args[0], span)
+        if name in ("log", "log2", "log10"):
+            return self._log(name, args, span)
+        if name == "sqrt":
+            return self._sqrt(args[0], span)
+        if name == "pow":
+            return self._pow(args, span)
+        if name == "clamp":
+            return self._clamp(args, span)
+        return TOP
+
+    def _integral(self, name: str, value: Interval, span: SpanPair) -> Interval:
+        if not (math.isfinite(value.lo) and math.isfinite(value.hi)):
+            # floor/ceil/round raise OverflowError on infinite input,
+            # and an unbounded argument may overflow to inf at runtime.
+            self.report("AVD107",
+                        "argument of %s() is unbounded and may overflow"
+                        % name, span)
+            return TOP
+        fn = math.floor if name == "floor" else math.ceil
+        return Interval(float(fn(value.lo)), float(fn(value.hi)))
+
+    def _round(self, node: Call, args: List[Interval], span: SpanPair) -> Interval:
+        value = args[0]
+        if not (math.isfinite(value.lo) and math.isfinite(value.hi)):
+            self.report("AVD107",
+                        "argument of round() is unbounded and may overflow",
+                        span)
+            return TOP
+        if len(args) == 1:
+            return Interval(float(round(value.lo)), float(round(value.hi)))
+        ndigits = args[1]
+        if not (ndigits.is_point and float(ndigits.lo).is_integer()):
+            self.report("AVD107",
+                        "round() digit count is not a fixed integer", span)
+        magnitude = 2.0 * max(abs(value.lo), abs(value.hi))
+        return Interval(-magnitude, magnitude)
+
+    def _exp(self, value: Interval, span: SpanPair) -> Interval:
+        if value.hi > _EXP_OVERFLOW:
+            self.report("AVD107",
+                        "exp() argument reaches %s and can overflow"
+                        % value, span)
+            return Interval(0.0, math.inf)
+        lo = math.exp(value.lo) if math.isfinite(value.lo) else 0.0
+        return Interval(lo, math.exp(value.hi))
+
+    def _log(self, name: str, args: List[Interval], span: SpanPair) -> Interval:
+        value = args[0]
+        if value.hi <= 0.0:
+            self.report("AVD106",
+                        "%s() argument %s is never positive"
+                        % (name, value), span)
+            return TOP
+        if value.lo <= 0.0:
+            self.report("AVD107",
+                        "%s() argument %s can be non-positive"
+                        % (name, value), span)
+        if name == "log" and len(args) == 2:
+            base = args[1]
+            if base.hi <= 0.0 or (base.is_point and base.lo == 1.0):
+                self.report("AVD106",
+                            "log() base %s is never valid" % base, span)
+                return TOP
+            if base.lo <= 0.0 or base.contains(1.0):
+                self.report("AVD107",
+                            "log() base %s can be invalid (non-positive "
+                            "or 1)" % base, span)
+            return TOP
+        fn = {"log": math.log, "log2": math.log2, "log10": math.log10}[name]
+        lo = fn(value.lo) if value.lo > 0.0 else -math.inf
+        hi = fn(value.hi) if math.isfinite(value.hi) else math.inf
+        return Interval(lo, hi)
+
+    def _sqrt(self, value: Interval, span: SpanPair) -> Interval:
+        if value.hi < 0.0:
+            self.report("AVD106",
+                        "sqrt() argument %s is always negative" % value,
+                        span)
+            return TOP
+        if value.lo < 0.0:
+            self.report("AVD107",
+                        "sqrt() argument %s can be negative" % value, span)
+        lo = math.sqrt(max(value.lo, 0.0))
+        hi = math.sqrt(value.hi) if math.isfinite(value.hi) else math.inf
+        return Interval(lo, hi)
+
+    def _pow(self, args: List[Interval], span: SpanPair) -> Interval:
+        outcome = iv.power(args[0], args[1])
+        if outcome.error == "always":
+            self.report("AVD106",
+                        "pow(%s, %s) always fails" % (args[0], args[1]),
+                        span)
+        elif outcome.error == "possible":
+            self.report("AVD107",
+                        "pow(%s, %s) can fail" % (args[0], args[1]), span)
+        return outcome.interval
+
+    def _clamp(self, args: List[Interval], span: SpanPair) -> Interval:
+        value, low, high = args
+        if low.lo > high.hi:
+            self.report("AVD106",
+                        "clamp() bounds are always inverted (low %s > "
+                        "high %s)" % (low, high), span)
+            return TOP
+        if low.hi > high.lo:
+            self.report("AVD107",
+                        "clamp() bounds can be inverted (low %s, high %s)"
+                        % (low, high), span)
+        return Interval(max(value.lo, low.lo), min(max(value.hi, low.hi),
+                                                   high.hi))
+
+
+# -- helpers ------------------------------------------------------------
+
+
+def _abs_interval(value: Interval) -> Interval:
+    if value.lo >= 0.0:
+        return value
+    if value.hi <= 0.0:
+        return iv.neg(value)
+    return Interval(0.0, max(-value.lo, value.hi))
+
+
+def _truthiness(value: Interval) -> Interval:
+    if value.definitely_true:
+        return TRUE
+    if value.definitely_false:
+        return FALSE
+    return BOOL
+
+
+def _invert(truth: Interval) -> Interval:
+    if truth.definitely_true:
+        return FALSE
+    if truth.definitely_false:
+        return TRUE
+    return BOOL
+
+
+def _excerpt(source: str, span: SpanPair) -> str:
+    if span is not None and 0 <= span[0] < span[1] <= len(source):
+        return repr(source[span[0]:span[1]])
+    return "<expr>"
+
+
+def _constant(node: Node) -> Optional[float]:
+    """The value of a literal (possibly negated) node, else None."""
+    if isinstance(node, Number):
+        return node.value
+    if isinstance(node, Unary) and node.op == "-":
+        inner = _constant(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _refine(env: Dict[str, Interval], condition: Node,
+            take_true: bool) -> Optional[Dict[str, Interval]]:
+    """Narrow variable domains under a branch guard.
+
+    Handles ``variable <op> constant`` (either order), ``not``, and
+    conjunction/disjunction where one side decides.  Returns None when
+    the refinement proves the branch infeasible.  The refined intervals
+    over-approximate the guard's solution set, preserving soundness.
+    """
+    if isinstance(condition, Unary) and condition.op == "not":
+        return _refine(env, condition.operand, not take_true)
+    if isinstance(condition, Binary):
+        if condition.op == "and" and take_true:
+            env = _refine(env, condition.left, True)
+            if env is None:
+                return None
+            return _refine(env, condition.right, True)
+        if condition.op == "or" and not take_true:
+            env = _refine(env, condition.left, False)
+            if env is None:
+                return None
+            return _refine(env, condition.right, False)
+        if condition.op in _COMPARISONS:
+            return _refine_comparison(env, condition, take_true)
+    return env
+
+
+#: Negation of each comparison operator, for false-branch refinement.
+_NEGATED = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+            "==": "!=", "!=": "=="}
+
+#: Mirror of each operator when its operands are swapped.
+_MIRRORED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+             "==": "==", "!=": "!="}
+
+
+def _refine_comparison(env: Dict[str, Interval], condition: Binary,
+                       take_true: bool) -> Optional[Dict[str, Interval]]:
+    op = condition.op
+    if isinstance(condition.left, Variable):
+        name, bound = condition.left.name, _constant(condition.right)
+    elif isinstance(condition.right, Variable):
+        name, bound = condition.right.name, _constant(condition.left)
+        op = _MIRRORED[op]
+    else:
+        return env
+    if bound is None or name not in env:
+        return env
+    if not take_true:
+        op = _NEGATED[op]
+    current = env[name]
+    narrowed = _narrow(current, op, bound)
+    if narrowed is None:
+        return None
+    if narrowed == current:
+        return env
+    refined = dict(env)
+    refined[name] = narrowed
+    return refined
+
+
+def _narrow(interval: Interval, op: str, bound: float) -> Optional[Interval]:
+    """Intersect ``interval`` with a closed over-approximation of
+    ``{x : x <op> bound}``; None when empty."""
+    if op in ("<", "<="):
+        return interval.intersect(Interval(-math.inf, bound))
+    if op in (">", ">="):
+        return interval.intersect(Interval(bound, math.inf))
+    if op == "==":
+        return interval.intersect(Interval.point(bound))
+    return interval  # "!=" removes a single point: nothing to narrow
+
+
+# -- site-specific analyses ---------------------------------------------
+
+
+def _subsample(values: Sequence, cap: int) -> List:
+    """At most ``cap`` values, always keeping the first and last."""
+    if len(values) <= cap:
+        return list(values)
+    step = max(1, len(values) // (cap - 1))
+    picked = list(values[::step])
+    if picked[-1] != values[-1]:
+        picked.append(values[-1])
+    return picked
+
+
+def analyze_performance(expression: Union[str, Node, Expression],
+                        counts: Sequence[int], *, context: str = "",
+                        line: int = -1,
+                        sample_cap: int = 33) -> List[Diagnostic]:
+    """Lint a ``performance`` expression over its declared ``nActive``
+    counts: runtime-safety (interval analysis) plus monotonicity
+    (``AVD109``) and positivity (``AVD110``) sampling."""
+    counts = sorted(counts)
+    analysis = analyze_expression(
+        expression, {"n": Interval(float(counts[0]), float(counts[-1]))},
+        context=context, require_used=("n",), line=line)
+    diagnostics = list(analysis.diagnostics)
+    source = analysis.source
+
+    previous = None
+    monotone_reported = positive_reported = False
+    for count in _subsample(counts, sample_cap):
+        try:
+            value = evaluate(parse(source), {"n": float(count)})
+        except ExpressionError:
+            continue  # reachable-error diagnostics already cover this
+        if not positive_reported and value <= 0.0:
+            diagnostics.append(Diagnostic.new(
+                "AVD110",
+                "throughput is %g at n=%d; performance should be positive "
+                "on the declared domain" % (value, count),
+                span=Span(line=line, source=source), context=context))
+            positive_reported = True
+        if not monotone_reported and previous is not None \
+                and value < previous[1] - 1e-9:
+            diagnostics.append(Diagnostic.new(
+                "AVD109",
+                "throughput decreases from %g at n=%d to %g at n=%d; "
+                "adding resources should not lose capacity"
+                % (previous[1], previous[0], value, count),
+                span=Span(line=line, source=source), context=context))
+            monotone_reported = True
+        previous = (count, value)
+    return diagnostics
+
+
+def analyze_overhead(expression: Union[str, Node, Expression],
+                     counts: Sequence[int],
+                     cpi_values: Optional[Sequence[float]] = None, *,
+                     context: str = "", line: int = -1,
+                     sample_cap: int = 16) -> List[Diagnostic]:
+    """Lint an ``mperformance`` expression: runtime safety plus the
+    slowdown >= 100% invariant (``AVD111``) the evaluator enforces."""
+    counts = sorted(counts)
+    env: Dict[str, DomainLike] = {
+        "n": Interval(float(counts[0]), float(counts[-1]))}
+    if cpi_values:
+        env["cpi"] = Interval(float(min(cpi_values)),
+                              float(max(cpi_values)))
+    analysis = analyze_expression(expression, env, context=context,
+                                  line=line)
+    diagnostics = list(analysis.diagnostics)
+    source = analysis.source
+
+    if analysis.result.hi < 1.0 - 1e-9:
+        diagnostics.append(Diagnostic.new(
+            "AVD111",
+            "slowdown factor is always %s, below 1.0; every evaluation "
+            "would be rejected" % analysis.result,
+            span=Span(line=line, source=source), context=context,
+            severity=Severity.ERROR))
+        return diagnostics
+
+    node = parse(source)
+    for cpi in _subsample(list(cpi_values or [None]), sample_cap):
+        for count in _subsample(counts, sample_cap):
+            point_env = {"n": float(count)}
+            if cpi is not None:
+                point_env["cpi"] = float(cpi)
+            try:
+                factor = evaluate(node, point_env)
+            except ExpressionError:
+                continue
+            if factor < 1.0 - 1e-9:
+                at = "n=%d" % count
+                if cpi is not None:
+                    at += ", cpi=%g" % cpi
+                diagnostics.append(Diagnostic.new(
+                    "AVD111",
+                    "slowdown factor %.4g < 1 at %s; mperformance must "
+                    "be >= 100%%" % (factor, at),
+                    span=Span(line=line, source=source), context=context))
+                return diagnostics
+    return diagnostics

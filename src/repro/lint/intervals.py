@@ -1,0 +1,260 @@
+"""Interval (range) arithmetic for the expression static analyzer.
+
+An :class:`Interval` is a closed range ``[lo, hi]`` over the extended
+reals.  The analyzer folds each expression over intervals instead of
+numbers; the transfer functions here are *conservative*: the interval
+returned always contains every value the expression can actually take
+when its variables range over their declared domains.  Conservatism is
+what makes the analyzer sound -- if it proves a denominator's interval
+excludes zero, no runtime environment drawn from the domain can divide
+by zero (property-tested in ``tests/properties/test_lint_props.py``).
+
+Whenever an endpoint computation degenerates (NaN from ``inf - inf``,
+an overflowing corner), the result widens to :data:`TOP` rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed range ``[lo, hi]``; ``lo <= hi`` always holds."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi) or self.lo > self.hi:
+            # Degenerate construction widens to TOP instead of erroring:
+            # analysis must never crash on weird arithmetic.
+            object.__setattr__(self, "lo", -_INF)
+            object.__setattr__(self, "hi", _INF)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def of(cls, *values: float) -> "Interval":
+        return cls(min(values), max(values))
+
+    # -- predicates -----------------------------------------------------
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def contains_zero(self) -> bool:
+        return self.lo <= 0.0 <= self.hi
+
+    @property
+    def is_zero(self) -> bool:
+        return self.lo == 0.0 and self.hi == 0.0
+
+    @property
+    def strictly_positive(self) -> bool:
+        return self.lo > 0.0
+
+    @property
+    def strictly_negative(self) -> bool:
+        return self.hi < 0.0
+
+    @property
+    def definitely_true(self) -> bool:
+        """Every value in the interval is truthy (nonzero)."""
+        return not self.contains_zero
+
+    @property
+    def definitely_false(self) -> bool:
+        """Every value in the interval is falsy (the interval is {0})."""
+        return self.is_zero
+
+    # -- set operations -------------------------------------------------
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return "[%g, %g]" % (self.lo, self.hi)
+
+
+TOP = Interval(-_INF, _INF)
+TRUE = Interval.point(1.0)
+FALSE = Interval.point(0.0)
+BOOL = Interval(0.0, 1.0)
+
+
+def from_corners(values: Iterable[float]) -> Interval:
+    """Bound an operation by its corner evaluations; NaN widens to TOP."""
+    collected = list(values)
+    if not collected or any(math.isnan(v) for v in collected):
+        return TOP
+    return Interval(min(collected), max(collected))
+
+
+# -- arithmetic transfer functions -------------------------------------
+
+
+def add(a: Interval, b: Interval) -> Interval:
+    return from_corners((a.lo + b.lo, a.hi + b.hi))
+
+
+def sub(a: Interval, b: Interval) -> Interval:
+    return from_corners((a.lo - b.hi, a.hi - b.lo))
+
+
+def neg(a: Interval) -> Interval:
+    return Interval(-a.hi, -a.lo)
+
+
+def mul(a: Interval, b: Interval) -> Interval:
+    return from_corners((_mul(a.lo, b.lo), _mul(a.lo, b.hi),
+                         _mul(a.hi, b.lo), _mul(a.hi, b.hi)))
+
+
+def _mul(x: float, y: float) -> float:
+    # 0 * inf is NaN in IEEE, but for bound purposes the limit is 0:
+    # any finite sample of the zero factor makes the product 0.
+    if x == 0.0 or y == 0.0:
+        return 0.0
+    return x * y
+
+
+def divide(a: Interval, b: Interval) -> Interval:
+    """Bounds of ``a / b``.  Callers must separately flag division by
+    zero when ``b.contains_zero``; the bounds here are only meaningful
+    for the subset of ``b`` that is nonzero."""
+    if b.contains_zero:
+        # The quotient is unbounded as the denominator nears zero.
+        return TOP
+    return from_corners((a.lo / b.lo, a.lo / b.hi,
+                         a.hi / b.lo, a.hi / b.hi))
+
+
+def power(base: Interval, exponent: Interval) -> "PowerResult":
+    """Bounds of ``base ^ exponent`` plus a runtime-error verdict.
+
+    The verdict is ``None`` (provably safe), ``"possible"``, or
+    ``"always"`` -- the evaluator raises for ``0 ^ negative`` and for
+    ``negative ^ fractional`` (complex result), and overflows for huge
+    corners.
+    """
+    exp_int = _point_integer(exponent)
+    if exp_int is not None:
+        return _power_integer(base, exp_int)
+    if base.lo > 0.0:
+        verdict = None
+        corners = []
+        for b in (base.lo, base.hi):
+            for e in (exponent.lo, exponent.hi):
+                try:
+                    corners.append(float(b ** e))
+                except OverflowError:
+                    verdict = "possible"
+        if verdict is not None:
+            return PowerResult(TOP, verdict)
+        # x^y is monotone in each argument for x > 0, so the corner
+        # evaluations bound the whole box.
+        return PowerResult(from_corners(corners), None)
+    if base.hi < 0.0 and exponent.is_point and math.isfinite(exponent.lo):
+        # Certain negative base, certain (finite) fractional exponent.
+        return PowerResult(TOP, "always")
+    # Base may be non-positive and the exponent is not a known integer:
+    # a fractional power of a negative (or a negative power of zero)
+    # may be reachable.
+    return PowerResult(TOP, "possible")
+
+
+@dataclass(frozen=True)
+class PowerResult:
+    """Bounds plus runtime-error verdict for :func:`power`."""
+
+    interval: Interval
+    error: Optional[str]  # None | "possible" | "always"
+
+
+def _point_integer(interval: Interval) -> Optional[int]:
+    if interval.is_point and math.isfinite(interval.lo) \
+            and float(interval.lo).is_integer():
+        return int(interval.lo)
+    return None
+
+
+def _power_integer(base: Interval, k: int) -> PowerResult:
+    if k < 0 and base.contains_zero:
+        verdict = "always" if base.is_zero else "possible"
+        return PowerResult(TOP, verdict)
+    corners = []
+    try:
+        corners.extend((float(base.lo ** k), float(base.hi ** k)))
+    except (OverflowError, ZeroDivisionError):
+        return PowerResult(TOP, "possible")
+    if k > 0 and k % 2 == 0 and base.contains_zero:
+        corners.append(0.0)
+    return PowerResult(from_corners(corners), None)
+
+
+# -- comparisons and boolean logic -------------------------------------
+
+
+def compare(op: str, a: Interval, b: Interval) -> Interval:
+    """Interval of a comparison: TRUE / FALSE when decided, else BOOL."""
+    if op == "<":
+        if a.hi < b.lo:
+            return TRUE
+        if a.lo >= b.hi:
+            return FALSE
+    elif op == "<=":
+        if a.hi <= b.lo:
+            return TRUE
+        if a.lo > b.hi:
+            return FALSE
+    elif op == ">":
+        if a.lo > b.hi:
+            return TRUE
+        if a.hi <= b.lo:
+            return FALSE
+    elif op == ">=":
+        if a.lo >= b.hi:
+            return TRUE
+        if a.hi < b.lo:
+            return FALSE
+    elif op == "==":
+        if a.is_point and b.is_point and a.lo == b.lo:
+            return TRUE
+        if a.intersect(b) is None:
+            return FALSE
+    elif op == "!=":
+        if a.intersect(b) is None:
+            return TRUE
+        if a.is_point and b.is_point and a.lo == b.lo:
+            return FALSE
+    return BOOL
+
+
+def envelope(values: Sequence[Interval]) -> Interval:
+    """Smallest interval containing all of ``values``."""
+    result = values[0]
+    for value in values[1:]:
+        result = result.hull(value)
+    return result

@@ -1,0 +1,416 @@
+"""Model-level lint checks: structure, ranges, and embedded expressions.
+
+:func:`lint_pair` is the entry point behind ``repro lint``: it layers
+advisory analysis on top of the gating checks
+:func:`repro.model.validation.collect_diagnostics` already performs.
+The extra passes are
+
+* exhaustive deferred-attribute checking (every ``AVD203``/``AVD204``
+  in the infrastructure, not just the first),
+* physical-plausibility warnings: MTTR not below MTBF (``AVD206``),
+  also across every setting of an MTTR-supplying mechanism
+  (``AVD209``),
+* structural hygiene: names shared across component/mechanism/resource
+  namespaces (``AVD208``), tiers whose every option is broken
+  (``AVD207``), infrastructure elements the service never uses
+  (``AVD210``),
+* overhead wiring: a categorical overhead must cover every allowed
+  category setting (``AVD211``; ``AVD212`` for unreachable extras) and
+  tabulated performance must cover the nActive range (``AVD213``),
+* static analysis of every embedded ``performance``/``mperformance``
+  expression via :mod:`repro.lint.expr_analyzer`, with ``n`` bound to
+  the option's nActive range and ``cpi`` to the mechanism's checkpoint
+  intervals.
+
+Models parsed from spec text carry a ``source_lines`` provenance map
+(``"tier:web"`` -> line number); diagnostics pick their spans from it
+when present, so findings point back into the document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..model.component import ComponentType, FailureMode
+from ..model.infrastructure import InfrastructureModel
+from ..model.mechanism import (AvailabilityMechanism, ConstantEffect,
+                               Effect, ParameterEffect, TableEffect)
+from ..model.perf import (CategoricalOverhead, ConstantPerformance,
+                          ExpressionPerformance, TabulatedPerformance)
+from ..model.service import (MechanismUse, ResourceOption,
+                             ServiceModel)
+from ..model.validation import collect_diagnostics
+from ..units import Duration
+from .diagnostics import Diagnostic, LintReport, Span
+from .expr_analyzer import analyze_overhead, analyze_performance
+
+
+def lint_pair(infrastructure: InfrastructureModel,
+              service: ServiceModel) -> LintReport:
+    """Full lint of a service/infrastructure pairing."""
+    report = LintReport()
+    report.extend(collect_diagnostics(infrastructure, service,
+                                      include_infrastructure=False))
+    report.extend(lint_infrastructure(infrastructure))
+    report.extend(_service_structure(infrastructure, service))
+    report.extend(_usage(infrastructure, service))
+    report.extend(_expressions(infrastructure, service))
+    return report
+
+
+def lint_infrastructure(
+        infrastructure: InfrastructureModel) -> List[Diagnostic]:
+    """Infrastructure-only checks (shared by every service pairing)."""
+    diagnostics: List[Diagnostic] = []
+    mechanisms = {mech.name: mech for mech in infrastructure.mechanisms}
+
+    for component in infrastructure.components:
+        span = _span(infrastructure, "component:%s" % component.name)
+        context = "component %r" % component.name
+        for mode in component.failure_modes:
+            diagnostics.extend(_check_deferred(
+                mode.mttr_mechanism, "mttr", mechanisms, context, span))
+            diagnostics.extend(_check_repair_times(
+                component, mode, mechanisms, context, span))
+        diagnostics.extend(_check_deferred(
+            component.loss_window_mechanism, "loss_window", mechanisms,
+            context, span))
+
+    diagnostics.extend(_shared_names(infrastructure))
+    return diagnostics
+
+
+# -- infrastructure checks ----------------------------------------------
+
+
+def _check_deferred(name: Optional[str], attribute: str,
+                    mechanisms: Dict[str, AvailabilityMechanism],
+                    context: str, span: Optional[Span]) -> List[Diagnostic]:
+    if name is None:
+        return []
+    if name not in mechanisms:
+        return [Diagnostic.new(
+            "AVD203", "defers %s to unknown mechanism %r"
+            % (attribute, name), span=span, context=context)]
+    if not mechanisms[name].provides(attribute):
+        return [Diagnostic.new(
+            "AVD204", "mechanism %r does not provide %s"
+            % (name, attribute), span=span, context=context)]
+    return []
+
+
+def _check_repair_times(component: ComponentType, mode: FailureMode,
+                        mechanisms: Dict[str, AvailabilityMechanism],
+                        context: str,
+                        span: Optional[Span]) -> List[Diagnostic]:
+    """AVD206 / AVD209: repair must conclude well within the MTBF, for
+    concrete MTTRs and for every setting of an MTTR mechanism."""
+    diagnostics: List[Diagnostic] = []
+    mtbf = mode.mtbf.as_seconds
+    if isinstance(mode.mttr, Duration):
+        repair = (mode.mttr + mode.detect_time).as_seconds
+        if repair >= mtbf:
+            diagnostics.append(Diagnostic.new(
+                "AVD206",
+                "failure %r: repair time %s (incl. detection) is not "
+                "below MTBF %s; the component would be down more than up"
+                % (mode.name, (mode.mttr + mode.detect_time).format(),
+                   mode.mtbf.format()), span=span, context=context))
+        return diagnostics
+
+    mechanism = mechanisms.get(mode.mttr_mechanism or "")
+    if mechanism is None or not mechanism.provides("mttr"):
+        return diagnostics  # AVD203/AVD204 already cover this
+    for value in _effect_values(mechanism.effects["mttr"], mechanism):
+        duration = _as_duration(value)
+        if duration is None:
+            continue
+        if (duration + mode.detect_time).as_seconds >= mtbf:
+            diagnostics.append(Diagnostic.new(
+                "AVD209",
+                "failure %r: mechanism %r can set MTTR %s, which is not "
+                "below MTBF %s" % (mode.name, mechanism.name,
+                                   duration.format(), mode.mtbf.format()),
+                span=span, context=context))
+            break  # one witness per (mode, mechanism) is enough
+    return diagnostics
+
+
+def _effect_values(effect: Effect,
+                   mechanism: AvailabilityMechanism) -> List[object]:
+    """Every value an effect can resolve to across parameter settings."""
+    if isinstance(effect, ConstantEffect):
+        return [effect.value]
+    if isinstance(effect, TableEffect):
+        return [value for _, value in effect.table]
+    if isinstance(effect, ParameterEffect):
+        try:
+            return list(mechanism.parameter(effect.parameter).values.values())
+        except Exception:
+            return []
+    return []
+
+
+def _as_duration(value: object) -> Optional[Duration]:
+    if isinstance(value, Duration):
+        return value
+    if isinstance(value, str):
+        try:
+            return Duration.parse(value)
+        except Exception:
+            return None
+    return None
+
+
+def _shared_names(
+        infrastructure: InfrastructureModel) -> List[Diagnostic]:
+    namespaces = {
+        "component": {c.name for c in infrastructure.components},
+        "mechanism": {m.name for m in infrastructure.mechanisms},
+        "resource": {r.name for r in infrastructure.resources},
+    }
+    diagnostics = []
+    kinds = sorted(namespaces)
+    for i, first in enumerate(kinds):
+        for second in kinds[i + 1:]:
+            for name in sorted(namespaces[first] & namespaces[second]):
+                diagnostics.append(Diagnostic.new(
+                    "AVD208",
+                    "name %r is both a %s and a %s; spec references may "
+                    "resolve to the wrong one" % (name, first, second)))
+    return diagnostics
+
+
+# -- service structure --------------------------------------------------
+
+
+def _service_structure(infrastructure: InfrastructureModel,
+                       service: ServiceModel) -> List[Diagnostic]:
+    """AVD207: a tier where every option is structurally broken can
+    never be designed, whatever the requirements."""
+    diagnostics = []
+    for tier in service.tiers:
+        if all(_option_is_broken(infrastructure, option)
+               for option in tier.options):
+            diagnostics.append(Diagnostic.new(
+                "AVD207",
+                "no structurally feasible resource option remains "
+                "(every option has gating problems)",
+                span=_span(service, "tier:%s" % tier.name),
+                context="tier %r" % tier.name))
+    return diagnostics
+
+
+def _option_is_broken(infrastructure: InfrastructureModel,
+                      option: ResourceOption) -> bool:
+    if not infrastructure.has_resource(option.resource):
+        return True
+    resource = infrastructure.resource(option.resource)
+    min_needed = min(option.active_counts())
+    for slot in resource.slots:
+        component = infrastructure.component(slot.component)
+        if component.max_instances is not None \
+                and component.max_instances < min_needed:
+            return True
+    return False
+
+
+def _usage(infrastructure: InfrastructureModel,
+           service: ServiceModel) -> List[Diagnostic]:
+    """AVD210: infrastructure elements this service pairing never uses.
+
+    Informational: a shared repository legitimately holds blocks for
+    other services (paper section 2), but an unused element in a
+    single-service spec is usually a typo.
+    """
+    diagnostics = []
+    used_resources = {option.resource
+                      for tier in service.tiers
+                      for option in tier.options}
+    used_mechanisms = {use.mechanism
+                       for tier in service.tiers
+                       for option in tier.options
+                       for use in option.mechanisms}
+    used_components = set()
+    for name in used_resources:
+        if infrastructure.has_resource(name):
+            resource = infrastructure.resource(name)
+            used_components.update(slot.component for slot in resource.slots)
+    for component in infrastructure.components:
+        if component.name in used_components:
+            used_mechanisms.update(component.mechanism_references())
+
+    for resource in infrastructure.resources:
+        if resource.name not in used_resources:
+            diagnostics.append(Diagnostic.new(
+                "AVD210", "resource type %r is not used by service %r"
+                % (resource.name, service.name),
+                span=_span(infrastructure, "resource:%s" % resource.name)))
+    for mechanism in infrastructure.mechanisms:
+        if mechanism.name not in used_mechanisms:
+            diagnostics.append(Diagnostic.new(
+                "AVD210", "mechanism %r is not used by service %r"
+                % (mechanism.name, service.name),
+                span=_span(infrastructure,
+                           "mechanism:%s" % mechanism.name)))
+    for component in infrastructure.components:
+        if component.name not in used_components:
+            diagnostics.append(Diagnostic.new(
+                "AVD210", "component type %r is not used by service %r"
+                % (component.name, service.name),
+                span=_span(infrastructure,
+                           "component:%s" % component.name)))
+    return diagnostics
+
+
+# -- embedded expressions -----------------------------------------------
+
+
+def _expressions(infrastructure: InfrastructureModel,
+                 service: ServiceModel) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for tier in service.tiers:
+        for option in tier.options:
+            diagnostics.extend(_option_expressions(
+                infrastructure, service, tier.name, option))
+    return diagnostics
+
+
+def _option_expressions(infrastructure: InfrastructureModel,
+                        service: ServiceModel, tier_name: str,
+                        option: ResourceOption) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    context = "tier %r option %r" % (tier_name, option.resource)
+    key = "%s/%s" % (tier_name, option.resource)
+    line = _line(service, "option:" + key, "tier:%s" % tier_name)
+    perf_line = _line(service, "performance:" + key, "option:" + key,
+                      "tier:%s" % tier_name)
+    counts = option.active_counts()
+
+    performance = option.performance
+    if isinstance(performance, ExpressionPerformance):
+        diagnostics.extend(analyze_performance(
+            performance.expression, counts,
+            context="%s performance" % context, line=perf_line))
+    elif isinstance(performance, TabulatedPerformance):
+        sampled = performance.sampled_counts
+        outside = [count for count in counts
+                   if count < sampled[0] or count > sampled[-1]]
+        if outside:
+            diagnostics.append(Diagnostic.new(
+                "AVD213",
+                "nActive allows %s but throughput is only sampled for "
+                "[%d, %d]; those counts fail at evaluation time"
+                % (outside, sampled[0], sampled[-1]),
+                span=Span(line=perf_line), context=context))
+    elif isinstance(performance, ConstantPerformance):
+        if performance.capacity <= 0.0:
+            diagnostics.append(Diagnostic.new(
+                "AVD110", "constant throughput is %g; the tier can never "
+                "meet a positive load" % performance.capacity,
+                span=Span(line=perf_line), context=context))
+
+    for use in option.mechanisms:
+        overhead_line = _line(
+            service, "mperformance:%s/%s" % (key, use.mechanism),
+            "option:" + key)
+        diagnostics.extend(_overhead_expressions(
+            infrastructure, use, counts, context, overhead_line))
+    return diagnostics
+
+
+def _overhead_expressions(infrastructure: InfrastructureModel,
+                          use: MechanismUse,
+                          counts: Sequence[int], context: str,
+                          line: int) -> List[Diagnostic]:
+    overhead = use.overhead
+    if not isinstance(overhead, CategoricalOverhead):
+        return []
+    if not infrastructure.has_mechanism(use.mechanism):
+        return []  # AVD202 already reported; nothing to bind cpi against
+    mechanism = infrastructure.mechanism(use.mechanism)
+    diagnostics: List[Diagnostic] = []
+    span = Span(line=line)
+    context = "%s mechanism %r" % (context, use.mechanism)
+
+    categories = _parameter_values(mechanism, overhead.category_param)
+    if categories is None:
+        diagnostics.append(Diagnostic.new(
+            "AVD211",
+            "overhead is keyed by parameter %r but mechanism %r has no "
+            "such parameter" % (overhead.category_param, mechanism.name),
+            span=span, context=context))
+    else:
+        for category in categories:
+            if category not in overhead.expressions:
+                diagnostics.append(Diagnostic.new(
+                    "AVD211",
+                    "no overhead expression for %s=%r, an allowed setting"
+                    % (overhead.category_param, category),
+                    span=span, context=context))
+        for key in sorted(overhead.expressions):
+            if key not in categories:
+                diagnostics.append(Diagnostic.new(
+                    "AVD212",
+                    "overhead expression for %s=%r can never be selected "
+                    "(allowed settings: %s)"
+                    % (overhead.category_param, key, sorted(categories)),
+                    span=span, context=context))
+
+    cpi_values = _interval_minutes(mechanism, overhead.interval_param)
+    for key in sorted(overhead.expressions):
+        expression = overhead.expressions[key]
+        needs_cpi = overhead.interval_var in expression.variables
+        if needs_cpi and cpi_values is None:
+            diagnostics.append(Diagnostic.new(
+                "AVD211",
+                "overhead for %s=%r uses %r but mechanism %r has no "
+                "parameter %r to bind it"
+                % (overhead.category_param, key, overhead.interval_var,
+                   mechanism.name, overhead.interval_param),
+                span=span, context=context))
+            continue
+        diagnostics.extend(analyze_overhead(
+            expression, counts, cpi_values if needs_cpi else None,
+            context="%s overhead for %s=%r"
+            % (context, overhead.category_param, key), line=line))
+    return diagnostics
+
+
+def _parameter_values(mechanism: AvailabilityMechanism,
+                      name: str) -> Optional[List[object]]:
+    for parameter in mechanism.parameters:
+        if parameter.name == name:
+            return list(parameter.values.values())
+    return None
+
+
+def _interval_minutes(mechanism: AvailabilityMechanism,
+                      name: str) -> Optional[List[float]]:
+    values = _parameter_values(mechanism, name)
+    if values is None:
+        return None
+    minutes = []
+    for value in values:
+        duration = _as_duration(value)
+        if duration is not None:
+            minutes.append(duration.as_minutes)
+    return minutes or None
+
+
+# -- provenance ---------------------------------------------------------
+
+
+def _line(model: object, *keys: str) -> int:
+    """Line number from a model's ``source_lines`` provenance, if any."""
+    lines = getattr(model, "source_lines", None) or {}
+    for key in keys:
+        line = lines.get(key)
+        if line is not None:
+            return line
+    return -1
+
+
+def _span(model: object, key: str) -> Optional[Span]:
+    line = _line(model, key)
+    return Span(line=line) if line >= 0 else None

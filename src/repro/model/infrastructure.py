@@ -25,6 +25,9 @@ class InfrastructureModel:
         self._components: Dict[str, ComponentType] = {}
         self._mechanisms: Dict[str, AvailabilityMechanism] = {}
         self._resources: Dict[str, ResourceType] = {}
+        #: parse provenance (``"component:cpuA"`` -> spec line number);
+        #: populated by the spec parser, used by lint diagnostics.
+        self.source_lines: Dict[str, int] = {}
         for component in components:
             self.add_component(component)
         for mechanism in mechanisms:
@@ -100,6 +103,12 @@ class InfrastructureModel:
 
     def has_resource(self, name: str) -> bool:
         return name in self._resources
+
+    def has_mechanism(self, name: str) -> bool:
+        return name in self._mechanisms
+
+    def has_component(self, name: str) -> bool:
+        return name in self._components
 
     # -- cross validation ---------------------------------------------
 

@@ -111,6 +111,11 @@ class TabulatedPerformance(PerformanceModel):
         fraction = (n_active - lo_n) / (hi_n - lo_n)
         return lo_v + fraction * (hi_v - lo_v)
 
+    @property
+    def sampled_counts(self) -> List[int]:
+        """The sampled resource counts, ascending."""
+        return list(self._counts)
+
     def __repr__(self) -> str:
         return "TabulatedPerformance(%d samples)" % len(self._counts)
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ModelError
 from ..units import ValueRange
@@ -163,6 +163,9 @@ class ServiceModel:
         self.name = name
         self.tiers: Tuple[Tier, ...] = tuple(tiers)
         self.job_size = job_size
+        #: parse provenance (``"tier:web"`` -> spec line number);
+        #: populated by the spec parser, used by lint diagnostics.
+        self.source_lines: Dict[str, int] = {}
 
     @property
     def is_finite_job(self) -> bool:

@@ -4,15 +4,25 @@ The infrastructure model validates itself (:meth:`InfrastructureModel.
 validate`); this module checks the *pairing* of a service model with an
 infrastructure model before any search runs, so that search failures
 are always about requirements, never about dangling references.
+
+Findings are built as :class:`~repro.lint.diagnostics.Diagnostic`
+objects carrying stable codes and source spans; the string list of
+:func:`collect_problems` is derived from them (via
+:meth:`~repro.lint.diagnostics.Diagnostic.legacy_text`) and is
+unchanged.  The full diagnostic objects feed ``repro lint`` through
+:func:`repro.lint.lint_pair`, which layers advisory checks on top.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from ..errors import ModelError
 from .infrastructure import InfrastructureModel
 from .service import ServiceModel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from ..lint.diagnostics import Diagnostic
 
 
 def validate_pair(infrastructure: InfrastructureModel,
@@ -28,26 +38,51 @@ def validate_pair(infrastructure: InfrastructureModel,
 def collect_problems(infrastructure: InfrastructureModel,
                      service: ServiceModel) -> List[str]:
     """Return a human-readable list of inconsistencies (empty if clean)."""
-    problems: List[str] = []
-    try:
-        infrastructure.validate()
-    except ModelError as exc:
-        problems.append(str(exc))
+    return [diagnostic.legacy_text()
+            for diagnostic in collect_diagnostics(infrastructure, service)]
+
+
+def collect_diagnostics(infrastructure: InfrastructureModel,
+                        service: ServiceModel,
+                        include_infrastructure: bool = True
+                        ) -> List["Diagnostic"]:
+    """The gating inconsistencies as coded diagnostics.
+
+    ``include_infrastructure=False`` skips the first-error summary from
+    :meth:`InfrastructureModel.validate` (used by the lint pass, which
+    reports every infrastructure inconsistency individually instead).
+    """
+    # Imported lazily: repro.lint imports this module for the gating
+    # checks, so a module-level import would be circular.
+    from ..lint.diagnostics import Diagnostic
+
+    diagnostics: List[Diagnostic] = []
+    if include_infrastructure:
+        try:
+            infrastructure.validate()
+        except ModelError as exc:
+            code = ("AVD203" if "unknown mechanism" in str(exc)
+                    else "AVD204")
+            diagnostics.append(Diagnostic.new(code, str(exc)))
 
     mechanism_names = {mech.name for mech in infrastructure.mechanisms}
 
     for tier in service.tiers:
         for option in tier.options:
             context = "tier %r option %r" % (tier.name, option.resource)
+            span = _option_span(service, tier.name, option.resource)
             if not infrastructure.has_resource(option.resource):
-                problems.append("%s: unknown resource type" % context)
+                diagnostics.append(Diagnostic.new(
+                    "AVD201", "unknown resource type",
+                    span=span, context=context))
                 continue
             resource = infrastructure.resource(option.resource)
 
             for use in option.mechanisms:
                 if use.mechanism not in mechanism_names:
-                    problems.append("%s: uses unknown mechanism %r"
-                                    % (context, use.mechanism))
+                    diagnostics.append(Diagnostic.new(
+                        "AVD202", "uses unknown mechanism %r"
+                        % use.mechanism, span=span, context=context))
 
             # Every mechanism a component of this resource defers to
             # must exist; and if it has parameters the design search
@@ -55,28 +90,43 @@ def collect_problems(infrastructure: InfrastructureModel,
             for needed in infrastructure.resource_mechanisms(
                     option.resource):
                 if needed not in mechanism_names:
-                    problems.append(
-                        "%s: component defers to unknown mechanism %r"
-                        % (context, needed))
+                    diagnostics.append(Diagnostic.new(
+                        "AVD203",
+                        "component defers to unknown mechanism %r"
+                        % needed, span=span, context=context))
 
-            problems.extend(_check_instance_limits(
-                infrastructure, resource, option, context))
-    return problems
+            diagnostics.extend(_check_instance_limits(
+                infrastructure, resource, option, context, span))
+    return diagnostics
 
 
-def _check_instance_limits(infrastructure, resource, option,
-                           context) -> List[str]:
+def _option_span(service, tier_name, resource_name):
+    """Span for an option from the service's parse provenance, if any."""
+    from ..lint.diagnostics import Span
+
+    lines = getattr(service, "source_lines", None) or {}
+    line = lines.get("option:%s/%s" % (tier_name, resource_name))
+    if line is None:
+        line = lines.get("tier:%s" % tier_name)
+    return Span(line=line) if line is not None else None
+
+
+def _check_instance_limits(infrastructure, resource, option, context,
+                           span) -> List["Diagnostic"]:
     """Flag nActive ranges that can never be satisfied because a
     component type caps its instance count below the minimum."""
-    problems = []
+    from ..lint.diagnostics import Diagnostic
+
+    diagnostics = []
     min_needed = min(option.active_counts())
     for slot in resource.slots:
         component = infrastructure.component(slot.component)
         if component.max_instances is not None \
                 and component.max_instances < min_needed:
-            problems.append(
-                "%s: component %r allows at most %d instances but the "
+            diagnostics.append(Diagnostic.new(
+                "AVD205",
+                "component %r allows at most %d instances but the "
                 "tier needs at least %d active resources"
-                % (context, component.name, component.max_instances,
-                   min_needed))
-    return problems
+                % (component.name, component.max_instances, min_needed),
+                span=span, context=context))
+    return diagnostics

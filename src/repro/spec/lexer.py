@@ -27,12 +27,18 @@ RawValue = Union[str, List[str]]
 
 @dataclass(frozen=True)
 class Pair:
-    """One ``key(args)=value`` item with its source line number."""
+    """One ``key(args)=value`` item with its source position.
+
+    ``column`` is the 0-based column of the key in the physical line
+    (-1 for pairs built outside the lexer); diagnostics use it to point
+    at the exact item on multi-pair lines.
+    """
 
     key: str
     args: Tuple[str, ...]   # empty when written without parentheses
     value: RawValue
     line: int
+    column: int = -1
 
     @property
     def is_list(self) -> bool:
@@ -66,10 +72,12 @@ def lex(text: str) -> List[Line]:
     """Lex a full specification document into non-empty lines."""
     lines: List[Line] = []
     for number, raw in enumerate(text.splitlines(), start=1):
-        stripped = _strip_comment(raw).strip()
+        content = _strip_comment(raw)
+        stripped = content.strip()
         if not stripped:
             continue
-        pairs = tuple(_lex_line(stripped, number))
+        lead = len(content) - len(content.lstrip())
+        pairs = tuple(_lex_line(stripped, number, lead))
         if pairs:
             lines.append(Line(number, pairs))
     return lines
@@ -83,7 +91,7 @@ def _strip_comment(raw: str) -> str:
     return raw
 
 
-def _lex_line(text: str, number: int) -> List[Pair]:
+def _lex_line(text: str, number: int, offset: int = 0) -> List[Pair]:
     pairs: List[Pair] = []
     i = 0
     length = len(text)
@@ -91,6 +99,7 @@ def _lex_line(text: str, number: int) -> List[Pair]:
         if text[i].isspace():
             i += 1
             continue
+        start = i
         key, args, i = _lex_key(text, i, number)
         if i >= length or text[i] != "=":
             raise SpecError("expected '=' after %r" % key, number)
@@ -98,7 +107,7 @@ def _lex_line(text: str, number: int) -> List[Pair]:
         while i < length and text[i] == " ":
             i += 1
         value, i = _lex_value(text, i, number, key)
-        pairs.append(Pair(key, args, value, number))
+        pairs.append(Pair(key, args, value, number, column=offset + start))
     return pairs
 
 
@@ -134,6 +143,9 @@ def _lex_value(text: str, i: int, number: int, key: str) -> Tuple[RawValue, int]
         if close < 0:
             raise SpecError("unterminated '<' in value for %r" % key, number)
         return text[i:close + 1], close + 1
+    if text.startswith("expr:", i):
+        # Inline expressions may contain spaces; they run to end of line.
+        return text[i:].rstrip(), len(text)
     start = i
     while i < len(text) and not text[i].isspace():
         i += 1

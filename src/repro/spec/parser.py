@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import ModelError, SpecError, UnitError
+from ..errors import ExpressionError, ModelError, SpecError, UnitError
 from ..model import (AvailabilityMechanism, ComponentSlot, ComponentType,
                      ConstantEffect, ConstantPerformance, CostSchedule,
                      ExpressionPerformance, FailureMode, FailureScope,
@@ -60,14 +60,14 @@ class DictResolver(Resolver):
     def performance(self, ref: str) -> PerformanceModel:
         try:
             return self._performance[ref]
-        except KeyError:
-            raise SpecError("unknown performance reference %r" % ref)
+        except KeyError as exc:
+            raise SpecError("unknown performance reference %r" % ref) from exc
 
     def overhead(self, ref: str) -> OverheadModel:
         try:
             return self._overhead[ref]
-        except KeyError:
-            raise SpecError("unknown mperformance reference %r" % ref)
+        except KeyError as exc:
+            raise SpecError("unknown mperformance reference %r" % ref) from exc
 
 
 class FileResolver(Resolver):
@@ -99,7 +99,7 @@ class FileResolver(Resolver):
                     samples.append((int(fields[0]), float(fields[1])))
         except OSError as exc:
             raise SpecError("cannot read performance file %s: %s"
-                            % (path, exc))
+                            % (path, exc)) from exc
         return TabulatedPerformance(samples)
 
     def overhead(self, ref: str) -> OverheadModel:
@@ -118,7 +118,8 @@ class FileResolver(Resolver):
                     category, expression = raw.split(":", 1)
                     expressions[category.strip()] = expression.strip()
         except OSError as exc:
-            raise SpecError("cannot read overhead file %s: %s" % (path, exc))
+            raise SpecError("cannot read overhead file %s: %s"
+                            % (path, exc)) from exc
         return CategoricalOverhead(self.category_param, expressions)
 
 
@@ -130,12 +131,18 @@ _STRUCTURAL_KEYS = {"component", "failure", "mechanism", "param", "resource",
                     "application", "tier"}
 
 
-def parse_infrastructure(text: str) -> InfrastructureModel:
-    """Parse a Fig. 3 style infrastructure specification."""
+def parse_infrastructure(text: str,
+                         validate: bool = True) -> InfrastructureModel:
+    """Parse a Fig. 3 style infrastructure specification.
+
+    ``validate=False`` skips the cross-reference check on the finished
+    model; the lint pass uses this to report *all* dangling references
+    with source positions instead of failing on the first.
+    """
     builder = _InfrastructureBuilder()
     for line in lex(text):
         builder.feed(line)
-    return builder.finish()
+    return builder.finish(validate)
 
 
 class _InfrastructureBuilder:
@@ -178,20 +185,27 @@ class _InfrastructureBuilder:
             raise SpecError("unexpected %r at top level" % head.key,
                             line.number)
 
-    def finish(self) -> InfrastructureModel:
+    def finish(self, validate: bool = True) -> InfrastructureModel:
         self._flush()
-        self.model.validate()
+        if validate:
+            self.model.validate()
         return self.model
 
     def _flush(self) -> None:
         if self._component is not None:
             self.model.add_component(_build_component(self._component))
+            self.model.source_lines["component:%s" % self._component["name"]] \
+                = self._component["line"]
             self._component = None
         if self._mechanism is not None:
             self.model.add_mechanism(_build_mechanism(self._mechanism))
+            self.model.source_lines["mechanism:%s" % self._mechanism["name"]] \
+                = self._mechanism["line"]
             self._mechanism = None
         if self._resource is not None:
             self.model.add_resource(_build_resource(self._resource))
+            self.model.source_lines["resource:%s" % self._resource["name"]] \
+                = self._resource["line"]
             self._resource = None
 
     # -- component ------------------------------------------------------
@@ -338,7 +352,7 @@ def _build_effect(attribute: str, pair: Pair,
         try:
             return TableEffect.from_values(params[key], values)
         except ModelError as exc:
-            raise SpecError(str(exc), pair.line)
+            raise SpecError(str(exc), pair.line) from exc
     if not pair.is_list:
         value = pair.scalar()
         if value in params:
@@ -357,7 +371,7 @@ def _convert_scalar(value: str, as_duration: bool, line: int):
             return Duration.parse(value)
         return float(value)
     except (UnitError, ValueError) as exc:
-        raise SpecError(str(exc), line)
+        raise SpecError(str(exc), line) from exc
 
 
 def _parse_cost(pair: Pair) -> CostSchedule:
@@ -382,7 +396,7 @@ def _parse_duration(pair: Pair) -> Duration:
     try:
         return Duration.parse(pair.scalar())
     except UnitError as exc:
-        raise SpecError(str(exc), pair.line)
+        raise SpecError(str(exc), pair.line) from exc
 
 
 def _parse_duration_or_ref(pair: Pair):
@@ -394,27 +408,27 @@ def _parse_duration_or_ref(pair: Pair):
         try:
             return WorkAmount.parse(value)
         except UnitError as exc:
-            raise SpecError(str(exc), pair.line)
+            raise SpecError(str(exc), pair.line) from exc
     try:
         return Duration.parse(value)
     except UnitError as exc:
-        raise SpecError(str(exc), pair.line)
+        raise SpecError(str(exc), pair.line) from exc
 
 
 def _parse_float(pair: Pair) -> float:
     try:
         return float(pair.scalar())
-    except ValueError:
+    except ValueError as exc:
         raise SpecError("expected a number for %r, got %r"
-                        % (pair.key, pair.value), pair.line)
+                        % (pair.key, pair.value), pair.line) from exc
 
 
 def _parse_int(pair: Pair) -> int:
     try:
         return int(pair.scalar())
-    except ValueError:
+    except ValueError as exc:
         raise SpecError("expected an integer for %r, got %r"
-                        % (pair.key, pair.value), pair.line)
+                        % (pair.key, pair.value), pair.line) from exc
 
 
 def _parse_range_pair(pair: Pair):
@@ -424,7 +438,7 @@ def _parse_range_pair(pair: Pair):
     try:
         return parse_range(raw)
     except UnitError as exc:
-        raise SpecError(str(exc), pair.line)
+        raise SpecError(str(exc), pair.line) from exc
 
 
 # ----------------------------------------------------------------------
@@ -448,8 +462,10 @@ class _ServiceBuilder:
         self.job_size: Optional[float] = None
         self.tiers: List[Tier] = []
         self._tier_name: Optional[str] = None
+        self._tier_line: int = -1
         self._options: List[ResourceOption] = []
         self._option: Optional[dict] = None
+        self._source_lines: Dict[str, int] = {}
 
     def feed(self, line: Line) -> None:
         head = line.head
@@ -466,6 +482,7 @@ class _ServiceBuilder:
         elif head.key == "tier":
             self._flush_tier()
             self._tier_name = head.scalar()
+            self._tier_line = line.number
         elif head.key == "resource":
             if self._tier_name is None:
                 raise SpecError("resource= outside a tier block", line.number)
@@ -487,7 +504,9 @@ class _ServiceBuilder:
         self._flush_tier()
         if self.name is None:
             raise SpecError("service spec has no application= line")
-        return ServiceModel(self.name, self.tiers, job_size=self.job_size)
+        model = ServiceModel(self.name, self.tiers, job_size=self.job_size)
+        model.source_lines.update(self._source_lines)
+        return model
 
     # -- helpers ----------------------------------------------------------
 
@@ -495,19 +514,29 @@ class _ServiceBuilder:
         self._flush_option()
         if self._tier_name is not None:
             self.tiers.append(Tier(self._tier_name, self._options))
+            self._source_lines["tier:%s" % self._tier_name] = self._tier_line
             self._tier_name = None
             self._options = []
 
     def _flush_option(self) -> None:
         if self._option is not None:
             self._options.append(_build_option(self._option))
+            key = "%s/%s" % (self._tier_name, self._option["resource"])
+            self._source_lines["option:" + key] = self._option["line"]
+            if self._option["performance_line"] is not None:
+                self._source_lines["performance:" + key] \
+                    = self._option["performance_line"]
+            for name, number in self._option["mperformance_lines"].items():
+                self._source_lines["mperformance:%s/%s" % (key, name)] \
+                    = number
             self._option = None
 
     def _start_option(self, line: Line) -> None:
         self._option = {"resource": line.head.scalar(), "line": line.number,
                         "sizing": None, "failure_scope": None,
                         "n_active": None, "performance": None,
-                        "mechanisms": []}
+                        "performance_line": None, "mechanisms": [],
+                        "mperformance_lines": {}}
         for pair in line.pairs[1:]:
             self._option_attribute(pair)
 
@@ -521,12 +550,14 @@ class _ServiceBuilder:
             option["n_active"] = _parse_range_pair(pair)
         elif pair.key == "performance":
             option["performance"] = self._resolve_performance(pair)
+            option["performance_line"] = pair.line
         elif pair.key == "mperformance":
             if not option["mechanisms"]:
                 raise SpecError("mperformance= before any mechanism=",
                                 pair.line)
             name, _ = option["mechanisms"][-1]
             option["mechanisms"][-1] = (name, self._resolve_overhead(pair))
+            option["mperformance_lines"][name] = pair.line
         else:
             raise SpecError("unknown option attribute %r" % pair.key,
                             pair.line)
@@ -540,18 +571,36 @@ class _ServiceBuilder:
     def _resolve_performance(self, pair: Pair) -> PerformanceModel:
         value = pair.scalar()
         if value.startswith("expr:"):
-            return ExpressionPerformance(value[len("expr:"):])
+            try:
+                return ExpressionPerformance(value[len("expr:"):])
+            except (ModelError, ExpressionError) as exc:
+                # Bad embedded expression (syntax error, variables other
+                # than 'n'): report it at the spec line it came from.
+                raise SpecError(str(exc), pair.line) from exc
         try:
             return ConstantPerformance(float(value))
         except ValueError:
             pass
-        return self.resolver.performance(value)
+        return _locate(self.resolver.performance, value, pair.line)
 
     def _resolve_overhead(self, pair: Pair) -> OverheadModel:
         value = pair.scalar()
         if value in ("none", "unity"):
             return UnityOverhead()
-        return self.resolver.overhead(value)
+        return _locate(self.resolver.overhead, value, pair.line)
+
+
+def _locate(resolve, ref: str, line: int):
+    """Run a resolver, attaching the spec line to otherwise-unlocated
+    errors so diagnostics can point into the document."""
+    try:
+        return resolve(ref)
+    except SpecError as exc:
+        if exc.line < 0:
+            raise SpecError(str(exc), line) from exc
+        raise
+    except (ModelError, ExpressionError) as exc:
+        raise SpecError(str(exc), line) from exc
 
 
 def _parse_enum(enum_cls, pair: Pair):

@@ -1,0 +1,140 @@
+"""End-to-end tests for the ``repro lint`` subcommand."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintReport
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+INFRA_OK = """
+component=cpu cost=3000
+ failure=hard mtbf=650d mttr=<maintenanceA> detect_time=1m
+mechanism=maintenanceA
+ param=level range=[bronze,silver]
+ cost(level)=[1000 2000]
+ mttr(level)=[38h 15h]
+resource=rA reconfig_time=0
+ component=cpu depend=null startup=5m
+"""
+
+SERVICE_OK = """
+application=shop
+tier=web
+ resource=rA sizing=dynamic failurescope=resource nActive=[1-8,+1]
+  performance=expr:200*n
+"""
+
+#: mttr defers to a mechanism that does not exist (AVD203, error).
+INFRA_DANGLING = INFRA_OK.replace("mttr=<maintenanceA>",
+                                  "mttr=<maintenanceX>")
+
+#: Possible division by zero in a piecewise branch (AVD105, warning).
+SERVICE_DBZ = SERVICE_OK.replace("expr:200*n",
+                                 "expr:n < 5 ? 100/(5-n) : 50")
+
+#: Unbound variable in the performance expression (AVD101, error).
+SERVICE_UNBOUND = SERVICE_OK.replace("expr:200*n", "expr:n*k")
+
+
+@pytest.fixture
+def spec_files(tmp_path):
+    def write(infra_text, service_text):
+        infra = tmp_path / "infra.spec"
+        service = tmp_path / "service.spec"
+        infra.write_text(infra_text)
+        service.write_text(service_text)
+        return ["--infrastructure", str(infra), "--service", str(service)]
+    return write
+
+
+class TestExitCodes:
+    def test_clean_pair_exits_zero(self, spec_files):
+        code, output = run(["lint"] + spec_files(INFRA_OK, SERVICE_OK))
+        assert code == 0
+        assert "ok: no problems found" in output
+
+    def test_paper_models_are_clean(self):
+        code, output = run(["lint", "--paper-ecommerce"])
+        assert code == 0
+        code, output = run(["lint", "--paper-scientific"])
+        assert code == 0
+
+    def test_dangling_mechanism_exits_one(self, spec_files):
+        code, output = run(
+            ["lint"] + spec_files(INFRA_DANGLING, SERVICE_OK))
+        assert code == 1
+        assert "AVD203" in output
+        assert "'maintenanceX'" in output
+        # Both views are reported with spans: the option that needs the
+        # mechanism (service line 4) and the component that defers to it
+        # (infrastructure line 2).
+        assert "option 'rA'" in output and "[line 4]" in output
+        assert "component 'cpu'" in output and "[line 2]" in output
+
+    def test_unbound_variable_exits_one(self, spec_files):
+        # The spec parser rejects free variables other than n up front,
+        # so the finding surfaces as a spanned parse error.
+        code, output = run(
+            ["lint"] + spec_files(INFRA_OK, SERVICE_UNBOUND))
+        assert code == 1
+        assert "AVD001" in output
+        assert "'k'" in output or "['k']" in output
+        assert "[line 5]" in output
+
+    def test_warning_exits_zero_without_strict(self, spec_files):
+        code, output = run(["lint"] + spec_files(INFRA_OK, SERVICE_DBZ))
+        assert code == 0
+        assert "AVD105" in output
+
+    def test_warning_exits_one_with_strict(self, spec_files):
+        code, output = run(
+            ["lint", "--strict"] + spec_files(INFRA_OK, SERVICE_DBZ))
+        assert code == 1
+
+
+class TestLoaderFailures:
+    def test_spec_parse_error_becomes_avd001(self, spec_files):
+        code, output = run(["lint"] + spec_files(
+            "component=cpu cost=oops\n", SERVICE_OK))
+        assert code == 1
+        assert "AVD001" in output
+        assert "[line 1]" in output
+
+    def test_model_error_becomes_avd002(self, spec_files):
+        duplicated = INFRA_OK + INFRA_OK  # duplicate component type
+        code, output = run(["lint"] + spec_files(duplicated, SERVICE_OK))
+        assert code == 1
+        assert "AVD002" in output
+
+
+class TestJsonOutput:
+    def test_json_parses_and_round_trips(self, spec_files):
+        code, output = run(
+            ["lint", "--format", "json"]
+            + spec_files(INFRA_DANGLING, SERVICE_DBZ))
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["summary"]["errors"] >= 1
+        assert payload["summary"]["warnings"] >= 1
+        report = LintReport.from_json(output)
+        assert report.to_json() == output.rstrip("\n")
+        assert {d.code for d in report} >= {"AVD203", "AVD105"}
+
+    def test_json_span_fields(self, spec_files):
+        code, output = run(
+            ["lint", "--format", "json"]
+            + spec_files(INFRA_OK, SERVICE_DBZ))
+        payload = json.loads(output)
+        (dbz,) = [d for d in payload["diagnostics"]
+                  if d["code"] == "AVD105"]
+        assert dbz["span"]["line"] == 5
+        assert dbz["span"]["source"]

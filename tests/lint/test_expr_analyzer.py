@@ -1,0 +1,255 @@
+"""Tests for the expression static analyzer (AVD100-AVD111)."""
+
+import pytest
+
+from repro.expr import Expression
+from repro.lint import (Severity, analyze_expression, analyze_overhead,
+                        analyze_performance)
+from repro.lint.intervals import Interval
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def analyze(source, env=None, **kwargs):
+    return analyze_expression(source, env or {}, **kwargs)
+
+
+class TestSyntaxAndBinding:
+    def test_parse_error_avd100(self):
+        analysis = analyze("1 +")
+        assert codes(analysis.diagnostics) == ["AVD100"]
+        assert not analysis.provably_safe
+
+    def test_parse_error_span_points_at_offset(self):
+        analysis = analyze("2 * * 3", line=9)
+        (diagnostic,) = analysis.diagnostics
+        assert diagnostic.code == "AVD100"
+        assert diagnostic.span.line == 9
+        assert diagnostic.span.start == 4
+
+    def test_unbound_variable_avd101(self):
+        analysis = analyze("n + k", {"n": Interval(1.0, 5.0)})
+        (diagnostic,) = analysis.diagnostics
+        assert diagnostic.code == "AVD101"
+        assert "'k'" in diagnostic.message
+
+    def test_bound_variables_clean(self):
+        analysis = analyze("n * 100", {"n": Interval(1.0, 5.0)})
+        assert analysis.diagnostics == []
+        assert analysis.provably_safe
+        assert analysis.result == Interval(100.0, 500.0)
+
+    def test_required_variable_unused_avd102(self):
+        analysis = analyze("500", {"n": Interval(1.0, 5.0)},
+                           require_used=("n",))
+        assert codes(analysis.diagnostics) == ["AVD102"]
+        # AVD102 is advisory, not a runtime hazard.
+        assert analysis.provably_safe
+
+    def test_unknown_function_avd103(self):
+        analysis = analyze("foo(1)")
+        assert codes(analysis.diagnostics) == ["AVD103"]
+
+    def test_bad_arity_avd103(self):
+        analysis = analyze("max()")
+        assert codes(analysis.diagnostics) == ["AVD103"]
+        assert analyze("sqrt(1, 2)").diagnostics[0].code == "AVD103"
+
+
+class TestDivision:
+    def test_certain_division_by_zero_avd104(self):
+        analysis = analyze("1 / (n * 0)", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD104"]
+        assert analysis.diagnostics[0].severity is Severity.ERROR
+
+    def test_interval_analysis_is_not_relational(self):
+        # n - n is exactly 0 at runtime, but intervals treat the two
+        # occurrences independently: [-4, 4], a *possible* zero.
+        analysis = analyze("1 / (n - n)", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD105"]
+
+    def test_possible_division_by_zero_avd105(self):
+        analysis = analyze("1 / (n - 3)", {"n": Interval(1.0, 5.0)})
+        (diagnostic,) = analysis.diagnostics
+        assert diagnostic.code == "AVD105"
+        assert diagnostic.severity is Severity.WARNING
+        assert not analysis.provably_safe
+
+    def test_nonzero_denominator_clean(self):
+        analysis = analyze("100 / n", {"n": Interval(1.0, 5.0)})
+        assert analysis.diagnostics == []
+        assert analysis.result == Interval(20.0, 100.0)
+
+    def test_duplicate_finding_reported_once(self):
+        # The conditional analyzes the same division under both refined
+        # environments; the dedup key collapses identical findings.
+        analysis = analyze("n > 3 ? 1/(n-3) : 2",
+                           {"n": Interval(0.0, 10.0)})
+        assert codes(analysis.diagnostics).count("AVD105") <= 1
+
+
+class TestDomainErrors:
+    def test_log_never_positive_avd106(self):
+        analysis = analyze("log(n - 10)", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD106"]
+
+    def test_log_possibly_non_positive_avd107(self):
+        analysis = analyze("log(n - 2)", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD107"]
+
+    def test_log_strictly_positive_clean(self):
+        analysis = analyze("log(n)", {"n": Interval(1.0, 5.0)})
+        assert analysis.diagnostics == []
+
+    def test_log_base_one_avd106(self):
+        assert codes(analyze("log(5, 1)").diagnostics) == ["AVD106"]
+
+    def test_log_base_spanning_one_avd107(self):
+        analysis = analyze("log(5, n)", {"n": Interval(0.5, 2.0)})
+        assert codes(analysis.diagnostics) == ["AVD107"]
+
+    def test_sqrt_always_negative_avd106(self):
+        assert codes(analyze("sqrt(0 - 1)").diagnostics) == ["AVD106"]
+
+    def test_sqrt_possibly_negative_avd107(self):
+        analysis = analyze("sqrt(n - 2)", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD107"]
+
+    def test_power_negative_base_fractional_avd106(self):
+        assert codes(analyze("(0 - 2) ^ 0.5").diagnostics) == ["AVD106"]
+
+    def test_power_possibly_failing_avd107(self):
+        analysis = analyze("n ^ 0.5", {"n": Interval(-1.0, 4.0)})
+        assert codes(analysis.diagnostics) == ["AVD107"]
+
+    def test_pow_function_mirrors_operator(self):
+        assert codes(analyze("pow(0-2, 0.5)").diagnostics) == ["AVD106"]
+
+    def test_exp_overflow_avd107(self):
+        analysis = analyze("exp(n)", {"n": Interval(0.0, 1000.0)})
+        assert codes(analysis.diagnostics) == ["AVD107"]
+
+    def test_round_fractional_digits_avd107(self):
+        assert codes(analyze("round(2.5, 1.5)").diagnostics) == ["AVD107"]
+
+    def test_round_integral_digits_clean(self):
+        assert analyze("round(2.5, 1)").diagnostics == []
+
+    def test_floor_unbounded_avd107(self):
+        analysis = analyze("floor(1 / n)", {"n": Interval(-1.0, 1.0)})
+        assert "AVD107" in codes(analysis.diagnostics)
+
+    def test_clamp_inverted_bounds_avd106(self):
+        assert codes(analyze("clamp(5, 10, 1)").diagnostics) == ["AVD106"]
+
+    def test_clamp_possibly_inverted_avd107(self):
+        analysis = analyze("clamp(5, n, 3)", {"n": Interval(1.0, 4.0)})
+        assert codes(analysis.diagnostics) == ["AVD107"]
+
+
+class TestConditionals:
+    def test_unreachable_false_branch_avd108(self):
+        analysis = analyze("n > 0 ? 10 : 1/0", {"n": Interval(1.0, 5.0)})
+        (diagnostic,) = analysis.diagnostics
+        assert diagnostic.code == "AVD108"
+        # The dead branch's division by zero is *not* reported.
+        assert analysis.provably_safe
+        assert analysis.result == Interval(10.0, 10.0)
+
+    def test_unreachable_true_branch_avd108(self):
+        analysis = analyze("n > 9 ? 1/0 : 10", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD108"]
+
+    def test_guard_refines_branch_domain(self):
+        # The undecided guard narrows n to [1, 4] inside the true
+        # branch, keeping the denominator away from zero; the paper's
+        # piecewise overheads rely on this precision.
+        analysis = analyze("n <= 4 ? 100/(5-n) : 50",
+                           {"n": Interval(1.0, 8.0)})
+        assert analysis.diagnostics == []
+        assert analysis.provably_safe
+
+    def test_refinement_is_conservative_across_guard_boundary(self):
+        # Widening the domain past the guard makes the closed-bound
+        # refinement keep n=5 in the true branch: flagged as possible.
+        analysis = analyze("n < 5 ? 100/(5-n) : 50",
+                           {"n": Interval(1.0, 8.0)})
+        assert codes(analysis.diagnostics) == ["AVD105"]
+
+    def test_infeasible_branch_skipped_without_report(self):
+        # "n < 0" cannot hold on [1, 5]: guard decided, branch dead.
+        analysis = analyze("n < 0 ? 1/0 : 7", {"n": Interval(1.0, 5.0)})
+        assert codes(analysis.diagnostics) == ["AVD108"]
+        assert analysis.result == Interval(7.0, 7.0)
+
+    def test_not_guard_refines(self):
+        analysis = analyze("not (n > 4) ? 100/(5-n) : 50",
+                           {"n": Interval(1.0, 8.0)})
+        assert analysis.diagnostics == []
+
+    def test_short_circuit_and_skips_right(self):
+        # "false and X" never evaluates X at runtime; the analyzer
+        # honors the short circuit rather than flagging X.
+        analysis = analyze("(1 > 2 and 1/0 > 1) ? 1 : 2")
+        assert "AVD104" not in codes(analysis.diagnostics)
+
+
+class TestInputForms:
+    def test_compiled_expression_reanalyzed_from_source(self):
+        # The optimizer folds "2 > 1 ? a : b" down to "a"; analysis must
+        # look at the written source, not the folded AST.
+        expression = Expression("2 > 1 ? n : 1/0")
+        analysis = analyze_expression(expression,
+                                      {"n": Interval(1.0, 2.0)})
+        assert "AVD108" in codes(analysis.diagnostics)
+
+    def test_result_interval_for_constant(self):
+        assert analyze("42").result == Interval(42.0, 42.0)
+
+
+class TestAnalyzePerformance:
+    def test_clean_linear_performance(self):
+        assert analyze_performance("200*n", [1, 2, 3, 4]) == []
+
+    def test_non_monotone_avd109(self):
+        diagnostics = analyze_performance("n < 5 ? 100*n : 50",
+                                          range(1, 9))
+        assert "AVD109" in codes(diagnostics)
+
+    def test_non_positive_avd110(self):
+        diagnostics = analyze_performance("100*(n-2)", [1, 2, 3])
+        assert "AVD110" in codes(diagnostics)
+
+    def test_each_sampling_code_reported_once(self):
+        diagnostics = analyze_performance("0 - n", range(1, 30))
+        assert codes(diagnostics).count("AVD109") == 1
+        assert codes(diagnostics).count("AVD110") == 1
+
+    def test_constant_expression_flags_unused_n(self):
+        assert "AVD102" in codes(analyze_performance("500", [1, 2]))
+
+    def test_unbound_variable_flows_through(self):
+        diagnostics = analyze_performance("n * k", [1, 2])
+        assert "AVD101" in codes(diagnostics)
+
+
+class TestAnalyzeOverhead:
+    def test_clean_overhead(self):
+        diagnostics = analyze_overhead("max(10/cpi, 1)", [1, 2, 3],
+                                       [1.0, 60.0])
+        assert diagnostics == []
+
+    def test_always_below_one_is_error(self):
+        diagnostics = analyze_overhead("0.5", [1, 2])
+        assert codes(diagnostics) == ["AVD111"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_sampled_witness_below_one_is_warning(self):
+        # 10/cpi dips below 1 only for cpi > 10: interval analysis keeps
+        # the upper bound above 1, but sampling finds the witness.
+        diagnostics = analyze_overhead("10/cpi", [1], [5.0, 20.0])
+        assert codes(diagnostics) == ["AVD111"]
+        assert diagnostics[0].severity is Severity.WARNING
+        assert "cpi=20" in diagnostics[0].message

@@ -1,0 +1,145 @@
+"""Tests for the interval arithmetic behind the expression analyzer."""
+
+import math
+
+import pytest
+
+from repro.lint.intervals import (BOOL, FALSE, TOP, TRUE, Interval, add,
+                                  compare, divide, envelope, from_corners,
+                                  mul, neg, power, sub)
+
+
+class TestConstruction:
+    def test_point_and_of(self):
+        assert Interval.point(3.0) == Interval(3.0, 3.0)
+        assert Interval.of(5.0, -1.0, 2.0) == Interval(-1.0, 5.0)
+
+    def test_inverted_bounds_widen_to_top(self):
+        assert Interval(2.0, 1.0) == TOP
+
+    def test_nan_widens_to_top(self):
+        assert Interval(math.nan, 1.0) == TOP
+        assert Interval(0.0, math.nan) == TOP
+
+    def test_from_corners_nan_widens(self):
+        assert from_corners([1.0, math.nan]) == TOP
+        assert from_corners([]) == TOP
+        assert from_corners([3.0, -1.0]) == Interval(-1.0, 3.0)
+
+
+class TestPredicates:
+    def test_point_and_containment(self):
+        assert Interval.point(2.0).is_point
+        assert not Interval(1.0, 2.0).is_point
+        assert Interval(1.0, 3.0).contains(2.0)
+        assert not Interval(1.0, 3.0).contains(4.0)
+
+    def test_zero_predicates(self):
+        assert Interval(-1.0, 1.0).contains_zero
+        assert Interval.point(0.0).is_zero
+        assert not Interval(1.0, 2.0).contains_zero
+        assert Interval(0.5, 2.0).strictly_positive
+        assert Interval(-2.0, -0.5).strictly_negative
+
+    def test_truthiness(self):
+        assert Interval(1.0, 2.0).definitely_true
+        assert Interval.point(0.0).definitely_false
+        mixed = Interval(-1.0, 1.0)
+        assert not mixed.definitely_true
+        assert not mixed.definitely_false
+
+
+class TestSetOps:
+    def test_intersect(self):
+        assert Interval(0.0, 5.0).intersect(Interval(3.0, 8.0)) == \
+            Interval(3.0, 5.0)
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_hull_and_envelope(self):
+        assert Interval(0.0, 1.0).hull(Interval(4.0, 5.0)) == \
+            Interval(0.0, 5.0)
+        assert envelope([Interval(0.0, 1.0), Interval(-2.0, 0.5),
+                         Interval(3.0, 3.0)]) == Interval(-2.0, 3.0)
+
+
+class TestArithmetic:
+    def test_add_sub_neg(self):
+        a, b = Interval(1.0, 2.0), Interval(10.0, 20.0)
+        assert add(a, b) == Interval(11.0, 22.0)
+        assert sub(b, a) == Interval(8.0, 19.0)
+        assert neg(a) == Interval(-2.0, -1.0)
+
+    def test_add_degenerate_inf_widens(self):
+        assert add(Interval(-math.inf, 0.0),
+                   Interval(0.0, math.inf)) == TOP
+
+    def test_mul_signs(self):
+        assert mul(Interval(-2.0, 3.0), Interval(4.0, 5.0)) == \
+            Interval(-10.0, 15.0)
+        assert mul(Interval(-2.0, -1.0), Interval(-3.0, -2.0)) == \
+            Interval(2.0, 6.0)
+
+    def test_mul_zero_times_unbounded_is_zero_corner(self):
+        # IEEE 0*inf is NaN; the transfer treats the limit as 0 so a
+        # zero-containing factor cannot poison the bound.
+        assert mul(Interval.point(0.0), TOP) == Interval.point(0.0)
+
+    def test_divide_nonzero_denominator(self):
+        assert divide(Interval(10.0, 20.0), Interval(2.0, 5.0)) == \
+            Interval(2.0, 10.0)
+
+    def test_divide_zero_containing_denominator_is_top(self):
+        assert divide(Interval(1.0, 2.0), Interval(-1.0, 1.0)) == TOP
+
+
+class TestPower:
+    def test_positive_base_corners(self):
+        outcome = power(Interval(2.0, 3.0), Interval(2.0, 2.0))
+        assert outcome.error is None
+        assert outcome.interval == Interval(4.0, 9.0)
+
+    def test_even_integer_exponent_spanning_zero(self):
+        outcome = power(Interval(-3.0, 2.0), Interval.point(2.0))
+        assert outcome.error is None
+        assert outcome.interval == Interval(0.0, 9.0)
+
+    def test_zero_base_negative_exponent_always_fails(self):
+        outcome = power(Interval.point(0.0), Interval.point(-1.0))
+        assert outcome.error == "always"
+
+    def test_zero_containing_base_negative_exponent_possible(self):
+        outcome = power(Interval(-1.0, 1.0), Interval.point(-2.0))
+        assert outcome.error == "possible"
+
+    def test_negative_base_fractional_exponent_always_fails(self):
+        outcome = power(Interval(-4.0, -2.0), Interval.point(0.5))
+        assert outcome.error == "always"
+
+    def test_maybe_negative_base_unknown_exponent_possible(self):
+        outcome = power(Interval(-1.0, 2.0), Interval(0.3, 0.7))
+        assert outcome.error == "possible"
+
+    def test_overflowing_corner_possible(self):
+        outcome = power(Interval(10.0, 10.0), Interval(1.0, 400.0))
+        assert outcome.error == "possible"
+        assert outcome.interval == TOP
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("<", Interval(0.0, 1.0), Interval(2.0, 3.0), TRUE),
+        ("<", Interval(3.0, 4.0), Interval(1.0, 3.0), FALSE),
+        ("<=", Interval(0.0, 2.0), Interval(2.0, 3.0), TRUE),
+        (">", Interval(5.0, 6.0), Interval(1.0, 4.0), TRUE),
+        (">=", Interval(0.0, 1.0), Interval(2.0, 3.0), FALSE),
+        ("==", Interval.point(2.0), Interval.point(2.0), TRUE),
+        ("==", Interval(0.0, 1.0), Interval(2.0, 3.0), FALSE),
+        ("!=", Interval(0.0, 1.0), Interval(2.0, 3.0), TRUE),
+        ("!=", Interval.point(2.0), Interval.point(2.0), FALSE),
+    ])
+    def test_decided(self, op, a, b, expected):
+        assert compare(op, a, b) == expected
+
+    def test_undecided_is_bool(self):
+        assert compare("<", Interval(0.0, 5.0), Interval(3.0, 8.0)) == BOOL
+        assert compare("==", Interval(0.0, 2.0), Interval(1.0, 3.0)) == BOOL

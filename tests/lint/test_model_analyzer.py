@@ -1,0 +1,324 @@
+"""Tests for the model-level lint checks (AVD201-AVD213)."""
+
+import pytest
+
+from repro.lint import Severity, lint_infrastructure, lint_pair
+from repro.model import (AvailabilityMechanism, CategoricalOverhead,
+                         ComponentSlot, ComponentType, ConstantPerformance,
+                         CostSchedule, ExpressionPerformance, FailureMode,
+                         FailureScope, InfrastructureModel,
+                         MechanismParameter, MechanismRef, MechanismUse,
+                         ResourceOption, ResourceType, ServiceModel, Sizing,
+                         TableEffect, TabulatedPerformance, Tier)
+from repro.spec import DictResolver, parse_infrastructure, parse_service
+from repro.units import ArithmeticRange, Duration, EnumeratedRange
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+def build_infra(components=(), mechanisms=(), resources=()):
+    return InfrastructureModel(components=list(components),
+                               mechanisms=list(mechanisms),
+                               resources=list(resources))
+
+
+def simple_component(name="box", mtbf_days=365, mttr=Duration.hours(4)):
+    return ComponentType(
+        name, cost=CostSchedule.flat(100.0),
+        failure_modes=(FailureMode("hard", Duration.days(mtbf_days), mttr,
+                                   detect_time=Duration.minutes(1)),))
+
+
+def node_resource(component="box", name="node"):
+    return ResourceType(
+        name, slots=(ComponentSlot(component, None, Duration.minutes(1)),),
+        reconfig_time=Duration.seconds(30))
+
+
+def simple_service(resource="node", n_low=1, n_high=4,
+                   performance="100*n", mechanisms=()):
+    option = ResourceOption(resource, Sizing.DYNAMIC, FailureScope.RESOURCE,
+                            ArithmeticRange(n_low, n_high, 1),
+                            ExpressionPerformance(performance),
+                            mechanisms=tuple(mechanisms))
+    return ServiceModel("svc", [Tier("web", [option])])
+
+
+class TestPairingChecks:
+    def test_unknown_resource_avd201_and_avd207(self):
+        infra = build_infra([simple_component()], [], [node_resource()])
+        report = lint_pair(infra, simple_service(resource="nope"))
+        assert "AVD201" in codes(report)
+        # Its only option being broken, the tier can never be designed.
+        assert "AVD207" in codes(report)
+
+    def test_unknown_mechanism_avd202(self):
+        infra = build_infra([simple_component()], [], [node_resource()])
+        service = simple_service(
+            mechanisms=(MechanismUse("ghost"),))
+        assert "AVD202" in codes(lint_pair(infra, service))
+
+    def test_instance_cap_below_minimum_avd205(self):
+        capped = ComponentType(
+            "box", cost=CostSchedule.flat(100.0),
+            failure_modes=(FailureMode("hard", Duration.days(365),
+                                       Duration.hours(4)),),
+            max_instances=2)
+        infra = build_infra([capped], [], [node_resource()])
+        report = lint_pair(infra, simple_service(n_low=3, n_high=6))
+        assert "AVD205" in codes(report)
+        assert "AVD207" in codes(report)
+
+    def test_clean_pair_has_no_gating_findings(self):
+        infra = build_infra([simple_component()], [], [node_resource()])
+        report = lint_pair(infra, simple_service())
+        assert not report.has_errors
+        assert report.warnings == []
+
+
+class TestInfrastructureChecks:
+    def test_dangling_mttr_mechanism_avd203(self):
+        component = simple_component(mttr=MechanismRef("ghost"))
+        report = lint_infrastructure(build_infra([component]))
+        assert codes(report) == ["AVD203"]
+        assert "'ghost'" in report[0].message
+
+    def test_mechanism_without_effect_avd204(self):
+        cost_only = AvailabilityMechanism(
+            "contract",
+            parameters=(MechanismParameter(
+                "level", EnumeratedRange(["a", "b"])),),
+            effects={"cost": TableEffect("level",
+                                         (("a", 1.0), ("b", 2.0)))})
+        component = simple_component(mttr=MechanismRef("contract"))
+        report = lint_infrastructure(build_infra([component], [cost_only]))
+        assert codes(report) == ["AVD204"]
+
+    def test_every_dangling_reference_reported(self):
+        # InfrastructureModel.validate() stops at the first problem; the
+        # lint pass reports each one.
+        first = simple_component("a", mttr=MechanismRef("ghost1"))
+        second = simple_component("b", mttr=MechanismRef("ghost2"))
+        report = lint_infrastructure(build_infra([first, second]))
+        assert codes(report) == ["AVD203", "AVD203"]
+
+    def test_mttr_not_below_mtbf_avd206(self):
+        component = simple_component(mtbf_days=1, mttr=Duration.hours(30))
+        report = lint_infrastructure(build_infra([component]))
+        assert codes(report) == ["AVD206"]
+        assert report[0].severity is Severity.WARNING
+
+    def test_mechanism_range_reaching_mtbf_avd209(self):
+        slow = AvailabilityMechanism(
+            "contract",
+            parameters=(MechanismParameter(
+                "level", EnumeratedRange(["slow", "fast"])),),
+            effects={"mttr": TableEffect(
+                "level", (("slow", Duration.hours(60)),
+                          ("fast", Duration.hours(4))))})
+        component = simple_component(mtbf_days=2,
+                                     mttr=MechanismRef("contract"))
+        report = lint_infrastructure(build_infra([component], [slow]))
+        # One witness per (mode, mechanism), not one per bad setting.
+        assert codes(report) == ["AVD209"]
+        assert "'contract'" in report[0].message
+
+    def test_shared_name_avd208(self):
+        infra = build_infra([simple_component("node")], [],
+                            [node_resource(component="node", name="node")])
+        report = lint_infrastructure(infra)
+        assert codes(report) == ["AVD208"]
+        assert "component" in report[0].message
+        assert "resource" in report[0].message
+
+
+class TestUsageChecks:
+    def test_unused_elements_avd210(self):
+        spare_mechanism = AvailabilityMechanism(
+            "spare_mech",
+            parameters=(MechanismParameter(
+                "level", EnumeratedRange(["x"])),),
+            effects={"mttr": TableEffect("level",
+                                         (("x", Duration.hours(1)),))})
+        infra = build_infra(
+            [simple_component(), simple_component("spare_box")],
+            [spare_mechanism],
+            [node_resource(), node_resource(name="spare_node")])
+        report = lint_pair(infra, simple_service())
+        unused = [d for d in report if d.code == "AVD210"]
+        assert len(unused) == 3
+        assert all(d.severity is Severity.INFO for d in unused)
+        messages = " ".join(d.message for d in unused)
+        assert "'spare_box'" in messages
+        assert "'spare_mech'" in messages
+        assert "'spare_node'" in messages
+
+    def test_component_deferred_mechanism_counts_as_used(self):
+        contract = AvailabilityMechanism(
+            "contract",
+            parameters=(MechanismParameter(
+                "level", EnumeratedRange(["x"])),),
+            effects={"mttr": TableEffect("level",
+                                         (("x", Duration.hours(1)),))})
+        component = simple_component(mttr=MechanismRef("contract"))
+        infra = build_infra([component], [contract], [node_resource()])
+        assert "AVD210" not in codes(lint_pair(infra, simple_service()))
+
+
+class TestExpressionChecks:
+    def test_performance_expression_analyzed(self):
+        infra = build_infra([simple_component()], [], [node_resource()])
+        service = simple_service(performance="100/(n-2)", n_high=4)
+        report = lint_pair(infra, service)
+        assert "AVD105" in codes(report)
+        (finding,) = [d for d in report if d.code == "AVD105"]
+        assert "tier 'web'" in finding.context
+
+    def test_tabulated_gap_avd213(self):
+        option = ResourceOption(
+            "node", Sizing.DYNAMIC, FailureScope.RESOURCE,
+            ArithmeticRange(1, 8, 1),
+            TabulatedPerformance([(1, 100.0), (4, 400.0)]))
+        service = ServiceModel("svc", [Tier("web", [option])])
+        infra = build_infra([simple_component()], [], [node_resource()])
+        report = lint_pair(infra, service)
+        (finding,) = [d for d in report if d.code == "AVD213"]
+        assert "[1, 4]" in finding.message
+
+    def test_non_positive_constant_performance_avd110(self):
+        option = ResourceOption(
+            "node", Sizing.DYNAMIC, FailureScope.RESOURCE,
+            ArithmeticRange(1, 4, 1), ConstantPerformance(0.0))
+        service = ServiceModel("svc", [Tier("web", [option])])
+        infra = build_infra([simple_component()], [], [node_resource()])
+        assert "AVD110" in codes(lint_pair(infra, service))
+
+
+def checkpoint_mechanism(categories=("central", "peer"),
+                         with_interval=True):
+    parameters = [MechanismParameter(
+        "storage_location", EnumeratedRange(list(categories)))]
+    if with_interval:
+        parameters.append(MechanismParameter(
+            "checkpoint_interval",
+            EnumeratedRange(["10m", "1h", "4h"])))
+    return AvailabilityMechanism("checkpoint", parameters=tuple(parameters),
+                                 effects={})
+
+
+def overhead_service(overhead):
+    option = ResourceOption(
+        "node", Sizing.DYNAMIC, FailureScope.RESOURCE,
+        ArithmeticRange(1, 4, 1), ExpressionPerformance("100*n"),
+        mechanisms=(MechanismUse("checkpoint", overhead),))
+    return ServiceModel("svc", [Tier("web", [option])])
+
+
+class TestOverheadChecks:
+    def _lint(self, overhead, mechanism=None):
+        infra = build_infra([simple_component()],
+                            [mechanism or checkpoint_mechanism()],
+                            [node_resource()])
+        return lint_pair(infra, overhead_service(overhead))
+
+    def test_complete_overhead_clean(self):
+        report = self._lint(CategoricalOverhead(
+            "storage_location",
+            {"central": "max(10/cpi, 1)", "peer": "max(20/cpi, 1)"}))
+        assert not report.has_errors
+        assert report.warnings == []
+
+    def test_missing_category_avd211(self):
+        report = self._lint(CategoricalOverhead(
+            "storage_location", {"central": "max(10/cpi, 1)"}))
+        (finding,) = [d for d in report if d.code == "AVD211"]
+        assert "'peer'" in finding.message
+        assert finding.severity is Severity.ERROR
+
+    def test_extra_category_avd212(self):
+        report = self._lint(CategoricalOverhead(
+            "storage_location",
+            {"central": "max(10/cpi, 1)", "peer": "max(20/cpi, 1)",
+             "cloud": "max(30/cpi, 1)"}))
+        (finding,) = [d for d in report if d.code == "AVD212"]
+        assert "'cloud'" in finding.message
+        assert finding.severity is Severity.INFO
+
+    def test_unknown_category_parameter_avd211(self):
+        report = self._lint(CategoricalOverhead(
+            "placement", {"central": "max(10/cpi, 1)"}))
+        findings = [d for d in report if d.code == "AVD211"]
+        assert any("'placement'" in d.message for d in findings)
+
+    def test_interval_variable_without_parameter_avd211(self):
+        report = self._lint(
+            CategoricalOverhead(
+                "storage_location",
+                {"central": "max(10/cpi, 1)", "peer": "1"}),
+            mechanism=checkpoint_mechanism(with_interval=False))
+        findings = [d for d in report if d.code == "AVD211"]
+        assert any("'cpi'" in d.message for d in findings)
+
+    def test_overhead_below_one_avd111(self):
+        report = self._lint(CategoricalOverhead(
+            "storage_location", {"central": "0.5", "peer": "2"}))
+        (finding,) = [d for d in report if d.code == "AVD111"]
+        assert "'central'" in finding.context
+
+    def test_unknown_mechanism_skips_overhead_analysis(self):
+        infra = build_infra([simple_component()], [], [node_resource()])
+        overhead = CategoricalOverhead("storage_location", {"central": "2"})
+        report = lint_pair(infra, overhead_service(overhead))
+        assert "AVD202" in codes(report)
+        assert "AVD211" not in codes(report)
+
+
+INFRA_SPEC = """
+component=cpu cost=3000
+ failure=hard mtbf=650d mttr=<maintenanceX> detect_time=1m
+mechanism=maintenanceA
+ param=level range=[bronze,silver]
+ cost(level)=[1000 2000]
+ mttr(level)=[38h 15h]
+resource=rA reconfig_time=0
+ component=cpu depend=null startup=5m
+"""
+
+SERVICE_SPEC = """
+application=shop
+tier=web
+ resource=rA sizing=dynamic failurescope=resource nActive=[1-8,+1]
+  performance=expr:n < 5 ? 100/(5-n) : 50
+"""
+
+
+class TestSpecProvenance:
+    def test_spans_point_into_the_documents(self):
+        infra = parse_infrastructure(INFRA_SPEC, validate=False)
+        service = parse_service(SERVICE_SPEC, DictResolver())
+        report = lint_pair(infra, service)
+
+        danglers = [d for d in report if d.code == "AVD203"]
+        assert danglers
+        assert any(d.span is not None and d.span.line == 2
+                   for d in danglers)
+
+        (possible_dbz,) = [d for d in report if d.code == "AVD105"]
+        # Points at the performance= line and carries expression offsets.
+        assert possible_dbz.span.line == 5
+        source = possible_dbz.span.source
+        excerpt = source[possible_dbz.span.start:possible_dbz.span.end]
+        assert excerpt == "100/(5-n)"
+
+        (monotone,) = [d for d in report if d.code == "AVD109"]
+        assert monotone.span.line == 5
+
+    def test_unused_mechanism_span(self):
+        infra = parse_infrastructure(INFRA_SPEC, validate=False)
+        service = parse_service(SERVICE_SPEC, DictResolver())
+        report = lint_pair(infra, service)
+        (unused,) = [d for d in report if d.code == "AVD210"]
+        assert "'maintenanceA'" in unused.message
+        assert unused.span.line == 4

@@ -1,0 +1,128 @@
+"""Property-based soundness tests for the lint interval analyzer.
+
+The analyzer's contract (``ExpressionAnalysis.provably_safe``): when an
+analysis reports none of the :data:`repro.lint.codes.
+RUNTIME_ERROR_CODES`, *no* environment drawn from the declared domains
+can make the evaluator raise :class:`~repro.errors.ExpressionError`.
+These tests drive random expressions over random domains and check the
+contrapositive at sampled points: a runtime error implies the analyzer
+flagged the hazard.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.expr import evaluate, parse
+from repro.lint import Interval, analyze_expression
+
+VARIABLES = ("n", "x")
+
+
+@st.composite
+def domains(draw):
+    low = draw(st.floats(min_value=-50.0, max_value=50.0,
+                         allow_nan=False))
+    width = draw(st.floats(min_value=0.0, max_value=25.0,
+                           allow_nan=False))
+    return Interval(low, low + width)
+
+
+@st.composite
+def sources(draw, depth=0):
+    """Random well-formed expressions over the ``VARIABLES``.
+
+    The grammar deliberately includes every hazard the analyzer rules
+    on: division, ``log``/``sqrt`` domains, integer powers, guarded
+    conditionals.
+    """
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return "%.6g" % draw(st.floats(min_value=-20.0, max_value=20.0,
+                                           allow_nan=False))
+        return draw(st.sampled_from(VARIABLES))
+    kind = draw(st.integers(min_value=0, max_value=4))
+    left = draw(sources(depth=depth + 1))
+    right = draw(sources(depth=depth + 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return "(%s %s %s)" % (left, op, right)
+    if kind == 1:
+        return "(%s / %s)" % (left, right)
+    if kind == 2:
+        fn = draw(st.sampled_from(["sqrt", "log", "abs", "floor"]))
+        return "%s(%s)" % (fn, left)
+    if kind == 3:
+        return "(%s ^ %d)" % (left, draw(st.integers(min_value=-1,
+                                                     max_value=3)))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    bound = "%.6g" % draw(st.floats(min_value=-20.0, max_value=20.0,
+                                    allow_nan=False))
+    variable = draw(st.sampled_from(VARIABLES))
+    return "(%s %s %s ? %s : %s)" % (variable, op, bound, left, right)
+
+
+def sample(draw_float, interval):
+    """One point inside ``interval``."""
+    return draw_float(st.floats(min_value=interval.lo,
+                                max_value=interval.hi,
+                                allow_nan=False))
+
+
+class TestRuntimeSafetySoundness:
+    @given(data=st.data())
+    @settings(max_examples=300, derandomize=True)
+    def test_runtime_error_implies_flagged(self, data):
+        env_domains = {name: data.draw(domains(), label="domain:" + name)
+                       for name in VARIABLES}
+        source = data.draw(sources(), label="source")
+        analysis = analyze_expression(source, env_domains)
+        node = parse(source)
+        for attempt in range(3):
+            env = {name: sample(data.draw, interval)
+                   for name, interval in env_domains.items()}
+            try:
+                value = evaluate(node, env)
+            except ExpressionError:
+                assert not analysis.provably_safe, (
+                    "evaluator raised on %r with %r but the analysis "
+                    "claimed provable safety" % (source, env))
+                return
+            if analysis.provably_safe and math.isfinite(value) \
+                    and not analysis.result.contains(value):
+                # The result interval must also contain the value, up
+                # to a sliver of floating-point rounding headroom.
+                slack = 1e-9 * max(1.0, abs(value))
+                assert analysis.result.lo - slack <= value \
+                    <= analysis.result.hi + slack, (
+                        "value %r of %r escapes interval %r"
+                        % (value, source, analysis.result))
+
+    @given(data=st.data())
+    @settings(max_examples=200, derandomize=True)
+    def test_safe_verdict_never_raises(self, data):
+        """The direct form of the contract, on expressions the analyzer
+        actually certifies (guarded divisions, tame domains)."""
+        interval = data.draw(domains())
+        shifted = Interval(interval.lo + 1.0, interval.hi + 1.0)
+        source = data.draw(st.sampled_from([
+            "100 / (abs(n) + 1)",
+            # Note the guard at 1, not 0: false-branch refinement keeps
+            # the *closed* bound [1, inf), so the denominator stays
+            # provably nonzero (a guard at 0 would leave 0 reachable).
+            "n <= 1 ? 1 - n : 100 / n",
+            "log(abs(n) + 1) * x",
+            "sqrt(abs(n * x))",
+            "(n + x) ^ 2",
+            "max(n, x) - min(n, x)",
+        ]))
+        env_domains = {"n": interval, "x": shifted}
+        analysis = analyze_expression(source, env_domains)
+        assert analysis.provably_safe
+        node = parse(source)
+        for attempt in range(3):
+            env = {name: sample(data.draw, domain)
+                   for name, domain in env_domains.items()}
+            evaluate(node, env)  # must not raise
