@@ -1,0 +1,112 @@
+"""Fault-free overhead of the resilience runtime.
+
+The FallbackEngine sits between the search and the Markov engine on
+every availability solve, so its bookkeeping (circuit-breaker check,
+clock reads, result validation, provenance attachment) must be
+invisible next to the CTMC solve itself: under 5% on fault-free runs.
+This harness times a representative batch of tier models through the
+bare MarkovEngine and through a markov-only FallbackEngine, best of
+several repetitions, and records the ratio.
+"""
+
+import time
+
+import pytest
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel)
+from repro.resilience import FallbackEngine, FallbackPolicy
+from repro.units import Duration
+
+from .conftest import write_report
+
+MAX_OVERHEAD = 0.05
+LOOPS = 60
+REPS = 9
+
+
+def benchmark_models():
+    """Tier structures spanning the paper's search space shapes."""
+    def modes(mtbf_days, mttr_hours, failover_minutes):
+        return (FailureModeEntry("hard", Duration.days(mtbf_days),
+                                 Duration.hours(mttr_hours),
+                                 Duration.minutes(failover_minutes)),
+                FailureModeEntry("soft", Duration.days(mtbf_days / 10),
+                                 Duration.ZERO,
+                                 Duration.minutes(failover_minutes),
+                                 spare_susceptible=False))
+    return [
+        TierAvailabilityModel("small", n=2, m=2, s=0,
+                              modes=modes(200, 24, 5)),
+        TierAvailabilityModel("mid", n=6, m=4, s=2,
+                              modes=modes(100, 12, 8)),
+        TierAvailabilityModel("large", n=12, m=10, s=3,
+                              modes=modes(400, 48, 10)),
+    ]
+
+
+def time_once(engine, models, loops=LOOPS):
+    """Wall time for ``loops`` passes over ``models``."""
+    started = time.perf_counter()
+    for _ in range(loops):
+        for model in models:
+            engine.evaluate_tier(model)
+    return time.perf_counter() - started
+
+
+def measure_overhead():
+    models = benchmark_models()
+    bare = MarkovEngine()
+    resilient = FallbackEngine(engines=[MarkovEngine()],
+                               policy=FallbackPolicy(chain=("markov",)))
+    # Warm both paths, then time the engines back-to-back in pairs:
+    # adjacent runs see the same machine load, so the per-pair ratio
+    # cancels it, and the median of the ratios discards the pairs a
+    # scheduler hiccup still disturbed.
+    time_once(bare, models, loops=2)
+    time_once(resilient, models, loops=2)
+    pairs = [(time_once(bare, models), time_once(resilient, models))
+             for _ in range(REPS)]
+    ratios = sorted(r / b for b, r in pairs)
+    bare_time = min(b for b, _ in pairs)
+    resilient_time = min(r for _, r in pairs)
+    overhead = ratios[len(ratios) // 2] - 1.0
+    return bare_time, resilient_time, overhead
+
+
+@pytest.fixture(scope="module")
+def overhead_report():
+    bare_time, resilient_time, overhead = measure_overhead()
+    calls = LOOPS * len(benchmark_models())
+    lines = [
+        "fault-free overhead of the resilience runtime",
+        "",
+        "batch: %d evaluate_tier calls, %d paired reps" % (calls, REPS),
+        "bare markov:      %8.1f ms fastest rep (%.3f ms/call)"
+        % (bare_time * 1e3, bare_time * 1e3 / calls),
+        "fallback(markov): %8.1f ms fastest rep (%.3f ms/call)"
+        % (resilient_time * 1e3, resilient_time * 1e3 / calls),
+        "overhead:         %+7.2f%% median of paired ratios "
+        "(budget %.0f%%)" % (overhead * 100.0, MAX_OVERHEAD * 100.0),
+    ]
+    write_report("resilience.txt", "\n".join(lines))
+    return overhead
+
+
+def test_fault_free_overhead_under_budget(overhead_report):
+    assert overhead_report < MAX_OVERHEAD, (
+        "fallback runtime adds %.2f%% on fault-free solves "
+        "(budget %.0f%%)"
+        % (overhead_report * 100.0, MAX_OVERHEAD * 100.0))
+
+
+def test_fault_free_results_identical():
+    """The wrapper must not change a single fault-free number."""
+    models = benchmark_models()
+    bare = MarkovEngine()
+    resilient = FallbackEngine(engines=[MarkovEngine()],
+                               policy=FallbackPolicy(chain=("markov",)))
+    for model in models:
+        assert resilient.evaluate_tier(model).unavailability == \
+            bare.evaluate_tier(model).unavailability
+        assert len(resilient.log) == 0

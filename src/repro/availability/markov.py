@@ -22,8 +22,12 @@ Two chain shapes are used, following the paper's failover rule:
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Tuple
 
+import numpy as np
+
+from ..errors import NumericalError
 from ..units import HOURS_PER_YEAR
 from .ctmc import ContinuousTimeMarkovChain
 from .model import (FailureModeEntry, ModeResult, TierAvailabilityModel,
@@ -35,11 +39,40 @@ _MIN_HOURS = 1e-6
 
 
 def evaluate_tier(model: TierAvailabilityModel) -> TierResult:
-    """Evaluate one tier by failure-mode decomposition."""
+    """Evaluate one tier by failure-mode decomposition.
+
+    Raises :class:`~repro.errors.NumericalError` -- carrying the tier
+    name and its ``(n, m, s)`` structure -- when a mode's chain solve
+    hits a singular generator matrix or yields non-finite/out-of-range
+    probabilities, so callers can attribute the failure (and the
+    resilience runtime can classify it as transient) without digging
+    through a linear-algebra traceback.
+    """
     mode_results: List[ModeResult] = []
     up_product = 1.0
+    structure = (model.n, model.m, model.s)
     for mode in model.modes:
-        result = evaluate_mode(model, mode)
+        try:
+            result = evaluate_mode(model, mode)
+        except np.linalg.LinAlgError as exc:
+            raise NumericalError(
+                "mode %r: linear solve failed (%s)" % (mode.name, exc),
+                tier=model.name, structure=structure) from exc
+        except FloatingPointError as exc:
+            raise NumericalError(
+                "mode %r: floating-point fault (%s)" % (mode.name, exc),
+                tier=model.name, structure=structure) from exc
+        if not math.isfinite(result.unavailability) \
+                or not 0.0 <= result.unavailability <= 1.0:
+            raise NumericalError(
+                "mode %r: solve produced unavailability %r outside [0, 1]"
+                % (mode.name, result.unavailability),
+                tier=model.name, structure=structure)
+        if not math.isfinite(result.failures_per_year):
+            raise NumericalError(
+                "mode %r: solve produced non-finite failure rate %r"
+                % (mode.name, result.failures_per_year),
+                tier=model.name, structure=structure)
         mode_results.append(result)
         up_product *= 1.0 - result.unavailability
     return TierResult(model.name, 1.0 - up_product, tuple(mode_results))

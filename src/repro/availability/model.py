@@ -143,12 +143,46 @@ class ModeResult:
 
 
 @dataclass(frozen=True)
+class EngineProvenance:
+    """Which engine produced a result, and why any fallback happened.
+
+    Attached to :class:`TierResult` by the resilience runtime
+    (:class:`repro.resilience.FallbackEngine`); plain engines leave it
+    None.  ``fallback_from`` lists the engines that were tried (or
+    skipped by an open circuit breaker) before ``engine`` answered, in
+    order; ``cause`` summarizes why the last of them gave way.
+    """
+
+    engine: str
+    attempts: int = 1
+    fallback_from: Tuple[str, ...] = ()
+    cause: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        """True when the result did not come from the primary engine."""
+        return bool(self.fallback_from)
+
+    def describe(self) -> str:
+        text = self.engine
+        if self.attempts > 1:
+            text += " (attempt %d)" % self.attempts
+        if self.fallback_from:
+            text += " after %s" % " -> ".join(self.fallback_from)
+            if self.cause:
+                text += ": %s" % self.cause
+        return text
+
+
+@dataclass(frozen=True)
 class TierResult:
     """Evaluation outcome for one tier."""
 
     name: str
     unavailability: float
     mode_results: Tuple[ModeResult, ...] = ()
+    #: Filled in by the resilience runtime; None from bare engines.
+    provenance: Optional[EngineProvenance] = None
 
     def __post_init__(self):
         if not -1e-12 <= self.unavailability <= 1.0 + 1e-12:

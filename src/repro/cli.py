@@ -18,6 +18,7 @@ to its application tier, matching the paper's first example.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -48,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max expected job execution time, e.g. 20h")
     design.add_argument("--json", action="store_true",
                         help="emit the design and evaluation as JSON")
+    design.add_argument("--checkpoint", metavar="PATH",
+                        help="snapshot search progress to PATH so an "
+                             "interrupted run can resume")
+    design.add_argument("--resume", action="store_true",
+                        help="resume from an existing --checkpoint file "
+                             "instead of restarting the search")
     _add_search_options(design)
 
     frontier = subparsers.add_parser(
@@ -113,8 +120,16 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
                         help="pin a mechanism parameter, e.g. "
                              "maintenanceA.level=bronze (repeatable)")
     parser.add_argument("--engine",
-                        choices=["markov", "analytic", "simulation"],
-                        default="markov")
+                        choices=["markov", "analytic", "simulation",
+                                 "fallback"],
+                        default="markov",
+                        help="availability engine; 'fallback' wraps the "
+                             "markov -> analytic -> simulation chain in "
+                             "the fault-tolerant runtime")
+    parser.add_argument("--seed", type=int, default=1, metavar="N",
+                        help="random seed for the simulation engine and "
+                             "resilience schedules (default: 1, so runs "
+                             "are reproducible by default)")
     parser.add_argument("--repair-crew", type=int, default=None,
                         metavar="N",
                         help="bound concurrent repairs per tier "
@@ -182,9 +197,27 @@ def make_limits(args) -> SearchLimits:
 
 def make_engine(args):
     from .availability import get_engine
+    seed = getattr(args, "seed", 1)
     if args.engine == "simulation":
-        return get_engine("simulation", years=500, seed=1)
+        return get_engine("simulation", years=500, seed=seed)
+    if args.engine == "fallback":
+        from .resilience import FallbackEngine
+        return FallbackEngine(seed=seed)
     return get_engine(args.engine)
+
+
+def make_checkpoint(args):
+    """Build (or resume) the search checkpoint requested by the CLI."""
+    path = getattr(args, "checkpoint", None)
+    if not path:
+        if getattr(args, "resume", False):
+            raise AvedError("--resume requires --checkpoint PATH")
+        return None
+    from .resilience import SearchCheckpoint
+    if getattr(args, "resume", False):
+        if os.path.exists(path):
+            return SearchCheckpoint.load(path)
+    return SearchCheckpoint(path)
 
 
 def cmd_design(args, out) -> int:
@@ -199,7 +232,8 @@ def cmd_design(args, out) -> int:
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
-                  repair_crew=args.repair_crew)
+                  repair_crew=args.repair_crew,
+                  checkpoint=make_checkpoint(args))
     try:
         outcome = engine.design(requirements)
     except InfeasibleError as exc:

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from ..availability import AvailabilityEngine, MarkovEngine
 from ..errors import InfeasibleError, ModelError, SearchError
+from ..lint import Diagnostic, LintReport
 from ..model import (InfrastructureModel, JobRequirements, ServiceModel,
                      ServiceRequirements, validate_pair)
 from .design import Design
@@ -25,11 +26,19 @@ from .search import (JobSearch, SearchLimits, SearchStats, TierSearch,
 
 @dataclass(frozen=True)
 class DesignOutcome:
-    """The engine's output: the chosen design plus its evaluation."""
+    """The engine's output: the chosen design plus its evaluation.
+
+    ``degradation`` reports what the resilience runtime had to do to
+    produce the result (engine fallbacks, breaker trips, retries,
+    checkpoint resumption) as ``AVD3xx`` diagnostics; None when the
+    run used a plain engine with no checkpoint, empty when a resilient
+    run saw no faults.
+    """
 
     design: Design
     evaluation: DesignEvaluation
     stats: SearchStats
+    degradation: Optional[LintReport] = None
 
     @property
     def annual_cost(self) -> float:
@@ -38,6 +47,11 @@ class DesignOutcome:
     @property
     def downtime_minutes(self) -> float:
         return self.evaluation.downtime_minutes
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback/trip/retry happened during the run."""
+        return self.degradation is not None and len(self.degradation) > 0
 
     def summary(self) -> str:
         from .report import outcome_summary
@@ -61,11 +75,17 @@ class Aved:
                  limits: Optional[SearchLimits] = None,
                  combination: str = "exact",
                  repair_crew: Optional[int] = None,
-                 lint: str = "warn"):
+                 lint: str = "warn",
+                 checkpoint=None):
         """``combination`` picks the multi-tier assembly strategy:
         ``"exact"`` (branch-and-bound over the frontier product) or
         ``"greedy"`` (the paper's incremental per-tier tightening).
         ``repair_crew`` optionally bounds concurrent repairs per tier.
+
+        ``checkpoint`` (a :class:`repro.resilience.SearchCheckpoint`)
+        makes searches durable: progress snapshots to disk as the
+        search runs, and a checkpoint loaded from a previous
+        interrupted run resumes instead of restarting.
 
         ``lint`` controls the static-analysis pass that runs before any
         search: ``"warn"`` (default) stores findings on
@@ -96,6 +116,7 @@ class Aved:
         self.service = service
         self.limits = limits or SearchLimits()
         self.combination = combination
+        self.checkpoint = checkpoint
         self.evaluator = DesignEvaluator(
             infrastructure, service,
             availability_engine if availability_engine is not None
@@ -110,18 +131,48 @@ class Aved:
         Raises :class:`InfeasibleError` when no design in the modeled
         space satisfies them.
         """
-        if isinstance(requirements, ServiceRequirements):
-            return self._design_service(requirements)
-        if isinstance(requirements, JobRequirements):
-            return self._design_job(requirements)
+        try:
+            if isinstance(requirements, ServiceRequirements):
+                return self._design_service(requirements)
+            if isinstance(requirements, JobRequirements):
+                return self._design_job(requirements)
+        finally:
+            # A crashed search keeps its progress: whatever was
+            # recorded since the last autosave hits the disk here.
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
         raise SearchError("unsupported requirements type %r"
                           % type(requirements).__name__)
+
+    def _degradation_report(self) -> Optional[LintReport]:
+        """Collect the resilience runtime's record of this run.
+
+        Drains the evaluation engine's degradation log (when the
+        engine keeps one -- :class:`repro.resilience.FallbackEngine`
+        does) and notes checkpoint resumption.  Returns None when
+        neither applies, so plain runs stay report-free.
+        """
+        report: Optional[LintReport] = None
+        drain = getattr(self.evaluator.engine, "drain_log", None)
+        if drain is not None:
+            report = drain().to_lint_report()
+        if self.checkpoint is not None and self.checkpoint.resumed:
+            if report is None:
+                report = LintReport()
+            report.add(Diagnostic.new(
+                "AVD308",
+                "resumed from checkpoint: %d prior solve(s), %d "
+                "completed frontier(s) reused"
+                % (self.checkpoint.resumed_evaluations,
+                   len(self.checkpoint.completed_tiers))))
+        return report
 
     # ------------------------------------------------------------------
 
     def _design_service(self, requirements: ServiceRequirements) \
             -> DesignOutcome:
-        search = TierSearch(self.evaluator, self.limits)
+        search = TierSearch(self.evaluator, self.limits,
+                            checkpoint=self.checkpoint)
         tier_names = [tier.name for tier in self.service.tiers]
 
         if len(tier_names) == 1:
@@ -159,12 +210,15 @@ class Aved:
             raise InfeasibleError(
                 "search result fails verification against %s"
                 % requirements.describe(), best_infeasible=evaluation)
-        return DesignOutcome(design, evaluation, search.stats)
+        return DesignOutcome(design, evaluation, search.stats,
+                             degradation=self._degradation_report())
 
     def _design_job(self, requirements: JobRequirements) -> DesignOutcome:
-        search = JobSearch(self.evaluator, self.limits)
+        search = JobSearch(self.evaluator, self.limits,
+                           checkpoint=self.checkpoint)
         evaluation = search.best_design(requirements)
         if evaluation is None:
             raise InfeasibleError(
                 "no design meets %s" % requirements.describe())
-        return DesignOutcome(evaluation.design, evaluation, search.stats)
+        return DesignOutcome(evaluation.design, evaluation, search.stats,
+                             degradation=self._degradation_report())

@@ -46,6 +46,16 @@ class DesignEvaluation:
     def downtime_minutes(self) -> float:
         return self.availability.downtime_minutes
 
+    def engines_used(self) -> Tuple[Tuple[str, str], ...]:
+        """(tier, engine) pairs, from per-tier provenance records.
+
+        Tiers evaluated by a plain engine (no provenance attached)
+        are omitted; a resilient run reports every tier here.
+        """
+        return tuple((tier.name, tier.provenance.engine)
+                     for tier in self.availability.tiers
+                     if tier.provenance is not None)
+
     def meets(self, requirements) -> bool:
         """Does this design satisfy the given requirements object?"""
         if isinstance(requirements, ServiceRequirements):

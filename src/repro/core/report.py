@@ -34,6 +34,13 @@ def evaluation_summary(evaluation: DesignEvaluation) -> str:
                 format_cost(evaluation.cost.mechanisms)),
              "expected annual downtime: %s"
              % format_downtime(evaluation.downtime_minutes)]
+    degraded = [(tier.name, tier.provenance)
+                for tier in evaluation.availability.tiers
+                if tier.provenance is not None
+                and tier.provenance.degraded]
+    for tier_name, provenance in degraded:
+        lines.append("  tier %s evaluated by %s"
+                     % (tier_name, provenance.describe()))
     if evaluation.job_time is not None:
         job = evaluation.job_time
         lines.append(
@@ -46,12 +53,20 @@ def evaluation_summary(evaluation: DesignEvaluation) -> str:
 
 def outcome_summary(outcome) -> str:
     stats = outcome.stats
-    lines = [evaluation_summary(outcome.evaluation),
-             "search: %d structures, %d availability solves "
-             "(%d cache hits, %d cost-pruned)"
-             % (stats.structures_enumerated,
-                stats.availability_evaluations, stats.cache_hits,
-                stats.cost_pruned)]
+    search_line = ("search: %d structures, %d availability solves "
+                   "(%d cache hits, %d cost-pruned)"
+                   % (stats.structures_enumerated,
+                      stats.availability_evaluations, stats.cache_hits,
+                      stats.cost_pruned))
+    if getattr(stats, "resumed_evaluations", 0):
+        search_line += (", %d solve(s) resumed from checkpoint"
+                        % stats.resumed_evaluations)
+    lines = [evaluation_summary(outcome.evaluation), search_line]
+    degradation = getattr(outcome, "degradation", None)
+    if degradation is not None and len(degradation):
+        lines.append("degradation: %s" % degradation.summary())
+        for diagnostic in degradation:
+            lines.append("  %s" % diagnostic.format())
     return "\n".join(lines)
 
 

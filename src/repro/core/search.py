@@ -82,17 +82,33 @@ class SearchStats:
     cost_pruned: int = 0
     cache_hits: int = 0
     job_time_evaluations: int = 0
+    #: Availability solves carried over from a resumed checkpoint.
+    resumed_evaluations: int = 0
+    #: Whole tier frontiers reused from a resumed checkpoint.
+    resumed_frontiers: int = 0
 
 
 class _TierSearchBase:
-    """Shared enumeration machinery for both search flavors."""
+    """Shared enumeration machinery for both search flavors.
+
+    ``checkpoint`` (a :class:`repro.resilience.SearchCheckpoint`)
+    makes the search durable: every availability solve is recorded and
+    periodically flushed to disk, and a search constructed with a
+    resumed checkpoint replays prior solves as cache hits instead of
+    re-paying for them.
+    """
 
     def __init__(self, evaluator: DesignEvaluator,
-                 limits: Optional[SearchLimits] = None):
+                 limits: Optional[SearchLimits] = None,
+                 checkpoint=None):
         self.evaluator = evaluator
         self.limits = limits or SearchLimits()
         self.stats = SearchStats()
+        self.checkpoint = checkpoint
         self._availability_cache: Dict[tuple, float] = {}
+        if checkpoint is not None:
+            self.stats.resumed_evaluations = checkpoint.seed_cache(
+                self._availability_cache)
 
     # -- mechanism enumeration -----------------------------------------
 
@@ -142,6 +158,8 @@ class _TierSearchBase:
         result = self.evaluator.engine.evaluate_tier(model)
         self.stats.availability_evaluations += 1
         self._availability_cache[key] = result.unavailability
+        if self.checkpoint is not None:
+            self.checkpoint.record_evaluation(key, result.unavailability)
         return result.unavailability
 
     @staticmethod
@@ -307,10 +325,21 @@ class TierSearch(_TierSearchBase):
 
         Sorted by increasing cost / decreasing downtime; the first entry
         is the cheapest design at all, the last the most available one
-        within the enumeration bounds.
+        within the enumeration bounds.  With a checkpoint attached, a
+        frontier this tier completed in a previous (interrupted) run is
+        reused verbatim, and a freshly computed one is recorded.
         """
+        if self.checkpoint is not None:
+            stored = self.checkpoint.frontier_for(
+                tier_name, load, self.evaluator.infrastructure)
+            if stored is not None:
+                self.stats.resumed_frontiers += 1
+                return stored
         candidates = list(self.enumerate_candidates(tier_name, load))
-        return pareto_filter(candidates)
+        frontier = pareto_filter(candidates)
+        if self.checkpoint is not None:
+            self.checkpoint.store_frontier(tier_name, load, frontier)
+        return frontier
 
     def best_within_budget(self, tier_name: str, load: float,
                            max_annual_cost: float) \

@@ -15,7 +15,7 @@ from typing import Dict, List
 from ..errors import ModelError
 from ..model import InfrastructureModel, MechanismConfig
 from ..units import Duration
-from .design import Design, TierDesign
+from .design import Design, EvaluatedTierDesign, TierDesign
 from .evaluation import DesignEvaluation
 
 
@@ -93,6 +93,29 @@ def _match_setting(mechanism, parameter_name: str, value):
     return value
 
 
+def evaluated_tier_design_to_dict(candidate: EvaluatedTierDesign) \
+        -> Dict:
+    """Serialize a frontier entry (design + evaluated cost/downtime)."""
+    return {
+        "design": tier_design_to_dict(candidate.design),
+        "annual_cost": candidate.annual_cost,
+        "unavailability": candidate.unavailability,
+    }
+
+
+def evaluated_tier_design_from_dict(data: Dict,
+                                    infrastructure:
+                                    InfrastructureModel) \
+        -> EvaluatedTierDesign:
+    try:
+        return EvaluatedTierDesign(
+            tier_design_from_dict(data["design"], infrastructure),
+            float(data["annual_cost"]),
+            float(data["unavailability"]))
+    except KeyError as exc:
+        raise ModelError("evaluated design dict missing field %s" % exc)
+
+
 def design_to_dict(design: Design) -> Dict:
     return {"tiers": [tier_design_to_dict(tier)
                       for tier in design.tiers]}
@@ -134,6 +157,20 @@ def evaluation_to_dict(evaluation: DesignEvaluation) -> Dict:
             for tier in evaluation.availability.tiers
         },
     }
+    engines = {}
+    for tier in evaluation.availability.tiers:
+        if tier.provenance is None:
+            continue
+        provenance = tier.provenance
+        entry = {"engine": provenance.engine,
+                 "attempts": provenance.attempts}
+        if provenance.fallback_from:
+            entry["fallback_from"] = list(provenance.fallback_from)
+        if provenance.cause:
+            entry["cause"] = provenance.cause
+        engines[tier.name] = entry
+    if engines:
+        result["engines"] = engines
     if evaluation.job_time is not None:
         job = evaluation.job_time
         result["job_time"] = {

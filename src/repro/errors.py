@@ -47,6 +47,32 @@ class EvaluationError(AvedError):
     """An availability/cost/job-time evaluation could not be completed."""
 
 
+class NumericalError(EvaluationError):
+    """A numerical solve failed or produced non-finite results.
+
+    Carries the tier name and ``(n, m, s)`` structure when known so
+    engine failures are attributable without a traceback dig.  The
+    resilience runtime (:mod:`repro.resilience`) treats this class as
+    *transient*: worth retrying before falling back to another engine.
+    """
+
+    def __init__(self, message: str, tier=None, structure=None):
+        #: Name of the tier whose model was being evaluated, if known.
+        self.tier = tier
+        #: The ``(n, m, s)`` structure of the failing model, if known.
+        self.structure = structure
+        if tier is not None:
+            where = "tier %r" % tier
+            if structure is not None:
+                where += " (n=%d, m=%d, s=%d)" % tuple(structure)
+            message = "%s: %s" % (where, message)
+        super().__init__(message)
+
+
+class CheckpointError(AvedError):
+    """A search checkpoint could not be saved, loaded, or applied."""
+
+
 class SearchError(AvedError):
     """The design-space search failed (e.g. no feasible design exists)."""
 

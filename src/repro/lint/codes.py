@@ -2,7 +2,10 @@
 
 Codes are stable identifiers CI can gate on: ``AVD0xx`` are general
 loader failures, ``AVD1xx`` come from the expression static analyzer,
-and ``AVD2xx`` from the model analyzer.  Each code has a default
+``AVD2xx`` from the model analyzer, and ``AVD3xx`` from the resilience
+runtime (:mod:`repro.resilience` degradation reporting -- these are
+emitted at *evaluation* time, not by the static pass).  Each code has
+a default
 severity; individual diagnostics may tighten it (e.g. an overhead
 expression that is *always* below 1.0 upgrades AVD111 to an error).
 
@@ -67,6 +70,24 @@ CODES: Dict[str, CodeInfo] = {
                        "overhead expression for undeclared category"),
     "AVD213": CodeInfo(Severity.WARNING,
                        "nActive exceeds tabulated sample range"),
+    # -- resilience runtime (degradation reporting) ----------------------
+    "AVD301": CodeInfo(Severity.WARNING,
+                       "availability engine fallback"),
+    "AVD302": CodeInfo(Severity.WARNING,
+                       "engine circuit breaker opened"),
+    "AVD303": CodeInfo(Severity.INFO,
+                       "transient engine fault recovered by retry"),
+    "AVD304": CodeInfo(Severity.WARNING,
+                       "engine call exceeded its timeout"),
+    "AVD305": CodeInfo(Severity.WARNING,
+                       "engine returned a non-finite or out-of-range "
+                       "result"),
+    "AVD306": CodeInfo(Severity.ERROR,
+                       "evaluation deadline budget exhausted"),
+    "AVD307": CodeInfo(Severity.INFO,
+                       "engine circuit breaker closed after probe"),
+    "AVD308": CodeInfo(Severity.INFO,
+                       "search resumed from checkpoint"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

@@ -1,0 +1,41 @@
+"""Fault-tolerant evaluation runtime: fallback, chaos, checkpointing.
+
+The design search evaluates thousands of candidate structures through
+numerical availability engines; this package keeps that pipeline
+dependable:
+
+* :class:`FallbackEngine` -- a policy-driven degradation chain over
+  engines (markov -> analytic -> simulation by default) with bounded
+  jittered retry, per-engine circuit breakers, cooperative time
+  budgets, and :class:`~repro.availability.EngineProvenance` on every
+  result;
+* :class:`ChaosEngine` / :class:`FaultPlan` -- deterministic fault
+  injection (exceptions, delays, NaN/garbage results) used by the
+  chaos test suite to prove graceful degradation end-to-end;
+* :class:`SearchCheckpoint` -- periodic snapshots of search progress
+  so an interrupted run resumes instead of restarting
+  (``repro design --checkpoint PATH --resume``);
+* :class:`DegradationLog` -- every fallback/trip/retry surfaces as an
+  ``AVD3xx`` diagnostic through :mod:`repro.lint` and in
+  :meth:`repro.core.DesignOutcome.summary`.
+
+Importing the package registers ``FallbackEngine`` under the engine
+registry name ``"fallback"`` (``get_engine("fallback")``).
+"""
+
+from ..availability import register_engine
+from .chaos import ChaosEngine, FaultPlan, VirtualClock, broken_tier_result
+from .checkpoint import SearchCheckpoint
+from .events import DegradationEvent, DegradationLog
+from .fallback import CircuitBreaker, FallbackEngine
+from .policy import DEFAULT_CHAIN, FallbackPolicy
+
+register_engine(FallbackEngine)
+
+__all__ = [
+    "FallbackEngine", "FallbackPolicy", "DEFAULT_CHAIN",
+    "CircuitBreaker",
+    "ChaosEngine", "FaultPlan", "VirtualClock", "broken_tier_result",
+    "SearchCheckpoint",
+    "DegradationEvent", "DegradationLog",
+]

@@ -1,0 +1,127 @@
+"""Degradation events and their rendering as AVD diagnostics.
+
+Every decision the fault-tolerant runtime makes -- a retry, a
+fallback, a breaker trip, a discarded garbage result -- is recorded as
+a :class:`DegradationEvent` in a :class:`DegradationLog`.  The log
+renders into the existing static-analysis machinery
+(:class:`repro.lint.LintReport`) under the ``AVD3xx`` code family, so
+degraded runs surface through the same text/JSON channels CI already
+gates on, and in :meth:`repro.core.DesignOutcome.summary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..lint import Diagnostic, LintReport
+
+#: Event kinds, with their diagnostic codes.
+FALLBACK = "fallback"
+RETRY = "retry"
+BREAKER_OPEN = "breaker-open"
+BREAKER_CLOSE = "breaker-close"
+TIMEOUT = "timeout"
+GARBAGE = "garbage-result"
+DEADLINE = "deadline-exhausted"
+RESUME = "checkpoint-resume"
+
+EVENT_CODES: Dict[str, str] = {
+    FALLBACK: "AVD301",
+    BREAKER_OPEN: "AVD302",
+    RETRY: "AVD303",
+    TIMEOUT: "AVD304",
+    GARBAGE: "AVD305",
+    DEADLINE: "AVD306",
+    BREAKER_CLOSE: "AVD307",
+    RESUME: "AVD308",
+}
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One observed degradation of the evaluation runtime."""
+
+    kind: str                   # one of the module-level kind constants
+    engine: str = ""            # engine the event concerns
+    tier: str = ""              # tier being evaluated, when known
+    detail: str = ""            # human-readable cause/summary
+    attempt: int = 0            # 1-based attempt number, when relevant
+
+    def describe(self) -> str:
+        parts: List[str] = [self.kind]
+        if self.engine:
+            parts.append("engine=%s" % self.engine)
+        if self.tier:
+            parts.append("tier=%s" % self.tier)
+        if self.attempt:
+            parts.append("attempt=%d" % self.attempt)
+        text = " ".join(parts)
+        if self.detail:
+            text += ": %s" % self.detail
+        return text
+
+    def to_diagnostic(self) -> Diagnostic:
+        code = EVENT_CODES.get(self.kind, "AVD301")
+        context_parts: List[str] = []
+        if self.tier:
+            context_parts.append("tier %r" % self.tier)
+        if self.engine:
+            context_parts.append("engine %r" % self.engine)
+        message = self.detail or self.kind
+        if self.attempt:
+            message += " (attempt %d)" % self.attempt
+        return Diagnostic.new(code, message,
+                              context=", ".join(context_parts))
+
+
+class DegradationLog:
+    """An ordered record of degradation events with report rendering."""
+
+    def __init__(self) -> None:
+        self.events: List[DegradationEvent] = []
+
+    def add(self, kind: str, engine: str = "", tier: str = "",
+            detail: str = "", attempt: int = 0) -> DegradationEvent:
+        event = DegradationEvent(kind, engine, tier, detail, attempt)
+        self.events.append(event)
+        return event
+
+    def extend(self, other: "DegradationLog") -> None:
+        self.events.extend(other.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[DegradationEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> List[DegradationEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind (only kinds that occurred)."""
+        tally: Dict[str, int] = {}
+        for event in self.events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no degradation"
+        counts = self.counts()
+        return ", ".join("%d %s" % (counts[kind], kind)
+                         for kind in sorted(counts))
+
+    def to_lint_report(self,
+                       extra: Optional[Tuple[Diagnostic, ...]] = None) \
+            -> LintReport:
+        """Render the log as a :class:`repro.lint.LintReport`."""
+        report = LintReport(event.to_diagnostic()
+                            for event in self.events)
+        if extra:
+            report.extend(extra)
+        return report

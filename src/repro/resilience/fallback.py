@@ -1,0 +1,368 @@
+"""The fault-tolerant availability engine (policy-driven degradation).
+
+:class:`FallbackEngine` wraps a chain of
+:class:`~repro.availability.AvailabilityEngine` instances, highest
+fidelity first (default: markov -> analytic -> simulation), and
+evaluates each tier through the first engine that produces a valid
+result:
+
+* *transient* faults (singular matrices, non-finite probabilities --
+  anything in ``policy.transient_errors``) are retried on the same
+  engine with seeded, jittered exponential backoff;
+* other faults, timeouts, and garbage results (NaN/inf/out-of-range
+  unavailability) trigger fallback to the next engine in the chain;
+* a per-engine circuit breaker opens after ``breaker_threshold``
+  consecutive faults, skipping that engine entirely for
+  ``breaker_cooldown`` calls before a half-open probe;
+* every :class:`~repro.availability.TierResult` carries an
+  :class:`~repro.availability.EngineProvenance` naming the engine that
+  produced it and why any fallback happened;
+* everything the runtime does is recorded in a
+  :class:`~repro.resilience.DegradationLog`, rendered on demand as a
+  :class:`repro.lint.LintReport` (codes ``AVD301``-``AVD307``).
+
+Time budgets are cooperative (a running solve is never preempted):
+overruns are detected after the fact, the result is discarded, and the
+overrun is treated as a fault.  ``clock``/``sleep`` are injectable so
+the chaos tests can drive a virtual clock deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..availability import (AvailabilityEngine, AvailabilityResult,
+                            EngineProvenance, TierAvailabilityModel,
+                            TierResult, get_engine)
+from ..availability.rbd import series_unavailability
+from ..errors import EvaluationError
+from ..lint import LintReport
+from .events import (BREAKER_CLOSE, BREAKER_OPEN, DEADLINE, FALLBACK,
+                     GARBAGE, RETRY, TIMEOUT, DegradationLog)
+from .policy import FallbackPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-engine breaker: trip after repeated faults, probe to close.
+
+    States follow the classic pattern: CLOSED (normal), OPEN (engine
+    skipped; :meth:`allows` returns False for ``cooldown`` calls),
+    HALF_OPEN (one probe call allowed; its outcome decides).
+    """
+
+    def __init__(self, threshold: int, cooldown: int):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_faults = 0
+        self.skips_remaining = 0
+        self.trips = 0
+
+    def allows(self) -> bool:
+        """May the next call use this engine?  Counts down OPEN skips."""
+        if self.state == OPEN:
+            if self.skips_remaining > 0:
+                self.skips_remaining -= 1
+                return False
+            self.state = HALF_OPEN
+        return True
+
+    def record_success(self) -> bool:
+        """Note a successful call; True when a probe closed the breaker."""
+        probed = self.state == HALF_OPEN
+        self.state = CLOSED
+        self.consecutive_faults = 0
+        return probed
+
+    def record_fault(self) -> bool:
+        """Note a faulted call; True when this fault opened the breaker."""
+        self.consecutive_faults += 1
+        if self.state == HALF_OPEN \
+                or self.consecutive_faults >= self.threshold:
+            already_open = self.state == OPEN
+            self.state = OPEN
+            self.skips_remaining = self.cooldown
+            if not already_open:
+                self.trips += 1
+                return True
+        return False
+
+
+class _Fault:
+    """Internal record of one failed attempt (for the error message)."""
+
+    def __init__(self, engine: str, kind: str, detail: str):
+        self.engine = engine
+        self.kind = kind
+        self.detail = detail
+
+    def describe(self) -> str:
+        return "%s: %s (%s)" % (self.engine, self.detail, self.kind)
+
+
+class FallbackEngine(AvailabilityEngine):
+    """Policy-driven degradation chain over availability engines.
+
+    ``engines`` supplies ready-made engine instances (their ``name``
+    attributes key the breakers and provenance); when omitted, the
+    chain is built from ``policy.chain`` via
+    :func:`~repro.availability.get_engine`, passing ``seed`` (and a
+    reduced horizon) to the simulation engine so degraded runs stay
+    reproducible and bounded.
+    """
+
+    name = "fallback"
+
+    def __init__(self, engines: Optional[Sequence[AvailabilityEngine]]
+                 = None,
+                 policy: Optional[FallbackPolicy] = None,
+                 seed: Optional[int] = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.policy = policy if policy is not None else FallbackPolicy()
+        if engines is None:
+            engines = [self._build_engine(name, seed)
+                       for name in self.policy.chain]
+        if not engines:
+            raise EvaluationError("fallback engine needs a non-empty "
+                                  "engine chain")
+        self.engines: List[AvailabilityEngine] = list(engines)
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.log = DegradationLog()
+        self.breakers: Dict[str, CircuitBreaker] = {
+            engine.name: CircuitBreaker(self.policy.breaker_threshold,
+                                        self.policy.breaker_cooldown)
+            for engine in self.engines}
+        self.calls = 0
+        # Pre-built provenance for the common clean first-try case, so
+        # the fault-free hot path allocates nothing per solve.
+        self._clean_provenance: Dict[str, EngineProvenance] = {
+            engine.name: EngineProvenance(engine=engine.name)
+            for engine in self.engines}
+
+    @staticmethod
+    def _build_engine(name: str, seed: Optional[int]) \
+            -> AvailabilityEngine:
+        if name == "simulation":
+            return get_engine("simulation", years=500,
+                              seed=seed if seed is not None else 1)
+        return get_engine(name)
+
+    # ------------------------------------------------------------------
+
+    def evaluate_tier(self, model: TierAvailabilityModel) -> TierResult:
+        deadline = None
+        if self.policy.deadline is not None:
+            deadline = self._clock() + self.policy.deadline
+        return self._evaluate_tier(model, deadline)
+
+    def evaluate(self, models: Sequence[TierAvailabilityModel]) \
+            -> AvailabilityResult:
+        """Evaluate a design; the deadline budget spans all its tiers."""
+        if not models:
+            raise EvaluationError("design has no tier models")
+        deadline = None
+        if self.policy.deadline is not None:
+            deadline = self._clock() + self.policy.deadline
+        tier_results = tuple(self._evaluate_tier(model, deadline)
+                             for model in models)
+        unavailability = series_unavailability(
+            result.unavailability for result in tier_results)
+        return AvailabilityResult(tier_results, unavailability)
+
+    # ------------------------------------------------------------------
+
+    def _evaluate_tier(self, model: TierAvailabilityModel,
+                       deadline: Optional[float]) -> TierResult:
+        self.calls += 1
+        faults: List[_Fault] = []
+        tried: List[str] = []
+
+        for engine in self.engines:
+            breaker = self.breakers[engine.name]
+            if not breaker.allows():
+                faults.append(_Fault(engine.name, "breaker",
+                                     "skipped, circuit open"))
+                tried.append(engine.name)
+                continue
+            result = self._try_engine(engine, breaker, model, deadline,
+                                      faults)
+            if result is not None:
+                return self._with_provenance(result, engine.name,
+                                             tuple(tried), faults)
+            tried.append(engine.name)
+
+        raise EvaluationError(
+            "all availability engines failed for tier %r: %s"
+            % (model.name,
+               "; ".join(fault.describe() for fault in faults)))
+
+    def _try_engine(self, engine: AvailabilityEngine,
+                    breaker: CircuitBreaker,
+                    model: TierAvailabilityModel,
+                    deadline: Optional[float],
+                    faults: List[_Fault]) -> Optional[TierResult]:
+        """Run one engine with retries; None means fall through."""
+        policy = self.policy
+        attempt = 0
+        while attempt <= policy.max_retries:
+            attempt += 1
+            if deadline is not None and self._clock() >= deadline:
+                self.log.add(DEADLINE, engine=engine.name,
+                             tier=model.name,
+                             detail="deadline budget exhausted before "
+                                    "attempt %d" % attempt)
+                raise EvaluationError(
+                    "evaluation deadline exhausted while evaluating "
+                    "tier %r (tried: %s)"
+                    % (model.name,
+                       "; ".join(f.describe() for f in faults)
+                       or "nothing yet"))
+            started = (self._clock()
+                       if policy.call_timeout is not None else 0.0)
+            try:
+                result = engine.evaluate_tier(model)
+            except policy.transient_errors as exc:
+                fault = _Fault(engine.name, "transient", str(exc))
+                if not self._note_fault(engine, model, fault, faults,
+                                        breaker):
+                    return None
+                if attempt > policy.max_retries:
+                    return None
+                self._backoff(attempt)
+                continue
+            except EvaluationError as exc:
+                fault = _Fault(engine.name, "error", str(exc))
+                self._note_fault(engine, model, fault, faults, breaker)
+                return None
+            except Exception as exc:  # a broken engine, not bad input
+                fault = _Fault(engine.name, "unexpected",
+                               "%s: %s" % (type(exc).__name__, exc))
+                self._note_fault(engine, model, fault, faults, breaker)
+                return None
+            if policy.call_timeout is not None:
+                elapsed = self._clock() - started
+                if elapsed > policy.call_timeout:
+                    fault = _Fault(engine.name, "timeout",
+                                   "call took %.3fs (timeout %.3fs)"
+                                   % (elapsed, policy.call_timeout))
+                    self.log.add(TIMEOUT, engine=engine.name,
+                                 tier=model.name, detail=fault.detail)
+                    self._note_fault(engine, model, fault, faults,
+                                     breaker)
+                    return None
+            garbage = self._garbage_reason(result)
+            if garbage is not None:
+                fault = _Fault(engine.name, "garbage", garbage)
+                self.log.add(GARBAGE, engine=engine.name,
+                             tier=model.name, detail=garbage,
+                             attempt=attempt)
+                if not self._note_fault(engine, model, fault, faults,
+                                        breaker):
+                    return None
+                if attempt > policy.max_retries:
+                    return None
+                self._backoff(attempt)
+                continue
+            if breaker.record_success():
+                self.log.add(BREAKER_CLOSE, engine=engine.name,
+                             tier=model.name,
+                             detail="half-open probe succeeded")
+            if attempt > 1:
+                self.log.add(RETRY, engine=engine.name, tier=model.name,
+                             detail="transient fault recovered",
+                             attempt=attempt)
+            return result
+        return None
+
+    def _note_fault(self, engine: AvailabilityEngine,
+                    model: TierAvailabilityModel, fault: _Fault,
+                    faults: List[_Fault],
+                    breaker: CircuitBreaker) -> bool:
+        """Record a fault; False when it just opened the breaker."""
+        faults.append(fault)
+        if breaker.record_fault():
+            self.log.add(BREAKER_OPEN, engine=engine.name,
+                         tier=model.name,
+                         detail="opened after %d consecutive fault(s); "
+                                "last: %s"
+                         % (breaker.consecutive_faults, fault.detail))
+            return False
+        return True
+
+    def _backoff(self, attempt: int) -> None:
+        delay = self.policy.backoff_delay(attempt, self._rng.random())
+        if delay > 0:
+            self._sleep(delay)
+
+    def _garbage_reason(self, result: TierResult) -> Optional[str]:
+        if not self.policy.validate_results:
+            return None
+        value = result.unavailability
+        if not isinstance(value, float) and not isinstance(value, int):
+            return "unavailability has non-numeric type %s" \
+                % type(value).__name__
+        if value != value:  # NaN
+            return "unavailability is NaN"
+        if not -1e-12 <= value <= 1.0 + 1e-12:
+            return "unavailability %r outside [0, 1]" % value
+        return None
+
+    def _with_provenance(self, result: TierResult, engine_name: str,
+                         tried: Tuple[str, ...],
+                         faults: List[_Fault]) -> TierResult:
+        if not tried and not faults:
+            # Clean first-try success: the pre-built record applies.
+            provenance = self._clean_provenance[engine_name]
+        else:
+            cause = ""
+            attempts = 1 + sum(1 for fault in faults
+                               if fault.engine == engine_name)
+            if tried:
+                cause = "; ".join(fault.describe() for fault in faults
+                                  if fault.engine in tried)
+                self.log.add(FALLBACK, engine=engine_name,
+                             tier=result.name,
+                             detail="fell back from %s: %s"
+                             % (" -> ".join(tried), cause or "unknown"))
+            provenance = EngineProvenance(engine=engine_name,
+                                          attempts=attempts,
+                                          fallback_from=tried,
+                                          cause=cause)
+        # The wrapped engine built this result solely for us, so
+        # annotate it in place rather than via dataclasses.replace():
+        # replace() re-runs the full TierResult validator per solve
+        # (measurable in the fault-free overhead budget) and rejects
+        # the unvalidated results a validate_results=False policy
+        # deliberately passes through.
+        object.__setattr__(result, "provenance", provenance)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def degradation_report(self) -> LintReport:
+        """The log so far as a lint report (codes AVD301-AVD307)."""
+        return self.log.to_lint_report()
+
+    def drain_log(self) -> DegradationLog:
+        """Return the current log and start a fresh one."""
+        log = self.log
+        self.log = DegradationLog()
+        return log
+
+    def reset(self) -> None:
+        """Clear the log and all breaker state (e.g. between searches)."""
+        self.log.clear()
+        self.calls = 0
+        self.breakers = {
+            engine.name: CircuitBreaker(self.policy.breaker_threshold,
+                                        self.policy.breaker_cooldown)
+            for engine in self.engines}

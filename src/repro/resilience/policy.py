@@ -1,0 +1,95 @@
+"""The fallback policy: how hard to try before degrading.
+
+A :class:`FallbackPolicy` is a pure-data description of the
+degradation behavior of :class:`~repro.resilience.FallbackEngine`:
+the engine chain (highest fidelity first), how transient faults are
+retried (bounded, with jittered exponential backoff), when an engine's
+circuit breaker trips and how long it stays open, and the cooperative
+time budgets (per call and per whole-design evaluation).
+
+Timeouts here are *cooperative*: the runtime cannot preempt a numpy
+solve mid-flight, so a call that overruns ``call_timeout`` completes,
+its result is discarded, and the overrun is treated as a fault (it
+counts toward the breaker and triggers fallback).  The deadline is
+checked before each new attempt starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type
+
+from ..errors import NumericalError, SearchError
+
+#: The default degradation chain, highest fidelity first (the paper's
+#: Markov engine, then the closed-form approximation, then simulation).
+DEFAULT_CHAIN: Tuple[str, ...] = ("markov", "analytic", "simulation")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Knobs for the fault-tolerant evaluation runtime.
+
+    ``chain`` names the engines in degradation order (used only when
+    the runtime builds its own engines).  ``max_retries`` bounds how
+    often a *transient* fault (see ``transient_errors``) is retried on
+    the same engine before falling back; each retry sleeps
+    ``backoff_base * backoff_factor**attempt`` seconds, scaled by a
+    seeded uniform jitter of ``+-backoff_jitter`` (fractional).
+
+    ``breaker_threshold`` consecutive faults open an engine's circuit
+    breaker; while open, the engine is skipped for
+    ``breaker_cooldown`` calls, then a single half-open probe decides
+    whether it closes again.
+
+    ``call_timeout``/``deadline`` are the cooperative time budgets in
+    seconds (None disables them): per ``evaluate_tier`` call and per
+    whole-design ``evaluate``.  ``validate_results`` rejects NaN/inf
+    or out-of-range unavailabilities as faults (on by default -- this
+    is what catches a garbage-producing engine).
+    """
+
+    chain: Tuple[str, ...] = DEFAULT_CHAIN
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    call_timeout: Optional[float] = None
+    deadline: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 8
+    validate_results: bool = True
+    transient_errors: Tuple[Type[BaseException], ...] = (
+        NumericalError, FloatingPointError)
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise SearchError("fallback policy needs at least one engine")
+        if len(set(self.chain)) != len(self.chain):
+            raise SearchError("fallback chain has duplicate engines: %r"
+                              % (self.chain,))
+        if self.max_retries < 0:
+            raise SearchError("max_retries cannot be negative")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise SearchError("backoff must have base >= 0 and "
+                              "factor >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise SearchError("backoff_jitter must be in [0, 1]")
+        if self.call_timeout is not None and self.call_timeout <= 0:
+            raise SearchError("call_timeout must be positive or None")
+        if self.deadline is not None and self.deadline <= 0:
+            raise SearchError("deadline must be positive or None")
+        if self.breaker_threshold < 1:
+            raise SearchError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise SearchError("breaker_cooldown must be >= 1")
+
+    def backoff_delay(self, attempt: int, unit_jitter: float) -> float:
+        """Backoff before retry ``attempt`` (1-based), in seconds.
+
+        ``unit_jitter`` is a uniform draw in [0, 1) supplied by the
+        caller's seeded RNG, so schedules are reproducible.
+        """
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        scale = 1.0 + self.backoff_jitter * (2.0 * unit_jitter - 1.0)
+        return max(base * scale, 0.0)

@@ -113,6 +113,53 @@ class TestEngineAgreement:
         assert 0 < result.unavailability < 1
 
 
+class StubEngine(AvailabilityEngine):
+    """Returns a fixed unavailability per tier name (edge-case probe)."""
+
+    name = "stub-values"
+
+    def __init__(self, values):
+        self.values = values
+
+    def evaluate_tier(self, model):
+        from repro.availability import TierResult
+        return TierResult(model.name, self.values[model.name])
+
+
+class TestEvaluateEdgeCases:
+    def test_empty_model_sequence_rejected(self):
+        engine = StubEngine({})
+        with pytest.raises(EvaluationError, match="no tier models"):
+            engine.evaluate([])
+
+    def test_unavailability_exactly_zero(self):
+        engine = StubEngine({"a": 0.0, "b": 0.0})
+        result = engine.evaluate([simple_tier("a"), simple_tier("b")])
+        assert result.unavailability == 0.0
+        assert result.availability == 1.0
+        assert result.annual_downtime.as_minutes == 0.0
+
+    def test_unavailability_exactly_one(self):
+        engine = StubEngine({"a": 1.0, "b": 1e-5})
+        result = engine.evaluate([simple_tier("a"), simple_tier("b")])
+        assert result.unavailability == 1.0
+        assert result.availability == 0.0
+
+    def test_series_composition_is_order_invariant(self):
+        values = {"a": 3e-4, "b": 7e-5, "c": 1.2e-3}
+        engine = StubEngine(values)
+        models = [simple_tier(name) for name in values]
+        forward = engine.evaluate(models)
+        backward = engine.evaluate(list(reversed(models)))
+        assert forward.unavailability == pytest.approx(
+            backward.unavailability, rel=1e-12)
+
+    def test_single_tier_series_is_identity(self):
+        engine = StubEngine({"a": 2.5e-4})
+        result = engine.evaluate([simple_tier("a")])
+        assert result.unavailability == pytest.approx(2.5e-4)
+
+
 class TestModelValidation:
     def test_rejects_bad_m(self):
         with pytest.raises(ModelError):

@@ -1,0 +1,77 @@
+"""Numerical-failure wrapping in the Markov engine (satellite of the
+resilience runtime: these are the errors its retry policy classifies
+as transient)."""
+
+import numpy as np
+import pytest
+
+from repro.availability import (FailureModeEntry, ModeResult,
+                                TierAvailabilityModel)
+from repro.availability import markov
+from repro.errors import EvaluationError, NumericalError
+from repro.units import Duration
+
+
+def tier_model(name="app", n=3, m=2, s=1):
+    return TierAvailabilityModel(
+        name, n=n, m=m, s=s,
+        modes=(FailureModeEntry("hard", Duration.days(60),
+                                Duration.hours(8),
+                                Duration.minutes(4)),))
+
+
+class TestNumericalErrorWrapping:
+    def test_linalg_error_wrapped(self, monkeypatch):
+        def explode(model, mode):
+            raise np.linalg.LinAlgError("singular matrix")
+        monkeypatch.setattr(markov, "evaluate_mode", explode)
+        with pytest.raises(NumericalError) as excinfo:
+            markov.evaluate_tier(tier_model())
+        error = excinfo.value
+        assert error.tier == "app"
+        assert error.structure == (3, 2, 1)
+        assert "tier 'app'" in str(error)
+        assert "(n=3, m=2, s=1)" in str(error)
+        assert "singular matrix" in str(error)
+
+    def test_floating_point_error_wrapped(self, monkeypatch):
+        def explode(model, mode):
+            raise FloatingPointError("overflow encountered")
+        monkeypatch.setattr(markov, "evaluate_mode", explode)
+        with pytest.raises(NumericalError, match="floating-point"):
+            markov.evaluate_tier(tier_model())
+
+    def test_out_of_range_mode_result_rejected(self, monkeypatch):
+        def garbage(model, mode):
+            return ModeResult(mode.name, 1.5, 0.1, False)
+        monkeypatch.setattr(markov, "evaluate_mode", garbage)
+        with pytest.raises(NumericalError, match="outside"):
+            markov.evaluate_tier(tier_model())
+
+    def test_nan_mode_result_rejected(self, monkeypatch):
+        def garbage(model, mode):
+            return ModeResult(mode.name, float("nan"), 0.1, False)
+        monkeypatch.setattr(markov, "evaluate_mode", garbage)
+        with pytest.raises(NumericalError):
+            markov.evaluate_tier(tier_model())
+
+    def test_non_finite_failure_rate_rejected(self, monkeypatch):
+        def garbage(model, mode):
+            return ModeResult(mode.name, 1e-4, float("inf"), False)
+        monkeypatch.setattr(markov, "evaluate_mode", garbage)
+        with pytest.raises(NumericalError, match="failure rate"):
+            markov.evaluate_tier(tier_model())
+
+    def test_is_an_evaluation_error(self):
+        """Callers catching EvaluationError keep working."""
+        assert issubclass(NumericalError, EvaluationError)
+
+    def test_message_without_location(self):
+        error = NumericalError("just numbers")
+        assert str(error) == "just numbers"
+        assert error.tier is None
+        assert error.structure is None
+
+    def test_healthy_solve_unaffected(self):
+        result = markov.evaluate_tier(tier_model())
+        assert 0.0 <= result.unavailability <= 1.0

@@ -82,6 +82,64 @@ class TestDesignCommand:
         assert "annual cost" in output
 
 
+class TestResilienceOptions:
+    def test_fallback_engine_option(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m",
+                            "--engine", "fallback"])
+        assert code == 0
+        assert "rC x6" in output
+        assert "$28,320" in output
+
+    def test_seed_reaches_simulation_engine(self):
+        from repro.cli import build_parser, make_engine
+        args = build_parser().parse_args(
+            ["design", "--paper-ecommerce", "--app-tier-only",
+             "--load", "1", "--downtime", "1m",
+             "--engine", "simulation", "--seed", "42"])
+        engine = make_engine(args)
+        assert engine.seed == 42
+
+    def test_seed_reaches_fallback_chain(self):
+        from repro.cli import build_parser, make_engine
+        args = build_parser().parse_args(
+            ["design", "--paper-ecommerce", "--app-tier-only",
+             "--load", "1", "--downtime", "1m",
+             "--engine", "fallback", "--seed", "7"])
+        engine = make_engine(args)
+        assert engine.engines[-1].name == "simulation"
+        assert engine.engines[-1].seed == 7
+
+    def test_checkpoint_then_resume(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        base = ["design", "--paper-ecommerce", "--app-tier-only",
+                "--load", "1000", "--downtime", "100m",
+                "--checkpoint", path]
+        code, first = run(base)
+        assert code == 0
+        code, second = run(base + ["--resume"])
+        assert code == 0
+        assert "resumed from checkpoint" in second
+        assert "$28,320" in first and "$28,320" in second
+
+    def test_resume_requires_checkpoint(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m", "--resume"])
+        assert code == 1
+        assert "--checkpoint" in output
+
+    def test_resume_without_existing_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "new.json")
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m",
+                            "--checkpoint", path, "--resume"])
+        assert code == 0
+        assert "resumed" not in output
+
+
 class TestFrontierCommand:
     def test_frontier_table(self):
         code, output = run(["frontier", "--paper-ecommerce",

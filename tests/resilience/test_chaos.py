@@ -1,0 +1,151 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel)
+from repro.errors import NumericalError, SearchError
+from repro.resilience import (ChaosEngine, FaultPlan, VirtualClock,
+                              broken_tier_result)
+from repro.units import Duration
+
+
+def tier_model(name="t"):
+    return TierAvailabilityModel(
+        name, n=2, m=2, s=0,
+        modes=(FailureModeEntry("hard", Duration.days(50),
+                                Duration.hours(12),
+                                Duration.minutes(5)),))
+
+
+def injection_trace(plan, calls=40):
+    """What a chaos engine does over ``calls`` calls, as a tuple."""
+    engine = ChaosEngine(MarkovEngine(), plan)
+    model = tier_model()
+    trace = []
+    for _ in range(calls):
+        try:
+            result = engine.evaluate_tier(model)
+        except Exception as exc:
+            trace.append(("raise", type(exc).__name__))
+        else:
+            # repr() keeps NaN comparable (nan != nan would break the
+            # equality check below).
+            trace.append(("ok", repr(result.unavailability)))
+    return tuple(trace)
+
+
+class TestVirtualClock:
+    def test_advance_and_sleep(self):
+        clock = VirtualClock(start=5.0)
+        assert clock() == 5.0
+        clock.advance(2.5)
+        clock.sleep(1.5)
+        assert clock.now() == 9.0
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("kwargs", [
+        {"error_rate": -0.1},
+        {"error_rate": 1.5},
+        {"nan_rate": 2.0},
+        {"delay_seconds": -1.0},
+        {"fail_after": -1},
+    ])
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(SearchError):
+            FaultPlan(**kwargs)
+
+    def test_default_plan_is_benign(self):
+        engine = ChaosEngine(MarkovEngine())
+        result = engine.evaluate_tier(tier_model())
+        assert 0 <= result.unavailability <= 1
+        assert engine.injected == {}
+
+
+class TestChaosEngine:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(seed=11, error_rate=0.3, nan_rate=0.1)
+        assert injection_trace(plan) == injection_trace(plan)
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan(seed=1, error_rate=0.5)
+        b = FaultPlan(seed=2, error_rate=0.5)
+        assert injection_trace(a) != injection_trace(b)
+
+    def test_error_rate_one_always_raises(self):
+        engine = ChaosEngine(MarkovEngine(), FaultPlan(error_rate=1.0))
+        with pytest.raises(NumericalError):
+            engine.evaluate_tier(tier_model())
+        assert engine.injected["error"] == 1
+
+    def test_custom_error_type(self):
+        plan = FaultPlan(error_rate=1.0, error_type=RuntimeError)
+        engine = ChaosEngine(MarkovEngine(), plan)
+        with pytest.raises(RuntimeError):
+            engine.evaluate_tier(tier_model())
+
+    def test_fail_calls_force_specific_calls(self):
+        plan = FaultPlan(fail_calls=(2,))
+        engine = ChaosEngine(MarkovEngine(), plan)
+        model = tier_model()
+        engine.evaluate_tier(model)
+        with pytest.raises(NumericalError, match="call 2"):
+            engine.evaluate_tier(model)
+        engine.evaluate_tier(model)
+        assert engine.injected["fail-call"] == 1
+
+    def test_fail_after_is_a_crash_switch(self):
+        plan = FaultPlan(fail_after=3)
+        engine = ChaosEngine(MarkovEngine(), plan)
+        model = tier_model()
+        for _ in range(3):
+            engine.evaluate_tier(model)
+        with pytest.raises(NumericalError, match="fail_after"):
+            engine.evaluate_tier(model)
+        with pytest.raises(NumericalError):
+            engine.evaluate_tier(model)
+
+    def test_nan_injection_bypasses_validator(self):
+        engine = ChaosEngine(MarkovEngine(), FaultPlan(nan_rate=1.0))
+        result = engine.evaluate_tier(tier_model())
+        assert result.unavailability != result.unavailability
+        assert engine.injected["nan"] == 1
+
+    def test_garbage_injection_returns_out_of_range(self):
+        plan = FaultPlan(garbage_rate=1.0, garbage_value=7.5)
+        engine = ChaosEngine(MarkovEngine(), plan)
+        result = engine.evaluate_tier(tier_model())
+        assert result.unavailability == 7.5
+
+    def test_delay_advances_virtual_clock(self):
+        clock = VirtualClock()
+        plan = FaultPlan(delay_rate=1.0, delay_seconds=2.0)
+        engine = ChaosEngine(MarkovEngine(), plan, clock=clock)
+        engine.evaluate_tier(tier_model())
+        assert clock.now() == 2.0
+        assert engine.injected["delay"] == 1
+
+    def test_name_mirrors_inner_engine(self):
+        engine = ChaosEngine(MarkovEngine(), FaultPlan())
+        assert engine.name == "markov"
+
+    def test_clean_calls_delegate_to_inner(self):
+        model = tier_model()
+        chaotic = ChaosEngine(MarkovEngine(), FaultPlan(seed=0))
+        assert chaotic.evaluate_tier(model).unavailability == \
+            pytest.approx(MarkovEngine()
+                          .evaluate_tier(model).unavailability)
+
+
+class TestBrokenTierResult:
+    def test_carries_invalid_value(self):
+        result = broken_tier_result("t", float("inf"))
+        assert result.name == "t"
+        assert result.unavailability == float("inf")
+        assert result.mode_results == ()
+        assert result.provenance is None

@@ -1,0 +1,325 @@
+"""Unit tests for the fault-tolerant evaluation runtime."""
+
+import pytest
+
+from repro.availability import (AvailabilityEngine, FailureModeEntry,
+                                TierAvailabilityModel, TierResult,
+                                get_engine)
+from repro.errors import EvaluationError, NumericalError, SearchError
+from repro.resilience import (CircuitBreaker, FallbackEngine,
+                              FallbackPolicy, VirtualClock,
+                              broken_tier_result)
+from repro.resilience import events
+from repro.units import Duration
+
+
+def tier_model(name="t"):
+    return TierAvailabilityModel(
+        name, n=2, m=2, s=0,
+        modes=(FailureModeEntry("hard", Duration.days(50),
+                                Duration.hours(12),
+                                Duration.minutes(5)),))
+
+
+class ScriptedEngine(AvailabilityEngine):
+    """Plays back a script of results/exceptions, repeating the last.
+
+    Script entries: a float (returned as a valid TierResult), an
+    exception instance (raised), or a callable taking the model.
+    """
+
+    def __init__(self, name, script):
+        self.name = name
+        self.script = list(script)
+        self.calls = 0
+
+    def evaluate_tier(self, model):
+        self.calls += 1
+        entry = self.script[min(self.calls - 1, len(self.script) - 1)]
+        if isinstance(entry, BaseException):
+            raise entry
+        if callable(entry):
+            return entry(model)
+        return TierResult(model.name, entry)
+
+
+class SlowEngine(AvailabilityEngine):
+    """Advances a virtual clock on every call, then succeeds."""
+
+    def __init__(self, name, clock, seconds, value=1e-4):
+        self.name = name
+        self.clock = clock
+        self.seconds = seconds
+        self.value = value
+
+    def evaluate_tier(self, model):
+        self.clock.advance(self.seconds)
+        return TierResult(model.name, self.value)
+
+
+def make_engine(*engines, **kwargs):
+    clock = kwargs.pop("clock", None)
+    policy = FallbackPolicy(backoff_base=0.0, **kwargs)
+    if clock is None:
+        clock = VirtualClock()
+    return FallbackEngine(engines=list(engines), policy=policy,
+                          clock=clock, sleep=clock.sleep)
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        policy = FallbackPolicy()
+        assert policy.chain == ("markov", "analytic", "simulation")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"chain": ()},
+        {"chain": ("markov", "markov")},
+        {"max_retries": -1},
+        {"backoff_factor": 0.5},
+        {"backoff_jitter": 2.0},
+        {"call_timeout": 0.0},
+        {"deadline": -1.0},
+        {"breaker_threshold": 0},
+        {"breaker_cooldown": 0},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(SearchError):
+            FallbackPolicy(**kwargs)
+
+    def test_backoff_grows_and_jitters(self):
+        policy = FallbackPolicy(backoff_base=0.1, backoff_factor=2.0,
+                                backoff_jitter=0.5)
+        mid1 = policy.backoff_delay(1, 0.5)
+        mid2 = policy.backoff_delay(2, 0.5)
+        assert mid2 == pytest.approx(2.0 * mid1)
+        low = policy.backoff_delay(1, 0.0)
+        high = policy.backoff_delay(1, 1.0)
+        assert low == pytest.approx(0.05)
+        assert high == pytest.approx(0.15)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=3)
+        assert not breaker.record_fault()
+        assert breaker.record_fault()  # second fault opens it
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+    def test_open_skips_then_half_open(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        breaker.record_fault()
+        assert not breaker.allows()
+        assert not breaker.allows()
+        assert breaker.allows()  # cooldown spent: half-open probe
+        assert breaker.state == "half-open"
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1)
+        breaker.record_fault()
+        breaker.allows()
+        breaker.allows()
+        assert breaker.record_success() is True
+        assert breaker.state == "closed"
+
+    def test_probe_fault_reopens(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1)
+        breaker.record_fault()
+        breaker.record_fault()
+        breaker.record_fault()
+        breaker.allows()
+        breaker.allows()
+        assert breaker.state == "half-open"
+        breaker.record_fault()  # single probe fault reopens
+        assert breaker.state == "open"
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=1)
+        breaker.record_fault()
+        breaker.record_success()
+        assert not breaker.record_fault()
+        assert breaker.state == "closed"
+
+
+class TestFallbackEngine:
+    def test_passthrough_provenance(self):
+        engine = make_engine(ScriptedEngine("a", [1e-4]))
+        result = engine.evaluate_tier(tier_model())
+        assert result.unavailability == pytest.approx(1e-4)
+        assert result.provenance.engine == "a"
+        assert result.provenance.attempts == 1
+        assert not result.provenance.degraded
+        assert len(engine.log) == 0
+
+    def test_transient_fault_retried(self):
+        scripted = ScriptedEngine(
+            "a", [NumericalError("boom"), NumericalError("boom"), 1e-4])
+        engine = make_engine(scripted, max_retries=2)
+        result = engine.evaluate_tier(tier_model())
+        assert scripted.calls == 3
+        assert result.provenance.engine == "a"
+        assert result.provenance.attempts == 3
+        assert not result.provenance.degraded
+        retries = engine.log.of_kind(events.RETRY)
+        assert len(retries) == 1
+        assert retries[0].attempt == 3
+
+    def test_retries_exhausted_fall_back(self):
+        engine = make_engine(ScriptedEngine("a", [NumericalError("x")]),
+                             ScriptedEngine("b", [2e-4]),
+                             max_retries=1, breaker_threshold=10)
+        result = engine.evaluate_tier(tier_model())
+        assert result.provenance.engine == "b"
+        assert result.provenance.fallback_from == ("a",)
+        assert "x" in result.provenance.cause
+        assert len(engine.log.of_kind(events.FALLBACK)) == 1
+
+    def test_permanent_fault_skips_retries(self):
+        scripted = ScriptedEngine("a", [EvaluationError("no")])
+        engine = make_engine(scripted, ScriptedEngine("b", [2e-4]),
+                             max_retries=5)
+        result = engine.evaluate_tier(tier_model())
+        assert scripted.calls == 1  # EvaluationError is not retried
+        assert result.provenance.engine == "b"
+
+    def test_unexpected_exception_is_contained(self):
+        engine = make_engine(ScriptedEngine("a", [ZeroDivisionError()]),
+                             ScriptedEngine("b", [2e-4]))
+        result = engine.evaluate_tier(tier_model())
+        assert result.provenance.engine == "b"
+        assert "ZeroDivisionError" in result.provenance.cause
+
+    def test_nan_result_rejected(self):
+        bad = ScriptedEngine(
+            "a", [lambda m: broken_tier_result(m.name, float("nan"))])
+        engine = make_engine(bad, ScriptedEngine("b", [2e-4]),
+                             max_retries=0, breaker_threshold=10)
+        result = engine.evaluate_tier(tier_model())
+        assert result.provenance.engine == "b"
+        garbage = engine.log.of_kind(events.GARBAGE)
+        assert garbage and "NaN" in garbage[0].detail
+
+    def test_out_of_range_result_rejected(self):
+        bad = ScriptedEngine(
+            "a", [lambda m: broken_tier_result(m.name, 2.0)])
+        engine = make_engine(bad, ScriptedEngine("b", [2e-4]),
+                             max_retries=0, breaker_threshold=10)
+        result = engine.evaluate_tier(tier_model())
+        assert result.provenance.engine == "b"
+        assert engine.log.of_kind(events.GARBAGE)
+
+    def test_garbage_validation_can_be_disabled(self):
+        bad = ScriptedEngine(
+            "a", [lambda m: broken_tier_result(m.name, 2.0)])
+        engine = make_engine(bad, validate_results=False)
+        result = engine.evaluate_tier(tier_model())
+        assert result.unavailability == 2.0
+
+    def test_timeout_discards_and_falls_back(self):
+        clock = VirtualClock()
+        slow = SlowEngine("a", clock, seconds=5.0)
+        engine = make_engine(slow, ScriptedEngine("b", [2e-4]),
+                             clock=clock, call_timeout=1.0)
+        result = engine.evaluate_tier(tier_model())
+        assert result.provenance.engine == "b"
+        timeouts = engine.log.of_kind(events.TIMEOUT)
+        assert timeouts and "timeout" in timeouts[0].detail
+
+    def test_deadline_budget_spans_tiers(self):
+        clock = VirtualClock()
+        slow = SlowEngine("a", clock, seconds=6.0)
+        engine = make_engine(slow, clock=clock, deadline=10.0)
+        models = [tier_model("t1"), tier_model("t2"), tier_model("t3")]
+        with pytest.raises(EvaluationError, match="deadline"):
+            engine.evaluate(models)
+        assert engine.log.of_kind(events.DEADLINE)
+
+    def test_breaker_opens_skips_and_recloses(self):
+        flaky = ScriptedEngine("a", [EvaluationError("dead"),
+                                     EvaluationError("dead"), 1e-4])
+        engine = make_engine(flaky, ScriptedEngine("b", [2e-4]),
+                             breaker_threshold=2, breaker_cooldown=2)
+        model = tier_model()
+        # Calls 1-2 fault engine a (opening the breaker on call 2).
+        assert engine.evaluate_tier(model).provenance.engine == "b"
+        assert engine.evaluate_tier(model).provenance.engine == "b"
+        assert engine.log.of_kind(events.BREAKER_OPEN)
+        # Calls 3-4: breaker open, engine a skipped without being called.
+        engine.evaluate_tier(model)
+        engine.evaluate_tier(model)
+        assert flaky.calls == 2
+        # Call 5: half-open probe succeeds and closes the breaker.
+        result = engine.evaluate_tier(model)
+        assert result.provenance.engine == "a"
+        assert engine.log.of_kind(events.BREAKER_CLOSE)
+        assert engine.breakers["a"].state == "closed"
+
+    def test_all_engines_failed(self):
+        engine = make_engine(ScriptedEngine("a", [EvaluationError("x")]),
+                             ScriptedEngine("b", [EvaluationError("y")]))
+        with pytest.raises(EvaluationError,
+                           match="all availability engines failed"):
+            engine.evaluate_tier(tier_model())
+
+    def test_empty_design_rejected(self):
+        engine = make_engine(ScriptedEngine("a", [1e-4]))
+        with pytest.raises(EvaluationError):
+            engine.evaluate([])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(EvaluationError):
+            FallbackEngine(engines=[])
+
+    def test_series_composition_matches_bare_engine(self):
+        engine = make_engine(get_engine("markov"))
+        models = [tier_model("t1"), tier_model("t2")]
+        resilient = engine.evaluate(models)
+        bare = get_engine("markov").evaluate(models)
+        assert resilient.unavailability == pytest.approx(
+            bare.unavailability)
+
+    def test_default_chain_built_from_registry(self):
+        engine = FallbackEngine(seed=3)
+        assert [e.name for e in engine.engines] == \
+            ["markov", "analytic", "simulation"]
+        assert engine.engines[-1].seed == 3
+
+    def test_registered_under_fallback_name(self):
+        assert isinstance(get_engine("fallback"), FallbackEngine)
+
+
+class TestReporting:
+    def test_degradation_report_codes(self):
+        engine = make_engine(ScriptedEngine("a", [NumericalError("t"),
+                                                  1e-4]),
+                             ScriptedEngine("b", [2e-4]))
+        engine.evaluate_tier(tier_model())
+        report = engine.degradation_report()
+        assert {d.code for d in report} == {"AVD303"}
+
+    def test_drain_log_resets(self):
+        engine = make_engine(ScriptedEngine("a", [NumericalError("t"),
+                                                  1e-4]))
+        engine.evaluate_tier(tier_model())
+        drained = engine.drain_log()
+        assert len(drained) == 1
+        assert len(engine.log) == 0
+
+    def test_reset_clears_breakers_and_log(self):
+        engine = make_engine(ScriptedEngine("a", [EvaluationError("x")]),
+                             ScriptedEngine("b", [2e-4]),
+                             breaker_threshold=1)
+        engine.evaluate_tier(tier_model())
+        assert engine.breakers["a"].state == "open"
+        engine.reset()
+        assert engine.breakers["a"].state == "closed"
+        assert len(engine.log) == 0
+        assert engine.calls == 0
+
+    def test_log_summary_counts(self):
+        engine = make_engine(ScriptedEngine("a", [EvaluationError("x")]),
+                             ScriptedEngine("b", [2e-4]),
+                             breaker_threshold=10)
+        engine.evaluate_tier(tier_model())
+        assert "1 fallback" in engine.log.summary()
+        assert engine.log.counts()[events.FALLBACK] == 1
