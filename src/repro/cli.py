@@ -113,6 +113,18 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
 def _add_search_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-redundancy", type=int, default=8,
                         help="resources beyond the minimum to explore")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="evaluate candidates under the supervised "
+                             "runtime: N>1 fans out across N worker "
+                             "processes (same design as a serial run, "
+                             "guaranteed), N=1 supervises in-process; "
+                             "default: the REPRO_JOBS environment "
+                             "variable, else the legacy serial path")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-candidate wall-clock budget; a "
+                             "candidate that keeps exceeding it is "
+                             "quarantined, not fatal (requires --jobs)")
     parser.add_argument("--spare-policy",
                         choices=["cold", "hot", "all"], default="cold")
     parser.add_argument("--fix", action="append", default=[],
@@ -206,6 +218,33 @@ def make_engine(args):
     return get_engine(args.engine)
 
 
+def resolve_jobs(args) -> Optional[int]:
+    """``--jobs``, falling back to the ``REPRO_JOBS`` env variable.
+
+    The env fallback is what lets a CI leg (or a user shell) push an
+    entire existing CLI workflow through the parallel runtime without
+    editing any invocation -- safe because ``--jobs N`` is
+    design-identical to serial.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise AvedError("REPRO_JOBS must be an integer, got %r"
+                                % env)
+    if jobs is not None and jobs < 1:
+        raise AvedError("--jobs must be >= 1, got %d" % jobs)
+    timeout = getattr(args, "task_timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise AvedError("--task-timeout must be positive")
+    if timeout is not None and jobs is None:
+        raise AvedError("--task-timeout requires --jobs")
+    return jobs
+
+
 def make_checkpoint(args):
     """Build (or resume) the search checkpoint requested by the CLI."""
     path = getattr(args, "checkpoint", None)
@@ -233,7 +272,9 @@ def cmd_design(args, out) -> int:
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
-                  checkpoint=make_checkpoint(args))
+                  checkpoint=make_checkpoint(args),
+                  jobs=resolve_jobs(args),
+                  task_timeout=args.task_timeout)
     try:
         outcome = engine.design(requirements)
     except InfeasibleError as exc:
@@ -254,8 +295,19 @@ def cmd_frontier(args, out) -> int:
     evaluator = DesignEvaluator(infrastructure, service,
                                 engine=make_engine(args),
                                 repair_crew=args.repair_crew)
-    search = TierSearch(evaluator, make_limits(args))
-    frontier = search.tier_frontier(args.tier, args.load)
+    jobs = resolve_jobs(args)
+    runtime = None
+    if jobs is not None:
+        from .parallel import make_runtime
+        runtime = make_runtime(evaluator.engine, jobs,
+                               task_timeout=args.task_timeout,
+                               seed=getattr(args, "seed", 1))
+    search = TierSearch(evaluator, make_limits(args), runtime=runtime)
+    try:
+        frontier = search.tier_frontier(args.tier, args.load)
+    finally:
+        if runtime is not None:
+            runtime.close()
     if not frontier:
         print("no designs can carry load %g on tier %r"
               % (args.load, args.tier), file=out)
@@ -310,7 +362,9 @@ def cmd_analyze(args, out) -> int:
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
-                  repair_crew=args.repair_crew)
+                  repair_crew=args.repair_crew,
+                  jobs=resolve_jobs(args),
+                  task_timeout=args.task_timeout)
     requirements = ServiceRequirements(args.load,
                                        Duration.parse(args.downtime))
     try:

@@ -83,7 +83,9 @@ class RedesignController:
                  max_downtime: Duration,
                  limits: Optional[SearchLimits] = None,
                  hysteresis: float = 0.05,
-                 reconfiguration_cost: float = 0.0):
+                 reconfiguration_cost: float = 0.0,
+                 jobs: Optional[int] = None,
+                 task_timeout: Optional[float] = None):
         if hysteresis < 0:
             raise SearchError("hysteresis cannot be negative")
         if reconfiguration_cost < 0:
@@ -94,7 +96,15 @@ class RedesignController:
         self.limits = limits or SearchLimits()
         self.hysteresis = hysteresis
         self.reconfiguration_cost = reconfiguration_cost
-        self._search = TierSearch(evaluator, self.limits)
+        # The supervised runtime (repro.parallel) persists across
+        # trajectory steps so the worker pool is paid for once.
+        self.parallel = None
+        if jobs is not None:
+            from ..parallel import make_runtime
+            self.parallel = make_runtime(evaluator.engine, jobs,
+                                         task_timeout=task_timeout)
+        self._search = TierSearch(evaluator, self.limits,
+                                  runtime=self.parallel)
 
     # ------------------------------------------------------------------
 
@@ -105,24 +115,28 @@ class RedesignController:
         report = ControllerReport()
         current: Optional[EvaluatedTierDesign] = None
         total_cost = 0.0
-        for index, load in enumerate(loads):
-            decision, reconfigured = self._step(current, load)
-            if decision is None:
-                report.infeasible_steps += 1
-                current = None
-            else:
-                if reconfigured:
-                    report.reconfigurations += 1
-                total_cost += decision.annual_cost
-                current = decision
-            report.steps.append(ControllerStep(index, load, decision,
-                                               reconfigured))
-        feasible_steps = len(loads) - report.infeasible_steps
-        report.average_cost = (total_cost / feasible_steps
-                               if feasible_steps else 0.0)
-        report.reconfiguration_charges = (report.reconfigurations
-                                          * self.reconfiguration_cost)
-        report.static_peak_cost = self._static_peak_cost(loads)
+        try:
+            for index, load in enumerate(loads):
+                decision, reconfigured = self._step(current, load)
+                if decision is None:
+                    report.infeasible_steps += 1
+                    current = None
+                else:
+                    if reconfigured:
+                        report.reconfigurations += 1
+                    total_cost += decision.annual_cost
+                    current = decision
+                report.steps.append(ControllerStep(index, load, decision,
+                                                   reconfigured))
+            feasible_steps = len(loads) - report.infeasible_steps
+            report.average_cost = (total_cost / feasible_steps
+                                   if feasible_steps else 0.0)
+            report.reconfiguration_charges = (report.reconfigurations
+                                              * self.reconfiguration_cost)
+            report.static_peak_cost = self._static_peak_cost(loads)
+        finally:
+            if self.parallel is not None:
+                self.parallel.close()
         return report
 
     # ------------------------------------------------------------------

@@ -29,10 +29,12 @@ class DesignOutcome:
     """The engine's output: the chosen design plus its evaluation.
 
     ``degradation`` reports what the resilience runtime had to do to
-    produce the result (engine fallbacks, breaker trips, retries,
-    checkpoint resumption) as ``AVD3xx`` diagnostics; None when the
-    run used a plain engine with no checkpoint, empty when a resilient
-    run saw no faults.
+    produce the result -- engine fallbacks, breaker trips, retries,
+    checkpoint resumption (``AVD3xx``) and parallel-runtime events
+    such as worker crashes, quarantines, and pool restarts
+    (``AVD4xx``); None when the run used a plain engine with no
+    checkpoint or parallel runtime, empty when a resilient run saw no
+    faults.
     """
 
     design: Design
@@ -76,7 +78,10 @@ class Aved:
                  combination: str = "exact",
                  repair_crew: Optional[int] = None,
                  lint: str = "warn",
-                 checkpoint=None):
+                 checkpoint=None,
+                 jobs: Optional[int] = None,
+                 task_timeout: Optional[float] = None,
+                 parallel=None):
         """``combination`` picks the multi-tier assembly strategy:
         ``"exact"`` (branch-and-bound over the frontier product) or
         ``"greedy"`` (the paper's incremental per-tier tightening).
@@ -86,6 +91,19 @@ class Aved:
         makes searches durable: progress snapshots to disk as the
         search runs, and a checkpoint loaded from a previous
         interrupted run resumes instead of restarting.
+
+        ``jobs`` enables the supervised evaluation runtime
+        (:mod:`repro.parallel`): ``jobs > 1`` fans availability solves
+        out across a worker pool (deterministically -- the resulting
+        :class:`DesignOutcome` is identical to a serial run);
+        ``jobs=1`` supervises in-process (timeouts, retry, poison
+        quarantine, no pool); the default None keeps the legacy
+        unsupervised path.  ``task_timeout`` is the per-candidate
+        wall-clock budget in seconds (requires ``jobs``).  A
+        pre-built :class:`repro.parallel.ParallelEvaluationRuntime`
+        can be injected via ``parallel`` instead (the caller then owns
+        its lifecycle); runtimes the engine builds itself are closed
+        when :meth:`design` returns.
 
         ``lint`` controls the static-analysis pass that runs before any
         search: ``"warn"`` (default) stores findings on
@@ -112,6 +130,10 @@ class Aved:
                     % (len(self.lint_report.errors),
                        "\n  - ".join(d.format()
                                      for d in self.lint_report.errors)))
+        if jobs is not None and jobs < 1:
+            raise SearchError("jobs must be >= 1, got %r" % (jobs,))
+        if task_timeout is not None and jobs is None and parallel is None:
+            raise SearchError("task_timeout requires jobs")
         self.infrastructure = infrastructure
         self.service = service
         self.limits = limits or SearchLimits()
@@ -122,6 +144,13 @@ class Aved:
             availability_engine if availability_engine is not None
             else MarkovEngine(),
             repair_crew=repair_crew)
+        self.parallel = parallel
+        self._owns_runtime = False
+        if parallel is None and jobs is not None:
+            from ..parallel import make_runtime
+            self.parallel = make_runtime(self.evaluator.engine, jobs,
+                                         task_timeout=task_timeout)
+            self._owns_runtime = True
 
     # ------------------------------------------------------------------
 
@@ -141,6 +170,8 @@ class Aved:
             # recorded since the last autosave hits the disk here.
             if self.checkpoint is not None:
                 self.checkpoint.flush()
+            if self.parallel is not None and self._owns_runtime:
+                self.parallel.close()
         raise SearchError("unsupported requirements type %r"
                           % type(requirements).__name__)
 
@@ -156,6 +187,14 @@ class Aved:
         drain = getattr(self.evaluator.engine, "drain_log", None)
         if drain is not None:
             report = drain().to_lint_report()
+        if self.parallel is not None:
+            runtime_log = self.parallel.drain_log()
+            if len(runtime_log):
+                runtime_report = runtime_log.to_lint_report()
+                if report is None:
+                    report = runtime_report
+                else:
+                    report.extend(runtime_report)
         if self.checkpoint is not None and self.checkpoint.resumed:
             if report is None:
                 report = LintReport()
@@ -172,7 +211,8 @@ class Aved:
     def _design_service(self, requirements: ServiceRequirements) \
             -> DesignOutcome:
         search = TierSearch(self.evaluator, self.limits,
-                            checkpoint=self.checkpoint)
+                            checkpoint=self.checkpoint,
+                            runtime=self.parallel)
         tier_names = [tier.name for tier in self.service.tiers]
 
         if len(tier_names) == 1:
@@ -215,7 +255,8 @@ class Aved:
 
     def _design_job(self, requirements: JobRequirements) -> DesignOutcome:
         search = JobSearch(self.evaluator, self.limits,
-                           checkpoint=self.checkpoint)
+                           checkpoint=self.checkpoint,
+                           runtime=self.parallel)
         evaluation = search.best_design(requirements)
         if evaluation is None:
             raise InfeasibleError(

@@ -86,6 +86,10 @@ class SearchStats:
     resumed_evaluations: int = 0
     #: Whole tier frontiers reused from a resumed checkpoint.
     resumed_frontiers: int = 0
+    #: Candidates skipped because the parallel runtime quarantined them.
+    quarantined: int = 0
+    #: Prefetch batches dispatched to the parallel runtime.
+    parallel_batches: int = 0
 
 
 class _TierSearchBase:
@@ -96,15 +100,27 @@ class _TierSearchBase:
     periodically flushed to disk, and a search constructed with a
     resumed checkpoint replays prior solves as cache hits instead of
     re-paying for them.
+
+    ``runtime`` (a
+    :class:`repro.parallel.ParallelEvaluationRuntime`) routes
+    availability solves through supervised evaluation: with more than
+    one job, each resource total's candidate structures are prefetched
+    as a batch across the worker pool before the (unchanged, serial)
+    decision logic consumes them from the cache -- which is why
+    ``jobs=N`` reaches bit-identical designs to ``jobs=1``.
+    Candidates the runtime quarantines evaluate to None and are
+    skipped.  Without a runtime the legacy in-process path is used,
+    byte for byte.
     """
 
     def __init__(self, evaluator: DesignEvaluator,
                  limits: Optional[SearchLimits] = None,
-                 checkpoint=None):
+                 checkpoint=None, runtime=None):
         self.evaluator = evaluator
         self.limits = limits or SearchLimits()
         self.stats = SearchStats()
         self.checkpoint = checkpoint
+        self.runtime = runtime
         self._availability_cache: Dict[tuple, float] = {}
         if checkpoint is not None:
             self.stats.resumed_evaluations = checkpoint.seed_cache(
@@ -149,11 +165,26 @@ class _TierSearchBase:
     # -- cached availability -------------------------------------------
 
     def _tier_unavailability(self, tier_design: TierDesign,
-                             load: Optional[float]) -> float:
+                             load: Optional[float]) -> Optional[float]:
+        """Unavailability of one structure, or None if quarantined."""
         key = self._structure_key(tier_design, load)
         if key in self._availability_cache:
             self.stats.cache_hits += 1
             return self._availability_cache[key]
+        if self.runtime is not None:
+            if self.runtime.is_quarantined(key):
+                self.stats.quarantined += 1
+                return None
+            model = self.evaluator.tier_model(tier_design, load)
+            value = self.runtime.evaluate_candidate(key, model)
+            self.stats.availability_evaluations += 1
+            if value is None:
+                self.stats.quarantined += 1
+                return None
+            self._availability_cache[key] = value
+            if self.checkpoint is not None:
+                self.checkpoint.record_evaluation(key, value)
+            return value
         model = self.evaluator.tier_model(tier_design, load)
         result = self.evaluator.engine.evaluate_tier(model)
         self.stats.availability_evaluations += 1
@@ -161,6 +192,44 @@ class _TierSearchBase:
         if self.checkpoint is not None:
             self.checkpoint.record_evaluation(key, result.unavailability)
         return result.unavailability
+
+    def _prefetch_structures(self, designs: Sequence[TierDesign],
+                             load: Optional[float],
+                             cost_cap: float) -> None:
+        """Batch-solve the structures serial evaluation is about to need.
+
+        Only meaningful when the runtime actually fans out
+        (``jobs>1``): every not-yet-cached, not-quarantined structure
+        whose cost clears ``cost_cap`` is dispatched as one pool batch
+        and merged into the availability cache, so the serial decision
+        loop that follows finds pure cache hits.  ``cost_cap`` is the
+        incumbent cost at batch start; since the incumbent only
+        improves, the prefetched set is always a superset of what the
+        serial loop would have evaluated lazily -- speculative work,
+        never missing work.
+        """
+        runtime = self.runtime
+        if runtime is None or not runtime.parallel:
+            return
+        tasks = []
+        seen = set()
+        for design in designs:
+            if self.evaluator.tier_cost(design).total > cost_cap:
+                continue
+            key = self._structure_key(design, load)
+            if key in self._availability_cache or key in seen \
+                    or runtime.is_quarantined(key):
+                continue
+            seen.add(key)
+            tasks.append((key, self.evaluator.tier_model(design, load)))
+        if not tasks:
+            return
+        merged = runtime.evaluate_batch(tasks)
+        self.stats.parallel_batches += 1
+        self.stats.availability_evaluations += len(tasks)
+        self._availability_cache.update(merged)
+        if self.checkpoint is not None:
+            self.checkpoint.record_batch(merged)
 
     @staticmethod
     def _structure_key(tier_design: TierDesign,
@@ -209,6 +278,22 @@ class _TierSearchBase:
                 cap = min(cap, component.max_instances)
         return cap
 
+    def _structures_for_total(self, tier_name: str,
+                              option: ResourceOption,
+                              structural: Sequence[str], n_min: int,
+                              total: int) -> Iterator[TierDesign]:
+        """Every candidate structure using exactly ``total`` resources.
+
+        The single source of the (split x spare-prefix x mechanism)
+        enumeration order; both the serial decision loops and the
+        parallel prefetch iterate it, which keeps them aligned.
+        """
+        for n_active, n_spare in self._splits(option, n_min, total):
+            for prefix in self._spare_prefixes(option.resource, n_spare):
+                for combo in self._mechanism_combos(structural):
+                    yield TierDesign(tier_name, option.resource,
+                                     n_active, n_spare, prefix, combo)
+
     def _min_cost_for_total(self, tier_name: str, option: ResourceOption,
                             structural: Sequence[str], n_min: int,
                             total: int) -> float:
@@ -218,14 +303,11 @@ class _TierSearchBase:
         incumbent's cost, adding more resources cannot help.
         """
         best = math.inf
-        for n_active, n_spare in self._splits(option, n_min, total):
-            for prefix in self._spare_prefixes(option.resource, n_spare):
-                for combo in self._mechanism_combos(structural):
-                    design = TierDesign(tier_name, option.resource,
-                                        n_active, n_spare, prefix, combo)
-                    cost = self.evaluator.tier_cost(design).total
-                    if cost < best:
-                        best = cost
+        for design in self._structures_for_total(tier_name, option,
+                                                 structural, n_min, total):
+            cost = self.evaluator.tier_cost(design).total
+            if cost < best:
+                best = cost
         return best
 
 
@@ -271,31 +353,29 @@ class TierSearch(_TierSearchBase):
                                                  structural, n_min, total)
                 if floor >= best_cost:
                     break
+            designs = list(self._structures_for_total(
+                tier_name, option, structural, n_min, total))
+            self._prefetch_structures(designs, load, best_cost)
             best_downtime_this_total = math.inf
-            for n_active, n_spare in self._splits(option, n_min, total):
-                for prefix in self._spare_prefixes(option.resource,
-                                                   n_spare):
-                    for combo in self._mechanism_combos(structural):
-                        design = TierDesign(tier_name, option.resource,
-                                            n_active, n_spare, prefix,
-                                            combo)
-                        self.stats.structures_enumerated += 1
-                        cost = self.evaluator.tier_cost(design).total
-                        if cost >= best_cost:
-                            self.stats.cost_pruned += 1
-                            continue
-                        unavailability = self._tier_unavailability(
-                            design, load)
-                        downtime = unavailability * MINUTES_PER_YEAR
-                        best_downtime_this_total = min(
-                            best_downtime_this_total, downtime)
-                        candidate = EvaluatedTierDesign(design, cost,
-                                                        unavailability)
-                        yield candidate
-                        if target_minutes is not None \
-                                and downtime <= target_minutes:
-                            found_feasible = True
-                            best_cost = min(best_cost, cost)
+            for design in designs:
+                self.stats.structures_enumerated += 1
+                cost = self.evaluator.tier_cost(design).total
+                if cost >= best_cost:
+                    self.stats.cost_pruned += 1
+                    continue
+                unavailability = self._tier_unavailability(design, load)
+                if unavailability is None:
+                    continue  # quarantined by the parallel runtime
+                downtime = unavailability * MINUTES_PER_YEAR
+                best_downtime_this_total = min(
+                    best_downtime_this_total, downtime)
+                candidate = EvaluatedTierDesign(design, cost,
+                                                unavailability)
+                yield candidate
+                if target_minutes is not None \
+                        and downtime <= target_minutes:
+                    found_feasible = True
+                    best_cost = min(best_cost, cost)
             if target_minutes is not None and not found_feasible:
                 if best_downtime_this_total >= previous_best_downtime:
                     degradations += 1
@@ -541,18 +621,26 @@ class JobSearch(_TierSearchBase):
                                                  structural, n_min, total)
                 if floor >= best.annual_cost:
                     break
+            structures = list(self._structures_for_total(
+                tier_name, option, structural, n_min, total))
+            # The structural design's cost lower-bounds every full
+            # (structural + performance) design built on it, so this
+            # cap keeps the prefetch a superset of the lazy solves.
+            self._prefetch_structures(
+                structures, None,
+                best.annual_cost + _COST_TIE_EPSILON
+                if best is not None else math.inf)
             best_time_this_total = math.inf
-            for n_active, n_spare in self._splits(option, n_min, total):
-                for prefix in self._spare_prefixes(option.resource,
-                                                   n_spare):
-                    for combo in self._mechanism_combos(structural):
-                        evaluation, best_time = self._evaluate_structure(
-                            tier_name, option, n_active, n_spare, prefix,
-                            combo, perf_combos, requirements, best)
-                        best_time_this_total = min(best_time_this_total,
-                                                   best_time)
-                        if evaluation is not None:
-                            best = evaluation
+            for structure in structures:
+                evaluation, best_time = self._evaluate_structure(
+                    tier_name, option, structure.n_active,
+                    structure.n_spare, structure.spare_active_prefix,
+                    structure.mechanism_configs, perf_combos,
+                    requirements, best)
+                best_time_this_total = min(best_time_this_total,
+                                           best_time)
+                if evaluation is not None:
+                    best = evaluation
             if best is None or not self._meets(best, requirements):
                 if best_time_this_total >= best_time_previous:
                     degradations += 1
@@ -620,6 +708,10 @@ class JobSearch(_TierSearchBase):
             unavailability = self._structural_unavailability(
                 tier_name, option, n_active, n_spare, prefix,
                 structural_combo)
+            if unavailability is None:
+                # Quarantined structure: no performance combo can use
+                # it either, so the whole sweep is moot.
+                return None, best_time
             availability = self._as_result(tier_name, unavailability)
             job_time = evaluator.job_time(design, availability)
             self.stats.job_time_evaluations += 1
@@ -642,7 +734,7 @@ class JobSearch(_TierSearchBase):
                                    option: ResourceOption, n_active: int,
                                    n_spare: int, prefix: Tuple[str, ...],
                                    combo: Tuple[MechanismConfig, ...]) \
-            -> float:
+            -> Optional[float]:
         design = TierDesign(tier_name, option.resource, n_active, n_spare,
                             prefix, combo)
         return self._tier_unavailability(design, None)

@@ -2,10 +2,11 @@
 
 Codes are stable identifiers CI can gate on: ``AVD0xx`` are general
 loader failures, ``AVD1xx`` come from the expression static analyzer,
-``AVD2xx`` from the model analyzer, and ``AVD3xx`` from the resilience
-runtime (:mod:`repro.resilience` degradation reporting -- these are
-emitted at *evaluation* time, not by the static pass).  Each code has
-a default
+``AVD2xx`` from the model analyzer, ``AVD3xx`` from the resilience
+runtime (:mod:`repro.resilience` degradation reporting), and
+``AVD4xx`` from the supervised parallel runtime
+(:mod:`repro.parallel`) -- the 3xx/4xx families are emitted at
+*evaluation* time, not by the static pass.  Each code has a default
 severity; individual diagnostics may tighten it (e.g. an overhead
 expression that is *always* below 1.0 upgrades AVD111 to an error).
 
@@ -88,6 +89,21 @@ CODES: Dict[str, CodeInfo] = {
                        "engine circuit breaker closed after probe"),
     "AVD308": CodeInfo(Severity.INFO,
                        "search resumed from checkpoint"),
+    # -- parallel runtime (supervised multi-process evaluation) ----------
+    "AVD401": CodeInfo(Severity.WARNING,
+                       "worker pool unavailable; degraded to serial "
+                       "evaluation"),
+    "AVD402": CodeInfo(Severity.WARNING,
+                       "poison candidate quarantined after repeated "
+                       "worker failures"),
+    "AVD403": CodeInfo(Severity.WARNING,
+                       "worker process crashed during candidate "
+                       "evaluation"),
+    "AVD404": CodeInfo(Severity.WARNING,
+                       "candidate evaluation exceeded its wall-clock "
+                       "timeout"),
+    "AVD405": CodeInfo(Severity.INFO,
+                       "worker pool restarted"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

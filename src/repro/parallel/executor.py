@@ -1,0 +1,474 @@
+"""The supervised executor: batch evaluation that survives its workers.
+
+:class:`SupervisedExecutor` runs batches of candidate availability
+solves either **in-process** (supervised serial, ``jobs=1``) or across
+a **worker pool** (``jobs>1``) owned by a
+:class:`~repro.parallel.supervisor.PoolSupervisor`.  Either way it
+upholds the same contract:
+
+* an engine exception, garbage result, worker crash, or wall-clock
+  timeout costs the *candidate* a bounded retry (with jittered
+  backoff, reusing :mod:`repro.resilience.policy`), never the search;
+* a candidate that keeps failing is handed to the
+  :class:`~repro.parallel.quarantine.PoisonQuarantine` and skipped --
+  recorded as an ``AVD402`` diagnostic, not raised as an error;
+* results are returned through :func:`repro.parallel.merge.merge_results`
+  in submission order, so downstream consumers are order-independent
+  of worker scheduling.
+
+Crash attribution.  When a worker dies, ``ProcessPoolExecutor``
+invalidates the whole pool and cannot say *which* task was to blame.
+Blaming every in-flight task would eventually quarantine innocent
+candidates, so the executor keeps two counters per task: ``faults``
+(precisely attributed -- isolated crashes, timeouts, worker-reported
+errors) drives quarantine, while ``suspicion`` (shared blame from
+pool-wide crashes) only *escalates*: a task suspected
+``isolate_after`` times is re-run **alone** in the pool, where a crash
+is unambiguous.  Innocent candidates always clear themselves in
+isolation; poison candidates are convicted there and quarantined.
+
+Worker-side faults injected by a
+:class:`~repro.resilience.WorkerFaultPlan` (chaos tests) take the same
+paths as real crashes: ``os._exit`` in the middle of a task, or a
+sleep that outlives the task timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SearchError
+from ..resilience.chaos import WorkerFaultPlan
+from ..resilience.events import (QUARANTINE, TASK_TIMEOUT, WORKER_CRASH,
+                                 DegradationLog)
+from ..resilience.policy import POOL_BACKOFF, FallbackPolicy
+from .merge import merge_results
+from .quarantine import PoisonQuarantine
+from .supervisor import PoolSupervisor
+
+
+@dataclass(frozen=True)
+class ParallelPolicy:
+    """Knobs for the supervised evaluation runtime.
+
+    ``task_retries`` bounds attributed faults per candidate before
+    quarantine (so a candidate gets ``task_retries + 1`` chances).
+    ``task_timeout`` is the per-candidate wall-clock budget in seconds
+    (None disables it); in the pool it is enforced by killing the
+    worker, in-process it is cooperative (the overrun is detected
+    after the solve and treated as a fault).  ``isolate_after`` is the
+    shared-blame threshold that sends a suspect candidate to an
+    isolated run.  ``max_pool_restarts`` bounds pool restarts per
+    batch before degrading to serial.  ``backoff`` supplies the
+    jittered retry/restart delays
+    (:meth:`repro.resilience.FallbackPolicy.backoff_delay`).
+    """
+
+    task_retries: int = 2
+    task_timeout: Optional[float] = None
+    isolate_after: int = 2
+    max_pool_restarts: int = 50
+    poll_interval: float = 0.02
+    startup_timeout: float = 60.0
+    validate_results: bool = True
+    backoff: FallbackPolicy = POOL_BACKOFF
+
+    def __post_init__(self) -> None:
+        if self.task_retries < 0:
+            raise SearchError("task_retries cannot be negative")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise SearchError("task_timeout must be positive or None")
+        if self.isolate_after < 1:
+            raise SearchError("isolate_after must be >= 1")
+        if self.max_pool_restarts < 0:
+            raise SearchError("max_pool_restarts cannot be negative")
+        if self.poll_interval <= 0:
+            raise SearchError("poll_interval must be positive")
+        if self.startup_timeout <= 0:
+            raise SearchError("startup_timeout must be positive")
+
+
+# ----------------------------------------------------------------------
+# Worker-side code.  Module-level so every start method can import it;
+# the engine and fault plan arrive via the pool initializer (inherited
+# for free under fork, pickled under spawn).
+# ----------------------------------------------------------------------
+
+_WORKER_ENGINE: Any = None
+_WORKER_PLAN: Optional[WorkerFaultPlan] = None
+
+
+def _init_worker(engine_blob: bytes,
+                 plan: Optional[WorkerFaultPlan]) -> None:
+    global _WORKER_ENGINE, _WORKER_PLAN
+    _WORKER_ENGINE = pickle.loads(engine_blob)
+    _WORKER_PLAN = plan
+
+
+def _ping() -> str:
+    return "pong"
+
+
+def _evaluate_candidate(task_id: int, submission: int,
+                        model: Any) -> Tuple[int, str, Any]:
+    """Evaluate one tier model; never raises across the pipe.
+
+    Engine exceptions come back as ``("error", detail)`` so they stay
+    attributable to the candidate instead of poisoning the pool
+    protocol.  Injected process faults (chaos) bypass that, which is
+    the point: they exercise the crash/hang supervision paths.
+    """
+    if _WORKER_PLAN is not None:
+        action = _WORKER_PLAN.decide(task_id, submission)
+        if action == "crash":
+            os._exit(3)
+        elif action == "hang":
+            time.sleep(_WORKER_PLAN.hang_seconds)
+    try:
+        result = _WORKER_ENGINE.evaluate_tier(model)
+        return (task_id, "ok", float(result.unavailability))
+    except Exception as exc:
+        return (task_id, "error",
+                "%s: %s" % (type(exc).__name__, exc))
+
+
+# ----------------------------------------------------------------------
+# Parent-side supervision.
+# ----------------------------------------------------------------------
+
+class _TaskState:
+    """Parent-side bookkeeping for one submitted candidate."""
+
+    __slots__ = ("task_id", "key", "model", "tier", "submissions",
+                 "faults", "suspicion")
+
+    def __init__(self, task_id: int, key: tuple, model: Any):
+        self.task_id = task_id
+        self.key = key
+        self.model = model
+        self.tier = getattr(model, "name", "")
+        #: Times the task was handed to a worker (any outcome).
+        self.submissions = 0
+        #: Precisely attributed faults (drive quarantine).
+        self.faults = 0
+        #: Shared blame from unattributable pool crashes (drives
+        #: isolation, never quarantine).
+        self.suspicion = 0
+
+
+class SupervisedExecutor:
+    """Evaluates candidate batches under supervision (see module doc)."""
+
+    def __init__(self, engine: Any, jobs: int = 1,
+                 policy: Optional[ParallelPolicy] = None,
+                 worker_plan: Optional[WorkerFaultPlan] = None,
+                 log: Optional[DegradationLog] = None,
+                 quarantine: Optional[PoisonQuarantine] = None,
+                 seed: int = 1,
+                 pool_factory: Any = None):
+        if jobs < 1:
+            raise SearchError("jobs must be >= 1, got %d" % jobs)
+        self.engine = engine
+        self.jobs = jobs
+        self.policy = policy if policy is not None else ParallelPolicy()
+        self.log = log if log is not None else DegradationLog()
+        self.quarantine = (quarantine if quarantine is not None
+                           else PoisonQuarantine())
+        self._rng = random.Random(seed)
+        self._task_counter = 0
+        #: Counters for tests/benchmarks: pool breaks, timeouts, etc.
+        self.counters: Dict[str, int] = {}
+        self.supervisor: Optional[PoolSupervisor] = None
+        if jobs > 1:
+            self.supervisor = PoolSupervisor(
+                jobs=jobs, initializer=_init_worker,
+                initargs=(pickle.dumps(engine), worker_plan),
+                ping=_ping, log=self.log, backoff=self.policy.backoff,
+                max_restarts_per_batch=self.policy.max_pool_restarts,
+                startup_timeout=self.policy.startup_timeout, seed=seed,
+                pool_factory=pool_factory)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True while batches may actually fan out across processes."""
+        return (self.supervisor is not None
+                and not self.supervisor.degraded)
+
+    def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.close()
+
+    def _count(self, kind: str) -> None:
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (jobs > 1; falls back inline when the pool dies).
+    # ------------------------------------------------------------------
+
+    def run_batch(self, tasks: Sequence[Tuple[tuple, Any]]) \
+            -> List[Tuple[tuple, float]]:
+        """Evaluate ``[(key, model), ...]``; deterministic merge out.
+
+        Quarantined candidates are absent from the result; the caller
+        treats absence via :attr:`quarantine`.
+        """
+        states: List[_TaskState] = []
+        for key, model in tasks:
+            state = _TaskState(self._task_counter, key, model)
+            self._task_counter += 1
+            states.append(state)
+        results: Dict[int, float] = {}
+        pending: Dict[int, _TaskState] = {s.task_id: s for s in states}
+        if self.supervisor is not None:
+            self.supervisor.begin_batch()
+        while pending:
+            pool = (self.supervisor.pool()
+                    if self.supervisor is not None else None)
+            if pool is None:
+                self._run_inline(pending, results)
+                break
+            group = self._next_group(pending)
+            self._run_group(pool, group, pending, results)
+        return merge_results(states, results)
+
+    def _next_group(self, pending: Dict[int, _TaskState]) \
+            -> List[_TaskState]:
+        """Suspects run alone (precise blame); everyone else together."""
+        ordered = sorted(pending.values(), key=lambda s: s.task_id)
+        suspects = [state for state in ordered
+                    if state.suspicion >= self.policy.isolate_after]
+        if suspects:
+            return [suspects[0]]
+        return ordered
+
+    def _run_group(self, pool: Any, group: List[_TaskState],
+                   pending: Dict[int, _TaskState],
+                   results: Dict[int, float]) -> None:
+        futures: Dict[Future, _TaskState] = {}
+        try:
+            for state in group:
+                state.submissions += 1
+                futures[pool.submit(_evaluate_candidate, state.task_id,
+                                    state.submissions, state.model)] \
+                    = state
+        except BaseException:
+            # submit() itself only fails when the pool is already
+            # broken or shut down; treat it like a wholesale crash.
+            self._pool_crashed(futures, group, pending)
+            return
+        self._collect(futures, group, pending, results)
+
+    def _collect(self, futures: Dict[Future, _TaskState],
+                 group: List[_TaskState],
+                 pending: Dict[int, _TaskState],
+                 results: Dict[int, float]) -> None:
+        timeout = self.policy.task_timeout
+        running_since: Dict[int, float] = {}
+        while futures:
+            done, _ = wait(set(futures),
+                           timeout=(self.policy.poll_interval
+                                    if timeout is not None else None),
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                state = futures.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    self._pool_crashed(futures, group, pending,
+                                       crashed=state)
+                    return
+                except Exception as exc:
+                    # The pool machinery failed for this task alone
+                    # (e.g. the model did not pickle); attributable.
+                    self._attributed_fault(
+                        state, pending, "dispatch failed: %s: %s"
+                        % (type(exc).__name__, exc))
+                    continue
+                self._settle(state, payload, pending, results)
+            if timeout is not None and futures:
+                now = time.monotonic()
+                overdue = [
+                    (future, state)
+                    for future, state in futures.items()
+                    if future.running()
+                    and now - running_since.setdefault(state.task_id,
+                                                       now) > timeout]
+                if overdue:
+                    self._tasks_hung(overdue, futures, pending)
+                    return
+
+    def _settle(self, state: _TaskState, payload: Any,
+                pending: Dict[int, _TaskState],
+                results: Dict[int, float]) -> None:
+        task_id, status, value = payload
+        if status == "ok":
+            reason = self._garbage_reason(value)
+            if reason is None:
+                # Success clears shared blame: the candidate has
+                # proven itself innocent of earlier pool crashes.
+                state.suspicion = 0
+                results[state.task_id] = value
+                del pending[state.task_id]
+                return
+            self._count("garbage")
+            self._attributed_fault(state, pending, reason)
+            return
+        self._count("worker-error")
+        self._attributed_fault(state, pending, str(value))
+
+    def _garbage_reason(self, value: Any) -> Optional[str]:
+        if not self.policy.validate_results:
+            return None
+        if not isinstance(value, (int, float)):
+            return ("worker returned non-numeric unavailability %r"
+                    % (value,))
+        if value != value:  # NaN
+            return "worker returned NaN unavailability"
+        if not -1e-12 <= value <= 1.0 + 1e-12:
+            return ("worker returned unavailability %r outside [0, 1]"
+                    % (value,))
+        return None
+
+    # -- fault paths ----------------------------------------------------
+
+    def _pool_crashed(self, futures: Dict[Future, _TaskState],
+                      group: List[_TaskState],
+                      pending: Dict[int, _TaskState],
+                      crashed: Optional[_TaskState] = None) -> None:
+        """A worker died and took the pool with it."""
+        self._count("pool-break")
+        survivors = [state for state in group
+                     if state.task_id in pending]
+        if len(group) == 1:
+            # Isolated run: the crash is unambiguously this task's.
+            state = group[0]
+            self.log.add(WORKER_CRASH, tier=state.tier,
+                         detail="worker died evaluating isolated "
+                                "candidate (submission %d)"
+                         % state.submissions,
+                         attempt=state.faults + 1)
+            self._attributed_fault(state, pending,
+                                   "worker process crashed",
+                                   logged=True)
+        else:
+            self.log.add(WORKER_CRASH,
+                         detail="worker died with %d candidate(s) in "
+                                "flight; re-running them under "
+                                "suspicion" % len(survivors))
+            for state in survivors:
+                state.suspicion += 1
+        futures.clear()
+        if self.supervisor is not None:
+            self.supervisor.restart("worker crash")
+
+    def _tasks_hung(self, overdue: List[Tuple[Future, _TaskState]],
+                    futures: Dict[Future, _TaskState],
+                    pending: Dict[int, _TaskState]) -> None:
+        """Overdue tasks: attributable; the pool is killed to reclaim
+        the stuck workers, and innocents in flight are just re-run."""
+        for _, state in overdue:
+            self._count("task-timeout")
+            self.log.add(TASK_TIMEOUT, tier=state.tier,
+                         detail="candidate exceeded task timeout "
+                                "%.3fs (submission %d)"
+                         % (self.policy.task_timeout,
+                            state.submissions),
+                         attempt=state.faults + 1)
+            self._attributed_fault(state, pending, "evaluation hung "
+                                   "past the task timeout", logged=True)
+        futures.clear()
+        if self.supervisor is not None:
+            self.supervisor.restart("task timeout")
+
+    def _attributed_fault(self, state: _TaskState,
+                          pending: Dict[int, _TaskState], detail: str,
+                          logged: bool = False) -> None:
+        """One precisely attributed fault; quarantine when exhausted."""
+        state.faults += 1
+        if state.faults > self.policy.task_retries:
+            self.quarantine.add(state.key, tier=state.tier,
+                                attempts=state.faults, reason=detail)
+            self.log.add(QUARANTINE, tier=state.tier,
+                         detail="quarantined after %d fault(s): %s"
+                         % (state.faults, detail),
+                         attempt=state.faults)
+            pending.pop(state.task_id, None)
+            return
+        delay = self.policy.backoff.backoff_delay(state.faults,
+                                                  self._rng.random())
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    # In-process evaluation (jobs == 1, and the degraded-pool path).
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, pending: Dict[int, _TaskState],
+                    results: Dict[int, float]) -> None:
+        for state in sorted(pending.values(), key=lambda s: s.task_id):
+            value = self.evaluate_inline(state.key, state.model)
+            if value is not None:
+                results[state.task_id] = value
+        pending.clear()
+
+    def evaluate_inline(self, key: tuple, model: Any) -> Optional[float]:
+        """One candidate, in-process, under the same supervision.
+
+        Returns the unavailability, or None when the candidate ends up
+        quarantined.  The timeout here is cooperative: a solve cannot
+        be preempted in-process, so an overrun is detected after the
+        fact and the (late) result discarded as a fault.
+        """
+        if key in self.quarantine:
+            return None
+        tier = getattr(model, "name", "")
+        faults = 0
+        while True:
+            detail = None
+            started = (time.monotonic()
+                       if self.policy.task_timeout is not None else 0.0)
+            try:
+                value = float(self.engine.evaluate_tier(model)
+                              .unavailability)
+            except Exception as exc:
+                detail = "%s: %s" % (type(exc).__name__, exc)
+            else:
+                if self.policy.task_timeout is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed > self.policy.task_timeout:
+                        self._count("task-timeout")
+                        detail = ("evaluation took %.3fs (task timeout "
+                                  "%.3fs)" % (elapsed,
+                                              self.policy.task_timeout))
+                        self.log.add(TASK_TIMEOUT, tier=tier,
+                                     detail=detail, attempt=faults + 1)
+                if detail is None:
+                    detail = self._garbage_reason(value)
+                    if detail is not None:
+                        self._count("garbage")
+                if detail is None:
+                    return value
+            faults += 1
+            if faults > self.policy.task_retries:
+                self.quarantine.add(key, tier=tier, attempts=faults,
+                                    reason=detail)
+                self.log.add(QUARANTINE, tier=tier,
+                             detail="quarantined after %d fault(s): %s"
+                             % (faults, detail), attempt=faults)
+                return None
+            delay = self.policy.backoff.backoff_delay(faults,
+                                                      self._rng.random())
+            if delay > 0:
+                time.sleep(delay)
+
+
+__all__ = ["ParallelPolicy", "SupervisedExecutor"]

@@ -1,0 +1,59 @@
+"""Deterministic merge of out-of-order parallel results.
+
+Workers finish in whatever order the scheduler pleases; everything the
+search *observes* must not.  The merge layer restores submission order
+before results touch the availability cache or the checkpoint, which
+is what makes ``--jobs 1`` and ``--jobs N`` produce bit-identical
+:class:`~repro.core.DesignOutcome` objects: the search's decision
+logic only ever sees candidate values in the same order a serial run
+would have produced them, and the values themselves are computed by
+the same code on the same inputs.
+
+The merge also cross-checks duplicate submissions of the same
+structure key: two workers disagreeing on one candidate's
+unavailability means the evaluation is not a pure function of its
+inputs, and the merge refuses to pick a winner silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import SearchError
+
+
+def merge_results(tasks: Sequence[Any],
+                  results_by_id: Dict[int, float]) \
+        -> List[Tuple[tuple, float]]:
+    """Order completed results by submission, drop unresolved tasks.
+
+    ``tasks`` are task records carrying ``task_id`` (the global
+    submission counter) and ``key`` (the search structure key);
+    ``results_by_id`` maps task ids to computed unavailabilities.
+    Tasks with no result (quarantined or abandoned) are skipped --
+    the caller decides how absence is handled.
+
+    Raises :class:`~repro.errors.SearchError` when two results for the
+    same key disagree (a non-deterministic evaluation is a bug, never
+    something to merge over).
+    """
+    merged: List[Tuple[tuple, float]] = []
+    seen: Dict[tuple, float] = {}
+    for task in sorted(tasks, key=lambda item: item.task_id):
+        if task.task_id not in results_by_id:
+            continue
+        value = results_by_id[task.task_id]
+        previous = seen.get(task.key)
+        if previous is not None:
+            if previous != value:
+                raise SearchError(
+                    "non-deterministic evaluation: structure %r "
+                    "produced %r and %r in one batch"
+                    % (task.key, previous, value))
+            continue
+        seen[task.key] = value
+        merged.append((task.key, value))
+    return merged
+
+
+__all__ = ["merge_results"]

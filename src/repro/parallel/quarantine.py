@@ -1,0 +1,84 @@
+"""Poison-candidate quarantine.
+
+A *poison candidate* is a ``(resource, n, m, s, mechanism)`` structure
+whose evaluation repeatedly crashes or hangs a worker process (or, in
+supervised serial mode, repeatedly fails in-process).  Left alone, one
+such candidate would kill the whole design search; the supervised
+runtime instead *quarantines* it after its retry budget is exhausted:
+the candidate is recorded here, skipped by the search from then on,
+and surfaced as an ``AVD402`` diagnostic in
+:meth:`repro.core.DesignOutcome.summary` so the degradation is never
+silent.
+
+Quarantining a candidate removes one point from the explored design
+space, so a quarantined run may (rarely) return a costlier design than
+a clean run -- the diagnostics make that auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..lint import Diagnostic
+
+
+@dataclass(frozen=True)
+class QuarantinedCandidate:
+    """One structure the runtime refuses to evaluate again."""
+
+    #: The search's structure key (what the availability cache is
+    #: keyed by); uniquely identifies the candidate within a search.
+    key: tuple
+    #: Tier the candidate belongs to, when known.
+    tier: str
+    #: Attributed faults before quarantine (crashes, hangs, errors).
+    attempts: int
+    #: Human-readable cause of the final fault.
+    reason: str
+
+    def describe(self) -> str:
+        text = "candidate quarantined after %d fault(s)" % self.attempts
+        if self.reason:
+            text += ": %s" % self.reason
+        return text
+
+    def to_diagnostic(self) -> Diagnostic:
+        context = "tier %r" % self.tier if self.tier else ""
+        return Diagnostic.new("AVD402", self.describe(), context=context)
+
+
+class PoisonQuarantine:
+    """The set of quarantined candidates, in quarantine order."""
+
+    def __init__(self) -> None:
+        self._records: Dict[tuple, QuarantinedCandidate] = {}
+
+    def add(self, key: tuple, tier: str = "", attempts: int = 0,
+            reason: str = "") -> QuarantinedCandidate:
+        """Quarantine ``key``; idempotent (first record wins)."""
+        record = self._records.get(key)
+        if record is None:
+            record = QuarantinedCandidate(key, tier, attempts, reason)
+            self._records[key] = record
+        return record
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QuarantinedCandidate]:
+        return iter(self._records.values())
+
+    @property
+    def keys(self) -> Tuple[tuple, ...]:
+        return tuple(self._records)
+
+    def to_diagnostics(self) -> List[Diagnostic]:
+        """Every record as an ``AVD402`` diagnostic, quarantine order."""
+        return [record.to_diagnostic() for record in self]
+
+
+__all__ = ["PoisonQuarantine", "QuarantinedCandidate"]

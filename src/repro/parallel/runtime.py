@@ -1,0 +1,122 @@
+"""The search-facing facade over the supervised executor.
+
+:class:`ParallelEvaluationRuntime` is what
+:class:`~repro.core.TierSearch` and :class:`~repro.core.JobSearch`
+actually hold.  It narrows the machinery in
+:mod:`repro.parallel.executor` to three operations the search needs:
+
+* :meth:`evaluate_candidate` -- one supervised solve, in-process
+  (the ``jobs=1`` path, and cache misses under ``jobs>1``);
+* :meth:`evaluate_batch` -- a prefetch batch fanned out across the
+  pool (``jobs>1``), returned as deterministically merged
+  ``(key, unavailability)`` pairs;
+* :meth:`drain_log` -- the accumulated AVD4xx degradation events,
+  consumed by :meth:`repro.core.Aved._degradation_report`.
+
+Both evaluate methods return ``None`` for (or silently omit)
+quarantined candidates; the search treats those candidates as
+infeasible and moves on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..resilience.chaos import WorkerFaultPlan
+from ..resilience.events import DegradationLog
+from .executor import ParallelPolicy, SupervisedExecutor
+from .quarantine import PoisonQuarantine
+
+
+class ParallelEvaluationRuntime:
+    """Supervised candidate evaluation for the design search."""
+
+    def __init__(self, engine: Any, jobs: int = 1,
+                 policy: Optional[ParallelPolicy] = None,
+                 worker_plan: Optional[WorkerFaultPlan] = None,
+                 seed: int = 1,
+                 pool_factory: Any = None):
+        self.jobs = jobs
+        self.log = DegradationLog()
+        self.executor = SupervisedExecutor(
+            engine, jobs=jobs, policy=policy, worker_plan=worker_plan,
+            log=self.log, seed=seed, pool_factory=pool_factory)
+        #: Batches dispatched through :meth:`evaluate_batch`.
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True while evaluation may actually fan out across workers."""
+        return self.executor.parallel
+
+    @property
+    def quarantine(self) -> PoisonQuarantine:
+        return self.executor.quarantine
+
+    @property
+    def policy(self) -> ParallelPolicy:
+        return self.executor.policy
+
+    def is_quarantined(self, key: tuple) -> bool:
+        return key in self.executor.quarantine
+
+    # ------------------------------------------------------------------
+
+    def evaluate_candidate(self, key: tuple,
+                           model: Any) -> Optional[float]:
+        """One candidate, supervised, in-process.
+
+        Returns its unavailability, or None when the candidate is (or
+        just became) quarantined.
+        """
+        return self.executor.evaluate_inline(key, model)
+
+    def evaluate_batch(self, tasks: Sequence[Tuple[tuple, Any]]) \
+            -> List[Tuple[tuple, float]]:
+        """Fan a ``[(key, model), ...]`` batch out across the pool.
+
+        Results come back merged in submission order (bit-identical
+        regardless of worker scheduling); quarantined candidates are
+        omitted.  With ``jobs=1`` (or a degraded pool) the batch runs
+        serially in-process through the same supervision.
+        """
+        if not tasks:
+            return []
+        self.batches += 1
+        return self.executor.run_batch(tasks)
+
+    # ------------------------------------------------------------------
+
+    def drain_log(self) -> DegradationLog:
+        """Hand over (and reset) the accumulated AVD4xx events."""
+        drained = self.log
+        self.log = DegradationLog()
+        self.executor.log = self.log
+        if self.executor.supervisor is not None:
+            self.executor.supervisor.log = self.log
+        return drained
+
+    def close(self) -> None:
+        self.executor.close()
+
+
+def make_runtime(engine: Any, jobs: Optional[int],
+                 task_timeout: Optional[float] = None,
+                 worker_plan: Optional[WorkerFaultPlan] = None,
+                 seed: int = 1) -> Optional[ParallelEvaluationRuntime]:
+    """The constructor convention used by Aved/controller/CLI.
+
+    ``jobs=None`` means "no runtime at all" (the legacy serial path,
+    byte-for-byte unchanged); otherwise a runtime with ``jobs``
+    workers and an optional per-candidate wall-clock timeout.
+    """
+    if jobs is None:
+        return None
+    policy = ParallelPolicy(task_timeout=task_timeout)
+    return ParallelEvaluationRuntime(engine, jobs=jobs, policy=policy,
+                                     worker_plan=worker_plan, seed=seed)
+
+
+__all__ = ["ParallelEvaluationRuntime", "make_runtime"]

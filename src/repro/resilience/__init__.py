@@ -24,18 +24,20 @@ registry name ``"fallback"`` (``get_engine("fallback")``).
 """
 
 from ..availability import register_engine
-from .chaos import ChaosEngine, FaultPlan, VirtualClock, broken_tier_result
+from .chaos import (ChaosEngine, FaultPlan, VirtualClock, WorkerFaultPlan,
+                    broken_tier_result)
 from .checkpoint import SearchCheckpoint
 from .events import DegradationEvent, DegradationLog
 from .fallback import CircuitBreaker, FallbackEngine
-from .policy import DEFAULT_CHAIN, FallbackPolicy
+from .policy import DEFAULT_CHAIN, POOL_BACKOFF, FallbackPolicy
 
 register_engine(FallbackEngine)
 
 __all__ = [
-    "FallbackEngine", "FallbackPolicy", "DEFAULT_CHAIN",
+    "FallbackEngine", "FallbackPolicy", "DEFAULT_CHAIN", "POOL_BACKOFF",
     "CircuitBreaker",
-    "ChaosEngine", "FaultPlan", "VirtualClock", "broken_tier_result",
+    "ChaosEngine", "FaultPlan", "VirtualClock", "WorkerFaultPlan",
+    "broken_tier_result",
     "SearchCheckpoint",
     "DegradationEvent", "DegradationLog",
 ]

@@ -78,6 +78,26 @@ class SearchCheckpoint:
         if self.path is not None and self._pending >= self.interval:
             self.save()
 
+    def record_batch(self, pairs) -> None:
+        """Record a merged prefetch batch, then save once.
+
+        The parallel runtime evaluates candidates in batches; saving
+        per batch (rather than per ``interval`` entries) means a crash
+        mid-search loses at most the batch in flight, and a resumed
+        run -- under *any* ``--jobs`` value -- replays every completed
+        batch as cache hits.
+        """
+        recorded = 0
+        for key, unavailability in pairs:
+            if key in self._cache:
+                continue
+            self._cache[key] = unavailability
+            recorded += 1
+        if recorded:
+            self._pending += recorded
+            if self.path is not None:
+                self.save()
+
     def store_frontier(self, tier: str, load: float,
                        frontier: List[Any]) -> None:
         """Record a completed tier frontier (and save immediately)."""

@@ -25,6 +25,12 @@ TIMEOUT = "timeout"
 GARBAGE = "garbage-result"
 DEADLINE = "deadline-exhausted"
 RESUME = "checkpoint-resume"
+#: Supervised parallel runtime (:mod:`repro.parallel`) event kinds.
+POOL_DEGRADED = "pool-degraded"
+QUARANTINE = "quarantine"
+WORKER_CRASH = "worker-crash"
+TASK_TIMEOUT = "task-timeout"
+POOL_RESTART = "pool-restart"
 
 EVENT_CODES: Dict[str, str] = {
     FALLBACK: "AVD301",
@@ -35,6 +41,11 @@ EVENT_CODES: Dict[str, str] = {
     DEADLINE: "AVD306",
     BREAKER_CLOSE: "AVD307",
     RESUME: "AVD308",
+    POOL_DEGRADED: "AVD401",
+    QUARANTINE: "AVD402",
+    WORKER_CRASH: "AVD403",
+    TASK_TIMEOUT: "AVD404",
+    POOL_RESTART: "AVD405",
 }
 
 

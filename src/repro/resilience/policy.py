@@ -93,3 +93,12 @@ class FallbackPolicy:
         base = self.backoff_base * self.backoff_factor ** (attempt - 1)
         scale = 1.0 + self.backoff_jitter * (2.0 * unit_jitter - 1.0)
         return max(base * scale, 0.0)
+
+
+#: Backoff schedule shared with the supervised parallel runtime
+#: (:mod:`repro.parallel`): task retries and pool restarts reuse the
+#: same jittered-exponential :meth:`FallbackPolicy.backoff_delay`
+#: machinery as engine retries, just with a slightly larger base
+#: (restarting a worker pool is costlier than re-running a solve).
+POOL_BACKOFF = FallbackPolicy(backoff_base=0.05, backoff_factor=2.0,
+                              backoff_jitter=0.5)

@@ -140,6 +140,77 @@ class TestResilienceOptions:
         assert "resumed" not in output
 
 
+class TestParallelOptions:
+    def test_jobs_reproduces_serial_anchor(self):
+        serial = run(["design", "--paper-ecommerce", "--app-tier-only",
+                      "--load", "1000", "--downtime", "100m"])
+        pooled = run(["design", "--paper-ecommerce", "--app-tier-only",
+                      "--load", "1000", "--downtime", "100m",
+                      "--jobs", "2"])
+        assert serial[0] == 0 and pooled[0] == 0
+        assert "rC x6" in pooled[1]
+        assert "$28,320" in pooled[1]
+        # The design/cost/downtime lines are identical; only the
+        # search-statistics line may differ (speculative prefetch).
+        assert serial[1].splitlines()[:3] == pooled[1].splitlines()[:3]
+
+    def test_supervised_serial_jobs_1(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m", "--jobs", "1",
+                            "--task-timeout", "60"])
+        assert code == 0
+        assert "rC x6" in output
+
+    def test_repro_jobs_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m"])
+        assert code == 0
+        assert "rC x6" in output
+        assert "$28,320" in output
+
+    def test_explicit_jobs_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m", "--jobs", "1"])
+        assert code == 0  # env never consulted when --jobs is given
+
+    def test_bad_env_value_errors(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "two")
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m"])
+        assert code == 1
+        assert "REPRO_JOBS" in output
+
+    def test_jobs_must_be_positive(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m", "--jobs", "0"])
+        assert code == 1
+        assert "--jobs" in output
+
+    def test_task_timeout_requires_jobs(self):
+        code, output = run(["design", "--paper-ecommerce",
+                            "--app-tier-only", "--load", "1000",
+                            "--downtime", "100m",
+                            "--task-timeout", "5"])
+        assert code == 1
+        assert "--task-timeout requires --jobs" in output
+
+    def test_frontier_accepts_jobs(self):
+        serial = run(["frontier", "--paper-ecommerce",
+                      "--tier", "application", "--load", "1000"])
+        pooled = run(["frontier", "--paper-ecommerce",
+                      "--tier", "application", "--load", "1000",
+                      "--jobs", "2"])
+        assert pooled[0] == 0
+        assert pooled[1] == serial[1]
+
+
 class TestFrontierCommand:
     def test_frontier_table(self):
         code, output = run(["frontier", "--paper-ecommerce",

@@ -13,8 +13,10 @@ from repro.availability import AnalyticEngine, MarkovEngine
 from repro.core import Aved
 from repro.errors import EvaluationError
 from repro.model import ServiceRequirements
+from repro.parallel import ParallelEvaluationRuntime, ParallelPolicy
 from repro.resilience import (ChaosEngine, FallbackEngine, FallbackPolicy,
-                              FaultPlan, SearchCheckpoint)
+                              FaultPlan, SearchCheckpoint,
+                              WorkerFaultPlan)
 from repro.units import Duration
 
 
@@ -105,6 +107,87 @@ class TestThirtyPercentFaults:
         assert chaos.injected.get("nan", 0) \
             + chaos.injected.get("garbage", 0) > 0
         assert any(d.code == "AVD305" for d in outcome.degradation)
+
+
+def _supervised(paper_infra, service, worker_plan, jobs=2,
+                task_retries=2):
+    """An Aved over a supervised runtime with process faults injected."""
+    engine = Aved(paper_infra, service)
+    runtime = ParallelEvaluationRuntime(
+        engine.evaluator.engine, jobs=jobs, worker_plan=worker_plan,
+        policy=ParallelPolicy(task_retries=task_retries,
+                              backoff=FallbackPolicy(backoff_base=0.0)))
+    return Aved(paper_infra, service, parallel=runtime), runtime
+
+
+class TestWorkerCrashFaults:
+    """Process-level chaos: workers die or hang, the search survives."""
+
+    def test_thirty_percent_worker_crashes_reproduce_design(
+            self, paper_infra, ecommerce, fault_free):
+        """30% of submissions crash their worker (each task at most
+        once): the search completes to the fault-free design, with
+        every crash and pool restart on the record."""
+        plan = WorkerFaultPlan(seed=7, fault_rate=0.3,
+                               max_faults_per_task=1)
+        engine, runtime = _supervised(paper_infra, ecommerce, plan)
+        try:
+            outcome = engine.design(REQUIREMENTS)
+        finally:
+            runtime.close()
+        assert outcome.evaluation.design.describe() == \
+            fault_free.evaluation.design.describe()
+        assert outcome.annual_cost == fault_free.annual_cost
+        assert outcome.stats.quarantined == 0
+        assert outcome.degraded
+        codes = {d.code for d in outcome.degradation}
+        assert "AVD403" in codes  # worker crashes observed
+        assert "AVD405" in codes  # pool restarted each time
+        assert "AVD402" not in codes  # ...but nobody falsely convicted
+
+    def test_poison_candidates_are_quarantined_not_fatal(
+            self, paper_infra, ecommerce):
+        """Two candidates crash their worker on every attempt: the
+        search quarantines them (AVD402) and still completes."""
+        plan = WorkerFaultPlan(seed=3, poison_tasks=(5, 17),
+                               poison_mode="crash")
+        engine, runtime = _supervised(paper_infra, ecommerce, plan,
+                                      task_retries=1)
+        try:
+            outcome = engine.design(REQUIREMENTS)
+        finally:
+            runtime.close()
+        assert len(runtime.quarantine) == 2
+        assert outcome.stats.quarantined == 2
+        quarantines = [d for d in outcome.degradation
+                       if d.code == "AVD402"]
+        assert len(quarantines) == 2
+        for diagnostic in quarantines:
+            assert "worker process crashed" in diagnostic.message
+        assert "AVD402" in outcome.summary()
+
+    def test_hanging_worker_is_timed_out(self, paper_infra,
+                                         app_tier_service):
+        """A candidate whose solve hangs forever is killed by the
+        task timeout and quarantined; everything else completes."""
+        plan = WorkerFaultPlan(seed=1, poison_tasks=(2,),
+                               poison_mode="hang", hang_seconds=60.0)
+        engine = Aved(paper_infra, app_tier_service)
+        runtime = ParallelEvaluationRuntime(
+            engine.evaluator.engine, jobs=2, worker_plan=plan,
+            policy=ParallelPolicy(
+                task_retries=0, task_timeout=0.5,
+                backoff=FallbackPolicy(backoff_base=0.0)))
+        supervised = Aved(paper_infra, app_tier_service,
+                          parallel=runtime)
+        try:
+            outcome = supervised.design(REQUIREMENTS)
+        finally:
+            runtime.close()
+        assert outcome.stats.quarantined >= 1
+        codes = {d.code for d in outcome.degradation}
+        assert "AVD404" in codes
+        assert "AVD402" in codes
 
 
 class TestCheckpointResume:

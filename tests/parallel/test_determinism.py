@@ -1,0 +1,73 @@
+"""The determinism guarantee: ``--jobs N`` equals ``--jobs 1``.
+
+Parallel mode only *prefetches* availability solves; the decision
+logic that consumes them is the same serial code.  These tests pin the
+guarantee the docs make: identical design, cost, engine provenance,
+and diagnostics -- not just a design of equal cost.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Aved
+from repro.core.serialize import evaluation_to_dict
+from repro.model import JobRequirements, ServiceRequirements
+from repro.units import Duration
+
+
+def _design(infrastructure, service, requirements, jobs):
+    engine = Aved(infrastructure, service, jobs=jobs)
+    return engine.design(requirements)
+
+
+def _canonical(outcome):
+    return json.dumps(evaluation_to_dict(outcome.evaluation),
+                      sort_keys=True)
+
+
+class TestServiceDesignDeterminism:
+    @pytest.fixture(scope="class")
+    def outcomes(self, paper_infra, ecommerce):
+        requirements = ServiceRequirements(
+            1000, Duration.minutes(100))
+        return [_design(paper_infra, ecommerce, requirements, jobs)
+                for jobs in (None, 1, 4)]
+
+    def test_designs_bit_identical(self, outcomes):
+        serialized = [_canonical(outcome) for outcome in outcomes]
+        assert serialized[0] == serialized[1] == serialized[2]
+
+    def test_described_designs_identical(self, outcomes):
+        described = [outcome.design.describe() for outcome in outcomes]
+        assert described[0] == described[1] == described[2]
+
+    def test_costs_identical(self, outcomes):
+        costs = [outcome.annual_cost for outcome in outcomes]
+        assert costs[0] == costs[1] == costs[2]
+
+    def test_engine_provenance_identical(self, outcomes):
+        used = [outcome.evaluation.engines_used()
+                for outcome in outcomes]
+        assert used[0] == used[1] == used[2]
+
+    def test_clean_runs_report_no_degradation(self, outcomes):
+        # jobs=None has no runtime (degradation None); supervised runs
+        # attach a runtime but, fault-free, it must have nothing to say.
+        assert outcomes[0].degradation is None
+        for outcome in outcomes[1:]:
+            assert not outcome.degraded
+
+    def test_parallel_run_actually_used_the_pool(self, outcomes):
+        assert outcomes[2].stats.parallel_batches > 0
+        assert outcomes[1].stats.parallel_batches == 0
+
+
+class TestJobDesignDeterminism:
+    def test_scientific_design_identical_across_jobs(self, paper_infra,
+                                                     scientific):
+        requirements = JobRequirements(Duration.hours(96))
+        serial = _design(paper_infra, scientific, requirements, None)
+        pooled = _design(paper_infra, scientific, requirements, 3)
+        assert _canonical(serial) == _canonical(pooled)
+        assert serial.design.describe() == pooled.design.describe()

@@ -1,0 +1,42 @@
+"""Unit tests for the deterministic merge layer."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import SearchError
+from repro.parallel import merge_results
+
+
+def _task(task_id, key):
+    return SimpleNamespace(task_id=task_id, key=key)
+
+
+class TestMergeResults:
+    def test_orders_by_submission_not_completion(self):
+        tasks = [_task(2, ("c",)), _task(0, ("a",)), _task(1, ("b",))]
+        # Results arrive in arbitrary (dict) order; merge is by task_id.
+        results = {1: 0.2, 2: 0.3, 0: 0.1}
+        assert merge_results(tasks, results) == [
+            (("a",), 0.1), (("b",), 0.2), (("c",), 0.3)]
+
+    def test_missing_results_are_skipped(self):
+        tasks = [_task(0, ("a",)), _task(1, ("b",))]
+        assert merge_results(tasks, {1: 0.5}) == [(("b",), 0.5)]
+
+    def test_duplicate_keys_collapse_to_first(self):
+        tasks = [_task(0, ("a",)), _task(1, ("a",))]
+        merged = merge_results(tasks, {0: 0.25, 1: 0.25})
+        assert merged == [(("a",), 0.25)]
+
+    def test_zero_is_a_legitimate_value(self):
+        tasks = [_task(0, ("a",)), _task(1, ("a",))]
+        assert merge_results(tasks, {0: 0.0, 1: 0.0}) == [(("a",), 0.0)]
+
+    def test_conflicting_duplicates_raise(self):
+        tasks = [_task(0, ("a",)), _task(1, ("a",))]
+        with pytest.raises(SearchError):
+            merge_results(tasks, {0: 0.25, 1: 0.35})
+
+    def test_empty_batch(self):
+        assert merge_results([], {}) == []

@@ -1,0 +1,40 @@
+"""Unit tests for the poison-candidate quarantine."""
+
+from repro.parallel import PoisonQuarantine
+
+
+class TestPoisonQuarantine:
+    def test_membership_and_order(self):
+        quarantine = PoisonQuarantine()
+        quarantine.add(("b",), tier="app", attempts=3, reason="crash")
+        quarantine.add(("a",), tier="web", attempts=2, reason="hang")
+        assert ("b",) in quarantine
+        assert ("a",) in quarantine
+        assert ("c",) not in quarantine
+        assert len(quarantine) == 2
+        assert quarantine.keys == (("b",), ("a",))  # insertion order
+
+    def test_first_record_wins(self):
+        quarantine = PoisonQuarantine()
+        first = quarantine.add(("a",), attempts=3, reason="crash")
+        second = quarantine.add(("a",), attempts=9, reason="other")
+        assert second is first
+        assert len(quarantine) == 1
+        assert next(iter(quarantine)).attempts == 3
+
+    def test_renders_as_avd402(self):
+        quarantine = PoisonQuarantine()
+        quarantine.add(("a",), tier="app", attempts=3,
+                       reason="worker process crashed")
+        diagnostics = quarantine.to_diagnostics()
+        assert len(diagnostics) == 1
+        assert diagnostics[0].code == "AVD402"
+        assert "3 fault(s)" in diagnostics[0].message
+        assert "worker process crashed" in diagnostics[0].message
+        assert "app" in diagnostics[0].context
+
+    def test_describe_without_reason(self):
+        quarantine = PoisonQuarantine()
+        record = quarantine.add(("a",), attempts=1)
+        assert record.describe() == \
+            "candidate quarantined after 1 fault(s)"

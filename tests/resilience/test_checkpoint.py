@@ -58,6 +58,63 @@ class TestRecording:
         with pytest.raises(CheckpointError):
             SearchCheckpoint(interval=0)
 
+    def test_record_batch_saves_once(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "ck.json")
+        checkpoint = SearchCheckpoint(path, interval=100)
+        saves = []
+        original = SearchCheckpoint.save
+
+        def counting_save(self, target=None):
+            saves.append(1)
+            return original(self, target)
+
+        monkeypatch.setattr(SearchCheckpoint, "save", counting_save)
+        checkpoint.record_batch([(("a",), 0.1), (("b",), 0.2),
+                                 (("c",), 0.3)])
+        assert len(saves) == 1  # one batch, one write
+        assert SearchCheckpoint.load(path).evaluations == 3
+
+    def test_record_batch_skips_known_keys(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        checkpoint = SearchCheckpoint(path)
+        checkpoint.record_batch([(("a",), 0.1)])
+        checkpoint.record_batch([(("a",), 0.1)])  # no-op: no new keys
+        assert checkpoint.evaluations == 1
+
+    def test_empty_batch_does_not_save(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        SearchCheckpoint(path).record_batch([])
+        assert not os.path.exists(path)
+
+
+class TestAtomicReplace:
+    def test_failed_write_leaves_previous_snapshot_intact(
+            self, tmp_path, monkeypatch):
+        """A crash mid-write (simulated: json.dump raises) must leave
+        the last complete snapshot on disk, loadable, with no temp
+        litter -- the property the kill-and-resume workflow rests on."""
+        path = str(tmp_path / "ck.json")
+        checkpoint = SearchCheckpoint(path)
+        checkpoint.record_batch([(("a",), 0.1)])
+
+        def exploding_dump(*args, **kwargs):
+            raise KeyboardInterrupt("killed mid-write")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        checkpoint.record_evaluation(("b",), 0.2)
+        with pytest.raises(KeyboardInterrupt):
+            checkpoint.save()
+        monkeypatch.undo()
+
+        loaded = SearchCheckpoint.load(path)
+        assert loaded.evaluations == 1  # the pre-kill snapshot
+        cache = {}
+        loaded.seed_cache(cache)
+        assert cache == {("a",): 0.1}
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.startswith(".checkpoint-")]
+        assert leftovers == []
+
 
 class TestLoadErrors:
     def test_missing_file(self, tmp_path):
