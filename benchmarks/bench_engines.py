@@ -15,7 +15,7 @@ from repro.availability import (AnalyticEngine, MarkovEngine,
 from repro.core import DesignEvaluator, TierDesign
 from repro.model import MechanismConfig, ServiceModel
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 
 @pytest.fixture(scope="module")
@@ -38,11 +38,12 @@ def tier_models(paper_infra, app_tier_service, scientific):
 
 
 @pytest.fixture(scope="module")
-def comparison(tier_models):
+def comparison(tier_models, smoke):
     engines = {
         "markov": MarkovEngine(),
         "analytic": AnalyticEngine(),
-        "simulation": SimulationEngine(years=600, seed=20040628),
+        "simulation": SimulationEngine(years=40 if smoke else 600,
+                                       seed=20040628),
     }
     rows = []
     for label, model in tier_models.items():
@@ -55,18 +56,22 @@ def comparison(tier_models):
 
 
 @pytest.fixture(scope="module")
-def engines_report(comparison):
+def engines_report(comparison, smoke):
     lines = ["Engine ablation -- downtime estimates and solve times", ""]
     lines.append("%-26s %-11s %14s %12s"
                  % ("tier model", "engine", "downtime", "solve time"))
+    results = {}
     for label, name, downtime, elapsed in comparison:
         lines.append("%-26s %-11s %11.2f m/y %10.1f ms"
                      % (label, name, downtime, elapsed * 1e3))
+        results.setdefault(label, {})[name] = {
+            "downtime_minutes": downtime, "solve_seconds": elapsed}
     lines.append("")
     lines.append("notes: analytic is exact for in-place repair, first-"
                  "order for failover;")
     lines.append("simulation carries Monte-Carlo noise but makes no "
                  "decomposition assumption.")
+    write_bench_json("engines", results, smoke=smoke)
     return write_report("engines.txt", "\n".join(lines))
 
 
@@ -74,13 +79,17 @@ class TestEngineAgreement:
     def test_report(self, engines_report):
         assert engines_report.endswith("engines.txt")
 
-    def test_markov_vs_simulation_within_noise(self, comparison):
+    def test_markov_vs_simulation_within_noise(self, comparison, smoke):
         by_case = {}
         for label, name, downtime, _ in comparison:
             by_case.setdefault(label, {})[name] = downtime
+        # 40 simulated years (smoke) leave much wider Monte-Carlo noise
+        # than the full 600-year run.
+        rel, abs_tol = (2.0, 20.0) if smoke else (0.5, 2.0)
         for label, values in by_case.items():
             markov, sim = values["markov"], values["simulation"]
-            assert sim == pytest.approx(markov, rel=0.5, abs=2.0), label
+            assert sim == pytest.approx(markov, rel=rel,
+                                        abs=abs_tol), label
 
 
 def test_benchmark_markov_small(benchmark, tier_models):
@@ -153,14 +162,15 @@ class TestDistributionSensitivity:
     matter?  Deterministic repair durations are the other extreme."""
 
     @pytest.fixture(scope="class")
-    def distribution_rows(self, tier_models):
+    def distribution_rows(self, tier_models, smoke):
         from repro.availability import simulate_tier
+        years = 40 if smoke else 400
         rows = []
         for label, model in tier_models.items():
             if model.n > 10:
                 continue  # keep the simulation budget modest
-            exponential = simulate_tier(model, years=400, seed=99)
-            deterministic = simulate_tier(model, years=400, seed=99,
+            exponential = simulate_tier(model, years=years, seed=99)
+            deterministic = simulate_tier(model, years=years, seed=99,
                                           deterministic_repairs=True)
             rows.append((label, exponential.tier.downtime_minutes,
                          deterministic.tier.downtime_minutes))
@@ -185,7 +195,8 @@ class TestDistributionSensitivity:
                      "tail).")
         write_report("distributions.txt", "\n".join(lines))
 
-    def test_same_order_of_magnitude(self, distribution_rows):
+    def test_same_order_of_magnitude(self, distribution_rows, smoke):
+        low, high = (0.05, 20.0) if smoke else (0.2, 5.0)
         for label, exponential, deterministic in distribution_rows:
             if exponential > 1.0:
-                assert 0.2 < deterministic / exponential < 5.0, label
+                assert low < deterministic / exponential < high, label

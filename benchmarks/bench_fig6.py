@@ -15,33 +15,44 @@ from repro.core.families import DesignFamily
 from repro.core.report import requirement_grid
 from repro.units import Duration
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 LOADS = [400, 800, 1400, 1600, 2400, 3200, 4000, 5000]
+SMOKE_LOADS = [400, 1600, 5000]
 DOWNTIME_GRID = [10000, 3000, 1000, 300, 100, 30, 10, 3, 1, 0.3, 0.1]
 LIMITS = SearchLimits(max_redundancy=4, spare_policy="cold")
 
 
 @pytest.fixture(scope="module")
-def requirement_map(paper_infra, app_tier_service):
+def loads(smoke):
+    return SMOKE_LOADS if smoke else LOADS
+
+
+@pytest.fixture(scope="module")
+def requirement_map(paper_infra, app_tier_service, loads):
     evaluator = DesignEvaluator(paper_infra, app_tier_service)
-    return build_requirement_map(evaluator, "application", loads=LOADS,
+    return build_requirement_map(evaluator, "application", loads=loads,
                                  limits=LIMITS)
 
 
 @pytest.fixture(scope="module")
-def fig6_report(requirement_map):
+def fig6_report(requirement_map, smoke):
     lines = ["Fig. 6 -- optimal design families vs (load, downtime)", ""]
     curves = requirement_map.family_curves()
     ordered = sorted(curves.items(),
                      key=lambda item: -max(d for _, d in item[1]))
     lines.append("family curves (load: achieved downtime in min/yr):")
+    results = {"family_curves": {}}
     for family, points in ordered:
         series = "  ".join("%g:%.3g" % (load, downtime)
                            for load, downtime in points)
         lines.append("  %-28s %s" % (family.label(), series))
+        results["family_curves"][family.label()] = [
+            {"load": load, "downtime_minutes": downtime}
+            for load, downtime in points]
     lines.append("")
     lines.append(requirement_grid(requirement_map, DOWNTIME_GRID))
+    write_bench_json("fig6", results, smoke=smoke)
     return write_report("fig6.txt", "\n".join(lines))
 
 
@@ -51,11 +62,12 @@ class TestFig6Shape:
     def test_report_written(self, fig6_report):
         assert fig6_report.endswith("fig6.txt")
 
-    def test_many_distinct_families(self, requirement_map):
-        assert len(requirement_map.family_curves()) >= 10
+    def test_many_distinct_families(self, requirement_map, smoke):
+        assert len(requirement_map.family_curves()) >= (6 if smoke
+                                                        else 10)
 
-    def test_machineb_never_optimal(self, requirement_map):
-        for load in LOADS:
+    def test_machineb_never_optimal(self, requirement_map, loads):
+        for load in loads:
             for minutes in DOWNTIME_GRID:
                 point = requirement_map.optimal_for(
                     load, Duration.minutes(minutes))
@@ -74,7 +86,8 @@ class TestFig6Shape:
         assert 400 in gold_loads
         assert 5000 not in gold_loads
 
-    def test_anchor_family9_at_load_1000ish(self, requirement_map):
+    def test_anchor_family9_at_load_1000ish(self, requirement_map,
+                                            full_sweep):
         """At (load=800, downtime=100): one extra active, bronze."""
         point = requirement_map.optimal_for(800, Duration.minutes(100))
         assert point.family.contract == "bronze"

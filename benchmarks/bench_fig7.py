@@ -12,9 +12,10 @@ from repro.core.families import checkpoint_settings
 from repro.model import JobRequirements
 from repro.units import Duration
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 REQUIREMENT_HOURS = [2, 5, 10, 20, 50, 100, 200, 500, 1000]
+SMOKE_HOURS = [20, 100, 1000]
 LIMITS = SearchLimits(
     spare_policy="cold", max_redundancy=12,
     fixed_settings={"maintenanceA": {"level": "bronze"},
@@ -22,11 +23,16 @@ LIMITS = SearchLimits(
 
 
 @pytest.fixture(scope="module")
-def sweep(paper_infra, scientific):
+def requirement_hours(smoke):
+    return SMOKE_HOURS if smoke else REQUIREMENT_HOURS
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_infra, scientific, requirement_hours):
     evaluator = DesignEvaluator(paper_infra, scientific)
     search = JobSearch(evaluator, LIMITS)
     results = {}
-    for hours in REQUIREMENT_HOURS:
+    for hours in requirement_hours:
         best = search.best_design(JobRequirements(Duration.hours(hours)))
         if best is not None:
             results[hours] = best
@@ -34,7 +40,7 @@ def sweep(paper_infra, scientific):
 
 
 @pytest.fixture(scope="module")
-def fig7_report(sweep):
+def fig7_report(sweep, requirement_hours, smoke):
     lines = ["Fig. 7 -- optimal design vs job execution time requirement",
              "(maintenance fixed at bronze, as in the paper)", ""]
     header = ("%9s %-8s %7s %6s %-10s %-8s %11s %12s"
@@ -42,7 +48,8 @@ def fig7_report(sweep):
                  "storage", "job time", "annual cost"))
     lines.append(header)
     lines.append("-" * len(header))
-    for hours in REQUIREMENT_HOURS:
+    points = []
+    for hours in requirement_hours:
         if hours not in sweep:
             lines.append("%8dh  infeasible within search limits" % hours)
             continue
@@ -56,16 +63,29 @@ def fig7_report(sweep):
                config.settings["storage_location"],
                evaluation.job_time.expected_time.as_hours,
                "$" + format(round(evaluation.annual_cost), ",d")))
+        points.append({
+            "required_hours": hours,
+            "resource": tier.resource,
+            "n_active": tier.n_active,
+            "n_spare": tier.n_spare,
+            "storage_location": config.settings["storage_location"],
+            "expected_hours":
+                evaluation.job_time.expected_time.as_hours,
+            "annual_cost": evaluation.annual_cost,
+        })
+    write_bench_json("fig7", {"points": points}, smoke=smoke)
     return write_report("fig7.txt", "\n".join(lines))
 
 
 class TestFig7Shape:
     """The qualitative claims the paper makes about Fig. 7."""
 
-    def test_sweep_mostly_feasible(self, sweep, fig7_report):
-        assert len(sweep) >= 7
+    def test_sweep_mostly_feasible(self, sweep, fig7_report,
+                                   requirement_hours):
+        assert len(sweep) >= len(requirement_hours) - 2
 
-    def test_machineb_for_tight_machinea_for_loose(self, sweep):
+    def test_machineb_for_tight_machinea_for_loose(self, sweep,
+                                                   full_sweep):
         assert sweep[2].design.tiers[0].resource == "rI"
         assert sweep[1000].design.tiers[0].resource == "rH"
 

@@ -10,47 +10,63 @@ import pytest
 
 from repro.core import DesignEvaluator, SearchLimits, build_requirement_map
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 LOADS = [400, 800, 1600, 3200]
+SMOKE_LOADS = [400, 3200]
 DOWNTIME_MINUTES = [1000, 300, 100, 30, 10, 3, 1, 0.3, 0.1]
 LIMITS = SearchLimits(max_redundancy=4, spare_policy="cold")
 
 
 @pytest.fixture(scope="module")
-def requirement_map(paper_infra, app_tier_service):
+def loads(smoke):
+    return SMOKE_LOADS if smoke else LOADS
+
+
+@pytest.fixture(scope="module")
+def requirement_map(paper_infra, app_tier_service, loads):
     evaluator = DesignEvaluator(paper_infra, app_tier_service)
-    return build_requirement_map(evaluator, "application", loads=LOADS,
+    return build_requirement_map(evaluator, "application", loads=loads,
                                  limits=LIMITS)
 
 
 @pytest.fixture(scope="module")
-def curves(requirement_map):
+def curves(requirement_map, loads):
     return {load: dict(requirement_map.extra_cost_curve(
                 load, DOWNTIME_MINUTES))
-            for load in LOADS}
+            for load in loads}
 
 
 @pytest.fixture(scope="module")
-def fig8_report(requirement_map, curves):
+def fig8_report(requirement_map, curves, loads, smoke):
     lines = ["Fig. 8 -- extra annual cost vs downtime requirement", ""]
-    header = "%10s" + "%14s" * len(LOADS)
+    header = "%10s" + "%14s" * len(loads)
     lines.append(header % (("downtime",)
-                           + tuple("load %d" % load for load in LOADS)))
+                           + tuple("load %d" % load for load in loads)))
     for minutes in DOWNTIME_MINUTES:
         row = ["%8.4g m" % minutes]
-        for load in LOADS:
+        for load in loads:
             extra = curves[load][minutes]
             row.append("%14s" % ("-" if extra is None
                                  else "$" + format(round(extra), ",d")))
         lines.append("".join(row))
     lines.append("")
     lines.append("baseline (availability-blind) costs:")
-    for load in LOADS:
+    for load in loads:
         lines.append("  load %5d: $%s"
                      % (load,
                         format(round(requirement_map.baseline_cost(load)),
                                ",d")))
+    write_bench_json(
+        "fig8",
+        {"extra_cost_curves": {
+            str(load): {"%g" % m: curves[load][m]
+                        for m in DOWNTIME_MINUTES}
+            for load in loads},
+         "baseline_costs": {
+            str(load): requirement_map.baseline_cost(load)
+            for load in loads}},
+        smoke=smoke)
     return write_report("fig8.txt", "\n".join(lines))
 
 
@@ -75,7 +91,7 @@ class TestFig8Shape:
     def test_plateaus_exist(self, curves):
         """Fig. 8's message: some downtime improvements are free --
         the same design covers a range of requirements."""
-        for load in LOADS:
+        for load in curves:
             values = [curves[load][m] for m in DOWNTIME_MINUTES
                       if curves[load][m] is not None]
             repeats = sum(1 for a, b in zip(values, values[1:])
@@ -88,7 +104,8 @@ class TestFig8Shape:
 def test_benchmark_extra_cost_curve(benchmark, requirement_map,
                                     fig8_report):
     def extract():
-        return requirement_map.extra_cost_curve(1600, DOWNTIME_MINUTES)
+        # 3200 is present in both the full and the --smoke load sets.
+        return requirement_map.extra_cost_curve(3200, DOWNTIME_MINUTES)
 
     curve = benchmark(extract)
     assert len(curve) == len(DOWNTIME_MINUTES)

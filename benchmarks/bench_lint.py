@@ -14,13 +14,14 @@ from repro.lint import lint_pair
 from repro.spec.paper import (ecommerce_service, paper_infrastructure,
                               scientific_service)
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 BUDGET_SECONDS = 0.050
 
 
 def lint_report_text():
     lines = ["repro lint -- paper models", ""]
+    results = {}
     infrastructure = paper_infrastructure()
     for service in (ecommerce_service(), scientific_service()):
         started = time.perf_counter()
@@ -28,15 +29,23 @@ def lint_report_text():
         elapsed = time.perf_counter() - started
         lines.append("%s: %s in %.1f ms"
                      % (service.name, report.summary(), elapsed * 1e3))
+        count = 0
         for diagnostic in report:
             lines.append("  %s" % diagnostic.format())
+            count += 1
         lines.append("")
-    return "\n".join(lines)
+        results[service.name] = {"lint_seconds": elapsed,
+                                 "diagnostics": count}
+    return "\n".join(lines), results
 
 
 @pytest.fixture(scope="module")
-def lint_report():
-    return write_report("lint.txt", lint_report_text())
+def lint_report(smoke):
+    text, results = lint_report_text()
+    write_bench_json("lint", results,
+                     meta={"budget_seconds": BUDGET_SECONDS},
+                     smoke=smoke)
+    return write_report("lint.txt", text)
 
 
 def test_paper_models_lint_clean(lint_report):

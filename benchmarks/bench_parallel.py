@@ -15,11 +15,11 @@ import pytest
 from repro.availability import MarkovEngine
 from repro.parallel import ParallelPolicy, SupervisedExecutor
 
-from .bench_resilience import LOOPS, MAX_OVERHEAD, REPS, benchmark_models
-from .conftest import write_report
+from .bench_resilience import benchmark_models, budgets
+from .conftest import write_bench_json, write_report
 
 
-def time_direct(engine, models, loops=LOOPS):
+def time_direct(engine, models, loops):
     started = time.perf_counter()
     for _ in range(loops):
         for model in models:
@@ -27,7 +27,7 @@ def time_direct(engine, models, loops=LOOPS):
     return time.perf_counter() - started
 
 
-def time_supervised(executor, models, loops=LOOPS):
+def time_supervised(executor, models, loops):
     started = time.perf_counter()
     for _ in range(loops):
         for index, model in enumerate(models):
@@ -35,7 +35,7 @@ def time_supervised(executor, models, loops=LOOPS):
     return time.perf_counter() - started
 
 
-def measure_overhead():
+def measure_overhead(loops, reps):
     models = benchmark_models()
     bare = MarkovEngine()
     executor = SupervisedExecutor(
@@ -47,13 +47,13 @@ def measure_overhead():
     # scheduler drift hits both sides equally); the fastest rep of
     # each side is the least-disturbed measurement of its true cost.
     pairs = []
-    for rep in range(REPS):
+    for rep in range(reps):
         if rep % 2 == 0:
-            b = time_direct(bare, models)
-            s = time_supervised(executor, models)
+            b = time_direct(bare, models, loops)
+            s = time_supervised(executor, models, loops)
         else:
-            s = time_supervised(executor, models)
-            b = time_direct(bare, models)
+            s = time_supervised(executor, models, loops)
+            b = time_direct(bare, models, loops)
         pairs.append((b, s))
     bare_time = min(b for b, _ in pairs)
     supervised_time = min(s for _, s in pairs)
@@ -62,29 +62,37 @@ def measure_overhead():
 
 
 @pytest.fixture(scope="module")
-def overhead_report():
-    bare_time, supervised_time, overhead = measure_overhead()
-    calls = LOOPS * len(benchmark_models())
+def overhead_report(smoke):
+    loops, reps, budget = budgets(smoke)
+    bare_time, supervised_time, overhead = measure_overhead(loops, reps)
+    calls = loops * len(benchmark_models())
     lines = [
         "fault-free overhead of the supervised (--jobs 1) runtime",
         "",
-        "batch: %d evaluate_tier calls, %d paired reps" % (calls, REPS),
+        "batch: %d evaluate_tier calls, %d paired reps" % (calls, reps),
         "bare markov:       %8.1f ms fastest rep (%.3f ms/call)"
         % (bare_time * 1e3, bare_time * 1e3 / calls),
         "supervised jobs=1: %8.1f ms fastest rep (%.3f ms/call)"
         % (supervised_time * 1e3, supervised_time * 1e3 / calls),
         "overhead:          %+7.2f%% fastest-rep ratio "
-        "(budget %.0f%%)" % (overhead * 100.0, MAX_OVERHEAD * 100.0),
+        "(budget %.0f%%)" % (overhead * 100.0, budget * 100.0),
     ]
+    write_bench_json("parallel",
+                     {"bare_seconds": bare_time,
+                      "supervised_seconds": supervised_time,
+                      "overhead_ratio": overhead,
+                      "calls": calls},
+                     meta={"budget": budget}, smoke=smoke)
     write_report("parallel.txt", "\n".join(lines))
     return overhead
 
 
-def test_supervised_serial_overhead_under_budget(overhead_report):
-    assert overhead_report < MAX_OVERHEAD, (
+def test_supervised_serial_overhead_under_budget(overhead_report, smoke):
+    budget = budgets(smoke)[2]
+    assert overhead_report < budget, (
         "supervised jobs=1 runtime adds %.2f%% per fault-free solve "
         "(budget %.0f%%)"
-        % (overhead_report * 100.0, MAX_OVERHEAD * 100.0))
+        % (overhead_report * 100.0, budget * 100.0))
 
 
 def test_supervised_results_identical():

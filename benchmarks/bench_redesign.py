@@ -12,7 +12,7 @@ import pytest
 from repro import Duration, SearchLimits, workload
 from repro.core import DesignEvaluator, RedesignController
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 SLO = Duration.minutes(100)
 LIMITS = SearchLimits(max_redundancy=4)
@@ -25,15 +25,19 @@ def make_controller(paper_infra, app_tier_service, hysteresis=0.05):
 
 
 @pytest.fixture(scope="module")
-def workloads():
+def workloads(smoke):
+    samples = 8 if smoke else 24
     return {
         "diurnal (x4 peak)": workload.diurnal(
-            800, peak_ratio=4.0, samples_per_day=24),
+            800, peak_ratio=4.0, samples_per_day=samples),
         "flash crowd (x8)": workload.flash_crowd(
-            600, spike_ratio=8.0, total_samples=24, spike_at=8),
-        "growth ramp (x5)": workload.ramp(400, 2000, total_samples=24),
+            600, spike_ratio=8.0, total_samples=samples,
+            spike_at=samples // 3),
+        "growth ramp (x5)": workload.ramp(400, 2000,
+                                          total_samples=samples),
         "noisy diurnal": workload.noisy(
-            workload.diurnal(800, peak_ratio=4.0, samples_per_day=24),
+            workload.diurnal(800, peak_ratio=4.0,
+                             samples_per_day=samples),
             sigma=0.08, seed=11),
     }
 
@@ -46,12 +50,13 @@ def reports(paper_infra, app_tier_service, workloads):
 
 
 @pytest.fixture(scope="module")
-def redesign_report(reports):
+def redesign_report(reports, smoke):
     lines = ["Dynamic redesign vs static peak provisioning "
              "(app tier, downtime <= 100 min/yr)", ""]
     lines.append("%-22s %9s %12s %14s %14s %8s"
                  % ("workload", "reconfigs", "infeasible",
                     "avg $ (dyn)", "static peak $", "saving"))
+    results = {}
     for label, report in reports.items():
         lines.append("%-22s %9d %12d %14s %14s %7.1f%%"
                      % (label, report.reconfigurations,
@@ -60,6 +65,14 @@ def redesign_report(reports):
                         "$" + format(round(report.static_peak_cost),
                                      ",d"),
                         100.0 * report.saving_fraction))
+        results[label] = {
+            "reconfigurations": report.reconfigurations,
+            "infeasible_steps": report.infeasible_steps,
+            "average_cost": report.average_cost,
+            "static_peak_cost": report.static_peak_cost,
+            "saving_fraction": report.saving_fraction,
+        }
+    write_bench_json("redesign", results, smoke=smoke)
     lines.append("")
     lines.append("hysteresis 5%; each sample re-runs the paper's "
                  "section 4.1 search.")

@@ -18,11 +18,23 @@ from repro.availability import (FailureModeEntry, MarkovEngine,
 from repro.resilience import FallbackEngine, FallbackPolicy
 from repro.units import Duration
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 MAX_OVERHEAD = 0.05
+# Smoke runs keep the harness honest but their timings are too noisy
+# for the 5% budget; the gate widens accordingly.
+SMOKE_MAX_OVERHEAD = 0.50
 LOOPS = 60
 REPS = 9
+SMOKE_LOOPS = 6
+SMOKE_REPS = 3
+
+
+def budgets(smoke):
+    """(loops, reps, max_overhead) for the requested mode."""
+    if smoke:
+        return SMOKE_LOOPS, SMOKE_REPS, SMOKE_MAX_OVERHEAD
+    return LOOPS, REPS, MAX_OVERHEAD
 
 
 def benchmark_models():
@@ -54,7 +66,7 @@ def time_once(engine, models, loops=LOOPS):
     return time.perf_counter() - started
 
 
-def measure_overhead():
+def measure_overhead(loops=LOOPS, reps=REPS):
     models = benchmark_models()
     bare = MarkovEngine()
     resilient = FallbackEngine(engines=[MarkovEngine()],
@@ -65,8 +77,9 @@ def measure_overhead():
     # scheduler hiccup still disturbed.
     time_once(bare, models, loops=2)
     time_once(resilient, models, loops=2)
-    pairs = [(time_once(bare, models), time_once(resilient, models))
-             for _ in range(REPS)]
+    pairs = [(time_once(bare, models, loops=loops),
+              time_once(resilient, models, loops=loops))
+             for _ in range(reps)]
     ratios = sorted(r / b for b, r in pairs)
     bare_time = min(b for b, _ in pairs)
     resilient_time = min(r for _, r in pairs)
@@ -75,29 +88,37 @@ def measure_overhead():
 
 
 @pytest.fixture(scope="module")
-def overhead_report():
-    bare_time, resilient_time, overhead = measure_overhead()
-    calls = LOOPS * len(benchmark_models())
+def overhead_report(smoke):
+    loops, reps, budget = budgets(smoke)
+    bare_time, resilient_time, overhead = measure_overhead(loops, reps)
+    calls = loops * len(benchmark_models())
     lines = [
         "fault-free overhead of the resilience runtime",
         "",
-        "batch: %d evaluate_tier calls, %d paired reps" % (calls, REPS),
+        "batch: %d evaluate_tier calls, %d paired reps" % (calls, reps),
         "bare markov:      %8.1f ms fastest rep (%.3f ms/call)"
         % (bare_time * 1e3, bare_time * 1e3 / calls),
         "fallback(markov): %8.1f ms fastest rep (%.3f ms/call)"
         % (resilient_time * 1e3, resilient_time * 1e3 / calls),
         "overhead:         %+7.2f%% median of paired ratios "
-        "(budget %.0f%%)" % (overhead * 100.0, MAX_OVERHEAD * 100.0),
+        "(budget %.0f%%)" % (overhead * 100.0, budget * 100.0),
     ]
+    write_bench_json("resilience",
+                     {"bare_seconds": bare_time,
+                      "fallback_seconds": resilient_time,
+                      "overhead_ratio": overhead,
+                      "calls": calls},
+                     meta={"budget": budget}, smoke=smoke)
     write_report("resilience.txt", "\n".join(lines))
     return overhead
 
 
-def test_fault_free_overhead_under_budget(overhead_report):
-    assert overhead_report < MAX_OVERHEAD, (
+def test_fault_free_overhead_under_budget(overhead_report, smoke):
+    budget = budgets(smoke)[2]
+    assert overhead_report < budget, (
         "fallback runtime adds %.2f%% on fault-free solves "
         "(budget %.0f%%)"
-        % (overhead_report * 100.0, MAX_OVERHEAD * 100.0))
+        % (overhead_report * 100.0, budget * 100.0))
 
 
 def test_fault_free_results_identical():

@@ -11,7 +11,21 @@ import pytest
 from repro.core import DesignEvaluator, SearchLimits, TierSearch
 from repro.units import Duration
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
+
+CONFIGURATIONS = (
+    ("cold spares, redundancy 4",
+     SearchLimits(max_redundancy=4, spare_policy="cold")),
+    ("all spare levels, redundancy 4",
+     SearchLimits(max_redundancy=4, spare_policy="all")),
+    ("hot spares, redundancy 4",
+     SearchLimits(max_redundancy=4, spare_policy="hot")),
+    ("cold spares, redundancy 8",
+     SearchLimits(max_redundancy=8, spare_policy="cold")),
+)
+# The redundancy-8 row multiplies the structure count; smoke keeps the
+# three redundancy-4 scopes (enough for every cross-row assertion).
+SMOKE_CONFIGURATIONS = CONFIGURATIONS[:3]
 
 
 def run_search(evaluator, limits, load=1600, minutes=50):
@@ -22,31 +36,24 @@ def run_search(evaluator, limits, load=1600, minutes=50):
 
 
 @pytest.fixture(scope="module")
-def ablation(paper_infra, app_tier_service):
+def ablation(paper_infra, app_tier_service, smoke):
     evaluator = DesignEvaluator(paper_infra, app_tier_service)
     rows = []
-    for label, limits in (
-            ("cold spares, redundancy 4",
-             SearchLimits(max_redundancy=4, spare_policy="cold")),
-            ("all spare levels, redundancy 4",
-             SearchLimits(max_redundancy=4, spare_policy="all")),
-            ("hot spares, redundancy 4",
-             SearchLimits(max_redundancy=4, spare_policy="hot")),
-            ("cold spares, redundancy 8",
-             SearchLimits(max_redundancy=8, spare_policy="cold")),
-    ):
+    for label, limits in (SMOKE_CONFIGURATIONS if smoke
+                          else CONFIGURATIONS):
         best, stats = run_search(evaluator, limits)
         rows.append((label, best, stats))
     return rows
 
 
 @pytest.fixture(scope="module")
-def ablation_report(ablation):
+def ablation_report(ablation, smoke):
     lines = ["Search ablation -- design space scope vs work and result",
              ""]
     lines.append("%-32s %10s %8s %8s %12s %10s"
                  % ("configuration", "structures", "solves", "pruned",
                     "best cost", "downtime"))
+    results = {}
     for label, best, stats in ablation:
         lines.append("%-32s %10d %8d %8d %12s %8.2f m"
                      % (label, stats.structures_enumerated,
@@ -54,6 +61,15 @@ def ablation_report(ablation):
                         stats.cost_pruned,
                         "$" + format(round(best.annual_cost), ",d"),
                         best.downtime_minutes))
+        results[label] = {
+            "structures_enumerated": stats.structures_enumerated,
+            "availability_evaluations":
+                stats.availability_evaluations,
+            "cost_pruned": stats.cost_pruned,
+            "best_cost": best.annual_cost,
+            "downtime_minutes": best.downtime_minutes,
+        }
+    write_bench_json("search_ablation", results, smoke=smoke)
     lines.append("")
     lines.append("cost pruning rejects structures without solving their "
                  "Markov chains;")
@@ -118,7 +134,11 @@ class TestCombinerAblation:
     """Exact frontier combination vs the paper's greedy refinement."""
 
     @pytest.fixture(scope="class")
-    def outcomes(self, paper_infra):
+    def targets(self, smoke):
+        return (1000, 50) if smoke else (1000, 200, 50)
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, paper_infra, targets):
         from repro import Aved, ServiceRequirements
         from repro.spec.paper import ecommerce_service
         results = {}
@@ -129,7 +149,7 @@ class TestCombinerAblation:
             results[method] = {
                 minutes: engine.design(ServiceRequirements(
                     1000, Duration.minutes(minutes)))
-                for minutes in (1000, 200, 50)
+                for minutes in targets
             }
         return results
 
@@ -139,18 +159,18 @@ class TestCombinerAblation:
                 assert outcome.downtime_minutes <= minutes, \
                     (method, minutes)
 
-    def test_greedy_never_cheaper(self, outcomes):
-        for minutes in (1000, 200, 50):
+    def test_greedy_never_cheaper(self, outcomes, targets):
+        for minutes in targets:
             exact = outcomes["exact"][minutes].annual_cost
             greedy = outcomes["greedy"][minutes].annual_cost
             assert greedy >= exact - 1e-6
 
-    def test_combiner_report(self, outcomes):
+    def test_combiner_report(self, outcomes, targets):
         lines = ["Multi-tier combination: exact vs greedy (e-commerce, "
                  "load 1000)", "",
                  "%10s %14s %14s %10s" % ("downtime", "exact $",
                                           "greedy $", "gap")]
-        for minutes in (1000, 200, 50):
+        for minutes in targets:
             exact = outcomes["exact"][minutes].annual_cost
             greedy = outcomes["greedy"][minutes].annual_cost
             gap = (greedy - exact) / exact

@@ -11,7 +11,29 @@ from repro.expr import Expression
 from repro.spec.paper import TABLE1_OVERHEAD, TABLE1_PERFORMANCE
 from repro.units import Duration
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
+
+
+def table1_values():
+    """The machine-readable version of the Table 1 reproduction."""
+    throughput = {}
+    for ref in ("perfC.dat", "perfD.dat", "perfE.dat", "perfF.dat",
+                "perfH.dat", "perfI.dat"):
+        expression = Expression(TABLE1_PERFORMANCE[ref])
+        throughput[ref] = {"n=%d" % n: expression(n=float(n))
+                           for n in (1, 10, 100)}
+    overhead = {}
+    for ref, expressions in sorted(TABLE1_OVERHEAD.items()):
+        for location, source in sorted(expressions.items()):
+            expression = Expression(source)
+            row = {}
+            for cpi in (2, 5, 20, 60):
+                env = {"cpi": float(cpi)}
+                if "n" in expression.variables:
+                    env["n"] = 60.0
+                row["cpi=%d" % cpi] = expression.evaluate(env)
+            overhead["%s/%s" % (ref, location)] = row
+    return {"throughput": throughput, "mperformance": overhead}
 
 
 def table1_text():
@@ -45,7 +67,8 @@ def table1_text():
 
 
 @pytest.fixture(scope="module")
-def table1_report():
+def table1_report(smoke):
+    write_bench_json("table1", table1_values(), smoke=smoke)
     return write_report("table1.txt", table1_text())
 
 

@@ -12,7 +12,7 @@ from repro.availability import (ContinuousTimeMarkovChain,
                                 interval_availability, point_availability,
                                 transient_distribution)
 
-from .conftest import write_report
+from .conftest import write_bench_json, write_report
 
 
 def family6_chain(n=5, s=1, mtbf_hours=130 * 24.0, mttr_hours=38.0,
@@ -39,21 +39,34 @@ def family6_chain(n=5, s=1, mtbf_hours=130 * 24.0, mttr_hours=38.0,
 
 
 @pytest.fixture(scope="module")
-def transient_report():
+def transient_report(smoke):
     chain, is_up = family6_chain()
     steady = chain.probability_where(is_up)
-    times = [0.5, 1, 2, 4, 8, 24, 72, 168, 720, 8760]
+    if smoke:
+        times = [0.5, 8, 168, 1000]
+        horizon, samples = 1000.0, 12
+    else:
+        times = [0.5, 1, 2, 4, 8, 24, 72, 168, 720, 8760]
+        horizon, samples = 8760.0, 48
     lines = ["Fresh-deployment availability (family-6-like tier)", "",
              "%10s %18s" % ("t (hours)", "P(up at t)")]
+    curve = {}
     for t in times:
         value = point_availability(chain, (0, 0), is_up, float(t))
         lines.append("%10g %18.9f" % (t, value))
+        curve["%g" % t] = value
     lines.append("%10s %18.9f" % ("steady", steady))
-    year_avg = interval_availability(chain, (0, 0), is_up, 8760.0,
-                                     samples=48)
+    year_avg = interval_availability(chain, (0, 0), is_up, horizon,
+                                     samples=samples)
     lines.append("")
-    lines.append("first-year interval availability: %.9f (steady %.9f)"
-                 % (year_avg, steady))
+    lines.append("interval availability over %gh: %.9f (steady %.9f)"
+                 % (horizon, year_avg, steady))
+    write_bench_json("transient",
+                     {"point_availability": curve,
+                      "steady_state": steady,
+                      "interval_availability": year_avg,
+                      "interval_hours": horizon},
+                     smoke=smoke)
     return write_report("transient.txt", "\n".join(lines))
 
 
@@ -61,21 +74,26 @@ class TestTransientShape:
     def test_report(self, transient_report):
         assert transient_report.endswith("transient.txt")
 
-    def test_curve_decays_to_steady(self):
+    def test_curve_decays_to_steady(self, smoke):
         chain, is_up = family6_chain()
         steady = chain.probability_where(is_up)
+        # The chain relaxes on the ~40h repair timescale, so 1000h is
+        # already deep in the steady regime; 8760h is the full-run
+        # stress case for uniformization.
+        late_t = 1000.0 if smoke else 8760.0
         early = point_availability(chain, (0, 0), is_up, 1.0)
-        late = point_availability(chain, (0, 0), is_up, 8760.0)
+        late = point_availability(chain, (0, 0), is_up, late_t)
         assert early > late
         assert late == pytest.approx(steady, rel=1e-6)
 
-    def test_first_year_beats_steady_state(self):
+    def test_first_year_beats_steady_state(self, smoke):
         """A fresh system has banked no wear: its first-year average
         availability exceeds the long-run value."""
         chain, is_up = family6_chain()
         steady = chain.probability_where(is_up)
-        first_year = interval_availability(chain, (0, 0), is_up, 8760.0,
-                                           samples=48)
+        first_year = interval_availability(
+            chain, (0, 0), is_up, 1000.0 if smoke else 8760.0,
+            samples=12 if smoke else 48)
         assert first_year >= steady
 
 
@@ -86,11 +104,12 @@ def test_benchmark_transient_point(benchmark, transient_report):
     assert 0 < result <= 1
 
 
-def test_benchmark_transient_distribution_long_horizon(benchmark):
+def test_benchmark_transient_distribution_long_horizon(benchmark, smoke):
     """qt ~ 80k Poisson terms: the uniformization stress case."""
     chain, _ = family6_chain()
+    horizon = 1000.0 if smoke else 8760.0
     result = benchmark(
-        lambda: transient_distribution(chain, (0, 0), 8760.0))
+        lambda: transient_distribution(chain, (0, 0), horizon))
     assert sum(result.values()) == pytest.approx(1.0)
 
 

@@ -4,19 +4,50 @@ Each ``bench_*`` file regenerates one of the paper's tables/figures.
 Numeric series are printed and also written to ``benchmarks/out/`` so
 the reproduction can be diffed against the paper's reported shapes
 without re-running.
+
+``pytest benchmarks --smoke`` runs every benchmark with shrunken
+budgets (short simulations, few loads, low redundancy) -- minutes
+become seconds, so CI can exercise the full harness on every push.
+Smoke numbers are NOT comparable to full-run numbers; artifacts
+written during a smoke run carry ``"smoke": true`` in their meta.
+
+Machine-readable results go to ``benchmarks/out/BENCH_<name>.json``
+via :func:`write_bench_json`, using the shared
+:func:`repro.obs.bench_record` envelope.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Any, Dict, Optional
 
 import pytest
 
 from repro.model import ServiceModel
+from repro.obs import bench_record, write_bench_record
 from repro.spec.paper import (ecommerce_service, paper_infrastructure,
                               scientific_service)
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run benchmarks with tiny budgets (CI smoke mode); "
+             "results are indicative only")
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
+@pytest.fixture
+def full_sweep(smoke):
+    """Skip assertions that only hold for the full (non-smoke) sweep."""
+    if smoke:
+        pytest.skip("needs the full sweep; not run under --smoke")
 
 
 def write_report(name: str, text: str) -> str:
@@ -31,6 +62,18 @@ def write_report(name: str, text: str) -> str:
     print("--- %s ---" % name)
     print(text)
     return path
+
+
+def write_bench_json(name: str, results: Dict[str, Any],
+                     meta: Optional[Dict[str, Any]] = None,
+                     smoke: bool = False) -> str:
+    """Write ``benchmarks/out/BENCH_<name>.json`` (shared envelope)."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    merged = dict(meta or {})
+    merged["smoke"] = smoke
+    record = bench_record(name, results, meta=merged)
+    return write_bench_record(
+        os.path.join(OUT_DIR, "BENCH_%s.json" % name), record)
 
 
 @pytest.fixture(scope="session")

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Type
 
 from ..errors import EvaluationError
+from ..obs import current as _obs_current
 from . import analytic, markov
 from .model import AvailabilityResult, TierAvailabilityModel, TierResult
 from .rbd import series_unavailability
@@ -52,6 +53,10 @@ class MarkovEngine(AvailabilityEngine):
     name = "markov"
 
     def evaluate_tier(self, model: TierAvailabilityModel) -> TierResult:
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.engine_span(self.name, model):
+                return markov.evaluate_tier(model)
         return markov.evaluate_tier(model)
 
 
@@ -61,6 +66,10 @@ class AnalyticEngine(AvailabilityEngine):
     name = "analytic"
 
     def evaluate_tier(self, model: TierAvailabilityModel) -> TierResult:
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.engine_span(self.name, model):
+                return analytic.evaluate_tier(model)
         return analytic.evaluate_tier(model)
 
 
@@ -81,6 +90,13 @@ class SimulationEngine(AvailabilityEngine):
         self.deterministic_repairs = deterministic_repairs
 
     def evaluate_tier(self, model: TierAvailabilityModel) -> TierResult:
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.engine_span(self.name, model):
+                result = simulate_tier(
+                    model, years=self.years, seed=self.seed,
+                    deterministic_repairs=self.deterministic_repairs)
+                return result.tier
         result = simulate_tier(model, years=self.years, seed=self.seed,
                                deterministic_repairs=self
                                .deterministic_repairs)

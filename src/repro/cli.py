@@ -4,9 +4,11 @@ Subcommands::
 
     python -m repro design    --load 1000 --downtime 100m [model options]
     python -m repro design    --job-time 20h [model options]
+    python -m repro design    ... --trace out.json --metrics-out m.json
     python -m repro frontier  --tier application --load 1000 [...]
     python -m repro validate  [model options]
     python -m repro lint      [--format json] [--strict] [model options]
+    python -m repro profile   --load 1000 --downtime 100m [model options]
 
 Model options: ``--infrastructure FILE`` and ``--service FILE`` load
 spec documents (``--perf-dir DIR`` resolves their ``.dat`` references);
@@ -55,7 +57,34 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--resume", action="store_true",
                         help="resume from an existing --checkpoint file "
                              "instead of restarting the search")
+    design.add_argument("--trace", metavar="PATH",
+                        help="record the run's hierarchical trace "
+                             "(search -> evaluation -> engine spans) "
+                             "and write it to PATH as JSON")
+    design.add_argument("--metrics-out", metavar="PATH",
+                        help="write the run's metrics snapshot "
+                             "(counters/gauges/histograms) to PATH as "
+                             "JSON")
     _add_search_options(design)
+
+    profile = subparsers.add_parser(
+        "profile", help="profile a design run: per-phase self/cumulative "
+                        "time table from the trace, plus engine counters")
+    _add_model_options(profile)
+    profile.add_argument("--load", type=float,
+                         help="throughput requirement (work units/hour)")
+    profile.add_argument("--downtime",
+                         help="max annual downtime, e.g. 100m, 2h")
+    profile.add_argument("--job-time",
+                         help="max expected job execution time, e.g. 20h")
+    profile.add_argument("--top", type=int, default=None, metavar="N",
+                         help="show only the N hottest phases")
+    profile.add_argument("--trace", metavar="PATH",
+                         help="also write the raw trace JSON to PATH")
+    profile.add_argument("--bench-out", metavar="PATH",
+                         help="write a BENCH-format profiling record "
+                              "(phases + counters) to PATH")
+    _add_search_options(profile)
 
     frontier = subparsers.add_parser(
         "frontier", help="print a tier's cost/downtime Pareto frontier")
@@ -259,15 +288,43 @@ def make_checkpoint(args):
     return SearchCheckpoint(path)
 
 
-def cmd_design(args, out) -> int:
-    infrastructure, service = load_models(args)
+def make_requirements(args):
+    """Resolve the requirement object from --load/--downtime/--job-time."""
     if args.job_time:
-        requirements = JobRequirements(Duration.parse(args.job_time))
-    elif args.load is not None and args.downtime:
-        requirements = ServiceRequirements(
-            args.load, Duration.parse(args.downtime))
-    else:
-        raise AvedError("provide --load with --downtime, or --job-time")
+        return JobRequirements(Duration.parse(args.job_time))
+    if args.load is not None and args.downtime:
+        return ServiceRequirements(args.load,
+                                   Duration.parse(args.downtime))
+    raise AvedError("provide --load with --downtime, or --job-time")
+
+
+def _write_json(path: str, text: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+
+
+def _write_observability(args, observer) -> None:
+    """Write --trace / --metrics-out files from a finished observer.
+
+    Called on the failure paths too: an infeasible search still
+    produced a trace and metrics, and those are exactly the runs worth
+    inspecting.
+    """
+    import json
+    if getattr(args, "trace", None):
+        _write_json(args.trace, observer.tracer.to_json())
+    if getattr(args, "metrics_out", None):
+        _write_json(args.metrics_out,
+                    json.dumps(observer.metrics.snapshot(),
+                               indent=2, sort_keys=True))
+
+
+def cmd_design(args, out) -> int:
+    from .obs import Observer, observing
+    infrastructure, service = load_models(args)
+    requirements = make_requirements(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
@@ -275,11 +332,21 @@ def cmd_design(args, out) -> int:
                   checkpoint=make_checkpoint(args),
                   jobs=resolve_jobs(args),
                   task_timeout=args.task_timeout)
+    observe = bool(args.trace or args.metrics_out)
+    observer = Observer() if observe else None
     try:
-        outcome = engine.design(requirements)
+        if observer is not None:
+            with observing(observer):
+                outcome = engine.design(requirements)
+        else:
+            outcome = engine.design(requirements)
     except InfeasibleError as exc:
+        if observer is not None:
+            _write_observability(args, observer)
         print("infeasible: %s" % exc, file=out)
         return 2
+    if observer is not None:
+        _write_observability(args, observer)
     if args.json:
         import json
         from .core.serialize import evaluation_to_dict
@@ -287,6 +354,55 @@ def cmd_design(args, out) -> int:
                          indent=2, sort_keys=True), file=out)
     else:
         print(outcome.summary(), file=out)
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    """Run one design under the observer and print where time went."""
+    from .obs import (Observer, observing, profile_bench_record,
+                      profile_table, write_bench_record)
+    infrastructure, service = load_models(args)
+    requirements = make_requirements(args)
+    engine = Aved(infrastructure, service,
+                  availability_engine=make_engine(args),
+                  limits=make_limits(args),
+                  repair_crew=args.repair_crew,
+                  jobs=resolve_jobs(args),
+                  task_timeout=args.task_timeout)
+    observer = Observer()
+    outcome = None
+    infeasible = None
+    with observing(observer):
+        try:
+            outcome = engine.design(requirements)
+        except InfeasibleError as exc:
+            infeasible = exc
+    roots = observer.tracer.to_dicts()
+    if getattr(args, "trace", None):
+        _write_json(args.trace, observer.tracer.to_json())
+    print(profile_table(roots, top=args.top), file=out)
+    summary = observer.metrics.summary_lines()
+    if summary:
+        print("", file=out)
+        print("counters:", file=out)
+        for line in summary:
+            print("  %s" % line, file=out)
+    if args.bench_out:
+        record = profile_bench_record(
+            roots, observer.metrics.snapshot(),
+            meta={"service": service.name,
+                  "requirements": requirements.describe(),
+                  "engine": args.engine})
+        write_bench_record(args.bench_out, record)
+    if infeasible is not None:
+        print("", file=out)
+        print("infeasible: %s" % infeasible, file=out)
+        return 2
+    print("", file=out)
+    print("designed %s for %s: annual cost $%s, downtime %.1f min/yr"
+          % (service.name, requirements.describe(),
+             format(round(outcome.annual_cost), ","),
+             outcome.downtime_minutes), file=out)
     return 0
 
 
@@ -408,6 +524,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "analyze": cmd_analyze,
     "describe": cmd_describe,
+    "profile": cmd_profile,
 }
 
 

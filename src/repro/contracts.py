@@ -1,0 +1,228 @@
+"""JSON Schemas for the CLI's machine-readable outputs.
+
+Every JSON document the ``repro`` command emits is a **contract**:
+downstream tooling (CI gates, dashboards, the utility-computing
+controller) parses it, so its shape must not drift silently.  This
+module pins each shape as a JSON Schema (draft-07 subset), and the
+contract tests (``tests/core/test_cli_contracts.py``) validate live
+CLI output against them.
+
+Schemas are plain dicts so they impose no dependency at runtime;
+validation itself uses ``jsonschema`` where available (the contract
+tests skip gracefully without it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: ``repro design --json`` -- the evaluation summary
+#: (:func:`repro.core.serialize.evaluation_to_dict`).
+DESIGN_EVALUATION_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["design", "annual_cost", "cost_breakdown",
+                 "downtime_minutes", "tier_downtime_minutes"],
+    "properties": {
+        "design": {
+            "type": "object",
+            "required": ["tiers"],
+            "properties": {
+                "tiers": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tier", "resource", "n_active",
+                                     "n_spare", "mechanisms"],
+                        "properties": {
+                            "tier": {"type": "string"},
+                            "resource": {"type": "string"},
+                            "n_active": {"type": "integer",
+                                         "minimum": 1},
+                            "n_spare": {"type": "integer",
+                                        "minimum": 0},
+                            "spare_active_prefix": {
+                                "type": "array",
+                                "items": {"type": "integer"}},
+                            "mechanisms": {
+                                "type": "object",
+                                "additionalProperties": {
+                                    "type": "object"}},
+                        },
+                    },
+                },
+            },
+        },
+        "annual_cost": {"type": "number", "minimum": 0},
+        "cost_breakdown": {
+            "type": "object",
+            "required": ["active_components", "spare_components",
+                         "mechanisms"],
+            "properties": {
+                "active_components": {"type": "number"},
+                "spare_components": {"type": "number"},
+                "mechanisms": {"type": "number"},
+            },
+        },
+        "downtime_minutes": {"type": "number", "minimum": 0},
+        "tier_downtime_minutes": {
+            "type": "object",
+            "additionalProperties": {"type": "number"}},
+        "engines": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["engine", "attempts"],
+                "properties": {
+                    "engine": {"type": "string"},
+                    "attempts": {"type": "integer", "minimum": 1},
+                    "fallback_from": {"type": "array",
+                                      "items": {"type": "string"}},
+                    "cause": {"type": "string"},
+                },
+            },
+        },
+        "job_time": {
+            "type": "object",
+            "required": ["expected_hours", "useful_fraction",
+                         "overhead_factor", "uptime_fraction"],
+            "properties": {
+                "expected_hours": {"type": ["number", "null"]},
+                "useful_fraction": {"type": "number"},
+                "overhead_factor": {"type": "number"},
+                "uptime_fraction": {"type": "number"},
+            },
+        },
+    },
+}
+
+#: ``repro lint --format json`` -- a :class:`repro.lint.LintReport`.
+LINT_REPORT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["diagnostics", "summary"],
+    "properties": {
+        "diagnostics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["code", "message", "severity"],
+                "properties": {
+                    "code": {"type": "string",
+                             "pattern": "^AVD[0-9]{3}$"},
+                    "message": {"type": "string"},
+                    "severity": {"enum": ["error", "warning", "info"]},
+                    "context": {"type": "string"},
+                    "span": {
+                        "type": "object",
+                        "properties": {
+                            "line": {"type": "integer"},
+                            "start": {"type": "integer"},
+                            "end": {"type": "integer"},
+                            "source": {"type": "string"},
+                        },
+                    },
+                },
+            },
+        },
+        "summary": {
+            "type": "object",
+            "required": ["errors", "warnings", "infos"],
+            "properties": {
+                "errors": {"type": "integer", "minimum": 0},
+                "warnings": {"type": "integer", "minimum": 0},
+                "infos": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+#: ``repro design --metrics-out`` -- a
+#: :meth:`repro.obs.MetricsRegistry.snapshot`.
+METRICS_SNAPSHOT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["counters", "gauges", "histograms"],
+    "properties": {
+        "counters": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0}},
+        "gauges": {
+            "type": "object",
+            "additionalProperties": {"type": "number"}},
+        "histograms": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["count", "sum_seconds", "buckets"],
+                "properties": {
+                    "count": {"type": "integer", "minimum": 0},
+                    "sum_seconds": {"type": "number", "minimum": 0},
+                    "min_seconds": {"type": ["number", "null"]},
+                    "max_seconds": {"type": ["number", "null"]},
+                    "buckets": {
+                        "type": "object",
+                        "additionalProperties": {"type": "integer"}},
+                },
+            },
+        },
+    },
+}
+
+#: ``repro design --trace`` / ``repro profile --trace`` -- a span
+#: forest (:meth:`repro.obs.Tracer.to_json`).  Recursive via ``$ref``.
+TRACE_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["spans"],
+    "properties": {
+        "spans": {"type": "array",
+                  "items": {"$ref": "#/definitions/span"}},
+    },
+    "definitions": {
+        "span": {
+            "type": "object",
+            "required": ["name", "attributes", "start_ms",
+                         "duration_ms", "children"],
+            "properties": {
+                "name": {"type": "string"},
+                "attributes": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": ["string", "number", "boolean",
+                                 "null"]}},
+                "start_ms": {"type": "number", "minimum": 0},
+                "duration_ms": {"type": "number", "minimum": 0},
+                "children": {"type": "array",
+                             "items": {"$ref": "#/definitions/span"}},
+            },
+        },
+    },
+}
+
+#: ``BENCH_*.json`` benchmark artifacts
+#: (:func:`repro.obs.bench_record` envelope).
+BENCH_RECORD_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["bench", "format", "results"],
+    "properties": {
+        "bench": {"type": "string", "minLength": 1},
+        "format": {"type": "integer", "minimum": 1},
+        "results": {"type": "object"},
+        "meta": {"type": "object"},
+    },
+}
+
+CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
+    "design-json": DESIGN_EVALUATION_SCHEMA,
+    "lint-json": LINT_REPORT_SCHEMA,
+    "metrics": METRICS_SNAPSHOT_SCHEMA,
+    "trace": TRACE_SCHEMA,
+    "bench": BENCH_RECORD_SCHEMA,
+}
+
+__all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
+           "METRICS_SNAPSHOT_SCHEMA", "TRACE_SCHEMA",
+           "BENCH_RECORD_SCHEMA", "CLI_SCHEMAS"]

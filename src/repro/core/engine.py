@@ -10,13 +10,14 @@ the minimum-cost design with its full evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 from ..availability import AvailabilityEngine, MarkovEngine
 from ..errors import InfeasibleError, ModelError, SearchError
 from ..lint import Diagnostic, LintReport
 from ..model import (InfrastructureModel, JobRequirements, ServiceModel,
                      ServiceRequirements, validate_pair)
+from ..obs import current as _obs_current
 from .design import Design
 from .evaluation import DesignEvaluation, DesignEvaluator
 from .search import (JobSearch, SearchLimits, SearchStats, TierSearch,
@@ -35,12 +36,19 @@ class DesignOutcome:
     (``AVD4xx``); None when the run used a plain engine with no
     checkpoint or parallel runtime, empty when a resilient run saw no
     faults.
+
+    ``metrics`` is the run's :mod:`repro.obs` metrics snapshot (a
+    plain nested dict -- counters, gauges, histograms); None unless an
+    observer was installed (``repro design --metrics-out``,
+    ``repro profile``, or :func:`repro.obs.observing`).  Its
+    ``search.*`` counters mirror :attr:`stats` field for field.
     """
 
     design: Design
     evaluation: DesignEvaluation
     stats: SearchStats
     degradation: Optional[LintReport] = None
+    metrics: Optional[Mapping] = None
 
     @property
     def annual_cost(self) -> float:
@@ -160,6 +168,16 @@ class Aved:
         Raises :class:`InfeasibleError` when no design in the modeled
         space satisfies them.
         """
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("design", service=self.service.name,
+                          requirements=requirements.describe()
+                          if hasattr(requirements, "describe")
+                          else str(requirements)):
+                return self._design(requirements)
+        return self._design(requirements)
+
+    def _design(self, requirements) -> DesignOutcome:
         try:
             if isinstance(requirements, ServiceRequirements):
                 return self._design_service(requirements)
@@ -206,6 +224,24 @@ class Aved:
                    len(self.checkpoint.completed_tiers))))
         return report
 
+    def _outcome(self, design: Design, evaluation: DesignEvaluation,
+                 stats) -> DesignOutcome:
+        """Assemble the outcome: degradation report + metrics snapshot.
+
+        With an observer installed, the search's own counters are
+        mirrored into the registry (``search.*``) just before the
+        snapshot, so the outcome's metrics always agree with its
+        ``stats`` -- the invariant the observability tests pin.
+        """
+        degradation = self._degradation_report()
+        metrics = None
+        obs = _obs_current()
+        if obs.enabled:
+            obs.metrics.publish_search_stats(stats)
+            metrics = obs.metrics.snapshot()
+        return DesignOutcome(design, evaluation, stats,
+                             degradation=degradation, metrics=metrics)
+
     # ------------------------------------------------------------------
 
     def _design_service(self, requirements: ServiceRequirements) \
@@ -234,12 +270,13 @@ class Aved:
                         "tier %r cannot carry load %g"
                         % (name, requirements.throughput))
                 frontiers.append(frontier)
-            if self.combination == "greedy":
-                design = refine_tier_frontiers_greedy(
-                    frontiers, requirements.max_annual_downtime)
+            obs = _obs_current()
+            if obs.enabled:
+                with obs.span("combine-frontiers", tiers=len(frontiers),
+                              strategy=self.combination):
+                    design = self._combine(frontiers, requirements)
             else:
-                design = combine_tier_frontiers(
-                    frontiers, requirements.max_annual_downtime)
+                design = self._combine(frontiers, requirements)
             if design is None:
                 raise InfeasibleError(
                     "no tier combination meets %s"
@@ -250,8 +287,14 @@ class Aved:
             raise InfeasibleError(
                 "search result fails verification against %s"
                 % requirements.describe(), best_infeasible=evaluation)
-        return DesignOutcome(design, evaluation, search.stats,
-                             degradation=self._degradation_report())
+        return self._outcome(design, evaluation, search.stats)
+
+    def _combine(self, frontiers: List, requirements: ServiceRequirements):
+        if self.combination == "greedy":
+            return refine_tier_frontiers_greedy(
+                frontiers, requirements.max_annual_downtime)
+        return combine_tier_frontiers(
+            frontiers, requirements.max_annual_downtime)
 
     def _design_job(self, requirements: JobRequirements) -> DesignOutcome:
         search = JobSearch(self.evaluator, self.limits,
@@ -261,5 +304,4 @@ class Aved:
         if evaluation is None:
             raise InfeasibleError(
                 "no design meets %s" % requirements.describe())
-        return DesignOutcome(evaluation.design, evaluation, search.stats,
-                             degradation=self._degradation_report())
+        return self._outcome(evaluation.design, evaluation, search.stats)

@@ -25,6 +25,7 @@ from ..cost import CostBreakdown, tier_cost
 from ..errors import EvaluationError
 from ..model import (InfrastructureModel, JobRequirements, OperationalMode,
                      ResourceOption, ServiceModel, ServiceRequirements)
+from ..obs import current as _obs_current
 from ..units import Duration, WorkAmount
 from .design import Design, TierDesign
 
@@ -92,6 +93,16 @@ class DesignEvaluator:
                    required_throughput: Optional[float] = None) \
             -> TierAvailabilityModel:
         """Generate the numeric availability model for one tier design."""
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("model-gen", tier=tier_design.tier,
+                          resource=tier_design.resource):
+                return self._tier_model(tier_design, required_throughput)
+        return self._tier_model(tier_design, required_throughput)
+
+    def _tier_model(self, tier_design: TierDesign,
+                    required_throughput: Optional[float]) \
+            -> TierAvailabilityModel:
         resource = self.infrastructure.resource(tier_design.resource)
         m = self.minimum_active(tier_design, required_throughput)
         spare_modes = resource.modes_for_prefix(
@@ -188,6 +199,13 @@ class DesignEvaluator:
 
     def evaluate(self, design: Design, requirements) -> DesignEvaluation:
         """Evaluate cost, availability and (for jobs) completion time."""
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("verify-design", tiers=len(design.tiers)):
+                return self._evaluate(design, requirements)
+        return self._evaluate(design, requirements)
+
+    def _evaluate(self, design: Design, requirements) -> DesignEvaluation:
         throughput = (requirements.throughput
                       if isinstance(requirements, ServiceRequirements)
                       else None)

@@ -34,6 +34,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SearchError
 from ..model import JobRequirements, MechanismConfig, ResourceOption
+from ..obs import current as _obs_current
 from ..units import Duration, MINUTES_PER_YEAR
 from .design import Design, EvaluatedTierDesign, TierDesign
 from .evaluation import DesignEvaluation, DesignEvaluator
@@ -171,6 +172,20 @@ class _TierSearchBase:
         if key in self._availability_cache:
             self.stats.cache_hits += 1
             return self._availability_cache[key]
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("tier-solve", tier=tier_design.tier,
+                          resource=tier_design.resource,
+                          n_active=tier_design.n_active,
+                          n_spare=tier_design.n_spare, load=load):
+                return self._tier_unavailability_miss(tier_design, load,
+                                                      key)
+        return self._tier_unavailability_miss(tier_design, load, key)
+
+    def _tier_unavailability_miss(self, tier_design: TierDesign,
+                                  load: Optional[float],
+                                  key: tuple) -> Optional[float]:
+        """The cache-miss path of :meth:`_tier_unavailability`."""
         if self.runtime is not None:
             if self.runtime.is_quarantined(key):
                 self.stats.quarantined += 1
@@ -390,6 +405,17 @@ class TierSearch(_TierSearchBase):
                          max_downtime: Duration) \
             -> Optional[EvaluatedTierDesign]:
         """Minimum-cost design for one tier, or None if infeasible."""
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("tier-search", tier=tier_name, load=load,
+                          mode="best"):
+                return self._best_tier_design(tier_name, load,
+                                              max_downtime)
+        return self._best_tier_design(tier_name, load, max_downtime)
+
+    def _best_tier_design(self, tier_name: str, load: float,
+                          max_downtime: Duration) \
+            -> Optional[EvaluatedTierDesign]:
         best: Optional[EvaluatedTierDesign] = None
         target = max_downtime.as_minutes
         for candidate in self.enumerate_candidates(tier_name, load,
@@ -409,6 +435,15 @@ class TierSearch(_TierSearchBase):
         frontier this tier completed in a previous (interrupted) run is
         reused verbatim, and a freshly computed one is recorded.
         """
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("tier-search", tier=tier_name, load=load,
+                          mode="frontier"):
+                return self._tier_frontier(tier_name, load)
+        return self._tier_frontier(tier_name, load)
+
+    def _tier_frontier(self, tier_name: str, load: float) \
+            -> List[EvaluatedTierDesign]:
         if self.checkpoint is not None:
             stored = self.checkpoint.frontier_for(
                 tier_name, load, self.evaluator.infrastructure)
@@ -580,6 +615,15 @@ class JobSearch(_TierSearchBase):
     """
 
     def best_design(self, requirements: JobRequirements) \
+            -> Optional[DesignEvaluation]:
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("job-search",
+                          service=self.evaluator.service.name):
+                return self._best_design(requirements)
+        return self._best_design(requirements)
+
+    def _best_design(self, requirements: JobRequirements) \
             -> Optional[DesignEvaluation]:
         service = self.evaluator.service
         if not service.is_finite_job:

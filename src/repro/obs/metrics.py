@@ -1,0 +1,184 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Names are dotted strings (``search.cache_hits``,
+``engine_solve_seconds.markov``); instruments are created on first
+use.  A :meth:`MetricsRegistry.snapshot` is a plain nested dict with
+every key sorted, so two identical runs produce identical snapshots
+except for timing-valued histogram sums -- which is what lets tests
+assert on counter equality (e.g. against
+:class:`repro.core.SearchStats`) while timings float.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+#: Default histogram bucket upper bounds, in seconds: log-spaced from
+#: 100 microseconds to 100 seconds, wide enough for spec parsing and
+#: Markov solves alike.  The overflow bucket is implicit (+inf).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0,
+    10.0, 30.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values (e.g. solve times)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        buckets = {}
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            if bucket_count:
+                buckets["le_%g" % bound] = bucket_count
+        if self.bucket_counts[-1]:
+            buckets["le_inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum_seconds": self.total,
+            "min_seconds": self.min if self.count else None,
+            "max_seconds": self.max if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Tuple[float, ...] = DEFAULT_BUCKETS) \
+            -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        return histogram
+
+    # -- conveniences --------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def counter_value(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def publish_search_stats(self, stats: Any,
+                             prefix: str = "search") -> None:
+        """Mirror a :class:`repro.core.SearchStats` into counters.
+
+        Counter names are ``<prefix>.<field>`` for every dataclass
+        field, so the snapshot's evaluation/cache-hit counts are equal
+        to the search's own bookkeeping *by construction*.
+        """
+        import dataclasses
+        for field in dataclasses.fields(stats):
+            value = getattr(stats, field.name)
+            counter = self.counter("%s.%s" % (prefix, field.name))
+            counter.value = int(value)
+
+    # -- output --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministically-ordered plain-dict view of everything."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].to_dict()
+                           for name in sorted(self._histograms)},
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-liners (CLI ``repro profile`` output)."""
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            lines.append("%-44s %d" % (name, self._counters[name].value))
+        for name in sorted(self._gauges):
+            lines.append("%-44s %g" % (name, self._gauges[name].value))
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            if not histogram.count:
+                continue
+            lines.append(
+                "%-44s n=%d mean=%.3fms min=%.3fms max=%.3fms"
+                % (name, histogram.count, histogram.mean * 1e3,
+                   histogram.min * 1e3, histogram.max * 1e3))
+        return lines
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]

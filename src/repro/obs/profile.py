@@ -1,0 +1,137 @@
+"""Phase profiles computed from a recorded span forest.
+
+``repro profile`` turns a trace into the classic profiler view: per
+span name, how many times it ran, its **cumulative** time (wall time
+with a span of that name open, counting each name once per subtree so
+recursion does not double-count) and its **self** time (cumulative
+minus time attributed to child spans).  The same numbers serialize as
+a ``BENCH_obs.json`` record so perf PRs can diff phase budgets
+machine-readably.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from .trace import Span
+
+
+@dataclass
+class PhaseProfile:
+    """Aggregated timings for one span name."""
+
+    name: str
+    count: int = 0
+    self_ms: float = 0.0
+    cumulative_ms: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "count": self.count,
+                "self_ms": round(self.self_ms, 3),
+                "cumulative_ms": round(self.cumulative_ms, 3)}
+
+
+def profile_spans(roots: Iterable[Any]) -> List[PhaseProfile]:
+    """Aggregate a span forest into per-name phase profiles.
+
+    Accepts :class:`Span` objects or their serialized dicts (a trace
+    JSON file read back).  Sorted by self time, largest first (ties
+    broken by name so the ordering is deterministic).
+    """
+    roots = [Span.from_dict(root) if isinstance(root, dict) else root
+             for root in roots]
+    phases: Dict[str, PhaseProfile] = {}
+
+    def walk(span: Span, ancestors: frozenset) -> None:
+        phase = phases.get(span.name)
+        if phase is None:
+            phase = phases[span.name] = PhaseProfile(span.name)
+        phase.count += 1
+        child_ms = sum(child.duration_ms for child in span.children)
+        phase.self_ms += max(span.duration_ms - child_ms, 0.0)
+        if span.name not in ancestors:
+            phase.cumulative_ms += span.duration_ms
+        nested = ancestors | {span.name}
+        for child in span.children:
+            walk(child, nested)
+
+    for root in roots:
+        walk(root, frozenset())
+    return sorted(phases.values(),
+                  key=lambda phase: (-phase.self_ms, phase.name))
+
+
+def profile_table(roots: Iterable[Span],
+                  top: Optional[int] = None) -> str:
+    """Render the profile as an aligned text table."""
+    phases = profile_spans(roots)
+    if top is not None:
+        phases = phases[:top]
+    total_self = sum(phase.self_ms for phase in phases) or 1.0
+    lines = ["%-22s %8s %12s %12s %7s"
+             % ("phase", "calls", "self(ms)", "cum(ms)", "self%")]
+    for phase in phases:
+        lines.append("%-22s %8d %12.3f %12.3f %6.1f%%"
+                     % (phase.name, phase.count, phase.self_ms,
+                        phase.cumulative_ms,
+                        100.0 * phase.self_ms / total_self))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json records
+# ----------------------------------------------------------------------
+
+#: Schema version of the BENCH record format; bump on shape changes.
+BENCH_FORMAT = 1
+
+
+def bench_record(name: str, results: Dict[str, Any],
+                 meta: Optional[Dict[str, Any]] = None) \
+        -> Dict[str, Any]:
+    """A machine-readable benchmark record (``BENCH_<name>.json``).
+
+    Every benchmark artifact in this repo -- ``repro profile``'s
+    output and each ``benchmarks/bench_*.py`` smoke leg -- shares
+    this envelope so downstream tooling can consume them uniformly:
+    ``bench`` (the benchmark name), ``format`` (envelope version),
+    ``results`` (benchmark-specific numbers) and optional ``meta``
+    (parameters, not measurements).
+    """
+    record: Dict[str, Any] = {
+        "bench": name,
+        "format": BENCH_FORMAT,
+        "results": results,
+    }
+    if meta:
+        record["meta"] = meta
+    return record
+
+
+def write_bench_record(path: str, record: Dict[str, Any]) -> str:
+    """Write a BENCH record as deterministic, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def profile_bench_record(roots: Iterable[Span],
+                         metrics_snapshot: Optional[Dict[str, Any]]
+                         = None,
+                         meta: Optional[Dict[str, Any]] = None) \
+        -> Dict[str, Any]:
+    """The ``repro profile`` BENCH record: phases + metrics counters."""
+    results: Dict[str, Any] = {
+        "phases": [phase.to_dict() for phase in profile_spans(roots)],
+    }
+    if metrics_snapshot is not None:
+        results["counters"] = metrics_snapshot.get("counters", {})
+    return bench_record("obs", results, meta=meta)
+
+
+__all__ = ["PhaseProfile", "profile_spans", "profile_table",
+           "bench_record", "write_bench_record", "profile_bench_record",
+           "BENCH_FORMAT"]

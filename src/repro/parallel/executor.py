@@ -45,6 +45,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SearchError
+from ..obs import current as _obs_current
+from ..obs import observing as _obs_observing
 from ..resilience.chaos import WorkerFaultPlan
 from ..resilience.events import (QUARANTINE, TASK_TIMEOUT, WORKER_CRASH,
                                  DegradationLog)
@@ -116,14 +118,21 @@ def _ping() -> str:
     return "pong"
 
 
-def _evaluate_candidate(task_id: int, submission: int,
-                        model: Any) -> Tuple[int, str, Any]:
+def _evaluate_candidate(task_id: int, submission: int, model: Any,
+                        trace: bool = False) -> Tuple[Any, ...]:
     """Evaluate one tier model; never raises across the pipe.
 
     Engine exceptions come back as ``("error", detail)`` so they stay
     attributable to the candidate instead of poisoning the pool
     protocol.  Injected process faults (chaos) bypass that, which is
     the point: they exercise the crash/hang supervision paths.
+
+    When the parent is tracing (``trace=True``) the solve runs under a
+    temporary in-worker observer; the spans it records travel back as
+    serialized dicts in a fourth payload slot, and the parent
+    re-parents them under its batch span (see
+    :meth:`ParallelEvaluationRuntime.evaluate_batch`).  Untraced runs
+    keep the legacy 3-tuple payload.
     """
     if _WORKER_PLAN is not None:
         action = _WORKER_PLAN.decide(task_id, submission)
@@ -131,12 +140,22 @@ def _evaluate_candidate(task_id: int, submission: int,
             os._exit(3)
         elif action == "hang":
             time.sleep(_WORKER_PLAN.hang_seconds)
-    try:
-        result = _WORKER_ENGINE.evaluate_tier(model)
-        return (task_id, "ok", float(result.unavailability))
-    except Exception as exc:
-        return (task_id, "error",
-                "%s: %s" % (type(exc).__name__, exc))
+    if not trace:
+        try:
+            result = _WORKER_ENGINE.evaluate_tier(model)
+            return (task_id, "ok", float(result.unavailability))
+        except Exception as exc:
+            return (task_id, "error",
+                    "%s: %s" % (type(exc).__name__, exc))
+    with _obs_observing() as worker_obs:
+        try:
+            result = _WORKER_ENGINE.evaluate_tier(model)
+            payload: Tuple[Any, ...] = (task_id, "ok",
+                                        float(result.unavailability))
+        except Exception as exc:
+            payload = (task_id, "error",
+                       "%s: %s" % (type(exc).__name__, exc))
+    return payload + (worker_obs.tracer.to_dicts(),)
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +202,9 @@ class SupervisedExecutor:
                            else PoisonQuarantine())
         self._rng = random.Random(seed)
         self._task_counter = 0
+        #: ``(task_id, [span dict, ...])`` pairs from traced workers,
+        #: accumulated per batch and drained by the runtime facade.
+        self._worker_spans: List[Tuple[int, List[dict]]] = []
         #: Counters for tests/benchmarks: pool breaks, timeouts, etc.
         self.counters: Dict[str, int] = {}
         self.supervisor: Optional[PoolSupervisor] = None
@@ -210,6 +232,19 @@ class SupervisedExecutor:
     def _count(self, kind: str) -> None:
         self.counters[kind] = self.counters.get(kind, 0) + 1
 
+    def drain_worker_spans(self) -> List[dict]:
+        """Spans shipped back by traced workers, in submission order.
+
+        Flattened and sorted by task id (not completion order), so the
+        re-parented trace is deterministic regardless of worker
+        scheduling.  Clears the per-batch accumulator.
+        """
+        self._worker_spans.sort(key=lambda pair: pair[0])
+        flat = [span for _, spans in self._worker_spans
+                for span in spans]
+        self._worker_spans = []
+        return flat
+
     # ------------------------------------------------------------------
     # Batch evaluation (jobs > 1; falls back inline when the pool dies).
     # ------------------------------------------------------------------
@@ -228,6 +263,7 @@ class SupervisedExecutor:
             states.append(state)
         results: Dict[int, float] = {}
         pending: Dict[int, _TaskState] = {s.task_id: s for s in states}
+        self._worker_spans = []
         if self.supervisor is not None:
             self.supervisor.begin_batch()
         while pending:
@@ -254,12 +290,13 @@ class SupervisedExecutor:
                    pending: Dict[int, _TaskState],
                    results: Dict[int, float]) -> None:
         futures: Dict[Future, _TaskState] = {}
+        trace = _obs_current().enabled
         try:
             for state in group:
                 state.submissions += 1
                 futures[pool.submit(_evaluate_candidate, state.task_id,
-                                    state.submissions, state.model)] \
-                    = state
+                                    state.submissions, state.model,
+                                    trace)] = state
         except BaseException:
             # submit() itself only fails when the pool is already
             # broken or shut down; treat it like a wholesale crash.
@@ -309,7 +346,8 @@ class SupervisedExecutor:
     def _settle(self, state: _TaskState, payload: Any,
                 pending: Dict[int, _TaskState],
                 results: Dict[int, float]) -> None:
-        task_id, status, value = payload
+        task_id, status, value = payload[0], payload[1], payload[2]
+        spans = payload[3] if len(payload) > 3 else None
         if status == "ok":
             reason = self._garbage_reason(value)
             if reason is None:
@@ -318,6 +356,10 @@ class SupervisedExecutor:
                 state.suspicion = 0
                 results[state.task_id] = value
                 del pending[state.task_id]
+                # Only the settling attempt's spans are kept, so the
+                # trace stays deterministic under retries.
+                if spans:
+                    self._worker_spans.append((state.task_id, spans))
                 return
             self._count("garbage")
             self._attributed_fault(state, pending, reason)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
+from ..obs import current as _obs_current
 from ..resilience.chaos import WorkerFaultPlan
 from ..resilience.events import DegradationLog
 from .executor import ParallelPolicy, SupervisedExecutor
@@ -85,7 +86,19 @@ class ParallelEvaluationRuntime:
         if not tasks:
             return []
         self.batches += 1
-        return self.executor.run_batch(tasks)
+        obs = _obs_current()
+        if not obs.enabled:
+            return self.executor.run_batch(tasks)
+        with obs.span("parallel-batch", tasks=len(tasks),
+                      jobs=self.jobs):
+            merged = self.executor.run_batch(tasks)
+            # Spans recorded inside traced workers come back as dicts;
+            # re-parent them (in submission order) under this batch
+            # span so the trace shows one tree across processes.
+            for span in self.executor.drain_worker_spans():
+                obs.tracer.attach(span, worker=True)
+            obs.inc("parallel.batches")
+        return merged
 
     # ------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..lint import Diagnostic, LintReport
+from ..obs import current as _obs_current
 
 #: Event kinds, with their diagnostic codes.
 FALLBACK = "fallback"
@@ -96,6 +97,14 @@ class DegradationLog:
             detail: str = "", attempt: int = 0) -> DegradationEvent:
         event = DegradationEvent(kind, engine, tier, detail, attempt)
         self.events.append(event)
+        # Every degradation decision (retry, fallback, breaker trip,
+        # crash, quarantine, ...) doubles as a metric: one counter per
+        # event kind, plus a per-engine one when the engine is known.
+        obs = _obs_current()
+        if obs.enabled:
+            obs.inc("degradation_events.%s" % kind)
+            if engine:
+                obs.inc("degradation_events.%s.%s" % (kind, engine))
         return event
 
     def extend(self, other: "DegradationLog") -> None:

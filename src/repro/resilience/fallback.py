@@ -39,6 +39,7 @@ from ..availability import (AvailabilityEngine, AvailabilityResult,
 from ..availability.rbd import series_unavailability
 from ..errors import EvaluationError
 from ..lint import LintReport
+from ..obs import current as _obs_current
 from .events import (BREAKER_CLOSE, BREAKER_OPEN, DEADLINE, FALLBACK,
                      GARBAGE, RETRY, TIMEOUT, DegradationLog)
 from .policy import FallbackPolicy
@@ -182,6 +183,15 @@ class FallbackEngine(AvailabilityEngine):
 
     def _evaluate_tier(self, model: TierAvailabilityModel,
                        deadline: Optional[float]) -> TierResult:
+        obs = _obs_current()
+        if obs.enabled:
+            with obs.span("fallback-solve", tier=model.name,
+                          n=model.n, m=model.m, s=model.s):
+                return self._evaluate_tier_inner(model, deadline)
+        return self._evaluate_tier_inner(model, deadline)
+
+    def _evaluate_tier_inner(self, model: TierAvailabilityModel,
+                             deadline: Optional[float]) -> TierResult:
         self.calls += 1
         faults: List[_Fault] = []
         tried: List[str] = []

@@ -1,6 +1,16 @@
-"""Shared fixtures: the paper's models and small synthetic ones."""
+"""Shared fixtures: the paper's models and small synthetic ones.
+
+Also hosts the golden-snapshot machinery: the ``golden`` fixture
+compares a JSON-able result against a fixture in ``tests/golden/``,
+failing with a unified diff; ``pytest --update-golden`` rewrites the
+fixtures instead (review the git diff before committing).
+"""
 
 from __future__ import annotations
+
+import difflib
+import json
+import os
 
 import pytest
 
@@ -82,3 +92,74 @@ def tiny_service():
         ArithmeticRange(1, 100, 1),
         ExpressionPerformance("100*n"))
     return ServiceModel("svc", [Tier("web", [option])])
+
+
+# ----------------------------------------------------------------------
+# Golden snapshots (tests/golden/*.json)
+# ----------------------------------------------------------------------
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json fixtures from current "
+             "results instead of comparing against them")
+
+
+def _round_floats(value, digits=8):
+    """Round every float to ``digits`` significant digits.
+
+    Golden fixtures must not churn on BLAS/platform noise in the last
+    few bits; 8 significant digits is far tighter than any modeled
+    quantity's meaning and far looser than float noise.
+    """
+    if isinstance(value, float):
+        return float("%.*g" % (digits, value))
+    if isinstance(value, dict):
+        return {key: _round_floats(item, digits)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_floats(item, digits) for item in value]
+    return value
+
+
+class GoldenComparator:
+    """Compare results against committed JSON snapshots."""
+
+    def __init__(self, update: bool):
+        self.update = update
+
+    def check(self, name: str, data) -> None:
+        data = _round_floats(data)
+        rendered = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        path = os.path.join(GOLDEN_DIR, name + ".json")
+        if self.update:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(rendered)
+            return
+        if not os.path.exists(path):
+            pytest.fail(
+                "golden fixture %s does not exist; run "
+                "`pytest --update-golden` to create it" % path)
+        with open(path) as handle:
+            expected_text = handle.read()
+        if json.loads(expected_text) == data:
+            return
+        diff = difflib.unified_diff(
+            expected_text.splitlines(keepends=True),
+            rendered.splitlines(keepends=True),
+            fromfile="golden/%s.json (committed)" % name,
+            tofile="golden/%s.json (current run)" % name)
+        pytest.fail(
+            "golden snapshot %r differs from the committed fixture.\n"
+            "If the change is intended, run `pytest --update-golden` "
+            "and commit the updated fixture.\n%s"
+            % (name, "".join(diff)), pytrace=False)
+
+
+@pytest.fixture
+def golden(request):
+    return GoldenComparator(request.config.getoption("--update-golden"))

@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry."""
+
+from repro.core import SearchStats
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_counters_create_on_first_use_and_accumulate():
+    registry = MetricsRegistry()
+    registry.inc("search.cache_hits")
+    registry.inc("search.cache_hits", 4)
+    assert registry.counter_value("search.cache_hits") == 5
+    assert registry.counter_value("never.touched") == 0
+    # same name returns the same instrument
+    assert registry.counter("search.cache_hits") \
+        is registry.counter("search.cache_hits")
+
+
+def test_gauge_is_last_write_wins():
+    registry = MetricsRegistry()
+    registry.gauge("pool.workers").set(4)
+    registry.gauge("pool.workers").set(2)
+    assert registry.snapshot()["gauges"]["pool.workers"] == 2
+
+
+def test_histogram_buckets_and_stats():
+    histogram = Histogram()
+    for value in (0.00005, 0.002, 0.002, 50.0, 1000.0):
+        histogram.observe(value)
+    data = histogram.to_dict()
+    assert data["count"] == 5
+    assert data["min_seconds"] == 0.00005
+    assert data["max_seconds"] == 1000.0
+    assert data["buckets"]["le_0.0001"] == 1
+    assert data["buckets"]["le_0.003"] == 2
+    assert data["buckets"]["le_100"] == 1
+    assert data["buckets"]["le_inf"] == 1    # overflow bucket
+    assert sum(data["buckets"].values()) == 5
+    assert abs(histogram.mean - (0.00005 + 0.004 + 1050.0) / 5) < 1e-12
+
+
+def test_empty_histogram_snapshot_has_null_extremes():
+    data = Histogram().to_dict()
+    assert data["count"] == 0
+    assert data["min_seconds"] is None
+    assert data["max_seconds"] is None
+    assert data["buckets"] == {}
+
+
+def test_default_buckets_are_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+
+def test_publish_search_stats_mirrors_every_field():
+    stats = SearchStats(structures_enumerated=10,
+                        availability_evaluations=7, cost_pruned=3,
+                        cache_hits=2)
+    registry = MetricsRegistry()
+    registry.publish_search_stats(stats)
+    counters = registry.snapshot()["counters"]
+    assert counters["search.structures_enumerated"] == 10
+    assert counters["search.availability_evaluations"] == 7
+    assert counters["search.cost_pruned"] == 3
+    assert counters["search.cache_hits"] == 2
+    # every dataclass field is present, none invented
+    import dataclasses
+    expected = {"search.%s" % field.name
+                for field in dataclasses.fields(stats)}
+    assert set(counters) == expected
+
+
+def test_snapshot_is_sorted_and_plain():
+    registry = MetricsRegistry()
+    registry.inc("b"), registry.inc("a")
+    registry.observe("z.time", 0.5)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["counters", "gauges", "histograms"]
+    assert list(snapshot["counters"]) == ["a", "b"]
+    import json
+    json.dumps(snapshot)  # JSON-serializable throughout
+
+
+def test_summary_lines_skip_empty_histograms():
+    registry = MetricsRegistry()
+    registry.inc("hits", 3)
+    registry.histogram("empty.h")
+    registry.observe("busy.h", 0.001)
+    lines = registry.summary_lines()
+    assert any(line.startswith("hits") for line in lines)
+    assert any(line.startswith("busy.h") for line in lines)
+    assert not any(line.startswith("empty.h") for line in lines)

@@ -1,0 +1,112 @@
+"""The observer install/scoping contract and the no-op guarantees."""
+
+import pytest
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel)
+from repro.obs import (NullObserver, Observer, current, disabled, install,
+                       observing, snapshot_metrics)
+from repro.units import Duration
+
+
+def test_default_is_disabled():
+    obs = current()
+    assert obs.enabled is False
+    assert isinstance(obs, NullObserver)
+
+
+def test_null_observer_operations_are_noops():
+    null = NullObserver()
+    with null.span("anything", key="value"):
+        pass
+    with null.engine_span("markov", object()):
+        pass
+    null.inc("counter")
+    assert snapshot_metrics(null) is None
+
+
+def test_observing_scopes_installation():
+    assert current().enabled is False
+    with observing() as obs:
+        assert current() is obs
+        assert obs.enabled is True
+        with obs.span("unit-test"):
+            pass
+    assert current().enabled is False
+    assert [root.name for root in obs.tracer.roots] == ["unit-test"]
+
+
+def test_observing_accepts_prebuilt_observer_and_nests():
+    mine = Observer()
+    with observing(mine) as outer:
+        assert outer is mine
+        with observing() as inner:
+            assert current() is inner
+        assert current() is mine
+    assert current().enabled is False
+
+
+def test_disabled_scope_suppresses_recording():
+    with observing() as obs:
+        with disabled():
+            assert current().enabled is False
+        assert current() is obs
+
+
+def test_install_returns_previous():
+    mine = Observer()
+    previous = install(mine)
+    try:
+        assert current() is mine
+    finally:
+        install(previous)
+    assert current().enabled is False
+
+
+def test_install_none_restores_disabled_default():
+    install(Observer())
+    install(None)
+    assert current().enabled is False
+
+
+def _model():
+    mode = FailureModeEntry("hard", Duration.days(100),
+                            Duration.hours(8), Duration.minutes(5))
+    return TierAvailabilityModel("web", n=2, m=1, s=0, modes=(mode,))
+
+
+def test_engine_span_records_span_histogram_and_counter():
+    with observing() as obs:
+        MarkovEngine().evaluate_tier(_model())
+    (span,) = obs.tracer.find("engine-solve")
+    assert span.attributes["engine"] == "markov"
+    assert span.attributes["tier"] == "web"
+    assert span.attributes["n"] == 2
+    snapshot = obs.metrics.snapshot()
+    assert snapshot["counters"]["engine_solves.markov"] == 1
+    assert snapshot["histograms"]["engine_solve_seconds.markov"][
+        "count"] == 1
+    assert "engine_errors.markov" not in snapshot["counters"]
+
+
+def test_engine_span_counts_errors():
+    class Exploding:
+        name = "web"
+        n, m, s = 1, 1, 0
+
+    obs = Observer()
+    with pytest.raises(ZeroDivisionError):
+        with obs.engine_span("markov", Exploding()):
+            raise ZeroDivisionError
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["engine_errors.markov"] == 1
+    assert counters["engine_solves.markov"] == 1
+
+
+def test_engines_do_not_record_when_disabled():
+    MarkovEngine().evaluate_tier(_model())
+    # nothing global leaked: a fresh observer starts empty
+    with observing() as obs:
+        pass
+    assert obs.tracer.roots == []
+    assert obs.metrics.snapshot()["counters"] == {}

@@ -1,0 +1,97 @@
+"""Phase profiling and the BENCH record envelope."""
+
+import json
+
+from repro.obs import (BENCH_FORMAT, Span, Tracer, bench_record,
+                       profile_bench_record, profile_spans, profile_table,
+                       write_bench_record)
+
+
+def _forest():
+    """design(10ms) -> search(8ms) -> two solves(3ms each)."""
+    design = Span("design", start_ms=0.0, duration_ms=10.0)
+    search = Span("tier-search", start_ms=1.0, duration_ms=8.0)
+    solve_a = Span("tier-solve", start_ms=2.0, duration_ms=3.0)
+    solve_b = Span("tier-solve", start_ms=5.0, duration_ms=3.0)
+    search.children = [solve_a, solve_b]
+    design.children = [search]
+    return [design]
+
+
+def test_profile_self_and_cumulative_times():
+    phases = {phase.name: phase for phase in profile_spans(_forest())}
+    assert phases["design"].self_ms == 2.0          # 10 - 8
+    assert phases["design"].cumulative_ms == 10.0
+    assert phases["tier-search"].self_ms == 2.0     # 8 - 6
+    assert phases["tier-search"].cumulative_ms == 8.0
+    assert phases["tier-solve"].count == 2
+    assert phases["tier-solve"].self_ms == 6.0
+    assert phases["tier-solve"].cumulative_ms == 6.0
+
+
+def test_profile_accepts_serialized_dicts():
+    dicts = [span.to_dict() for span in _forest()]
+    by_dict = [phase.to_dict() for phase in profile_spans(dicts)]
+    by_span = [phase.to_dict() for phase in profile_spans(_forest())]
+    assert by_dict == by_span
+
+
+def test_recursion_does_not_double_count_cumulative():
+    outer = Span("combine", duration_ms=10.0)
+    inner = Span("combine", duration_ms=6.0)
+    outer.children = [inner]
+    (phase,) = profile_spans([outer])
+    assert phase.count == 2
+    assert phase.cumulative_ms == 10.0              # counted once
+    assert phase.self_ms == 4.0 + 6.0
+
+
+def test_profile_sorted_by_self_time_then_name():
+    names = [phase.name for phase in profile_spans(_forest())]
+    assert names == ["tier-solve", "design", "tier-search"]
+
+
+def test_profile_table_renders_and_truncates():
+    table = profile_table(_forest())
+    assert "tier-solve" in table and "self%" in table
+    top = profile_table(_forest(), top=1)
+    assert "tier-solve" in top and "design" not in top
+
+
+def test_negative_self_time_clamps_to_zero():
+    parent = Span("p", duration_ms=1.0)
+    child = Span("c", duration_ms=5.0)  # clock skew artifact
+    parent.children = [child]
+    phases = {phase.name: phase for phase in profile_spans([parent])}
+    assert phases["p"].self_ms == 0.0
+
+
+def test_bench_record_envelope():
+    record = bench_record("obs", {"x": 1}, meta={"seed": 1})
+    assert record == {"bench": "obs", "format": BENCH_FORMAT,
+                      "results": {"x": 1}, "meta": {"seed": 1}}
+    assert "meta" not in bench_record("obs", {})
+
+
+def test_write_bench_record_is_deterministic_json(tmp_path):
+    path = str(tmp_path / "BENCH_obs.json")
+    write_bench_record(path, bench_record("obs", {"b": 2, "a": 1}))
+    text = open(path).read()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')  # sort_keys
+    assert json.loads(text)["results"] == {"a": 1, "b": 2}
+
+
+def test_profile_bench_record_includes_phases_and_counters():
+    tracer = Tracer()
+    with tracer.span("design"):
+        pass
+    record = profile_bench_record(
+        tracer.roots, {"counters": {"search.cache_hits": 2},
+                       "gauges": {}, "histograms": {}},
+        meta={"service": "svc"})
+    assert record["bench"] == "obs"
+    assert record["results"]["counters"] == {"search.cache_hits": 2}
+    assert [phase["name"] for phase in record["results"]["phases"]] \
+        == ["design"]
+    assert record["meta"]["service"] == "svc"

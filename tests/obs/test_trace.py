@@ -1,0 +1,124 @@
+"""Unit tests for the span tree recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+def test_nested_spans_build_a_tree():
+    tracer = Tracer()
+    with tracer.span("design", service="svc"):
+        with tracer.span("tier-search", tier="web"):
+            with tracer.span("tier-solve", n=2):
+                pass
+            with tracer.span("tier-solve", n=3):
+                pass
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "design"
+    assert root.attributes == {"service": "svc"}
+    (search,) = root.children
+    assert search.name == "tier-search"
+    assert [child.attributes["n"] for child in search.children] == [2, 3]
+
+
+def test_span_timing_is_monotone():
+    ticks = iter(range(100))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer = tracer.roots[0]
+    inner = outer.children[0]
+    assert outer.duration_ms >= inner.duration_ms > 0
+    assert inner.start_ms >= outer.start_ms
+
+
+def test_exception_marks_span_and_unwinds():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("boom")
+    assert tracer.depth == 0
+    inner = tracer.roots[0].children[0]
+    assert inner.attributes["error"] == "ValueError"
+
+
+def test_attributes_are_cleaned_to_json_scalars():
+    tracer = Tracer()
+    with tracer.span("s", ok=True, n=3, x=1.5, tier="t",
+                     missing=None, weird=object()):
+        pass
+    attrs = tracer.roots[0].attributes
+    assert attrs["ok"] is True and attrs["n"] == 3
+    assert attrs["missing"] is None
+    assert isinstance(attrs["weird"], str)
+
+
+def test_to_json_is_deterministic_modulo_timestamps():
+    def record():
+        tracer = Tracer()
+        with tracer.span("design", b=2, a=1):
+            with tracer.span("child"):
+                pass
+        return json.loads(tracer.to_json())
+
+    def strip(span):
+        span.pop("start_ms"), span.pop("duration_ms")
+        for child in span["children"]:
+            strip(child)
+
+    first, second = record(), record()
+    for doc in (first, second):
+        for span in doc["spans"]:
+            strip(span)
+    assert first == second
+    # attribute keys serialize sorted
+    text = Tracer().to_json()
+    assert json.loads(text) == {"spans": []}
+
+
+def test_round_trip_through_dicts():
+    tracer = Tracer()
+    with tracer.span("a", k="v"):
+        with tracer.span("b"):
+            pass
+    (data,) = tracer.to_dicts()
+    clone = Span.from_dict(data)
+    assert clone.to_dict() == data
+    assert [span.name for span in clone.walk()] == ["a", "b"]
+    assert [span.name for span in clone.find("b")] == ["b"]
+
+
+def test_attach_reparents_serialized_subtree():
+    worker = Tracer()
+    with worker.span("engine-solve", engine="markov"):
+        pass
+    (shipped,) = worker.to_dicts()
+
+    parent = Tracer()
+    with parent.span("parallel-batch"):
+        span = parent.attach(shipped, worker=True)
+    batch = parent.roots[0]
+    assert batch.children == [span]
+    assert span.attributes["worker"] is True
+    assert span.attributes["engine"] == "markov"
+
+
+def test_attach_without_open_span_becomes_root():
+    tracer = Tracer()
+    tracer.attach({"name": "orphan"})
+    assert [root.name for root in tracer.roots] == ["orphan"]
+
+
+def test_find_across_forest():
+    tracer = Tracer()
+    for _ in range(2):
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+    assert len(tracer.find("leaf")) == 2
+    assert tracer.find("nope") == []

@@ -1,0 +1,153 @@
+"""Differential oracles: the three availability engines cross-check.
+
+In the **in-place repair domain** -- no mode ever fails over (either
+``s == 0`` or ``mttr <= failover_time``), unlimited repair crew -- the
+Markov chain decomposes into independent two-state processes, which is
+exactly the analytic engine's binomial closed form.  There the two
+engines are *both* exact, so they must agree to numerical precision on
+any valid model: each is an oracle for the other.
+
+The simulation engine is a statistical oracle for the Markov engine on
+the full domain; its tolerance is necessarily wide (confidence
+interval + modeling approximations), but it still catches sign errors,
+unit slips, and structurally wrong chains.
+
+Shrunk counterexamples from earlier hypothesis runs are committed as
+explicit regression cases at the bottom, so they re-run even with a
+different database state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.availability import (AnalyticEngine, FailureModeEntry,
+                                MarkovEngine, SimulationEngine,
+                                TierAvailabilityModel, simulate_tier)
+from repro.units import Duration
+
+# Durations stay well above the Markov engine's 1e-6-hour clamp, and
+# rates stay moderate so chain truncation error is negligible.
+mtbf_hours = st.floats(min_value=200.0, max_value=20000.0,
+                       allow_nan=False)
+mttr_hours = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def inplace_models(draw):
+    """Valid tier models inside the analytic-exact domain."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=n))
+    s = draw(st.integers(min_value=0, max_value=2))
+    modes = []
+    for index in range(draw(st.integers(min_value=1, max_value=2))):
+        mttr = draw(mttr_hours)
+        # In-place repair: the paper's rule uses failover only when
+        # repair is slower, so a failover time >= mttr disables it.
+        failover = mttr * draw(st.floats(min_value=1.0, max_value=4.0,
+                                         allow_nan=False))
+        modes.append(FailureModeEntry(
+            "mode%d" % index,
+            Duration.hours(draw(mtbf_hours)),
+            Duration.hours(mttr),
+            Duration.hours(failover),
+            spare_susceptible=draw(st.booleans())))
+    return TierAvailabilityModel("t", n=n, m=m, s=s,
+                                 modes=tuple(modes))
+
+
+def assert_analytic_matches_markov(model):
+    markov = MarkovEngine().evaluate_tier(model)
+    analytic = AnalyticEngine().evaluate_tier(model)
+    tolerance = max(1e-9 * markov.unavailability, 1e-14)
+    assert abs(markov.unavailability - analytic.unavailability) \
+        <= tolerance, (markov.unavailability, analytic.unavailability)
+
+
+class TestAnalyticMarkovOracle:
+    @given(inplace_models())
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_exact_agreement_in_place(self, model):
+        assert_analytic_matches_markov(model)
+
+    @given(inplace_models())
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_mode_decomposition_agrees(self, model):
+        markov = MarkovEngine().evaluate_tier(model)
+        analytic = AnalyticEngine().evaluate_tier(model)
+        assert len(markov.mode_results) \
+            == len(analytic.mode_results)
+        for markov_mode, analytic_mode in zip(
+                markov.mode_results, analytic.mode_results):
+            assert markov_mode.mode == analytic_mode.mode
+            assert abs(markov_mode.unavailability
+                       - analytic_mode.unavailability) \
+                <= max(1e-9 * markov_mode.unavailability, 1e-14)
+
+
+class TestSimulationMarkovOracle:
+    @given(inplace_models())
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    def test_statistical_agreement(self, model):
+        markov = MarkovEngine().evaluate_tier(model)
+        sim = simulate_tier(model, years=150, seed=20260806)
+        tolerance = max(0.35 * markov.unavailability,
+                        4.0 * sim.ci_halfwidth, 5e-5)
+        assert abs(markov.unavailability - sim.tier.unavailability) \
+            <= tolerance, (markov.unavailability,
+                           sim.tier.unavailability, sim.ci_halfwidth)
+
+    def test_engine_facade_matches_direct_simulation(self):
+        model = TierAvailabilityModel(
+            "t", n=2, m=2, s=0,
+            modes=(FailureModeEntry("hard", Duration.hours(500),
+                                    Duration.hours(5),
+                                    Duration.hours(5)),))
+        engine = SimulationEngine(years=150, seed=7)
+        via_engine = engine.evaluate_tier(model)
+        direct = simulate_tier(model, years=150, seed=7)
+        assert via_engine.unavailability \
+            == direct.tier.unavailability
+
+
+# ----------------------------------------------------------------------
+# Regression corpus: shrunk examples committed from hypothesis runs,
+# so they stay covered independently of the local example database.
+# ----------------------------------------------------------------------
+
+REGRESSION_MODELS = [
+    # minimal shrink: single resource, single mode, s=0
+    ("single-resource",
+     dict(n=1, m=1, s=0,
+          modes=[("m0", 200.0, 0.05, 0.05)])),
+    # spares present but never used (failover == mttr edge)
+    ("spare-unused-edge",
+     dict(n=2, m=1, s=2,
+          modes=[("m0", 200.0, 0.05, 0.05)])),
+    # failover strictly slower than repair, spare_susceptible path
+    ("slow-failover",
+     dict(n=3, m=2, s=1,
+          modes=[("m0", 1000.0, 10.0, 40.0)])),
+    # two modes with very different timescales
+    ("mixed-timescales",
+     dict(n=4, m=4, s=0,
+          modes=[("fast", 200.0, 0.05, 0.2),
+                 ("slow", 20000.0, 20.0, 20.0)])),
+    # high-load quorum with short repairs
+    ("quorum",
+     dict(n=4, m=3, s=2,
+          modes=[("m0", 350.0, 0.5, 2.0)])),
+]
+
+
+@pytest.mark.parametrize(
+    "spec", [spec for _, spec in REGRESSION_MODELS],
+    ids=[name for name, _ in REGRESSION_MODELS])
+def test_regression_corpus(spec):
+    modes = tuple(
+        FailureModeEntry(name, Duration.hours(mtbf),
+                         Duration.hours(mttr), Duration.hours(failover))
+        for name, mtbf, mttr, failover in spec["modes"])
+    model = TierAvailabilityModel("t", n=spec["n"], m=spec["m"],
+                                  s=spec["s"], modes=modes)
+    assert_analytic_matches_markov(model)
