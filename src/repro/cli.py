@@ -9,6 +9,7 @@ Subcommands::
     python -m repro validate  [model options]
     python -m repro lint      [--format json] [--strict] [model options]
     python -m repro profile   --load 1000 --downtime 100m [model options]
+    python -m repro serve     --data-dir state/ [--port 8080]
 
 Model options: ``--infrastructure FILE`` and ``--service FILE`` load
 spec documents (``--perf-dir DIR`` resolves their ``.dat`` references);
@@ -20,8 +21,11 @@ to its application tier, matching the paper's first example.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
+import signal
 import sys
+import threading
 from typing import Optional
 
 from .core import (Aved, DesignEvaluator, SearchLimits, TierSearch)
@@ -119,6 +123,64 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--downtime", required=True,
                          help="max annual downtime, e.g. 100m")
     _add_search_options(analyze)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the design service daemon: accept design "
+                      "jobs over a JSON HTTP API with admission "
+                      "control, per-request deadlines, crash-safe "
+                      "persistence, and graceful drain on "
+                      "SIGTERM/SIGINT (see docs/SERVING.md)")
+    serve.add_argument("--data-dir", required=True, metavar="DIR",
+                       help="journal, checkpoints, and endpoint file "
+                            "live here; an existing journal is "
+                            "replayed and interrupted jobs re-queued")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port, advertised in "
+                            "<data-dir>/endpoint.json (default: 0)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent design jobs (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="queued jobs beyond which requests are "
+                            "shed with 429 (default: 16)")
+    serve.add_argument("--wait-budget", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="estimated queueing delay beyond which "
+                            "requests are shed (default: 30)")
+    serve.add_argument("--default-deadline", type=float, default=120.0,
+                       metavar="SECONDS")
+    serve.add_argument("--max-deadline", type=float, default=600.0,
+                       metavar="SECONDS")
+    serve.add_argument("--engine",
+                       choices=["markov", "analytic", "simulation",
+                                "fallback"],
+                       default="fallback",
+                       help="per-job availability engine (default: "
+                            "fallback, the full degradation chain)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="supervised evaluation fan-out per design "
+                            "job (default: 1, in-process supervision)")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-candidate wall-clock budget")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long a drain waits for running jobs "
+                            "to checkpoint before giving up")
+    serve.add_argument("--io-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="per-socket timeout (slow-client defense)")
+    serve.add_argument("--checkpoint-interval", type=int, default=10,
+                       metavar="N",
+                       help="autosave each job's search checkpoint "
+                            "every N evaluations (default: 10)")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on journal appends (faster, "
+                            "loses the crash-safety guarantee)")
+    serve.add_argument("--allow-test-faults", action="store_true",
+                       help="honor test_fault payload fields "
+                            "(loadgen chaos); never use in production")
+    serve.add_argument("--seed", type=int, default=1, metavar="N")
 
     return parser
 
@@ -298,6 +360,33 @@ def make_requirements(args):
     raise AvedError("provide --load with --downtime, or --job-time")
 
 
+def _raise_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
+@contextlib.contextmanager
+def _interruptible(enabled: bool):
+    """Convert SIGTERM into KeyboardInterrupt around a search.
+
+    Enabled on the durable/parallel paths (``--checkpoint``,
+    ``--jobs``): a service manager's SIGTERM then unwinds through
+    :meth:`Aved._design`'s finally block -- checkpoint flushed, worker
+    pool shut down cleanly -- and the process exits 130 like a Ctrl-C
+    would.  SIGINT already raises KeyboardInterrupt natively; outside
+    the main thread (or when disabled) this is a no-op, since signal
+    handlers can only be installed from the main thread.
+    """
+    if not enabled \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.signal(signal.SIGTERM, _raise_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _write_json(path: str, text: str) -> None:
     with open(path, "w") as handle:
         handle.write(text)
@@ -325,21 +414,23 @@ def cmd_design(args, out) -> int:
     from .obs import Observer, observing
     infrastructure, service = load_models(args)
     requirements = make_requirements(args)
+    jobs = resolve_jobs(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
                   checkpoint=make_checkpoint(args),
-                  jobs=resolve_jobs(args),
+                  jobs=jobs,
                   task_timeout=args.task_timeout)
     observe = bool(args.trace or args.metrics_out)
     observer = Observer() if observe else None
     try:
-        if observer is not None:
-            with observing(observer):
+        with _interruptible(bool(args.checkpoint or jobs)):
+            if observer is not None:
+                with observing(observer):
+                    outcome = engine.design(requirements)
+            else:
                 outcome = engine.design(requirements)
-        else:
-            outcome = engine.design(requirements)
     except InfeasibleError as exc:
         if observer is not None:
             _write_observability(args, observer)
@@ -363,16 +454,17 @@ def cmd_profile(args, out) -> int:
                       profile_table, write_bench_record)
     infrastructure, service = load_models(args)
     requirements = make_requirements(args)
+    jobs = resolve_jobs(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
-                  jobs=resolve_jobs(args),
+                  jobs=jobs,
                   task_timeout=args.task_timeout)
     observer = Observer()
     outcome = None
     infeasible = None
-    with observing(observer):
+    with observing(observer), _interruptible(bool(jobs)):
         try:
             outcome = engine.design(requirements)
         except InfeasibleError as exc:
@@ -420,7 +512,8 @@ def cmd_frontier(args, out) -> int:
                                seed=getattr(args, "seed", 1))
     search = TierSearch(evaluator, make_limits(args), runtime=runtime)
     try:
-        frontier = search.tier_frontier(args.tier, args.load)
+        with _interruptible(runtime is not None):
+            frontier = search.tier_frontier(args.tier, args.load)
     finally:
         if runtime is not None:
             runtime.close()
@@ -475,16 +568,18 @@ def cmd_lint(args, out) -> int:
 def cmd_analyze(args, out) -> int:
     from .analysis import downtime_budget_table, tornado_table
     infrastructure, service = load_models(args)
+    jobs = resolve_jobs(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
-                  jobs=resolve_jobs(args),
+                  jobs=jobs,
                   task_timeout=args.task_timeout)
     requirements = ServiceRequirements(args.load,
                                        Duration.parse(args.downtime))
     try:
-        outcome = engine.design(requirements)
+        with _interruptible(bool(jobs)):
+            outcome = engine.design(requirements)
     except InfeasibleError as exc:
         print("infeasible: %s" % exc, file=out)
         return 2
@@ -508,6 +603,36 @@ def cmd_analyze(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    """Boot the design service daemon and block until drained."""
+    from .serve import DesignDaemon, ServeConfig
+    config = ServeConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        wait_budget=args.wait_budget,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        engine=args.engine,
+        jobs=args.jobs,
+        task_timeout=args.task_timeout,
+        drain_grace=args.drain_grace,
+        io_timeout=args.io_timeout,
+        checkpoint_interval=args.checkpoint_interval,
+        fsync=not args.no_fsync,
+        allow_test_faults=args.allow_test_faults,
+        seed=args.seed)
+    daemon = DesignDaemon(config)
+    print("serving on %s (data dir %s)" % (daemon.url, args.data_dir),
+          file=out)
+    out.flush()
+    code = daemon.run(install_signals=True)
+    print("drained; exiting %d" % code, file=out)
+    return code
+
+
 def cmd_describe(args, out) -> int:
     from .core.report import describe_infrastructure, describe_service
     infrastructure, service = load_models(args)
@@ -525,6 +650,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "describe": cmd_describe,
     "profile": cmd_profile,
+    "serve": cmd_serve,
 }
 
 
@@ -536,6 +662,13 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return _COMMANDS[args.command](args, out)
     except BrokenPipeError:
         return 0  # e.g. output piped into `head`
+    except KeyboardInterrupt:
+        # SIGINT, or SIGTERM via _interruptible: durable state (the
+        # checkpoint, the worker pool) was already flushed/closed on
+        # the way out by Aved's finally block.
+        print("interrupted; search state checkpointed where enabled",
+              file=out)
+        return 130
     except AvedError as exc:
         print("error: %s" % exc, file=out)
         return 1

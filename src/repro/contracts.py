@@ -215,14 +215,101 @@ BENCH_RECORD_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: ``GET /v1/jobs/<id>`` -- a job view
+#: (:meth:`repro.serve.jobstore.Job.to_dict`).  The ``result`` of a
+#: completed job embeds the design-evaluation contract above.
+SERVE_JOB_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["id", "state", "attempts"],
+    "properties": {
+        "id": {"type": "string", "pattern": "^job-[0-9]{6,}$"},
+        "state": {"enum": ["queued", "running", "completed", "failed",
+                           "cancelled"]},
+        "attempts": {"type": "integer", "minimum": 0},
+        "result": {
+            "type": "object",
+            "required": ["evaluation", "annual_cost",
+                         "downtime_minutes", "degraded"],
+            "properties": {
+                "evaluation": DESIGN_EVALUATION_SCHEMA,
+                "annual_cost": {"type": "number", "minimum": 0},
+                "downtime_minutes": {"type": "number", "minimum": 0},
+                "degraded": {"type": "boolean"},
+                "degradation": {"type": "array",
+                                "items": {"type": "string"}},
+            },
+        },
+        "error": {
+            "type": "object",
+            "required": ["kind", "message"],
+            "properties": {
+                "kind": {"enum": ["infeasible", "deadline", "error",
+                                  "internal"]},
+                "type": {"type": "string"},
+                "message": {"type": "string"},
+            },
+        },
+        "cancel_reason": {"type": "string"},
+        "payload": {"type": "object"},
+    },
+}
+
+#: ``GET /healthz`` / ``GET /readyz`` -- the daemon health view
+#: (:meth:`repro.serve.DesignService.health`; readyz adds ``ready``).
+SERVE_HEALTH_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["status", "accepting", "queue_depth", "queue_limit",
+                 "workers", "running", "jobs", "quarantined"],
+    "properties": {
+        "status": {"enum": ["ok", "draining"]},
+        "accepting": {"type": "boolean"},
+        "queue_depth": {"type": "integer", "minimum": 0},
+        "queue_limit": {"type": "integer", "minimum": 1},
+        "workers": {"type": "integer", "minimum": 1},
+        "running": {"type": "integer", "minimum": 0},
+        "jobs": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0}},
+        "quarantined": {"type": "integer", "minimum": 0},
+        "breakers": {
+            "type": "object",
+            "additionalProperties": {
+                "enum": ["closed", "open", "half-open"]}},
+        "pool": {"type": ["object", "null"]},
+        "service_estimate_seconds": {"type": "number", "minimum": 0},
+        "ready": {"type": "boolean"},
+    },
+}
+
+#: A 429 shed response
+#: (:meth:`repro.serve.admission.ShedDecision.to_dict`).
+SERVE_SHED_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["shed", "reason", "retry_after", "queue_depth"],
+    "properties": {
+        "shed": {"const": True},
+        "reason": {"enum": ["queue-full", "over-budget", "draining"]},
+        "retry_after": {"type": "integer", "minimum": 1},
+        "queue_depth": {"type": "integer", "minimum": 0},
+        "estimated_wait_seconds": {"type": "number", "minimum": 0},
+    },
+}
+
 CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "design-json": DESIGN_EVALUATION_SCHEMA,
     "lint-json": LINT_REPORT_SCHEMA,
     "metrics": METRICS_SNAPSHOT_SCHEMA,
     "trace": TRACE_SCHEMA,
     "bench": BENCH_RECORD_SCHEMA,
+    "serve-job": SERVE_JOB_SCHEMA,
+    "serve-health": SERVE_HEALTH_SCHEMA,
+    "serve-shed": SERVE_SHED_SCHEMA,
 }
 
 __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
            "METRICS_SNAPSHOT_SCHEMA", "TRACE_SCHEMA",
-           "BENCH_RECORD_SCHEMA", "CLI_SCHEMAS"]
+           "BENCH_RECORD_SCHEMA", "SERVE_JOB_SCHEMA",
+           "SERVE_HEALTH_SCHEMA", "SERVE_SHED_SCHEMA", "CLI_SCHEMAS"]

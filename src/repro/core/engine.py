@@ -213,6 +213,17 @@ class Aved:
                     report = runtime_report
                 else:
                     report.extend(runtime_report)
+        if self.checkpoint is not None:
+            drain_checkpoint = getattr(self.checkpoint, "drain_log",
+                                       None)
+            if drain_checkpoint is not None:
+                checkpoint_log = drain_checkpoint()
+                if len(checkpoint_log):
+                    checkpoint_report = checkpoint_log.to_lint_report()
+                    if report is None:
+                        report = checkpoint_report
+                    else:
+                        report.extend(checkpoint_report)
         if self.checkpoint is not None and self.checkpoint.resumed:
             if report is None:
                 report = LintReport()

@@ -77,6 +77,10 @@ class SearchError(AvedError):
     """The design-space search failed (e.g. no feasible design exists)."""
 
 
+class ServeError(AvedError):
+    """The design service (``repro serve``) could not honor a request."""
+
+
 class InfeasibleError(SearchError):
     """No design in the modeled design space satisfies the requirements."""
 

@@ -89,6 +89,9 @@ CODES: Dict[str, CodeInfo] = {
                        "engine circuit breaker closed after probe"),
     "AVD308": CodeInfo(Severity.INFO,
                        "search resumed from checkpoint"),
+    "AVD309": CodeInfo(Severity.WARNING,
+                       "checkpoint save failed; search continuing "
+                       "without persistence"),
     # -- parallel runtime (supervised multi-process evaluation) ----------
     "AVD401": CodeInfo(Severity.WARNING,
                        "worker pool unavailable; degraded to serial "

@@ -12,6 +12,7 @@ assert on counter equality (e.g. against
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, List, Tuple
 
 #: Default histogram bucket upper bounds, in seconds: log-spaced from
@@ -23,34 +24,49 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.
 
-    __slots__ = ("value",)
+    Mutation is lock-protected: the serving daemon increments
+    counters from request-handler and worker threads concurrently,
+    and ``value += amount`` is a read-modify-write that can lose
+    updates under the interpreter's thread switching.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A last-write-wins numeric value."""
+    """A last-write-wins numeric value (with lock-safe deltas)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust by ``delta`` -- queue-depth style up/down tracking."""
+        with self._lock:
+            self.value += delta
 
 
 class Histogram:
     """Fixed-bucket distribution of observed values (e.g. solve times)."""
 
     __slots__ = ("bounds", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
         self.bounds = bounds
@@ -59,19 +75,21 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -94,25 +112,37 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Create-on-first-use registry of named instruments."""
+    """Create-on-first-use registry of named instruments.
+
+    Instrument creation is guarded by a registry lock so concurrent
+    first uses of the same name from different threads resolve to one
+    shared instrument rather than two racing ones.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instruments ---------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter()
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter()
         return counter
 
     def gauge(self, name: str) -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge()
+            with self._lock:
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge()
         return gauge
 
     def histogram(self, name: str,
@@ -120,7 +150,10 @@ class MetricsRegistry:
             -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(bounds)
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(bounds)
         return histogram
 
     # -- conveniences --------------------------------------------------

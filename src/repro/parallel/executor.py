@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 import pickle
 import random
+import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -109,6 +110,17 @@ _WORKER_PLAN: Optional[WorkerFaultPlan] = None
 
 def _init_worker(engine_blob: bytes,
                  plan: Optional[WorkerFaultPlan]) -> None:
+    # Shed signal handlers inherited under fork: the CLI maps SIGTERM
+    # to KeyboardInterrupt for checkpoint flushing, but a worker that
+    # raises mid-``call_queue.get()`` can die holding the shared queue
+    # lock and deadlock its siblings (and the parent's shutdown).
+    # Workers must die plainly on SIGTERM and leave Ctrl-C (delivered
+    # group-wide by the terminal) to the parent's coordinated unwind.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):        # non-main thread / exotic host
+        pass
     global _WORKER_ENGINE, _WORKER_PLAN
     _WORKER_ENGINE = pickle.loads(engine_blob)
     _WORKER_PLAN = plan
@@ -191,11 +203,19 @@ class SupervisedExecutor:
                  log: Optional[DegradationLog] = None,
                  quarantine: Optional[PoisonQuarantine] = None,
                  seed: int = 1,
-                 pool_factory: Any = None):
+                 pool_factory: Any = None,
+                 cancel_check: Any = None):
         if jobs < 1:
             raise SearchError("jobs must be >= 1, got %d" % jobs)
         self.engine = engine
         self.jobs = jobs
+        #: Optional zero-arg callable invoked between candidate
+        #: evaluations; raising from it aborts the batch/search
+        #: cooperatively (the serving layer's drain/deadline hook).
+        #: It runs *outside* the *fault-supervision* try blocks, so
+        #: whatever it raises propagates instead of counting against
+        #: any candidate.
+        self.cancel_check = cancel_check
         self.policy = policy if policy is not None else ParallelPolicy()
         self.log = log if log is not None else DegradationLog()
         self.quarantine = (quarantine if quarantine is not None
@@ -267,6 +287,8 @@ class SupervisedExecutor:
         if self.supervisor is not None:
             self.supervisor.begin_batch()
         while pending:
+            if self.cancel_check is not None:
+                self.cancel_check()
             pool = (self.supervisor.pool()
                     if self.supervisor is not None else None)
             if pool is None:
@@ -475,6 +497,8 @@ class SupervisedExecutor:
         tier = getattr(model, "name", "")
         faults = 0
         while True:
+            if self.cancel_check is not None:
+                self.cancel_check()
             detail = None
             started = (time.monotonic()
                        if self.policy.task_timeout is not None else 0.0)

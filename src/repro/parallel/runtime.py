@@ -36,12 +36,15 @@ class ParallelEvaluationRuntime:
                  policy: Optional[ParallelPolicy] = None,
                  worker_plan: Optional[WorkerFaultPlan] = None,
                  seed: int = 1,
-                 pool_factory: Any = None):
+                 pool_factory: Any = None,
+                 cancel_check: Any = None,
+                 quarantine: Any = None):
         self.jobs = jobs
         self.log = DegradationLog()
         self.executor = SupervisedExecutor(
             engine, jobs=jobs, policy=policy, worker_plan=worker_plan,
-            log=self.log, seed=seed, pool_factory=pool_factory)
+            log=self.log, quarantine=quarantine, seed=seed,
+            pool_factory=pool_factory, cancel_check=cancel_check)
         #: Batches dispatched through :meth:`evaluate_batch`.
         self.batches = 0
 
@@ -102,6 +105,27 @@ class ParallelEvaluationRuntime:
 
     # ------------------------------------------------------------------
 
+    def health(self) -> dict:
+        """A point-in-time health view of the evaluation runtime.
+
+        Consumed by the serving layer's readiness endpoint: whether
+        candidate evaluation can still fan out, whether the pool
+        supervisor has degraded to serial, how many restarts it has
+        paid, and how much poison the quarantine holds.
+        """
+        supervisor = self.executor.supervisor
+        return {
+            "jobs": self.jobs,
+            "parallel": self.parallel,
+            "pool_degraded": bool(supervisor is not None
+                                  and supervisor.degraded),
+            "pool_restarts": (supervisor.restarts
+                              if supervisor is not None else 0),
+            "quarantined": len(self.quarantine),
+            "batches": self.batches,
+            "counters": dict(self.executor.counters),
+        }
+
     def drain_log(self) -> DegradationLog:
         """Hand over (and reset) the accumulated AVD4xx events."""
         drained = self.log
@@ -118,18 +142,27 @@ class ParallelEvaluationRuntime:
 def make_runtime(engine: Any, jobs: Optional[int],
                  task_timeout: Optional[float] = None,
                  worker_plan: Optional[WorkerFaultPlan] = None,
-                 seed: int = 1) -> Optional[ParallelEvaluationRuntime]:
-    """The constructor convention used by Aved/controller/CLI.
+                 seed: int = 1,
+                 cancel_check: Any = None,
+                 quarantine: Any = None) \
+        -> Optional[ParallelEvaluationRuntime]:
+    """The constructor convention used by Aved/controller/CLI/serve.
 
     ``jobs=None`` means "no runtime at all" (the legacy serial path,
     byte-for-byte unchanged); otherwise a runtime with ``jobs``
     workers and an optional per-candidate wall-clock timeout.
+    ``cancel_check`` (a zero-arg callable that raises to abort) and
+    ``quarantine`` (a shared :class:`PoisonQuarantine`) let a
+    long-lived caller -- the ``repro serve`` daemon -- cancel
+    searches cooperatively and keep poison knowledge across runs.
     """
     if jobs is None:
         return None
     policy = ParallelPolicy(task_timeout=task_timeout)
     return ParallelEvaluationRuntime(engine, jobs=jobs, policy=policy,
-                                     worker_plan=worker_plan, seed=seed)
+                                     worker_plan=worker_plan, seed=seed,
+                                     cancel_check=cancel_check,
+                                     quarantine=quarantine)
 
 
 __all__ = ["ParallelEvaluationRuntime", "make_runtime"]

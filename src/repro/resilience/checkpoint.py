@@ -9,9 +9,18 @@ crash becomes a cache hit, and tiers whose frontiers completed are
 skipped outright, so the resumed search reaches the same minimum-cost
 design as an uninterrupted run without re-paying for solves.
 
-The file is written atomically (temp file + ``os.replace``) every
-``interval`` newly recorded evaluations and at every frontier
-completion, so a crash never leaves a torn checkpoint.
+The file is written atomically (temp file + fsync + ``os.replace``)
+every ``interval`` newly recorded evaluations and at every frontier
+completion, so a crash never leaves a torn checkpoint.  Each save
+holds a sidecar lock file (``<path>.lock``, pid-stamped) so two
+writers can never interleave renames on the same path; a lock left
+behind by a killed writer is detected (dead pid) and broken.
+
+Autosaves are *best effort*: an unwritable disk (``ENOSPC``,
+``EACCES``, a live competing writer) degrades the checkpoint -- the
+failure is recorded as an ``AVD309`` diagnostic on :attr:`log` and the
+search continues without persistence -- while an explicit
+:meth:`save` still raises :class:`~repro.errors.CheckpointError`.
 
 Wired in via ``TierSearch``/``JobSearch`` (``checkpoint=`` argument),
 ``Aved(checkpoint=...)``, and ``repro design --checkpoint PATH
@@ -27,8 +36,75 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import AvedError, CheckpointError
 from ..model import InfrastructureModel
+from .events import CHECKPOINT_FAULT, DegradationLog
 
 _VERSION = 1
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock-holder pid."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def _lock_holder(lock_path: str) -> Optional[int]:
+    """The pid recorded in a lock file, or None when unreadable."""
+    try:
+        with open(lock_path) as handle:
+            return int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        return None
+
+
+def _acquire_lock(target: str) -> str:
+    """Create ``<target>.lock`` exclusively; returns the lock path.
+
+    A lock held by a *live* process raises :class:`CheckpointError`
+    (single-writer assertion).  A stale lock -- its recorded pid is
+    dead or unreadable, e.g. the writer was killed mid-rename -- is
+    broken and acquisition retried once.
+    """
+    lock_path = target + ".lock"
+    last_exc: Optional[OSError] = None
+    for _ in range(2):
+        try:
+            fd = os.open(lock_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError as exc:
+            last_exc = exc
+            holder = _lock_holder(lock_path)
+            if holder is not None and holder != os.getpid() \
+                    and _pid_alive(holder):
+                raise CheckpointError(
+                    "checkpoint %r is locked by another live writer "
+                    "(pid %d)" % (target, holder)) from exc
+            try:  # stale (dead or unreadable holder): break and retry
+                os.unlink(lock_path)
+            except OSError:
+                pass
+            continue
+        with os.fdopen(fd, "w") as handle:
+            handle.write("%d\n" % os.getpid())
+        return lock_path
+    raise CheckpointError(
+        "checkpoint %r lock is contended; giving up"
+        % target) from last_exc
+
+
+def _release_lock(lock_path: str) -> None:
+    try:
+        os.unlink(lock_path)
+    except OSError:
+        pass
 
 
 def _key_to_json(value: Any) -> Any:
@@ -62,9 +138,17 @@ class SearchCheckpoint:
         self.resumed = False
         #: Evaluations carried over from a previous run.
         self.resumed_evaluations = 0
+        #: Degradations (failed autosaves) as AVD309-renderable events;
+        #: drained into the run's report by ``Aved._degradation_report``.
+        self.log = DegradationLog()
+        #: Autosave attempts that failed with an OS-level error.
+        self.save_failures = 0
         self._cache: Dict[tuple, float] = {}
         self._frontiers: Dict[str, Dict[str, Any]] = {}
         self._pending = 0
+        #: After a failed autosave, wait until this many entries are
+        #: pending before trying the disk again (backs off linearly).
+        self._retry_at = 0
 
     # -- recording ------------------------------------------------------
 
@@ -75,8 +159,9 @@ class SearchCheckpoint:
             return
         self._cache[key] = unavailability
         self._pending += 1
-        if self.path is not None and self._pending >= self.interval:
-            self.save()
+        if self.path is not None and self._pending >= self.interval \
+                and self._pending >= self._retry_at:
+            self._autosave()
 
     def record_batch(self, pairs) -> None:
         """Record a merged prefetch batch, then save once.
@@ -96,7 +181,7 @@ class SearchCheckpoint:
         if recorded:
             self._pending += recorded
             if self.path is not None:
-                self.save()
+                self._autosave()
 
     def store_frontier(self, tier: str, load: float,
                        frontier: List[Any]) -> None:
@@ -107,8 +192,9 @@ class SearchCheckpoint:
             "frontier": [evaluated_tier_design_to_dict(candidate)
                          for candidate in frontier],
         }
+        self._pending += 1
         if self.path is not None:
-            self.save()
+            self._autosave()
 
     # -- reuse ----------------------------------------------------------
 
@@ -163,19 +249,33 @@ class SearchCheckpoint:
         }
 
     def save(self, path: Optional[str] = None) -> str:
-        """Atomically write the checkpoint; returns the path used."""
+        """Atomically write the checkpoint; returns the path used.
+
+        The temp file is fsynced before the rename (a crash right
+        after :meth:`save` returns can never resurrect a stale or
+        torn file), and the rename happens under the sidecar lock so
+        concurrent writers to the same path fail loudly instead of
+        interleaving.
+        """
         target = path or self.path
         if target is None:
             raise CheckpointError("checkpoint has no path to save to")
         directory = os.path.dirname(os.path.abspath(target))
         try:
             os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError("cannot save checkpoint to %r: %s"
+                                  % (target, exc)) from exc
+        lock_path = _acquire_lock(target)
+        try:
             handle = tempfile.NamedTemporaryFile(
                 "w", dir=directory, prefix=".checkpoint-",
                 suffix=".tmp", delete=False)
             try:
                 with handle:
                     json.dump(self.to_dict(), handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(handle.name, target)
             except BaseException:
                 try:
@@ -186,13 +286,53 @@ class SearchCheckpoint:
         except OSError as exc:
             raise CheckpointError("cannot save checkpoint to %r: %s"
                                   % (target, exc)) from exc
+        finally:
+            _release_lock(lock_path)
         self._pending = 0
+        self._retry_at = 0
         return target
 
-    def flush(self) -> None:
-        """Save any unsaved progress (no-op without a path)."""
-        if self.path is not None and self._pending > 0:
+    def _autosave(self) -> None:
+        """Best-effort save: disk faults degrade instead of aborting.
+
+        ``ENOSPC``, ``EACCES``, a vanished directory, or a live
+        competing writer must not kill a search that can finish
+        without persistence: the failure becomes an ``AVD309`` event
+        on :attr:`log`, recorded progress is kept pending, and the
+        next attempt waits for another ``interval`` of new entries.
+        """
+        try:
             self.save()
+        except CheckpointError as exc:
+            if not isinstance(exc.__cause__, OSError):
+                raise
+            self.save_failures += 1
+            self._retry_at = self._pending + self.interval
+            self.log.add(
+                CHECKPOINT_FAULT,
+                detail="checkpoint autosave to %r failed (%s); search "
+                       "continues without persistence (failure %d, %d "
+                       "entr%s unsaved)"
+                % (self.path, exc.__cause__, self.save_failures,
+                   self._pending,
+                   "y" if self._pending == 1 else "ies"))
+
+    def drain_log(self) -> DegradationLog:
+        """Hand over (and reset) the accumulated AVD309 events."""
+        drained = self.log
+        self.log = DegradationLog()
+        return drained
+
+    def flush(self) -> None:
+        """Save any unsaved progress, best effort (no-op without a path).
+
+        Like the periodic autosaves, a flush on a broken disk records
+        an ``AVD309`` diagnostic instead of raising -- ``Aved`` calls
+        this from the ``finally`` of every design run, where an
+        exception would mask the search's own result.
+        """
+        if self.path is not None and self._pending > 0:
+            self._autosave()
 
     @classmethod
     def load(cls, path: str, interval: int = 25) -> "SearchCheckpoint":

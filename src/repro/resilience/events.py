@@ -26,6 +26,7 @@ TIMEOUT = "timeout"
 GARBAGE = "garbage-result"
 DEADLINE = "deadline-exhausted"
 RESUME = "checkpoint-resume"
+CHECKPOINT_FAULT = "checkpoint-fault"
 #: Supervised parallel runtime (:mod:`repro.parallel`) event kinds.
 POOL_DEGRADED = "pool-degraded"
 QUARANTINE = "quarantine"
@@ -42,6 +43,7 @@ EVENT_CODES: Dict[str, str] = {
     DEADLINE: "AVD306",
     BREAKER_CLOSE: "AVD307",
     RESUME: "AVD308",
+    CHECKPOINT_FAULT: "AVD309",
     POOL_DEGRADED: "AVD401",
     QUARANTINE: "AVD402",
     WORKER_CRASH: "AVD403",

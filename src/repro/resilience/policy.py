@@ -84,6 +84,33 @@ class FallbackPolicy:
         if self.breaker_cooldown < 1:
             raise SearchError("breaker_cooldown must be >= 1")
 
+    def with_budget(self, remaining: Optional[float]) \
+            -> "FallbackPolicy":
+        """A copy whose time budgets are clamped to ``remaining`` seconds.
+
+        This is how a *request-level* deadline (e.g. one carried by a
+        ``repro serve`` job) propagates into the evaluation runtime:
+        the whole-design ``deadline`` becomes the smaller of the
+        existing budget and what the request has left, and a
+        ``call_timeout`` larger than the remaining budget is pulled
+        down to it.  ``remaining=None`` (no request deadline) returns
+        ``self`` unchanged; a non-positive remainder raises, because
+        the caller should have failed the request before evaluating.
+        """
+        if remaining is None:
+            return self
+        if remaining <= 0:
+            raise SearchError("deadline budget already exhausted "
+                              "(%.3fs remaining)" % remaining)
+        import dataclasses
+        deadline = (remaining if self.deadline is None
+                    else min(self.deadline, remaining))
+        call_timeout = self.call_timeout
+        if call_timeout is not None and call_timeout > remaining:
+            call_timeout = remaining
+        return dataclasses.replace(self, deadline=deadline,
+                                   call_timeout=call_timeout)
+
     def backoff_delay(self, attempt: int, unit_jitter: float) -> float:
         """Backoff before retry ``attempt`` (1-based), in seconds.
 

@@ -1,0 +1,50 @@
+"""repro.serve: a crash-safe concurrent design service.
+
+The daemon behind ``repro serve``: accept design requests over a tiny
+JSON HTTP API, run them through the fault-tolerant engine stack
+(:mod:`repro.resilience` + :mod:`repro.parallel`), and survive
+overload, deadlines, crashes, and shutdowns without ever losing or
+double-completing an accepted job.
+
+Layering (no HTTP below :mod:`repro.serve.httpd`):
+
+* :mod:`~repro.serve.config` -- :class:`ServeConfig`, all knobs;
+* :mod:`~repro.serve.jobstore` -- append-only fsync'd journal with
+  replay, compaction, and first-terminal-wins semantics;
+* :mod:`~repro.serve.admission` -- bounded queue + load shedding with
+  honest ``Retry-After``;
+* :mod:`~repro.serve.deadline` -- cancel tokens and per-request
+  deadlines that propagate into the evaluation runtime;
+* :mod:`~repro.serve.service` -- worker threads, per-job checkpoints
+  and budgeted engines, recovery, graceful drain;
+* :mod:`~repro.serve.httpd` -- the HTTP front end and signal-driven
+  daemon lifecycle;
+* :mod:`~repro.serve.loadgen` -- the seeded load/chaos client used by
+  the soak tests and CI.
+
+``docs/SERVING.md`` is the operator-facing guide.
+"""
+
+from .admission import AdmissionController, ShedDecision
+from .config import ServeConfig
+from .deadline import CancelToken, JobCancelled, make_cancel_check
+from .httpd import DesignDaemon
+from .jobstore import Job, JobStore
+from .loadgen import ClientFaultPlan, LoadPlan, LoadReport
+from .service import DesignService
+
+__all__ = [
+    "AdmissionController",
+    "CancelToken",
+    "ClientFaultPlan",
+    "DesignDaemon",
+    "DesignService",
+    "Job",
+    "JobCancelled",
+    "JobStore",
+    "LoadPlan",
+    "LoadReport",
+    "ServeConfig",
+    "ShedDecision",
+    "make_cancel_check",
+]

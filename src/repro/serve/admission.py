@@ -1,0 +1,189 @@
+"""Admission control: the bounded queue that sheds load.
+
+The daemon protects itself with one mechanism, applied twice: a hard
+cap on queue depth (memory safety) and a soft cap on *estimated wait*
+(latency safety).  The wait estimate is an EWMA of recent service
+times multiplied by how many jobs are already ahead; a request whose
+estimate exceeds the configured budget is shed with HTTP 429 and a
+``Retry-After`` derived from the same estimate -- honest backpressure
+instead of a queue that accepts work it cannot finish in time.
+
+``offer`` takes a *factory* rather than a job so the admission
+decision and the journal append happen under one lock: a request is
+never journaled and then shed, and two racing requests cannot both
+squeeze into the last queue slot.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+#: Shed reasons, surfaced in the 429 body and ``serve.shed.*`` counters.
+SHED_QUEUE_FULL = "queue-full"
+SHED_OVER_BUDGET = "over-budget"
+SHED_DRAINING = "draining"
+
+#: EWMA smoothing for the service-time estimate.
+_ALPHA = 0.3
+
+#: Retry-After clamp, in seconds.
+_RETRY_MIN = 1
+_RETRY_MAX = 120
+
+
+class ShedDecision:
+    """Why a request was refused, plus what to tell the client."""
+
+    __slots__ = ("reason", "retry_after", "queue_depth",
+                 "estimated_wait")
+
+    def __init__(self, reason: str, retry_after: int,
+                 queue_depth: int, estimated_wait: float):
+        self.reason = reason
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+        self.estimated_wait = estimated_wait
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shed": True,
+            "reason": self.reason,
+            "retry_after": self.retry_after,
+            "queue_depth": self.queue_depth,
+            "estimated_wait_seconds": round(self.estimated_wait, 3),
+        }
+
+
+class AdmissionController:
+    """Bounded FIFO with load-shedding and drain support."""
+
+    def __init__(self, queue_limit: int, wait_budget: float,
+                 initial_estimate: float, workers: int = 1):
+        self.queue_limit = queue_limit
+        self.wait_budget = wait_budget
+        self.workers = max(workers, 1)
+        self._estimate = initial_estimate
+        self._queue: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side -------------------------------------------------
+
+    def offer(self, factory: Callable[[], Any]) \
+            -> Tuple[Optional[Any], Optional[ShedDecision]]:
+        """Admit (building the job via ``factory``) or shed.
+
+        Returns ``(job, None)`` on admission, ``(None, decision)`` on
+        shed.  The factory runs under the admission lock, so
+        journaling the acceptance and claiming the queue slot are one
+        atomic step.
+        """
+        with self._lock:
+            depth = len(self._queue)
+            wait = self._estimated_wait(depth)
+            if self._closed:
+                decision = ShedDecision(SHED_DRAINING,
+                                        self._retry_after(wait),
+                                        depth, wait)
+                return None, decision
+            if depth >= self.queue_limit:
+                decision = ShedDecision(SHED_QUEUE_FULL,
+                                        self._retry_after(wait),
+                                        depth, wait)
+                return None, decision
+            if wait > self.wait_budget:
+                decision = ShedDecision(SHED_OVER_BUDGET,
+                                        self._retry_after(wait),
+                                        depth, wait)
+                return None, decision
+            job = factory()
+            self._queue.append(job)
+            self._available.notify()
+            return job, None
+
+    def requeue(self, job: Any, front: bool = False) -> None:
+        """Put a recovered job back without an admission decision.
+
+        Boot-time recovery and drain re-queues bypass shedding: the
+        job was *already accepted* (journaled), so refusing it now
+        would break the exactly-once promise.
+        """
+        with self._lock:
+            if front:
+                self._queue.appendleft(job)
+            else:
+                self._queue.append(job)
+            self._available.notify()
+
+    # -- consumer side -------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Next job FIFO; None on timeout or once draining started.
+
+        A closed controller returns None even while jobs remain
+        queued: drain must not *start* work, and whatever is left in
+        the queue is re-journaled by :meth:`drain_pending`.
+        """
+        with self._lock:
+            while not self._queue:
+                if self._closed:
+                    return None
+                if not self._available.wait(timeout):
+                    return None
+            if self._closed:
+                return None
+            return self._queue.popleft()
+
+    def record_service_time(self, seconds: float) -> None:
+        if seconds < 0 or not math.isfinite(seconds):
+            return
+        with self._lock:
+            self._estimate = ((1.0 - _ALPHA) * self._estimate
+                              + _ALPHA * seconds)
+
+    # -- drain ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked worker."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    def drain_pending(self) -> list:
+        """Remove and return everything still queued (for re-journal)."""
+        with self._lock:
+            pending = list(self._queue)
+            self._queue.clear()
+            return pending
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def service_estimate(self) -> float:
+        with self._lock:
+            return self._estimate
+
+    def _estimated_wait(self, depth: int) -> float:
+        """Expected queueing delay for a request arriving now."""
+        return (depth + 1) * self._estimate / self.workers
+
+    @staticmethod
+    def _retry_after(wait: float) -> int:
+        return max(_RETRY_MIN, min(_RETRY_MAX, int(math.ceil(wait))))
+
+
+__all__ = ["AdmissionController", "ShedDecision", "SHED_QUEUE_FULL",
+           "SHED_OVER_BUDGET", "SHED_DRAINING"]

@@ -1,0 +1,117 @@
+"""Configuration for the design service daemon.
+
+A :class:`ServeConfig` is pure data: every operational knob of the
+``repro serve`` daemon in one frozen dataclass, so a daemon's whole
+behavior is reproducible from its config (plus the seed).  Validation
+happens at construction -- a daemon never boots with an incoherent
+config and discovers it under load.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ServeError
+
+#: Engines the daemon will build per job.  ``fallback`` wraps the full
+#: markov -> analytic -> simulation degradation chain.
+ENGINE_CHOICES: Tuple[str, ...] = ("markov", "analytic", "simulation",
+                                   "fallback")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operational knobs for :class:`~repro.serve.DesignService`.
+
+    ``queue_limit`` and ``wait_budget`` drive admission control: a
+    request is shed with 429 when the queue is full *or* when its
+    estimated queueing delay (EWMA of recent service times times the
+    queue depth) exceeds ``wait_budget`` seconds.
+
+    ``default_deadline``/``max_deadline`` bound per-request deadlines
+    in seconds; the effective deadline propagates into the resilience
+    policy's evaluation budget and cancels the search cooperatively.
+
+    ``drain_grace`` is how long a SIGTERM'd daemon waits for running
+    jobs to checkpoint and park before exiting anyway.
+
+    ``allow_test_faults`` gates the ``test_fault`` payload field used
+    by the chaos load generator (artificial per-job delays); it must
+    never be on in real deployments, hence an explicit opt-in.
+    """
+
+    data_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    queue_limit: int = 16
+    wait_budget: float = 30.0
+    initial_service_estimate: float = 2.0
+    default_deadline: float = 120.0
+    max_deadline: float = 600.0
+    engine: str = "fallback"
+    jobs: int = 1
+    task_timeout: Optional[float] = None
+    drain_grace: float = 30.0
+    io_timeout: float = 10.0
+    max_body_bytes: int = 1024 * 1024
+    fsync: bool = True
+    allow_test_faults: bool = False
+    seed: int = 1
+    checkpoint_interval: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.data_dir:
+            raise ServeError("data_dir is required")
+        if self.workers < 1:
+            raise ServeError("workers must be >= 1")
+        if self.queue_limit < 1:
+            raise ServeError("queue_limit must be >= 1")
+        if self.wait_budget <= 0:
+            raise ServeError("wait_budget must be positive")
+        if self.initial_service_estimate <= 0:
+            raise ServeError("initial_service_estimate must be positive")
+        if self.default_deadline <= 0 or self.max_deadline <= 0:
+            raise ServeError("deadlines must be positive")
+        if self.default_deadline > self.max_deadline:
+            raise ServeError("default_deadline exceeds max_deadline")
+        if self.engine not in ENGINE_CHOICES:
+            raise ServeError("engine must be one of %s, got %r"
+                             % (", ".join(ENGINE_CHOICES), self.engine))
+        if self.jobs < 1:
+            raise ServeError("jobs must be >= 1")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ServeError("task_timeout must be positive or None")
+        if self.drain_grace <= 0:
+            raise ServeError("drain_grace must be positive")
+        if self.io_timeout <= 0:
+            raise ServeError("io_timeout must be positive")
+        if self.max_body_bytes < 1024:
+            raise ServeError("max_body_bytes must be >= 1024")
+        if self.checkpoint_interval < 1:
+            raise ServeError("checkpoint_interval must be >= 1")
+        if not 0 <= self.port <= 65535:
+            raise ServeError("port must be in [0, 65535]")
+
+    # -- derived paths -------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.data_dir, "jobs.jsonl")
+
+    @property
+    def checkpoint_dir(self) -> str:
+        return os.path.join(self.data_dir, "checkpoints")
+
+    @property
+    def endpoint_path(self) -> str:
+        """Where the daemon advertises its bound address (JSON)."""
+        return os.path.join(self.data_dir, "endpoint.json")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.checkpoint_dir, "%s.json" % job_id)
+
+
+__all__ = ["ServeConfig", "ENGINE_CHOICES"]

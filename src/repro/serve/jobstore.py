@@ -1,0 +1,326 @@
+"""Crash-safe job persistence: an append-only JSONL journal.
+
+Every state transition a job takes is one fsync'd JSON line in
+``jobs.jsonl``.  Crash safety falls out of three properties:
+
+* **append-only writes** -- a ``kill -9`` can at worst tear the final
+  line, never corrupt history; replay ignores a torn tail;
+* **first-terminal-wins** -- ``completed``/``failed``/``cancelled``
+  for an already-terminal job is refused at the API *and* ignored at
+  replay, which is what makes re-running a recovered job exactly-once
+  in the journal even if two histories overlap after a crash;
+* **startup compaction** -- replay rebuilds current state, then
+  atomically (temp file + fsync + rename) rewrites the journal to one
+  ``accepted`` line per job plus its terminal line, so the journal
+  stays bounded across restarts.
+
+Jobs that replay as ``queued`` or ``running`` are *recoverable*: the
+service re-queues them on boot (a ``running`` job whose daemon died
+never journaled a terminal event, so re-running it cannot double a
+result).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ServeError
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+
+class Job:
+    """One design request and everything the journal knows about it."""
+
+    __slots__ = ("id", "payload", "state", "result", "error",
+                 "attempts", "cancel_reason")
+
+    def __init__(self, job_id: str, payload: Dict[str, Any],
+                 attempts: int = 0):
+        self.id = job_id
+        self.payload = payload
+        self.state = QUEUED
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[Dict[str, Any]] = None
+        self.attempts = attempts
+        self.cancel_reason: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_payload: bool = False) -> Dict[str, Any]:
+        view: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "attempts": self.attempts,
+        }
+        if self.result is not None:
+            view["result"] = self.result
+        if self.error is not None:
+            view["error"] = self.error
+        if self.cancel_reason is not None:
+            view["cancel_reason"] = self.cancel_reason
+        if include_payload:
+            view["payload"] = self.payload
+        return view
+
+
+class JobStore:
+    """The journal plus an in-memory index over it, thread-safe."""
+
+    def __init__(self, path: str, fsync: bool = True):
+        self.path = path
+        self.fsync = fsync
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._sequence = 0
+        self._torn_lines = 0
+        self._lock = threading.RLock()
+        self._terminal = threading.Condition(self._lock)
+        directory = os.path.dirname(os.path.abspath(path))
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise ServeError("cannot create job store directory %r: %s"
+                             % (directory, exc)) from exc
+        self._replay()
+        self._compact()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- journal mechanics ---------------------------------------------
+
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    # A torn tail from a crash mid-append.  Anything
+                    # after the first unparseable line is untrusted.
+                    self._torn_lines += 1
+                    break
+                self._apply(event)
+
+    def _apply(self, event: Dict[str, Any]) -> None:
+        kind = event.get("event")
+        job_id = event.get("id")
+        if not isinstance(job_id, str) or not isinstance(kind, str):
+            self._torn_lines += 1
+            return
+        if kind == "accepted":
+            if job_id not in self._jobs:
+                job = Job(job_id, event.get("payload") or {},
+                          attempts=int(event.get("attempts", 0)))
+                self._jobs[job_id] = job
+                self._order.append(job_id)
+                self._bump_sequence(job_id)
+            return
+        job = self._jobs.get(job_id)
+        if job is None or job.terminal:
+            return
+        if kind == "started":
+            job.state = RUNNING
+            job.attempts += 1
+        elif kind == "requeued":
+            job.state = QUEUED
+        elif kind == "completed":
+            job.state = COMPLETED
+            job.result = event.get("result")
+        elif kind == "failed":
+            job.state = FAILED
+            job.error = event.get("error")
+        elif kind == "cancelled":
+            job.state = CANCELLED
+            job.cancel_reason = event.get("reason")
+
+    def _bump_sequence(self, job_id: str) -> None:
+        try:
+            number = int(job_id.rsplit("-", 1)[-1])
+        except ValueError:
+            return
+        if number >= self._sequence:
+            self._sequence = number + 1
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal from current state."""
+        if not self._jobs and not os.path.exists(self.path):
+            return
+        temp = self.path + ".compact"
+        with open(temp, "w", encoding="utf-8") as handle:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                handle.write(json.dumps(
+                    {"event": "accepted", "id": job.id,
+                     "payload": job.payload,
+                     "attempts": job.attempts},
+                    sort_keys=True) + "\n")
+                if job.state == COMPLETED:
+                    handle.write(json.dumps(
+                        {"event": "completed", "id": job.id,
+                         "result": job.result}, sort_keys=True) + "\n")
+                elif job.state == FAILED:
+                    handle.write(json.dumps(
+                        {"event": "failed", "id": job.id,
+                         "error": job.error}, sort_keys=True) + "\n")
+                elif job.state == CANCELLED:
+                    handle.write(json.dumps(
+                        {"event": "cancelled", "id": job.id,
+                         "reason": job.cancel_reason},
+                        sort_keys=True) + "\n")
+                # RUNNING compacts back to accepted: the job never
+                # finished, so after restart it is simply queued again.
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Job:
+        with self._lock:
+            job_id = "job-%06d" % self._sequence
+            self._sequence += 1
+            job = Job(job_id, payload)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._append({"event": "accepted", "id": job_id,
+                          "payload": payload, "attempts": 0})
+            return job
+
+    def mark_started(self, job_id: str) -> bool:
+        with self._lock:
+            job = self._require(job_id)
+            if job.terminal:
+                return False
+            job.state = RUNNING
+            job.attempts += 1
+            self._append({"event": "started", "id": job_id,
+                          "attempt": job.attempts})
+            return True
+
+    def mark_completed(self, job_id: str,
+                       result: Dict[str, Any]) -> bool:
+        return self._terminate(job_id, COMPLETED,
+                               {"event": "completed", "id": job_id,
+                                "result": result})
+
+    def mark_failed(self, job_id: str, error: Dict[str, Any]) -> bool:
+        return self._terminate(job_id, FAILED,
+                               {"event": "failed", "id": job_id,
+                                "error": error})
+
+    def mark_cancelled(self, job_id: str, reason: str) -> bool:
+        return self._terminate(job_id, CANCELLED,
+                               {"event": "cancelled", "id": job_id,
+                                "reason": reason})
+
+    def mark_requeued(self, job_id: str, reason: str) -> bool:
+        with self._lock:
+            job = self._require(job_id)
+            if job.terminal:
+                return False
+            job.state = QUEUED
+            self._append({"event": "requeued", "id": job_id,
+                          "reason": reason})
+            return True
+
+    def _terminate(self, job_id: str, state: str,
+                   event: Dict[str, Any]) -> bool:
+        with self._lock:
+            job = self._require(job_id)
+            if job.terminal:
+                # First terminal event wins; never journal a second.
+                return False
+            job.state = state
+            if state == COMPLETED:
+                job.result = event.get("result")
+            elif state == FAILED:
+                job.error = event.get("error")
+            elif state == CANCELLED:
+                job.cancel_reason = event.get("reason")
+            self._append(event)
+            self._terminal.notify_all()
+            return True
+
+    def _require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError("unknown job %r" % job_id)
+        return job
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def recoverable(self) -> List[Job]:
+        """Non-terminal jobs, in submission order (for boot re-queue)."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order
+                    if not self._jobs[job_id].terminal]
+
+    def wait(self, job_id: str, timeout: float,
+             clock: Optional[Callable[[], float]] = None) \
+            -> Optional[Job]:
+        """Block until ``job_id`` is terminal (or ``timeout`` elapses)."""
+        now = clock or time.monotonic
+        deadline = now() + timeout
+        with self._terminal:
+            job = self._jobs.get(job_id)
+            while job is not None and not job.terminal:
+                left = deadline - now()
+                if left <= 0:
+                    break
+                self._terminal.wait(left)
+                job = self._jobs.get(job_id)
+            return job
+
+    @property
+    def torn_lines(self) -> int:
+        """Journal lines dropped at replay (crash-tear evidence)."""
+        return self._torn_lines
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+
+
+__all__ = ["Job", "JobStore", "QUEUED", "RUNNING", "COMPLETED",
+           "FAILED", "CANCELLED", "TERMINAL_STATES"]

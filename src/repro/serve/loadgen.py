@@ -1,0 +1,357 @@
+"""Deterministic load & chaos client for the design service.
+
+The soak tests (and the CI smoke job) need a client whose behavior is
+exactly reproducible from a seed: which requests arrive when, which
+connections go slow, which get killed mid-request, and when the queue
+storm hits.  All randomness is drawn up front from one
+``random.Random(seed)``, so two runs with the same plan against the
+same daemon issue byte-identical request schedules.
+
+Client-side faults:
+
+* **slow client** -- the request body is sent in two halves with a
+  pause between them, exercising the server's per-socket timeout;
+* **mid-request kill** -- the socket is closed after half the body,
+  which must never leave a half-admitted job behind;
+* **queue storm** -- from ``storm_at``, ``storm_size`` requests are
+  fired back-to-back with no arrival gap, forcing load-shedding.
+
+Usable as a library (:func:`run`) and as a CLI
+(``python -m repro.serve.loadgen --endpoint-file ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from ..errors import ServeError
+
+
+@dataclass(frozen=True)
+class ClientFaultPlan:
+    """Seeded client-side chaos: rates in [0, 1] per request."""
+
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.5
+    kill_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for rate in (self.slow_rate, self.kill_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ServeError("fault rates must be in [0, 1]")
+        if self.slow_seconds < 0:
+            raise ServeError("slow_seconds cannot be negative")
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """What to send: arrivals, payload knobs, and the storm."""
+
+    requests: int = 10
+    interval: float = 0.05
+    seed: int = 1
+    storm_at: Optional[int] = None
+    storm_size: int = 0
+    deadline_seconds: Optional[float] = None
+    delay_seconds: float = 0.0
+    wait_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServeError("requests must be >= 1")
+        if self.interval < 0:
+            raise ServeError("interval cannot be negative")
+        if self.storm_size < 0:
+            raise ServeError("storm_size cannot be negative")
+
+
+class LoadReport:
+    """What happened, as plain counters plus per-job outcomes."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.accepted: List[str] = []
+        self.shed = 0
+        self.shed_reasons: Dict[str, int] = {}
+        self.killed = 0
+        self.slowed = 0
+        self.client_errors = 0
+        self.outcomes: Dict[str, str] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "accepted": len(self.accepted),
+            "accepted_ids": list(self.accepted),
+            "shed": self.shed,
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "killed": self.killed,
+            "slowed": self.slowed,
+            "client_errors": self.client_errors,
+            "outcomes": dict(sorted(self.outcomes.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+# The built-in tiny model (mirrors the test suite's `tiny` fixtures):
+# fast enough that a soak run completes hundreds of designs.
+# ----------------------------------------------------------------------
+
+def tiny_specs() -> "tuple[str, str]":
+    """(infrastructure, service) spec texts for a minimal fast model."""
+    from ..model import (AvailabilityMechanism, ComponentSlot,
+                         ComponentType, CostSchedule,
+                         ExpressionPerformance, FailureMode,
+                         FailureScope, InfrastructureModel,
+                         MechanismParameter, MechanismRef, ResourceOption,
+                         ResourceType, ServiceModel, Sizing, TableEffect,
+                         Tier)
+    from ..spec import write_infrastructure, write_service
+    from ..units import ArithmeticRange, Duration, EnumeratedRange
+    contract = AvailabilityMechanism(
+        "contract",
+        parameters=(MechanismParameter(
+            "level", EnumeratedRange(["basic", "fast"])),),
+        effects={
+            "cost": TableEffect("level",
+                                (("basic", 100.0), ("fast", 400.0))),
+            "mttr": TableEffect("level",
+                                (("basic", Duration.hours(24)),
+                                 ("fast", Duration.hours(4)))),
+        })
+    box = ComponentType(
+        "box",
+        cost=CostSchedule(inactive=500.0, active=1000.0),
+        failure_modes=(
+            FailureMode("hard", Duration.days(365),
+                        MechanismRef("contract"),
+                        detect_time=Duration.minutes(1)),
+            FailureMode("glitch", Duration.days(30), Duration.ZERO),
+        ))
+    os_type = ComponentType(
+        "os",
+        cost=CostSchedule.flat(0.0),
+        failure_modes=(
+            FailureMode("crash", Duration.days(60), Duration.ZERO),))
+    resource = ResourceType(
+        "node",
+        slots=(ComponentSlot("box", None, Duration.minutes(1)),
+               ComponentSlot("os", "box", Duration.minutes(2))),
+        reconfig_time=Duration.seconds(30))
+    infrastructure = InfrastructureModel(
+        components=[box, os_type], mechanisms=[contract],
+        resources=[resource])
+    option = ResourceOption(
+        "node", Sizing.DYNAMIC, FailureScope.RESOURCE,
+        ArithmeticRange(1, 100, 1),
+        ExpressionPerformance("100*n"))
+    service = ServiceModel("svc", [Tier("web", [option])])
+    return write_infrastructure(infrastructure), write_service(service)
+
+
+def default_payload(plan: LoadPlan) -> Dict[str, Any]:
+    infrastructure, service = tiny_specs()
+    payload: Dict[str, Any] = {
+        "infrastructure": infrastructure,
+        "service": service,
+        "requirements": {
+            "kind": "service",
+            "throughput": 150.0,
+            "max_annual_downtime_minutes": 1000.0,
+        },
+    }
+    if plan.deadline_seconds is not None:
+        payload["deadline_seconds"] = plan.deadline_seconds
+    if plan.delay_seconds > 0:
+        payload["test_fault"] = {"delay_seconds": plan.delay_seconds}
+    return payload
+
+
+# ----------------------------------------------------------------------
+# The client
+# ----------------------------------------------------------------------
+
+def _schedule(plan: LoadPlan, faults: ClientFaultPlan) \
+        -> List[Dict[str, Any]]:
+    """Precompute every per-request decision from the seed."""
+    rng = random.Random(plan.seed)
+    decisions = []
+    for index in range(plan.requests):
+        in_storm = (plan.storm_at is not None
+                    and plan.storm_at <= index
+                    < plan.storm_at + plan.storm_size)
+        decisions.append({
+            "index": index,
+            "gap": 0.0 if in_storm else plan.interval,
+            "slow": rng.random() < faults.slow_rate,
+            "kill": rng.random() < faults.kill_rate,
+        })
+    return decisions
+
+
+def _send(host: str, port: int, body: bytes, decision: Dict[str, Any],
+          faults: ClientFaultPlan, timeout: float,
+          report: LoadReport) -> None:
+    connection = http.client.HTTPConnection(host, port,
+                                            timeout=timeout)
+    try:
+        connection.putrequest("POST", "/v1/jobs")
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Content-Length", str(len(body)))
+        connection.endheaders()
+        half = len(body) // 2
+        if decision["kill"]:
+            # Mid-request abort: half a body, then a dead socket.
+            connection.send(body[:half])
+            report.killed += 1
+            return
+        if decision["slow"]:
+            connection.send(body[:half])
+            report.slowed += 1
+            time.sleep(faults.slow_seconds)
+            connection.send(body[half:])
+        else:
+            connection.send(body)
+        response = connection.getresponse()
+        raw = response.read()
+        if response.status == 202:
+            report.accepted.append(json.loads(raw)["id"])
+        elif response.status == 429:
+            report.shed += 1
+            reason = json.loads(raw).get("reason", "unknown")
+            report.shed_reasons[reason] = \
+                report.shed_reasons.get(reason, 0) + 1
+        else:
+            report.client_errors += 1
+    except (OSError, http.client.HTTPException, ValueError, KeyError):
+        report.client_errors += 1
+    finally:
+        connection.close()
+
+
+def _poll(host: str, port: int, report: LoadReport,
+          budget: float, timeout: float) -> None:
+    """Poll accepted jobs until terminal (or the budget runs out)."""
+    deadline = time.monotonic() + budget
+    pending = list(report.accepted)
+    while pending and time.monotonic() < deadline:
+        still = []
+        for job_id in pending:
+            left = deadline - time.monotonic()
+            if left <= 0:
+                still.extend(pending[pending.index(job_id):])
+                break
+            wait = max(0.1, min(left, 5.0))
+            try:
+                connection = http.client.HTTPConnection(
+                    host, port, timeout=wait + timeout)
+                connection.request(
+                    "GET", "/v1/jobs/%s?wait=%.1f" % (job_id, wait))
+                response = connection.getresponse()
+                job = json.loads(response.read())
+                connection.close()
+            except (OSError, http.client.HTTPException, ValueError):
+                still.append(job_id)
+                continue
+            state = job.get("state")
+            if state in ("completed", "failed", "cancelled"):
+                report.outcomes[job_id] = state
+            else:
+                still.append(job_id)
+        pending = still
+
+
+def run(base_url: str, plan: LoadPlan,
+        faults: Optional[ClientFaultPlan] = None,
+        timeout: float = 10.0) -> LoadReport:
+    """Execute ``plan`` against the daemon at ``base_url``."""
+    faults = faults or ClientFaultPlan()
+    parts = urlsplit(base_url)
+    host, port = parts.hostname, parts.port
+    if host is None or port is None:
+        raise ServeError("base_url must include host and port, got %r"
+                         % base_url)
+    body = json.dumps(default_payload(plan)).encode("utf-8")
+    report = LoadReport()
+    for decision in _schedule(plan, faults):
+        if decision["gap"] > 0 and decision["index"] > 0:
+            time.sleep(decision["gap"])
+        report.sent += 1
+        _send(host, port, body, decision, faults, timeout, report)
+    if plan.wait_seconds > 0 and report.accepted:
+        _poll(host, port, report, plan.wait_seconds, timeout)
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _resolve_url(args: argparse.Namespace) -> str:
+    if args.url:
+        return args.url
+    if args.endpoint_file:
+        with open(args.endpoint_file, encoding="utf-8") as handle:
+            return json.load(handle)["url"]
+    raise ServeError("provide --url or --endpoint-file")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-loadgen",
+        description="Seeded load/chaos client for `repro serve`.")
+    parser.add_argument("--url", help="daemon base URL")
+    parser.add_argument("--endpoint-file",
+                        help="endpoint.json written by the daemon")
+    parser.add_argument("--requests", type=int, default=10)
+    parser.add_argument("--interval", type=float, default=0.05,
+                        help="seconds between arrivals")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--storm-at", type=int, default=None,
+                        help="request index where the storm starts")
+    parser.add_argument("--storm-size", type=int, default=0)
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-job deadline_seconds")
+    parser.add_argument("--delay", type=float, default=0.0,
+                        help="per-job test_fault delay (needs "
+                             "--allow-test-faults on the daemon)")
+    parser.add_argument("--slow-rate", type=float, default=0.0)
+    parser.add_argument("--slow-seconds", type=float, default=0.5)
+    parser.add_argument("--kill-rate", type=float, default=0.0)
+    parser.add_argument("--wait", type=float, default=0.0,
+                        help="seconds to poll accepted jobs for "
+                             "terminal states")
+    args = parser.parse_args(argv)
+    try:
+        url = _resolve_url(args)
+        plan = LoadPlan(requests=args.requests, interval=args.interval,
+                        seed=args.seed, storm_at=args.storm_at,
+                        storm_size=args.storm_size,
+                        deadline_seconds=args.deadline,
+                        delay_seconds=args.delay,
+                        wait_seconds=args.wait)
+        faults = ClientFaultPlan(slow_rate=args.slow_rate,
+                                 slow_seconds=args.slow_seconds,
+                                 kill_rate=args.kill_rate)
+        report = run(url, plan, faults)
+    except (ServeError, OSError, ValueError) as exc:
+        print("loadgen: %s" % exc, file=sys.stderr)
+        return 1
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["ClientFaultPlan", "LoadPlan", "LoadReport", "run",
+           "tiny_specs", "default_payload", "main"]

@@ -1,0 +1,112 @@
+"""AdmissionController: shedding, honest Retry-After, drain semantics."""
+
+from repro.serve.admission import (SHED_DRAINING, SHED_OVER_BUDGET,
+                                   SHED_QUEUE_FULL, AdmissionController)
+
+
+def controller(**overrides):
+    defaults = dict(queue_limit=2, wait_budget=100.0,
+                    initial_estimate=0.5, workers=1)
+    defaults.update(overrides)
+    return AdmissionController(**defaults)
+
+
+class TestShedding:
+    def test_admits_until_queue_full(self):
+        ctl = controller(queue_limit=2)
+        assert ctl.offer(lambda: "a")[0] == "a"
+        assert ctl.offer(lambda: "b")[0] == "b"
+        job, shed = ctl.offer(lambda: "c")
+        assert job is None
+        assert shed.reason == SHED_QUEUE_FULL
+        assert shed.queue_depth == 2
+        assert shed.retry_after >= 1
+        assert ctl.depth == 2
+
+    def test_sheds_over_wait_budget(self):
+        ctl = controller(queue_limit=10, wait_budget=1.0,
+                         initial_estimate=10.0)
+        job, shed = ctl.offer(lambda: "a")
+        assert job is None
+        assert shed.reason == SHED_OVER_BUDGET
+        assert shed.estimated_wait == 10.0
+
+    def test_factory_not_called_on_shed(self):
+        ctl = controller(queue_limit=1)
+        calls = []
+        ctl.offer(lambda: calls.append(1) or "a")
+        ctl.offer(lambda: calls.append(2) or "b")
+        assert calls == [1]    # the shed request was never journaled
+
+    def test_workers_divide_the_wait_estimate(self):
+        ctl = controller(queue_limit=10, wait_budget=3.0,
+                         initial_estimate=10.0, workers=4)
+        job, shed = ctl.offer(lambda: "a")    # 10/4 = 2.5s < 3s budget
+        assert job == "a"
+        assert shed is None
+
+    def test_retry_after_is_clamped(self):
+        slow = controller(queue_limit=0, initial_estimate=1e6)
+        assert slow.offer(lambda: "x")[1].retry_after == 120
+        fast = controller(queue_limit=0, initial_estimate=0.001)
+        assert fast.offer(lambda: "x")[1].retry_after == 1
+
+    def test_shed_decision_to_dict(self):
+        ctl = controller(queue_limit=0)
+        _, shed = ctl.offer(lambda: "x")
+        view = shed.to_dict()
+        assert view["shed"] is True
+        assert view["reason"] == SHED_QUEUE_FULL
+        assert view["retry_after"] >= 1
+        assert view["estimated_wait_seconds"] >= 0
+
+
+class TestEstimate:
+    def test_ewma_moves_toward_observations(self):
+        ctl = controller(initial_estimate=2.0)
+        ctl.record_service_time(10.0)
+        assert abs(ctl.service_estimate - 4.4) < 1e-9   # 0.7*2 + 0.3*10
+
+    def test_bogus_observations_ignored(self):
+        ctl = controller(initial_estimate=2.0)
+        ctl.record_service_time(-1.0)
+        ctl.record_service_time(float("inf"))
+        ctl.record_service_time(float("nan"))
+        assert ctl.service_estimate == 2.0
+
+
+class TestTakeAndDrain:
+    def test_take_is_fifo(self):
+        ctl = controller()
+        ctl.offer(lambda: "a")
+        ctl.offer(lambda: "b")
+        assert ctl.take(timeout=0.01) == "a"
+        assert ctl.take(timeout=0.01) == "b"
+        assert ctl.take(timeout=0.01) is None
+
+    def test_requeue_bypasses_shedding(self):
+        ctl = controller(queue_limit=1)
+        ctl.offer(lambda: "a")
+        ctl.requeue("recovered")              # already journaled: no shed
+        ctl.requeue("urgent", front=True)
+        assert ctl.take(timeout=0.01) == "urgent"
+        assert ctl.take(timeout=0.01) == "a"
+        assert ctl.take(timeout=0.01) == "recovered"
+
+    def test_closed_controller_sheds_as_draining(self):
+        ctl = controller()
+        ctl.close()
+        job, shed = ctl.offer(lambda: "a")
+        assert job is None
+        assert shed.reason == SHED_DRAINING
+
+    def test_take_refuses_queued_work_after_close(self):
+        # Drain must never *start* work: whatever is still queued is
+        # collected by drain_pending() and re-journaled instead.
+        ctl = controller()
+        ctl.offer(lambda: "a")
+        ctl.close()
+        assert ctl.closed
+        assert ctl.take(timeout=0.01) is None
+        assert ctl.drain_pending() == ["a"]
+        assert ctl.depth == 0

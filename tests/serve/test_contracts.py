@@ -1,0 +1,68 @@
+"""The serve API's wire contracts, validated against live payloads.
+
+Mirrors ``tests/core/test_cli_contracts.py``: schemas are plain dicts
+in :mod:`repro.contracts`; validation uses ``jsonschema`` when
+installed and skips cleanly otherwise.
+"""
+
+import pytest
+
+from repro.contracts import (CLI_SCHEMAS, SERVE_HEALTH_SCHEMA,
+                             SERVE_JOB_SCHEMA, SERVE_SHED_SCHEMA)
+
+
+def validate(instance, schema):
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(instance=instance, schema=schema)
+
+
+def test_cli_schema_registry_covers_serve():
+    for key in ("serve-job", "serve-health", "serve-shed"):
+        assert key in CLI_SCHEMAS
+
+
+class TestLivePayloads:
+    @pytest.fixture(scope="class")
+    def service(self, tmp_path_factory, tiny_payload):
+        """One service, one completed job, one deadline-failed job."""
+        from .conftest import make_config
+        from repro.serve.service import DesignService
+        config = make_config(tmp_path_factory.mktemp("contracts"))
+        service = DesignService(config)
+        service.start()
+        good, _ = service.submit(dict(tiny_payload))
+        late = dict(tiny_payload)
+        late["deadline_seconds"] = 0.2
+        late["test_fault"] = {"delay_seconds": 30}
+        bad, _ = service.submit(late)
+        service.wait(good.id, timeout=30.0)
+        service.wait(bad.id, timeout=30.0)
+        yield service
+        service.drain(grace=10.0)
+
+    def test_completed_job_view(self, service):
+        job = [j for j in service.jobs()
+               if j.state == "completed"][0]
+        validate(job.to_dict(), SERVE_JOB_SCHEMA)
+
+    def test_failed_job_view(self, service):
+        job = [j for j in service.jobs() if j.state == "failed"][0]
+        view = job.to_dict()
+        assert view["error"]["kind"] == "deadline"
+        validate(view, SERVE_JOB_SCHEMA)
+
+    def test_health_view(self, service):
+        validate(service.health(), SERVE_HEALTH_SCHEMA)
+
+    def test_readyz_view(self, service):
+        payload = {"ready": service.ready()}
+        payload.update(service.health())
+        validate(payload, SERVE_HEALTH_SCHEMA)
+
+    def test_shed_view(self, service, tiny_payload):
+        from repro.serve.admission import AdmissionController
+        controller = AdmissionController(queue_limit=0,
+                                         wait_budget=1.0,
+                                         initial_estimate=1.0)
+        _, shed = controller.offer(lambda: None)
+        validate(shed.to_dict(), SERVE_SHED_SCHEMA)

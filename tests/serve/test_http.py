@@ -1,0 +1,190 @@
+"""The HTTP front end, against an in-process daemon."""
+
+import http.client
+import json
+
+from repro.serve.jobstore import RUNNING
+
+from .conftest import wait_until
+
+
+def request(daemon, method, path, body=None, headers=None):
+    """One HTTP round trip; returns (status, headers-dict, json-body)."""
+    connection = http.client.HTTPConnection(daemon.host, daemon.port,
+                                            timeout=30)
+    try:
+        raw = None if body is None else json.dumps(body).encode()
+        connection.request(method, path, body=raw,
+                           headers=headers or {})
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        connection.close()
+
+
+class TestJobsApi:
+    def test_submit_poll_complete(self, make_daemon, tiny_payload):
+        daemon = make_daemon()
+        status, _, body = request(daemon, "POST", "/v1/jobs",
+                                  dict(tiny_payload))
+        assert status == 202
+        job_id = body["id"]
+        assert job_id.startswith("job-")
+
+        status, _, job = request(daemon, "GET",
+                                 "/v1/jobs/%s?wait=30" % job_id)
+        assert status == 200
+        assert job["state"] == "completed"
+        assert job["result"]["annual_cost"] > 0
+
+        status, _, listing = request(daemon, "GET", "/v1/jobs")
+        assert status == 200
+        assert [item["id"] for item in listing["jobs"]] == [job_id]
+
+    def test_unknown_job_is_404(self, make_daemon):
+        daemon = make_daemon()
+        status, _, body = request(daemon, "GET", "/v1/jobs/job-404404")
+        assert status == 404
+        assert "unknown job" in body["error"]
+        status, _, _ = request(daemon, "DELETE", "/v1/jobs/job-404404")
+        assert status == 404
+
+    def test_bad_payload_is_400(self, make_daemon, tiny_payload):
+        daemon = make_daemon()
+        status, _, body = request(daemon, "POST", "/v1/jobs",
+                                  {"infrastructure": "nope"})
+        assert status == 400
+        assert "error" in body
+
+    def test_bad_json_is_400(self, make_daemon):
+        daemon = make_daemon()
+        connection = http.client.HTTPConnection(daemon.host,
+                                                daemon.port, timeout=30)
+        try:
+            connection.request("POST", "/v1/jobs", body=b"{not json",
+                               headers={"Content-Type":
+                                        "application/json"})
+            response = connection.getresponse()
+            assert response.status == 400
+        finally:
+            connection.close()
+
+    def test_bad_wait_param_is_400(self, make_daemon, tiny_payload):
+        daemon = make_daemon()
+        _, _, body = request(daemon, "POST", "/v1/jobs",
+                             dict(tiny_payload))
+        status, _, _ = request(daemon, "GET",
+                               "/v1/jobs/%s?wait=soon" % body["id"])
+        assert status == 400
+
+    def test_oversized_body_is_413(self, make_daemon):
+        daemon = make_daemon()
+        connection = http.client.HTTPConnection(daemon.host,
+                                                daemon.port, timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/jobs")
+            connection.putheader("Content-Length", str(64 << 20))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+        finally:
+            connection.close()
+
+    def test_unknown_endpoint_is_404(self, make_daemon):
+        daemon = make_daemon()
+        for method, path in (("GET", "/nope"), ("POST", "/nope"),
+                             ("DELETE", "/nope")):
+            status, _, _ = request(daemon, method, path)
+            assert status == 404
+
+    def test_delete_cancels_running_job(self, make_daemon,
+                                        tiny_payload):
+        daemon = make_daemon()
+        slow = dict(tiny_payload)
+        slow["test_fault"] = {"delay_seconds": 30}
+        _, _, body = request(daemon, "POST", "/v1/jobs", slow)
+        job_id = body["id"]
+        assert wait_until(lambda: daemon.service.get(job_id).state
+                          == RUNNING)
+        status, _, body = request(daemon, "DELETE",
+                                  "/v1/jobs/%s" % job_id)
+        assert status == 202
+        assert body["status"] == "cancelling"
+        _, _, job = request(daemon, "GET",
+                            "/v1/jobs/%s?wait=15" % job_id)
+        assert job["state"] == "cancelled"
+        status, _, _ = request(daemon, "DELETE", "/v1/jobs/%s" % job_id)
+        assert status == 409    # already terminal
+
+
+class TestOverload:
+    def test_storm_gets_429_with_retry_after(self, make_daemon,
+                                             tiny_payload):
+        daemon = make_daemon(workers=1, queue_limit=1)
+        slow = dict(tiny_payload)
+        slow["test_fault"] = {"delay_seconds": 30}
+        sheds = []
+        for _ in range(4):
+            status, headers, body = request(daemon, "POST", "/v1/jobs",
+                                            slow)
+            if status == 429:
+                sheds.append((headers, body))
+            else:
+                assert status == 202
+        # Capacity is 1 running + 1 queued: the 4-burst must shed.
+        assert sheds
+        headers, body = sheds[0]
+        assert int(headers["Retry-After"]) >= 1
+        assert body["shed"] is True
+        assert body["reason"] in ("queue-full", "over-budget")
+
+
+class TestHealthEndpoints:
+    def test_healthz_readyz_metricz(self, make_daemon, tiny_payload):
+        daemon = make_daemon()
+        status, _, health = request(daemon, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+
+        status, _, ready = request(daemon, "GET", "/readyz")
+        assert status == 200
+        assert ready["ready"] is True
+
+        request(daemon, "POST", "/v1/jobs", dict(tiny_payload))
+        status, _, metrics = request(daemon, "GET", "/metricz")
+        assert status == 200
+        assert metrics["counters"]["serve.accepted"] == 1
+
+    def test_drain_endpoint_requests_stop(self, make_daemon):
+        daemon = make_daemon()
+        status, _, body = request(daemon, "POST", "/v1/drain")
+        assert status == 202
+        assert body["draining"] is True
+        assert daemon._stop.is_set()
+
+
+class TestDiscovery:
+    def test_endpoint_file_lifecycle(self, make_daemon):
+        daemon = make_daemon()
+        with open(daemon.config.endpoint_path,
+                  encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["url"] == daemon.url
+        assert record["port"] == daemon.port
+        daemon.shutdown()
+        import os
+        assert not os.path.exists(daemon.config.endpoint_path)
+
+    def test_readyz_503_while_draining(self, tmp_path, tiny_payload):
+        from repro.serve.httpd import DesignDaemon
+        from .conftest import make_config
+        daemon = DesignDaemon(make_config(tmp_path))
+        daemon.start()
+        try:
+            daemon.service.drain(grace=5.0)
+            status, _, body = request(daemon, "GET", "/readyz")
+            assert status == 503
+            assert body["ready"] is False
+        finally:
+            daemon.shutdown()

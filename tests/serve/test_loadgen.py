@@ -1,0 +1,119 @@
+"""The seeded load/chaos client: determinism, faults, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import loadgen
+from repro.serve.loadgen import (ClientFaultPlan, LoadPlan,
+                                 default_payload, tiny_specs)
+
+
+class TestPlans:
+    def test_schedule_is_seed_deterministic(self):
+        plan = LoadPlan(requests=20, seed=7, storm_at=5, storm_size=4)
+        faults = ClientFaultPlan(slow_rate=0.3, kill_rate=0.3)
+        assert (loadgen._schedule(plan, faults)
+                == loadgen._schedule(plan, faults))
+
+    def test_storm_requests_have_no_gap(self):
+        plan = LoadPlan(requests=10, interval=0.25, storm_at=3,
+                        storm_size=4)
+        schedule = loadgen._schedule(plan, ClientFaultPlan())
+        gaps = [entry["gap"] for entry in schedule]
+        assert gaps[3:7] == [0.0] * 4
+        assert all(gap == 0.25 for gap in gaps[:3] + gaps[7:])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"requests": 0},
+        {"interval": -1.0},
+        {"storm_size": -1},
+    ])
+    def test_load_plan_validation(self, kwargs):
+        with pytest.raises(ServeError):
+            LoadPlan(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"slow_rate": 1.5},
+        {"kill_rate": -0.1},
+        {"slow_seconds": -1.0},
+    ])
+    def test_fault_plan_validation(self, kwargs):
+        with pytest.raises(ServeError):
+            ClientFaultPlan(**kwargs)
+
+
+class TestTinyModel:
+    def test_tiny_specs_round_trip(self):
+        from repro.model import validate_pair
+        from repro.spec import parse_infrastructure, parse_service
+        infrastructure_text, service_text = tiny_specs()
+        infrastructure = parse_infrastructure(infrastructure_text)
+        service = parse_service(service_text)
+        validate_pair(infrastructure, service)
+
+    def test_default_payload_knobs(self):
+        plan = LoadPlan(deadline_seconds=9.0, delay_seconds=0.5)
+        payload = default_payload(plan)
+        assert payload["deadline_seconds"] == 9.0
+        assert payload["test_fault"] == {"delay_seconds": 0.5}
+        bare = default_payload(LoadPlan())
+        assert "deadline_seconds" not in bare
+        assert "test_fault" not in bare
+
+
+class TestAgainstDaemon:
+    def test_plain_run_completes_everything(self, make_daemon):
+        daemon = make_daemon(workers=2)
+        plan = LoadPlan(requests=4, interval=0.0, wait_seconds=60.0)
+        report = loadgen.run(daemon.url, plan)
+        assert report.sent == 4
+        assert len(report.accepted) == 4
+        assert report.shed == 0
+        assert report.killed == 0
+        assert set(report.outcomes.values()) == {"completed"}
+        view = report.to_dict()
+        assert view["accepted"] == 4
+        assert view["outcomes"] == report.outcomes
+
+    def test_killed_requests_admit_nothing(self, make_daemon):
+        daemon = make_daemon()
+        plan = LoadPlan(requests=3, interval=0.0)
+        faults = ClientFaultPlan(kill_rate=1.0)
+        report = loadgen.run(daemon.url, plan, faults)
+        assert report.killed == 3
+        assert report.accepted == []
+        # Half-sent bodies never become jobs; the daemon stays healthy.
+        assert daemon.service.jobs() == []
+        assert daemon.service.health()["status"] == "ok"
+
+    def test_slow_clients_still_admit(self, make_daemon):
+        daemon = make_daemon()
+        plan = LoadPlan(requests=2, interval=0.0, wait_seconds=60.0)
+        faults = ClientFaultPlan(slow_rate=1.0, slow_seconds=0.2)
+        report = loadgen.run(daemon.url, plan, faults)
+        assert report.slowed == 2
+        assert len(report.accepted) == 2
+        assert set(report.outcomes.values()) == {"completed"}
+
+    def test_cli_main(self, make_daemon, capsys):
+        daemon = make_daemon()
+        code = loadgen.main(["--url", daemon.url, "--requests", "2",
+                             "--interval", "0", "--wait", "60"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sent"] == 2
+        assert report["accepted"] == 2
+
+    def test_cli_endpoint_file(self, make_daemon, capsys):
+        daemon = make_daemon()
+        code = loadgen.main(["--endpoint-file",
+                             daemon.config.endpoint_path,
+                             "--requests", "1", "--interval", "0"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["accepted"] == 1
+
+    def test_cli_requires_a_target(self, capsys):
+        assert loadgen.main(["--requests", "1"]) == 1
+        assert "loadgen:" in capsys.readouterr().err
