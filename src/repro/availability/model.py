@@ -59,6 +59,28 @@ class FailureModeEntry:
     def failure_rate_per_hour(self) -> float:
         return 1.0 / self.mtbf.as_hours
 
+    def canonical_fragment(self, spares: bool) -> dict:
+        """Normalized, JSON-stable description of this mode.
+
+        ``spares`` says whether the owning tier has ``s > 0``.  Without
+        spares no engine ever consults ``failover_time`` or
+        ``spare_susceptible`` (the failover rule is gated on ``s > 0``
+        in every engine, and a spare pool of size zero cannot age), so
+        both fields are dropped from the canonical form -- designs that
+        differ only in the activation prefix of spares they do not have
+        collapse to the same key.
+        """
+        from ..units import canonical_scalar
+        fragment = {
+            "name": self.name,
+            "mtbf": canonical_scalar(self.mtbf),
+            "mttr": canonical_scalar(self.mttr),
+        }
+        if spares:
+            fragment["failover"] = canonical_scalar(self.failover_time)
+            fragment["spare_susceptible"] = self.spare_susceptible
+        return fragment
+
 
 @dataclass(frozen=True)
 class TierAvailabilityModel:
@@ -125,6 +147,30 @@ class TierAvailabilityModel:
         if rate <= 0:
             raise ModelError("tier %r has zero failure rate" % self.name)
         return Duration.hours(1.0 / rate)
+
+    def canonical_form(self) -> dict:
+        """Normalized plain-data form of this model.
+
+        Two models with equal canonical forms produce bit-identical
+        :class:`TierResult` objects under every engine (the soundness
+        property :mod:`repro.lint.canonical` hashes and the
+        differential suite in ``tests/properties`` verifies).  Mode
+        order is preserved -- engines report ``mode_results`` in model
+        order, so reordering is *not* availability-neutral -- but
+        failover attributes of spare-less tiers are dropped (see
+        :meth:`FailureModeEntry.canonical_fragment`).
+        """
+        spares = self.s > 0
+        return {
+            "kind": "tier-availability-model",
+            "tier": self.name,
+            "n": self.n,
+            "m": self.m,
+            "s": self.s,
+            "repair_crew": self.repair_crew,
+            "modes": [mode.canonical_fragment(spares)
+                      for mode in self.modes],
+        }
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,7 @@ Subcommands::
     python -m repro design    ... --trace out.json --metrics-out m.json
     python -m repro frontier  --tier application --load 1000 [...]
     python -m repro validate  [model options]
-    python -m repro lint      [--format json] [--strict] [model options]
+    python -m repro lint      [--format json] [--strict] [--space] [...]
     python -m repro profile   --load 1000 --downtime 100m [model options]
     python -m repro serve     --data-dir state/ [--port 8080]
 
@@ -110,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output rendering (default: text)")
     lint.add_argument("--strict", action="store_true",
                       help="exit nonzero on warnings, not just errors")
+    lint.add_argument("--space", action="store_true",
+                      help="also statically analyze the candidate space: "
+                           "cardinality, canonical equivalence classes, "
+                           "dominance coverage, provably infeasible "
+                           "regions (AVD500-series; see "
+                           "docs/STATIC_ANALYSIS.md)")
+    lint.add_argument("--load", type=float, default=None,
+                      help="throughput requirement conditioning the "
+                           "--space analysis (work units/hour)")
+    lint.add_argument("--downtime", default=None,
+                      help="max annual downtime conditioning the --space "
+                           "reachability checks, e.g. 100m")
+    lint.add_argument("--max-redundancy", type=int, default=8,
+                      help="resources beyond the minimum the --space "
+                           "analysis enumerates (match the search's)")
+    lint.add_argument("--spare-policy",
+                      choices=["cold", "hot", "all"], default="cold")
+    lint.add_argument("--fix", action="append", default=[],
+                      metavar="MECH.PARAM=VALUE",
+                      help="pin a mechanism parameter for the --space "
+                           "analysis (repeatable)")
 
     describe = subparsers.add_parser(
         "describe", help="summarize an infrastructure/service model pair")
@@ -237,6 +258,17 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="bound concurrent repairs per tier "
                              "(default: unlimited)")
+    parser.add_argument("--prune-dominated", dest="prune",
+                        action="store_const", const="auto", default="auto",
+                        help="skip candidates a static dominance "
+                             "certificate proves infeasible (default: on "
+                             "for the deterministic markov/analytic "
+                             "engines, off otherwise; the designed "
+                             "outcome is identical either way)")
+    parser.add_argument("--no-prune", dest="prune",
+                        action="store_const", const=False,
+                        help="disable dominance pruning and evaluate "
+                             "every candidate")
 
 
 def load_models(args, validate: bool = True) -> tuple:
@@ -421,7 +453,8 @@ def cmd_design(args, out) -> int:
                   repair_crew=args.repair_crew,
                   checkpoint=make_checkpoint(args),
                   jobs=jobs,
-                  task_timeout=args.task_timeout)
+                  task_timeout=args.task_timeout,
+                  prune=args.prune)
     observe = bool(args.trace or args.metrics_out)
     observer = Observer() if observe else None
     try:
@@ -460,7 +493,8 @@ def cmd_profile(args, out) -> int:
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
                   jobs=jobs,
-                  task_timeout=args.task_timeout)
+                  task_timeout=args.task_timeout,
+                  prune=args.prune)
     observer = Observer()
     outcome = None
     infeasible = None
@@ -558,11 +592,36 @@ def cmd_lint(args, out) -> int:
         report = LintReport([Diagnostic.new("AVD002", str(exc))])
     else:
         report = lint_pair(infrastructure, service)
+        if args.space and not report.has_errors:
+            space = _lint_space(args, infrastructure, service)
+            report.extend(space.report)
+            if args.format == "json":
+                import json
+                payload = json.loads(report.to_json())
+                payload["space"] = space.to_dict()
+                print(json.dumps(payload, indent=2, sort_keys=True),
+                      file=out)
+            else:
+                print(report.to_text(), file=out)
+                print("", file=out)
+                print(space.to_text(), file=out)
+            return report.exit_code(strict=args.strict)
     if args.format == "json":
         print(report.to_json(), file=out)
     else:
         print(report.to_text(), file=out)
     return report.exit_code(strict=args.strict)
+
+
+def _lint_space(args, infrastructure, service):
+    """Run the candidate-space analyzer behind ``repro lint --space``."""
+    from .lint import analyze_space
+    limits = SearchLimits(max_redundancy=args.max_redundancy,
+                          spare_policy=args.spare_policy,
+                          fixed_settings=parse_fixed_settings(args.fix))
+    downtime = Duration.parse(args.downtime) if args.downtime else None
+    return analyze_space(infrastructure, service, limits=limits,
+                         load=args.load, max_downtime=downtime)
 
 
 def cmd_analyze(args, out) -> int:
@@ -574,7 +633,8 @@ def cmd_analyze(args, out) -> int:
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
                   jobs=jobs,
-                  task_timeout=args.task_timeout)
+                  task_timeout=args.task_timeout,
+                  prune=args.prune)
     requirements = ServiceRequirements(args.load,
                                        Duration.parse(args.downtime))
     try:

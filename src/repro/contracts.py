@@ -138,6 +138,79 @@ LINT_REPORT_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: ``repro lint --space --format json`` -- the lint report plus a
+#: ``space`` member (:meth:`repro.lint.SpaceReport.to_dict`).  Exit
+#: codes match plain ``lint``: 0 clean, 1 on errors (or warnings under
+#: ``--strict``) -- an empty space (AVD501) or contradictory fixed
+#: settings (AVD507) therefore fail the gate.
+LINT_SPACE_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["diagnostics", "summary", "space"],
+    "properties": {
+        "diagnostics": LINT_REPORT_SCHEMA["properties"]["diagnostics"],
+        "summary": LINT_REPORT_SCHEMA["properties"]["summary"],
+        "space": {
+            "type": "object",
+            "required": ["load", "max_downtime_minutes", "structures",
+                         "dominance_covered", "tiers"],
+            "properties": {
+                "load": {"type": ["number", "null"]},
+                "max_downtime_minutes": {"type": ["number", "null"]},
+                "structures": {"type": "integer", "minimum": 0},
+                "dominance_covered": {"type": "integer", "minimum": 0},
+                "tiers": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["tier", "structures",
+                                     "equivalence_classes",
+                                     "dominance_covered", "options"],
+                        "properties": {
+                            "tier": {"type": "string"},
+                            "structures": {"type": "integer",
+                                           "minimum": 0},
+                            "equivalence_classes": {
+                                "type": ["integer", "null"]},
+                            "dominance_covered": {"type": "integer",
+                                                  "minimum": 0},
+                            "options": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["resource", "n_min",
+                                                 "structures", "combos",
+                                                 "equivalence_classes",
+                                                 "dominance_covered",
+                                                 "certificate_groups"],
+                                    "properties": {
+                                        "resource": {"type": "string"},
+                                        "n_min": {
+                                            "type": ["integer", "null"]},
+                                        "structures": {
+                                            "type": "integer",
+                                            "minimum": 0},
+                                        "combos": {"type": "integer",
+                                                   "minimum": 0},
+                                        "equivalence_classes": {
+                                            "type": ["integer", "null"]},
+                                        "dominance_covered": {
+                                            "type": "integer",
+                                            "minimum": 0},
+                                        "certificate_groups": {
+                                            "type": "integer",
+                                            "minimum": 0},
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
 #: ``repro design --metrics-out`` -- a
 #: :meth:`repro.obs.MetricsRegistry.snapshot`.
 METRICS_SNAPSHOT_SCHEMA: Dict[str, Any] = {
@@ -301,6 +374,7 @@ SERVE_SHED_SCHEMA: Dict[str, Any] = {
 CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "design-json": DESIGN_EVALUATION_SCHEMA,
     "lint-json": LINT_REPORT_SCHEMA,
+    "lint-space-json": LINT_SPACE_SCHEMA,
     "metrics": METRICS_SNAPSHOT_SCHEMA,
     "trace": TRACE_SCHEMA,
     "bench": BENCH_RECORD_SCHEMA,
@@ -310,6 +384,7 @@ CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
 }
 
 __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
+           "LINT_SPACE_SCHEMA",
            "METRICS_SNAPSHOT_SCHEMA", "TRACE_SCHEMA",
            "BENCH_RECORD_SCHEMA", "SERVE_JOB_SCHEMA",
            "SERVE_HEALTH_SCHEMA", "SERVE_SHED_SCHEMA", "CLI_SCHEMAS"]

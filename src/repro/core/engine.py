@@ -42,6 +42,12 @@ class DesignOutcome:
     observer was installed (``repro design --metrics-out``,
     ``repro profile``, or :func:`repro.obs.observing`).  Its
     ``search.*`` counters mirror :attr:`stats` field for field.
+
+    ``pruning`` records what static dominance pruning skipped
+    (``AVD506`` provenance, one diagnostic per pruned enumeration
+    group); None when pruning was off or nothing was pruned.  Kept
+    separate from ``degradation`` on purpose: pruning is a *proof*,
+    not a fault, and must not mark the outcome :attr:`degraded`.
     """
 
     design: Design
@@ -49,6 +55,7 @@ class DesignOutcome:
     stats: SearchStats
     degradation: Optional[LintReport] = None
     metrics: Optional[Mapping] = None
+    pruning: Optional[LintReport] = None
 
     @property
     def annual_cost(self) -> float:
@@ -89,7 +96,8 @@ class Aved:
                  checkpoint=None,
                  jobs: Optional[int] = None,
                  task_timeout: Optional[float] = None,
-                 parallel=None):
+                 parallel=None,
+                 prune=False):
         """``combination`` picks the multi-tier assembly strategy:
         ``"exact"`` (branch-and-bound over the frontier product) or
         ``"greedy"`` (the paper's incremental per-tier tightening).
@@ -120,11 +128,26 @@ class Aved:
         finding exists; ``"off"`` skips the pass (``lint_report`` is
         None).  Gating reference checks (:func:`validate_pair`) always
         run regardless.
+
+        ``prune`` controls static dominance pruning
+        (:mod:`repro.lint.space`): ``False`` (default) disables it;
+        ``"auto"`` enables it when the availability engine is
+        deterministic and MTTR-monotone (Markov or analytic -- the
+        engines the certificates are sound for) and silently disables
+        it otherwise (simulation noise or cross-run engine fallback
+        could make a probe bound unreliable); ``True`` forces it on
+        regardless of engine (the caller vouches for soundness).  A
+        pruned run reaches the same :class:`DesignOutcome` as the
+        unpruned one with fewer availability solves; provenance lands
+        on :attr:`DesignOutcome.pruning`.
         """
         validate_pair(infrastructure, service)
         if combination not in ("exact", "greedy"):
             raise SearchError("combination must be 'exact' or 'greedy', "
                               "got %r" % combination)
+        if prune not in (False, True, "auto"):
+            raise SearchError("prune must be False, True, or 'auto', "
+                              "got %r" % (prune,))
         if lint not in ("off", "warn", "error"):
             raise SearchError("lint must be 'off', 'warn', or 'error', "
                               "got %r" % lint)
@@ -147,6 +170,7 @@ class Aved:
         self.limits = limits or SearchLimits()
         self.combination = combination
         self.checkpoint = checkpoint
+        self.prune = prune
         self.evaluator = DesignEvaluator(
             infrastructure, service,
             availability_engine if availability_engine is not None
@@ -235,8 +259,37 @@ class Aved:
                    len(self.checkpoint.completed_tiers))))
         return report
 
+    def _prune_enabled(self) -> bool:
+        """Resolve the ``prune`` setting against the active engine.
+
+        The dominance lemma holds for deterministic, MTTR-monotone
+        engines; ``"auto"`` therefore enables pruning only for the
+        Markov and analytic engines, never for simulation (seeded
+        noise breaks the probe bound) or a resilience fallback stack
+        (the answering engine can differ per candidate).
+        """
+        if self.prune is True:
+            return True
+        if self.prune == "auto":
+            from ..availability import AnalyticEngine
+            return isinstance(self.evaluator.engine,
+                              (MarkovEngine, AnalyticEngine))
+        return False
+
+    @staticmethod
+    def _pruning_report(search) -> Optional[LintReport]:
+        """AVD506 provenance for everything the search pruned."""
+        regions = getattr(search, "pruned_regions", None)
+        if not regions:
+            return None
+        report = LintReport()
+        for region in regions:
+            report.add(Diagnostic.new("AVD506", region.describe(),
+                                      context="dominance pruning"))
+        return report
+
     def _outcome(self, design: Design, evaluation: DesignEvaluation,
-                 stats) -> DesignOutcome:
+                 search) -> DesignOutcome:
         """Assemble the outcome: degradation report + metrics snapshot.
 
         With an observer installed, the search's own counters are
@@ -244,6 +297,7 @@ class Aved:
         snapshot, so the outcome's metrics always agree with its
         ``stats`` -- the invariant the observability tests pin.
         """
+        stats = search.stats
         degradation = self._degradation_report()
         metrics = None
         obs = _obs_current()
@@ -251,7 +305,8 @@ class Aved:
             obs.metrics.publish_search_stats(stats)
             metrics = obs.metrics.snapshot()
         return DesignOutcome(design, evaluation, stats,
-                             degradation=degradation, metrics=metrics)
+                             degradation=degradation, metrics=metrics,
+                             pruning=self._pruning_report(search))
 
     # ------------------------------------------------------------------
 
@@ -259,7 +314,8 @@ class Aved:
             -> DesignOutcome:
         search = TierSearch(self.evaluator, self.limits,
                             checkpoint=self.checkpoint,
-                            runtime=self.parallel)
+                            runtime=self.parallel,
+                            prune=self._prune_enabled())
         tier_names = [tier.name for tier in self.service.tiers]
 
         if len(tier_names) == 1:
@@ -272,10 +328,17 @@ class Aved:
             design = Design((best.design,))
         else:
             # Per-tier Pareto frontiers, then exact series combination.
+            # Exact combination may statically drop frontier entries
+            # provably above the service target (a tier's downtime
+            # lower-bounds the series downtime); greedy refinement is
+            # path-dependent over the full ladder, so it gets none.
+            dominance_target = (requirements.max_annual_downtime
+                                if self.combination == "exact" else None)
             frontiers: List = []
             for name in tier_names:
-                frontier = search.tier_frontier(name,
-                                                requirements.throughput)
+                frontier = search.tier_frontier(
+                    name, requirements.throughput,
+                    dominance_target=dominance_target)
                 if not frontier:
                     raise InfeasibleError(
                         "tier %r cannot carry load %g"
@@ -298,7 +361,7 @@ class Aved:
             raise InfeasibleError(
                 "search result fails verification against %s"
                 % requirements.describe(), best_infeasible=evaluation)
-        return self._outcome(design, evaluation, search.stats)
+        return self._outcome(design, evaluation, search)
 
     def _combine(self, frontiers: List, requirements: ServiceRequirements):
         if self.combination == "greedy":
@@ -315,4 +378,4 @@ class Aved:
         if evaluation is None:
             raise InfeasibleError(
                 "no design meets %s" % requirements.describe())
-        return self._outcome(evaluation.design, evaluation, search.stats)
+        return self._outcome(evaluation.design, evaluation, search)

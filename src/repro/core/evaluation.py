@@ -107,8 +107,29 @@ class DesignEvaluator:
         m = self.minimum_active(tier_design, required_throughput)
         spare_modes = resource.modes_for_prefix(
             tier_design.spare_active_prefix)
-        activation = resource.activation_time(spare_modes)
+        modes = self.failure_mode_entries(
+            resource, spare_modes,
+            lambda failure: self._resolve_mttr(tier_design, failure))
+        return TierAvailabilityModel(tier_design.tier,
+                                     n=tier_design.n_active, m=m,
+                                     s=tier_design.n_spare,
+                                     modes=tuple(modes),
+                                     repair_crew=self.repair_crew)
 
+    def failure_mode_entries(self, resource,
+                             spare_modes,
+                             resolve_mttr) -> List[FailureModeEntry]:
+        """Resolved failure-mode entries for a resource (section 4.2).
+
+        ``resolve_mttr`` maps a component :class:`FailureMode` to its
+        concrete repair :class:`Duration` -- the only mechanism-dependent
+        input.  Shared between tier-model generation here and the static
+        dominance prover (:mod:`repro.lint.space`), which sweeps
+        mechanism combos without constructing tier designs; both must
+        derive MTTR/failover vectors identically for the prover's
+        certificates to be sound.
+        """
+        activation = resource.activation_time(spare_modes)
         modes: List[FailureModeEntry] = []
         for slot in resource.slots:
             component = self.infrastructure.component(slot.component)
@@ -116,7 +137,7 @@ class DesignEvaluator:
             susceptible = (spare_modes[slot.component]
                            is OperationalMode.ACTIVE)
             for failure in component.failure_modes:
-                repair = self._resolve_mttr(tier_design, failure)
+                repair = resolve_mttr(failure)
                 mttr_total = failure.detect_time + repair + restart
                 failover = (failure.detect_time + resource.reconfig_time
                             + activation)
@@ -126,11 +147,7 @@ class DesignEvaluator:
                     mttr=mttr_total,
                     failover_time=failover,
                     spare_susceptible=susceptible))
-        return TierAvailabilityModel(tier_design.tier,
-                                     n=tier_design.n_active, m=m,
-                                     s=tier_design.n_spare,
-                                     modes=tuple(modes),
-                                     repair_crew=self.repair_crew)
+        return modes
 
     def minimum_active(self, tier_design: TierDesign,
                        required_throughput: Optional[float]) -> int:

@@ -19,12 +19,16 @@ Every finding carries a stable ``AVDnnn`` code from :data:`CODES`;
 ``docs/LINTING.md`` is the user-facing catalog.
 """
 
+from .canonical import (CANONICAL_VERSION, canonical_form, canonical_json,
+                        canonical_key, combo_key, design_canonical_key)
 from .codes import CODES, RUNTIME_ERROR_CODES, default_severity, title
 from .diagnostics import Diagnostic, LintReport, Severity, Span
 from .expr_analyzer import (ExpressionAnalysis, analyze_expression,
                             analyze_overhead, analyze_performance)
 from .intervals import Interval
 from .model_analyzer import lint_infrastructure, lint_pair
+from .space import (GroupCertificate, PruningCertificate, SpaceReport,
+                    analyze_space, build_pruning_certificate)
 
 __all__ = [
     "CODES",
@@ -42,4 +46,15 @@ __all__ = [
     "Interval",
     "lint_infrastructure",
     "lint_pair",
+    "CANONICAL_VERSION",
+    "canonical_form",
+    "canonical_json",
+    "canonical_key",
+    "combo_key",
+    "design_canonical_key",
+    "GroupCertificate",
+    "PruningCertificate",
+    "SpaceReport",
+    "analyze_space",
+    "build_pruning_certificate",
 ]

@@ -1,0 +1,111 @@
+"""Canonical tier keys: content-addressed hashes of availability models.
+
+The search space massively shares structure: at a fixed ``(resource,
+n, m, s)`` skeleton, every *performance-only* mechanism setting, every
+spelling of the same duration, and -- for spare-less tiers -- every
+spare activation prefix generates the **same** numeric availability
+model.  This module normalizes a
+:class:`~repro.availability.TierAvailabilityModel` into a plain-data
+*canonical form* (unit canonicalization, parameter ordering, dropping
+operational-mode attributes that no engine consults) and hashes it
+into a stable, content-addressed **canonical key**.
+
+Soundness contract (verified by the differential suite in
+``tests/properties/test_space_props.py``)::
+
+    canonical_key(model_a) == canonical_key(model_b)
+        =>  every engine produces bit-identical TierResult objects
+            (serialized-JSON-equal) for model_a and model_b
+
+The key is deliberately *incomplete* (different keys may still yield
+equal availability); completeness is not needed for its consumers.
+Keys are byte-stable across processes and ``PYTHONHASHSEED`` values:
+the encoding uses sorted-key JSON over :func:`repro.units
+.canonical_scalar` fragments (floats via :meth:`float.hex`), never the
+builtin ``hash`` and never ``dict`` iteration order.
+
+This is the cache-key API ROADMAP item 1 (memoized evaluation core)
+keys on: :func:`canonical_key` for a generated model,
+:func:`design_canonical_key` for a tier design, and
+:func:`combo_key` for a mechanism-configuration tuple (used by the
+dominance certificates in :mod:`repro.lint.space`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..availability.model import TierAvailabilityModel
+from ..model import MechanismConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lint <- core)
+    from ..core.design import TierDesign
+    from ..core.evaluation import DesignEvaluator
+
+#: Version tag baked into every canonical form.  Bump it whenever the
+#: canonical encoding changes so persisted caches keyed on old hashes
+#: can never alias new ones.
+CANONICAL_VERSION = 1
+
+
+def canonical_json(fragment: object) -> str:
+    """Deterministically serialize a canonical fragment.
+
+    ``sort_keys`` plus compact separators make the encoding a pure
+    function of the fragment's *content*; fragments themselves carry no
+    raw floats (scalars are pre-encoded by
+    :func:`repro.units.canonical_scalar`), so the output is
+    byte-identical across processes, platforms, and hash seeds.
+    """
+    return json.dumps(fragment, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def canonical_form(model: TierAvailabilityModel) -> dict:
+    """The normalized plain-data form of a tier availability model."""
+    form = model.canonical_form()
+    form["v"] = CANONICAL_VERSION
+    return form
+
+
+def canonical_key(model: TierAvailabilityModel) -> str:
+    """Content-addressed key of a tier availability model.
+
+    Equal keys guarantee bit-identical tier results under every
+    engine; see the module docstring for the precise contract.
+    """
+    text = canonical_json(canonical_form(model))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def design_canonical_key(evaluator: "DesignEvaluator",
+                         tier_design: "TierDesign",
+                         load: Optional[float] = None) -> str:
+    """Canonical key of the model a tier design generates.
+
+    This is the design-level entry point: performance-only mechanism
+    settings, duration spellings, and (for spare-less designs) the
+    spare activation prefix all collapse, because none of them reach
+    the generated :class:`~repro.availability.TierAvailabilityModel`'s
+    canonical form.  ``load`` is required for dynamically sized tiers
+    (it determines ``m``) and ignored for static ones.
+    """
+    model: TierAvailabilityModel = evaluator.tier_model(tier_design, load)
+    return canonical_key(model)
+
+
+def combo_key(configs: Sequence[MechanismConfig]) -> str:
+    """Content-addressed key of a mechanism-configuration tuple.
+
+    Configuration order is normalized (sorted by mechanism name, as
+    :class:`~repro.core.design.TierDesign` does), so a combo's key does
+    not depend on enumeration order.  Dominance certificates use these
+    keys to align the prover's combos with the search's.
+    """
+    fragments = [config.canonical_fragment()
+                 for config in sorted(configs,
+                                      key=lambda config: config.name)]
+    text = canonical_json({"v": CANONICAL_VERSION, "combo": fragments})
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

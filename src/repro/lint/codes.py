@@ -107,6 +107,23 @@ CODES: Dict[str, CodeInfo] = {
                        "timeout"),
     "AVD405": CodeInfo(Severity.INFO,
                        "worker pool restarted"),
+    # -- candidate-space analyzer (repro.lint.space) ----------------------
+    "AVD500": CodeInfo(Severity.INFO,
+                       "candidate space cardinality"),
+    "AVD501": CodeInfo(Severity.ERROR,
+                       "candidate space is empty"),
+    "AVD502": CodeInfo(Severity.WARNING,
+                       "region provably infeasible for the requirement"),
+    "AVD503": CodeInfo(Severity.WARNING,
+                       "redundant search dimension"),
+    "AVD504": CodeInfo(Severity.INFO,
+                       "canonical equivalence classes"),
+    "AVD505": CodeInfo(Severity.INFO,
+                       "dominance certificate coverage"),
+    "AVD506": CodeInfo(Severity.INFO,
+                       "candidates pruned by dominance certificate"),
+    "AVD507": CodeInfo(Severity.ERROR,
+                       "contradictory search-space constraints"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

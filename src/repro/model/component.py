@@ -89,6 +89,17 @@ class FailureMode:
             return self.mttr.mechanism
         return None
 
+    def canonical_fragment(self) -> dict:
+        """Normalized, JSON-stable description of this failure mode."""
+        from ..units import canonical_scalar
+        mttr = (["ref", self.mttr.mechanism]
+                if isinstance(self.mttr, MechanismRef)
+                else canonical_scalar(self.mttr))
+        return {"name": self.name,
+                "mtbf": canonical_scalar(self.mtbf),
+                "mttr": mttr,
+                "detect": canonical_scalar(self.detect_time)}
+
 
 @dataclass(frozen=True)
 class CostSchedule:
@@ -167,3 +178,24 @@ class ComponentType:
         if self.loss_window_mechanism:
             refs.append(self.loss_window_mechanism)
         return refs
+
+    def canonical_fragment(self) -> dict:
+        """Normalized, JSON-stable description of this component type.
+
+        Used by the space analyzer (:mod:`repro.lint.space`) to detect
+        structurally identical model elements; stable across processes
+        and ``PYTHONHASHSEED`` values.
+        """
+        from ..units import canonical_scalar
+        loss: object = None
+        if isinstance(self.loss_window, MechanismRef):
+            loss = ["ref", self.loss_window.mechanism]
+        elif self.loss_window is not None:
+            loss = canonical_scalar(self.loss_window)
+        return {"name": self.name,
+                "cost": [canonical_scalar(self.cost.inactive),
+                         canonical_scalar(self.cost.active)],
+                "failure_modes": [mode.canonical_fragment()
+                                  for mode in self.failure_modes],
+                "loss_window": loss,
+                "max_instances": self.max_instances}

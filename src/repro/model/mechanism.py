@@ -215,6 +215,21 @@ class MechanismConfig:
             return value
         return Duration.parse(value)
 
+    def canonical_fragment(self) -> dict:
+        """Normalized, JSON-stable description of this configuration.
+
+        Parameters are listed in sorted name order with unit-canonical
+        values (:func:`repro.units.canonical_scalar`), so two configs
+        that spell the same settings differently (``90s`` vs ``1.5m``,
+        any dict insertion order) produce identical fragments.  This is
+        the content the space analyzer's combo keys hash.
+        """
+        from ..units import canonical_scalar
+        return {"mechanism": self.mechanism.name,
+                "settings": [[key, canonical_scalar(value)]
+                             for key, value
+                             in sorted(self.settings.items())]}
+
     def __eq__(self, other) -> bool:
         return (isinstance(other, MechanismConfig)
                 and self.mechanism.name == other.mechanism.name

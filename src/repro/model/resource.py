@@ -232,6 +232,21 @@ class ResourceType:
             for slot in self.slots
         }
 
+    def canonical_fragment(self) -> dict:
+        """Normalized, JSON-stable description of this resource type.
+
+        Slot order is preserved (it determines startup order and the
+        generated availability model's mode order); durations are
+        unit-canonical via :func:`repro.units.canonical_scalar`.
+        """
+        from ..units import canonical_scalar
+        return {"name": self.name,
+                "reconfig": canonical_scalar(self.reconfig_time),
+                "slots": [{"component": slot.component,
+                           "depends": slot.depends_on,
+                           "startup": canonical_scalar(slot.startup)}
+                          for slot in self.slots]}
+
     def __repr__(self) -> str:
         return "ResourceType(%r, components=%r)" % (
             self.name, list(self.component_names))

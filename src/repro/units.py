@@ -286,6 +286,35 @@ def rate_per_hour(mtbf: Duration) -> float:
     return 1.0 / mtbf.as_hours
 
 
+def canonical_scalar(value: object) -> object:
+    """Encode one attribute value as a JSON-stable primitive.
+
+    The canonicalization contract (consumed by
+    :mod:`repro.lint.canonical`): equal values encode to byte-identical
+    JSON fragments regardless of the unit or spelling they were written
+    in (``90s`` and ``1.5m`` are the same Duration), and the encoding
+    never depends on ``dict`` iteration order or the builtin ``hash``,
+    so it is stable across processes and ``PYTHONHASHSEED`` values.
+    Floats are rendered via :meth:`float.hex` -- an exact, locale- and
+    platform-independent spelling of the IEEE-754 value.
+    """
+    if isinstance(value, Duration):
+        return ["dur", float(value.as_seconds).hex()]
+    if isinstance(value, WorkAmount):
+        return ["work", float(value.units).hex()]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return ["f", value.hex()]
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return None
+    return ["repr", repr(value)]
+
+
 # ----------------------------------------------------------------------
 # Parameter ranges
 # ----------------------------------------------------------------------

@@ -14,7 +14,7 @@ import pytest
 from repro.cli import main
 from repro.contracts import (BENCH_RECORD_SCHEMA,
                              DESIGN_EVALUATION_SCHEMA,
-                             LINT_REPORT_SCHEMA,
+                             LINT_REPORT_SCHEMA, LINT_SPACE_SCHEMA,
                              METRICS_SNAPSHOT_SCHEMA, TRACE_SCHEMA)
 
 APP_TIER = ["--paper-ecommerce", "--app-tier-only"]
@@ -123,6 +123,17 @@ class TestJsonContracts:
                             "--format", "json"])
         assert code == 0
         validate(json.loads(output), LINT_REPORT_SCHEMA)
+
+    def test_lint_space_json_matches_schema(self):
+        code, output = run(["lint", "--paper-ecommerce", "--space",
+                            "--load", "1000", "--downtime", "100m",
+                            "--format", "json"])
+        assert code == 0
+        document = json.loads(output)
+        validate(document, LINT_SPACE_SCHEMA)
+        assert document["space"]["structures"] > 0
+        assert {d["code"] for d in document["diagnostics"]} \
+            >= {"AVD500", "AVD504", "AVD505"}
 
     def test_metrics_out_matches_schema(self, tmp_path):
         metrics_path = tmp_path / "metrics.json"

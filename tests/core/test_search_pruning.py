@@ -1,0 +1,124 @@
+"""Dominance pruning is a pure accelerator: same outcome, fewer solves.
+
+The acceptance bar: on the paper's e-commerce application tier the
+pruner skips at least 20% of the enumerated candidates while the
+serialized evaluation stays byte-identical to the unpruned run.  The
+multi-tier run must also be identical (there pruning additionally
+bounds frontier construction through the series-downtime argument).
+"""
+
+import json
+
+import pytest
+
+from repro.availability import SimulationEngine
+from repro.core import Aved, SearchLimits
+from repro.core.serialize import evaluation_to_dict
+from repro.errors import SearchError
+from repro.model import ServiceModel, ServiceRequirements
+from repro.units import Duration
+
+LIMITS = SearchLimits(max_redundancy=4)
+REQUIREMENTS = ServiceRequirements(1000.0, Duration.minutes(100))
+
+
+def outcome_json(outcome):
+    return json.dumps(evaluation_to_dict(outcome.evaluation),
+                      sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def app_runs(request):
+    infra, ecommerce = _paper_models()
+    service = ServiceModel("app-tier", [ecommerce.tier("application")])
+    runs = {}
+    for prune in (False, "auto"):
+        engine = Aved(infra, service, limits=LIMITS, prune=prune)
+        runs[prune] = engine.design(REQUIREMENTS)
+    return runs
+
+
+def _paper_models():
+    from repro.spec.paper import ecommerce_service, paper_infrastructure
+    return paper_infrastructure(), ecommerce_service()
+
+
+class TestSingleTier:
+    def test_outcome_is_byte_identical(self, app_runs):
+        assert outcome_json(app_runs["auto"]) == \
+            outcome_json(app_runs[False])
+
+    def test_at_least_twenty_percent_pruned(self, app_runs):
+        stats = app_runs["auto"].stats
+        assert stats.structures_enumerated > 0
+        ratio = stats.dominance_pruned / stats.structures_enumerated
+        assert ratio >= 0.20
+
+    def test_pruning_saves_solves(self, app_runs):
+        pruned = app_runs["auto"].stats
+        full = app_runs[False].stats
+        assert pruned.structures_enumerated == full.structures_enumerated
+        assert pruned.availability_evaluations < \
+            full.availability_evaluations
+        assert pruned.dominance_probes > 0
+        assert pruned.dominance_groups_pruned > 0
+        assert full.dominance_pruned == 0
+        assert full.dominance_probes == 0
+
+    def test_provenance_is_reported_not_degradation(self, app_runs):
+        outcome = app_runs["auto"]
+        assert outcome.pruning is not None
+        assert len(outcome.pruning) == \
+            outcome.stats.dominance_groups_pruned
+        assert all(diagnostic.code == "AVD506"
+                   for diagnostic in outcome.pruning)
+        assert not outcome.degraded
+        assert "dominance-pruned" in outcome.summary()
+
+    def test_unpruned_run_reports_nothing(self, app_runs):
+        outcome = app_runs[False]
+        assert outcome.pruning is None
+        assert "dominance-pruned" not in outcome.summary()
+
+
+class TestMultiTier:
+    def test_three_tier_outcome_is_byte_identical(self):
+        infra, service = _paper_models()
+        pruned = Aved(infra, service, limits=LIMITS,
+                      prune="auto").design(REQUIREMENTS)
+        full = Aved(infra, service, limits=LIMITS,
+                    prune=False).design(REQUIREMENTS)
+        assert outcome_json(pruned) == outcome_json(full)
+        assert pruned.stats.dominance_pruned > 0
+        assert pruned.stats.availability_evaluations < \
+            full.stats.availability_evaluations
+
+
+class TestEngineGating:
+    def test_auto_disables_pruning_for_simulation(self):
+        infra, ecommerce = _paper_models()
+        service = ServiceModel("app-tier",
+                               [ecommerce.tier("application")])
+        engine = Aved(infra, service,
+                      availability_engine=SimulationEngine(years=20,
+                                                           seed=1),
+                      limits=SearchLimits(max_redundancy=1),
+                      prune="auto")
+        outcome = engine.design(ServiceRequirements(
+            1000.0, Duration.minutes(500)))
+        assert outcome.stats.dominance_pruned == 0
+        assert outcome.stats.dominance_probes == 0
+        assert outcome.pruning is None
+
+    def test_explicit_true_forces_pruning(self):
+        infra, ecommerce = _paper_models()
+        service = ServiceModel("app-tier",
+                               [ecommerce.tier("application")])
+        engine = Aved(infra, service, limits=LIMITS, prune=True)
+        outcome = engine.design(REQUIREMENTS)
+        assert outcome.stats.dominance_pruned > 0
+
+    def test_invalid_prune_value_is_rejected(self):
+        infra, ecommerce = _paper_models()
+        with pytest.raises(SearchError):
+            Aved(infra, ecommerce, prune="always")

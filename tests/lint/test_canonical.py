@@ -1,0 +1,173 @@
+"""Canonical keys: equality/inequality, the s==0 collapse, stability.
+
+The contract (:mod:`repro.lint.canonical`): equal canonical keys imply
+bit-identical tier availability under every engine, and the key of a
+model is a pure function of its canonical form -- stable across
+processes, interpreter hash randomization, and unit spellings.  The
+differential half of the contract (equal key => equal TierResult) is
+exercised by ``tests/properties/test_space_props.py``; this file pins
+the key algebra itself.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.availability import FailureModeEntry, TierAvailabilityModel
+from repro.core import DesignEvaluator, SearchLimits, TierSearch
+from repro.core.design import TierDesign
+from repro.lint import (CANONICAL_VERSION, canonical_form, canonical_json,
+                        canonical_key, combo_key, design_canonical_key)
+from repro.model import ServiceModel
+from repro.units import Duration
+
+
+def mode(name="box.hard", mtbf_h=1000.0, mttr_h=8.0, failover_m=5.0,
+         susceptible=False):
+    return FailureModeEntry(name=name,
+                            mtbf=Duration.hours(mtbf_h),
+                            mttr=Duration.hours(mttr_h),
+                            failover_time=Duration.minutes(failover_m),
+                            spare_susceptible=susceptible)
+
+
+def model(n=3, m=2, s=0, modes=None, crew=None):
+    return TierAvailabilityModel(name="web", n=n, m=m, s=s,
+                                 modes=tuple(modes or (mode(),)),
+                                 repair_crew=crew)
+
+
+class TestKeyEquality:
+    def test_identical_models_share_a_key(self):
+        assert canonical_key(model()) == canonical_key(model())
+
+    def test_unit_spelling_does_not_matter(self):
+        hours = model(modes=[mode(mttr_h=2.0)])
+        minutes = model(modes=[FailureModeEntry(
+            name="box.hard", mtbf=Duration.minutes(1000.0 * 60.0),
+            mttr=Duration.minutes(120.0),
+            failover_time=Duration.seconds(300.0))])
+        assert canonical_key(hours) == canonical_key(minutes)
+
+    def test_spareless_models_ignore_failover_attributes(self):
+        # With s == 0 no engine consults failover_time or
+        # spare_susceptible, so the key must collapse over them.
+        a = model(s=0, modes=[mode(failover_m=5.0, susceptible=False)])
+        b = model(s=0, modes=[mode(failover_m=500.0, susceptible=True)])
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_spares_expose_failover_attributes(self):
+        a = model(s=1, modes=[mode(failover_m=5.0)])
+        b = model(s=1, modes=[mode(failover_m=500.0)])
+        assert canonical_key(a) != canonical_key(b)
+
+
+class TestKeyInequality:
+    def test_structure_fields_feed_the_key(self):
+        base = canonical_key(model())
+        assert canonical_key(model(n=4, m=2)) != base
+        assert canonical_key(model(m=3)) != base
+        assert canonical_key(model(s=1)) != base
+        assert canonical_key(model(crew=1)) != base
+
+    def test_mttr_feeds_the_key(self):
+        assert (canonical_key(model(modes=[mode(mttr_h=8.0)]))
+                != canonical_key(model(modes=[mode(mttr_h=4.0)])))
+
+    def test_mode_order_is_significant(self):
+        # Engines report mode_results in model order, so permuted modes
+        # are *not* result-identical and must not collapse.
+        first = model(modes=[mode("a"), mode("b", mtbf_h=500.0)])
+        second = model(modes=[mode("b", mtbf_h=500.0), mode("a")])
+        assert canonical_key(first) != canonical_key(second)
+
+
+class TestStability:
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_json(canonical_form(model()))
+        assert ": " not in text and ", " not in text
+        parsed = json.loads(text)
+        assert parsed["v"] == CANONICAL_VERSION
+        assert list(parsed) == sorted(parsed)
+
+    def test_key_is_stable_across_hash_randomization(self):
+        # The key must not depend on interpreter hash state: compute it
+        # in subprocesses under different PYTHONHASHSEED values and
+        # compare with the in-process value.
+        script = (
+            "from repro.availability import (FailureModeEntry,"
+            " TierAvailabilityModel)\n"
+            "from repro.lint import canonical_key\n"
+            "from repro.units import Duration\n"
+            "m = TierAvailabilityModel(name='web', n=3, m=2, s=1,"
+            " modes=(FailureModeEntry(name='box.hard',"
+            " mtbf=Duration.hours(1000.0), mttr=Duration.hours(8.0),"
+            " failover_time=Duration.minutes(5.0)),"
+            " FailureModeEntry(name='os.crash',"
+            " mtbf=Duration.days(60.0), mttr=Duration.minutes(7.5),"
+            " failover_time=Duration.minutes(5.0),"
+            " spare_susceptible=True)))\n"
+            "print(canonical_key(m))\n")
+        keys = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [path for path in sys.path if path])
+            output = subprocess.run(
+                [sys.executable, "-c", script], env=env, check=True,
+                capture_output=True, text=True).stdout.strip()
+            keys.append(output)
+        local = canonical_key(TierAvailabilityModel(
+            name="web", n=3, m=2, s=1,
+            modes=(FailureModeEntry(
+                name="box.hard", mtbf=Duration.hours(1000.0),
+                mttr=Duration.hours(8.0),
+                failover_time=Duration.minutes(5.0)),
+                FailureModeEntry(
+                    name="os.crash", mtbf=Duration.days(60.0),
+                    mttr=Duration.minutes(7.5),
+                    failover_time=Duration.minutes(5.0),
+                    spare_susceptible=True))))
+        assert keys == [local, local]
+
+
+class TestComboAndDesignKeys:
+    def test_combo_key_ignores_config_order(self, paper_infra):
+        first = list(
+            paper_infra.mechanism("maintenanceA").configurations())
+        second = list(
+            paper_infra.mechanism("maintenanceB").configurations())
+        a, b = first[0], second[0]
+        assert combo_key((a, b)) == combo_key((b, a))
+        assert combo_key((a,)) != combo_key((b,))
+        assert combo_key((first[0],)) != combo_key((first[-1],))
+
+    def test_design_key_matches_tier_model_key(self, paper_infra,
+                                               app_tier_service):
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        search = TierSearch(evaluator, SearchLimits(max_redundancy=1))
+        designs = [candidate.design for candidate in
+                   search.enumerate_candidates("application", 1000.0)]
+        assert designs
+        for design in designs[:8]:
+            assert design_canonical_key(evaluator, design, 1000.0) == \
+                canonical_key(evaluator.tier_model(design, 1000.0))
+
+    def test_spareless_designs_collapse_over_prefixes(self, paper_infra,
+                                                      ecommerce):
+        # Same structure, different (meaningless) spare prefix: the
+        # design key must collapse because s == 0 drops the prefix's
+        # entire influence on the model.
+        service = ServiceModel("app-tier", [ecommerce.tier("application")])
+        evaluator = DesignEvaluator(paper_infra, service)
+        structural, _ = evaluator.required_mechanisms("application", "rC")
+        search = TierSearch(evaluator, SearchLimits())
+        combo = search._mechanism_combos(structural)[0]
+        plain = TierDesign("application", "rC", 6, 0,
+                           mechanism_configs=combo)
+        decorated = TierDesign("application", "rC", 6, 0,
+                               spare_active_prefix=("machineA",),
+                               mechanism_configs=combo)
+        assert design_canonical_key(evaluator, plain, 1000.0) == \
+            design_canonical_key(evaluator, decorated, 1000.0)

@@ -138,3 +138,44 @@ class TestJsonOutput:
                   if d["code"] == "AVD105"]
         assert dbz["span"]["line"] == 5
         assert dbz["span"]["source"]
+
+
+class TestSpaceAnalysis:
+    def test_space_appends_avd500_series(self):
+        code, output = run(["lint", "--paper-ecommerce", "--space",
+                            "--load", "1000", "--downtime", "100m"])
+        assert code == 0
+        assert "AVD500" in output and "AVD505" in output
+        assert "candidate space:" in output
+
+    def test_space_json_carries_a_space_member(self):
+        code, output = run(["lint", "--paper-ecommerce", "--space",
+                            "--load", "1000", "--format", "json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["space"]["structures"] > 0
+        tiers = {tier["tier"] for tier in payload["space"]["tiers"]}
+        assert tiers == {"web", "application", "database"}
+
+    def test_space_strict_escalates_reachability_warnings(self):
+        # The paper models have provably-infeasible zero-redundancy
+        # regions at 100 min/yr (AVD502, warnings).
+        argv = ["lint", "--paper-ecommerce", "--space",
+                "--load", "1000", "--downtime", "100m"]
+        code, output = run(argv + ["--strict"])
+        assert code == 1
+        assert "AVD502" in output
+
+    def test_space_contradictory_fix_fails(self):
+        code, output = run(["lint", "--paper-ecommerce", "--space",
+                            "--load", "1000",
+                            "--fix", "maintenanceA.level=diamond"])
+        assert code == 1
+        assert "AVD507" in output
+
+    def test_space_skipped_when_models_are_broken(self, spec_files):
+        code, output = run(["lint", "--space"]
+                           + spec_files(INFRA_DANGLING, SERVICE_OK))
+        assert code == 1
+        assert "AVD203" in output
+        assert "AVD500" not in output

@@ -39,13 +39,48 @@ class TestMarkovInvariants:
     @given(tier_models())
     @settings(max_examples=40, deadline=None)
     def test_spares_never_hurt(self, model):
-        """Adding a spare can only reduce (or keep) unavailability."""
+        """An *instantly activating* spare can only reduce unavailability.
+
+        The instant-activation restriction is load-bearing: with a slow
+        activation (failover) time, recovery from the deepest states
+        becomes repair -> rejoin the spare pool -> activate, a series
+        path the in-place chain does not have, so a spare can
+        *marginally raise* unavailability at the rare all-slots-down
+        margin (see test_slow_activation_spare_can_marginally_hurt).
+        """
+        mode = model.modes[0]
+        instant = FailureModeEntry(mode.name, mode.mtbf, mode.mttr,
+                                   Duration.seconds(1.0),
+                                   mode.spare_susceptible)
+        base_model = TierAvailabilityModel(
+            model.name, n=model.n, m=model.m, s=model.s, modes=(instant,))
         more_spares = TierAvailabilityModel(
             model.name, n=model.n, m=model.m, s=model.s + 1,
-            modes=model.modes)
-        base = MarkovEngine().evaluate_tier(model).unavailability
+            modes=(instant,))
+        base = MarkovEngine().evaluate_tier(base_model).unavailability
         better = MarkovEngine().evaluate_tier(more_spares).unavailability
         assert better <= base * (1 + 1e-9) + 1e-15
+
+    def test_slow_activation_spare_can_marginally_hurt(self):
+        """Regression pin: a slowly-activating spare is not a free win.
+
+        Hypothesis found this counterexample to the unrestricted
+        "spares never hurt" claim: at (n=4, m=1), MTTR 1h and a 46m
+        activation time, adding one spare *raises* unavailability by
+        ~1% relative, because the all-slots-down state now drains
+        through repair + activation in series instead of in-place
+        repair alone.  The effect is real chain structure, not noise
+        or truncation, and stays second-order.
+        """
+        mode = FailureModeEntry(
+            "hard", Duration.days(5.0), Duration.hours(1.0),
+            Duration.minutes(46.0), spare_susceptible=False)
+        base = MarkovEngine().evaluate_tier(TierAvailabilityModel(
+            "t", n=4, m=1, s=0, modes=(mode,))).unavailability
+        more = MarkovEngine().evaluate_tier(TierAvailabilityModel(
+            "t", n=4, m=1, s=1, modes=(mode,))).unavailability
+        assert more > base            # the spare hurts here...
+        assert more <= base * 1.02    # ...by a second-order margin
 
     @given(tier_models())
     @settings(max_examples=40, deadline=None)
