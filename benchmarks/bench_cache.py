@@ -1,0 +1,140 @@
+"""Cold-vs-warm speedup and disabled-overhead of the tier cache.
+
+Two numbers carry the cache's performance story:
+
+* a **warm** design run over the paper's e-commerce service must beat
+  a **cold** run by at least 3x -- the search's cost is dominated by
+  tier solves, and a warm store answers them from disk/memory instead
+  of re-solving CTMCs;
+* with no cache attached, the wiring must cost **under 5%** -- the
+  cache is opt-in, so runs that never asked for it must not pay for
+  it.
+
+Both are measured as back-to-back pairs with alternating order and
+fastest-rep selection, the same discipline as ``bench_parallel``.
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.core import Aved
+from repro.model import ServiceRequirements
+from repro.spec.paper import ecommerce_service
+from repro.units import Duration
+
+from .conftest import write_bench_json, write_report
+
+REQUIREMENTS = ServiceRequirements(1000.0, Duration.minutes(100))
+
+
+def budgets(smoke):
+    """(paired reps, warm speedup floor, disabled-overhead ceiling)."""
+    if smoke:
+        return 2, 1.2, 0.30      # indicative only under --smoke
+    return 5, 3.0, 0.05
+
+
+def time_design(infrastructure, service, cache=None):
+    started = time.perf_counter()
+    outcome = Aved(infrastructure, service,
+                   cache=cache).design(REQUIREMENTS)
+    return time.perf_counter() - started, outcome
+
+
+def measure_cold_warm(infrastructure, service, reps):
+    """Fastest cold run vs fastest warm run over a shared store."""
+    cold_times, warm_times = [], []
+    evaluations = set()
+    for _ in range(reps):
+        cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+        try:
+            cold, outcome = time_design(infrastructure, service,
+                                        cache=cache_dir)
+            evaluations.add(outcome.design.describe())
+            warm, outcome = time_design(infrastructure, service,
+                                        cache=cache_dir)
+            evaluations.add(outcome.design.describe())
+            cold_times.append(cold)
+            warm_times.append(warm)
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    assert len(evaluations) == 1, "cache changed the designed system"
+    return min(cold_times), min(warm_times)
+
+
+def measure_disabled_overhead(infrastructure, service, reps):
+    """Cache-off runs before/after the cache code existed cost alike."""
+    baseline_times, wired_times = [], []
+    for rep in range(reps):
+        if rep % 2 == 0:
+            baseline, _ = time_design(infrastructure, service)
+            wired, _ = time_design(infrastructure, service, cache=None)
+        else:
+            wired, _ = time_design(infrastructure, service, cache=None)
+            baseline, _ = time_design(infrastructure, service)
+        baseline_times.append(baseline)
+        wired_times.append(wired)
+    return min(baseline_times), min(wired_times)
+
+
+@pytest.fixture(scope="module")
+def cache_report(smoke, paper_infra):
+    ecommerce = ecommerce_service()
+    reps, speedup_floor, overhead_budget = budgets(smoke)
+    time_design(paper_infra, ecommerce)              # warm the code
+    cold, warm = measure_cold_warm(paper_infra, ecommerce, reps)
+    baseline, wired = measure_disabled_overhead(paper_infra, ecommerce,
+                                                reps)
+    speedup = cold / warm
+    overhead = wired / baseline - 1.0
+    lines = [
+        "tier-evaluation cache: cold-vs-warm paired runs "
+        "(e-commerce, 1000 users, 100 min)",
+        "",
+        "cold (empty store):  %8.1f ms fastest of %d" % (cold * 1e3,
+                                                         reps),
+        "warm (shared store): %8.1f ms fastest of %d" % (warm * 1e3,
+                                                         reps),
+        "speedup:             %8.2fx (floor %.1fx)" % (speedup,
+                                                       speedup_floor),
+        "",
+        "cache-off run:       %8.1f ms fastest of %d" % (baseline * 1e3,
+                                                         reps),
+        "cache=None wiring:   %8.1f ms fastest of %d" % (wired * 1e3,
+                                                         reps),
+        "disabled overhead:   %+7.2f%% (budget %.0f%%)"
+        % (overhead * 100.0, overhead_budget * 100.0),
+    ]
+    write_bench_json("cache",
+                     {"cold_seconds": cold,
+                      "warm_seconds": warm,
+                      "warm_speedup": speedup,
+                      "baseline_seconds": baseline,
+                      "disabled_seconds": wired,
+                      "disabled_overhead_ratio": overhead},
+                     meta={"speedup_floor": speedup_floor,
+                           "overhead_budget": overhead_budget,
+                           "reps": reps},
+                     smoke=smoke)
+    write_report("cache.txt", "\n".join(lines))
+    return speedup, overhead
+
+
+def test_warm_cache_speedup_meets_floor(cache_report, smoke):
+    speedup_floor = budgets(smoke)[1]
+    speedup = cache_report[0]
+    assert speedup >= speedup_floor, (
+        "warm cache only %.2fx faster than cold (floor %.1fx)"
+        % (speedup, speedup_floor))
+
+
+def test_disabled_cache_overhead_under_budget(cache_report, smoke):
+    overhead_budget = budgets(smoke)[2]
+    overhead = cache_report[1]
+    assert overhead < overhead_budget, (
+        "cache-off runs pay %.2f%% for the cache wiring "
+        "(budget %.0f%%)" % (overhead * 100.0,
+                             overhead_budget * 100.0))

@@ -1,0 +1,183 @@
+"""Engine wrapper that serves tier solves from the persistent store.
+
+:func:`attach_cache` is the single wiring point: given any engine the
+design runtime may be using -- a plain Markov/analytic/simulation
+engine, or a :class:`~repro.resilience.FallbackEngine` chain -- it
+inserts :class:`CachedEngine` wrappers exactly where caching is
+*sound* and leaves everything else untouched.
+
+Soundness rules (who gets a cache identity):
+
+* :class:`~repro.availability.MarkovEngine` and
+  :class:`~repro.availability.AnalyticEngine` are deterministic pure
+  functions of the canonical model -- always cacheable;
+* :class:`~repro.availability.SimulationEngine` is cacheable only when
+  *seeded* (``simulate_tier`` builds a fresh seeded simulator per
+  call, so a seeded engine is a deterministic function too); an
+  unseeded simulation is a fresh random draw each call and must never
+  be cached;
+* everything else (:class:`~repro.resilience.ChaosEngine`, an already
+  wrapped engine, user-registered engines) is passed through --
+  identity is established by **exact type**, never ``engine.name``,
+  because chaos wrappers mirror their inner engine's name.
+
+For a fallback chain each cacheable *rung* is wrapped in place rather
+than the chain itself: whether a rung answers still goes through the
+chain's retry/breaker/validation policy (a cache hit is just a very
+fast rung success), and the chain's name-keyed bookkeeping keeps
+working because :class:`CachedEngine` adopts its inner engine's name.
+Caching the whole chain would be unsound -- which rung answers depends
+on runtime fault state, so equal models need not get equal results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..availability import (AnalyticEngine, AvailabilityEngine,
+                            MarkovEngine, SimulationEngine,
+                            TierAvailabilityModel, TierResult)
+from .store import TierEvaluationStore
+
+
+def engine_cache_id(engine: AvailabilityEngine) -> Optional[str]:
+    """The stable cache identity of ``engine``, or None if uncacheable.
+
+    The identity names the *algorithm and its determinism-relevant
+    parameters*, versioned so result-changing engine fixes can bust
+    the cache by bumping the suffix.
+    """
+    if type(engine) is MarkovEngine:
+        return "markov@1"
+    if type(engine) is AnalyticEngine:
+        return "analytic@1"
+    if type(engine) is SimulationEngine:
+        if engine.seed is None:
+            return None           # fresh random draw per call
+        return "simulation@1;years=%r;seed=%d;det_repairs=%d" % (
+            engine.years, engine.seed, int(engine.deterministic_repairs))
+    return None
+
+
+class CachedEngine(AvailabilityEngine):
+    """A cacheable engine fronted by a :class:`TierEvaluationStore`.
+
+    Adopts the inner engine's ``name`` so name-keyed machinery
+    (fallback breakers, provenance bookkeeping, engine spans) is
+    oblivious to the wrapper.  Every hit returns a *fresh*
+    :class:`~repro.availability.TierResult` (rebuilt from the stored
+    payload), so callers that annotate results in place cannot
+    contaminate the store.
+    """
+
+    def __init__(self, inner: AvailabilityEngine,
+                 store: TierEvaluationStore, cache_id: str):
+        self.inner = inner
+        self.store = store
+        self.cache_id = cache_id
+        self.name = inner.name
+
+    def evaluate_tier(self, model: TierAvailabilityModel) -> TierResult:
+        cached = self.store.get(self.cache_id, model)
+        if cached is not None:
+            return cached
+        result = self.inner.evaluate_tier(model)
+        self.store.put(self.cache_id, model, result)
+        return result
+
+    def cache_probe(self, model: TierAvailabilityModel) \
+            -> Optional[TierResult]:
+        """A store-only lookup (no solve, no write) for prefetchers."""
+        return self.store.get(self.cache_id, model)
+
+    def drain_log(self):
+        """Forward to the inner engine when it keeps a degradation log.
+
+        The *store's* log is drained once, store-side, by the design
+        engine -- several wrappers may share one store, so draining it
+        per-wrapper would double-report.
+        """
+        inner_drain = getattr(self.inner, "drain_log", None)
+        if inner_drain is not None:
+            return inner_drain()
+        from ..resilience.events import DegradationLog
+        return DegradationLog()
+
+    def reset(self) -> None:
+        inner_reset = getattr(self.inner, "reset", None)
+        if inner_reset is not None:
+            inner_reset()
+
+
+def attach_cache(engine: AvailabilityEngine,
+                 store: TierEvaluationStore) -> AvailabilityEngine:
+    """Wire ``store`` into ``engine`` wherever caching is sound.
+
+    Returns the engine to use (a wrapper, the same object with rungs
+    wrapped in place, or the unmodified engine when nothing in it is
+    cacheable).
+    """
+    from ..resilience.fallback import FallbackEngine
+    if isinstance(engine, FallbackEngine):
+        for index, rung in enumerate(engine.engines):
+            cache_id = engine_cache_id(rung)
+            if cache_id is not None:
+                engine.engines[index] = CachedEngine(rung, store, cache_id)
+        return engine
+    cache_id = engine_cache_id(engine)
+    if cache_id is None:
+        return engine
+    return CachedEngine(engine, store, cache_id)
+
+
+def iter_cached_engines(engine: AvailabilityEngine) \
+        -> Iterator[CachedEngine]:
+    """Every :class:`CachedEngine` reachable from ``engine``."""
+    from ..resilience.fallback import FallbackEngine
+    if isinstance(engine, CachedEngine):
+        yield engine
+    elif isinstance(engine, FallbackEngine):
+        for rung in engine.engines:
+            if isinstance(rung, CachedEngine):
+                yield rung
+
+
+def verify_sampled_hits(store: TierEvaluationStore,
+                        engine: AvailabilityEngine) -> bool:
+    """Paranoid verification: re-solve the store's sampled hits.
+
+    Each hit the store sampled (seeded reservoir, enabled by setting
+    ``verify_sample``) is recomputed on the matching *uncached* engine
+    and compared byte-for-byte in canonical form.  A divergence means
+    the store served a wrong-but-well-checksummed answer -- a key
+    collision, an engine-identity bug, tampered entries rewritten with
+    fresh checksums -- so the *whole store* is quarantined (``AVD604``
+    plus an on-disk marker that blocks future opens), not just the
+    entry.  Returns True when every sample matched.
+    """
+    from ..lint.canonical import canonical_json
+    from .store import tier_result_to_payload
+    wrappers = {wrapper.cache_id: wrapper
+                for wrapper in iter_cached_engines(engine)}
+    checked = 0
+    for cache_id, model, payload in store.verify_samples():
+        wrapper = wrappers.get(cache_id)
+        if wrapper is None:
+            continue
+        fresh = wrapper.inner.evaluate_tier(model)
+        checked += 1
+        if canonical_json(tier_result_to_payload(fresh)) \
+                != canonical_json(payload):
+            store.bump("verify_checked", checked)
+            store.quarantine_store(
+                "re-solve of a sampled hit for tier %r diverged from "
+                "the stored entry under engine %r"
+                % (model.name, cache_id))
+            return False
+    if checked:
+        store.bump("verify_checked", checked)
+    return True
+
+
+__all__ = ["CachedEngine", "attach_cache", "engine_cache_id",
+           "iter_cached_engines", "verify_sampled_hits"]

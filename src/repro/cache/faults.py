@@ -1,0 +1,83 @@
+"""Seeded fault injection for the tier-evaluation store.
+
+A :class:`CacheFaultPlan` is attached to a
+:class:`~repro.cache.TierEvaluationStore` (``fault_plan=``) and
+consulted on every *write*: for each write operation it may decree a
+torn write (the entry file is truncated mid-payload), a flipped byte
+(silent media corruption), an injected ``ENOSPC``, a stale-version
+entry (written by an "older" release), or a mid-write kill (the writer
+dies between temp-write and rename, raising :class:`CacheKilled`).
+
+Decisions are pure functions of ``(seed, op_index)`` -- the same plan
+replays the same fault schedule regardless of thread interleaving or
+wall-clock -- mirroring :class:`repro.resilience.WorkerFaultPlan`.
+
+The chaos suite (``tests/cache/test_chaos.py``) drives stores through
+these storms and asserts the paper-level invariant: faults are
+*detected* (quarantine + AVD6xx diagnostics) and *survived* (the store
+degrades, the search completes), and the designed system is
+byte-identical to a cache-off run -- corruption may cost speed, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CacheKilled(BaseException):
+    """Simulated ``kill -9`` of a store writer mid-write.
+
+    Deliberately a :class:`BaseException`: real kills are not
+    catchable, so no ``except Exception`` recovery path in the store
+    may swallow one.  The test harness catches it at the call site the
+    way a supervisor observes a dead process.
+    """
+
+
+@dataclass(frozen=True)
+class CacheFaultPlan:
+    """Deterministic schedule of storage faults for cache writes.
+
+    Rates are independent probabilities evaluated in a fixed order
+    (torn, flip, enospc, stale, kill) from a single per-op draw, so at
+    most one fault fires per write.
+    """
+
+    seed: int = 0
+    torn_write_rate: float = 0.0
+    flip_byte_rate: float = 0.0
+    enospc_rate: float = 0.0
+    stale_version_rate: float = 0.0
+    kill_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("torn_write_rate", "flip_byte_rate", "enospc_rate",
+                     "stale_version_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r"
+                                 % (name, rate))
+
+    def decide(self, op_index: int) -> Optional[str]:
+        """The fault (if any) to inject on write number ``op_index``.
+
+        Pure: depends only on ``(seed, op_index)``.
+        """
+        rng = random.Random(hash((self.seed, op_index)))
+        draw = rng.random()
+        cumulative = 0.0
+        for action, rate in (("torn", self.torn_write_rate),
+                             ("flip", self.flip_byte_rate),
+                             ("enospc", self.enospc_rate),
+                             ("stale", self.stale_version_rate),
+                             ("kill", self.kill_rate)):
+            cumulative += rate
+            if draw < cumulative:
+                return action
+        return None
+
+
+__all__ = ["CacheFaultPlan", "CacheKilled"]

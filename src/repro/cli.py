@@ -9,6 +9,7 @@ Subcommands::
     python -m repro validate  [model options]
     python -m repro lint      [--format json] [--strict] [--space] [...]
     python -m repro profile   --load 1000 --downtime 100m [model options]
+    python -m repro cache     stats|verify|purge [DIR]
     python -m repro serve     --data-dir state/ [--port 8080]
 
 Model options: ``--infrastructure FILE`` and ``--service FILE`` load
@@ -145,6 +146,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max annual downtime, e.g. 100m")
     _add_search_options(analyze)
 
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain a persistent tier-evaluation "
+                      "store (see docs/CACHING.md)")
+    cache.add_argument("action", choices=["stats", "verify", "purge"],
+                       help="stats: counters and size as JSON; verify: "
+                            "full integrity scan (quarantines bad "
+                            "entries, exits 1 when any were found or "
+                            "the store is quarantined); purge: delete "
+                            "every entry and lift a quarantine marker")
+    cache.add_argument("dir", nargs="?", default=None, metavar="DIR",
+                       help="store directory (default: the REPRO_CACHE "
+                            "environment variable)")
+
     serve = subparsers.add_parser(
         "serve", help="run the design service daemon: accept design "
                       "jobs over a JSON HTTP API with admission "
@@ -201,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--allow-test-faults", action="store_true",
                        help="honor test_fault payload fields "
                             "(loadgen chaos); never use in production")
+    serve.add_argument("--cache", metavar="DIR", default=None,
+                       help="share a persistent tier-evaluation store "
+                            "across all design jobs (default: the "
+                            "REPRO_CACHE environment variable, else "
+                            "off)")
+    serve.add_argument("--cache-verify", action="store_true",
+                       help="re-solve a seeded sample of cache hits "
+                            "after each job; any divergence "
+                            "quarantines the store (AVD604)")
     serve.add_argument("--seed", type=int, default=1, metavar="N")
 
     return parser
@@ -269,6 +292,18 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
                         action="store_const", const=False,
                         help="disable dominance pruning and evaluate "
                              "every candidate")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="persist tier availability solves in DIR "
+                             "and serve repeats from it; safe to share "
+                             "across concurrent runs, and the designed "
+                             "system is identical with the cache off, "
+                             "cold, or warm (default: the REPRO_CACHE "
+                             "environment variable, else off)")
+    parser.add_argument("--cache-verify", action="store_true",
+                        help="paranoid mode: re-solve a seeded sample "
+                             "of cache hits after the search and "
+                             "quarantine the whole store on any "
+                             "divergence (AVD604)")
 
 
 def load_models(args, validate: bool = True) -> tuple:
@@ -368,6 +403,25 @@ def resolve_jobs(args) -> Optional[int]:
     return jobs
 
 
+def resolve_cache(args) -> tuple:
+    """``(--cache, --cache-verify)``, with the ``REPRO_CACHE`` fallback.
+
+    Like ``REPRO_JOBS``, the env fallback lets a CI leg (or a user
+    shell) put a shared tier-evaluation store under an entire existing
+    CLI workflow without editing any invocation -- safe because a
+    cached run designs the identical system.
+    """
+    cache = getattr(args, "cache", None)
+    if cache is None:
+        env = os.environ.get("REPRO_CACHE", "").strip()
+        if env:
+            cache = env
+    verify = bool(getattr(args, "cache_verify", False))
+    if verify and cache is None:
+        raise AvedError("--cache-verify requires --cache (or REPRO_CACHE)")
+    return cache, verify
+
+
 def make_checkpoint(args):
     """Build (or resume) the search checkpoint requested by the CLI."""
     path = getattr(args, "checkpoint", None)
@@ -447,6 +501,7 @@ def cmd_design(args, out) -> int:
     infrastructure, service = load_models(args)
     requirements = make_requirements(args)
     jobs = resolve_jobs(args)
+    cache, cache_verify = resolve_cache(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
@@ -454,7 +509,9 @@ def cmd_design(args, out) -> int:
                   checkpoint=make_checkpoint(args),
                   jobs=jobs,
                   task_timeout=args.task_timeout,
-                  prune=args.prune)
+                  prune=args.prune,
+                  cache=cache,
+                  cache_verify=cache_verify)
     observe = bool(args.trace or args.metrics_out)
     observer = Observer() if observe else None
     try:
@@ -488,13 +545,16 @@ def cmd_profile(args, out) -> int:
     infrastructure, service = load_models(args)
     requirements = make_requirements(args)
     jobs = resolve_jobs(args)
+    cache, cache_verify = resolve_cache(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
                   jobs=jobs,
                   task_timeout=args.task_timeout,
-                  prune=args.prune)
+                  prune=args.prune,
+                  cache=cache,
+                  cache_verify=cache_verify)
     observer = Observer()
     outcome = None
     infeasible = None
@@ -538,6 +598,15 @@ def cmd_frontier(args, out) -> int:
                                 engine=make_engine(args),
                                 repair_crew=args.repair_crew)
     jobs = resolve_jobs(args)
+    cache, cache_verify = resolve_cache(args)
+    store = None
+    if cache is not None:
+        from .cache import TierEvaluationStore, attach_cache
+        store = (cache if isinstance(cache, TierEvaluationStore)
+                 else TierEvaluationStore(str(cache)))
+        if cache_verify and store.verify_sample <= 0:
+            store.verify_sample = 8
+        evaluator.engine = attach_cache(evaluator.engine, store)
     runtime = None
     if jobs is not None:
         from .parallel import make_runtime
@@ -551,6 +620,12 @@ def cmd_frontier(args, out) -> int:
     finally:
         if runtime is not None:
             runtime.close()
+    if store is not None and cache_verify:
+        from .cache import verify_sampled_hits
+        if not verify_sampled_hits(store, evaluator.engine):
+            raise AvedError(
+                "cache verification mismatch: a sampled hit diverged "
+                "from a fresh solve; store %r quarantined" % store.root)
     if not frontier:
         print("no designs can carry load %g on tier %r"
               % (args.load, args.tier), file=out)
@@ -628,13 +703,16 @@ def cmd_analyze(args, out) -> int:
     from .analysis import downtime_budget_table, tornado_table
     infrastructure, service = load_models(args)
     jobs = resolve_jobs(args)
+    cache, cache_verify = resolve_cache(args)
     engine = Aved(infrastructure, service,
                   availability_engine=make_engine(args),
                   limits=make_limits(args),
                   repair_crew=args.repair_crew,
                   jobs=jobs,
                   task_timeout=args.task_timeout,
-                  prune=args.prune)
+                  prune=args.prune,
+                  cache=cache,
+                  cache_verify=cache_verify)
     requirements = ServiceRequirements(args.load,
                                        Duration.parse(args.downtime))
     try:
@@ -663,6 +741,34 @@ def cmd_analyze(args, out) -> int:
     return 0
 
 
+def cmd_cache(args, out) -> int:
+    """Inspect or maintain a persistent tier-evaluation store.
+
+    Always emits JSON (the ``CACHE_STATUS_SCHEMA`` contract in
+    :mod:`repro.contracts`), so scripts and CI legs can gate on it.
+    """
+    import json
+    from .cache import TierEvaluationStore
+    root = args.dir or os.environ.get("REPRO_CACHE", "").strip()
+    if not root:
+        raise AvedError("provide a store directory (or set REPRO_CACHE)")
+    if not os.path.isdir(root):
+        raise AvedError("no tier-evaluation store at %r" % root)
+    store = TierEvaluationStore(root, scrub=False)
+    payload = {"action": args.action}
+    code = 0
+    if args.action == "verify":
+        result = store.verify_all()
+        payload["verify"] = result
+        if result["corrupt"] or os.path.exists(store.marker_path):
+            code = 1
+    elif args.action == "purge":
+        payload["removed"] = store.purge()
+    payload["store"] = store.stats()
+    print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    return code
+
+
 def cmd_serve(args, out) -> int:
     """Boot the design service daemon and block until drained."""
     from .serve import DesignDaemon, ServeConfig
@@ -683,6 +789,8 @@ def cmd_serve(args, out) -> int:
         checkpoint_interval=args.checkpoint_interval,
         fsync=not args.no_fsync,
         allow_test_faults=args.allow_test_faults,
+        cache_dir=resolve_cache(args)[0],
+        cache_verify=args.cache_verify,
         seed=args.seed)
     daemon = DesignDaemon(config)
     print("serving on %s (data dir %s)" % (daemon.url, args.data_dir),
@@ -710,6 +818,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "describe": cmd_describe,
     "profile": cmd_profile,
+    "cache": cmd_cache,
     "serve": cmd_serve,
 }
 

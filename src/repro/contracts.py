@@ -311,6 +311,7 @@ SERVE_JOB_SCHEMA: Dict[str, Any] = {
                 "degraded": {"type": "boolean"},
                 "degradation": {"type": "array",
                                 "items": {"type": "string"}},
+                "cache": {"type": "object"},
             },
         },
         "error": {
@@ -352,6 +353,7 @@ SERVE_HEALTH_SCHEMA: Dict[str, Any] = {
                 "enum": ["closed", "open", "half-open"]}},
         "pool": {"type": ["object", "null"]},
         "service_estimate_seconds": {"type": "number", "minimum": 0},
+        "cache": {"type": ["object", "null"]},
         "ready": {"type": "boolean"},
     },
 }
@@ -371,6 +373,46 @@ SERVE_SHED_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: ``repro cache stats|verify|purge`` -- the store status document
+#: (:func:`repro.cli.cmd_cache`).  ``verify`` adds the integrity-scan
+#: tally; ``purge`` adds the removed-entry count.
+CACHE_STATUS_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["action", "store"],
+    "properties": {
+        "action": {"enum": ["stats", "verify", "purge"]},
+        "store": {
+            "type": "object",
+            "required": ["root", "format", "canonical_version",
+                         "enabled", "store_quarantined", "entries",
+                         "size_bytes", "quarantined_entries",
+                         "counters"],
+            "properties": {
+                "root": {"type": "string", "minLength": 1},
+                "format": {"type": "integer", "minimum": 1},
+                "canonical_version": {"type": "integer", "minimum": 1},
+                "enabled": {"type": "boolean"},
+                "store_quarantined": {"type": "boolean"},
+                "entries": {"type": "integer", "minimum": 0},
+                "size_bytes": {"type": "integer", "minimum": 0},
+                "quarantined_entries": {"type": "integer", "minimum": 0},
+                "memory_entries": {"type": "integer", "minimum": 0},
+                "counters": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer",
+                                             "minimum": 0}},
+            },
+        },
+        "verify": {
+            "type": "object",
+            "required": ["checked", "ok", "corrupt", "stale"],
+            "additionalProperties": {"type": "integer", "minimum": 0},
+        },
+        "removed": {"type": "integer", "minimum": 0},
+    },
+}
+
 CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "design-json": DESIGN_EVALUATION_SCHEMA,
     "lint-json": LINT_REPORT_SCHEMA,
@@ -381,10 +423,12 @@ CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "serve-job": SERVE_JOB_SCHEMA,
     "serve-health": SERVE_HEALTH_SCHEMA,
     "serve-shed": SERVE_SHED_SCHEMA,
+    "cache-status": CACHE_STATUS_SCHEMA,
 }
 
 __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
            "LINT_SPACE_SCHEMA",
            "METRICS_SNAPSHOT_SCHEMA", "TRACE_SCHEMA",
            "BENCH_RECORD_SCHEMA", "SERVE_JOB_SCHEMA",
-           "SERVE_HEALTH_SCHEMA", "SERVE_SHED_SCHEMA", "CLI_SCHEMAS"]
+           "SERVE_HEALTH_SCHEMA", "SERVE_SHED_SCHEMA",
+           "CACHE_STATUS_SCHEMA", "CLI_SCHEMAS"]

@@ -48,6 +48,12 @@ class DesignOutcome:
     group); None when pruning was off or nothing was pruned.  Kept
     separate from ``degradation`` on purpose: pruning is a *proof*,
     not a fault, and must not mark the outcome :attr:`degraded`.
+
+    ``cache`` is the tier-evaluation store's per-run counter snapshot
+    (hits, misses, writes, corrupt entries quarantined, ...); None
+    when the run had no cache attached.  Cache trouble -- corruption,
+    failed writes, degradation to off, a verification mismatch --
+    additionally lands on ``degradation`` as ``AVD6xx`` diagnostics.
     """
 
     design: Design
@@ -56,6 +62,7 @@ class DesignOutcome:
     degradation: Optional[LintReport] = None
     metrics: Optional[Mapping] = None
     pruning: Optional[LintReport] = None
+    cache: Optional[Mapping] = None
 
     @property
     def annual_cost(self) -> float:
@@ -97,7 +104,9 @@ class Aved:
                  jobs: Optional[int] = None,
                  task_timeout: Optional[float] = None,
                  parallel=None,
-                 prune=False):
+                 prune=False,
+                 cache=None,
+                 cache_verify: bool = False):
         """``combination`` picks the multi-tier assembly strategy:
         ``"exact"`` (branch-and-bound over the frontier product) or
         ``"greedy"`` (the paper's incremental per-tier tightening).
@@ -140,6 +149,17 @@ class Aved:
         pruned run reaches the same :class:`DesignOutcome` as the
         unpruned one with fewer availability solves; provenance lands
         on :attr:`DesignOutcome.pruning`.
+
+        ``cache`` attaches a persistent tier-evaluation store
+        (:mod:`repro.cache`): a directory path or a pre-opened
+        :class:`~repro.cache.TierEvaluationStore`.  Deterministic
+        engines (and the deterministic rungs of a fallback chain) then
+        serve repeat solves from disk; a warm cache reaches the same
+        :class:`DesignOutcome` as a cold or cache-off run.
+        ``cache_verify`` additionally re-solves a seeded sample of
+        cache hits after the search and quarantines the whole store on
+        any divergence (``AVD604``) -- the paranoid mode for stores on
+        untrusted media.
         """
         validate_pair(infrastructure, service)
         if combination not in ("exact", "greedy"):
@@ -176,6 +196,19 @@ class Aved:
             availability_engine if availability_engine is not None
             else MarkovEngine(),
             repair_crew=repair_crew)
+        if cache_verify and cache is None:
+            raise SearchError("cache_verify requires a cache")
+        self.cache_store = None
+        self.cache_verify = cache_verify
+        if cache is not None:
+            from ..cache import TierEvaluationStore, attach_cache
+            store = (cache if isinstance(cache, TierEvaluationStore)
+                     else TierEvaluationStore(str(cache)))
+            if cache_verify and store.verify_sample <= 0:
+                store.verify_sample = 8
+            self.cache_store = store
+            self.evaluator.engine = attach_cache(self.evaluator.engine,
+                                                 store)
         self.parallel = parallel
         self._owns_runtime = False
         if parallel is None and jobs is not None:
@@ -237,6 +270,17 @@ class Aved:
                     report = runtime_report
                 else:
                     report.extend(runtime_report)
+        if self.cache_store is not None:
+            # Drained store-side (not via the engine wrapper): several
+            # wrappers -- fallback rungs, worker copies -- may share
+            # the one store, and its log must be reported exactly once.
+            cache_log = self.cache_store.drain_log()
+            if len(cache_log):
+                cache_report = cache_log.to_lint_report()
+                if report is None:
+                    report = cache_report
+                else:
+                    report.extend(cache_report)
         if self.checkpoint is not None:
             drain_checkpoint = getattr(self.checkpoint, "drain_log",
                                        None)
@@ -272,8 +316,11 @@ class Aved:
             return True
         if self.prune == "auto":
             from ..availability import AnalyticEngine
-            return isinstance(self.evaluator.engine,
-                              (MarkovEngine, AnalyticEngine))
+            from ..cache import CachedEngine
+            engine = self.evaluator.engine
+            if isinstance(engine, CachedEngine):
+                engine = engine.inner   # caching preserves determinism
+            return isinstance(engine, (MarkovEngine, AnalyticEngine))
         return False
 
     @staticmethod
@@ -298,15 +345,32 @@ class Aved:
         ``stats`` -- the invariant the observability tests pin.
         """
         stats = search.stats
+        self._verify_cache()
         degradation = self._degradation_report()
         metrics = None
         obs = _obs_current()
         if obs.enabled:
             obs.metrics.publish_search_stats(stats)
             metrics = obs.metrics.snapshot()
+        cache = (self.cache_store.snapshot()
+                 if self.cache_store is not None else None)
         return DesignOutcome(design, evaluation, stats,
                              degradation=degradation, metrics=metrics,
-                             pruning=self._pruning_report(search))
+                             pruning=self._pruning_report(search),
+                             cache=cache)
+
+    def _verify_cache(self) -> None:
+        """Paranoid mode (``cache_verify``): re-solve sampled hits.
+
+        Delegated to :func:`repro.cache.verify_sampled_hits`; a
+        divergence quarantines the whole store, and the resulting
+        ``AVD604`` event reaches the outcome via the store's
+        degradation log (drained next in :meth:`_degradation_report`).
+        """
+        if self.cache_store is None or not self.cache_verify:
+            return
+        from ..cache import verify_sampled_hits
+        verify_sampled_hits(self.cache_store, self.evaluator.engine)
 
     # ------------------------------------------------------------------
 

@@ -65,6 +65,15 @@ def outcome_summary(outcome) -> str:
         search_line += (", %d dominance-pruned via %d probe(s)"
                         % (stats.dominance_pruned, stats.dominance_probes))
     lines = [evaluation_summary(outcome.evaluation), search_line]
+    cache = getattr(outcome, "cache", None)
+    if cache is not None:
+        hits = cache.get("hits", 0)
+        attempts = hits + cache.get("misses", 0)
+        cache_line = ("cache: %d/%d tier solves served from cache"
+                      % (hits, attempts))
+        if not cache.get("enabled", True):
+            cache_line += " (degraded to off)"
+        lines.append(cache_line)
     pruning = getattr(outcome, "pruning", None)
     if pruning is not None and len(pruning):
         lines.append("pruning certificates: %s" % pruning.summary())

@@ -73,6 +73,10 @@ class CheckpointError(AvedError):
     """A search checkpoint could not be saved, loaded, or applied."""
 
 
+class CacheError(AvedError):
+    """The tier-evaluation store could not be opened or operated on."""
+
+
 class SearchError(AvedError):
     """The design-space search failed (e.g. no feasible design exists)."""
 

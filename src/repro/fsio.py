@@ -1,0 +1,132 @@
+"""Crash-safe filesystem primitives shared by the durable subsystems.
+
+Two disciplines, factored out of :mod:`repro.resilience.checkpoint` so
+the checkpoint, the tier-evaluation store (:mod:`repro.cache`), and
+any future durable state all persist the same way:
+
+* **pid-stamped sidecar locks** -- a writer creates ``<target>.lock``
+  exclusively (``O_CREAT | O_EXCL``) with its pid inside; a lock whose
+  recorded pid is dead or unreadable (the writer was killed
+  mid-rename) is *stale* and gets broken, while a lock held by a live
+  process raises :class:`LockContention` so two writers can never
+  interleave renames on one path;
+* **atomic replace** -- data is written to a temp file in the target's
+  directory, fsynced, then ``os.replace``'d over the target, so a
+  reader never observes a torn file and a crash at any instant leaves
+  either the old content or the new, never a mix.
+
+Readers need no locks under this scheme: they only ever see complete
+files (rename is atomic on POSIX), which is what lets the cache serve
+lock-free reads to any number of concurrent processes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+
+class LockContention(OSError):
+    """The sidecar lock is held by another live writer."""
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock-holder pid."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def lock_holder(lock_path: str) -> Optional[int]:
+    """The pid recorded in a lock file, or None when unreadable."""
+    try:
+        with open(lock_path) as handle:
+            return int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        return None
+
+
+def acquire_lock(target: str) -> str:
+    """Create ``<target>.lock`` exclusively; returns the lock path.
+
+    A lock held by a *live* process raises :class:`LockContention`
+    (single-writer assertion).  A stale lock -- its recorded pid is
+    dead or unreadable, e.g. the writer was killed mid-rename -- is
+    broken and acquisition retried once.
+    """
+    lock_path = target + ".lock"
+    last_exc: Optional[OSError] = None
+    for _ in range(2):
+        try:
+            fd = os.open(lock_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError as exc:
+            last_exc = exc
+            holder = lock_holder(lock_path)
+            if holder is not None and holder != os.getpid() \
+                    and pid_alive(holder):
+                contention = LockContention(
+                    "%r is locked by another live writer (pid %d)"
+                    % (target, holder))
+                contention.__cause__ = exc
+                raise contention
+            try:  # stale (dead or unreadable holder): break and retry
+                os.unlink(lock_path)
+            except OSError:
+                pass
+            continue
+        with os.fdopen(fd, "w") as handle:
+            handle.write("%d\n" % os.getpid())
+        return lock_path
+    contention = LockContention("%r lock is contended; giving up"
+                                % target)
+    contention.__cause__ = last_exc
+    raise contention
+
+
+def release_lock(lock_path: str) -> None:
+    try:
+        os.unlink(lock_path)
+    except OSError:
+        pass
+
+
+def atomic_write_bytes(target: str, data: bytes,
+                       durable: bool = True,
+                       prefix: str = ".fsio-") -> None:
+    """Write ``data`` to ``target`` via temp file + fsync + rename.
+
+    ``durable=False`` skips the fsync (faster; a power cut may then
+    lose the write, but a torn file still cannot appear).  On any
+    failure the temp file is removed and the original ``target`` is
+    left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(target))
+    handle = tempfile.NamedTemporaryFile(
+        "wb", dir=directory, prefix=prefix, suffix=".tmp", delete=False)
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["LockContention", "pid_alive", "lock_holder", "acquire_lock",
+           "release_lock", "atomic_write_bytes"]

@@ -124,6 +124,18 @@ CODES: Dict[str, CodeInfo] = {
                        "candidates pruned by dominance certificate"),
     "AVD507": CodeInfo(Severity.ERROR,
                        "contradictory search-space constraints"),
+    # -- tier-evaluation store (repro.cache) ------------------------------
+    "AVD601": CodeInfo(Severity.WARNING,
+                       "corrupt cache entry detected and quarantined"),
+    "AVD602": CodeInfo(Severity.WARNING,
+                       "cache write failed; entry not persisted"),
+    "AVD603": CodeInfo(Severity.WARNING,
+                       "cache degraded to off after repeated storage "
+                       "faults"),
+    "AVD604": CodeInfo(Severity.ERROR,
+                       "cache verification mismatch; store quarantined"),
+    "AVD605": CodeInfo(Severity.INFO,
+                       "stale-version cache entry ignored"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

@@ -14,7 +14,9 @@ every ``interval`` newly recorded evaluations and at every frontier
 completion, so a crash never leaves a torn checkpoint.  Each save
 holds a sidecar lock file (``<path>.lock``, pid-stamped) so two
 writers can never interleave renames on the same path; a lock left
-behind by a killed writer is detected (dead pid) and broken.
+behind by a killed writer is detected (dead pid) and broken.  Both
+disciplines live in :mod:`repro.fsio`, shared with the persistent
+tier-evaluation store (:mod:`repro.cache`).
 
 Autosaves are *best effort*: an unwritable disk (``ENOSPC``,
 ``EACCES``, a live competing writer) degrades the checkpoint -- the
@@ -35,76 +37,27 @@ import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import AvedError, CheckpointError
+from ..fsio import LockContention, acquire_lock, release_lock
 from ..model import InfrastructureModel
 from .events import CHECKPOINT_FAULT, DegradationLog
 
 _VERSION = 1
 
 
-def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for a lock-holder pid."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True  # exists, owned by someone else
-    except OSError:
-        return False
-    return True
-
-
-def _lock_holder(lock_path: str) -> Optional[int]:
-    """The pid recorded in a lock file, or None when unreadable."""
-    try:
-        with open(lock_path) as handle:
-            return int(handle.read().strip() or "0")
-    except (OSError, ValueError):
-        return None
-
-
 def _acquire_lock(target: str) -> str:
-    """Create ``<target>.lock`` exclusively; returns the lock path.
+    """Acquire the pid-stamped sidecar lock (see :mod:`repro.fsio`).
 
     A lock held by a *live* process raises :class:`CheckpointError`
-    (single-writer assertion).  A stale lock -- its recorded pid is
-    dead or unreadable, e.g. the writer was killed mid-rename -- is
-    broken and acquisition retried once.
+    (single-writer assertion); stale locks are broken by the shared
+    helper.
     """
-    lock_path = target + ".lock"
-    last_exc: Optional[OSError] = None
-    for _ in range(2):
-        try:
-            fd = os.open(lock_path,
-                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-        except FileExistsError as exc:
-            last_exc = exc
-            holder = _lock_holder(lock_path)
-            if holder is not None and holder != os.getpid() \
-                    and _pid_alive(holder):
-                raise CheckpointError(
-                    "checkpoint %r is locked by another live writer "
-                    "(pid %d)" % (target, holder)) from exc
-            try:  # stale (dead or unreadable holder): break and retry
-                os.unlink(lock_path)
-            except OSError:
-                pass
-            continue
-        with os.fdopen(fd, "w") as handle:
-            handle.write("%d\n" % os.getpid())
-        return lock_path
-    raise CheckpointError(
-        "checkpoint %r lock is contended; giving up"
-        % target) from last_exc
-
-
-def _release_lock(lock_path: str) -> None:
     try:
-        os.unlink(lock_path)
-    except OSError:
-        pass
+        return acquire_lock(target)
+    except LockContention as exc:
+        raise CheckpointError("checkpoint %s" % exc) from exc.__cause__
+
+
+_release_lock = release_lock
 
 
 def _key_to_json(value: Any) -> Any:

@@ -33,6 +33,12 @@ QUARANTINE = "quarantine"
 WORKER_CRASH = "worker-crash"
 TASK_TIMEOUT = "task-timeout"
 POOL_RESTART = "pool-restart"
+#: Tier-evaluation store (:mod:`repro.cache`) event kinds.
+CACHE_CORRUPT = "cache-corrupt"
+CACHE_WRITE_FAILED = "cache-write-failed"
+CACHE_DISABLED = "cache-disabled"
+CACHE_VERIFY_MISMATCH = "cache-verify-mismatch"
+CACHE_STALE = "cache-stale"
 
 EVENT_CODES: Dict[str, str] = {
     FALLBACK: "AVD301",
@@ -49,6 +55,11 @@ EVENT_CODES: Dict[str, str] = {
     WORKER_CRASH: "AVD403",
     TASK_TIMEOUT: "AVD404",
     POOL_RESTART: "AVD405",
+    CACHE_CORRUPT: "AVD601",
+    CACHE_WRITE_FAILED: "AVD602",
+    CACHE_DISABLED: "AVD603",
+    CACHE_VERIFY_MISMATCH: "AVD604",
+    CACHE_STALE: "AVD605",
 }
 
 

@@ -40,6 +40,12 @@ class ServeConfig:
     ``allow_test_faults`` gates the ``test_fault`` payload field used
     by the chaos load generator (artificial per-job delays); it must
     never be on in real deployments, hence an explicit opt-in.
+
+    ``cache_dir`` attaches one shared persistent tier-evaluation
+    store (:mod:`repro.cache`) to every design job the daemon runs --
+    repeat requirements then reuse solves across jobs, workers, and
+    daemon restarts.  ``cache_verify`` re-solves a seeded sample of
+    hits after each job and quarantines the store on divergence.
     """
 
     data_dir: str
@@ -59,6 +65,8 @@ class ServeConfig:
     max_body_bytes: int = 1024 * 1024
     fsync: bool = True
     allow_test_faults: bool = False
+    cache_dir: Optional[str] = None
+    cache_verify: bool = False
     seed: int = 1
     checkpoint_interval: int = 10
 
@@ -92,6 +100,8 @@ class ServeConfig:
             raise ServeError("max_body_bytes must be >= 1024")
         if self.checkpoint_interval < 1:
             raise ServeError("checkpoint_interval must be >= 1")
+        if self.cache_verify and not self.cache_dir:
+            raise ServeError("cache_verify requires cache_dir")
         if not 0 <= self.port <= 65535:
             raise ServeError("port must be in [0, 65535]")
 

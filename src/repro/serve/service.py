@@ -80,6 +80,16 @@ class DesignService:
         #: One quarantine across all jobs: a candidate that crashed
         #: workers in job A stays quarantined for job B.
         self.quarantine = PoisonQuarantine()
+        #: One shared tier-evaluation store across all jobs and
+        #: workers (thread-safe); repeat requirements reuse solves
+        #: across jobs and daemon restarts.
+        self.cache_store = None
+        if config.cache_dir:
+            from ..cache import TierEvaluationStore
+            self.cache_store = TierEvaluationStore(config.cache_dir)
+            if config.cache_verify \
+                    and self.cache_store.verify_sample <= 0:
+                self.cache_store.verify_sample = 8
         self._tokens: Dict[str, CancelToken] = {}
         self._tokens_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
@@ -204,6 +214,8 @@ class DesignService:
             "pool": self._last_pool,
             "service_estimate_seconds":
                 round(self.admission.service_estimate, 3),
+            "cache": (self.cache_store.snapshot()
+                      if self.cache_store is not None else None),
         }
 
     def ready(self) -> bool:
@@ -349,6 +361,12 @@ class DesignService:
         if remaining is not None and remaining <= 0:
             raise JobCancelled(REASON_DEADLINE)
         engine = self._make_engine(remaining)
+        if self.cache_store is not None:
+            # Wrap cacheable rungs *before* the runtime is built so a
+            # fanned-out pool ships cached engines to its workers.
+            # Aved's own attach is a no-op on already wrapped rungs.
+            from ..cache import attach_cache
+            engine = attach_cache(engine, self.cache_store)
         checkpoint = self._make_checkpoint(job.id)
         runtime = make_runtime(engine, self.config.jobs,
                                task_timeout=self.config.task_timeout,
@@ -358,7 +376,9 @@ class DesignService:
         aved = Aved(infrastructure, service,
                     availability_engine=engine,
                     lint="off", checkpoint=checkpoint,
-                    parallel=runtime)
+                    parallel=runtime,
+                    cache=self.cache_store,
+                    cache_verify=self.config.cache_verify)
         try:
             outcome = aved.design(requirements)
         finally:
@@ -418,6 +438,8 @@ class DesignService:
             result["degradation"] = [
                 diagnostic.format()
                 for diagnostic in outcome.degradation]
+        if outcome.cache is not None:
+            result["cache"] = dict(outcome.cache)
         return result
 
     def _set_depth_gauge(self) -> None:

@@ -1,0 +1,184 @@
+"""Fault-injected durability: storms never change the designed system.
+
+The paper-level invariant under test: every injected storage fault is
+*detected* (quarantine + AVD6xx diagnostics) and *survived* (the store
+degrades, the search completes), and the design that comes out is
+byte-identical to a cache-off run.  Corruption may cost speed, never
+correctness.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel)
+from repro.cache import (CacheFaultPlan, CacheKilled, TierEvaluationStore)
+from repro.core import Aved
+from repro.core.serialize import evaluation_to_dict
+from repro.model import ServiceRequirements
+from repro.units import Duration
+
+REQUIREMENTS = ServiceRequirements(1000, Duration.minutes(100))
+ENGINE_ID = "markov@1"
+
+
+def tier_model(name="web"):
+    return TierAvailabilityModel(name, n=2, m=2, s=0, modes=(
+        FailureModeEntry("hard", Duration.days(50), Duration.hours(12),
+                         Duration.minutes(5)),
+    ))
+
+
+def _canonical(outcome):
+    return json.dumps(evaluation_to_dict(outcome.evaluation),
+                      sort_keys=True)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            CacheFaultPlan(torn_write_rate=-0.1)
+        with pytest.raises(ValueError):
+            CacheFaultPlan(kill_rate=1.5)
+
+    def test_decisions_are_pure_and_seeded(self):
+        plan = CacheFaultPlan(seed=11, torn_write_rate=0.3,
+                              flip_byte_rate=0.3, enospc_rate=0.2)
+        schedule = [plan.decide(op) for op in range(64)]
+        assert schedule == [plan.decide(op) for op in range(64)]
+        other = CacheFaultPlan(seed=12, torn_write_rate=0.3,
+                               flip_byte_rate=0.3, enospc_rate=0.2)
+        assert schedule != [other.decide(op) for op in range(64)]
+        fired = [action for action in schedule if action is not None]
+        assert fired, "storm rates produced no faults in 64 ops"
+
+    def test_at_most_one_fault_per_op(self):
+        plan = CacheFaultPlan(seed=5, torn_write_rate=0.5,
+                              flip_byte_rate=0.5)
+        for op in range(128):
+            assert plan.decide(op) in ("torn", "flip")
+
+
+class TestSingleFaults:
+    def _store(self, tmp_path, **plan_kwargs):
+        plan = CacheFaultPlan(seed=1, **plan_kwargs)
+        return TierEvaluationStore(str(tmp_path / "c"), fault_plan=plan,
+                                   memory_entries=0)
+
+    def test_torn_writes_detected_on_read(self, tmp_path):
+        store = self._store(tmp_path, torn_write_rate=1.0)
+        model = tier_model()
+        store.put(ENGINE_ID, model, MarkovEngine().evaluate_tier(model))
+        assert store.get(ENGINE_ID, model) is None
+        assert store.counters["corrupt"] == 1
+        assert store.stats()["quarantined_entries"] == 1
+
+    def test_flipped_bytes_detected_on_read(self, tmp_path):
+        store = self._store(tmp_path, flip_byte_rate=1.0)
+        model = tier_model()
+        store.put(ENGINE_ID, model, MarkovEngine().evaluate_tier(model))
+        assert store.get(ENGINE_ID, model) is None
+        assert store.counters["corrupt"] == 1
+
+    def test_stale_version_entries_ignored(self, tmp_path):
+        store = self._store(tmp_path, stale_version_rate=1.0)
+        model = tier_model()
+        store.put(ENGINE_ID, model, MarkovEngine().evaluate_tier(model))
+        assert store.get(ENGINE_ID, model) is None
+        assert store.counters["stale"] == 1
+        assert store.counters["corrupt"] == 0
+
+    def test_enospc_degrades_and_disables(self, tmp_path):
+        plan = CacheFaultPlan(seed=1, enospc_rate=1.0)
+        store = TierEvaluationStore(str(tmp_path / "c"), fault_plan=plan,
+                                    memory_entries=0, fail_limit=3)
+        result = MarkovEngine().evaluate_tier(tier_model())
+        for index in range(5):
+            store.put(ENGINE_ID, tier_model("t%d" % index), result)
+        assert not store.enabled
+        assert store.counters["write_failures"] == 3
+
+    def test_mid_write_kill_is_uncatchable_and_leaves_no_entry(self,
+                                                               tmp_path):
+        store = self._store(tmp_path, kill_rate=1.0)
+        model = tier_model()
+        result = MarkovEngine().evaluate_tier(model)
+        with pytest.raises(CacheKilled):
+            store.put(ENGINE_ID, model, result)
+        assert not issubclass(CacheKilled, Exception)
+        # The "dead writer" left a temp file but no trusted entry ...
+        survivor = TierEvaluationStore(store.root)
+        assert survivor.get(ENGINE_ID, model) is None
+        # ... and the startup scrub removed the residue.
+        residue = [name for _, _, names in os.walk(survivor.objects_dir)
+                   for name in names if name.endswith(".tmp")]
+        assert residue == []
+
+
+class TestStormDesignIdentity:
+    @pytest.fixture(scope="class")
+    def storm_plan(self):
+        return CacheFaultPlan(seed=1905, torn_write_rate=0.15,
+                              flip_byte_rate=0.15, enospc_rate=0.1,
+                              stale_version_rate=0.1)
+
+    def test_design_survives_storm_byte_identical(self, paper_infra,
+                                                  app_tier_service,
+                                                  tmp_path,
+                                                  storm_plan):
+        baseline = Aved(paper_infra,
+                        app_tier_service).design(REQUIREMENTS)
+        cache_dir = str(tmp_path / "stormy")
+        store = TierEvaluationStore(cache_dir, fault_plan=storm_plan,
+                                    memory_entries=0)
+        stormy = Aved(paper_infra, app_tier_service,
+                      cache=store).design(REQUIREMENTS)
+        assert _canonical(stormy) == _canonical(baseline)
+        counters = stormy.cache
+        assert counters["writes"] + counters["write_failures"] > 0
+        # A second run over the tainted directory still matches.
+        rerun_store = TierEvaluationStore(cache_dir, memory_entries=0)
+        rerun = Aved(paper_infra, app_tier_service,
+                     cache=rerun_store).design(REQUIREMENTS)
+        assert _canonical(rerun) == _canonical(baseline)
+
+    def test_storm_faults_surface_as_avd_diagnostics(self, paper_infra,
+                                                     app_tier_service,
+                                                     tmp_path):
+        plan = CacheFaultPlan(seed=7, enospc_rate=1.0)
+        store = TierEvaluationStore(str(tmp_path / "dying"),
+                                    fault_plan=plan, memory_entries=0,
+                                    fail_limit=2)
+        outcome = Aved(paper_infra, app_tier_service,
+                       cache=store).design(REQUIREMENTS)
+        assert outcome.degraded
+        summary = outcome.summary()
+        assert "AVD602" in summary
+        assert "AVD603" in summary
+        assert "degraded to off" in summary
+
+    def test_mid_run_scribbling_never_changes_the_design(self,
+                                                         paper_infra,
+                                                         app_tier_service,
+                                                         tmp_path):
+        baseline = Aved(paper_infra,
+                        app_tier_service).design(REQUIREMENTS)
+        cache_dir = str(tmp_path / "scribbled")
+        warmup = TierEvaluationStore(cache_dir)
+        Aved(paper_infra, app_tier_service,
+             cache=warmup).design(REQUIREMENTS)
+        # Vandalize every warm entry on disk, then run warm.
+        for directory, _, names in os.walk(warmup.objects_dir):
+            for name in names:
+                if name.endswith(".json"):
+                    path = os.path.join(directory, name)
+                    data = open(path, "rb").read()
+                    open(path, "wb").write(data[:-7] + b"7" * 7)
+        tainted = TierEvaluationStore(cache_dir, memory_entries=0)
+        outcome = Aved(paper_infra, app_tier_service,
+                       cache=tainted).design(REQUIREMENTS)
+        assert _canonical(outcome) == _canonical(baseline)
+        assert outcome.cache["corrupt"] > 0
+        assert "AVD601" in outcome.summary()

@@ -1,0 +1,105 @@
+"""The cache correctness bar: caching must be *invisible*.
+
+Cache-off, cold-cache, and warm-cache runs must produce byte-identical
+serialized evaluations and identical search statistics, under both
+serial and pooled execution.  The only observable difference a cache
+may make is speed and the counters it reports about itself.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import Aved
+from repro.core.engine import SearchError
+from repro.core.serialize import evaluation_to_dict
+from repro.model import ServiceRequirements
+from repro.units import Duration
+
+REQUIREMENTS = ServiceRequirements(1000, Duration.minutes(100))
+
+
+def _canonical(outcome):
+    return json.dumps(evaluation_to_dict(outcome.evaluation),
+                      sort_keys=True)
+
+
+def _design(infrastructure, service, cache=None, jobs=None, **kwargs):
+    engine = Aved(infrastructure, service, cache=cache, jobs=jobs,
+                  **kwargs)
+    return engine.design(REQUIREMENTS)
+
+
+class TestByteIdentity:
+    @pytest.fixture(scope="class")
+    def runs(self, paper_infra, app_tier_service, tmp_path_factory):
+        cache_dir = str(tmp_path_factory.mktemp("tier-cache"))
+        off = _design(paper_infra, app_tier_service)
+        cold = _design(paper_infra, app_tier_service, cache=cache_dir)
+        warm = _design(paper_infra, app_tier_service, cache=cache_dir)
+        pooled_warm = _design(paper_infra, app_tier_service,
+                              cache=cache_dir, jobs=2)
+        pooled_off = _design(paper_infra, app_tier_service, jobs=2)
+        return {"off": off, "cold": cold, "warm": warm,
+                "pooled_warm": pooled_warm, "pooled_off": pooled_off}
+
+    def test_serialized_evaluations_byte_identical(self, runs):
+        reference = _canonical(runs["off"])
+        for name, outcome in runs.items():
+            assert _canonical(outcome) == reference, \
+                "%s run diverged from cache-off" % name
+
+    def test_designs_and_costs_identical(self, runs):
+        reference = runs["off"]
+        for outcome in runs.values():
+            assert outcome.design.describe() \
+                == reference.design.describe()
+            assert outcome.annual_cost == reference.annual_cost
+
+    def test_search_stats_identical_across_cache_states(self, runs):
+        # Stats parity is deliberate: the cache must not even *look*
+        # like it changed the search.  Serial runs compare to serial,
+        # pooled to pooled (pooling batches prefetches differently).
+        assert dataclasses.asdict(runs["cold"].stats) \
+            == dataclasses.asdict(runs["off"].stats)
+        assert dataclasses.asdict(runs["warm"].stats) \
+            == dataclasses.asdict(runs["off"].stats)
+        assert dataclasses.asdict(runs["pooled_warm"].stats) \
+            == dataclasses.asdict(runs["pooled_off"].stats)
+
+    def test_cold_run_wrote_then_warm_run_hit(self, runs):
+        assert runs["off"].cache is None
+        assert runs["cold"].cache["writes"] > 0
+        assert runs["warm"].cache["hits"] > 0
+        assert runs["pooled_warm"].cache["hits"] > 0
+
+    def test_summary_reports_cache_line_only_when_caching(self, runs):
+        assert "served from cache" not in runs["off"].summary()
+        warm_summary = runs["warm"].summary()
+        assert "tier solves served from cache" in warm_summary
+        counters = runs["warm"].cache
+        expected = "%d/%d tier solves served from cache" % (
+            counters["hits"], counters["hits"] + counters["misses"])
+        assert expected in warm_summary
+
+    def test_clean_cached_runs_report_no_degradation(self, runs):
+        for name in ("cold", "warm", "pooled_warm"):
+            assert not runs[name].degraded, name
+
+
+class TestVerifyMode:
+    def test_cache_verify_passes_on_honest_store(self, paper_infra,
+                                                 app_tier_service,
+                                                 tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        _design(paper_infra, app_tier_service, cache=cache_dir)
+        outcome = _design(paper_infra, app_tier_service,
+                          cache=cache_dir, cache_verify=True)
+        assert outcome.cache["verify_checked"] > 0
+        assert not outcome.degraded
+
+    def test_cache_verify_requires_cache(self, paper_infra,
+                                         app_tier_service):
+        with pytest.raises(SearchError):
+            Aved(paper_infra, app_tier_service, cache_verify=True)

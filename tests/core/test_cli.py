@@ -193,7 +193,11 @@ class TestParallelOptions:
         assert code == 1
         assert "--jobs" in output
 
-    def test_task_timeout_requires_jobs(self):
+    def test_task_timeout_requires_jobs(self, monkeypatch):
+        # An ambient REPRO_JOBS (e.g. the CI legs that push the whole
+        # suite through the pool) legitimately satisfies the
+        # requirement, so pin the no-jobs-anywhere case explicitly.
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
         code, output = run(["design", "--paper-ecommerce",
                             "--app-tier-only", "--load", "1000",
                             "--downtime", "100m",

@@ -1,0 +1,137 @@
+"""Property-based tests for the tier-evaluation store's invariants.
+
+Two properties carry the cache's correctness story:
+
+* **round-trip exactness** -- any solve the store accepts comes back
+  serialized-identical in canonical form (floats included, because
+  canonical JSON float repr round-trips the underlying double); and
+* **total corruption detection** -- *any* single-byte change to an
+  entry file (flip, insert, delete, truncate) is detected on read and
+  the entry is never served.  The digest header covers the raw stored
+  bytes, so this holds by construction, and hypothesis hunts for the
+  counterexamples a parse/re-serialize checksum would allow.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel)
+from repro.cache import TierEvaluationStore, entry_key
+from repro.cache.store import (tier_result_from_payload,
+                               tier_result_to_payload)
+from repro.lint.canonical import canonical_json, canonical_key
+from repro.units import Duration
+
+ENGINE_ID = "markov@1"
+
+mtbf_days = st.floats(min_value=5.0, max_value=2000.0, allow_nan=False)
+mttr_hours = st.floats(min_value=0.05, max_value=100.0, allow_nan=False)
+failover_minutes = st.floats(min_value=0.1, max_value=60.0,
+                             allow_nan=False)
+
+
+@st.composite
+def tier_models(draw, max_n=6):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=n))
+    s = draw(st.integers(min_value=0, max_value=2))
+    mode = FailureModeEntry(
+        "hard",
+        Duration.days(draw(mtbf_days)),
+        Duration.hours(draw(mttr_hours)),
+        Duration.minutes(draw(failover_minutes)),
+        spare_susceptible=draw(st.booleans()))
+    return TierAvailabilityModel("t", n=n, m=m, s=s, modes=(mode,))
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("prop-cache"))
+
+
+class TestRoundTripProperties:
+    @given(tier_models())
+    @settings(max_examples=40, deadline=None)
+    def test_store_round_trip_is_serialized_identical(self, store_root,
+                                                      model):
+        store = TierEvaluationStore(store_root, scrub=False)
+        result = MarkovEngine().evaluate_tier(model)
+        assert store.put(ENGINE_ID, model, result)
+        cached = store.get(ENGINE_ID, model)
+        assert cached is not None
+        assert canonical_json(tier_result_to_payload(cached)) \
+            == canonical_json(tier_result_to_payload(result))
+        # And again via a cold open (disk path, no memory LRU).
+        cold = TierEvaluationStore(store_root, scrub=False,
+                                   memory_entries=0)
+        reread = cold.get(ENGINE_ID, model)
+        assert canonical_json(tier_result_to_payload(reread)) \
+            == canonical_json(tier_result_to_payload(result))
+
+    @given(tier_models())
+    @settings(max_examples=40, deadline=None)
+    def test_payload_codec_round_trips(self, model):
+        payload = tier_result_to_payload(
+            MarkovEngine().evaluate_tier(model))
+        rebuilt = tier_result_from_payload(payload)
+        assert canonical_json(tier_result_to_payload(rebuilt)) \
+            == canonical_json(payload)
+
+
+class TestCorruptionDetectionProperties:
+    @given(model=tier_models(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_byte_mutation_is_detected(self, store_root,
+                                                  model, data):
+        store = TierEvaluationStore(store_root, scrub=False,
+                                    memory_entries=0)
+        result = MarkovEngine().evaluate_tier(model)
+        assert store.put(ENGINE_ID, model, result)
+        path = store.entry_path(entry_key(ENGINE_ID,
+                                          canonical_key(model)))
+        original = open(path, "rb").read()
+        position = data.draw(st.integers(min_value=0,
+                                         max_value=len(original) - 1),
+                             label="position")
+        kind = data.draw(st.sampled_from(("flip", "set", "insert",
+                                          "delete", "truncate")),
+                         label="mutation")
+        if kind == "flip":
+            bit = data.draw(st.integers(min_value=0, max_value=7),
+                            label="bit")
+            mutated = (original[:position]
+                       + bytes([original[position] ^ (1 << bit)])
+                       + original[position + 1:])
+        elif kind == "set":
+            value = data.draw(st.integers(min_value=0, max_value=255),
+                              label="byte")
+            if value == original[position]:
+                value ^= 0xFF
+            mutated = (original[:position] + bytes([value])
+                       + original[position + 1:])
+        elif kind == "insert":
+            value = data.draw(st.integers(min_value=0, max_value=255),
+                              label="byte")
+            mutated = (original[:position] + bytes([value])
+                       + original[position:])
+        elif kind == "delete":
+            mutated = original[:position] + original[position + 1:]
+        else:
+            mutated = original[:position]
+        try:
+            with open(path, "wb") as handle:
+                handle.write(mutated)
+            assert store.get(ENGINE_ID, model) is None, \
+                "mutated entry (%s at byte %d) was served" \
+                % (kind, position)
+        finally:
+            # get() quarantines the mutated file; put the good entry
+            # back so later examples start clean.
+            if not os.path.exists(os.path.dirname(path)):
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as handle:
+                handle.write(original)

@@ -1,0 +1,158 @@
+"""The serving daemon with a shared tier-evaluation cache attached.
+
+In-process tests cover the service wiring (one shared store across
+jobs, counters in results and /healthz, identical evaluations with
+the cache on and off).  The subprocess test covers the ISSUE's crash
+bar: ``kill -9`` of a cache-backed daemon mid-workload, restart over
+the same cache directory, and every accepted job completing with the
+evaluation a cache-off daemon would have produced.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.config import ServeConfig
+from repro.serve.jobstore import COMPLETED
+
+from .test_soak import get_json, start_daemon, stop_daemon
+
+
+def _cache_overrides(tmp_path, **extra):
+    overrides = dict(cache_dir=str(tmp_path / "tier-cache"))
+    overrides.update(extra)
+    return overrides
+
+
+class TestServiceCacheWiring:
+    def test_config_rejects_verify_without_dir(self, tmp_path):
+        from repro.errors import ServeError
+        with pytest.raises(ServeError, match="cache_verify"):
+            ServeConfig(data_dir=str(tmp_path / "d"), cache_verify=True)
+
+    def test_repeat_jobs_hit_the_shared_store(self, make_service,
+                                              tiny_payload, tmp_path):
+        service = make_service(**_cache_overrides(tmp_path))
+        service.start()
+        first, _ = service.submit(dict(tiny_payload))
+        done = service.wait(first.id, timeout=30.0)
+        assert done.state == COMPLETED
+        assert done.result["cache"]["writes"] > 0
+        second, _ = service.submit(dict(tiny_payload))
+        done = service.wait(second.id, timeout=30.0)
+        assert done.state == COMPLETED
+        assert done.result["cache"]["hits"] > 0
+
+    def test_cached_evaluation_identical_to_uncached(self, make_service,
+                                                     tiny_payload,
+                                                     tmp_path):
+        plain = make_service(data_dir=str(tmp_path / "plain-data"))
+        plain.start()
+        job, _ = plain.submit(dict(tiny_payload))
+        baseline = plain.wait(job.id, timeout=30.0).result
+
+        cached = make_service(**_cache_overrides(
+            tmp_path, data_dir=str(tmp_path / "cached-data")))
+        cached.start()
+        for _ in range(2):          # cold, then warm
+            job, _ = cached.submit(dict(tiny_payload))
+            finished = cached.wait(job.id, timeout=30.0)
+            assert finished.state == COMPLETED
+            result = finished.result
+            assert json.dumps(result["evaluation"], sort_keys=True) \
+                == json.dumps(baseline["evaluation"], sort_keys=True)
+            assert result["annual_cost"] == baseline["annual_cost"]
+
+    def test_health_reports_cache_counters(self, make_service,
+                                           tiny_payload, tmp_path):
+        service = make_service(**_cache_overrides(tmp_path))
+        service.start()
+        job, _ = service.submit(dict(tiny_payload))
+        service.wait(job.id, timeout=30.0)
+        health = service.health()
+        assert health["cache"]["writes"] > 0
+        assert health["cache"]["enabled"] is True
+
+    def test_uncached_service_reports_no_cache(self, make_service,
+                                               tiny_payload):
+        service = make_service()
+        service.start()
+        job, _ = service.submit(dict(tiny_payload))
+        finished = service.wait(job.id, timeout=30.0)
+        assert "cache" not in finished.result
+        assert service.health()["cache"] is None
+
+    def test_verify_mode_completes_clean_jobs(self, make_service,
+                                              tiny_payload, tmp_path):
+        service = make_service(**_cache_overrides(tmp_path,
+                                                  cache_verify=True))
+        service.start()
+        for _ in range(2):
+            job, _ = service.submit(dict(tiny_payload))
+            finished = service.wait(job.id, timeout=30.0)
+            assert finished.state == COMPLETED
+        assert finished.result["cache"]["verify_checked"] > 0
+
+
+def _submit_job(url, payload):
+    import http.client
+    parts = url.split("://", 1)[1]
+    host, port = parts.split(":")
+    connection = http.client.HTTPConnection(host, int(port), timeout=30)
+    try:
+        connection.request("POST", "/v1/jobs", body=json.dumps(payload),
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestDaemonCrashWithSharedCache:
+    def test_kill9_and_restart_over_shared_cache(self, tmp_path,
+                                                 tiny_payload):
+        cache_dir = str(tmp_path / "shared-cache")
+        data_dir = tmp_path / "serve-data"
+
+        # The expected evaluation, from a cache-off daemon.
+        plain_dir = tmp_path / "plain-data"
+        process, url = start_daemon(plain_dir)
+        try:
+            status, job = _submit_job(url, dict(tiny_payload))
+            assert status == 202
+            status, done = get_json(
+                url, "/v1/jobs/%s?wait=30" % job["id"])
+            assert done["state"] == "completed"
+            expected = json.dumps(done["result"]["evaluation"],
+                                  sort_keys=True)
+        finally:
+            stop_daemon(process)
+
+        # Boot cache-backed, accept a few jobs, kill -9 mid-workload.
+        process, url = start_daemon(data_dir, "--cache", cache_dir)
+        accepted = []
+        for _ in range(3):
+            status, job = _submit_job(url, dict(tiny_payload))
+            if status == 202:
+                accepted.append(job["id"])
+        assert accepted
+        process.kill()              # SIGKILL: no drain, no goodbye
+        process.wait(timeout=30)
+
+        # Restart over the same data dir *and* cache dir: recovery
+        # must finish every accepted job, and a scribbled cache must
+        # never change what the jobs compute.
+        process, url = start_daemon(data_dir, "--cache", cache_dir)
+        try:
+            for job_id in accepted:
+                status, done = get_json(
+                    url, "/v1/jobs/%s?wait=60" % job_id)
+                assert status == 200
+                assert done["state"] == "completed", done
+                assert json.dumps(done["result"]["evaluation"],
+                                  sort_keys=True) == expected
+            status, health = get_json(url, "/healthz")
+            assert status == 200
+            assert health["cache"] is not None
+        finally:
+            stop_daemon(process)
