@@ -1,0 +1,105 @@
+"""Warm-vs-cold re-search speedup of the watch loop.
+
+The watcher's claim to *incremental* redesign rests on reuse: a
+re-search against a spec whose tier solves are already in the shared
+tier-evaluation store (``repro.cache``) must answer from the store
+instead of re-solving CTMCs.  That is exactly the crash-resume path
+(the replayed redesign re-runs a search the killed process already
+paid for) and the serve-restart path (a fresh reconciler boots over
+the previous run's store).
+
+Measured as back-to-back pairs: a **cold** watcher boots over an
+empty store, a **warm** watcher boots over the store the cold one
+filled.  Both must reach the identical incumbent; the warm boot must
+be at least 2x faster (fastest-rep selection, the same discipline as
+``bench_cache``).
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.core import DesignEvaluator, SearchLimits
+from repro.spec.paper import ecommerce_service
+from repro.units import Duration
+from repro.watch import Watcher, WatchSpec
+
+from .conftest import write_bench_json, write_report
+
+SPEC = WatchSpec("application", 800.0, Duration.minutes(100))
+
+
+def budgets(smoke):
+    """(paired reps, warm speedup floor)."""
+    if smoke:
+        return 2, 1.2            # indicative only under --smoke
+    return 5, 2.0
+
+
+def timed_start(infrastructure, service, cache_dir):
+    watcher = Watcher(DesignEvaluator(infrastructure, service), SPEC,
+                      limits=SearchLimits(max_redundancy=8),
+                      cache_dir=cache_dir)
+    started = time.perf_counter()
+    watcher.start()
+    return time.perf_counter() - started, watcher
+
+
+def measure_cold_warm(infrastructure, service, reps):
+    cold_times, warm_times = [], []
+    incumbents = set()
+    for _ in range(reps):
+        cache_dir = tempfile.mkdtemp(prefix="bench-watch-")
+        try:
+            cold, first = timed_start(infrastructure, service,
+                                      cache_dir)
+            warm, second = timed_start(infrastructure, service,
+                                       cache_dir)
+            assert second.cache_store.snapshot()["hits"] > 0, \
+                "warm boot never touched the store"
+            incumbents.add(first.incumbent.design)
+            incumbents.add(second.incumbent.design)
+            cold_times.append(cold)
+            warm_times.append(warm)
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    assert len(incumbents) == 1, "the store changed the incumbent"
+    return min(cold_times), min(warm_times)
+
+
+@pytest.fixture(scope="module")
+def watch_report(smoke, paper_infra):
+    service = ecommerce_service()
+    reps, speedup_floor = budgets(smoke)
+    timed_start(paper_infra, service, None)          # warm the code
+    cold, warm = measure_cold_warm(paper_infra, service, reps)
+    speedup = cold / warm
+    lines = [
+        "watch re-search: cold-vs-warm paired boots "
+        "(e-commerce application tier, 800 users, 100 min)",
+        "",
+        "cold (empty store):  %8.1f ms fastest of %d" % (cold * 1e3,
+                                                         reps),
+        "warm (shared store): %8.1f ms fastest of %d" % (warm * 1e3,
+                                                         reps),
+        "speedup:             %8.2fx (floor %.1fx)" % (speedup,
+                                                       speedup_floor),
+    ]
+    write_bench_json("watch",
+                     {"cold_seconds": cold,
+                      "warm_seconds": warm,
+                      "warm_speedup": speedup},
+                     meta={"speedup_floor": speedup_floor,
+                           "reps": reps},
+                     smoke=smoke)
+    write_report("watch.txt", "\n".join(lines))
+    return speedup
+
+
+def test_warm_research_speedup_meets_floor(watch_report, smoke):
+    speedup_floor = budgets(smoke)[1]
+    assert watch_report >= speedup_floor, (
+        "warm re-search only %.2fx faster than cold (floor %.1fx)"
+        % (watch_report, speedup_floor))

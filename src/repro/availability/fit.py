@@ -73,6 +73,58 @@ def estimate_mtbf(mode: str, failures: int, exposure_hours: float,
                         mtbf_lower, mtbf_upper, confidence)
 
 
+@dataclass(frozen=True)
+class MttrEstimate:
+    """An estimated MTTR with a two-sided confidence interval.
+
+    For exponential repairs the total repair time over ``k`` completed
+    repairs is Gamma(k, MTTR), so ``2 * total / MTTR`` is chi-square on
+    ``2k`` degrees of freedom -- the interval dual to the MTBF one (the
+    observation here is *failure-terminated*: we stop at the k-th
+    completed repair, not at a fixed clock time).
+    """
+
+    mode: str
+    repairs: int
+    repair_hours: float
+    mttr: Optional[Duration]          # None when no repairs observed
+    lower: Optional[Duration]         # None = no repairs observed
+    upper: Optional[Duration]
+    confidence: float
+
+    def contains(self, true_mttr: Duration) -> bool:
+        if self.mttr is None:
+            return True                # no data contradicts nothing
+        assert self.lower is not None and self.upper is not None
+        return self.lower <= true_mttr <= self.upper
+
+
+def estimate_mttr(mode: str, repairs: int, repair_hours: float,
+                  confidence: float = 0.95) -> MttrEstimate:
+    """MTTR point estimate + chi-square CI from count and total time."""
+    if repairs < 0:
+        raise EvaluationError("repair count cannot be negative")
+    if repair_hours < 0:
+        raise EvaluationError("total repair time cannot be negative")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError("confidence must be in (0, 1)")
+    if repairs == 0:
+        return MttrEstimate(mode, 0, repair_hours, None, None, None,
+                            confidence)
+    if repair_hours == 0:
+        raise EvaluationError("observed repairs with zero total time")
+    alpha = 1.0 - confidence
+    # MTTR CI: [2T / chi2(1-a/2; 2k), 2T / chi2(a/2; 2k)]
+    high = scipy.stats.chi2.ppf(1.0 - alpha / 2.0, 2 * repairs)
+    low = scipy.stats.chi2.ppf(alpha / 2.0, 2 * repairs)
+    point = Duration.hours(repair_hours / repairs)
+    lower = Duration.hours(2.0 * repair_hours / high)
+    upper = (Duration.hours(2.0 * repair_hours / low) if low > 0
+             else Duration.hours(float("inf")))
+    return MttrEstimate(mode, repairs, repair_hours, point, lower, upper,
+                        confidence)
+
+
 def estimates_from_simulation(model: TierAvailabilityModel,
                               result: SimulationResult,
                               confidence: float = 0.95) \

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro profile   --load 1000 --downtime 100m [model options]
     python -m repro cache     stats|verify|purge [DIR]
     python -m repro serve     --data-dir state/ [--port 8080]
+    python -m repro watch     --tier T --load X --downtime 100m \
+                              --telemetry stream.jsonl [model options]
 
 Model options: ``--infrastructure FILE`` and ``--service FILE`` load
 spec documents (``--perf-dir DIR`` resolves their ``.dat`` references);
@@ -225,6 +227,111 @@ def build_parser() -> argparse.ArgumentParser:
                             "after each job; any divergence "
                             "quarantines the store (AVD604)")
     serve.add_argument("--seed", type=int, default=1, metavar="N")
+    serve.add_argument("--watch-telemetry", action="append", default=[],
+                       metavar="FILE",
+                       help="also run the background drift reconciler "
+                            "over this JSONL telemetry stream "
+                            "(repeatable; see docs/REDESIGN.md)")
+    serve.add_argument("--watch-tier", metavar="TIER",
+                       help="tier the reconciler watches")
+    serve.add_argument("--watch-load", type=float, metavar="X",
+                       help="design-spec load of the watched tier")
+    serve.add_argument("--watch-downtime", metavar="DURATION",
+                       help="max annual downtime of the watched tier, "
+                            "e.g. 100m")
+    serve.add_argument("--watch-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds between reconciler polls "
+                            "(default: 5)")
+    serve.add_argument("--watch-infrastructure", metavar="FILE",
+                       help="infrastructure spec the reconciler "
+                            "designs against")
+    serve.add_argument("--watch-service", metavar="FILE",
+                       help="service spec the reconciler designs "
+                            "against")
+    serve.add_argument("--watch-paper", action="store_true",
+                       help="watch the paper's e-commerce model "
+                            "instead of spec files")
+
+    watch = subparsers.add_parser(
+        "watch", help="run the drift-aware continuous redesign loop: "
+                      "tail telemetry streams, estimate MTTF/MTTR/load "
+                      "online, and re-search the design when the "
+                      "observations statistically contradict its spec "
+                      "(see docs/REDESIGN.md)")
+    _add_model_options(watch)
+    watch.add_argument("--tier", required=True,
+                       help="tier to watch and redesign")
+    watch.add_argument("--load", type=float, required=True,
+                       help="design-spec load the incumbent is solved "
+                            "for (work units/hour)")
+    watch.add_argument("--downtime", required=True,
+                       help="max annual downtime, e.g. 100m, 2h")
+    watch.add_argument("--telemetry", action="append", default=[],
+                       metavar="FILE",
+                       help="JSONL telemetry stream to tail "
+                            "(repeatable); malformed records are "
+                            "quarantined (AVD701), never fatal")
+    watch.add_argument("--journal", metavar="PATH",
+                       help="crash journal: a killed watcher resumes "
+                            "an interrupted redesign exactly once")
+    watch.add_argument("--checkpoint", metavar="PATH",
+                       help="search checkpoint reused across load-only "
+                            "drift (warm re-search)")
+    watch.add_argument("--cache", metavar="DIR", default=None,
+                       help="shared tier-evaluation store (default: "
+                            "the REPRO_CACHE environment variable, "
+                            "else off)")
+    watch.add_argument("--max-polls", type=int, default=None,
+                       metavar="N",
+                       help="stop after N polls (default: run until "
+                            "SIGINT/SIGTERM)")
+    watch.add_argument("--poll-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds between telemetry polls "
+                            "(default: 5)")
+    watch.add_argument("--json", action="store_true",
+                       help="emit the final watch status as JSON "
+                            "(the WATCH_STATUS_SCHEMA contract)")
+    watch.add_argument("--hysteresis", type=float, default=0.05,
+                       help="fractional cost improvement required to "
+                            "abandon a still-feasible incumbent "
+                            "(default: 0.05)")
+    watch.add_argument("--confidence", type=float, default=0.99,
+                       help="confidence level a contradiction must "
+                            "reach before drift fires (default: 0.99)")
+    watch.add_argument("--debounce", type=int, default=3, metavar="N",
+                       help="consecutive contradicting polls before a "
+                            "redesign (default: 3)")
+    watch.add_argument("--cooldown", type=int, default=5, metavar="N",
+                       help="quiet polls after each redesign "
+                            "(default: 5)")
+    watch.add_argument("--min-failures", type=int, default=30,
+                       metavar="N")
+    watch.add_argument("--min-repairs", type=int, default=20,
+                       metavar="N")
+    watch.add_argument("--min-load-samples", type=int, default=30,
+                       metavar="N")
+    watch.add_argument("--load-window", type=int, default=None,
+                       metavar="N",
+                       help="trailing load samples the estimate uses "
+                            "(default: all)")
+    watch.add_argument("--max-redundancy", type=int, default=8)
+    watch.add_argument("--spare-policy",
+                       choices=["cold", "hot", "all"], default="cold")
+    watch.add_argument("--fix", action="append", default=[],
+                       metavar="MECH.PARAM=VALUE")
+    watch.add_argument("--engine",
+                       choices=["markov", "analytic", "simulation",
+                                "fallback"],
+                       default="markov")
+    watch.add_argument("--seed", type=int, default=1, metavar="N")
+    watch.add_argument("--repair-crew", type=int, default=None,
+                       metavar="N")
+    # Test hook for the kill -9 soak: widens the window between the
+    # journaled redesign-start and redesign-done.
+    watch.add_argument("--test-redesign-delay", type=float,
+                       default=None, help=argparse.SUPPRESS)
 
     return parser
 
@@ -791,7 +898,17 @@ def cmd_serve(args, out) -> int:
         allow_test_faults=args.allow_test_faults,
         cache_dir=resolve_cache(args)[0],
         cache_verify=args.cache_verify,
-        seed=args.seed)
+        seed=args.seed,
+        watch_telemetry=tuple(args.watch_telemetry),
+        watch_tier=args.watch_tier,
+        watch_load=args.watch_load,
+        watch_downtime_minutes=(
+            Duration.parse(args.watch_downtime).as_minutes
+            if args.watch_downtime else None),
+        watch_interval=args.watch_interval,
+        watch_infrastructure=args.watch_infrastructure,
+        watch_service=args.watch_service,
+        watch_paper=args.watch_paper)
     daemon = DesignDaemon(config)
     print("serving on %s (data dir %s)" % (daemon.url, args.data_dir),
           file=out)
@@ -799,6 +916,88 @@ def cmd_serve(args, out) -> int:
     code = daemon.run(install_signals=True)
     print("drained; exiting %d" % code, file=out)
     return code
+
+
+def cmd_watch(args, out) -> int:
+    """Run the drift-aware continuous redesign loop.
+
+    Tails the given telemetry streams, re-estimates MTTF/MTTR/load
+    online, and re-searches the tier design whenever the observations
+    statistically contradict the spec the incumbent was solved for.
+    With ``--json`` the final status document follows the
+    ``WATCH_STATUS_SCHEMA`` contract in :mod:`repro.contracts`.
+
+    Exit codes: 0 = watching ended with a feasible incumbent,
+    2 = no feasible incumbent, 130 = interrupted (SIGINT/SIGTERM),
+    1 = model or option errors.
+    """
+    import json
+    import time
+    from .core import DesignEvaluator
+    from .watch import DriftPolicy, JsonlTailReader, Watcher, WatchSpec
+    if not args.telemetry:
+        raise AvedError("provide at least one --telemetry FILE")
+    infrastructure, service = load_models(args)
+    evaluator = DesignEvaluator(infrastructure, service,
+                                make_engine(args),
+                                args.repair_crew)
+    policy = DriftPolicy(confidence=args.confidence,
+                         min_failures=args.min_failures,
+                         min_repairs=args.min_repairs,
+                         min_load_samples=args.min_load_samples,
+                         debounce=args.debounce,
+                         cooldown=args.cooldown)
+    spec = WatchSpec(args.tier, args.load,
+                     Duration.parse(args.downtime))
+    watcher = Watcher(
+        evaluator, spec,
+        readers=[JsonlTailReader(path) for path in args.telemetry],
+        policy=policy,
+        limits=make_limits(args),
+        journal_path=args.journal,
+        checkpoint_path=args.checkpoint,
+        cache_dir=resolve_cache(args)[0],
+        hysteresis=args.hysteresis,
+        load_window=args.load_window)
+    if args.test_redesign_delay:
+        inner = watcher._search
+
+        def slow_search(spec):
+            if watcher.epoch:  # boot stays fast; redesigns dawdle
+                time.sleep(args.test_redesign_delay)
+            return inner(spec)
+
+        watcher._search = slow_search  # type: ignore[method-assign]
+    status = None
+    with _interruptible(True):
+        watcher.start()
+        polls = 0
+        while args.max_polls is None or polls < args.max_polls:
+            status = watcher.poll()
+            polls += 1
+            if args.max_polls is not None and polls >= args.max_polls:
+                break
+            time.sleep(args.poll_interval)
+    if status is None:
+        status = watcher.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    else:
+        incumbent = status["incumbent"]
+        if incumbent is None:
+            print("tier %r: no feasible incumbent" % args.tier, file=out)
+        else:
+            print("tier %r: %s n=%d s=%d  $%s/yr  epoch %d  "
+                  "polls %d  reconfigurations %d"
+                  % (args.tier, incumbent["resource"],
+                     incumbent["n_active"], incumbent["n_spare"],
+                     format(incumbent["annual_cost"], ",.0f"),
+                     status["epoch"], status["polls"],
+                     status["reconfigurations"]), file=out)
+        if status["quarantined"]:
+            print("quarantined records: %d" % status["quarantined"],
+                  file=out)
+    return 0 if status["incumbent"] is not None else 2
 
 
 def cmd_describe(args, out) -> int:
@@ -820,6 +1019,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "cache": cmd_cache,
     "serve": cmd_serve,
+    "watch": cmd_watch,
 }
 
 

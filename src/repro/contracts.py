@@ -354,6 +354,7 @@ SERVE_HEALTH_SCHEMA: Dict[str, Any] = {
         "pool": {"type": ["object", "null"]},
         "service_estimate_seconds": {"type": "number", "minimum": 0},
         "cache": {"type": ["object", "null"]},
+        "watch": {"type": ["object", "null"]},
         "ready": {"type": "boolean"},
     },
 }
@@ -413,6 +414,114 @@ CACHE_STATUS_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: ``repro watch --json`` / the ``watch`` member of ``/healthz`` --
+#: the watcher status document (:meth:`repro.watch.Watcher.status`).
+WATCH_STATUS_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["tier", "epoch", "polls", "resumed", "spec",
+                 "incumbent", "reconfigurations", "infeasible_epochs",
+                 "warm_starts", "cold_searches", "ingest",
+                 "quarantined", "journal"],
+    "properties": {
+        "tier": {"type": "string", "minLength": 1},
+        "epoch": {"type": "integer", "minimum": 0},
+        "polls": {"type": "integer", "minimum": 0},
+        "resumed": {"type": "boolean"},
+        "spec": {
+            "type": "object",
+            "required": ["tier", "load", "max_downtime_minutes",
+                         "mtbf_hours", "mttr_hours"],
+            "properties": {
+                "tier": {"type": "string", "minLength": 1},
+                "load": {"type": "number", "exclusiveMinimum": 0},
+                "max_downtime_minutes": {"type": "number",
+                                         "exclusiveMinimum": 0},
+                "mtbf_hours": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "number", "exclusiveMinimum": 0}},
+                "mttr_hours": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "number", "exclusiveMinimum": 0}},
+            },
+        },
+        "incumbent": {
+            "type": ["object", "null"],
+            "required": ["resource", "n_active", "n_spare",
+                         "annual_cost"],
+            "properties": {
+                "resource": {"type": "string", "minLength": 1},
+                "n_active": {"type": "integer", "minimum": 1},
+                "n_spare": {"type": "integer", "minimum": 0},
+                "annual_cost": {"type": "number", "minimum": 0},
+            },
+        },
+        "reconfigurations": {"type": "integer", "minimum": 0},
+        "infeasible_epochs": {"type": "integer", "minimum": 0},
+        "warm_starts": {"type": "integer", "minimum": 0},
+        "cold_searches": {"type": "integer", "minimum": 0},
+        "ingest": {
+            "type": "object",
+            "required": ["accepted", "duplicates", "conflicts",
+                         "sources"],
+            "properties": {
+                "accepted": {"type": "integer", "minimum": 0},
+                "duplicates": {"type": "integer", "minimum": 0},
+                "conflicts": {"type": "integer", "minimum": 0},
+                "sources": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": ["records", "max_seq", "missing"],
+                        "properties": {
+                            "records": {"type": "integer",
+                                        "minimum": 0},
+                            "max_seq": {"type": "integer",
+                                        "minimum": -1},
+                            "missing": {"type": "integer",
+                                        "minimum": 0},
+                        },
+                    },
+                },
+            },
+        },
+        "quarantined": {"type": "integer", "minimum": 0},
+        "drift": {
+            "type": ["object", "null"],
+            "required": ["tier", "drifted", "streak", "cooldown",
+                         "reasons"],
+            "properties": {
+                "tier": {"type": "string"},
+                "drifted": {"type": "boolean"},
+                "streak": {"type": "integer", "minimum": 0},
+                "cooldown": {"type": "integer", "minimum": 0},
+                "reasons": {"type": "array",
+                            "items": {"type": "string"}},
+                "mtbf_hours": {"type": "object"},
+                "mttr_hours": {"type": "object"},
+                "load": {"type": ["number", "null"]},
+            },
+        },
+        "journal": {
+            "type": "object",
+            "required": ["enabled", "degraded", "appends"],
+            "properties": {
+                "enabled": {"type": "boolean"},
+                "degraded": {"type": "boolean"},
+                "appends": {"type": "integer", "minimum": 0},
+            },
+        },
+        "search": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0}},
+        "degradations": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0}},
+    },
+}
+
 CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "design-json": DESIGN_EVALUATION_SCHEMA,
     "lint-json": LINT_REPORT_SCHEMA,
@@ -424,6 +533,7 @@ CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "serve-health": SERVE_HEALTH_SCHEMA,
     "serve-shed": SERVE_SHED_SCHEMA,
     "cache-status": CACHE_STATUS_SCHEMA,
+    "watch-status": WATCH_STATUS_SCHEMA,
 }
 
 __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
@@ -431,4 +541,4 @@ __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
            "METRICS_SNAPSHOT_SCHEMA", "TRACE_SCHEMA",
            "BENCH_RECORD_SCHEMA", "SERVE_JOB_SCHEMA",
            "SERVE_HEALTH_SCHEMA", "SERVE_SHED_SCHEMA",
-           "CACHE_STATUS_SCHEMA", "CLI_SCHEMAS"]
+           "CACHE_STATUS_SCHEMA", "WATCH_STATUS_SCHEMA", "CLI_SCHEMAS"]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..errors import SearchError
+from ..obs import current as _obs_current
 from ..units import Duration
 from .design import EvaluatedTierDesign
 from .evaluation import DesignEvaluator
@@ -85,11 +86,25 @@ class RedesignController:
                  hysteresis: float = 0.05,
                  reconfiguration_cost: float = 0.0,
                  jobs: Optional[int] = None,
-                 task_timeout: Optional[float] = None):
+                 task_timeout: Optional[float] = None,
+                 cache_dir: Optional[str] = None):
         if hysteresis < 0:
             raise SearchError("hysteresis cannot be negative")
         if reconfiguration_cost < 0:
             raise SearchError("reconfiguration cost cannot be negative")
+        # A persistent tier-evaluation store (repro.cache) makes the
+        # repeated searches along a trajectory -- and across controller
+        # runs, e.g. successive watcher epochs -- share their solves.
+        # Attached before the parallel runtime so workers inherit the
+        # cached engine.
+        self.cache_store = None
+        if cache_dir is not None:
+            from ..cache import TierEvaluationStore, attach_cache
+            self.cache_store = TierEvaluationStore(cache_dir)
+            evaluator = DesignEvaluator(
+                evaluator.infrastructure, evaluator.service,
+                attach_cache(evaluator.engine, self.cache_store),
+                evaluator.repair_crew)
         self.evaluator = evaluator
         self.tier = tier
         self.max_downtime = max_downtime
@@ -115,15 +130,22 @@ class RedesignController:
         report = ControllerReport()
         current: Optional[EvaluatedTierDesign] = None
         total_cost = 0.0
+        obs = _obs_current()
         try:
             for index, load in enumerate(loads):
                 decision, reconfigured = self._step(current, load)
+                if obs.enabled:
+                    obs.inc("controller.steps")
                 if decision is None:
                     report.infeasible_steps += 1
                     current = None
+                    if obs.enabled:
+                        obs.inc("controller.infeasible_steps")
                 else:
                     if reconfigured:
                         report.reconfigurations += 1
+                        if obs.enabled:
+                            obs.inc("controller.reconfigurations")
                     total_cost += decision.annual_cost
                     current = decision
                 report.steps.append(ControllerStep(index, load, decision,

@@ -85,6 +85,10 @@ class ServeError(AvedError):
     """The design service (``repro serve``) could not honor a request."""
 
 
+class WatchError(AvedError):
+    """The continuous redesign watcher (``repro watch``) failed."""
+
+
 class InfeasibleError(SearchError):
     """No design in the modeled design space satisfies the requirements."""
 

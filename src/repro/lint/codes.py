@@ -136,6 +136,31 @@ CODES: Dict[str, CodeInfo] = {
                        "cache verification mismatch; store quarantined"),
     "AVD605": CodeInfo(Severity.INFO,
                        "stale-version cache entry ignored"),
+    # -- continuous redesign watcher (repro.watch) ------------------------
+    "AVD701": CodeInfo(Severity.WARNING,
+                       "malformed telemetry record quarantined"),
+    "AVD702": CodeInfo(Severity.WARNING,
+                       "conflicting duplicate telemetry record "
+                       "quarantined"),
+    "AVD703": CodeInfo(Severity.INFO,
+                       "telemetry sequence gap detected"),
+    "AVD704": CodeInfo(Severity.INFO,
+                       "telemetry clock skew tolerated"),
+    "AVD705": CodeInfo(Severity.INFO,
+                       "observed parameters contradict the design spec; "
+                       "redesign triggered"),
+    "AVD706": CodeInfo(Severity.INFO,
+                       "incremental re-search warm-started from "
+                       "checkpoint"),
+    "AVD707": CodeInfo(Severity.WARNING,
+                       "drifted spec invalidated the checkpoint; cold "
+                       "re-search"),
+    "AVD708": CodeInfo(Severity.INFO,
+                       "watch journal replayed; interrupted redesign "
+                       "resumed"),
+    "AVD709": CodeInfo(Severity.WARNING,
+                       "watch journal append failed; watcher continuing "
+                       "without durability"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

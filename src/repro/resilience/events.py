@@ -39,6 +39,16 @@ CACHE_WRITE_FAILED = "cache-write-failed"
 CACHE_DISABLED = "cache-disabled"
 CACHE_VERIFY_MISMATCH = "cache-verify-mismatch"
 CACHE_STALE = "cache-stale"
+#: Continuous redesign watcher (:mod:`repro.watch`) event kinds.
+TELEMETRY_MALFORMED = "telemetry-malformed"
+TELEMETRY_CONFLICT = "telemetry-conflict"
+TELEMETRY_GAP = "telemetry-gap"
+TELEMETRY_SKEW = "telemetry-skew"
+DRIFT_DETECTED = "drift-detected"
+WATCH_WARM_START = "watch-warm-start"
+WATCH_COLD_SEARCH = "watch-cold-search"
+WATCH_RESUMED = "watch-resumed"
+WATCH_JOURNAL_FAULT = "watch-journal-fault"
 
 EVENT_CODES: Dict[str, str] = {
     FALLBACK: "AVD301",
@@ -60,6 +70,15 @@ EVENT_CODES: Dict[str, str] = {
     CACHE_DISABLED: "AVD603",
     CACHE_VERIFY_MISMATCH: "AVD604",
     CACHE_STALE: "AVD605",
+    TELEMETRY_MALFORMED: "AVD701",
+    TELEMETRY_CONFLICT: "AVD702",
+    TELEMETRY_GAP: "AVD703",
+    TELEMETRY_SKEW: "AVD704",
+    DRIFT_DETECTED: "AVD705",
+    WATCH_WARM_START: "AVD706",
+    WATCH_COLD_SEARCH: "AVD707",
+    WATCH_RESUMED: "AVD708",
+    WATCH_JOURNAL_FAULT: "AVD709",
 }
 
 

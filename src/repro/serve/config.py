@@ -46,6 +46,17 @@ class ServeConfig:
     repeat requirements then reuse solves across jobs, workers, and
     daemon restarts.  ``cache_verify`` re-solves a seeded sample of
     hits after each job and quarantines the store on divergence.
+
+    ``watch_telemetry`` (one or more JSONL stream paths) turns on the
+    background drift reconciler (:mod:`repro.watch`): the daemon then
+    also tails telemetry for ``watch_tier``, re-estimates its
+    MTTF/MTTR/load, and re-searches the tier design when observation
+    statistically contradicts the ``watch_load`` /
+    ``watch_downtime_minutes`` spec.  The watched model comes from
+    ``watch_infrastructure``/``watch_service`` spec files, or the
+    paper's e-commerce model when ``watch_paper`` is set.  Watch state
+    (journal, checkpoint) lives under ``data_dir`` so a killed daemon
+    resumes an interrupted redesign exactly once.
     """
 
     data_dir: str
@@ -69,6 +80,14 @@ class ServeConfig:
     cache_verify: bool = False
     seed: int = 1
     checkpoint_interval: int = 10
+    watch_telemetry: Tuple[str, ...] = ()
+    watch_tier: Optional[str] = None
+    watch_load: Optional[float] = None
+    watch_downtime_minutes: Optional[float] = None
+    watch_interval: float = 5.0
+    watch_infrastructure: Optional[str] = None
+    watch_service: Optional[str] = None
+    watch_paper: bool = False
 
     def __post_init__(self) -> None:
         if not self.data_dir:
@@ -104,6 +123,23 @@ class ServeConfig:
             raise ServeError("cache_verify requires cache_dir")
         if not 0 <= self.port <= 65535:
             raise ServeError("port must be in [0, 65535]")
+        if self.watch_telemetry:
+            if not self.watch_tier:
+                raise ServeError("watch_telemetry requires watch_tier")
+            if self.watch_load is None or self.watch_load <= 0:
+                raise ServeError(
+                    "watch_telemetry requires a positive watch_load")
+            if self.watch_downtime_minutes is None \
+                    or self.watch_downtime_minutes <= 0:
+                raise ServeError("watch_telemetry requires a positive "
+                                 "watch_downtime_minutes")
+            if self.watch_interval <= 0:
+                raise ServeError("watch_interval must be positive")
+            if not self.watch_paper and not (
+                    self.watch_infrastructure and self.watch_service):
+                raise ServeError(
+                    "watch_telemetry requires watch_infrastructure and "
+                    "watch_service spec files, or watch_paper")
 
     # -- derived paths -------------------------------------------------
 
@@ -122,6 +158,14 @@ class ServeConfig:
 
     def checkpoint_path(self, job_id: str) -> str:
         return os.path.join(self.checkpoint_dir, "%s.json" % job_id)
+
+    @property
+    def watch_journal_path(self) -> str:
+        return os.path.join(self.data_dir, "watch-journal.jsonl")
+
+    @property
+    def watch_checkpoint_path(self) -> str:
+        return os.path.join(self.data_dir, "watch-checkpoint.json")
 
 
 __all__ = ["ServeConfig", "ENGINE_CHOICES"]

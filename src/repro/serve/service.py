@@ -90,6 +90,13 @@ class DesignService:
             if config.cache_verify \
                     and self.cache_store.verify_sample <= 0:
                 self.cache_store.verify_sample = 8
+        #: Background drift reconciler (repro.watch); only the watch
+        #: thread touches it -- health() reads the cached status dict.
+        self.watcher = None
+        self._watch_thread: Optional[threading.Thread] = None
+        self._watch_status: Optional[Dict[str, Any]] = None
+        if config.watch_telemetry:
+            self.watcher = self._make_watcher()
         self._tokens: Dict[str, CancelToken] = {}
         self._tokens_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
@@ -117,6 +124,10 @@ class DesignService:
                 daemon=True)
             thread.start()
             self._threads.append(thread)
+        if self.watcher is not None:
+            self._watch_thread = threading.Thread(
+                target=self._watch_loop, name="serve-watch", daemon=True)
+            self._watch_thread.start()
 
     def drain(self, grace: Optional[float] = None) -> bool:
         """Graceful shutdown: stop admitting, checkpoint, park, flush.
@@ -141,6 +152,13 @@ class DesignService:
             left = grace - (self.clock() - started)
             thread.join(max(left, 0.05))
             if thread.is_alive():
+                clean = False
+        if self._watch_thread is not None:
+            # The reconciler's journal makes a hard cut safe: an
+            # interrupted redesign resumes exactly once on next boot.
+            left = grace - (self.clock() - started)
+            self._watch_thread.join(max(left, 0.05))
+            if self._watch_thread.is_alive():
                 clean = False
         self.store.close()
         self._drained = True
@@ -216,6 +234,7 @@ class DesignService:
                 round(self.admission.service_estimate, 3),
             "cache": (self.cache_store.snapshot()
                       if self.cache_store is not None else None),
+            "watch": self._watch_status,
         }
 
     def ready(self) -> bool:
@@ -234,6 +253,57 @@ class DesignService:
                 for state in self._last_breakers.values()):
             return False
         return True
+
+    # -- the drift reconciler ------------------------------------------
+
+    def _make_watcher(self):
+        from ..core import DesignEvaluator
+        from ..watch import JsonlTailReader, Watcher, WatchSpec
+        config = self.config
+        if config.watch_paper:
+            from ..spec.paper import (ecommerce_service,
+                                      paper_infrastructure)
+            infrastructure = paper_infrastructure()
+            service = ecommerce_service()
+        else:
+            from ..spec import parse_infrastructure, parse_service
+            with open(config.watch_infrastructure) as handle:
+                infrastructure = parse_infrastructure(handle.read())
+            with open(config.watch_service) as handle:
+                service = parse_service(handle.read())
+        evaluator = DesignEvaluator(infrastructure, service,
+                                    FallbackEngine(seed=config.seed))
+        spec = WatchSpec(
+            config.watch_tier, config.watch_load,
+            Duration.minutes(config.watch_downtime_minutes))
+        # The shared cache_dir is safe to attach twice (here and per
+        # job): the tier-evaluation store is multi-writer by design.
+        return Watcher(
+            evaluator, spec,
+            readers=[JsonlTailReader(path)
+                     for path in config.watch_telemetry],
+            journal_path=config.watch_journal_path,
+            checkpoint_path=config.watch_checkpoint_path,
+            cache_dir=config.cache_dir)
+
+    def _watch_loop(self) -> None:
+        """Poll telemetry until drain; the daemon survives any watch
+        failure (the reconciler is an optimization, not a dependency)."""
+        try:
+            self.watcher.start()
+            self._watch_status = self.watcher.status()
+        except Exception:   # noqa: BLE001 - reconciler must not kill us
+            self.metrics.counter("serve.watch_errors").inc()
+        while not self._draining.wait(self.config.watch_interval):
+            try:
+                self._watch_status = self.watcher.poll()
+                self.metrics.counter("serve.watch_polls").inc()
+            except Exception:   # noqa: BLE001
+                self.metrics.counter("serve.watch_errors").inc()
+        try:
+            self._watch_status = self.watcher.status()
+        except Exception:   # noqa: BLE001
+            self.metrics.counter("serve.watch_errors").inc()
 
     # -- validation ----------------------------------------------------
 

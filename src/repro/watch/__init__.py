@@ -1,0 +1,55 @@
+"""repro.watch: the drift-aware continuous redesign loop.
+
+The paper closes with the claim that "in self-managing environments,
+an engine such as Aved is needed to automatically reevaluate and
+reconfigure designs in response to changes" (section 7).  This package
+is that loop, built so the loop itself is dependable (see
+``docs/REDESIGN.md``):
+
+* **Ingestion** (:mod:`repro.watch.ingest`) -- failure/repair/load
+  observation streams from JSONL files (tailed, torn-tail tolerant)
+  or an in-process :class:`repro.obs.MetricsRegistry` feed, made
+  tolerant *by construction* to out-of-order, duplicated, gapped, and
+  clock-skewed events: records are unioned by ``(source, seq)``, so
+  any delivery order and any duplication yield the same state.
+  Malformed records are quarantined per source as ``AVD701``/
+  ``AVD702`` diagnostics.
+* **Estimation** (:mod:`repro.watch.estimator`) -- online MTTF/MTTR/
+  load estimators with confidence intervals, extending
+  :mod:`repro.availability.fit`.
+* **Drift detection** (:mod:`repro.watch.drift`) -- fires only when
+  the observed parameters *statistically contradict* the spec the
+  incumbent was solved against, with margins, debounce, and geometric
+  quantization so a noisy stream can never flap the design.
+* **The watcher** (:mod:`repro.watch.loop`) -- journaled (``kill -9``
+  mid-redesign resumes exactly once), warm-starting re-searches from
+  the incumbent's :class:`~repro.resilience.SearchCheckpoint` and the
+  shared :mod:`repro.cache` store, falling back to a cold search only
+  when the drifted spec invalidates them (``AVD707``).
+* **Fault injection** (:mod:`repro.watch.faults`) -- a seeded
+  :class:`WatchFaultPlan` (gap/dup/skew/corrupt/kill) driving the
+  chaos soak: a 30% telemetry fault storm must converge to the same
+  redesign decisions as the clean stream.
+
+Wired into ``repro watch`` (CLI) and ``repro serve`` (background
+reconciler; watch status on ``healthz``/``metricz``).
+"""
+
+from .drift import DriftDetector, DriftPolicy, DriftReport, quantize
+from .estimator import LoadEstimate, OnlineEstimator
+from .events import (EVENT_KINDS, TelemetryEvent, event_from_dict,
+                     parse_line)
+from .faults import FaultyStreamWriter, WatchFaultPlan, WatchKilled
+from .ingest import JsonlTailReader, MetricsFeed, TelemetryLedger
+from .journal import WatchJournal
+from .loop import WatchSpec, Watcher, substitute_modes
+
+__all__ = [
+    "TelemetryEvent", "EVENT_KINDS", "event_from_dict", "parse_line",
+    "TelemetryLedger", "JsonlTailReader", "MetricsFeed",
+    "LoadEstimate", "OnlineEstimator",
+    "DriftPolicy", "DriftDetector", "DriftReport", "quantize",
+    "WatchJournal",
+    "WatchSpec", "Watcher", "substitute_modes",
+    "WatchFaultPlan", "WatchKilled", "FaultyStreamWriter",
+]

@@ -1,0 +1,233 @@
+"""Drift detection: when observation contradicts the incumbent spec.
+
+The detector compares online estimates against the specification the
+incumbent design was solved for, and declares drift only on
+*statistical contradiction*: the confidence interval must exclude the
+spec value AND the point estimate must differ by a configured margin
+AND enough observations must back it.  A contradiction must then
+persist for ``debounce`` consecutive polls before the detector fires,
+and a ``cooldown`` after each redesign suppresses immediate
+re-triggering -- together with the redesign controller's own
+hysteresis this is what makes flapping impossible by construction.
+
+Drifted parameters are snapped onto a geometric grid anchored at the
+spec value (:func:`quantize`).  That quantization is what lets a
+telemetry stream mangled by a 30% fault storm converge to *the same*
+drifted spec -- and therefore byte-identical redesign decisions -- as
+the clean stream: any surviving subset of a drift plateau estimates a
+value within the grid cell, and the snap erases the residual noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import WatchError
+from ..units import Duration
+from .estimator import OnlineEstimator
+
+
+def quantize(value: float, ratio: float = 1.25,
+             anchor: float = 1.0) -> float:
+    """Snap ``value`` onto the geometric grid ``anchor * ratio**k``."""
+    if value <= 0 or anchor <= 0:
+        raise WatchError("can only quantize positive values")
+    if ratio <= 1.0:
+        raise WatchError("quantization ratio must exceed 1")
+    step = round(math.log(value / anchor) / math.log(ratio))
+    return anchor * ratio ** step
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """When does observation overrule the spec?  Deliberately strict.
+
+    The defaults are tuned so that a *stationary* stream (parameters
+    matching the spec) essentially never fires: a 99% interval must
+    exclude the spec, the point estimate must be off by a factor-scale
+    margin, a minimum number of observations must back it, and the
+    contradiction must persist for ``debounce`` consecutive polls.
+    """
+
+    confidence: float = 0.99
+    min_failures: int = 30          # per mode, before MTBF can drift
+    min_repairs: int = 20           # per mode, before MTTR can drift
+    min_load_samples: int = 30
+    mtbf_margin: float = 2.0        # point estimate off by >= this factor
+    mttr_margin: float = 2.0
+    load_margin: float = 1.25
+    debounce: int = 3               # consecutive contradicting polls
+    cooldown: int = 5               # quiet polls after each redesign
+    quantize_ratio: float = 1.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence < 1.0:
+            raise WatchError("confidence must be in (0, 1)")
+        for label in ("min_failures", "min_repairs", "min_load_samples",
+                      "debounce"):
+            if getattr(self, label) < 1:
+                raise WatchError("%s must be at least 1" % label)
+        if self.cooldown < 0:
+            raise WatchError("cooldown cannot be negative")
+        for label in ("mtbf_margin", "mttr_margin", "load_margin",
+                      "quantize_ratio"):
+            if getattr(self, label) <= 1.0:
+                raise WatchError("%s must exceed 1" % label)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift poll."""
+
+    tier: str
+    drifted: bool                   # fired: debounce satisfied
+    streak: int                     # consecutive contradicting polls
+    cooldown: int                   # quiet polls still remaining
+    reasons: Tuple[str, ...]        # deterministic contradiction notes
+    #: Quantized replacement parameters, only for contradicted ones.
+    mtbf: Dict[str, Duration] = field(default_factory=dict)
+    mttr: Dict[str, Duration] = field(default_factory=dict)
+    load: Optional[float] = None
+
+    @property
+    def contradicted(self) -> bool:
+        return bool(self.reasons)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tier": self.tier,
+            "drifted": self.drifted,
+            "streak": self.streak,
+            "cooldown": self.cooldown,
+            "reasons": list(self.reasons),
+            "mtbf_hours": {mode: value.as_hours
+                           for mode, value in sorted(self.mtbf.items())},
+            "mttr_hours": {mode: value.as_hours
+                           for mode, value in sorted(self.mttr.items())},
+            "load": self.load,
+        }
+
+
+class DriftDetector:
+    """Tracks one tier's spec against the estimate stream."""
+
+    def __init__(self, tier: str, spec_mtbf: Mapping[str, Duration],
+                 spec_mttr: Mapping[str, Duration], spec_load: float,
+                 policy: Optional[DriftPolicy] = None):
+        if spec_load <= 0:
+            raise WatchError("spec load must be positive")
+        self.tier = tier
+        self.spec_mtbf = dict(spec_mtbf)
+        self.spec_mttr = dict(spec_mttr)
+        self.spec_load = spec_load
+        self.policy = policy or DriftPolicy()
+        self.streak = 0
+        self.cooldown_left = 0
+
+    # -- per-parameter contradiction checks ----------------------------
+
+    def _snap(self, observed: float, spec: float) -> float:
+        return quantize(observed, self.policy.quantize_ratio, spec)
+
+    def _check_mtbf(self, estimator: OnlineEstimator, mode: str,
+                    spec: Duration, reasons: list,
+                    drifted: Dict[str, Duration]) -> None:
+        estimate = estimator.mtbf(self.tier, mode)
+        if estimate is None or estimate.mtbf is None \
+                or estimate.failures < self.policy.min_failures:
+            return
+        point = estimate.mtbf.as_hours
+        spec_hours = spec.as_hours
+        margin = self.policy.mtbf_margin
+        if estimate.contains(spec) \
+                or spec_hours / margin < point < spec_hours * margin:
+            return
+        snapped = self._snap(point, spec_hours)
+        drifted[mode] = Duration.hours(snapped)
+        reasons.append(
+            "mtbf[%s]: spec %gh outside %g%% CI of estimate %gh "
+            "(%d failures); drifting to %gh"
+            % (mode, spec_hours, 100 * estimate.confidence, point,
+               estimate.failures, snapped))
+
+    def _check_mttr(self, estimator: OnlineEstimator, mode: str,
+                    spec: Duration, reasons: list,
+                    drifted: Dict[str, Duration]) -> None:
+        estimate = estimator.mttr(self.tier, mode)
+        if estimate is None or estimate.mttr is None \
+                or estimate.repairs < self.policy.min_repairs:
+            return
+        point = estimate.mttr.as_hours
+        spec_hours = spec.as_hours
+        margin = self.policy.mttr_margin
+        if estimate.contains(spec) \
+                or spec_hours / margin < point < spec_hours * margin:
+            return
+        snapped = self._snap(point, spec_hours)
+        drifted[mode] = Duration.hours(snapped)
+        reasons.append(
+            "mttr[%s]: spec %gh outside %g%% CI of estimate %gh "
+            "(%d repairs); drifting to %gh"
+            % (mode, spec_hours, 100 * estimate.confidence, point,
+               estimate.repairs, snapped))
+
+    def _check_load(self, estimator: OnlineEstimator, reasons: list) \
+            -> Optional[float]:
+        estimate = estimator.load(self.tier)
+        if estimate is None \
+                or estimate.samples < self.policy.min_load_samples:
+            return None
+        margin = self.policy.load_margin
+        if estimate.contains(self.spec_load) \
+                or self.spec_load / margin < estimate.mean \
+                < self.spec_load * margin:
+            return None
+        snapped = self._snap(estimate.mean, self.spec_load)
+        reasons.append(
+            "load: spec %g outside %g%% CI of mean %g (%d samples); "
+            "drifting to %g"
+            % (self.spec_load, 100 * estimate.confidence, estimate.mean,
+               estimate.samples, snapped))
+        return snapped
+
+    # -- the poll ------------------------------------------------------
+
+    def observe(self, estimator: OnlineEstimator) -> DriftReport:
+        """One poll: estimates vs. spec, through debounce and cooldown."""
+        reasons: list = []
+        mtbf: Dict[str, Duration] = {}
+        mttr: Dict[str, Duration] = {}
+        for mode in sorted(self.spec_mtbf):
+            self._check_mtbf(estimator, mode, self.spec_mtbf[mode],
+                             reasons, mtbf)
+        for mode in sorted(self.spec_mttr):
+            self._check_mttr(estimator, mode, self.spec_mttr[mode],
+                             reasons, mttr)
+        load = self._check_load(estimator, reasons)
+        if self.cooldown_left > 0:
+            # Quiet period after a redesign: observe, but never fire.
+            self.cooldown_left -= 1
+            self.streak = 0
+            return DriftReport(self.tier, False, 0, self.cooldown_left,
+                               tuple(reasons), mtbf, mttr, load)
+        self.streak = self.streak + 1 if reasons else 0
+        fired = self.streak >= self.policy.debounce
+        return DriftReport(self.tier, fired, self.streak,
+                           self.cooldown_left, tuple(reasons),
+                           mtbf, mttr, load)
+
+    def rebase(self, mtbf: Mapping[str, Duration],
+               mttr: Mapping[str, Duration],
+               load: Optional[float]) -> None:
+        """Adopt drifted parameters as the new spec after a redesign."""
+        self.spec_mtbf.update(mtbf)
+        self.spec_mttr.update(mttr)
+        if load is not None:
+            self.spec_load = load
+        self.streak = 0
+        self.cooldown_left = self.policy.cooldown
+
+
+__all__ = ["quantize", "DriftPolicy", "DriftReport", "DriftDetector"]

@@ -1,0 +1,119 @@
+"""Online parameter estimation over an ingested telemetry ledger.
+
+Thin statistical layer between ingestion and drift detection: reads
+the per-mode failure/repair aggregates and the load samples out of a
+:class:`~repro.watch.ingest.TelemetryLedger` and turns them into
+interval estimates -- MTBF and MTTR via the chi-square machinery in
+:mod:`repro.availability.fit`, load via a Student-t interval on the
+sample mean.  Everything is recomputed from the ledger's aggregates,
+so the estimates inherit the ledger's permutation/duplication
+invariance for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import scipy.stats
+
+from ..availability.fit import (MtbfEstimate, MttrEstimate,
+                                estimate_mtbf, estimate_mttr)
+from ..errors import WatchError
+from .ingest import TelemetryLedger
+
+
+@dataclass(frozen=True)
+class LoadEstimate:
+    """A mean-load estimate with a two-sided confidence interval."""
+
+    tier: str
+    samples: int
+    mean: float
+    lower: float                # -inf when the interval is degenerate
+    upper: float                # +inf when the interval is degenerate
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def estimate_load(tier: str, samples: list, confidence: float = 0.95) \
+        -> Optional[LoadEstimate]:
+    """Student-t interval on the mean of the observed load samples.
+
+    Returns ``None`` with no samples; with one sample (or zero
+    variance pathologies aside) fewer than two samples yield an
+    unbounded interval -- a single observation cannot contradict any
+    spec.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise WatchError("confidence must be in (0, 1)")
+    count = len(samples)
+    if count == 0:
+        return None
+    mean = math.fsum(samples) / count
+    if count == 1:
+        return LoadEstimate(tier, 1, mean, -math.inf, math.inf,
+                            confidence)
+    variance = math.fsum((value - mean) ** 2 for value in samples) \
+        / (count - 1)
+    stderr = math.sqrt(variance / count)
+    half = float(scipy.stats.t.ppf((1.0 + confidence) / 2.0,
+                                   count - 1)) * stderr
+    return LoadEstimate(tier, count, mean, mean - half, mean + half,
+                        confidence)
+
+
+class OnlineEstimator:
+    """Current interval estimates for one tier, read off the ledger."""
+
+    def __init__(self, ledger: TelemetryLedger,
+                 confidence: float = 0.95,
+                 load_window: Optional[int] = None):
+        if not 0.0 < confidence < 1.0:
+            raise WatchError("confidence must be in (0, 1)")
+        self.ledger = ledger
+        self.confidence = confidence
+        #: Trailing load samples to keep (None = all); a window makes
+        #: the load estimate track the *current* level instead of the
+        #: all-time mean, which is what drift detection wants.
+        self.load_window = load_window
+
+    def mtbf(self, tier: str, mode: str) -> Optional[MtbfEstimate]:
+        stats = self.ledger.mode_stats(tier, mode)
+        if stats.exposure_hours <= 0:
+            return None
+        return estimate_mtbf(mode, stats.failures, stats.exposure_hours,
+                             self.confidence)
+
+    def mttr(self, tier: str, mode: str) -> Optional[MttrEstimate]:
+        stats = self.ledger.mode_stats(tier, mode)
+        if stats.repairs == 0 or stats.repair_hours <= 0:
+            return None
+        return estimate_mttr(mode, stats.repairs, stats.repair_hours,
+                             self.confidence)
+
+    def load(self, tier: str) -> Optional[LoadEstimate]:
+        samples = self.ledger.load_samples(tier, self.load_window)
+        return estimate_load(tier, samples, self.confidence)
+
+    def mtbf_estimates(self, tier: str) -> Dict[str, MtbfEstimate]:
+        estimates = {}
+        for mode in self.ledger.modes(tier):
+            estimate = self.mtbf(tier, mode)
+            if estimate is not None:
+                estimates[mode] = estimate
+        return estimates
+
+    def mttr_estimates(self, tier: str) -> Dict[str, MttrEstimate]:
+        estimates = {}
+        for mode in self.ledger.modes(tier):
+            estimate = self.mttr(tier, mode)
+            if estimate is not None:
+                estimates[mode] = estimate
+        return estimates
+
+
+__all__ = ["LoadEstimate", "estimate_load", "OnlineEstimator"]

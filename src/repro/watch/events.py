@@ -1,0 +1,165 @@
+"""The telemetry wire format: one observation window per record.
+
+A telemetry stream is a sequence of JSON records, one per line.  Each
+record reports one *window* of observation from one *source* (a
+monitoring agent, a tier's health prober, the in-process metrics
+feed):
+
+``failure``
+    ``exposure_hours`` of watched resource time for one failure mode,
+    and how many ``failures`` of that mode occurred in the window
+    (zero-failure windows still matter -- they are the exposure).
+``repair``
+    ``repairs`` completed repairs of one mode and their total
+    ``repair_hours``.
+``load``
+    one load sample (``value``, work units/hour) for a tier.
+
+Every record carries ``source`` and a per-source monotone ``seq``.
+The pair is the record's identity: ingestion unions records by
+``(source, seq)``, which is what makes the pipeline tolerant *by
+construction* to re-ordering and duplication (a set union is
+permutation- and duplication-invariant) and makes gaps detectable
+(missing sequence numbers).  ``time_hours`` is the source's own clock
+and is deliberately advisory: no estimate differences timestamps
+across records, so a skewed clock can never corrupt an estimate --
+only the per-record window durations, which each record carries
+itself, enter the statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import WatchError
+
+#: Record kinds on the wire.
+FAILURE = "failure"
+REPAIR = "repair"
+LOAD = "load"
+EVENT_KINDS: Tuple[str, ...] = (FAILURE, REPAIR, LOAD)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One validated telemetry record."""
+
+    kind: str                   # failure | repair | load
+    source: str                 # stream identity
+    seq: int                    # per-source monotone sequence number
+    time_hours: float           # source clock (advisory; skew-tolerant)
+    tier: str                   # tier the observation concerns
+    mode: str = ""              # failure mode (failure/repair records)
+    failures: int = 0           # failure count in the window
+    exposure_hours: float = 0.0  # watched resource-hours in the window
+    repairs: int = 0            # completed repairs in the window
+    repair_hours: float = 0.0   # total repair time in the window
+    value: float = 0.0          # load sample (load records)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The record's identity for dedup/union."""
+        return (self.source, self.seq)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "kind": self.kind, "source": self.source, "seq": self.seq,
+            "time_hours": self.time_hours, "tier": self.tier,
+        }
+        if self.kind == FAILURE:
+            record["mode"] = self.mode
+            record["failures"] = self.failures
+            record["exposure_hours"] = self.exposure_hours
+        elif self.kind == REPAIR:
+            record["mode"] = self.mode
+            record["repairs"] = self.repairs
+            record["repair_hours"] = self.repair_hours
+        else:
+            record["value"] = self.value
+        return record
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True) + "\n"
+
+
+def _finite(value: Any, label: str, minimum: float = 0.0) -> float:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise WatchError("%s must be a number, got %r" % (label, value))
+    if not math.isfinite(number):
+        raise WatchError("%s must be finite, got %r" % (label, value))
+    if number < minimum:
+        raise WatchError("%s must be >= %g, got %g"
+                         % (label, minimum, number))
+    return number
+
+
+def _count(value: Any, label: str) -> int:
+    try:
+        number = int(value)
+    except (TypeError, ValueError):
+        raise WatchError("%s must be an integer, got %r" % (label, value))
+    if isinstance(value, float) and value != number:
+        raise WatchError("%s must be an integer, got %r" % (label, value))
+    if number < 0:
+        raise WatchError("%s cannot be negative, got %d" % (label, number))
+    return number
+
+
+def _name(payload: Dict[str, Any], field: str) -> str:
+    value = payload.get(field)
+    if not isinstance(value, str) or not value:
+        raise WatchError("record needs a non-empty %r field" % field)
+    return value
+
+
+def event_from_dict(payload: Any) -> TelemetryEvent:
+    """Validate one decoded record; raises :class:`WatchError`."""
+    if not isinstance(payload, dict):
+        raise WatchError("telemetry record must be a JSON object, got %s"
+                         % type(payload).__name__)
+    kind = payload.get("kind")
+    if kind not in EVENT_KINDS:
+        raise WatchError("unknown telemetry kind %r (expected one of %s)"
+                         % (kind, ", ".join(EVENT_KINDS)))
+    source = _name(payload, "source")
+    tier = _name(payload, "tier")
+    seq = _count(payload.get("seq"), "seq")
+    # Clock skew is tolerated, so the timestamp may even be negative;
+    # it only has to be a finite number.
+    time_hours = _finite(payload.get("time_hours", 0.0), "time_hours",
+                         minimum=-math.inf)
+    if kind == FAILURE:
+        return TelemetryEvent(
+            kind, source, seq, time_hours, tier,
+            mode=_name(payload, "mode"),
+            failures=_count(payload.get("failures"), "failures"),
+            exposure_hours=_finite(payload.get("exposure_hours"),
+                                   "exposure_hours"))
+    if kind == REPAIR:
+        return TelemetryEvent(
+            kind, source, seq, time_hours, tier,
+            mode=_name(payload, "mode"),
+            repairs=_count(payload.get("repairs"), "repairs"),
+            repair_hours=_finite(payload.get("repair_hours"),
+                                 "repair_hours"))
+    return TelemetryEvent(
+        kind, source, seq, time_hours, tier,
+        value=_finite(payload.get("value"), "value"))
+
+
+def parse_line(line: str) -> TelemetryEvent:
+    """One JSONL line -> validated event; raises :class:`WatchError`."""
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise WatchError("not valid JSON: %s" % exc) from exc
+    return event_from_dict(payload)
+
+
+__all__ = ["TelemetryEvent", "EVENT_KINDS", "FAILURE", "REPAIR", "LOAD",
+           "event_from_dict", "parse_line"]

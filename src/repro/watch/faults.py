@@ -1,0 +1,178 @@
+"""Seeded fault injection for telemetry streams and the watcher.
+
+A :class:`WatchFaultPlan` decides, per telemetry record, whether the
+delivery path mangles it: drops it entirely (a *gap* in the sequence
+numbers), delivers it twice (*duplicate*), skews its timestamp
+(*skew* -- the record stays well-formed, only its advisory clock
+lies), corrupts the bytes on the wire (*corrupt* -- the line no longer
+parses and must be quarantined), or kills the producer mid-write
+(*kill* -- a torn tail line, raising :class:`WatchKilled`).
+
+Decisions are pure functions of ``(seed, op_index)``, mirroring
+:class:`repro.cache.CacheFaultPlan`, so a storm replays bit-for-bit.
+:class:`FaultyStreamWriter` applies a plan while writing a telemetry
+JSONL file; the chaos soak (``tests/watch/test_chaos.py``) feeds the
+same event sequence through a clean writer and a 30%-storm writer and
+asserts the watcher converges to byte-identical redesign decisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .events import TelemetryEvent
+
+#: Fault kinds, in cumulative-draw order.
+GAP = "gap"
+DUPLICATE = "duplicate"
+SKEW = "skew"
+CORRUPT = "corrupt"
+KILL = "kill"
+
+
+class WatchKilled(BaseException):
+    """Simulated ``kill -9`` of a telemetry producer mid-write.
+
+    A :class:`BaseException` on purpose: real kills are not catchable,
+    so no recovery path inside the watcher may swallow one.  The test
+    harness catches it at the call site, the way a supervisor observes
+    a dead process, and the stream is left with a torn (newline-less)
+    tail exactly as a dead writer leaves one.
+    """
+
+
+@dataclass(frozen=True)
+class WatchFaultPlan:
+    """Deterministic schedule of telemetry-delivery faults.
+
+    Rates are independent probabilities evaluated in a fixed order
+    (gap, duplicate, skew, corrupt, kill) from a single per-record
+    draw, so at most one fault fires per record.
+    """
+
+    seed: int = 0
+    gap_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    skew_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    kill_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("gap_rate", "duplicate_rate", "skew_rate",
+                     "corrupt_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r"
+                                 % (name, rate))
+
+    def decide(self, op_index: int) -> Optional[str]:
+        """The fault (if any) to inject on record number ``op_index``.
+
+        Pure: depends only on ``(seed, op_index)``.
+        """
+        rng = random.Random(hash((self.seed, op_index)))
+        draw = rng.random()
+        cumulative = 0.0
+        for action, rate in ((GAP, self.gap_rate),
+                             (DUPLICATE, self.duplicate_rate),
+                             (SKEW, self.skew_rate),
+                             (CORRUPT, self.corrupt_rate),
+                             (KILL, self.kill_rate)):
+            cumulative += rate
+            if draw < cumulative:
+                return action
+        return None
+
+    def skew_hours(self, op_index: int) -> float:
+        """The clock perturbation for a ``skew`` fault (may be huge)."""
+        rng = random.Random(hash((self.seed, op_index, "skew")))
+        return rng.uniform(-1000.0, 1000.0)
+
+
+class FaultyStreamWriter:
+    """Writes telemetry events through a fault plan to a JSONL file.
+
+    With an all-zero plan this is a plain, well-behaved producer.  The
+    op index advances on every :meth:`write` whether or not a fault
+    fires, so clean and faulty runs of the same event sequence line up
+    record-for-record.
+    """
+
+    def __init__(self, path: str,
+                 plan: Optional[WatchFaultPlan] = None):
+        self.path = path
+        self.plan = plan or WatchFaultPlan()
+        self.op_index = 0
+        self.injected = {GAP: 0, DUPLICATE: 0, SKEW: 0, CORRUPT: 0,
+                         KILL: 0}
+
+    def _append(self, text: str) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write(self, event: TelemetryEvent) -> None:
+        fault = self.plan.decide(self.op_index)
+        self.op_index += 1
+        line = event.to_json_line()     # newline-terminated
+        if fault == GAP:
+            self.injected[GAP] += 1
+            return                          # dropped in transit
+        if fault == DUPLICATE:
+            self.injected[DUPLICATE] += 1
+            self._append(line + line)
+            return
+        if fault == SKEW:
+            self.injected[SKEW] += 1
+            skewed = dataclasses.replace(
+                event, time_hours=event.time_hours
+                + self.plan.skew_hours(self.op_index - 1))
+            self._append(skewed.to_json_line())
+            return
+        if fault == CORRUPT:
+            self.injected[CORRUPT] += 1
+            # Truncate mid-payload and splice in garbage bytes; the
+            # line stays newline-terminated, so it *will* be read --
+            # and must be quarantined, not half-parsed.
+            self._append(line[:max(4, len(line) // 2)] + "\x00garbage}\n")
+            return
+        if fault == KILL:
+            self.injected[KILL] += 1
+            # Torn tail: the producer died mid-write.  No newline.
+            self._append(line.rstrip("\n")[:max(4, len(line) // 2)])
+            raise WatchKilled("producer killed writing record %d"
+                              % (self.op_index - 1))
+        self._append(line)
+
+    def resume(self) -> None:
+        """Restart after a kill: terminate the torn tail.
+
+        A restarted producer appends from scratch; its first newline
+        turns the torn tail plus whatever follows into one corrupt
+        line, which ingestion quarantines.  Calling this makes that
+        explicit (and keeps subsequent records on their own lines).
+        """
+        self._append("\n")
+
+
+def write_stream(path: str, events, plan: Optional[WatchFaultPlan] = None,
+                 writer: Optional[FaultyStreamWriter] = None) \
+        -> FaultyStreamWriter:
+    """Write ``events`` through ``plan``, restarting after kills."""
+    active = writer or FaultyStreamWriter(path, plan)
+    for event in events:
+        try:
+            active.write(event)
+        except WatchKilled:
+            active.resume()
+    return active
+
+
+__all__ = ["GAP", "DUPLICATE", "SKEW", "CORRUPT", "KILL",
+           "WatchKilled", "WatchFaultPlan", "FaultyStreamWriter",
+           "write_stream"]

@@ -1,0 +1,298 @@
+"""Telemetry ingestion: tailing, union-by-identity, quarantine.
+
+Three cooperating pieces:
+
+* :class:`TelemetryLedger` -- the deduplicating accumulator.  Records
+  are unioned by ``(source, seq)``: replaying, reordering, or
+  duplicating a stream provably cannot change the ledger (the
+  permutation/duplication-invariance property tests pin this).  A
+  duplicate whose payload *differs* from the first-seen record is a
+  conflict -- somebody re-used a sequence number or corrupted a record
+  in a way that still parses -- and is rejected (``AVD702``), keeping
+  the first-seen record.
+* :class:`JsonlTailReader` -- tails a JSONL telemetry file.  Only
+  complete (newline-terminated) lines are consumed, so a torn tail
+  from a killed producer is simply *not yet there*; the reader resumes
+  from its byte offset on every poll.  Undecodable or malformed lines
+  are returned as rejects for per-source quarantine (``AVD701``).
+* :class:`MetricsFeed` -- the in-process feed: synthesizes telemetry
+  windows from a live :class:`repro.obs.MetricsRegistry` by deltaing
+  instrument values between polls, so a process hosting both the
+  workload and the watcher needs no file in between.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from .events import (FAILURE, LOAD, REPAIR, TelemetryEvent, parse_line)
+
+#: ``TelemetryLedger.add`` outcomes.
+ACCEPTED = "accepted"
+DUPLICATE = "duplicate"
+CONFLICT = "conflict"
+
+
+@dataclass
+class ModeStats:
+    """Accumulated failure/repair observations for one (tier, mode)."""
+
+    failures: int = 0
+    exposure_hours: float = 0.0
+    repairs: int = 0
+    repair_hours: float = 0.0
+
+
+@dataclass
+class SourceStats:
+    """Per-source bookkeeping for gap and skew detection."""
+
+    records: int = 0
+    max_seq: int = -1
+    #: seq -> time_hours, for on-demand skew detection.
+    times: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def missing(self) -> int:
+        """Sequence numbers never seen below the highest seen."""
+        return self.max_seq + 1 - self.records
+
+
+class TelemetryLedger:
+    """Order-free union of telemetry records, keyed by (source, seq)."""
+
+    def __init__(self) -> None:
+        #: (source, seq) -> canonical payload line (for conflict checks).
+        self._seen: Dict[Tuple[str, int], str] = {}
+        self._modes: Dict[Tuple[str, str], ModeStats] = {}
+        #: tier -> {(source, seq) -> load value}.
+        self._loads: Dict[str, Dict[Tuple[str, int], float]] = {}
+        self._sources: Dict[str, SourceStats] = {}
+        self.accepted = 0
+        self.duplicates = 0
+        self.conflicts = 0
+
+    # -- ingestion -----------------------------------------------------
+
+    def add(self, event: TelemetryEvent) -> str:
+        """Union one record in; returns ACCEPTED/DUPLICATE/CONFLICT."""
+        canonical = event.to_json_line()
+        previous = self._seen.get(event.key)
+        if previous is not None:
+            if previous == canonical:
+                self.duplicates += 1
+                return DUPLICATE
+            self.conflicts += 1
+            return CONFLICT
+        self._seen[event.key] = canonical
+        self.accepted += 1
+        stats = self._sources.setdefault(event.source, SourceStats())
+        stats.records += 1
+        stats.max_seq = max(stats.max_seq, event.seq)
+        stats.times[event.seq] = event.time_hours
+        if event.kind == FAILURE:
+            mode = self._modes.setdefault((event.tier, event.mode),
+                                          ModeStats())
+            mode.failures += event.failures
+            mode.exposure_hours += event.exposure_hours
+        elif event.kind == REPAIR:
+            mode = self._modes.setdefault((event.tier, event.mode),
+                                          ModeStats())
+            mode.repairs += event.repairs
+            mode.repair_hours += event.repair_hours
+        elif event.kind == LOAD:
+            self._loads.setdefault(event.tier, {})[event.key] = \
+                event.value
+        return ACCEPTED
+
+    # -- accessors -----------------------------------------------------
+
+    def tiers(self) -> List[str]:
+        names = {tier for tier, _ in self._modes}
+        names.update(self._loads)
+        return sorted(names)
+
+    def modes(self, tier: str) -> List[str]:
+        return sorted(mode for t, mode in self._modes if t == tier)
+
+    def mode_stats(self, tier: str, mode: str) -> ModeStats:
+        return self._modes.get((tier, mode), ModeStats())
+
+    def load_samples(self, tier: str,
+                     window: Optional[int] = None) -> List[float]:
+        """Load samples in canonical ``(source, seq)`` order.
+
+        Ordering by record identity -- never by timestamp -- is what
+        makes the view invariant under delivery order *and* clock
+        skew.  ``window`` keeps only the trailing samples.
+        """
+        samples = self._loads.get(tier, {})
+        ordered = [samples[key] for key in sorted(samples)]
+        if window is not None and window > 0:
+            ordered = ordered[-window:]
+        return ordered
+
+    def gaps(self) -> Dict[str, int]:
+        """Per-source count of missing sequence numbers (gaps only)."""
+        return {source: stats.missing
+                for source, stats in sorted(self._sources.items())
+                if stats.missing > 0}
+
+    def skewed_sources(self) -> List[str]:
+        """Sources whose clock disagrees with their sequence order."""
+        skewed = []
+        for source, stats in sorted(self._sources.items()):
+            times = [stats.times[seq] for seq in sorted(stats.times)]
+            if any(later < earlier
+                   for earlier, later in zip(times, times[1:])):
+                skewed.append(source)
+        return skewed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic summary (counts only; no payloads)."""
+        return {
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+            "conflicts": self.conflicts,
+            "sources": {
+                source: {"records": stats.records,
+                         "max_seq": stats.max_seq,
+                         "missing": stats.missing}
+                for source, stats in sorted(self._sources.items())},
+        }
+
+
+@dataclass(frozen=True)
+class RejectedLine:
+    """A line the tail reader could not turn into a valid event."""
+
+    source: str                 # the stream's name (file path)
+    line: str                   # the offending text (truncated)
+    reason: str
+
+
+class JsonlTailReader:
+    """Incremental reader of a JSONL telemetry file.
+
+    Consumes only newline-terminated lines, so a producer killed
+    mid-write leaves a torn tail that is invisible until the next
+    producer completes the line (at which point the merged bytes are
+    one malformed record, rejected and quarantined -- never silently
+    half-parsed).  A missing file is an empty stream, not an error:
+    the producer may simply not have started yet.
+    """
+
+    #: Reject-line excerpts are capped so quarantine stays bounded.
+    EXCERPT = 160
+
+    def __init__(self, path: str, name: Optional[str] = None):
+        self.path = path
+        self.name = name or os.path.basename(path)
+        self._offset = 0
+        self.lines_read = 0
+
+    def poll(self) -> Tuple[List[TelemetryEvent], List[RejectedLine]]:
+        """All newly completed lines since the last poll."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except OSError:
+            return [], []
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            return [], []
+        chunk, self._offset = data[:cut + 1], self._offset + cut + 1
+        events: List[TelemetryEvent] = []
+        rejects: List[RejectedLine] = []
+        for raw in chunk.split(b"\n"):
+            if not raw.strip():
+                continue
+            self.lines_read += 1
+            line = raw.decode("utf-8", errors="replace")
+            try:
+                events.append(parse_line(line))
+            except Exception as exc:  # WatchError, and anything hostile
+                rejects.append(RejectedLine(
+                    self.name, line[:self.EXCERPT], str(exc)))
+        return events, rejects
+
+
+class MetricsFeed:
+    """Synthesizes telemetry windows from a live metrics registry.
+
+    A process hosting the watched workload publishes cumulative
+    instruments (the ``watch.<tier>...`` convention below); each
+    :meth:`poll` deltas them against the previous poll and emits the
+    difference as one telemetry window per mode, plus one load sample:
+
+    * counter ``watch.<tier>.<mode>.failures`` and gauge
+      ``watch.<tier>.<mode>.exposure_hours`` -> a ``failure`` window;
+    * counter ``watch.<tier>.<mode>.repairs`` and gauge
+      ``watch.<tier>.<mode>.repair_hours`` -> a ``repair`` window;
+    * gauge ``watch.<tier>.load`` -> a ``load`` sample (when set).
+    """
+
+    def __init__(self, registry: MetricsRegistry, tier: str,
+                 modes: Sequence[str], source: str = "obs-feed",
+                 prefix: str = "watch"):
+        self.registry = registry
+        self.tier = tier
+        self.modes = list(modes)
+        self.source = source
+        self.prefix = prefix
+        self._seq = 0
+        self._last: Dict[str, float] = {}
+
+    def _delta(self, name: str, value: float) -> float:
+        previous = self._last.get(name, 0.0)
+        self._last[name] = value
+        return value - previous
+
+    def _next(self, **fields: Any) -> TelemetryEvent:
+        event = TelemetryEvent(source=self.source, seq=self._seq,
+                               tier=self.tier, **fields)
+        self._seq += 1
+        return event
+
+    def poll(self) -> List[TelemetryEvent]:
+        events: List[TelemetryEvent] = []
+        base = "%s.%s" % (self.prefix, self.tier)
+        clock = 0.0
+        for mode in self.modes:
+            stem = "%s.%s" % (base, mode)
+            exposure = self._delta(
+                stem + ".exposure_hours",
+                self.registry.gauge(stem + ".exposure_hours").value)
+            failures = int(self._delta(
+                stem + ".failures",
+                self.registry.counter_value(stem + ".failures")))
+            clock = max(clock, self._last[stem + ".exposure_hours"])
+            if exposure > 0 or failures > 0:
+                events.append(self._next(
+                    kind=FAILURE, time_hours=clock, mode=mode,
+                    failures=failures, exposure_hours=max(exposure, 0.0)))
+            repair_hours = self._delta(
+                stem + ".repair_hours",
+                self.registry.gauge(stem + ".repair_hours").value)
+            repairs = int(self._delta(
+                stem + ".repairs",
+                self.registry.counter_value(stem + ".repairs")))
+            if repairs > 0:
+                events.append(self._next(
+                    kind=REPAIR, time_hours=clock, mode=mode,
+                    repairs=repairs,
+                    repair_hours=max(repair_hours, 0.0)))
+        load = self.registry.gauge(base + ".load").value
+        if load > 0:
+            events.append(self._next(kind=LOAD, time_hours=clock,
+                                     value=load))
+        return events
+
+
+__all__ = ["ACCEPTED", "DUPLICATE", "CONFLICT", "ModeStats",
+           "SourceStats", "TelemetryLedger", "RejectedLine",
+           "JsonlTailReader", "MetricsFeed"]

@@ -1,0 +1,137 @@
+"""The watcher's crash journal: exactly-once redesign across kills.
+
+An append-only, fsync'd JSONL file recording the watcher's state
+machine: each drift-triggered redesign is an *epoch* bracketed by a
+``redesign-start`` record (carrying the full drifted spec) and a
+``redesign-done`` record (carrying the decision).  Replay after a
+``kill -9`` is unambiguous:
+
+* start + done  -> the epoch completed; its decision is the incumbent.
+* start, no done -> the process died mid-redesign.  The redesign is
+  re-executed *from the journaled spec* -- deterministically, so the
+  rerun reaches the decision the killed run would have -- and the done
+  record is appended then.  Exactly-once in effect: the decision is
+  applied once no matter where the kill landed.
+* torn tail (no trailing newline) -> the append itself was the victim;
+  the partial record is ignored, which re-runs the interrupted step.
+
+Journal *writes* that fail (disk full, permissions) degrade the
+watcher rather than stop it: the append is dropped, an ``AVD709``
+diagnostic is logged, and the loop continues without durability --
+monitoring availability should never be the availability problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..resilience.events import DegradationLog, WATCH_JOURNAL_FAULT
+
+#: Journal entry kinds.
+REDESIGN_START = "redesign-start"
+REDESIGN_DONE = "redesign-done"
+
+
+@dataclass
+class JournalState:
+    """What replay recovered from a journal file."""
+
+    #: Highest epoch with a matching ``redesign-done``.
+    last_epoch: int = 0
+    #: Decision payload of that epoch (the incumbent), if any.
+    last_decision: Optional[Dict[str, Any]] = None
+    #: Drifted spec of that epoch (for rebasing the detector), if any.
+    last_spec: Optional[Dict[str, Any]] = None
+    #: ``redesign-start`` record with no ``redesign-done`` -- the
+    #: interrupted redesign replay must finish (exactly once).
+    pending: Optional[Dict[str, Any]] = None
+    #: Records successfully parsed.
+    entries: int = 0
+    #: Lines that did not parse (torn tail, corruption); ignored.
+    skipped: int = 0
+
+
+class WatchJournal:
+    """Append-only fsync'd journal with degrade-on-write-failure."""
+
+    def __init__(self, path: str,
+                 log: Optional[DegradationLog] = None):
+        self.path = path
+        self.log = log if log is not None else DegradationLog()
+        #: True once an append has failed; the watcher keeps running
+        #: but its state is no longer durable.
+        self.degraded = False
+        self.appends = 0
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, entry: str, epoch: int,
+               **payload: Any) -> bool:
+        """Durably append one record; False (and AVD709) on failure."""
+        record = {"entry": entry, "epoch": epoch}
+        record.update(payload)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            self.degraded = True
+            self.log.add(WATCH_JOURNAL_FAULT, detail="%s: %s"
+                         % (entry, exc))
+            return False
+        self.appends += 1
+        return True
+
+    def redesign_start(self, epoch: int,
+                       spec: Dict[str, Any]) -> bool:
+        return self.append(REDESIGN_START, epoch, spec=spec)
+
+    def redesign_done(self, epoch: int,
+                      decision: Dict[str, Any]) -> bool:
+        return self.append(REDESIGN_DONE, epoch, decision=decision)
+
+    # -- replay --------------------------------------------------------
+
+    @staticmethod
+    def replay(path: str) -> JournalState:
+        """Reconstruct the watcher's state from the journal file."""
+        state = JournalState()
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return state
+        starts: Dict[int, Dict[str, Any]] = {}
+        for raw in data.split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+                entry = record["entry"]
+                epoch = int(record["epoch"])
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                state.skipped += 1
+                continue
+            state.entries += 1
+            if entry == REDESIGN_START:
+                starts[epoch] = record
+            elif entry == REDESIGN_DONE and epoch in starts:
+                if epoch > state.last_epoch:
+                    state.last_epoch = epoch
+                    state.last_decision = record.get("decision")
+                    state.last_spec = starts[epoch].get("spec")
+                starts.pop(epoch, None)
+        unfinished = [epoch for epoch in starts
+                      if epoch > state.last_epoch]
+        if unfinished:
+            state.pending = starts[max(unfinished)]
+        return state
+
+
+__all__ = ["REDESIGN_START", "REDESIGN_DONE", "JournalState",
+           "WatchJournal"]

@@ -1,9 +1,10 @@
-"""Tests for MTBF estimation from observed operation."""
+"""Tests for MTBF/MTTR estimation from observed operation."""
 
 import pytest
 
 from repro.availability import (FailureModeEntry, MarkovEngine,
                                 TierAvailabilityModel, estimate_mtbf,
+                                estimate_mttr,
                                 estimates_from_simulation, refine_modes,
                                 simulate_tier)
 from repro.errors import EvaluationError
@@ -60,6 +61,47 @@ class TestEstimateMtbf:
             estimate_mtbf("m", -1, 100.0)
         with pytest.raises(EvaluationError):
             estimate_mtbf("m", 1, 100.0, confidence=1.5)
+
+
+class TestEstimateMttr:
+    def test_point_estimate(self):
+        estimate = estimate_mttr("m", repairs=50, repair_hours=1200.0)
+        assert estimate.mttr == Duration.hours(24)
+
+    def test_interval_brackets_point(self):
+        estimate = estimate_mttr("m", repairs=20, repair_hours=480.0)
+        assert estimate.lower < estimate.mttr < estimate.upper
+
+    def test_interval_narrows_with_more_data(self):
+        wide = estimate_mttr("m", 10, 240.0)
+        narrow = estimate_mttr("m", 1000, 24_000.0)
+
+        def rel_width(estimate):
+            return (estimate.upper - estimate.lower) / estimate.mttr
+
+        assert rel_width(narrow) < rel_width(wide)
+
+    def test_zero_repairs_contradicts_nothing(self):
+        estimate = estimate_mttr("m", 0, 0.0)
+        assert estimate.mttr is None
+        assert estimate.lower is None and estimate.upper is None
+        assert estimate.contains(Duration.hours(1e9))
+
+    def test_contains(self):
+        estimate = estimate_mttr("m", 100, 2400.0)
+        assert estimate.contains(Duration.hours(24))
+        assert not estimate.contains(Duration.minutes(1))
+        assert not estimate.contains(Duration.hours(1e6))
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            estimate_mttr("m", -1, 100.0)
+        with pytest.raises(EvaluationError):
+            estimate_mttr("m", 1, -100.0)
+        with pytest.raises(EvaluationError):
+            estimate_mttr("m", 1, 0.0)  # a repair must take time
+        with pytest.raises(EvaluationError):
+            estimate_mttr("m", 1, 100.0, confidence=0.0)
 
 
 class TestEstimatesFromSimulation:

@@ -5,6 +5,7 @@ import pytest
 from repro import Duration, SearchLimits, workload
 from repro.core import DesignEvaluator, RedesignController
 from repro.errors import SearchError
+from repro.obs import observing
 
 
 @pytest.fixture
@@ -147,3 +148,52 @@ class TestReconfigurationCharges:
             RedesignController(evaluator, "application",
                                Duration.minutes(100),
                                reconfiguration_cost=-1.0)
+
+
+class TestPersistentCache:
+    def make(self, paper_infra, app_tier_service, cache_dir):
+        evaluator = DesignEvaluator(paper_infra, app_tier_service)
+        return RedesignController(
+            evaluator, "application", Duration.minutes(100),
+            SearchLimits(max_redundancy=3), cache_dir=cache_dir)
+
+    def test_cache_dir_attaches_a_store(self, paper_infra,
+                                        app_tier_service, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        controller = self.make(paper_infra, app_tier_service, cache_dir)
+        controller.run([800, 2400])
+        snapshot = controller.cache_store.snapshot()
+        assert snapshot["enabled"]
+        assert snapshot["writes"] > 0
+
+    def test_second_controller_replays_warm(self, paper_infra,
+                                            app_tier_service, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = self.make(paper_infra, app_tier_service, cache_dir)
+        cold = first.run([800, 2400])
+        second = self.make(paper_infra, app_tier_service, cache_dir)
+        warm = second.run([800, 2400])
+        assert second.cache_store.snapshot()["hits"] > 0
+        # Warm replay decides identically.
+        assert [step.design.design for step in warm.steps] \
+            == [step.design.design for step in cold.steps]
+
+    def test_no_cache_dir_means_no_store(self, controller_factory):
+        assert controller_factory().cache_store is None
+
+
+class TestObservability:
+    def test_counters_track_the_run(self, controller_factory):
+        with observing() as obs:
+            report = controller_factory().run([800, 2400, 10_000_000])
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["controller.steps"] == 3
+        assert counters["controller.reconfigurations"] \
+            == report.reconfigurations
+        assert counters["controller.infeasible_steps"] \
+            == report.infeasible_steps == 1
+
+    def test_counters_silent_when_not_observing(self,
+                                                controller_factory):
+        report = controller_factory().run([800] * 2)
+        assert report.reconfigurations == 1

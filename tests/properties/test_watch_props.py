@@ -1,0 +1,179 @@
+"""Property-based tests for the watch pipeline's core guarantees.
+
+Three properties carry the continuous-redesign story:
+
+* **permutation/duplication invariance** -- ingestion unions records
+  by ``(source, seq)``, so *any* delivery order and *any* amount of
+  duplication yields the identical ledger: same aggregates, same load
+  samples, same per-source accounting.  Values are drawn as multiples
+  of one half so floating-point accumulation is exact and equality can
+  be literal.
+* **no false triggers** -- a stationary stream (every per-record value
+  inside the drift policy's margin band around the spec) can never
+  fire the detector, even with the policy weakened to its legal
+  minimum (no debounce, single-sample gates).  Spurious redesigns are
+  impossible by construction, not by tuning.
+* **estimator round-trip** -- feeding the ledger ``k`` identical
+  windows of a known true parameter returns exactly that parameter as
+  the point estimate (IEEE division of an exact sum), with a
+  confidence interval that contains it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import Duration
+from repro.watch import (DriftDetector, DriftPolicy, OnlineEstimator,
+                         TelemetryLedger)
+from repro.watch.events import FAILURE, LOAD, REPAIR, TelemetryEvent
+
+halves = st.integers(min_value=1, max_value=4000).map(
+    lambda n: n / 2.0)
+
+SOURCES = ("lb", "ops", "agent")
+MODES = ("box.hard", "os.crash")
+
+
+@st.composite
+def telemetry_batches(draw):
+    """Events with per-source sequential seqs and exact-sum values."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    next_seq = {source: 0 for source in SOURCES}
+    events = []
+    for index in range(count):
+        source = draw(st.sampled_from(SOURCES))
+        seq = next_seq[source]
+        next_seq[source] = seq + 1
+        kind = draw(st.sampled_from((LOAD, FAILURE, REPAIR)))
+        if kind == LOAD:
+            event = TelemetryEvent(LOAD, source, seq, float(index),
+                                   "web", value=draw(halves))
+        elif kind == FAILURE:
+            event = TelemetryEvent(
+                FAILURE, source, seq, float(index), "web",
+                mode=draw(st.sampled_from(MODES)),
+                failures=draw(st.integers(0, 3)),
+                exposure_hours=draw(halves))
+        else:
+            event = TelemetryEvent(
+                REPAIR, source, seq, float(index), "web",
+                mode=draw(st.sampled_from(MODES)),
+                repairs=draw(st.integers(1, 3)),
+                repair_hours=draw(halves))
+        events.append(event)
+    return events
+
+
+def ingest(events):
+    ledger = TelemetryLedger()
+    for event in events:
+        ledger.add(event)
+    return ledger
+
+
+def ledger_view(ledger):
+    """Everything downstream ever reads off a ledger."""
+    view = {"snapshot": ledger.snapshot(), "gaps": ledger.gaps(),
+            "skewed": ledger.skewed_sources()}
+    view["snapshot"].pop("duplicates")  # delivery-dependent by design
+    for tier in ledger.tiers():
+        view[tier, "load"] = ledger.load_samples(tier)
+        for mode in ledger.modes(tier):
+            view[tier, mode] = ledger.mode_stats(tier, mode)
+    return view
+
+
+class TestIngestionInvariance:
+    @given(batch=telemetry_batches(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_permutation_and_duplication_is_identical(
+            self, batch, data):
+        clean = ingest(batch)
+        duplicates = data.draw(st.lists(st.sampled_from(batch),
+                                        max_size=20))
+        mangled = ingest(data.draw(st.permutations(
+            batch + duplicates)))
+        assert ledger_view(mangled) == ledger_view(clean)
+        assert mangled.accepted == clean.accepted == len(batch)
+        assert mangled.duplicates == len(duplicates)
+
+
+class TestNoFalseTriggers:
+    #: The weakest policy the validator admits: every statistical
+    #: brake off except the margin band itself.
+    HAIR_TRIGGER = DriftPolicy(confidence=0.5, min_failures=1,
+                               min_repairs=1, min_load_samples=1,
+                               debounce=1, cooldown=0)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_stationary_stream_never_fires(self, data):
+        spec_load = 150.0
+        spec_mtbf, spec_mttr = 1000.0, 24.0
+        detector = DriftDetector(
+            "web", {"box.hard": Duration.hours(spec_mtbf)},
+            {"box.hard": Duration.hours(spec_mttr)}, spec_load,
+            self.HAIR_TRIGGER)
+        # Per-record values strictly inside each margin band:
+        # load within 1.25x, MTBF/MTTR within their 2x factors.
+        loads = st.floats(min_value=125.0, max_value=180.0,
+                          allow_nan=False)
+        exposures = st.floats(min_value=spec_mtbf / 1.9,
+                              max_value=spec_mtbf * 1.9,
+                              allow_nan=False)
+        repair_times = st.floats(min_value=spec_mttr / 1.9,
+                                 max_value=spec_mttr * 1.9,
+                                 allow_nan=False)
+        ledger = TelemetryLedger()
+        estimator = OnlineEstimator(ledger)
+        seq = 0
+        for poll in range(data.draw(st.integers(2, 8))):
+            for _ in range(data.draw(st.integers(1, 10))):
+                ledger.add(TelemetryEvent(
+                    LOAD, "lb", seq, float(seq), "web",
+                    value=data.draw(loads)))
+                ledger.add(TelemetryEvent(
+                    FAILURE, "mon", seq, float(seq), "web",
+                    mode="box.hard", failures=1,
+                    exposure_hours=data.draw(exposures)))
+                ledger.add(TelemetryEvent(
+                    REPAIR, "ops", seq, float(seq), "web",
+                    mode="box.hard", repairs=1,
+                    repair_hours=data.draw(repair_times)))
+                seq += 1
+            report = detector.observe(estimator)
+            assert not report.drifted
+            assert report.streak == 0
+            assert not report.reasons
+
+
+class TestEstimatorRoundTrip:
+    @given(true_mtbf=halves, k=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_mtbf_point_is_exact_and_interval_contains(
+            self, true_mtbf, k):
+        ledger = TelemetryLedger()
+        for seq in range(k):
+            ledger.add(TelemetryEvent(
+                FAILURE, "mon", seq, float(seq), "web",
+                mode="box.hard", failures=1,
+                exposure_hours=true_mtbf))
+        estimate = OnlineEstimator(ledger).mtbf("web", "box.hard")
+        assert estimate.failures == k
+        assert estimate.mtbf.as_hours == true_mtbf
+        assert estimate.contains(Duration.hours(true_mtbf))
+
+    @given(true_mttr=halves, k=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_mttr_point_is_exact_and_interval_contains(
+            self, true_mttr, k):
+        ledger = TelemetryLedger()
+        for seq in range(k):
+            ledger.add(TelemetryEvent(
+                REPAIR, "ops", seq, float(seq), "web",
+                mode="box.hard", repairs=1,
+                repair_hours=true_mttr))
+        estimate = OnlineEstimator(ledger).mttr("web", "box.hard")
+        assert estimate.repairs == k
+        assert estimate.mttr.as_hours == true_mttr
+        assert estimate.contains(Duration.hours(true_mttr))

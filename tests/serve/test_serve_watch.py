@@ -1,0 +1,104 @@
+"""The serve-embedded watch reconciler: health, drift, and drain."""
+
+import pytest
+
+from repro.contracts import SERVE_HEALTH_SCHEMA
+from repro.errors import ServeError
+from repro.serve.config import ServeConfig
+
+from ..watch.conftest import load_events, write_jsonl
+from .conftest import make_config, wait_until
+
+
+def validate(instance, schema):
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(instance=instance, schema=schema)
+
+
+def watch_overrides(stream, **extra):
+    overrides = dict(
+        watch_telemetry=(stream,),
+        watch_tier="application",
+        watch_load=800.0,
+        watch_downtime_minutes=100.0,
+        watch_interval=0.1,
+        watch_paper=True,
+    )
+    overrides.update(extra)
+    return overrides
+
+
+def write_stream(tmp_path, value, count):
+    path = str(tmp_path / "telemetry.jsonl")
+    write_jsonl(path, load_events(value, count, tier="application"))
+    return path
+
+
+class TestConfigValidation:
+    def test_telemetry_requires_a_tier(self, tmp_path):
+        with pytest.raises(ServeError):
+            ServeConfig(data_dir=str(tmp_path / "d"),
+                        watch_telemetry=("stream.jsonl",))
+
+    def test_telemetry_requires_a_model(self, tmp_path):
+        with pytest.raises(ServeError):
+            ServeConfig(data_dir=str(tmp_path / "d"),
+                        watch_telemetry=("stream.jsonl",),
+                        watch_tier="application", watch_load=800.0,
+                        watch_downtime_minutes=100.0)
+
+    def test_no_watch_by_default(self, tmp_path, make_service):
+        service = make_service()
+        service.start()
+        assert service.watcher is None
+        assert service.health()["watch"] is None
+
+
+class TestReconciler:
+    def test_stationary_watch_reports_on_healthz(
+            self, tmp_path, make_service):
+        stream = write_stream(tmp_path, 800.0, 10)
+        service = make_service(**watch_overrides(stream))
+        service.start()
+        assert wait_until(
+            lambda: (service.health()["watch"] or {}).get("polls", 0)
+            >= 2)
+        health = service.health()
+        validate(health, SERVE_HEALTH_SCHEMA)
+        watch = health["watch"]
+        assert watch["tier"] == "application"
+        assert watch["reconfigurations"] == 0
+        assert watch["incumbent"]["n_active"] == 5
+        assert service.metrics.counter_value("serve.watch_polls") >= 2
+        assert service.drain(grace=10.0)
+        # The status snapshot survives the drain.
+        assert service.health()["watch"]["incumbent"] is not None
+
+    def test_drifted_stream_redesigns_in_background(
+            self, tmp_path, make_service):
+        stream = write_stream(tmp_path, 2400.0, 40)
+        service = make_service(**watch_overrides(stream))
+        service.start()
+        assert wait_until(
+            lambda: (service.health()["watch"] or {}).get("epoch", 0)
+            == 1, timeout=30.0)
+        watch = service.health()["watch"]
+        assert watch["reconfigurations"] == 1
+        assert watch["incumbent"]["n_active"] == 14
+        assert watch["spec"]["load"] == pytest.approx(
+            800.0 * 1.25 ** 5)
+        # Its durable state landed inside the serve data directory.
+        assert service.config.watch_journal_path.endswith(
+            "watch-journal.jsonl")
+        assert service.drain(grace=10.0)
+
+    def test_unreadable_model_fails_fast_at_construction(
+            self, tmp_path, make_service):
+        # A misconfigured reconciler must surface at boot, not as a
+        # silently dead background thread.
+        stream = write_stream(tmp_path, 800.0, 5)
+        with pytest.raises(OSError):
+            make_service(**watch_overrides(
+                stream, watch_paper=False,
+                watch_infrastructure=str(tmp_path / "absent.yaml"),
+                watch_service=str(tmp_path / "absent-too.yaml")))

@@ -1,0 +1,66 @@
+"""Shared helpers for the watch tests: tiny evaluator and streams."""
+
+import pytest
+
+from repro.core import DesignEvaluator
+from repro.core.search import SearchLimits
+from repro.units import Duration
+from repro.watch import TelemetryEvent, WatchSpec, Watcher
+
+
+@pytest.fixture
+def tiny_evaluator(tiny_infra, tiny_service):
+    return DesignEvaluator(tiny_infra, tiny_service)
+
+
+@pytest.fixture
+def tiny_spec():
+    """A spec the tiny model solves quickly (web tier, 100*n perf)."""
+    return WatchSpec("web", 150.0, Duration.minutes(100))
+
+
+def make_watcher(evaluator, spec, **kwargs):
+    kwargs.setdefault("limits", SearchLimits(max_redundancy=2))
+    return Watcher(evaluator, spec, **kwargs)
+
+
+def load_events(value, count, tier="web", source="lb", start_seq=0,
+                start_time=0.0):
+    return [TelemetryEvent(kind="load", source=source,
+                           seq=start_seq + i,
+                           time_hours=start_time + i, tier=tier,
+                           value=value)
+            for i in range(count)]
+
+
+def repair_events(mode, mttr_hours, count, tier="web", source="ops",
+                  start_seq=0, start_time=0.0):
+    """One repair per event, each at exactly ``mttr_hours``.
+
+    The per-record ratio is constant, so the aggregate point estimate
+    is ``mttr_hours`` for *any* surviving subset -- which is what lets
+    fault-storm runs converge to the clean run's drifted spec.
+    """
+    return [TelemetryEvent(kind="repair", source=source,
+                           seq=start_seq + i,
+                           time_hours=start_time + i, tier=tier,
+                           mode=mode, repairs=1,
+                           repair_hours=mttr_hours)
+            for i in range(count)]
+
+
+def failure_events(mode, mtbf_hours, count, tier="web", source="ops",
+                   start_seq=0, start_time=0.0):
+    """One failure per event with exposure at exactly ``mtbf_hours``."""
+    return [TelemetryEvent(kind="failure", source=source,
+                           seq=start_seq + i,
+                           time_hours=start_time + i, tier=tier,
+                           mode=mode, failures=1,
+                           exposure_hours=mtbf_hours)
+            for i in range(count)]
+
+
+def write_jsonl(path, events):
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(event.to_json_line())

@@ -1,0 +1,122 @@
+"""Chaos soak: a 30% telemetry fault storm must change *nothing*.
+
+The same logical event sequence -- a stationary prefix, then a load
+plateau and an MTTR regression -- is delivered once through a clean
+producer and once through a 30% fault storm (gaps, duplicates, clock
+skew, corrupt lines, producer kills).  Both watchers must converge to
+**byte-identical** redesign decisions: the union ledger erases
+duplicates and ordering, quarantine absorbs corruption, per-record
+ratios keep point estimates identical across surviving subsets, and
+the spec-anchored quantization grid snaps away the residual noise.
+
+A stationary storm run additionally proves the negative: faults alone
+never cause a spurious reconfiguration.
+"""
+
+import pytest
+
+from repro.resilience.events import (TELEMETRY_GAP, TELEMETRY_MALFORMED,
+                                     TELEMETRY_SKEW)
+from repro.watch import DriftPolicy, JsonlTailReader, WatchFaultPlan
+from repro.watch.faults import write_stream
+
+from .conftest import load_events, make_watcher, repair_events
+
+#: ~30% of records faulted, all five fault kinds in play.
+STORM = WatchFaultPlan(seed=23, gap_rate=0.08, duplicate_rate=0.08,
+                       skew_rate=0.07, corrupt_rate=0.05,
+                       kill_rate=0.02)
+
+POLICY = DriftPolicy(min_load_samples=20, min_repairs=10, debounce=2,
+                     cooldown=2)
+
+
+def drifting_sequence():
+    """Stationary prefix, then a 4x load plateau and an 8x MTTR one.
+
+    Per-record values are constant within each phase, so any surviving
+    subset of a phase estimates the same point value -- the property
+    the storm cannot break.
+    """
+    events = load_events(150.0, 40)                       # stationary
+    events += repair_events("box.hard", 24.0, 20, source="ops")
+    events += load_events(600.0, 80, start_seq=40)        # load drift
+    events += repair_events("box.hard", 192.0, 60, source="ops",
+                            start_seq=20)                 # mttr drift
+    return events
+
+
+def run_watcher(tmp_path, evaluator, spec, events, plan, name):
+    path = str(tmp_path / ("%s.jsonl" % name))
+    writer = write_stream(path, events, plan)
+    watcher = make_watcher(evaluator, spec,
+                           readers=[JsonlTailReader(path, name)],
+                           policy=POLICY)
+    for _ in range(8):
+        status = watcher.poll()
+    return watcher, writer, status
+
+
+def test_storm_converges_to_identical_decisions(
+        tmp_path, tiny_evaluator, tiny_spec):
+    events = drifting_sequence()
+    clean, _, clean_status = run_watcher(
+        tmp_path, tiny_evaluator, tiny_spec, events, None, "clean")
+    stormy, writer, storm_status = run_watcher(
+        tmp_path, tiny_evaluator, tiny_spec, events, STORM, "storm")
+    # The storm really happened...
+    assert sum(writer.injected.values()) > 40
+    assert storm_status["quarantined"] >= writer.injected["corrupt"]
+    # ...and changed nothing that matters: every redesign decision --
+    # epoch, drifted spec, chosen design, cost -- is byte-identical.
+    assert clean.decisions != []
+    assert stormy.decisions_digest() == clean.decisions_digest()
+    assert storm_status["incumbent"] == clean_status["incumbent"]
+    assert storm_status["spec"] == clean_status["spec"]
+    assert storm_status["reconfigurations"] \
+        == clean_status["reconfigurations"]
+
+
+def test_storm_diagnostics_are_complete(tmp_path, tiny_evaluator,
+                                        tiny_spec):
+    events = drifting_sequence()
+    watcher, writer, status = run_watcher(
+        tmp_path, tiny_evaluator, tiny_spec, events, STORM, "storm")
+    counts = watcher.log.counts()
+    if writer.injected["corrupt"]:
+        assert counts[TELEMETRY_MALFORMED] >= writer.injected["corrupt"]
+    if writer.injected["gap"]:
+        assert counts.get(TELEMETRY_GAP, 0) >= 1
+    if writer.injected["skew"]:
+        assert counts.get(TELEMETRY_SKEW, 0) >= 1
+    # Quarantine is bounded and each entry carries its provenance.
+    assert all(entry["source"] == "storm"
+               for entry in watcher.quarantined)
+
+
+def test_stationary_storm_never_reconfigures(tmp_path, tiny_evaluator,
+                                             tiny_spec):
+    events = load_events(150.0, 120) \
+        + repair_events("box.hard", 24.0, 40, source="ops")
+    watcher, writer, status = run_watcher(
+        tmp_path, tiny_evaluator, tiny_spec, events, STORM,
+        "stationary")
+    assert sum(writer.injected.values()) > 20
+    assert status["epoch"] == 0
+    assert status["reconfigurations"] == 0
+    assert watcher.decisions == []
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_convergence_across_storm_seeds(tmp_path, tiny_evaluator,
+                                        tiny_spec, seed):
+    """Different storms, same destination."""
+    plan = WatchFaultPlan(seed=seed, gap_rate=0.08,
+                          duplicate_rate=0.08, skew_rate=0.07,
+                          corrupt_rate=0.05, kill_rate=0.02)
+    events = drifting_sequence()
+    clean, _, _ = run_watcher(tmp_path, tiny_evaluator, tiny_spec,
+                              events, None, "clean-%d" % seed)
+    stormy, _, _ = run_watcher(tmp_path, tiny_evaluator, tiny_spec,
+                               events, plan, "storm-%d" % seed)
+    assert stormy.decisions_digest() == clean.decisions_digest()

@@ -1,0 +1,122 @@
+"""The ``repro watch`` CLI: exit-code matrix and JSON contract."""
+
+import json
+from io import StringIO
+
+import pytest
+
+from repro.cli import main
+from repro.contracts import CLI_SCHEMAS, WATCH_STATUS_SCHEMA
+
+from .conftest import load_events
+
+
+def run(argv):
+    out = StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def validate(instance, schema):
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(instance=instance, schema=schema)
+
+
+def base_args(stream, *extra):
+    return (["watch", "--paper-ecommerce", "--app-tier-only",
+             "--tier", "application", "--load", "800",
+             "--downtime", "100m", "--telemetry", stream,
+             "--max-polls", "2", "--poll-interval", "0",
+             "--max-redundancy", "2"] + list(extra))
+
+
+@pytest.fixture
+def stream(tmp_path):
+    path = str(tmp_path / "stream.jsonl")
+    with open(path, "w") as handle:
+        for event in load_events(800.0, 5, tier="application"):
+            handle.write(event.to_json_line())
+    return path
+
+
+def test_schema_registry_covers_watch():
+    assert CLI_SCHEMAS["watch-status"] is WATCH_STATUS_SCHEMA
+
+
+def test_feasible_watch_is_zero_with_valid_json(stream):
+    code, output = run(base_args(stream, "--json"))
+    assert code == 0
+    status = json.loads(output)
+    validate(status, WATCH_STATUS_SCHEMA)
+    assert status["tier"] == "application"
+    assert status["polls"] == 2
+    assert status["ingest"]["accepted"] == 5
+    assert status["incumbent"]["n_active"] >= 1
+
+
+def test_text_mode_summarizes(stream):
+    code, output = run(base_args(stream))
+    assert code == 0
+    assert "tier 'application'" in output
+    assert "reconfigurations 0" in output
+
+
+def test_infeasible_watch_is_two(stream):
+    code, output = run(
+        ["watch", "--paper-ecommerce", "--app-tier-only",
+         "--tier", "application", "--load", "1000000",
+         "--downtime", "1s", "--telemetry", stream,
+         "--max-polls", "1", "--poll-interval", "0",
+         "--max-redundancy", "1", "--json"])
+    assert code == 2
+    status = json.loads(output)
+    validate(status, WATCH_STATUS_SCHEMA)
+    assert status["incumbent"] is None
+    assert status["infeasible_epochs"] >= 1
+
+
+def test_missing_telemetry_is_one(tmp_path):
+    code, output = run(
+        ["watch", "--paper-ecommerce", "--tier", "application",
+         "--load", "800", "--downtime", "100m"])
+    assert code == 1
+    assert output.startswith("error:")
+
+
+def test_missing_model_is_one(stream):
+    code, output = run(
+        ["watch", "--tier", "application", "--load", "800",
+         "--downtime", "100m", "--telemetry", stream])
+    assert code == 1
+    assert output.startswith("error:")
+
+
+def test_absent_stream_file_is_tolerated(tmp_path):
+    # A producer that has not started yet is an empty stream, not an
+    # error -- the watcher must come up and wait for it.
+    code, output = run(base_args(str(tmp_path / "nope.jsonl"),
+                                 "--json"))
+    assert code == 0
+    status = json.loads(output)
+    assert status["ingest"]["accepted"] == 0
+
+
+def test_durable_paths_round_trip(tmp_path, stream):
+    journal = str(tmp_path / "journal.jsonl")
+    cache = str(tmp_path / "cache")
+    checkpoint = str(tmp_path / "ckpt.json")
+    code, output = run(base_args(stream, "--json",
+                                 "--journal", journal,
+                                 "--checkpoint", checkpoint,
+                                 "--cache", cache))
+    assert code == 0
+    status = json.loads(output)
+    assert status["journal"]["enabled"]
+    assert not status["journal"]["degraded"]
+    # A second run resumes against the same durable state.
+    code, output = run(base_args(stream, "--json",
+                                 "--journal", journal,
+                                 "--checkpoint", checkpoint,
+                                 "--cache", cache))
+    assert code == 0
+    validate(json.loads(output), WATCH_STATUS_SCHEMA)

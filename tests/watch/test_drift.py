@@ -1,0 +1,132 @@
+"""Drift detection: contradiction, hysteresis, quantization."""
+
+import pytest
+
+from repro.errors import WatchError
+from repro.units import Duration
+from repro.watch import DriftDetector, DriftPolicy, OnlineEstimator, \
+    TelemetryLedger, quantize
+
+from .conftest import load_events, repair_events
+
+
+def make_estimator(events, confidence=0.99):
+    ledger = TelemetryLedger()
+    for event in events:
+        ledger.add(event)
+    return OnlineEstimator(ledger, confidence)
+
+
+def make_detector(spec_load=150.0, **policy_kwargs):
+    policy = DriftPolicy(min_load_samples=10, min_repairs=10,
+                         debounce=3, cooldown=2, **policy_kwargs)
+    return DriftDetector("web",
+                         {"box.hard": Duration.hours(8760.0)},
+                         {"box.hard": Duration.hours(24.0)},
+                         spec_load, policy)
+
+
+class TestQuantize:
+    def test_anchor_is_a_fixed_point(self):
+        assert quantize(800.0, anchor=800.0) == 800.0
+
+    def test_snaps_to_geometric_grid(self):
+        assert quantize(2400.0, ratio=1.25, anchor=800.0) \
+            == pytest.approx(800.0 * 1.25 ** 5)
+
+    def test_nearby_values_share_a_cell(self):
+        low = quantize(2350.0, ratio=1.25, anchor=800.0)
+        high = quantize(2450.0, ratio=1.25, anchor=800.0)
+        assert low == high
+
+    def test_validation(self):
+        with pytest.raises(WatchError):
+            quantize(-1.0)
+        with pytest.raises(WatchError):
+            quantize(1.0, ratio=0.9)
+
+
+class TestPolicyValidation:
+    def test_bad_confidence(self):
+        with pytest.raises(WatchError):
+            DriftPolicy(confidence=0.0)
+
+    def test_bad_margin(self):
+        with pytest.raises(WatchError):
+            DriftPolicy(load_margin=1.0)
+
+    def test_bad_debounce(self):
+        with pytest.raises(WatchError):
+            DriftPolicy(debounce=0)
+
+
+class TestDetector:
+    def test_stationary_stream_never_fires(self):
+        detector = make_detector()
+        estimator = make_estimator(load_events(150.0, 200)
+                                   + repair_events("box.hard", 24.0, 50,
+                                                   start_seq=200))
+        for _ in range(20):
+            report = detector.observe(estimator)
+            assert not report.contradicted
+            assert not report.drifted
+
+    def test_within_margin_never_fires(self):
+        # Mean off the spec but inside the margin factor: statistically
+        # distinguishable, operationally irrelevant -- no drift.
+        detector = make_detector()
+        estimator = make_estimator(load_events(170.0, 200))
+        assert not detector.observe(estimator).contradicted
+
+    def test_debounce_delays_firing(self):
+        detector = make_detector()
+        estimator = make_estimator(load_events(600.0, 50))
+        reports = [detector.observe(estimator) for _ in range(3)]
+        assert [r.drifted for r in reports] == [False, False, True]
+        assert reports[2].streak == 3
+        assert reports[2].load == pytest.approx(
+            quantize(600.0, 1.25, 150.0))
+
+    def test_min_samples_gate(self):
+        detector = make_detector()
+        estimator = make_estimator(load_events(600.0, 5))
+        assert not detector.observe(estimator).contradicted
+
+    def test_mttr_contradiction(self):
+        detector = make_detector()
+        estimator = make_estimator(repair_events("box.hard", 96.0, 40))
+        report = detector.observe(estimator)
+        assert report.contradicted
+        assert report.mttr["box.hard"].as_hours == pytest.approx(
+            quantize(96.0, 1.25, 24.0))
+
+    def test_cooldown_suppresses_after_rebase(self):
+        detector = make_detector()
+        estimator = make_estimator(load_events(600.0, 50))
+        for _ in range(3):
+            report = detector.observe(estimator)
+        assert report.drifted
+        detector.rebase({}, {}, report.load)
+        # New spec adopted; cooldown swallows residual contradictions.
+        estimator2 = make_estimator(load_events(5000.0, 50))
+        for _ in range(detector.policy.cooldown):
+            quiet = detector.observe(estimator2)
+            assert not quiet.drifted
+            assert quiet.streak == 0
+
+    def test_interrupted_streak_resets(self):
+        detector = make_detector()
+        drifting = make_estimator(load_events(600.0, 50))
+        steady = make_estimator(load_events(150.0, 50))
+        detector.observe(drifting)
+        detector.observe(drifting)
+        assert detector.observe(steady).streak == 0
+        assert not detector.observe(drifting).drifted
+
+    def test_report_to_dict_is_json_ready(self):
+        detector = make_detector()
+        estimator = make_estimator(load_events(600.0, 50))
+        view = detector.observe(estimator).to_dict()
+        assert view["tier"] == "web"
+        assert isinstance(view["reasons"], list)
+        assert view["mtbf_hours"] == {} and view["mttr_hours"] == {}

@@ -1,0 +1,81 @@
+"""Online estimators read off the ledger."""
+
+import math
+
+import pytest
+
+from repro.errors import WatchError
+from repro.units import Duration
+from repro.watch import OnlineEstimator, TelemetryLedger
+from repro.watch.estimator import estimate_load
+
+from .conftest import failure_events, load_events, repair_events
+
+
+class TestEstimateLoad:
+    def test_empty_is_none(self):
+        assert estimate_load("web", []) is None
+
+    def test_single_sample_cannot_contradict(self):
+        estimate = estimate_load("web", [400.0])
+        assert estimate.mean == 400.0
+        assert estimate.lower == -math.inf
+        assert estimate.upper == math.inf
+        assert estimate.contains(1.0)
+
+    def test_zero_variance_is_degenerate(self):
+        estimate = estimate_load("web", [400.0] * 20)
+        assert estimate.lower == estimate.upper == 400.0
+        assert estimate.contains(400.0)
+        assert not estimate.contains(401.0)
+
+    def test_interval_brackets_mean(self):
+        samples = [90.0, 100.0, 110.0, 95.0, 105.0]
+        estimate = estimate_load("web", samples)
+        assert estimate.lower < estimate.mean < estimate.upper
+        assert estimate.contains(100.0)
+
+    def test_confidence_validation(self):
+        with pytest.raises(WatchError):
+            estimate_load("web", [1.0], confidence=1.5)
+
+
+class TestOnlineEstimator:
+    def make(self, events, **kwargs):
+        ledger = TelemetryLedger()
+        for event in events:
+            ledger.add(event)
+        return OnlineEstimator(ledger, **kwargs)
+
+    def test_mtbf_from_aggregates(self):
+        estimator = self.make(failure_events("box.hard", 2400.0, 50))
+        estimate = estimator.mtbf("web", "box.hard")
+        assert estimate.mtbf == Duration.hours(2400.0)
+        assert estimate.contains(Duration.hours(2400.0))
+
+    def test_mttr_from_aggregates(self):
+        estimator = self.make(repair_events("box.hard", 24.0, 40))
+        estimate = estimator.mttr("web", "box.hard")
+        assert estimate.mttr == Duration.hours(24.0)
+        assert estimate.lower < estimate.mttr < estimate.upper
+
+    def test_no_observations_is_none(self):
+        estimator = self.make([])
+        assert estimator.mtbf("web", "box.hard") is None
+        assert estimator.mttr("web", "box.hard") is None
+        assert estimator.load("web") is None
+
+    def test_load_window_tracks_current_level(self):
+        events = load_events(100.0, 30) \
+            + load_events(400.0, 30, start_seq=30)
+        windowed = self.make(events, load_window=30)
+        all_time = self.make(events)
+        assert windowed.load("web").mean == 400.0
+        assert all_time.load("web").mean == 250.0
+
+    def test_estimate_maps(self):
+        estimator = self.make(failure_events("box.hard", 2400.0, 5)
+                              + repair_events("box.hard", 24.0, 5,
+                                              start_seq=5))
+        assert set(estimator.mtbf_estimates("web")) == {"box.hard"}
+        assert set(estimator.mttr_estimates("web")) == {"box.hard"}

@@ -1,0 +1,82 @@
+"""Telemetry event parsing, validation, and canonical serialization."""
+
+import pytest
+
+from repro.errors import WatchError
+from repro.watch import EVENT_KINDS, TelemetryEvent, event_from_dict, \
+    parse_line
+
+
+def test_kinds_registry():
+    assert set(EVENT_KINDS) == {"failure", "repair", "load"}
+
+
+class TestRoundTrip:
+    def test_load(self):
+        event = TelemetryEvent(kind="load", source="lb", seq=3,
+                               time_hours=12.5, tier="web", value=480.0)
+        assert parse_line(event.to_json_line()) == event
+
+    def test_failure(self):
+        event = TelemetryEvent(kind="failure", source="ops", seq=0,
+                               time_hours=1.0, tier="web",
+                               mode="box.hard", failures=2,
+                               exposure_hours=4800.0)
+        assert parse_line(event.to_json_line()) == event
+
+    def test_repair(self):
+        event = TelemetryEvent(kind="repair", source="ops", seq=9,
+                               time_hours=7.0, tier="web",
+                               mode="box.hard", repairs=1,
+                               repair_hours=26.0)
+        assert parse_line(event.to_json_line()) == event
+
+    def test_json_line_is_newline_terminated(self):
+        event = TelemetryEvent(kind="load", source="lb", seq=0,
+                               time_hours=0.0, tier="web", value=1.0)
+        assert event.to_json_line().endswith("\n")
+        assert "\n" not in event.to_json_line()[:-1]
+
+    def test_key_is_source_and_seq(self):
+        event = TelemetryEvent(kind="load", source="lb", seq=7,
+                               time_hours=0.0, tier="web", value=1.0)
+        assert event.key == ("lb", 7)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(WatchError):
+            event_from_dict({"kind": "reboot", "source": "lb", "seq": 0,
+                             "time_hours": 0.0, "tier": "web"})
+
+    def test_negative_counts(self):
+        with pytest.raises(WatchError):
+            event_from_dict({"kind": "failure", "source": "ops",
+                             "seq": 0, "time_hours": 0.0, "tier": "web",
+                             "mode": "m", "failures": -1,
+                             "exposure_hours": 1.0})
+
+    def test_non_finite_value(self):
+        with pytest.raises(WatchError):
+            event_from_dict({"kind": "load", "source": "lb", "seq": 0,
+                             "time_hours": 0.0, "tier": "web",
+                             "value": float("nan")})
+
+    def test_negative_time_is_allowed(self):
+        # Clock skew may push advisory timestamps below zero; they are
+        # never used for estimation, so they must not be fatal.
+        event = TelemetryEvent(kind="load", source="lb", seq=0,
+                               time_hours=-42.0, tier="web", value=1.0)
+        assert event.time_hours == -42.0
+
+    def test_parse_rejects_non_json(self):
+        with pytest.raises(WatchError):
+            parse_line("not json at all")
+
+    def test_parse_rejects_non_object(self):
+        with pytest.raises(WatchError):
+            parse_line("[1, 2, 3]")
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(WatchError):
+            event_from_dict({"kind": "load"})

@@ -1,0 +1,118 @@
+"""Seeded telemetry fault injection: purity and wire effects."""
+
+import pytest
+
+from repro.watch import FaultyStreamWriter, JsonlTailReader, \
+    WatchFaultPlan, WatchKilled
+from repro.watch.faults import write_stream
+
+from .conftest import load_events
+
+
+STORM = WatchFaultPlan(seed=11, gap_rate=0.08, duplicate_rate=0.08,
+                       skew_rate=0.07, corrupt_rate=0.05,
+                       kill_rate=0.02)
+
+
+class TestPlan:
+    def test_decisions_are_pure(self):
+        again = WatchFaultPlan(seed=11, gap_rate=0.08,
+                               duplicate_rate=0.08, skew_rate=0.07,
+                               corrupt_rate=0.05, kill_rate=0.02)
+        assert [STORM.decide(i) for i in range(500)] \
+            == [again.decide(i) for i in range(500)]
+
+    def test_zero_plan_never_faults(self):
+        plan = WatchFaultPlan()
+        assert all(plan.decide(i) is None for i in range(200))
+
+    def test_certain_fault(self):
+        plan = WatchFaultPlan(gap_rate=1.0)
+        assert all(plan.decide(i) == "gap" for i in range(50))
+
+    def test_rates_roughly_respected(self):
+        decisions = [STORM.decide(i) for i in range(4000)]
+        faulted = sum(1 for d in decisions if d is not None)
+        assert 0.2 < faulted / len(decisions) < 0.4
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            WatchFaultPlan(gap_rate=1.5)
+
+    def test_skew_is_pure_and_bounded(self):
+        assert STORM.skew_hours(3) == STORM.skew_hours(3)
+        assert all(abs(STORM.skew_hours(i)) <= 1000.0
+                   for i in range(100))
+
+
+class TestWriter:
+    def read_all(self, path):
+        return JsonlTailReader(path).poll()
+
+    def test_clean_plan_is_a_plain_producer(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        events = load_events(100.0, 20)
+        writer = FaultyStreamWriter(path)
+        for event in events:
+            writer.write(event)
+        got, rejects = self.read_all(path)
+        assert got == events and not rejects
+
+    def test_gap_drops_records(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        writer = FaultyStreamWriter(path, WatchFaultPlan(gap_rate=1.0))
+        for event in load_events(100.0, 5):
+            writer.write(event)
+        assert writer.injected["gap"] == 5
+        got, rejects = JsonlTailReader(path).poll()
+        assert got == [] and rejects == []
+
+    def test_duplicate_doubles_the_line(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        writer = FaultyStreamWriter(
+            path, WatchFaultPlan(duplicate_rate=1.0))
+        writer.write(load_events(100.0, 1)[0])
+        got, _ = self.read_all(path)
+        assert len(got) == 2 and got[0] == got[1]
+
+    def test_corrupt_line_must_quarantine(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        writer = FaultyStreamWriter(
+            path, WatchFaultPlan(corrupt_rate=1.0))
+        writer.write(load_events(100.0, 1)[0])
+        got, rejects = self.read_all(path)
+        assert got == [] and len(rejects) == 1
+
+    def test_skewed_record_stays_well_formed(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        writer = FaultyStreamWriter(path, WatchFaultPlan(skew_rate=1.0))
+        event = load_events(100.0, 1)[0]
+        writer.write(event)
+        got, rejects = self.read_all(path)
+        assert len(got) == 1 and not rejects
+        assert got[0].value == event.value
+        assert got[0].time_hours != event.time_hours
+
+    def test_kill_leaves_torn_tail_and_raises(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        writer = FaultyStreamWriter(path, WatchFaultPlan(kill_rate=1.0))
+        with pytest.raises(WatchKilled):
+            writer.write(load_events(100.0, 1)[0])
+        # The torn tail has no newline: invisible to the tail reader.
+        assert self.read_all(path) == ([], [])
+        writer.resume()
+        got, rejects = self.read_all(path)
+        assert got == [] and len(rejects) == 1
+
+    def test_write_stream_restarts_after_kills(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        events = load_events(100.0, 200)
+        writer = write_stream(path, events, STORM)
+        assert writer.op_index == 200
+        got, rejects = self.read_all(path)
+        # Survivors parse; corrupt/torn lines quarantine; gaps vanish.
+        survivors = 200 - writer.injected["gap"] \
+            - writer.injected["corrupt"] - writer.injected["kill"] \
+            + writer.injected["duplicate"]
+        assert len(got) == survivors
+        assert len(rejects) >= writer.injected["corrupt"]

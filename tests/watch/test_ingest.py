@@ -1,0 +1,163 @@
+"""Ingestion: union-by-identity ledger, tail reader, metrics feed."""
+
+import random
+
+from repro.obs import MetricsRegistry
+from repro.watch import JsonlTailReader, MetricsFeed, TelemetryEvent, \
+    TelemetryLedger
+
+from .conftest import failure_events, load_events, repair_events, \
+    write_jsonl
+
+
+class TestLedger:
+    def test_union_dedups_exact_replays(self):
+        ledger = TelemetryLedger()
+        events = load_events(100.0, 5)
+        for event in events + events:
+            ledger.add(event)
+        assert ledger.accepted == 5
+        assert ledger.duplicates == 5
+        assert ledger.load_samples("web") == [100.0] * 5
+
+    def test_conflict_keeps_first_seen(self):
+        ledger = TelemetryLedger()
+        first = load_events(100.0, 1)[0]
+        forged = TelemetryEvent(kind="load", source=first.source,
+                                seq=first.seq, time_hours=0.0,
+                                tier="web", value=999.0)
+        assert ledger.add(first) == "accepted"
+        assert ledger.add(forged) == "conflict"
+        assert ledger.load_samples("web") == [100.0]
+        assert ledger.conflicts == 1
+
+    def test_permutation_invariance(self):
+        events = (load_events(100.0, 10)
+                  + failure_events("box.hard", 2400.0, 10)
+                  + repair_events("box.hard", 24.0, 10, start_seq=10))
+        ledger_a, ledger_b = TelemetryLedger(), TelemetryLedger()
+        shuffled = list(events)
+        random.Random(7).shuffle(shuffled)
+        for event in events:
+            ledger_a.add(event)
+        for event in shuffled + shuffled[::3]:
+            ledger_b.add(event)
+        assert ledger_a.snapshot()["sources"] \
+            == ledger_b.snapshot()["sources"]
+        assert ledger_a.load_samples("web") == ledger_b.load_samples("web")
+        stats_a = ledger_a.mode_stats("web", "box.hard")
+        stats_b = ledger_b.mode_stats("web", "box.hard")
+        assert (stats_a.failures, stats_a.exposure_hours,
+                stats_a.repairs, stats_a.repair_hours) \
+            == (stats_b.failures, stats_b.exposure_hours,
+                stats_b.repairs, stats_b.repair_hours)
+
+    def test_gap_detection(self):
+        ledger = TelemetryLedger()
+        for event in load_events(100.0, 10):
+            if event.seq not in (3, 7):
+                ledger.add(event)
+        assert ledger.gaps() == {"lb": 2}
+
+    def test_skew_detection(self):
+        ledger = TelemetryLedger()
+        events = load_events(100.0, 5)
+        skewed = TelemetryEvent(kind="load", source="lb", seq=5,
+                                time_hours=-500.0, tier="web",
+                                value=100.0)
+        for event in events + [skewed]:
+            ledger.add(event)
+        assert ledger.skewed_sources() == ["lb"]
+        # The samples themselves are untouched by the lying clock.
+        assert ledger.load_samples("web") == [100.0] * 6
+
+    def test_load_window(self):
+        ledger = TelemetryLedger()
+        for event in load_events(100.0, 5) \
+                + load_events(200.0, 5, start_seq=5):
+            ledger.add(event)
+        assert ledger.load_samples("web", window=5) == [200.0] * 5
+
+
+class TestTailReader:
+    def test_incremental_polls(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        events = load_events(100.0, 4)
+        write_jsonl(path, events[:2])
+        reader = JsonlTailReader(path)
+        got, rejects = reader.poll()
+        assert [e.seq for e in got] == [0, 1] and not rejects
+        with open(path, "a") as handle:
+            for event in events[2:]:
+                handle.write(event.to_json_line())
+        got, _ = reader.poll()
+        assert [e.seq for e in got] == [2, 3]
+        assert reader.poll() == ([], [])
+
+    def test_missing_file_is_empty_stream(self, tmp_path):
+        reader = JsonlTailReader(str(tmp_path / "absent.jsonl"))
+        assert reader.poll() == ([], [])
+
+    def test_torn_tail_invisible_until_completed(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        line = load_events(100.0, 1)[0].to_json_line()
+        with open(path, "w") as handle:
+            handle.write(line)
+            handle.write(line[: len(line) // 2])    # torn, no newline
+        reader = JsonlTailReader(path)
+        got, rejects = reader.poll()
+        assert len(got) == 1 and not rejects
+        # A restarted producer terminates the torn line; the merged
+        # bytes are one malformed record -- quarantined, never parsed.
+        with open(path, "a") as handle:
+            handle.write("\n")
+        got, rejects = reader.poll()
+        assert got == [] and len(rejects) == 1
+
+    def test_malformed_lines_are_rejected_not_fatal(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(b'{"kind": "load"\x00\xff garbage\n')
+            handle.write(load_events(100.0, 1)[0]
+                         .to_json_line().encode())
+        got, rejects = reader_poll = JsonlTailReader(path).poll()
+        assert len(got) == 1
+        assert len(rejects) == 1
+        assert rejects[0].source == "stream.jsonl"
+        assert len(rejects[0].line) <= JsonlTailReader.EXCERPT
+
+
+class TestMetricsFeed:
+    def test_deltas_become_windows(self):
+        registry = MetricsRegistry()
+        feed = MetricsFeed(registry, "web", ["box.hard"])
+        registry.counter("watch.web.box.hard.failures").inc(2)
+        registry.gauge("watch.web.box.hard.exposure_hours").set(4800.0)
+        registry.counter("watch.web.box.hard.repairs").inc(1)
+        registry.gauge("watch.web.box.hard.repair_hours").set(24.0)
+        registry.gauge("watch.web.load").set(300.0)
+        events = feed.poll()
+        kinds = sorted(event.kind for event in events)
+        assert kinds == ["failure", "load", "repair"]
+        ledger = TelemetryLedger()
+        for event in events:
+            assert ledger.add(event) == "accepted"
+        stats = ledger.mode_stats("web", "box.hard")
+        assert stats.failures == 2
+        assert stats.exposure_hours == 4800.0
+        assert ledger.load_samples("web") == [300.0]
+
+    def test_second_poll_reports_only_growth(self):
+        registry = MetricsRegistry()
+        feed = MetricsFeed(registry, "web", ["box.hard"])
+        registry.counter("watch.web.box.hard.failures").inc(2)
+        registry.gauge("watch.web.box.hard.exposure_hours").set(100.0)
+        feed.poll()
+        registry.counter("watch.web.box.hard.failures").inc(1)
+        registry.gauge("watch.web.box.hard.exposure_hours").set(150.0)
+        events = feed.poll()
+        failure = [e for e in events if e.kind == "failure"][0]
+        assert failure.failures == 1
+        assert failure.exposure_hours == 50.0
+        # Sequence numbers keep advancing: the feed is its own source.
+        assert failure.seq >= 1

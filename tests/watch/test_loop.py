@@ -1,0 +1,263 @@
+"""The watcher loop: incumbents, drift epochs, warm/cold, resume."""
+
+import json
+
+import pytest
+
+from repro.core import DesignEvaluator
+from repro.resilience.events import (DRIFT_DETECTED, WATCH_COLD_SEARCH,
+                                     WATCH_RESUMED, WATCH_WARM_START)
+from repro.units import Duration
+from repro.watch import (DriftPolicy, DriftReport, JsonlTailReader,
+                         WatchJournal, WatchSpec, Watcher)
+from repro.watch.loop import DriftedEvaluator, substitute_modes
+
+from .conftest import load_events, make_watcher, repair_events, \
+    write_jsonl
+
+FAST = DriftPolicy(min_load_samples=10, min_repairs=10, debounce=2,
+                   cooldown=2)
+
+
+def reader_for(tmp_path, events, name="stream.jsonl"):
+    path = str(tmp_path / name)
+    write_jsonl(path, events)
+    return JsonlTailReader(path)
+
+
+class TestSubstitution:
+    def test_substitute_modes_by_name(self, tiny_evaluator, tiny_spec):
+        design = make_watcher(tiny_evaluator, tiny_spec)
+        design.start()
+        model = tiny_evaluator.tier_model(design.incumbent.design,
+                                          tiny_spec.load)
+        substituted = substitute_modes(model.modes,
+                                       {"box.hard": 500.0}, {})
+        by_name = {mode.name: mode for mode in substituted}
+        assert by_name["box.hard"].mtbf == Duration.hours(500.0)
+        # Untouched fields and modes are preserved.
+        original = {mode.name: mode for mode in model.modes}
+        assert by_name["box.hard"].mttr == original["box.hard"].mttr
+        assert by_name["os.crash"] == original["os.crash"]
+
+    def test_drifted_evaluator_changes_only_the_modes(
+            self, tiny_evaluator, tiny_spec):
+        watcher = make_watcher(tiny_evaluator, tiny_spec)
+        watcher.start()
+        drifted = DriftedEvaluator(tiny_evaluator,
+                                   {"box.hard": 500.0},
+                                   {"os.crash": 9.0})
+        base_model = tiny_evaluator.tier_model(
+            watcher.incumbent.design, tiny_spec.load)
+        drift_model = drifted.tier_model(watcher.incumbent.design,
+                                         tiny_spec.load)
+        modes = {mode.name: mode for mode in drift_model.modes}
+        assert modes["box.hard"].mtbf == Duration.hours(500.0)
+        assert modes["os.crash"].mttr == Duration.hours(9.0)
+        assert drift_model.n == base_model.n
+        assert drift_model.s == base_model.s
+
+
+class TestWatchSpec:
+    def test_round_trip(self):
+        spec = WatchSpec("web", 600.0, Duration.minutes(100),
+                         mtbf_hours={"box.hard": 500.0},
+                         mttr_hours={"os.crash": 9.0})
+        assert WatchSpec.from_dict(spec.to_dict()) == spec
+
+    def test_modes_differ_is_the_warm_cold_boundary(self):
+        base = WatchSpec("web", 150.0, Duration.minutes(100))
+        load_only = WatchSpec("web", 600.0, Duration.minutes(100))
+        mode_drift = WatchSpec("web", 150.0, Duration.minutes(100),
+                               mttr_hours={"box.hard": 96.0})
+        assert not base.modes_differ(load_only)
+        assert base.modes_differ(mode_drift)
+
+    def test_with_drift_merges_quantized_parameters(self):
+        spec = WatchSpec("web", 150.0, Duration.minutes(100))
+        report = DriftReport(
+            "web", True, 3, 0, ("load drifted",),
+            mttr={"box.hard": Duration.hours(91.55)}, load=572.2)
+        drifted = spec.with_drift(report)
+        assert drifted.load == 572.2
+        assert drifted.mttr_hours == {"box.hard": 91.55}
+        assert drifted.max_downtime == spec.max_downtime
+
+
+class TestLoop:
+    def test_stationary_stream_never_reconfigures(
+            self, tmp_path, tiny_evaluator, tiny_spec):
+        reader = reader_for(tmp_path, load_events(150.0, 100))
+        watcher = make_watcher(tiny_evaluator, tiny_spec,
+                               readers=[reader], policy=FAST)
+        for _ in range(6):
+            status = watcher.poll()
+        assert status["epoch"] == 0
+        assert status["reconfigurations"] == 0
+        assert status["incumbent"] is not None
+        assert status["ingest"]["accepted"] == 100
+        assert watcher.decisions == []
+
+    def test_load_drift_warm_starts(self, tmp_path, tiny_evaluator,
+                                    tiny_spec):
+        reader = reader_for(tmp_path, load_events(600.0, 50))
+        watcher = make_watcher(tiny_evaluator, tiny_spec,
+                               readers=[reader], policy=FAST)
+        statuses = [watcher.poll() for _ in range(2)]
+        assert statuses[0]["epoch"] == 0
+        final = statuses[1]
+        assert final["epoch"] == 1
+        assert final["warm_starts"] == 1
+        assert final["cold_searches"] == 0
+        assert final["reconfigurations"] == 1
+        # The spec rebased onto the quantized grid anchored at 150.
+        assert final["spec"]["load"] == pytest.approx(
+            150.0 * 1.25 ** 6)
+        assert final["incumbent"]["n_active"] >= 6
+        kinds = watcher.log.counts()
+        assert kinds[DRIFT_DETECTED] == 1
+        assert kinds[WATCH_WARM_START] == 1
+
+    def test_mode_drift_cold_searches(self, tmp_path, tiny_evaluator,
+                                      tiny_spec):
+        watcher = make_watcher(tiny_evaluator, tiny_spec, policy=FAST)
+        watcher.start()
+        spec_mttr = watcher.detector.spec_mttr["box.hard"].as_hours
+        reader = reader_for(
+            tmp_path, repair_events("box.hard", spec_mttr * 8, 40))
+        watcher.readers.append(reader)
+        for _ in range(2):
+            status = watcher.poll()
+        assert status["epoch"] == 1
+        assert status["cold_searches"] == 1
+        assert status["warm_starts"] == 0
+        assert watcher.spec.mttr_hours["box.hard"] > spec_mttr
+        assert watcher.log.counts()[WATCH_COLD_SEARCH] == 1
+
+    def test_infeasible_drift_keeps_incumbent(
+            self, tmp_path, tiny_evaluator, tiny_spec):
+        # 20000 work units need n > 100: beyond the option's range.
+        reader = reader_for(tmp_path, load_events(20000.0, 50))
+        watcher = make_watcher(tiny_evaluator, tiny_spec,
+                               readers=[reader], policy=FAST)
+        watcher.start()
+        before = watcher.incumbent
+        for _ in range(2):
+            status = watcher.poll()
+        assert status["infeasible_epochs"] == 1
+        assert status["reconfigurations"] == 0
+        assert watcher.incumbent == before
+        assert watcher.decisions[-1]["feasible"] is False
+
+    def test_malformed_lines_quarantine_not_crash(
+            self, tmp_path, tiny_evaluator, tiny_spec):
+        path = str(tmp_path / "stream.jsonl")
+        with open(path, "w") as handle:
+            handle.write("garbage that is not json\n")
+            for event in load_events(150.0, 3):
+                handle.write(event.to_json_line())
+        watcher = make_watcher(tiny_evaluator, tiny_spec,
+                               readers=[JsonlTailReader(path)],
+                               policy=FAST)
+        status = watcher.poll()
+        assert status["quarantined"] == 1
+        assert status["ingest"]["accepted"] == 3
+        assert watcher.quarantined[0]["reason"].startswith("not valid")
+
+
+class TestJournalResume:
+    def test_completed_epochs_restore_spec(self, tmp_path,
+                                           tiny_evaluator, tiny_spec):
+        journal = str(tmp_path / "journal.jsonl")
+        reader = reader_for(tmp_path, load_events(600.0, 50))
+        first = make_watcher(tiny_evaluator, tiny_spec,
+                             readers=[reader], policy=FAST,
+                             journal_path=journal)
+        for _ in range(2):
+            first.poll()
+        assert first.epoch == 1
+        second = make_watcher(tiny_evaluator, tiny_spec, policy=FAST,
+                              journal_path=journal)
+        second.start()
+        assert second.resumed
+        assert second.epoch == 1
+        assert second.spec == first.spec
+        assert second.incumbent.design == first.incumbent.design
+
+    def test_interrupted_redesign_resumes_exactly_once(
+            self, tmp_path, tiny_evaluator, tiny_spec):
+        journal_path = str(tmp_path / "journal.jsonl")
+        drifted = WatchSpec("web", 150.0 * 1.25 ** 6,
+                            tiny_spec.max_downtime)
+        # Simulate a kill -9 between redesign-start and redesign-done.
+        WatchJournal(journal_path).redesign_start(1, drifted.to_dict())
+        watcher = make_watcher(tiny_evaluator, tiny_spec, policy=FAST,
+                               journal_path=journal_path)
+        watcher.start()
+        assert watcher.resumed
+        assert watcher.epoch == 1
+        assert watcher.spec == drifted
+        assert len(watcher.decisions) == 1
+        assert watcher.log.counts()[WATCH_RESUMED] == 1
+        state = WatchJournal.replay(journal_path)
+        assert state.last_epoch == 1
+        assert state.pending is None
+        # A further restart re-executes nothing: exactly once.
+        again = make_watcher(tiny_evaluator, tiny_spec, policy=FAST,
+                             journal_path=journal_path)
+        again.start()
+        assert again.decisions == []
+        assert again.epoch == 1
+        assert again.spec == drifted
+
+    def test_resumed_decision_matches_uninterrupted_run(
+            self, tmp_path, tiny_evaluator, tiny_spec):
+        """The replayed redesign reaches the decision the killed run
+        would have -- determinism is what makes exactly-once safe."""
+        journal_a = str(tmp_path / "a.jsonl")
+        reader = reader_for(tmp_path, load_events(600.0, 50))
+        clean = make_watcher(tiny_evaluator, tiny_spec,
+                             readers=[reader], policy=FAST,
+                             journal_path=journal_a)
+        for _ in range(2):
+            clean.poll()
+        drifted_spec = clean.decisions[0]["spec"]
+        journal_b = str(tmp_path / "b.jsonl")
+        WatchJournal(journal_b).redesign_start(1, drifted_spec)
+        resumed = make_watcher(tiny_evaluator, tiny_spec, policy=FAST,
+                               journal_path=journal_b)
+        resumed.start()
+        assert json.dumps(resumed.decisions[0], sort_keys=True) \
+            == json.dumps(clean.decisions[0], sort_keys=True)
+
+
+class TestStatus:
+    def test_journal_degradation_is_reported(self, tmp_path,
+                                             tiny_evaluator, tiny_spec):
+        reader = reader_for(tmp_path, load_events(600.0, 50))
+        watcher = make_watcher(tiny_evaluator, tiny_spec,
+                               readers=[reader], policy=FAST,
+                               journal_path=str(tmp_path))  # EISDIR
+        for _ in range(2):
+            status = watcher.poll()
+        # The journal failed, the loop carried on and still redesigned.
+        assert status["journal"]["enabled"]
+        assert status["journal"]["degraded"]
+        assert status["epoch"] == 1
+
+    def test_cache_store_feeds_search_stats(self, tmp_path,
+                                            tiny_evaluator, tiny_spec):
+        cache_dir = str(tmp_path / "cache")
+        first = make_watcher(tiny_evaluator, tiny_spec,
+                             cache_dir=cache_dir)
+        first.start()
+        evaluations = first.last_search_stats["availability_evaluations"]
+        assert evaluations > 0
+        # A fresh watcher over the same store replays warm.
+        second = make_watcher(
+            DesignEvaluator(tiny_evaluator.infrastructure,
+                            tiny_evaluator.service),
+            tiny_spec, cache_dir=cache_dir)
+        second.start()
+        assert second.incumbent.design == first.incumbent.design
+        assert second.cache_store.snapshot()["hits"] > 0
