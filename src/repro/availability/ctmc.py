@@ -40,6 +40,10 @@ class ContinuousTimeMarkovChain:
         self._index: Dict[State, int] = {}
         self._states: List[State] = []
         self._edges: List[Tuple[int, int, float]] = []
+        #: Human-readable annotations of degraded solves (e.g. a dense
+        #: solve that fell back to least squares), appended by the
+        #: solver so callers can attribute them in provenance records.
+        self.solve_notes: List[str] = []
         self._explore(initial, transitions, max_states)
 
     def _explore(self, initial: State, transitions: TransitionFn,
@@ -126,9 +130,17 @@ class ContinuousTimeMarkovChain:
         rhs[-1] = 1.0
         try:
             return np.linalg.solve(system, rhs)
-        except np.linalg.LinAlgError:
+        except np.linalg.LinAlgError as exc:
             # Fall back to least squares for singular corner cases.
-            solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+            # Chain the original error so a failing lstsq is still
+            # attributable to the singular direct solve, and note the
+            # degradation for provenance.
+            try:
+                solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+            except np.linalg.LinAlgError as lstsq_exc:
+                raise lstsq_exc from exc
+            self.solve_notes.append(
+                "dense solve degraded to least squares (%s)" % exc)
             return solution
 
     def _solve_sparse(self) -> np.ndarray:

@@ -30,8 +30,8 @@ import numpy as np
 from ..errors import NumericalError
 from ..units import HOURS_PER_YEAR
 from .ctmc import ContinuousTimeMarkovChain
-from .model import (FailureModeEntry, ModeResult, TierAvailabilityModel,
-                    TierResult)
+from .model import (EngineProvenance, FailureModeEntry, ModeResult,
+                    TierAvailabilityModel, TierResult)
 
 #: Durations below this (in hours) are treated as instantaneous
 #: transitions to keep rates finite (3.6 ms).
@@ -48,12 +48,33 @@ def evaluate_tier(model: TierAvailabilityModel) -> TierResult:
     resilience runtime can classify it as transient) without digging
     through a linear-algebra traceback.
     """
+    notes: List[str] = []
+    return compose_tier_result(
+        model, lambda mode: evaluate_mode(model, mode, notes), notes)
+
+
+def compose_tier_result(model: TierAvailabilityModel, solve_mode,
+                        notes: List[str] = None) -> TierResult:
+    """Validate and compose per-mode results into a :class:`TierResult`.
+
+    ``solve_mode`` maps a :class:`FailureModeEntry` to its
+    :class:`ModeResult` (or raises).  Factored out of
+    :func:`evaluate_tier` so the batched path
+    (:mod:`repro.batch`) runs the *same* validation and series
+    composition, float op for float op -- part of the batched ==
+    scalar bit-identity contract.
+
+    ``notes`` are degraded-solve annotations (least-squares fallbacks)
+    collected while solving; when present they are attached as a
+    non-degraded :class:`EngineProvenance` so the fallback is
+    attributable in the outcome.
+    """
     mode_results: List[ModeResult] = []
     up_product = 1.0
     structure = (model.n, model.m, model.s)
     for mode in model.modes:
         try:
-            result = evaluate_mode(model, mode)
+            result = solve_mode(mode)
         except np.linalg.LinAlgError as exc:
             raise NumericalError(
                 "mode %r: linear solve failed (%s)" % (mode.name, exc),
@@ -75,22 +96,41 @@ def evaluate_tier(model: TierAvailabilityModel) -> TierResult:
                 tier=model.name, structure=structure)
         mode_results.append(result)
         up_product *= 1.0 - result.unavailability
-    return TierResult(model.name, 1.0 - up_product, tuple(mode_results))
+    provenance = None
+    if notes:
+        provenance = EngineProvenance(engine="markov",
+                                      cause="; ".join(notes))
+    return TierResult(model.name, 1.0 - up_product, tuple(mode_results),
+                      provenance)
 
 
-def evaluate_mode(model: TierAvailabilityModel,
-                  mode: FailureModeEntry) -> ModeResult:
-    """Evaluate a single failure mode's chain for a tier."""
+def evaluate_mode(model: TierAvailabilityModel, mode: FailureModeEntry,
+                  notes: List[str] = None) -> ModeResult:
+    """Evaluate a single failure mode's chain for a tier.
+
+    ``notes`` (optional) collects degraded-solve annotations from the
+    chain solver, e.g. a dense solve that fell back to least squares.
+    """
     uses_failover = mode.uses_failover and model.s > 0
     if mode.mttr.as_seconds == 0 and not uses_failover:
         # Instant repair: no downtime, but failures still occur.
         failures = model.n / mode.mtbf.as_hours * HOURS_PER_YEAR
         return ModeResult(mode.name, 0.0, failures, False)
     if uses_failover:
-        unavailability, failures = _solve_failover_chain(model, mode)
+        unavailability, failures = _solve_failover_chain(model, mode,
+                                                         notes)
     else:
-        unavailability, failures = _solve_inplace_chain(model, mode)
+        unavailability, failures = _solve_inplace_chain(model, mode,
+                                                        notes)
     return ModeResult(mode.name, unavailability, failures, uses_failover)
+
+
+def _note_degraded_solves(chain: ContinuousTimeMarkovChain,
+                          mode: FailureModeEntry,
+                          notes: List[str]) -> None:
+    if notes is not None:
+        for note in chain.solve_notes:
+            notes.append("mode %r: %s" % (mode.name, note))
 
 
 # ----------------------------------------------------------------------
@@ -108,7 +148,8 @@ _TRUNCATION_MARGIN = 12
 
 
 def _solve_failover_chain(model: TierAvailabilityModel,
-                          mode: FailureModeEntry) -> Tuple[float, float]:
+                          mode: FailureModeEntry,
+                          notes: List[str] = None) -> Tuple[float, float]:
     n, s = model.n, model.s
     total = n + s
     failure_rate = 1.0 / mode.mtbf.as_hours
@@ -136,6 +177,7 @@ def _solve_failover_chain(model: TierAvailabilityModel,
 
     chain = ContinuousTimeMarkovChain((0, 0), transitions)
     probabilities = chain.steady_state()
+    _note_degraded_solves(chain, mode, notes)
     unavailability = 0.0
     failure_flux = 0.0
     for (r, w), probability in probabilities.items():
@@ -153,7 +195,8 @@ def _solve_failover_chain(model: TierAvailabilityModel,
 
 
 def _solve_inplace_chain(model: TierAvailabilityModel,
-                         mode: FailureModeEntry) -> Tuple[float, float]:
+                         mode: FailureModeEntry,
+                         notes: List[str] = None) -> Tuple[float, float]:
     n = model.n
     failure_rate = 1.0 / mode.mtbf.as_hours
     repair_rate = 1.0 / max(mode.mttr.as_hours, _MIN_HOURS)
@@ -169,6 +212,7 @@ def _solve_inplace_chain(model: TierAvailabilityModel,
 
     chain = ContinuousTimeMarkovChain(0, transitions)
     probabilities = chain.steady_state()
+    _note_degraded_solves(chain, mode, notes)
     unavailability = 0.0
     failure_flux = 0.0
     for r, probability in probabilities.items():

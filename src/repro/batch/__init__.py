@@ -1,0 +1,24 @@
+"""Vectorized stacked tier-chain solves (``repro.batch``).
+
+Groups pending tier evaluations by chain shape, assembles their
+birth-death generators into stacked dense systems, and solves each
+group in one numpy pass -- replacing N independent scalar
+``ctmc``/``markov`` solves on the cold path with bit-identical
+results.  See ``docs/BATCHING.md``.
+"""
+
+from .chains import (ChainTemplate, TemplateCache, failover_template,
+                     inplace_template)
+from .evaluator import (TierBatcher, TierOutcome, batch_target,
+                        solve_models, solve_outcomes,
+                        transport_shape_key)
+from .stacked import (assemble_systems, reduce_group, solve_size_class,
+                      solve_stacked)
+
+__all__ = [
+    "ChainTemplate", "TemplateCache", "TierBatcher", "TierOutcome",
+    "assemble_systems", "batch_target", "failover_template",
+    "inplace_template", "reduce_group", "solve_models",
+    "solve_outcomes", "solve_size_class", "solve_stacked",
+    "transport_shape_key",
+]

@@ -85,11 +85,15 @@ _COUNTER_NAMES = ("hits", "misses", "writes", "write_failures", "corrupt",
 def tier_result_to_payload(result: TierResult) -> Dict[str, Any]:
     """Serialize a tier result to the store's payload form.
 
-    Provenance is deliberately dropped: the store persists *engine*
-    answers; provenance is attached downstream by the resilience
-    runtime per run.
+    Runtime fallback provenance (which resilience rung answered) is
+    deliberately dropped: the store persists *engine* answers, and
+    rung choice is per-run fault state.  Provenance the engine itself
+    attached -- e.g. the Markov solver noting a dense solve that
+    degraded to least squares, a function of the model alone -- IS
+    persisted, so a warm hit reproduces the cold result exactly,
+    degradation notes included.
     """
-    return {
+    payload = {
         "name": result.name,
         "unavailability": result.unavailability,
         "modes": [
@@ -99,6 +103,14 @@ def tier_result_to_payload(result: TierResult) -> Dict[str, Any]:
              "used_failover": mode.used_failover}
             for mode in result.mode_results],
     }
+    if result.provenance is not None:
+        payload["provenance"] = {
+            "engine": result.provenance.engine,
+            "attempts": result.provenance.attempts,
+            "fallback_from": list(result.provenance.fallback_from),
+            "cause": result.provenance.cause,
+        }
+    return payload
 
 
 def tier_result_from_payload(payload: Dict[str, Any]) -> TierResult:
@@ -109,9 +121,19 @@ def tier_result_from_payload(payload: Dict[str, Any]) -> TierResult:
                    failures_per_year=float(entry["failures_per_year"]),
                    used_failover=bool(entry["used_failover"]))
         for entry in payload["modes"])
+    provenance = None
+    stored = payload.get("provenance")
+    if stored is not None:
+        from ..availability.model import EngineProvenance
+        provenance = EngineProvenance(
+            engine=str(stored["engine"]),
+            attempts=int(stored["attempts"]),
+            fallback_from=tuple(str(name)
+                                for name in stored["fallback_from"]),
+            cause=str(stored["cause"]))
     return TierResult(name=str(payload["name"]),
                       unavailability=float(payload["unavailability"]),
-                      mode_results=modes)
+                      mode_results=modes, provenance=provenance)
 
 
 def entry_key(engine_id: str, model_key: str) -> str:

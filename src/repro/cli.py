@@ -411,6 +411,18 @@ def _add_search_options(parser: argparse.ArgumentParser) -> None:
                              "of cache hits after the search and "
                              "quarantine the whole store on any "
                              "divergence (AVD604)")
+    parser.add_argument("--batch", dest="batch", action="store_const",
+                        const=True, default=None,
+                        help="solve each search wavefront as stacked "
+                             "linear systems in one vectorized pass "
+                             "instead of one candidate at a time; the "
+                             "designed system is bit-identical either "
+                             "way (default: the REPRO_BATCH "
+                             "environment variable, else off)")
+    parser.add_argument("--no-batch", dest="batch", action="store_const",
+                        const=False,
+                        help="force the scalar per-candidate solve "
+                             "path even when REPRO_BATCH is set")
 
 
 def load_models(args, validate: bool = True) -> tuple:
@@ -529,6 +541,30 @@ def resolve_cache(args) -> tuple:
     return cache, verify
 
 
+def resolve_batch(args) -> bool:
+    """``--batch``, falling back to the ``REPRO_BATCH`` env variable.
+
+    Like ``REPRO_JOBS`` / ``REPRO_CACHE``, the env fallback lets a CI
+    leg (or a user shell) push an entire existing CLI workflow through
+    the vectorized batch core without editing any invocation -- safe
+    because a batched search designs the bit-identical system.
+    Accepted truthy values: ``1``, ``true``, ``yes``, ``on`` (and
+    their falsy complements); ``--no-batch`` always wins.
+    """
+    batch = getattr(args, "batch", None)
+    if batch is not None:
+        return bool(batch)
+    env = os.environ.get("REPRO_BATCH", "").strip().lower()
+    if not env:
+        return False
+    if env in ("1", "true", "yes", "on"):
+        return True
+    if env in ("0", "false", "no", "off"):
+        return False
+    raise AvedError("REPRO_BATCH must be a boolean (1/0/true/false), "
+                    "got %r" % env)
+
+
 def make_checkpoint(args):
     """Build (or resume) the search checkpoint requested by the CLI."""
     path = getattr(args, "checkpoint", None)
@@ -618,7 +654,8 @@ def cmd_design(args, out) -> int:
                   task_timeout=args.task_timeout,
                   prune=args.prune,
                   cache=cache,
-                  cache_verify=cache_verify)
+                  cache_verify=cache_verify,
+                  batch=resolve_batch(args))
     observe = bool(args.trace or args.metrics_out)
     observer = Observer() if observe else None
     try:
@@ -661,7 +698,8 @@ def cmd_profile(args, out) -> int:
                   task_timeout=args.task_timeout,
                   prune=args.prune,
                   cache=cache,
-                  cache_verify=cache_verify)
+                  cache_verify=cache_verify,
+                  batch=resolve_batch(args))
     observer = Observer()
     outcome = None
     infeasible = None
@@ -720,7 +758,14 @@ def cmd_frontier(args, out) -> int:
         runtime = make_runtime(evaluator.engine, jobs,
                                task_timeout=args.task_timeout,
                                seed=getattr(args, "seed", 1))
-    search = TierSearch(evaluator, make_limits(args), runtime=runtime)
+    batcher = None
+    if resolve_batch(args):
+        from .batch import TierBatcher, batch_target
+        target = batch_target(evaluator.engine)
+        if target is not None:
+            batcher = TierBatcher(target)
+    search = TierSearch(evaluator, make_limits(args), runtime=runtime,
+                        batcher=batcher)
     try:
         with _interruptible(runtime is not None):
             frontier = search.tier_frontier(args.tier, args.load)
@@ -819,7 +864,8 @@ def cmd_analyze(args, out) -> int:
                   task_timeout=args.task_timeout,
                   prune=args.prune,
                   cache=cache,
-                  cache_verify=cache_verify)
+                  cache_verify=cache_verify,
+                  batch=resolve_batch(args))
     requirements = ServiceRequirements(args.load,
                                        Duration.parse(args.downtime))
     try:

@@ -106,7 +106,8 @@ class Aved:
                  parallel=None,
                  prune=False,
                  cache=None,
-                 cache_verify: bool = False):
+                 cache_verify: bool = False,
+                 batch: bool = False):
         """``combination`` picks the multi-tier assembly strategy:
         ``"exact"`` (branch-and-bound over the frontier product) or
         ``"greedy"`` (the paper's incremental per-tier tightening).
@@ -160,6 +161,14 @@ class Aved:
         cache hits after the search and quarantines the whole store on
         any divergence (``AVD604``) -- the paranoid mode for stores on
         untrusted media.
+
+        ``batch`` routes each prefetch wavefront through the
+        vectorized stacked tier solver (:mod:`repro.batch`) instead of
+        N independent scalar solves; the resulting
+        :class:`DesignOutcome` is bit-identical (see
+        ``docs/BATCHING.md``).  Only the pure Markov engine (bare or
+        cached) supports batching; any other engine degrades
+        gracefully to the scalar path and reports ``AVD801``.
         """
         validate_pair(infrastructure, service)
         if combination not in ("exact", "greedy"):
@@ -216,6 +225,25 @@ class Aved:
             self.parallel = make_runtime(self.evaluator.engine, jobs,
                                          task_timeout=task_timeout)
             self._owns_runtime = True
+        # Batching is resolved AFTER cache attachment so the batcher
+        # sees the cache-wrapped engine and keeps warm-path lookup
+        # counts identical to the scalar path.
+        self.batcher = None
+        self._batch_log = None
+        if batch:
+            from ..batch import TierBatcher, batch_target
+            from ..resilience.events import (BATCH_UNSUPPORTED,
+                                             DegradationLog)
+            self._batch_log = DegradationLog()
+            target = batch_target(self.evaluator.engine)
+            if target is None:
+                self._batch_log.add(
+                    BATCH_UNSUPPORTED,
+                    engine=type(self.evaluator.engine).__name__,
+                    detail="engine does not support vectorized batch "
+                           "solves; searching on the scalar path")
+            else:
+                self.batcher = TierBatcher(target, log=self._batch_log)
 
     # ------------------------------------------------------------------
 
@@ -262,6 +290,13 @@ class Aved:
         drain = getattr(self.evaluator.engine, "drain_log", None)
         if drain is not None:
             report = drain().to_lint_report()
+        if self._batch_log is not None and len(self._batch_log):
+            batch_report = self._batch_log.to_lint_report()
+            self._batch_log.clear()
+            if report is None:
+                report = batch_report
+            else:
+                report.extend(batch_report)
         if self.parallel is not None:
             runtime_log = self.parallel.drain_log()
             if len(runtime_log):
@@ -379,7 +414,8 @@ class Aved:
         search = TierSearch(self.evaluator, self.limits,
                             checkpoint=self.checkpoint,
                             runtime=self.parallel,
-                            prune=self._prune_enabled())
+                            prune=self._prune_enabled(),
+                            batcher=self.batcher)
         tier_names = [tier.name for tier in self.service.tiers]
 
         if len(tier_names) == 1:
@@ -437,7 +473,8 @@ class Aved:
     def _design_job(self, requirements: JobRequirements) -> DesignOutcome:
         search = JobSearch(self.evaluator, self.limits,
                            checkpoint=self.checkpoint,
-                           runtime=self.parallel)
+                           runtime=self.parallel,
+                           batcher=self.batcher)
         evaluation = search.best_design(requirements)
         if evaluation is None:
             raise InfeasibleError(

@@ -84,6 +84,13 @@ class DesignEvaluator:
         self.service = service
         self.engine = engine if engine is not None else MarkovEngine()
         self.repair_crew = repair_crew
+        # Resolved failure-mode entries keyed by (resource, spare
+        # prefix, mechanism combo) -- every input the entries depend
+        # on.  Entries are frozen dataclasses, so sharing one tuple
+        # across the many designs that differ only in (n, s) is safe
+        # and skips re-deriving identical Duration arithmetic.
+        self._mode_entry_cache: dict = {}
+        self._tier_cost_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Availability model generation (paper section 4.2)
@@ -105,15 +112,24 @@ class DesignEvaluator:
             -> TierAvailabilityModel:
         resource = self.infrastructure.resource(tier_design.resource)
         m = self.minimum_active(tier_design, required_throughput)
-        spare_modes = resource.modes_for_prefix(
-            tier_design.spare_active_prefix)
-        modes = self.failure_mode_entries(
-            resource, spare_modes,
-            lambda failure: self._resolve_mttr(tier_design, failure))
+        cache_key = (tier_design.resource,
+                     tier_design.spare_active_prefix,
+                     tuple((config.name,
+                            tuple(sorted((k, str(v)) for k, v
+                                         in config.settings.items())))
+                           for config in tier_design.mechanism_configs))
+        modes = self._mode_entry_cache.get(cache_key)
+        if modes is None:
+            spare_modes = resource.modes_for_prefix(
+                tier_design.spare_active_prefix)
+            modes = tuple(self.failure_mode_entries(
+                resource, spare_modes,
+                lambda failure: self._resolve_mttr(tier_design, failure)))
+            self._mode_entry_cache[cache_key] = modes
         return TierAvailabilityModel(tier_design.tier,
                                      n=tier_design.n_active, m=m,
                                      s=tier_design.n_spare,
-                                     modes=tuple(modes),
+                                     modes=modes,
                                      repair_crew=self.repair_crew)
 
     def failure_mode_entries(self, resource,
@@ -189,12 +205,21 @@ class DesignEvaluator:
     # ------------------------------------------------------------------
 
     def tier_cost(self, tier_design: TierDesign) -> CostBreakdown:
+        # Cost is a pure function of the design against the static
+        # infrastructure; the search asks for the same design's cost
+        # several times (prefetch filter, cost pruning, decision loop),
+        # so memoize per design instance.
+        cached = self._tier_cost_cache.get(tier_design)
+        if cached is not None:
+            return cached
         resource = self.infrastructure.resource(tier_design.resource)
         spare_modes = resource.modes_for_prefix(
             tier_design.spare_active_prefix)
-        return tier_cost(self.infrastructure, resource,
+        cost = tier_cost(self.infrastructure, resource,
                          tier_design.n_active, tier_design.n_spare,
                          spare_modes, tier_design.mechanism_configs)
+        self._tier_cost_cache[tier_design] = cost
+        return cost
 
     def design_cost(self, design: Design) -> CostBreakdown:
         total = None

@@ -91,6 +91,10 @@ class SearchStats:
     quarantined: int = 0
     #: Prefetch batches dispatched to the parallel runtime.
     parallel_batches: int = 0
+    #: Candidate wavefronts routed through the vectorized batch solver.
+    batched_wavefronts: int = 0
+    #: Tier evaluations solved through the vectorized batch solver.
+    batched_solves: int = 0
     #: Candidates skipped because a static dominance certificate proved
     #: them no better than a probe that already missed the target.
     dominance_pruned: int = 0
@@ -165,18 +169,27 @@ class _TierSearchBase:
 
     def __init__(self, evaluator: DesignEvaluator,
                  limits: Optional[SearchLimits] = None,
-                 checkpoint=None, runtime=None, prune: bool = False):
+                 checkpoint=None, runtime=None, prune: bool = False,
+                 batcher=None):
         """``prune`` enables static dominance pruning (TierSearch only):
         candidates a :class:`repro.lint.space.PruningCertificate` proves
         no better than an already-infeasible probe are skipped without
         an availability solve.  Sound only for deterministic,
         MTTR-monotone engines (Markov, analytic); callers gate it
-        (see :class:`repro.core.engine.Aved`).  Off by default."""
+        (see :class:`repro.core.engine.Aved`).  Off by default.
+
+        ``batcher`` (a :class:`repro.batch.TierBatcher`, optional)
+        routes each prefetch wavefront through the vectorized stacked
+        solver instead of N scalar solves; results are bit-identical
+        (see ``docs/BATCHING.md``), so enabling it never changes the
+        designed outcome.  Callers gate it on engine support
+        (:func:`repro.batch.batch_target`)."""
         self.evaluator = evaluator
         self.limits = limits or SearchLimits()
         self.stats = SearchStats()
         self.checkpoint = checkpoint
         self.runtime = runtime
+        self.batcher = batcher
         self.prune = bool(prune)
         #: AVD506 provenance, one entry per pruned enumeration group.
         self.pruned_regions: List[PrunedRegion] = []
@@ -272,18 +285,26 @@ class _TierSearchBase:
                              cost_cap: float) -> None:
         """Batch-solve the structures serial evaluation is about to need.
 
-        Only meaningful when the runtime actually fans out
-        (``jobs>1``): every not-yet-cached, not-quarantined structure
-        whose cost clears ``cost_cap`` is dispatched as one pool batch
-        and merged into the availability cache, so the serial decision
-        loop that follows finds pure cache hits.  ``cost_cap`` is the
-        incumbent cost at batch start; since the incumbent only
-        improves, the prefetched set is always a superset of what the
-        serial loop would have evaluated lazily -- speculative work,
-        never missing work.
+        Active when the runtime fans out (``jobs>1``), when a batcher
+        is attached (``--batch``), or both: every not-yet-cached,
+        not-quarantined structure whose cost clears ``cost_cap`` is
+        solved as one wavefront -- dispatched across the pool,
+        vectorized through the stacked solver, or pool-dispatched in
+        shape-grouped chunks that the workers vectorize -- and merged
+        into the availability cache, so the serial decision loop that
+        follows finds pure cache hits.  ``cost_cap`` is the incumbent
+        cost at batch start; since the incumbent only improves, the
+        prefetched set is always a superset of what the serial loop
+        would have evaluated lazily -- speculative work, never missing
+        work.  Batched members whose solve errors are omitted from the
+        merge; if the decision loop actually reaches one it re-solves
+        (and re-raises) through the scalar path, preserving lazy error
+        semantics.
         """
         runtime = self.runtime
-        if runtime is None or not runtime.parallel:
+        parallel = runtime is not None and runtime.parallel
+        batcher = self.batcher
+        if not parallel and batcher is None:
             return
         tasks = []
         seen = set()
@@ -292,38 +313,57 @@ class _TierSearchBase:
                 continue
             key = self._structure_key(design, load)
             if key in self._availability_cache or key in seen \
-                    or runtime.is_quarantined(key):
+                    or (runtime is not None
+                        and runtime.is_quarantined(key)):
                 continue
             seen.add(key)
             tasks.append((key, self.evaluator.tier_model(design, load)))
         if not tasks:
             return
-        # With a persistent tier-evaluation store on a plain cached
-        # engine, probe it before paying for pool dispatch: warm
-        # entries skip the pool entirely.  Stats bookkeeping stays
-        # cache-state-independent (every task counts as an evaluation
-        # and the batch still counts as a batch), so cache-off, cold,
-        # and warm runs report identical search statistics -- part of
-        # the byte-identical-outcome contract.  Probing is only sound
-        # at the top level for a plain cached engine; fallback chains
-        # cache per *rung* (which rung answers is runtime fault
-        # state, not a function of the model).
-        probe = getattr(self.evaluator.engine, "cache_probe", None)
-        merged = {}
-        if probe is not None:
-            remaining = []
-            for key, model in tasks:
-                result = probe(model)
-                if result is not None:
-                    merged[key] = result.unavailability
-                else:
-                    remaining.append((key, model))
-            tasks_to_run = remaining
+        if parallel:
+            # With a persistent tier-evaluation store on a plain cached
+            # engine, probe it before paying for pool dispatch: warm
+            # entries skip the pool entirely.  Stats bookkeeping stays
+            # cache-state-independent (every task counts as an
+            # evaluation and the batch still counts as a batch), so
+            # cache-off, cold, and warm runs report identical search
+            # statistics -- part of the byte-identical-outcome
+            # contract.  Probing is only sound at the top level for a
+            # plain cached engine; fallback chains cache per *rung*
+            # (which rung answers is runtime fault state, not a
+            # function of the model).
+            probe = getattr(self.evaluator.engine, "cache_probe", None)
+            merged = {}
+            if probe is not None:
+                remaining = []
+                for key, model in tasks:
+                    result = probe(model)
+                    if result is not None:
+                        merged[key] = result.unavailability
+                    else:
+                        remaining.append((key, model))
+                tasks_to_run = remaining
+            else:
+                tasks_to_run = tasks
+            if tasks_to_run:
+                grouper = None
+                if batcher is not None:
+                    from ..batch import transport_shape_key
+                    grouper = transport_shape_key
+                merged.update(runtime.evaluate_batch(tasks_to_run,
+                                                     grouper=grouper))
+            self.stats.parallel_batches += 1
+            if batcher is not None:
+                self.stats.batched_wavefronts += 1
+                self.stats.batched_solves += len(tasks_to_run)
         else:
-            tasks_to_run = tasks
-        if tasks_to_run:
-            merged.update(runtime.evaluate_batch(tasks_to_run))
-        self.stats.parallel_batches += 1
+            # Serial batched path.  No cache_probe pre-loop here: the
+            # batcher's solve_outcomes consults the store itself (one
+            # get per model, the same count the scalar warm path
+            # performs), so probing first would double every lookup.
+            merged = batcher.solve_tasks(tasks)
+            self.stats.batched_wavefronts += 1
+            self.stats.batched_solves += len(tasks)
         self.stats.availability_evaluations += len(tasks)
         self._availability_cache.update(merged)
         if self.checkpoint is not None:

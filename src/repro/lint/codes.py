@@ -161,6 +161,16 @@ CODES: Dict[str, CodeInfo] = {
     "AVD709": CodeInfo(Severity.WARNING,
                        "watch journal append failed; watcher continuing "
                        "without durability"),
+    # -- vectorized batch solves (repro.batch) ----------------------------
+    "AVD801": CodeInfo(Severity.INFO,
+                       "engine does not support vectorized batch "
+                       "solves; searching on the scalar path"),
+    "AVD802": CodeInfo(Severity.WARNING,
+                       "stacked solve hit a singular system; group "
+                       "members re-solved on the scalar path"),
+    "AVD803": CodeInfo(Severity.INFO,
+                       "chain not representable by a batched template; "
+                       "re-solved on the scalar path"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

@@ -89,15 +89,37 @@ class ResourceOption:
         self.n_active = n_active
         self.performance = performance
         self.mechanisms: Tuple[MechanismUse, ...] = tuple(mechanisms)
+        self._active_counts: Optional[List[int]] = None
+        self._min_active_cache: Dict[float, Optional[int]] = {}
 
     def active_counts(self) -> List[int]:
-        """Allowed active-resource counts, ascending."""
-        return sorted(int(count) for count in self.n_active.values())
+        """Allowed active-resource counts, ascending.
+
+        The expansion is cached (the range and performance model are
+        fixed at construction) because the search asks for it once per
+        candidate; callers treat the list as read-only.
+        """
+        counts = self._active_counts
+        if counts is None:
+            counts = sorted(int(count) for count in self.n_active.values())
+            self._active_counts = counts
+        return counts
 
     def min_active_for(self, load: float) -> Optional[int]:
         """Smallest allowed count whose failure-free throughput meets
-        ``load``; None if even the largest allowed count falls short."""
-        return self.performance.min_resources(load, self.active_counts())
+        ``load``; None if even the largest allowed count falls short.
+
+        Memoized per load: the perf-curve scan re-evaluates the
+        throughput expression per candidate count, and the search calls
+        this with the same handful of loads thousands of times.
+        """
+        try:
+            return self._min_active_cache[load]
+        except KeyError:
+            result = self.performance.min_resources(load,
+                                                    self.active_counts())
+            self._min_active_cache[load] = result
+            return result
 
     def mechanism_use(self, name: str) -> MechanismUse:
         for use in self.mechanisms:

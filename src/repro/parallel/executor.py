@@ -170,6 +170,50 @@ def _evaluate_candidate(task_id: int, submission: int, model: Any,
     return payload + (worker_obs.tracer.to_dicts(),)
 
 
+def _evaluate_chunk(task_ids: List[int], submissions: List[int],
+                    models: List[Any]) -> List[Tuple[Any, ...]]:
+    """Evaluate a shape-grouped chunk through the vectorized solver.
+
+    Returns one ``(task_id, "ok", value)`` / ``(task_id, "error",
+    detail)`` payload per member, in submission order; like
+    :func:`_evaluate_candidate`, never raises across the pipe.  Chaos
+    faults are consulted per member *before* solving, so a poison
+    member injected by a :class:`~repro.resilience.WorkerFaultPlan`
+    still crashes or hangs the worker exactly as it would alone -- the
+    parent cannot attribute the crash within the chunk, so members are
+    re-run under suspicion until isolation convicts the poison one.
+    """
+    if _WORKER_PLAN is not None:
+        for task_id, submission in zip(task_ids, submissions):
+            action = _WORKER_PLAN.decide(task_id, submission)
+            if action == "crash":
+                os._exit(3)
+            elif action == "hang":
+                time.sleep(_WORKER_PLAN.hang_seconds)
+    from ..batch import batch_target, solve_outcomes
+    target = batch_target(_WORKER_ENGINE)
+    if target is None:
+        # Engine replaced/wrapped since the parent checked (or a test
+        # forced chunking): scalar per member, same payloads.
+        return [_evaluate_candidate(task_id, submission, model)
+                for task_id, submission, model
+                in zip(task_ids, submissions, models)]
+    try:
+        outcomes = solve_outcomes(target, models)
+    except Exception as exc:
+        detail = "%s: %s" % (type(exc).__name__, exc)
+        return [(task_id, "error", detail) for task_id in task_ids]
+    payloads: List[Tuple[Any, ...]] = []
+    for task_id, outcome in zip(task_ids, outcomes):
+        if isinstance(outcome, Exception):
+            payloads.append((task_id, "error", "%s: %s"
+                             % (type(outcome).__name__, outcome)))
+        else:
+            payloads.append((task_id, "ok",
+                             float(outcome.unavailability)))
+    return payloads
+
+
 # ----------------------------------------------------------------------
 # Parent-side supervision.
 # ----------------------------------------------------------------------
@@ -269,12 +313,20 @@ class SupervisedExecutor:
     # Batch evaluation (jobs > 1; falls back inline when the pool dies).
     # ------------------------------------------------------------------
 
-    def run_batch(self, tasks: Sequence[Tuple[tuple, Any]]) \
-            -> List[Tuple[tuple, float]]:
+    def run_batch(self, tasks: Sequence[Tuple[tuple, Any]],
+                  grouper: Any = None) -> List[Tuple[tuple, float]]:
         """Evaluate ``[(key, model), ...]``; deterministic merge out.
 
         Quarantined candidates are absent from the result; the caller
         treats absence via :attr:`quarantine`.
+
+        ``grouper`` (optional, ``model -> hashable``) turns on chunked
+        dispatch: tasks sharing a group key are submitted to one worker
+        as a single chunk, which the worker solves through the
+        vectorized batch core (:mod:`repro.batch`) instead of N scalar
+        solves.  Values are bit-identical either way.  Suspect tasks
+        still run isolated (scalar), and traced runs stay unchunked so
+        per-candidate spans keep their exact shape.
         """
         states: List[_TaskState] = []
         for key, model in tasks:
@@ -295,7 +347,8 @@ class SupervisedExecutor:
                 self._run_inline(pending, results)
                 break
             group = self._next_group(pending)
-            self._run_group(pool, group, pending, results)
+            self._run_group(pool, group, pending, results,
+                            grouper=grouper)
         return merge_results(states, results)
 
     def _next_group(self, pending: Dict[int, _TaskState]) \
@@ -308,17 +361,46 @@ class SupervisedExecutor:
             return [suspects[0]]
         return ordered
 
+    @staticmethod
+    def _shape_chunks(group: List[_TaskState],
+                      grouper: Any) -> List[List[_TaskState]]:
+        """Partition a group by shape key, preserving task order."""
+        buckets: Dict[Any, List[_TaskState]] = {}
+        order: List[Any] = []
+        for state in group:
+            key = grouper(state.model)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(state)
+        return [buckets[key] for key in order]
+
     def _run_group(self, pool: Any, group: List[_TaskState],
                    pending: Dict[int, _TaskState],
-                   results: Dict[int, float]) -> None:
-        futures: Dict[Future, _TaskState] = {}
+                   results: Dict[int, float],
+                   grouper: Any = None) -> None:
+        futures: Dict[Future, List[_TaskState]] = {}
         trace = _obs_current().enabled
+        if grouper is not None and not trace and len(group) > 1:
+            chunks = self._shape_chunks(group, grouper)
+        else:
+            chunks = [[state] for state in group]
         try:
-            for state in group:
-                state.submissions += 1
-                futures[pool.submit(_evaluate_candidate, state.task_id,
-                                    state.submissions, state.model,
-                                    trace)] = state
+            for chunk in chunks:
+                for state in chunk:
+                    state.submissions += 1
+                if len(chunk) == 1:
+                    state = chunk[0]
+                    future = pool.submit(
+                        _evaluate_candidate, state.task_id,
+                        state.submissions, state.model, trace)
+                else:
+                    future = pool.submit(
+                        _evaluate_chunk,
+                        [state.task_id for state in chunk],
+                        [state.submissions for state in chunk],
+                        [state.model for state in chunk])
+                futures[future] = chunk
         except BaseException:
             # submit() itself only fails when the pool is already
             # broken or shut down; treat it like a wholesale crash.
@@ -326,7 +408,7 @@ class SupervisedExecutor:
             return
         self._collect(futures, group, pending, results)
 
-    def _collect(self, futures: Dict[Future, _TaskState],
+    def _collect(self, futures: Dict[Future, List[_TaskState]],
                  group: List[_TaskState],
                  pending: Dict[int, _TaskState],
                  results: Dict[int, float]) -> None:
@@ -338,29 +420,42 @@ class SupervisedExecutor:
                                     if timeout is not None else None),
                            return_when=FIRST_COMPLETED)
             for future in done:
-                state = futures.pop(future)
+                chunk = futures.pop(future)
                 try:
                     payload = future.result()
                 except BrokenProcessPool:
-                    self._pool_crashed(futures, group, pending,
-                                       crashed=state)
+                    self._pool_crashed(futures, group, pending)
                     return
                 except Exception as exc:
-                    # The pool machinery failed for this task alone
-                    # (e.g. the model did not pickle); attributable.
-                    self._attributed_fault(
-                        state, pending, "dispatch failed: %s: %s"
-                        % (type(exc).__name__, exc))
+                    detail = ("dispatch failed: %s: %s"
+                              % (type(exc).__name__, exc))
+                    if len(chunk) == 1:
+                        # The pool machinery failed for this task alone
+                        # (e.g. the model did not pickle); attributable.
+                        self._attributed_fault(chunk[0], pending, detail)
+                    else:
+                        # Which member broke the chunk is unknowable
+                        # here; suspicion (not faults) so innocents
+                        # clear themselves on the isolated re-run.
+                        self._count("chunk-dispatch-failed")
+                        for state in chunk:
+                            state.suspicion += 1
                     continue
-                self._settle(state, payload, pending, results)
+                payloads = (payload if isinstance(payload, list)
+                            else [payload])
+                for state, member_payload in zip(chunk, payloads):
+                    self._settle(state, member_payload, pending, results)
             if timeout is not None and futures:
                 now = time.monotonic()
-                overdue = [
-                    (future, state)
-                    for future, state in futures.items()
-                    if future.running()
-                    and now - running_since.setdefault(state.task_id,
-                                                       now) > timeout]
+                overdue = []
+                for future, chunk in futures.items():
+                    if not future.running():
+                        continue
+                    started = running_since.setdefault(
+                        chunk[0].task_id, now)
+                    # A chunk gets one task budget per member.
+                    if now - started > timeout * len(chunk):
+                        overdue.append((future, chunk))
                 if overdue:
                     self._tasks_hung(overdue, futures, pending)
                     return
@@ -404,10 +499,9 @@ class SupervisedExecutor:
 
     # -- fault paths ----------------------------------------------------
 
-    def _pool_crashed(self, futures: Dict[Future, _TaskState],
+    def _pool_crashed(self, futures: Dict[Future, List[_TaskState]],
                       group: List[_TaskState],
-                      pending: Dict[int, _TaskState],
-                      crashed: Optional[_TaskState] = None) -> None:
+                      pending: Dict[int, _TaskState]) -> None:
         """A worker died and took the pool with it."""
         self._count("pool-break")
         survivors = [state for state in group
@@ -434,21 +528,37 @@ class SupervisedExecutor:
         if self.supervisor is not None:
             self.supervisor.restart("worker crash")
 
-    def _tasks_hung(self, overdue: List[Tuple[Future, _TaskState]],
-                    futures: Dict[Future, _TaskState],
+    def _tasks_hung(self, overdue: List[Tuple[Future, List[_TaskState]]],
+                    futures: Dict[Future, List[_TaskState]],
                     pending: Dict[int, _TaskState]) -> None:
-        """Overdue tasks: attributable; the pool is killed to reclaim
-        the stuck workers, and innocents in flight are just re-run."""
-        for _, state in overdue:
-            self._count("task-timeout")
-            self.log.add(TASK_TIMEOUT, tier=state.tier,
-                         detail="candidate exceeded task timeout "
-                                "%.3fs (submission %d)"
-                         % (self.policy.task_timeout,
-                            state.submissions),
-                         attempt=state.faults + 1)
-            self._attributed_fault(state, pending, "evaluation hung "
-                                   "past the task timeout", logged=True)
+        """Overdue tasks: the pool is killed to reclaim the stuck
+        workers, and innocents in flight are just re-run.  A lone task
+        owns its overrun (attributable fault); within a chunk the
+        culprit is unknowable, so every member is merely suspected and
+        isolation convicts the real one."""
+        for _, chunk in overdue:
+            if len(chunk) == 1:
+                state = chunk[0]
+                self._count("task-timeout")
+                self.log.add(TASK_TIMEOUT, tier=state.tier,
+                             detail="candidate exceeded task timeout "
+                                    "%.3fs (submission %d)"
+                             % (self.policy.task_timeout,
+                                state.submissions),
+                             attempt=state.faults + 1)
+                self._attributed_fault(state, pending,
+                                       "evaluation hung past the task "
+                                       "timeout", logged=True)
+            else:
+                self._count("chunk-timeout")
+                self.log.add(TASK_TIMEOUT,
+                             detail="batched chunk of %d exceeded its "
+                                    "%.3fs budget; re-running members "
+                                    "under suspicion"
+                             % (len(chunk),
+                                self.policy.task_timeout * len(chunk)))
+                for state in chunk:
+                    state.suspicion += 1
         futures.clear()
         if self.supervisor is not None:
             self.supervisor.restart("task timeout")

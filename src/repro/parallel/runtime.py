@@ -77,7 +77,8 @@ class ParallelEvaluationRuntime:
         """
         return self.executor.evaluate_inline(key, model)
 
-    def evaluate_batch(self, tasks: Sequence[Tuple[tuple, Any]]) \
+    def evaluate_batch(self, tasks: Sequence[Tuple[tuple, Any]],
+                       grouper: Any = None) \
             -> List[Tuple[tuple, float]]:
         """Fan a ``[(key, model), ...]`` batch out across the pool.
 
@@ -85,16 +86,21 @@ class ParallelEvaluationRuntime:
         regardless of worker scheduling); quarantined candidates are
         omitted.  With ``jobs=1`` (or a degraded pool) the batch runs
         serially in-process through the same supervision.
+
+        ``grouper`` (``model -> hashable``, optional) enables
+        shape-chunked dispatch: same-group tasks travel to one worker
+        as a chunk the worker solves through the vectorized batch core
+        (see :meth:`SupervisedExecutor.run_batch`).
         """
         if not tasks:
             return []
         self.batches += 1
         obs = _obs_current()
         if not obs.enabled:
-            return self.executor.run_batch(tasks)
+            return self.executor.run_batch(tasks, grouper=grouper)
         with obs.span("parallel-batch", tasks=len(tasks),
                       jobs=self.jobs):
-            merged = self.executor.run_batch(tasks)
+            merged = self.executor.run_batch(tasks, grouper=grouper)
             # Spans recorded inside traced workers come back as dicts;
             # re-parent them (in submission order) under this batch
             # span so the trace shows one tree across processes.

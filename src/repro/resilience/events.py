@@ -50,6 +50,10 @@ WATCH_COLD_SEARCH = "watch-cold-search"
 WATCH_RESUMED = "watch-resumed"
 WATCH_JOURNAL_FAULT = "watch-journal-fault"
 
+BATCH_UNSUPPORTED = "batch-unsupported"
+BATCH_GROUP_FALLBACK = "batch-group-fallback"
+BATCH_MEMBER_DEGRADED = "batch-member-degraded"
+
 EVENT_CODES: Dict[str, str] = {
     FALLBACK: "AVD301",
     BREAKER_OPEN: "AVD302",
@@ -79,6 +83,9 @@ EVENT_CODES: Dict[str, str] = {
     WATCH_COLD_SEARCH: "AVD707",
     WATCH_RESUMED: "AVD708",
     WATCH_JOURNAL_FAULT: "AVD709",
+    BATCH_UNSUPPORTED: "AVD801",
+    BATCH_GROUP_FALLBACK: "AVD802",
+    BATCH_MEMBER_DEGRADED: "AVD803",
 }
 
 

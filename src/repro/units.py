@@ -369,13 +369,19 @@ class ArithmeticRange(ValueRange):
         self.step = step
 
     def values(self) -> List[float]:
-        out = []
-        value = self.start
-        # Tolerate float drift on the final step.
-        while value <= self.stop + 1e-9:
-            out.append(int(value) if float(value).is_integer() else value)
-            value += self.step
-        return out
+        # Endpoints are immutable after construction, so the expansion
+        # is computed once; a copy keeps callers free to mutate.
+        cached = getattr(self, "_values", None)
+        if cached is None:
+            cached = []
+            value = self.start
+            # Tolerate float drift on the final step.
+            while value <= self.stop + 1e-9:
+                cached.append(int(value)
+                              if float(value).is_integer() else value)
+                value += self.step
+            self._values = cached
+        return list(cached)
 
     def __contains__(self, value) -> bool:
         if value < self.start - 1e-9 or value > self.stop + 1e-9:
@@ -411,15 +417,18 @@ class GeometricRange(ValueRange):
         self.factor = factor
 
     def values(self) -> List[Duration]:
-        out = []
-        seconds = self.start.as_seconds
-        stop = self.stop.as_seconds
-        while seconds <= stop * (1.0 + 1e-12):
-            out.append(Duration(seconds))
-            seconds *= self.factor
-        if not out or out[-1].as_seconds < stop * (1.0 - 1e-12):
-            out.append(Duration(stop))
-        return out
+        cached = getattr(self, "_values", None)
+        if cached is None:
+            cached = []
+            seconds = self.start.as_seconds
+            stop = self.stop.as_seconds
+            while seconds <= stop * (1.0 + 1e-12):
+                cached.append(Duration(seconds))
+                seconds *= self.factor
+            if not cached or cached[-1].as_seconds < stop * (1.0 - 1e-12):
+                cached.append(Duration(stop))
+            self._values = cached
+        return list(cached)
 
     def __len__(self) -> int:
         return len(self.values())

@@ -159,3 +159,66 @@ class TestDotExport:
                            highlight=lambda s: s == "down")
         assert "UP" in dot and "DOWN" in dot
         assert dot.count("style=filled") == 1
+
+
+class TestDegradedDenseSolve:
+    """The lstsq fallback: noted, attributable, and error-chained."""
+
+    def _failing_solve(self, monkeypatch):
+        import numpy as np
+        calls = {"n": 0}
+
+        def refuse(*args, **kwargs):
+            calls["n"] += 1
+            raise np.linalg.LinAlgError("Singular matrix")
+        monkeypatch.setattr(np.linalg, "solve", refuse)
+        return calls
+
+    def test_fallback_is_noted_for_provenance(self, monkeypatch):
+        self._failing_solve(monkeypatch)
+        chain = two_state(0.01, 2.0)
+        pi = chain.steady_state()
+        assert pi["down"] == pytest.approx(0.01 / 2.01, rel=1e-9)
+        assert len(chain.solve_notes) == 1
+        assert "least squares" in chain.solve_notes[0]
+        assert "Singular matrix" in chain.solve_notes[0]
+
+    def test_healthy_solve_leaves_no_notes(self):
+        chain = two_state(0.01, 2.0)
+        chain.steady_state()
+        assert chain.solve_notes == []
+
+    def test_failing_lstsq_chains_the_original_error(self, monkeypatch):
+        import numpy as np
+        self._failing_solve(monkeypatch)
+
+        def lstsq_refuses(*args, **kwargs):
+            raise np.linalg.LinAlgError("lstsq did not converge")
+        monkeypatch.setattr(np.linalg, "lstsq", lstsq_refuses)
+        chain = two_state(0.01, 2.0)
+        with pytest.raises(np.linalg.LinAlgError,
+                           match="did not converge") as excinfo:
+            chain.steady_state()
+        # The singular direct solve is the attributable root cause.
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, np.linalg.LinAlgError)
+        assert "Singular matrix" in str(cause)
+
+    def test_markov_attaches_degradation_provenance(self, monkeypatch):
+        """A degraded mode solve surfaces as EngineProvenance on the
+        TierResult, so outcomes (and the cache) can attribute it."""
+        self._failing_solve(monkeypatch)
+        from repro.availability import (FailureModeEntry,
+                                        TierAvailabilityModel)
+        from repro.availability.markov import evaluate_tier
+        from repro.units import Duration
+        model = TierAvailabilityModel(
+            "app", n=2, m=1, s=0,
+            modes=(FailureModeEntry("hard", Duration.days(60),
+                                    Duration.hours(8),
+                                    Duration.minutes(4)),))
+        result = evaluate_tier(model)
+        assert result.provenance is not None
+        assert result.provenance.engine == "markov"
+        assert "least squares" in result.provenance.cause
+        assert "hard" in result.provenance.cause

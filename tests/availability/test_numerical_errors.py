@@ -22,7 +22,7 @@ def tier_model(name="app", n=3, m=2, s=1):
 
 class TestNumericalErrorWrapping:
     def test_linalg_error_wrapped(self, monkeypatch):
-        def explode(model, mode):
+        def explode(model, mode, notes=None):
             raise np.linalg.LinAlgError("singular matrix")
         monkeypatch.setattr(markov, "evaluate_mode", explode)
         with pytest.raises(NumericalError) as excinfo:
@@ -35,28 +35,28 @@ class TestNumericalErrorWrapping:
         assert "singular matrix" in str(error)
 
     def test_floating_point_error_wrapped(self, monkeypatch):
-        def explode(model, mode):
+        def explode(model, mode, notes=None):
             raise FloatingPointError("overflow encountered")
         monkeypatch.setattr(markov, "evaluate_mode", explode)
         with pytest.raises(NumericalError, match="floating-point"):
             markov.evaluate_tier(tier_model())
 
     def test_out_of_range_mode_result_rejected(self, monkeypatch):
-        def garbage(model, mode):
+        def garbage(model, mode, notes=None):
             return ModeResult(mode.name, 1.5, 0.1, False)
         monkeypatch.setattr(markov, "evaluate_mode", garbage)
         with pytest.raises(NumericalError, match="outside"):
             markov.evaluate_tier(tier_model())
 
     def test_nan_mode_result_rejected(self, monkeypatch):
-        def garbage(model, mode):
+        def garbage(model, mode, notes=None):
             return ModeResult(mode.name, float("nan"), 0.1, False)
         monkeypatch.setattr(markov, "evaluate_mode", garbage)
         with pytest.raises(NumericalError):
             markov.evaluate_tier(tier_model())
 
     def test_non_finite_failure_rate_rejected(self, monkeypatch):
-        def garbage(model, mode):
+        def garbage(model, mode, notes=None):
             return ModeResult(mode.name, 1e-4, float("inf"), False)
         monkeypatch.setattr(markov, "evaluate_mode", garbage)
         with pytest.raises(NumericalError, match="failure rate"):

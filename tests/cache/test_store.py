@@ -81,11 +81,30 @@ class TestRoundTrip:
         assert first is not second
         assert first.mode_results is not second.mode_results
 
-    def test_provenance_is_not_persisted(self, tmp_path):
+    def test_engine_provenance_round_trips(self, tmp_path):
+        """Provenance the engine itself attached (e.g. the Markov
+        solver noting a least-squares degradation) is persisted, so a
+        warm hit reproduces the cold result exactly."""
+        from repro.availability.model import EngineProvenance
         store = TierEvaluationStore(str(tmp_path / "c"))
         model = tier_model()
         result = solve(model)
-        object.__setattr__(result, "provenance", "scribbled")
+        object.__setattr__(
+            result, "provenance",
+            EngineProvenance(engine="markov",
+                             cause="dense solve degraded to least "
+                                   "squares (Singular matrix)"))
+        store.put(ENGINE_ID, model, result)
+        cached = store.get(ENGINE_ID, model)
+        assert cached.provenance is not None
+        assert cached.provenance.engine == "markov"
+        assert "least squares" in cached.provenance.cause
+
+    def test_absent_provenance_stays_absent(self, tmp_path):
+        store = TierEvaluationStore(str(tmp_path / "c"))
+        model = tier_model()
+        result = solve(model)
+        assert result.provenance is None
         store.put(ENGINE_ID, model, result)
         assert store.get(ENGINE_ID, model).provenance is None
 

@@ -190,6 +190,37 @@ class TestWorkerCrashFaults:
         assert "AVD402" in codes
 
 
+class TestWorkerCrashFaultsBatched:
+    """The same process chaos with the vectorized batch transport on
+    (candidates ride to workers in shape chunks).  The fine-grained
+    chunk-fault battery lives in tests/batch/test_chunk_faults.py;
+    this leg keeps the end-to-end chaos claim honest in both modes."""
+
+    def test_thirty_percent_worker_crashes_reproduce_design(
+            self, paper_infra, ecommerce, fault_free):
+        plan = WorkerFaultPlan(seed=7, fault_rate=0.3,
+                               max_faults_per_task=1)
+        engine = Aved(paper_infra, ecommerce)
+        runtime = ParallelEvaluationRuntime(
+            engine.evaluator.engine, jobs=2, worker_plan=plan,
+            policy=ParallelPolicy(
+                task_retries=2,
+                backoff=FallbackPolicy(backoff_base=0.0)))
+        batched = Aved(paper_infra, ecommerce, parallel=runtime,
+                       batch=True)
+        try:
+            outcome = batched.design(REQUIREMENTS)
+        finally:
+            runtime.close()
+        assert outcome.evaluation.design.describe() == \
+            fault_free.evaluation.design.describe()
+        assert outcome.annual_cost == fault_free.annual_cost
+        assert outcome.stats.quarantined == 0
+        codes = {d.code for d in outcome.degradation}
+        assert "AVD403" in codes
+        assert "AVD402" not in codes
+
+
 class TestCheckpointResume:
     def test_killed_search_resumes_to_same_design(
             self, tmp_path, paper_infra, app_tier_service):

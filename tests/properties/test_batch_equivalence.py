@@ -1,0 +1,146 @@
+"""Differential property suite: batched solves == scalar solves.
+
+Hypothesis drives random tier models through :func:`solve_models` and
+the scalar :func:`evaluate_tier` and requires *repr-level* float
+equality -- the batched path's claim is bit-identity, not closeness.
+Covers singleton batches, mixed-shape batches, duplicate chains, the
+chain memo, and the degraded lstsq corner (where both paths fall back
+and must still agree).
+"""
+
+from unittest import mock
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import (FailureModeEntry, MarkovEngine,
+                                TierAvailabilityModel, TierResult)
+from repro.availability.markov import evaluate_tier
+from repro.batch import solve_models
+from repro.units import Duration
+
+mtbf_days = st.floats(min_value=5.0, max_value=2000.0, allow_nan=False)
+mttr_hours = st.floats(min_value=0.05, max_value=100.0, allow_nan=False)
+failover_minutes = st.floats(min_value=0.1, max_value=60.0,
+                             allow_nan=False)
+
+
+@st.composite
+def failure_modes(draw, name="hard", allow_instant=True):
+    if allow_instant and draw(st.booleans()) and draw(st.booleans()):
+        # The instant-repair closed form (mttr == 0, no failover).
+        return FailureModeEntry(
+            name, Duration.days(draw(mtbf_days)), Duration.ZERO,
+            Duration.ZERO)
+    return FailureModeEntry(
+        name,
+        Duration.days(draw(mtbf_days)),
+        Duration.hours(draw(mttr_hours)),
+        Duration.minutes(draw(failover_minutes)),
+        spare_susceptible=draw(st.booleans()))
+
+
+@st.composite
+def tier_models(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=n))
+    s = draw(st.integers(min_value=0, max_value=3))
+    crew = draw(st.one_of(st.none(),
+                          st.integers(min_value=1, max_value=n + s)))
+    mode_count = draw(st.integers(min_value=1, max_value=3))
+    modes = tuple(draw(failure_modes(name="mode%d" % k))
+                  for k in range(mode_count))
+    return TierAvailabilityModel("t", n=n, m=m, s=s, modes=modes,
+                                 repair_crew=crew)
+
+
+def canonical(result):
+    return (repr(result.unavailability),
+            tuple((m.mode, repr(m.unavailability),
+                   repr(m.failures_per_year), m.used_failover)
+                  for m in result.mode_results))
+
+
+def assert_equivalent(models, **kwargs):
+    outcomes = solve_models(models, **kwargs)
+    for model, outcome in zip(models, outcomes):
+        try:
+            scalar = evaluate_tier(model)
+        except Exception as scalar_exc:
+            assert isinstance(outcome, Exception)
+            assert type(outcome) is type(scalar_exc)
+            continue
+        assert isinstance(outcome, TierResult), outcome
+        assert canonical(outcome) == canonical(scalar)
+
+
+class TestSingletonBatches:
+    @given(tier_models())
+    @settings(max_examples=80, deadline=None)
+    def test_single_model_bit_identical(self, model):
+        assert_equivalent([model])
+
+    @given(tier_models())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_engine_entry_point(self, model):
+        """The batched value equals MarkovEngine().evaluate_tier too
+        (the engine is a thin wrapper, but it is what the search sees)."""
+        outcome, = solve_models([model])
+        engine_result = MarkovEngine().evaluate_tier(model)
+        assert repr(outcome.unavailability) == \
+            repr(engine_result.unavailability)
+
+
+class TestMixedShapeBatches:
+    @given(st.lists(tier_models(max_n=6), min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_bit_identical(self, models):
+        assert_equivalent(models)
+
+    @given(tier_models(max_n=6),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicated_models_agree(self, model, copies):
+        """Identical chains deduped within a batch still produce the
+        scalar bits for every copy."""
+        assert_equivalent([model] * copies)
+
+    @given(st.lists(tier_models(max_n=6), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_memo_across_calls(self, models):
+        """A second call served from the persistent chain memo equals
+        a fresh scalar solve of the same models."""
+        memo: dict = {}
+        solve_models(models, chain_cache=memo)
+        assert_equivalent(models, chain_cache=memo)
+
+
+class TestDegradedSolves:
+    @given(st.lists(tier_models(max_n=5), min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_lstsq_fallback_path_agrees(self, models):
+        """With the direct LU solve refusing service, the batched
+        ladder lands on the scalar path, whose own lstsq fallback is
+        the baseline -- outcomes must still match exactly."""
+        real_solve = np.linalg.solve
+
+        def refusing(*args, **kwargs):
+            raise np.linalg.LinAlgError("injected singularity")
+
+        with mock.patch.object(np.linalg, "solve", refusing):
+            outcomes = solve_models(models)
+            scalars = []
+            for model in models:
+                try:
+                    scalars.append(evaluate_tier(model))
+                except Exception as exc:
+                    scalars.append(exc)
+        assert np.linalg.solve is real_solve  # patch released
+        for outcome, scalar in zip(outcomes, scalars):
+            if isinstance(scalar, Exception):
+                assert isinstance(outcome, Exception)
+                assert type(outcome) is type(scalar)
+            else:
+                assert canonical(outcome) == canonical(scalar)
