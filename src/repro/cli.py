@@ -10,9 +10,10 @@ Subcommands::
     python -m repro lint      [--format json] [--strict] [--space] [...]
     python -m repro profile   --load 1000 --downtime 100m [model options]
     python -m repro cache     stats|verify|purge [DIR]
-    python -m repro serve     --data-dir state/ [--port 8080]
+    python -m repro serve     --data-dir state/ [--port 8080] [--map M]
     python -m repro watch     --tier T --load X --downtime 100m \
                               --telemetry stream.jsonl [model options]
+    python -m repro map       build|serve|status [options]
 
 Model options: ``--infrastructure FILE`` and ``--service FILE`` load
 spec documents (``--perf-dir DIR`` resolves their ``.dat`` references);
@@ -252,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--watch-paper", action="store_true",
                        help="watch the paper's e-commerce model "
                             "instead of spec files")
+    serve.add_argument("--map", metavar="FILE", default=None,
+                       help="also serve a precomputed requirement-"
+                            "space map (repro map build) at "
+                            "GET /v1/map; reloaded when the file "
+                            "changes (see docs/GRID.md)")
 
     watch = subparsers.add_parser(
         "watch", help="run the drift-aware continuous redesign loop: "
@@ -332,6 +338,112 @@ def build_parser() -> argparse.ArgumentParser:
     # journaled redesign-start and redesign-done.
     watch.add_argument("--test-redesign-delay", type=float,
                        default=None, help=argparse.SUPPRESS)
+
+    map_parser = subparsers.add_parser(
+        "map", help="build, inspect, or serve a sharded fault-tolerant "
+                    "requirement-space map: one Pareto frontier per "
+                    "grid load, journaled so kill -9 resumes, served "
+                    "without search (see docs/GRID.md)")
+    map_actions = map_parser.add_subparsers(dest="action", required=True)
+
+    map_build = map_actions.add_parser(
+        "build", help="compute the map shard by shard under per-shard "
+                      "leases; finished shards are journaled and a "
+                      "restarted build reuses them exactly once")
+    _add_model_options(map_build)
+    map_build.add_argument("--tier", required=True,
+                           help="tier the map covers")
+    map_build.add_argument("--loads", required=True,
+                           metavar="L1,L2,... | START:STOP:STEP",
+                           help="the load grid: comma-separated "
+                                "values, or an inclusive range like "
+                                "500:3000:500")
+    map_build.add_argument("--out", required=True, metavar="PATH",
+                           help="write the canonical map JSON here")
+    map_build.add_argument("--shard-size", type=int, default=4,
+                           metavar="N",
+                           help="grid loads per shard (default: 4); "
+                                "any partition builds the "
+                                "byte-identical map")
+    map_build.add_argument("--journal", metavar="PATH",
+                           help="crash journal: a killed build "
+                                "resumes with every finished shard "
+                                "reused exactly once")
+    map_build.add_argument("--lease-seconds", type=float, default=300.0,
+                           metavar="SECONDS",
+                           help="wall-clock budget of one shard "
+                                "attempt (cooperative; default: 300)")
+    map_build.add_argument("--shard-retries", type=int, default=2,
+                           metavar="N",
+                           help="whole-shard faults tolerated before "
+                                "the shard is isolated cell by cell "
+                                "(default: 2)")
+    map_build.add_argument("--cell-retries", type=int, default=2,
+                           metavar="N",
+                           help="isolated-cell faults tolerated "
+                                "before the cell is convicted as "
+                                "poison and excluded (default: 2)")
+    map_build.add_argument("--max-redundancy", type=int, default=8)
+    map_build.add_argument("--spare-policy",
+                           choices=["cold", "hot", "all"],
+                           default="cold")
+    map_build.add_argument("--fix", action="append", default=[],
+                           metavar="MECH.PARAM=VALUE")
+    map_build.add_argument("--engine",
+                           choices=["markov", "analytic", "simulation",
+                                    "fallback"],
+                           default="markov")
+    map_build.add_argument("--seed", type=int, default=1, metavar="N")
+    map_build.add_argument("--repair-crew", type=int, default=None,
+                           metavar="N")
+    map_build.add_argument("--cache", metavar="DIR", default=None,
+                           help="shared tier-evaluation store: warm "
+                                "grid points reuse neighboring solves "
+                                "across shards, restarts, and builds "
+                                "(default: REPRO_CACHE, else off)")
+    map_build.add_argument("--cache-verify", action="store_true")
+    map_build.add_argument("--json", action="store_true",
+                           help="emit the final MAP_STATUS_SCHEMA "
+                                "document instead of a summary line")
+    # Chaos-harness hooks for the grid soak tests: seeded shard fault
+    # storms, poison cells, and a mid-build kill.
+    map_build.add_argument("--test-fault-rate", type=float,
+                           default=None, help=argparse.SUPPRESS)
+    map_build.add_argument("--test-fault-seed", type=int, default=0,
+                           help=argparse.SUPPRESS)
+    map_build.add_argument("--test-kill-after-shards", type=int,
+                           default=None, help=argparse.SUPPRESS)
+    map_build.add_argument("--test-poison-load", type=float,
+                           action="append", default=[],
+                           help=argparse.SUPPRESS)
+
+    map_status = map_actions.add_parser(
+        "status", help="report a map's coverage and its journal's "
+                       "build state as JSON (MAP_STATUS_SCHEMA); "
+                       "exits 0 only when the map is complete")
+    map_status.add_argument("--map", required=True, metavar="FILE",
+                            help="the map JSON a build wrote")
+    map_status.add_argument("--journal", metavar="PATH", default=None,
+                            help="also replay the build journal "
+                                 "(requires --tier and --loads to "
+                                 "identify the grid)")
+    map_status.add_argument("--tier", default=None)
+    map_status.add_argument("--loads", default=None,
+                            metavar="L1,L2,... | START:STOP:STEP")
+
+    map_serve = map_actions.add_parser(
+        "serve", help="serve a map over HTTP: GET /v1/map answers "
+                      "(load, downtime) lookups from the file without "
+                      "search, 503 when the region is unbuilt")
+    map_serve.add_argument("--map", required=True, metavar="FILE")
+    map_serve.add_argument("--data-dir", required=True, metavar="DIR")
+    map_serve.add_argument("--host", default="127.0.0.1")
+    map_serve.add_argument("--port", type=int, default=0,
+                           help="0 picks an ephemeral port, advertised "
+                                "in <data-dir>/endpoint.json")
+    map_serve.add_argument("--workers", type=int, default=2)
+    map_serve.add_argument("--io-timeout", type=float, default=10.0,
+                           metavar="SECONDS")
 
     return parser
 
@@ -954,7 +1066,8 @@ def cmd_serve(args, out) -> int:
         watch_interval=args.watch_interval,
         watch_infrastructure=args.watch_infrastructure,
         watch_service=args.watch_service,
-        watch_paper=args.watch_paper)
+        watch_paper=args.watch_paper,
+        map_path=args.map)
     daemon = DesignDaemon(config)
     print("serving on %s (data dir %s)" % (daemon.url, args.data_dir),
           file=out)
@@ -1046,6 +1159,147 @@ def cmd_watch(args, out) -> int:
     return 0 if status["incumbent"] is not None else 2
 
 
+def _parse_loads(text: str) -> tuple:
+    """``--loads``: comma-separated values or START:STOP:STEP."""
+    text = (text or "").strip()
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise AvedError("--loads range must be START:STOP:STEP, "
+                            "got %r" % text)
+        try:
+            start, stop, step = (float(part) for part in parts)
+        except ValueError:
+            raise AvedError("--loads range values must be numbers, "
+                            "got %r" % text)
+        if step <= 0:
+            raise AvedError("--loads range STEP must be positive")
+        if stop < start:
+            raise AvedError("--loads range STOP must be >= START")
+        loads = []
+        value = start
+        while value <= stop * (1 + 1e-12) + 1e-12:
+            loads.append(value)
+            value = start + step * len(loads)
+        return tuple(loads)
+    try:
+        loads = tuple(float(part) for part in text.split(",")
+                      if part.strip())
+    except ValueError:
+        raise AvedError("--loads must be comma-separated numbers or a "
+                        "START:STOP:STEP range, got %r" % text)
+    if not loads:
+        raise AvedError("--loads is empty")
+    return loads
+
+
+def cmd_map(args, out) -> int:
+    if args.action == "build":
+        return _cmd_map_build(args, out)
+    if args.action == "status":
+        return _cmd_map_status(args, out)
+    return _cmd_map_serve(args, out)
+
+
+def _cmd_map_build(args, out) -> int:
+    """Build (or resume) a sharded requirement-space map.
+
+    Exit codes: 0 = complete map written, 2 = partial map written
+    (convicted cells excluded), 130 = interrupted (the journal makes
+    re-running the same command resume, reusing finished shards).
+    """
+    import json
+    from .core.serialize import requirement_map_to_json
+    from .grid import (GridBuildInterrupted, GridBuilder, GridFaultPlan,
+                       GridPolicy, GridSpec)
+    infrastructure, service = load_models(args)
+    evaluator = DesignEvaluator(infrastructure, service,
+                                engine=make_engine(args),
+                                repair_crew=args.repair_crew)
+    cache, cache_verify = resolve_cache(args)
+    if cache is not None:
+        from .cache import TierEvaluationStore, attach_cache
+        store = TierEvaluationStore(str(cache))
+        if cache_verify and store.verify_sample <= 0:
+            store.verify_sample = 8
+        evaluator.engine = attach_cache(evaluator.engine, store)
+    spec = GridSpec(args.tier, _parse_loads(args.loads),
+                    shard_size=args.shard_size)
+    policy = GridPolicy(lease_seconds=args.lease_seconds,
+                        shard_retries=args.shard_retries,
+                        cell_retries=args.cell_retries,
+                        seed=args.seed)
+    fault_plan = None
+    if (args.test_fault_rate is not None
+            or args.test_kill_after_shards is not None
+            or args.test_poison_load):
+        fault_plan = GridFaultPlan(
+            seed=args.test_fault_seed,
+            fault_rate=(args.test_fault_rate
+                        if args.test_fault_rate is not None else 0.0),
+            poison_loads=frozenset(args.test_poison_load),
+            kill_after_shards=args.test_kill_after_shards)
+    builder = GridBuilder(evaluator, spec, limits=make_limits(args),
+                          journal_path=args.journal, policy=policy,
+                          fault_plan=fault_plan)
+    try:
+        with _interruptible(True):
+            space_map = builder.build()
+    except GridBuildInterrupted as exc:
+        print("build interrupted: %s" % exc, file=out)
+        if args.journal:
+            print("finished shards are journaled; re-run the same "
+                  "command to resume", file=out)
+        return 130
+    _write_json(args.out, requirement_map_to_json(space_map))
+    status = builder.status()
+    status["map_path"] = args.out
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    else:
+        shards = status["shards"]
+        print("map %s: tier %r, %d/%d loads built (%d shard(s), "
+              "%d reused, %d fault(s), %d convicted cell(s)) -> %s"
+              % (status["state"], spec.tier, status["loads_built"],
+                 status["loads_total"], shards["total"],
+                 shards["reused"], shards["faults"],
+                 len(status["convicted_cells"]), args.out), file=out)
+        for cell in status["convicted_cells"]:
+            print("  convicted: load %g (%s)"
+                  % (cell["load"], cell["reason"]), file=out)
+    return 0 if status["state"] == "complete" else 2
+
+
+def _cmd_map_status(args, out) -> int:
+    import json
+    from .grid import GridSpec, served_status
+    grid_key = None
+    if args.journal:
+        if not (args.tier and args.loads):
+            raise AvedError("--journal requires --tier and --loads to "
+                            "identify the grid")
+        grid_key = GridSpec(args.tier, _parse_loads(args.loads)).key()
+    status, code = served_status(args.map, args.journal, grid_key)
+    print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    return code
+
+
+def _cmd_map_serve(args, out) -> int:
+    """A map-serving daemon: the full service with a map mounted."""
+    from .serve import DesignDaemon, ServeConfig
+    config = ServeConfig(data_dir=args.data_dir, host=args.host,
+                         port=args.port, workers=args.workers,
+                         io_timeout=args.io_timeout,
+                         map_path=args.map)
+    daemon = DesignDaemon(config)
+    print("serving map %s on %s (data dir %s)"
+          % (args.map, daemon.url, args.data_dir), file=out)
+    out.flush()
+    code = daemon.run(install_signals=True)
+    print("drained; exiting %d" % code, file=out)
+    return code
+
+
 def cmd_describe(args, out) -> int:
     from .core.report import describe_infrastructure, describe_service
     infrastructure, service = load_models(args)
@@ -1066,6 +1320,7 @@ _COMMANDS = {
     "cache": cmd_cache,
     "serve": cmd_serve,
     "watch": cmd_watch,
+    "map": cmd_map,
 }
 
 

@@ -355,6 +355,7 @@ SERVE_HEALTH_SCHEMA: Dict[str, Any] = {
         "service_estimate_seconds": {"type": "number", "minimum": 0},
         "cache": {"type": ["object", "null"]},
         "watch": {"type": ["object", "null"]},
+        "map": {"type": ["object", "null"]},
         "ready": {"type": "boolean"},
     },
 }
@@ -522,6 +523,66 @@ WATCH_STATUS_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: ``repro map status --json`` / the ``map`` member of ``/healthz`` --
+#: the requirement-space map build/serve status document
+#: (:meth:`repro.grid.MapService.status` and
+#: :meth:`repro.grid.GridBuilder.status`).
+MAP_STATUS_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["tier", "state", "coverage", "loads_total",
+                 "loads_built", "shards", "journal"],
+    "properties": {
+        "tier": {"type": "string", "minLength": 1},
+        "state": {"enum": ["missing", "building", "partial",
+                           "complete"]},
+        "coverage": {"type": "number", "minimum": 0, "maximum": 1},
+        "loads_total": {"type": "integer", "minimum": 0},
+        "loads_built": {"type": "integer", "minimum": 0},
+        "shards": {
+            "type": "object",
+            "required": ["total", "done", "pending"],
+            "properties": {
+                "total": {"type": "integer", "minimum": 0},
+                "done": {"type": "integer", "minimum": 0},
+                "pending": {"type": "integer", "minimum": 0},
+                "reused": {"type": "integer", "minimum": 0},
+                "faults": {"type": "integer", "minimum": 0},
+                "isolated": {"type": "integer", "minimum": 0},
+                "reclaimed_leases": {"type": "integer", "minimum": 0},
+            },
+        },
+        "convicted_cells": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["load", "reason"],
+                "properties": {
+                    "load": {"type": "number"},
+                    "reason": {"type": "string"},
+                },
+            },
+        },
+        "journal": {
+            "type": "object",
+            "required": ["enabled", "degraded", "appends"],
+            "properties": {
+                "enabled": {"type": "boolean"},
+                "degraded": {"type": "boolean"},
+                "appends": {"type": "integer", "minimum": 0},
+            },
+        },
+        "resumed": {"type": "boolean"},
+        "map_path": {"type": ["string", "null"]},
+        "map_age_seconds": {"type": ["number", "null"]},
+        "format_version": {"type": "integer", "minimum": 1},
+        "lookups": {"type": "integer", "minimum": 0},
+        "degradations": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0}},
+    },
+}
+
 CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "design-json": DESIGN_EVALUATION_SCHEMA,
     "lint-json": LINT_REPORT_SCHEMA,
@@ -534,6 +595,7 @@ CLI_SCHEMAS: Dict[str, Dict[str, Any]] = {
     "serve-shed": SERVE_SHED_SCHEMA,
     "cache-status": CACHE_STATUS_SCHEMA,
     "watch-status": WATCH_STATUS_SCHEMA,
+    "map-status": MAP_STATUS_SCHEMA,
 }
 
 __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
@@ -541,4 +603,5 @@ __all__ = ["DESIGN_EVALUATION_SCHEMA", "LINT_REPORT_SCHEMA",
            "METRICS_SNAPSHOT_SCHEMA", "TRACE_SCHEMA",
            "BENCH_RECORD_SCHEMA", "SERVE_JOB_SCHEMA",
            "SERVE_HEALTH_SCHEMA", "SERVE_SHED_SCHEMA",
-           "CACHE_STATUS_SCHEMA", "WATCH_STATUS_SCHEMA", "CLI_SCHEMAS"]
+           "CACHE_STATUS_SCHEMA", "WATCH_STATUS_SCHEMA",
+           "MAP_STATUS_SCHEMA", "CLI_SCHEMAS"]

@@ -17,6 +17,12 @@ from ..model import InfrastructureModel, MechanismConfig
 from ..units import Duration
 from .design import Design, EvaluatedTierDesign, TierDesign
 from .evaluation import DesignEvaluation
+from .families import DesignFamily
+from .frontier import FrontierPoint, RequirementSpaceMap
+
+#: Version stamp of the canonical requirement-space map JSON form.
+#: Bump when the structure changes; readers reject other versions.
+MAP_FORMAT_VERSION = 1
 
 
 def _setting_to_json(value):
@@ -139,6 +145,112 @@ def design_to_json(design: Design, indent: int = 2) -> str:
 def design_from_json(text: str,
                      infrastructure: InfrastructureModel) -> Design:
     return design_from_dict(json.loads(text), infrastructure)
+
+
+def family_to_dict(family: DesignFamily) -> Dict:
+    """Serialize a Fig. 6 design family signature."""
+    return {
+        "resource": family.resource,
+        "contract": family.contract,
+        "n_extra": family.n_extra,
+        "n_spare": family.n_spare,
+        "spare_level": list(family.spare_level),
+    }
+
+
+def family_from_dict(data: Dict) -> DesignFamily:
+    try:
+        return DesignFamily(
+            resource=data["resource"],
+            contract=data["contract"],
+            n_extra=int(data["n_extra"]),
+            n_spare=int(data["n_spare"]),
+            spare_level=tuple(data.get("spare_level", ())))
+    except KeyError as exc:
+        raise ModelError("family dict missing field %s" % exc)
+
+
+def frontier_point_to_dict(point: FrontierPoint) -> Dict:
+    """Serialize one Pareto-optimal design at one load level."""
+    return {
+        "load": point.load,
+        "n_min": point.n_min,
+        "family": family_to_dict(point.family),
+        "downtime_minutes": point.downtime_minutes,
+        "annual_cost": point.annual_cost,
+        "design": evaluated_tier_design_to_dict(point.design),
+    }
+
+
+def frontier_point_from_dict(data: Dict,
+                             infrastructure: InfrastructureModel) \
+        -> FrontierPoint:
+    try:
+        return FrontierPoint(
+            load=float(data["load"]),
+            n_min=int(data["n_min"]),
+            family=family_from_dict(data["family"]),
+            downtime_minutes=float(data["downtime_minutes"]),
+            annual_cost=float(data["annual_cost"]),
+            design=evaluated_tier_design_from_dict(data["design"],
+                                                   infrastructure))
+    except KeyError as exc:
+        raise ModelError("frontier point dict missing field %s" % exc)
+
+
+def requirement_map_to_dict(space_map: RequirementSpaceMap) -> Dict:
+    """The versioned canonical dict form of a requirement-space map.
+
+    Points are emitted in a canonical order -- ascending load, then
+    descending downtime, then ascending cost -- independent of the
+    order the builder produced them in, so any two builds of the same
+    map (sharded, resumed, fault-ridden, or not) serialize to the same
+    bytes.  That order is what the grid's byte-identity assertions and
+    the chaos soak compare.
+    """
+    ordered = sorted(
+        space_map.points,
+        key=lambda p: (p.load, -p.downtime_minutes, p.annual_cost))
+    return {
+        "version": MAP_FORMAT_VERSION,
+        "tier": space_map.tier,
+        "loads": list(space_map.loads),
+        "points": [frontier_point_to_dict(point) for point in ordered],
+    }
+
+
+def requirement_map_from_dict(data: Dict,
+                              infrastructure: InfrastructureModel) \
+        -> RequirementSpaceMap:
+    version = data.get("version")
+    if version != MAP_FORMAT_VERSION:
+        raise ModelError("unsupported requirement map version %r "
+                         "(expected %d)" % (version, MAP_FORMAT_VERSION))
+    try:
+        points = tuple(frontier_point_from_dict(entry, infrastructure)
+                       for entry in data["points"])
+        return RequirementSpaceMap(
+            tier=data["tier"],
+            loads=tuple(float(load) for load in data["loads"]),
+            points=points)
+    except KeyError as exc:
+        raise ModelError("requirement map dict missing field %s" % exc)
+
+
+def requirement_map_to_json(space_map: RequirementSpaceMap) -> str:
+    """The canonical JSON text: sorted keys, compact separators.
+
+    This exact byte form is the unit of comparison for the grid's
+    fault-convergence guarantees; always serialize maps through here.
+    """
+    return json.dumps(requirement_map_to_dict(space_map),
+                      sort_keys=True, separators=(",", ":"))
+
+
+def requirement_map_from_json(text: str,
+                              infrastructure: InfrastructureModel) \
+        -> RequirementSpaceMap:
+    return requirement_map_from_dict(json.loads(text), infrastructure)
 
 
 def evaluation_to_dict(evaluation: DesignEvaluation) -> Dict:

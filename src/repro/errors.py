@@ -85,6 +85,10 @@ class ServeError(AvedError):
     """The design service (``repro serve``) could not honor a request."""
 
 
+class GridError(AvedError):
+    """Sharded requirement-space map build or lookup failure."""
+
+
 class WatchError(AvedError):
     """The continuous redesign watcher (``repro watch``) failed."""
 

@@ -1,0 +1,42 @@
+"""Fault-tolerant sharded requirement-space map builds and serving.
+
+The paper's Fig. 6 maps -- which design family is cost-optimal at
+(load, downtime) -- are the artifact operators consult, so this
+package turns :func:`repro.core.build_requirement_map` from a
+single-process all-or-nothing loop into a dependable service:
+
+* :class:`GridSpec` / :class:`GridShard` -- the load grid, partitioned
+  into shards; any partition builds the byte-identical map.
+* :class:`GridBuilder` / :class:`GridPolicy` -- shard execution under
+  per-shard leases with the suspicion -> isolation -> conviction
+  ladder (``AVD901``-``AVD903``) and jittered-backoff lease
+  reassignment.
+* :class:`GridJournal` -- fsync'd torn-tail-tolerant shard journal:
+  ``kill -9`` mid-build resumes with finished shards reused exactly
+  once (``AVD904``/``AVD906``).
+* :class:`GridFaultPlan` -- the seeded chaos harness behind the
+  convergence proof (30% storms produce byte-identical maps).
+* :class:`MapService` -- sub-millisecond lookups over the canonical
+  map JSON, with honest partial-coverage degradation (``AVD907``);
+  ``repro serve`` mounts it at ``GET /v1/map``.
+
+``docs/GRID.md`` is the operator guide; ``repro map build|serve|status``
+the CLI surface.
+"""
+
+from .builder import GridBuilder, GridPolicy
+from .faults import (FAULT_KINDS, GridBuildInterrupted, GridFaultPlan,
+                     InjectedFault)
+from .journal import (GridJournal, GridJournalState, lease_abandoned,
+                      loads_key)
+from .service import MapService, served_status
+from .spec import GridShard, GridSpec, partition_loads
+
+__all__ = [
+    "GridSpec", "GridShard", "partition_loads",
+    "GridBuilder", "GridPolicy",
+    "GridJournal", "GridJournalState", "lease_abandoned", "loads_key",
+    "GridFaultPlan", "GridBuildInterrupted", "InjectedFault",
+    "FAULT_KINDS",
+    "MapService", "served_status",
+]

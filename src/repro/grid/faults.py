@@ -1,0 +1,118 @@
+"""Seeded fault injection for the grid chaos harness.
+
+A :class:`GridFaultPlan` is the storm generator behind the grid's
+convergence proof: the chaos suite builds the same map twice -- once
+fault-free, once under a plan injecting worker crashes, hangs, torn
+journal tails, and mid-build kills -- and asserts the two serialize to
+identical bytes.  Everything here is deterministic in the seed, so a
+failing storm replays exactly.
+
+Faults come in two flavors:
+
+* **storm faults** (:meth:`shard_fault`) hit a seeded fraction of
+  shards on their early attempts and then stop -- they model
+  *transient* infrastructure trouble, so a retried shard succeeds and
+  the build converges.  ``crash`` raises from the shard worker,
+  ``hang`` overruns the lease, ``torn-kill`` tears the journal tail
+  and kills the build mid-shard (the test restarts it, as an operator
+  would).
+* **poison cells** (:meth:`cell_fault`) fail *every* attempt at a
+  specific load -- they model a genuinely broken grid point, and are
+  what the suspicion ladder must convict alone while the cell's
+  shard-mates survive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..errors import GridError
+
+#: Storm fault kinds a plan may inject at shard level.
+FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "torn-kill")
+
+
+class InjectedFault(Exception):
+    """A chaos-injected shard/cell failure (crash or hang)."""
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(detail)
+        self.kind = kind
+
+
+class GridBuildInterrupted(Exception):
+    """The simulated process death: must escape the fault ladder.
+
+    Raised for ``torn-kill`` storm faults and ``kill_after_shards``;
+    the builder never catches it -- the *caller* (a test, standing in
+    for an operator restarting a killed process) re-runs the build,
+    which resumes from the journal.
+    """
+
+
+@dataclass(frozen=True)
+class GridFaultPlan:
+    """Deterministic storm schedule over a grid build.
+
+    ``fault_rate`` is the fraction of shards hit by a storm fault;
+    ``max_faulty_attempts`` bounds *which* attempts can fault (the
+    attempt counter is journaled, so it keeps rising across restarts
+    and the storm provably dies out).  ``poison_loads`` always fault,
+    on every attempt.  ``kill_after_shards`` kills the build (a
+    :class:`GridBuildInterrupted`) after that many shard completions
+    in this process -- pass it for the run you intend to restart.
+    """
+
+    seed: int = 0
+    fault_rate: float = 0.3
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    max_faulty_attempts: int = 1
+    poison_loads: FrozenSet[float] = frozenset()
+    kill_after_shards: Optional[int] = None
+    #: Shards completed in this process (mutable test-run state).
+    _completed: list = field(default_factory=list, compare=False,
+                             hash=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise GridError("fault_rate must be in [0, 1]")
+        if self.max_faulty_attempts < 0:
+            raise GridError("max_faulty_attempts cannot be negative")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise GridError("unknown fault kind %r" % kind)
+        if self.kill_after_shards is not None \
+                and self.kill_after_shards < 1:
+            raise GridError("kill_after_shards must be >= 1 or None")
+
+    def shard_fault(self, shard_id: int, attempt: int) \
+            -> Optional[str]:
+        """The storm fault for this (shard, attempt), if any.
+
+        Deterministic: the same (seed, shard, attempt) always decides
+        the same way, so a resumed build replays the identical storm.
+        """
+        if attempt > self.max_faulty_attempts or not self.kinds:
+            return None
+        rng = random.Random((self.seed, shard_id, attempt).__repr__())
+        if rng.random() >= self.fault_rate:
+            return None
+        return rng.choice(list(self.kinds))
+
+    def cell_fault(self, load: float) -> Optional[str]:
+        """Poison check: a reason string when ``load`` always fails."""
+        if float(load) in self.poison_loads:
+            return "injected poison cell at load %g" % load
+        return None
+
+    def shard_completed(self) -> bool:
+        """Account one completed shard; True when the kill fires now."""
+        self._completed.append(True)
+        return (self.kill_after_shards is not None
+                and len(self._completed) >= self.kill_after_shards)
+
+
+__all__ = ["FAULT_KINDS", "InjectedFault", "GridBuildInterrupted",
+           "GridFaultPlan"]

@@ -1,0 +1,102 @@
+"""What a grid build computes: the load axis, partitioned into shards.
+
+A :class:`GridSpec` pins down one requirement-space map build: the
+tier, the dense grid of load levels (the map's x axis -- the downtime
+axis needs no discretization, because each load's Pareto frontier
+answers *every* downtime requirement at that load), and the shard
+size.  Sharding is purely an execution concern: any partition of the
+loads builds the same map byte-for-byte (the property tests in
+``tests/properties/test_grid_props.py`` hold the builder to that), so
+the spec's canonical contiguous partition is just the default, not a
+semantic choice.
+
+A spec also has a stable :meth:`key`: journals and resumes are only
+valid against the grid they were written for, and the key is how a
+journal written for a different tier or load grid is rejected instead
+of silently merged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..errors import GridError
+
+
+@dataclass(frozen=True)
+class GridShard:
+    """One contiguous slice of the load grid, built under one lease."""
+
+    shard_id: int
+    tier: str
+    loads: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.loads:
+            raise GridError("shard %d has no loads" % self.shard_id)
+
+    def describe(self) -> str:
+        if len(self.loads) == 1:
+            return "shard %d (load %g)" % (self.shard_id, self.loads[0])
+        return "shard %d (loads %g..%g, %d cells)" % (
+            self.shard_id, self.loads[0], self.loads[-1],
+            len(self.loads))
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One requirement-space map build: tier, load grid, shard size."""
+
+    tier: str
+    loads: Tuple[float, ...] = field(default=())
+    shard_size: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.tier:
+            raise GridError("grid spec needs a tier name")
+        loads = tuple(float(load) for load in self.loads)
+        object.__setattr__(self, "loads", loads)
+        if not loads:
+            raise GridError("grid spec needs at least one load")
+        if any(load <= 0 for load in loads):
+            raise GridError("grid loads must be positive")
+        if len(set(loads)) != len(loads):
+            raise GridError("grid loads must be unique")
+        if self.shard_size < 1:
+            raise GridError("shard_size must be >= 1")
+
+    def shards(self) -> Tuple[GridShard, ...]:
+        """The canonical partition: contiguous chunks of shard_size."""
+        return partition_loads(self.tier, self.loads, self.shard_size)
+
+    def key(self) -> str:
+        """Stable identity of the grid (tier + loads), for journals.
+
+        Deliberately independent of ``shard_size``: re-sharding a
+        half-built grid must still reuse its journaled shards' cells
+        -- identity is the map being computed, not how it is cut up.
+        """
+        canonical = json.dumps(
+            {"tier": self.tier, "loads": list(self.loads)},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def partition_loads(tier: str, loads: Sequence[float],
+                    shard_size: int) -> Tuple[GridShard, ...]:
+    """Cut ``loads`` into contiguous shards of at most ``shard_size``."""
+    if shard_size < 1:
+        raise GridError("shard_size must be >= 1")
+    loads = tuple(float(load) for load in loads)
+    shards = []
+    for start in range(0, len(loads), shard_size):
+        shards.append(GridShard(
+            shard_id=len(shards), tier=tier,
+            loads=loads[start:start + shard_size]))
+    return tuple(shards)
+
+
+__all__ = ["GridShard", "GridSpec", "partition_loads"]

@@ -171,6 +171,27 @@ CODES: Dict[str, CodeInfo] = {
     "AVD803": CodeInfo(Severity.INFO,
                        "chain not representable by a batched template; "
                        "re-solved on the scalar path"),
+    # -- sharded requirement-space map builder (repro.grid) ---------------
+    "AVD901": CodeInfo(Severity.WARNING,
+                       "grid shard attempt failed; lease reassigned "
+                       "with backoff"),
+    "AVD902": CodeInfo(Severity.WARNING,
+                       "grid shard isolated; cells re-run "
+                       "individually to attribute the fault"),
+    "AVD903": CodeInfo(Severity.WARNING,
+                       "poison grid cell convicted and excluded from "
+                       "the map"),
+    "AVD904": CodeInfo(Severity.INFO,
+                       "grid build resumed from journal; finished "
+                       "shards reused"),
+    "AVD905": CodeInfo(Severity.WARNING,
+                       "grid journal append failed; build continuing "
+                       "without durability"),
+    "AVD906": CodeInfo(Severity.WARNING,
+                       "abandoned grid shard lease reclaimed"),
+    "AVD907": CodeInfo(Severity.INFO,
+                       "requirement-space map served with partial "
+                       "coverage"),
 }
 
 #: Codes whose presence means the expression *may* raise at evaluation

@@ -51,7 +51,8 @@ from ..obs import observing as _obs_observing
 from ..resilience.chaos import WorkerFaultPlan
 from ..resilience.events import (QUARANTINE, TASK_TIMEOUT, WORKER_CRASH,
                                  DegradationLog)
-from ..resilience.policy import POOL_BACKOFF, FallbackPolicy
+from ..resilience.policy import (POOL_BACKOFF, FallbackPolicy,
+                                 RetrySchedule)
 from .merge import merge_results
 from .quarantine import PoisonQuarantine
 from .supervisor import PoolSupervisor
@@ -265,6 +266,7 @@ class SupervisedExecutor:
         self.quarantine = (quarantine if quarantine is not None
                            else PoisonQuarantine())
         self._rng = random.Random(seed)
+        self._backoff = RetrySchedule(self.policy.backoff, rng=self._rng)
         self._task_counter = 0
         #: ``(task_id, [span dict, ...])`` pairs from traced workers,
         #: accumulated per batch and drained by the runtime facade.
@@ -577,10 +579,7 @@ class SupervisedExecutor:
                          attempt=state.faults)
             pending.pop(state.task_id, None)
             return
-        delay = self.policy.backoff.backoff_delay(state.faults,
-                                                  self._rng.random())
-        if delay > 0:
-            time.sleep(delay)
+        self._backoff.pause(state.faults)
 
     # ------------------------------------------------------------------
     # In-process evaluation (jobs == 1, and the degraded-pool path).
@@ -641,10 +640,7 @@ class SupervisedExecutor:
                              detail="quarantined after %d fault(s): %s"
                              % (faults, detail), attempt=faults)
                 return None
-            delay = self.policy.backoff.backoff_delay(faults,
-                                                      self._rng.random())
-            if delay > 0:
-                time.sleep(delay)
+            self._backoff.pause(faults)
 
 
 __all__ = ["ParallelPolicy", "SupervisedExecutor"]

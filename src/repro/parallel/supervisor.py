@@ -29,7 +29,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, Optional, Tuple
 
 from ..resilience.events import POOL_DEGRADED, POOL_RESTART, DegradationLog
-from ..resilience.policy import FallbackPolicy
+from ..resilience.policy import FallbackPolicy, RetrySchedule
 
 
 def _default_pool_factory(jobs: int, initializer: Callable,
@@ -75,6 +75,12 @@ class PoolSupervisor:
         self._factory = pool_factory or _default_pool_factory
         self._sleep = sleep
         self._rng = random.Random(seed)
+        # Restart backoff is capped at attempt 8 so a long fault storm
+        # cannot grow the delay without bound.
+        self._backoff_schedule = (
+            None if backoff is None
+            else RetrySchedule(backoff, rng=self._rng, sleep=sleep,
+                               max_attempt=8))
         self._pool: Optional[Executor] = None
         self._degraded = False
         #: Lifetime restart count (all batches).
@@ -167,11 +173,8 @@ class PoolSupervisor:
         self._restarts_this_batch += 1
         self.log.add(POOL_RESTART, detail="%s (restart %d this batch)"
                      % (reason, self._restarts_this_batch))
-        if self.backoff is not None:
-            delay = self.backoff.backoff_delay(
-                min(self._restarts_this_batch, 8), self._rng.random())
-            if delay > 0:
-                self._sleep(delay)
+        if self._backoff_schedule is not None:
+            self._backoff_schedule.pause(self._restarts_this_batch)
         return True
 
     def close(self) -> None:

@@ -29,12 +29,14 @@ from .chaos import (ChaosEngine, FaultPlan, VirtualClock, WorkerFaultPlan,
 from .checkpoint import SearchCheckpoint
 from .events import DegradationEvent, DegradationLog
 from .fallback import CircuitBreaker, FallbackEngine
-from .policy import DEFAULT_CHAIN, POOL_BACKOFF, FallbackPolicy
+from .policy import (DEFAULT_CHAIN, POOL_BACKOFF, FallbackPolicy,
+                     RetrySchedule)
 
 register_engine(FallbackEngine)
 
 __all__ = [
     "FallbackEngine", "FallbackPolicy", "DEFAULT_CHAIN", "POOL_BACKOFF",
+    "RetrySchedule",
     "CircuitBreaker",
     "ChaosEngine", "FaultPlan", "VirtualClock", "WorkerFaultPlan",
     "broken_tier_result",

@@ -53,6 +53,14 @@ WATCH_JOURNAL_FAULT = "watch-journal-fault"
 BATCH_UNSUPPORTED = "batch-unsupported"
 BATCH_GROUP_FALLBACK = "batch-group-fallback"
 BATCH_MEMBER_DEGRADED = "batch-member-degraded"
+#: Sharded requirement-space map builder (:mod:`repro.grid`) kinds.
+GRID_SHARD_FAULT = "grid-shard-fault"
+GRID_SHARD_ISOLATED = "grid-shard-isolated"
+GRID_CELL_CONVICTED = "grid-cell-convicted"
+GRID_RESUMED = "grid-resumed"
+GRID_JOURNAL_FAULT = "grid-journal-fault"
+GRID_LEASE_RECLAIMED = "grid-lease-reclaimed"
+GRID_MAP_PARTIAL = "grid-map-partial"
 
 EVENT_CODES: Dict[str, str] = {
     FALLBACK: "AVD301",
@@ -86,6 +94,13 @@ EVENT_CODES: Dict[str, str] = {
     BATCH_UNSUPPORTED: "AVD801",
     BATCH_GROUP_FALLBACK: "AVD802",
     BATCH_MEMBER_DEGRADED: "AVD803",
+    GRID_SHARD_FAULT: "AVD901",
+    GRID_SHARD_ISOLATED: "AVD902",
+    GRID_CELL_CONVICTED: "AVD903",
+    GRID_RESUMED: "AVD904",
+    GRID_JOURNAL_FAULT: "AVD905",
+    GRID_LEASE_RECLAIMED: "AVD906",
+    GRID_MAP_PARTIAL: "AVD907",
 }
 
 

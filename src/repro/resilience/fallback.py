@@ -42,7 +42,7 @@ from ..lint import LintReport
 from ..obs import current as _obs_current
 from .events import (BREAKER_CLOSE, BREAKER_OPEN, DEADLINE, FALLBACK,
                      GARBAGE, RETRY, TIMEOUT, DegradationLog)
-from .policy import FallbackPolicy
+from .policy import FallbackPolicy, RetrySchedule
 
 CLOSED = "closed"
 OPEN = "open"
@@ -137,6 +137,8 @@ class FallbackEngine(AvailabilityEngine):
         self._clock = clock
         self._sleep = sleep
         self._rng = random.Random(seed)
+        self._schedule = RetrySchedule(self.policy, rng=self._rng,
+                                       sleep=sleep)
         self.log = DegradationLog()
         self.breakers: Dict[str, CircuitBreaker] = {
             engine.name: CircuitBreaker(self.policy.breaker_threshold,
@@ -309,9 +311,7 @@ class FallbackEngine(AvailabilityEngine):
         return True
 
     def _backoff(self, attempt: int) -> None:
-        delay = self.policy.backoff_delay(attempt, self._rng.random())
-        if delay > 0:
-            self._sleep(delay)
+        self._schedule.pause(attempt)
 
     def _garbage_reason(self, result: TierResult) -> Optional[str]:
         if not self.policy.validate_results:

@@ -16,8 +16,10 @@ checked before each new attempt starts.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass
-from typing import Optional, Tuple, Type
+from typing import Callable, Optional, Tuple, Type
 
 from ..errors import NumericalError, SearchError
 
@@ -129,3 +131,63 @@ class FallbackPolicy:
 #: (restarting a worker pool is costlier than re-running a solve).
 POOL_BACKOFF = FallbackPolicy(backoff_base=0.05, backoff_factor=2.0,
                               backoff_jitter=0.5)
+
+
+class RetrySchedule:
+    """The one jittered-backoff pauser every retry loop shares.
+
+    Before this class, the ``delay = policy.backoff_delay(attempt,
+    rng.random()); sleep(delay)`` idiom was copy-pasted across the
+    engine fallback loop, the supervised executor's task retries (two
+    sites), and the pool supervisor's restarts -- each with its own
+    seeded RNG and injectable sleep.  A schedule owns that whole
+    triple: the policy supplying the curve, the RNG supplying the
+    jitter draw, and the sleep it is applied through, so new retry
+    loops (the grid's shard-lease reassignment) reuse it instead of
+    adding another copy.
+
+    Exactly one jitter draw is consumed per :meth:`pause`/:meth:`delay`
+    call -- byte-compatible with the idiom it replaces, so seeded runs
+    reproduce the same schedules as before the consolidation.
+
+    ``max_attempt`` optionally caps the exponent (the supervisor caps
+    restart backoff at attempt 8 so a long fault storm cannot grow the
+    delay without bound); ``rng`` shares a caller's existing RNG,
+    ``seed`` builds a private one.
+    """
+
+    def __init__(self, policy: FallbackPolicy,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 max_attempt: Optional[int] = None):
+        if rng is not None and seed is not None:
+            raise SearchError("pass seed or rng, not both")
+        if max_attempt is not None and max_attempt < 1:
+            raise SearchError("max_attempt must be >= 1 or None")
+        self.policy = policy
+        self._rng = rng if rng is not None \
+            else random.Random(1 if seed is None else seed)
+        self._sleep = sleep
+        self.max_attempt = max_attempt
+        #: Pauses taken and total seconds requested (tests/telemetry).
+        self.pauses = 0
+        self.slept = 0.0
+
+    def delay(self, attempt: int) -> float:
+        """The next jittered delay for ``attempt`` (1-based), seconds.
+
+        Consumes one draw from the schedule's RNG; does not sleep.
+        """
+        if self.max_attempt is not None:
+            attempt = min(attempt, self.max_attempt)
+        return self.policy.backoff_delay(attempt, self._rng.random())
+
+    def pause(self, attempt: int) -> float:
+        """Sleep the jittered delay for ``attempt``; returns it."""
+        delay = self.delay(attempt)
+        if delay > 0:
+            self._sleep(delay)
+        self.pauses += 1
+        self.slept += delay
+        return delay

@@ -47,6 +47,13 @@ class ServeConfig:
     daemon restarts.  ``cache_verify`` re-solves a seeded sample of
     hits after each job and quarantines the store on divergence.
 
+    ``map_path`` mounts a precomputed requirement-space map (built by
+    ``repro map build``, :mod:`repro.grid`) at ``GET /v1/map``: the
+    daemon answers (load, downtime) lookups from the map file without
+    running a search, reloads it when a rebuild replaces the file, and
+    reports its coverage in ``/healthz``.  The file may not exist yet
+    at boot -- lookups then answer 503 until a build lands.
+
     ``watch_telemetry`` (one or more JSONL stream paths) turns on the
     background drift reconciler (:mod:`repro.watch`): the daemon then
     also tails telemetry for ``watch_tier``, re-estimates its
@@ -88,6 +95,7 @@ class ServeConfig:
     watch_infrastructure: Optional[str] = None
     watch_service: Optional[str] = None
     watch_paper: bool = False
+    map_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.data_dir:

@@ -8,6 +8,9 @@ JSON API onto :class:`~repro.serve.DesignService`:
 ``POST /v1/jobs``         submit spec + requirements; 202 with the
                           job id, or 429 + ``Retry-After`` when shed
 ``GET /v1/jobs``          list all jobs (summaries)
+``GET /v1/map``           requirement lookup from the precomputed map
+                          (``?load=&downtime_minutes=``); 503 with
+                          coverage when the region is unbuilt
 ``GET /v1/jobs/<id>``     one job; ``?wait=S`` blocks until terminal
 ``DELETE /v1/jobs/<id>``  cancel (cooperative when running)
 ``GET /healthz``          liveness: always 200 with the health dict
@@ -127,6 +130,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200 if ready else 503, payload)
         elif path == "/metricz":
             self._send_json(200, self.service.metrics.snapshot())
+        elif path == "/v1/map":
+            self._get_map(split.query)
         elif path == "/v1/jobs":
             self._send_json(200, {"jobs": [job.to_dict()
                                            for job in
@@ -165,6 +170,42 @@ class _Handler(BaseHTTPRequestHandler):
                                       str(shed.retry_after)),))
             return
         self._send_json(202, {"id": job.id, "state": job.state})
+
+    def _get_map(self, query: str) -> None:
+        """``GET /v1/map?load=X&downtime_minutes=Y``.
+
+        200 with the answer ("ok" or the definitive "infeasible"),
+        503 when the queried region is genuinely unbuilt (partial
+        map, missing file, load beyond the grid), 404 when the daemon
+        has no map configured at all, 400 on bad parameters.  Never
+        triggers a search.
+        """
+        service = self.service.map_service
+        if service is None:
+            self._send_json(404, {"error": "no map configured (start "
+                                           "the daemon with --map)"})
+            return
+        params = parse_qs(query)
+        try:
+            load = float(params["load"][0])
+            downtime = float(params["downtime_minutes"][0])
+            if load <= 0 or downtime <= 0:
+                raise ValueError("must be positive")
+        except (KeyError, IndexError, ValueError):
+            self._send_json(400, {"error": "load and downtime_minutes "
+                                           "query parameters must be "
+                                           "positive numbers"})
+            return
+        from ..errors import AvedError
+        from ..units import Duration
+        try:
+            answer = service.lookup(load, Duration.minutes(downtime))
+        except AvedError as exc:
+            # A corrupt/unreadable map file: honest unavailability.
+            self._send_json(503, {"error": str(exc)})
+            return
+        status = 503 if answer["answer"] == "unbuilt" else 200
+        self._send_json(status, answer)
 
     def _get_job(self, job_id: str, query: str) -> None:
         wait = 0.0

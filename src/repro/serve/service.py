@@ -90,6 +90,12 @@ class DesignService:
             if config.cache_verify \
                     and self.cache_store.verify_sample <= 0:
                 self.cache_store.verify_sample = 8
+        #: Precomputed requirement-space map (repro.grid) served at
+        #: GET /v1/map; the file may not exist yet at boot.
+        self.map_service = None
+        if config.map_path:
+            from ..grid import MapService
+            self.map_service = MapService(config.map_path)
         #: Background drift reconciler (repro.watch); only the watch
         #: thread touches it -- health() reads the cached status dict.
         self.watcher = None
@@ -235,7 +241,27 @@ class DesignService:
             "cache": (self.cache_store.snapshot()
                       if self.cache_store is not None else None),
             "watch": self._watch_status,
+            "map": self.map_status(),
         }
+
+    def map_status(self) -> Optional[Dict[str, Any]]:
+        """MAP_STATUS_SCHEMA document for /healthz, or None when no
+        map is configured.  A corrupt map file must not take down
+        health reporting, so that case degrades to state 'missing'
+        with the error attached."""
+        if self.map_service is None:
+            return None
+        try:
+            return self.map_service.status()
+        except AvedError as exc:
+            return {"tier": "unknown", "state": "missing",
+                    "coverage": 0.0, "loads_total": 0,
+                    "loads_built": 0,
+                    "shards": {"total": 0, "done": 0, "pending": 0},
+                    "journal": {"enabled": False, "degraded": False,
+                                "appends": 0},
+                    "map_path": self.config.map_path,
+                    "error": str(exc)}
 
     def ready(self) -> bool:
         """May a load balancer send more work here?

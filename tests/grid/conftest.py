@@ -1,0 +1,40 @@
+"""Shared fixtures for the grid suite: the tiny model, fast builds.
+
+Everything runs on the synthetic one-tier model from the top-level
+conftest (markov engine), where a full requirement-space map over a
+handful of loads takes well under a second -- so the chaos storms in
+``test_chaos.py`` are unit-test material.  ``no_sleep`` keeps the
+backoff schedule deterministic without wall-clock pauses.
+"""
+
+import pytest
+
+from repro.availability import get_engine
+from repro.core import DesignEvaluator
+from repro.core.frontier import build_requirement_map
+from repro.core.serialize import requirement_map_to_json
+from repro.grid import GridPolicy
+
+#: The default load grid the suite builds over.
+LOADS = (100.0, 250.0, 400.0, 550.0)
+
+#: Retry knobs for tests: real ladder, no wall-clock backoff pauses.
+FAST_POLICY = GridPolicy(lease_seconds=300.0, shard_retries=2,
+                         cell_retries=2)
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+@pytest.fixture
+def evaluator(tiny_infra, tiny_service):
+    return DesignEvaluator(tiny_infra, tiny_service,
+                           get_engine("markov"))
+
+
+@pytest.fixture
+def baseline_json(evaluator):
+    """The unsharded, fault-free map's canonical JSON (the oracle)."""
+    return requirement_map_to_json(
+        build_requirement_map(evaluator, "web", LOADS))

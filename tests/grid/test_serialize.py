@@ -1,0 +1,74 @@
+"""The versioned canonical map JSON (repro.core.serialize)."""
+
+import json
+
+import pytest
+
+from repro.core.frontier import build_requirement_map
+from repro.core.serialize import (MAP_FORMAT_VERSION,
+                                  requirement_map_from_json,
+                                  requirement_map_to_dict,
+                                  requirement_map_to_json)
+from repro.errors import ModelError
+
+from .conftest import LOADS
+
+
+@pytest.fixture
+def space_map(evaluator):
+    return build_requirement_map(evaluator, "web", LOADS)
+
+
+class TestCanonicalJson:
+    def test_roundtrip_reserializes_byte_identically(
+            self, evaluator, space_map, tiny_infra):
+        text = requirement_map_to_json(space_map)
+        recovered = requirement_map_from_json(text, tiny_infra)
+        assert requirement_map_to_json(recovered) == text
+        assert recovered.tier == space_map.tier
+        assert recovered.loads == space_map.loads
+        assert len(recovered.points) == len(space_map.points)
+
+    def test_canonical_form_is_versioned_sorted_and_compact(
+            self, space_map):
+        text = requirement_map_to_json(space_map)
+        data = json.loads(text)
+        assert data["version"] == MAP_FORMAT_VERSION
+        assert ": " not in text and ", " not in text
+        keys = [(point["load"], -point["downtime_minutes"],
+                 point["annual_cost"]) for point in data["points"]]
+        assert keys == sorted(keys)
+
+    def test_point_order_in_memory_does_not_change_the_bytes(
+            self, space_map):
+        from repro.core.frontier import RequirementSpaceMap
+        shuffled = RequirementSpaceMap(
+            space_map.tier, space_map.loads,
+            tuple(reversed(space_map.points)))
+        assert requirement_map_to_json(shuffled) == \
+            requirement_map_to_json(space_map)
+
+    def test_unknown_version_is_rejected(self, space_map, tiny_infra):
+        data = requirement_map_to_dict(space_map)
+        data["version"] = MAP_FORMAT_VERSION + 1
+        with pytest.raises(ModelError, match="version"):
+            requirement_map_from_json(json.dumps(data), tiny_infra)
+
+    def test_designs_survive_the_roundtrip(self, space_map,
+                                           tiny_infra):
+        text = requirement_map_to_json(space_map)
+        recovered = requirement_map_from_json(text, tiny_infra)
+        for original, back in zip(
+                sorted(space_map.points,
+                       key=lambda p: (p.load, -p.downtime_minutes,
+                                      p.annual_cost)),
+                sorted(recovered.points,
+                       key=lambda p: (p.load, -p.downtime_minutes,
+                                      p.annual_cost))):
+            assert back.load == original.load
+            assert back.family == original.family
+            assert back.annual_cost == original.annual_cost
+            assert back.design.design.resource == \
+                original.design.design.resource
+            assert back.design.design.n_active == \
+                original.design.design.n_active

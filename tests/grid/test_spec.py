@@ -1,0 +1,52 @@
+"""GridSpec / partitioning invariants."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid import GridSpec, partition_loads
+
+
+class TestPartition:
+    def test_covers_every_load_exactly_once_in_order(self):
+        shards = partition_loads("web", (1.0, 2.0, 3.0, 4.0, 5.0), 2)
+        assert [shard.loads for shard in shards] == \
+            [(1.0, 2.0), (3.0, 4.0), (5.0,)]
+        assert [shard.shard_id for shard in shards] == [0, 1, 2]
+        assert all(shard.tier == "web" for shard in shards)
+
+    def test_singleton_shards(self):
+        shards = partition_loads("web", (1.0, 2.0, 3.0), 1)
+        assert [shard.loads for shard in shards] == \
+            [(1.0,), (2.0,), (3.0,)]
+
+    def test_one_big_shard(self):
+        shards = partition_loads("web", (1.0, 2.0), 99)
+        assert [shard.loads for shard in shards] == [(1.0, 2.0)]
+
+
+class TestGridSpec:
+    def test_shards_honor_shard_size(self):
+        spec = GridSpec("web", (1.0, 2.0, 3.0), shard_size=2)
+        assert [shard.loads for shard in spec.shards()] == \
+            [(1.0, 2.0), (3.0,)]
+
+    @pytest.mark.parametrize("loads", [(), (0.0,), (-1.0,),
+                                       (1.0, 1.0)])
+    def test_bad_loads_rejected(self, loads):
+        with pytest.raises(GridError):
+            GridSpec("web", loads)
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(GridError):
+            GridSpec("web", (1.0,), shard_size=0)
+
+    def test_key_identifies_the_grid_not_the_partition(self):
+        base = GridSpec("web", (1.0, 2.0), shard_size=1)
+        assert base.key() == GridSpec("web", (1.0, 2.0),
+                                      shard_size=2).key()
+        assert base.key() != GridSpec("web", (1.0, 3.0)).key()
+        assert base.key() != GridSpec("db", (1.0, 2.0)).key()
+
+    def test_key_is_stable_across_int_float_spellings(self):
+        assert GridSpec("web", (1, 2)).key() == \
+            GridSpec("web", (1.0, 2.0)).key()

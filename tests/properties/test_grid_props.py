@@ -1,0 +1,154 @@
+"""Property: every shard partition builds the byte-identical map.
+
+The grid's whole correctness story rests on partition-independence:
+``GridBuilder`` over *any* sharding of the load grid -- singleton
+shards, one big shard, shards executed in permuted order -- must
+serialize to exactly the bytes of the unsharded
+``build_requirement_map`` sweep.  Hypothesis drives the partition;
+the canonical JSON is the oracle.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability import get_engine
+from repro.core import DesignEvaluator
+from repro.core.frontier import build_requirement_map
+from repro.core.serialize import requirement_map_to_json
+from repro.grid import GridBuilder, GridSpec
+from repro.model import (AvailabilityMechanism, ComponentSlot,
+                         ComponentType, CostSchedule,
+                         ExpressionPerformance, FailureMode,
+                         FailureScope, InfrastructureModel,
+                         MechanismParameter, MechanismRef,
+                         ResourceOption, ResourceType, ServiceModel,
+                         Sizing, TableEffect, Tier)
+from repro.units import ArithmeticRange, Duration, EnumeratedRange
+
+
+def _tiny_evaluator() -> DesignEvaluator:
+    """The top-level conftest's tiny model, built module-level so the
+    strategies can share one evaluator and one baseline cache."""
+    contract = AvailabilityMechanism(
+        "contract",
+        parameters=(MechanismParameter(
+            "level", EnumeratedRange(["basic", "fast"])),),
+        effects={
+            "cost": TableEffect("level",
+                                (("basic", 100.0), ("fast", 400.0))),
+            "mttr": TableEffect("level",
+                                (("basic", Duration.hours(24)),
+                                 ("fast", Duration.hours(4)))),
+        })
+    box = ComponentType(
+        "box",
+        cost=CostSchedule(inactive=500.0, active=1000.0),
+        failure_modes=(
+            FailureMode("hard", Duration.days(365),
+                        MechanismRef("contract"),
+                        detect_time=Duration.minutes(1)),
+            FailureMode("glitch", Duration.days(30), Duration.ZERO)))
+    os_type = ComponentType(
+        "os",
+        cost=CostSchedule.flat(0.0),
+        failure_modes=(
+            FailureMode("crash", Duration.days(60), Duration.ZERO),))
+    resource = ResourceType(
+        "node",
+        slots=(ComponentSlot("box", None, Duration.minutes(1)),
+               ComponentSlot("os", "box", Duration.minutes(2))),
+        reconfig_time=Duration.seconds(30))
+    infrastructure = InfrastructureModel(
+        components=[box, os_type], mechanisms=[contract],
+        resources=[resource])
+    option = ResourceOption(
+        "node", Sizing.DYNAMIC, FailureScope.RESOURCE,
+        ArithmeticRange(1, 100, 1), ExpressionPerformance("100*n"))
+    service = ServiceModel("svc", [Tier("web", [option])])
+    return DesignEvaluator(infrastructure, service,
+                           get_engine("markov"))
+
+
+EVALUATOR = _tiny_evaluator()
+LOAD_POOL = (50.0, 100.0, 175.0, 250.0, 400.0, 550.0)
+_BASELINES: dict = {}
+
+
+def baseline(loads: Tuple[float, ...]) -> str:
+    if loads not in _BASELINES:
+        _BASELINES[loads] = requirement_map_to_json(
+            build_requirement_map(EVALUATOR, "web", loads))
+    return _BASELINES[loads]
+
+
+@dataclass(frozen=True)
+class PermutedSpec(GridSpec):
+    """A GridSpec whose shards execute in an arbitrary order."""
+
+    order: Tuple[int, ...] = field(default=())
+
+    def shards(self):
+        shards = super().shards()
+        return [shards[index] for index in self.order]
+
+
+@st.composite
+def grids(draw):
+    loads = tuple(sorted(draw(
+        st.lists(st.sampled_from(LOAD_POOL), min_size=1, max_size=5,
+                 unique=True))))
+    shard_size = draw(st.integers(min_value=1,
+                                  max_value=len(loads)))
+    return loads, shard_size
+
+
+@st.composite
+def permuted_grids(draw):
+    loads, shard_size = draw(grids())
+    n_shards = -(-len(loads) // shard_size)
+    order = tuple(draw(st.permutations(range(n_shards))))
+    return loads, shard_size, order
+
+
+@settings(max_examples=12, deadline=None)
+@given(grids())
+def test_any_contiguous_partition_matches_the_unsharded_map(grid):
+    loads, shard_size = grid
+    spec = GridSpec("web", loads, shard_size=shard_size)
+    built = GridBuilder(EVALUATOR, spec,
+                        sleep=lambda _s: None).build()
+    assert requirement_map_to_json(built) == baseline(loads)
+
+
+@settings(max_examples=12, deadline=None)
+@given(permuted_grids())
+def test_shard_execution_order_does_not_change_the_bytes(grid):
+    loads, shard_size, order = grid
+    spec = PermutedSpec("web", loads, shard_size=shard_size,
+                        order=order)
+    built = GridBuilder(EVALUATOR, spec,
+                        sleep=lambda _s: None).build()
+    assert requirement_map_to_json(built) == baseline(loads)
+
+
+@settings(max_examples=8, deadline=None)
+@given(grids())
+def test_journaled_resume_reuses_rather_than_recomputes(grid):
+    # A full build then a resume over the same journal: the second
+    # builder reuses every shard and still serializes identically.
+    import tempfile
+    loads, shard_size = grid
+    spec = GridSpec("web", loads, shard_size=shard_size)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = tmp + "/grid.jsonl"
+        GridBuilder(EVALUATOR, spec, journal_path=journal,
+                    sleep=lambda _s: None).build()
+        second = GridBuilder(EVALUATOR, spec, journal_path=journal,
+                             sleep=lambda _s: None)
+        built = second.build()
+        assert requirement_map_to_json(built) == baseline(loads)
+        assert second.counters["shards_reused"] == \
+            len(spec.shards())
